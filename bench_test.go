@@ -1,0 +1,321 @@
+// Package repro's root benchmarks regenerate the paper's evaluation
+// through testing.B: one benchmark group per table and figure of
+// section 7, plus the ablations. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and compare against the paper values recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/sexp"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// --- Figure 6: RMI ----------------------------------------------------
+
+func BenchmarkFig6_BasicRMI(b *testing.B)   { benchFigRow(b, "fig6", "basic") }
+func BenchmarkFig6_RMIPlusSSH(b *testing.B) { benchFigRow(b, "fig6", "+ssh") }
+func BenchmarkFig6_RMIPlusSf(b *testing.B)  { benchFigRow(b, "fig6", "+Snowflake") }
+
+// --- Figure 7: HTTP ---------------------------------------------------
+
+func BenchmarkFig7_MinimalHTTP(b *testing.B) { benchFigRow(b, "fig7", "minimal (C)") }
+func BenchmarkFig7_StdHTTP(b *testing.B)     { benchFigRow(b, "fig7", "net/http (Java)") }
+func BenchmarkFig7_Snowflake(b *testing.B)   { benchFigRow(b, "fig7", "Snowflake") }
+
+// --- Figure 8: SSL vs Snowflake ----------------------------------------
+
+func BenchmarkFig8_SfIdent(b *testing.B)       { benchFig8Row(b, "Sf client auth", "ident") }
+func BenchmarkFig8_SfMAC(b *testing.B)         { benchFig8Row(b, "Sf client auth", "MAC") }
+func BenchmarkFig8_SfSign(b *testing.B)        { benchFig8Row(b, "Sf client auth", "sign") }
+func BenchmarkFig8_SSLRequestMin(b *testing.B) { benchFig8Row(b, "SSL request", "minimal") }
+func BenchmarkFig8_SSLNewSessMin(b *testing.B) { benchFig8Row(b, "SSL new sess.", "minimal") }
+func BenchmarkFig8_DocCacheVerify(b *testing.B) {
+	benchFig8Row(b, "Sf server auth verify", "cache")
+}
+func BenchmarkFig8_DocSignVerify(b *testing.B) {
+	benchFig8Row(b, "Sf server auth verify", "sign")
+}
+
+// --- Table 1 and setup ---------------------------------------------------
+
+func BenchmarkTable1_Breakdown(b *testing.B) {
+	opts := bench.Options{Runs: 2, Iters: b.N/2 + 1, MaxRetries: 0}
+	b.ResetTimer()
+	fig, err := bench.Table1(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportRows(b, fig)
+}
+
+func BenchmarkSetup_Costs(b *testing.B) {
+	opts := bench.Options{Runs: 1, Iters: min(b.N, 10), MaxRetries: 0}
+	b.ResetTimer()
+	fig, err := bench.Setup(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportRows(b, fig)
+}
+
+// --- ablations ------------------------------------------------------------
+
+func BenchmarkAblate_Shortcuts(b *testing.B) {
+	fig, err := bench.AblateShortcuts(scaled(b), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportRows(b, fig)
+}
+
+func BenchmarkAblate_Reverify(b *testing.B) {
+	fig, err := bench.AblateReverify(scaled(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportRows(b, fig)
+}
+
+func BenchmarkAblate_LocalChannel(b *testing.B) {
+	fig, err := bench.AblateLocalChannel(scaled(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportRows(b, fig)
+}
+
+// --- micro-benchmarks on the core data structures ---------------------------
+
+func BenchmarkMicro_SexpParse2KB(b *testing.B) {
+	proof := benchProof(b)
+	wire := proof.Sexp().Transport()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sexp.ParseOne(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_ProofDecode(b *testing.B) {
+	proof := benchProof(b)
+	e := proof.Sexp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ProofFromSexp(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_ProofVerifyFresh(b *testing.B) {
+	proof := benchProof(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proof.Verify(core.NewVerifyContext()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_ProofVerifyCached(b *testing.B) {
+	proof := benchProof(b)
+	ctx := core.NewVerifyContext()
+	if err := proof.Verify(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proof.Verify(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_TagIntersect(b *testing.B) {
+	t1 := tag.MustParse(`(tag (web (method (* set GET HEAD)) (service "files") (* prefix "/pub/")))`)
+	t2 := tag.MustParse(`(tag (web (method GET) (service "files") (* prefix "/pub/docs/")))`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tag.Intersect(t1, t2); !ok {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkMicro_TagCovers(b *testing.B) {
+	grant := tag.MustParse(`(tag (web (method GET) (service "files") (* prefix "/pub/")))`)
+	req := tag.MustParse(`(tag (web (method GET) (service "files") "/pub/a/b/c"))`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !tag.Covers(grant, req) {
+			b.Fatal("uncovered")
+		}
+	}
+}
+
+func BenchmarkMicro_CertSign(b *testing.B) {
+	priv := sfkey.FromSeed([]byte("bench-sign"))
+	self := principal.KeyOf(priv.Public())
+	sub := principal.KeyOf(sfkey.FromSeed([]byte("bench-sub")).Public())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cert.Delegate(priv, sub, self, tag.All(), core.Forever); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_ProverFindShortcut(b *testing.B) {
+	pv, subj, iss := benchChain(b, 8, false)
+	now := time.Now()
+	if _, err := pv.FindProof(subj, iss, tag.All(), now); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pv.FindProof(subj, iss, tag.All(), now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_ProverFindNoShortcut(b *testing.B) {
+	pv, subj, iss := benchChain(b, 8, true)
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pv.FindProof(subj, iss, tag.All(), now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- helpers -----------------------------------------------------------------
+
+// benchFigRow runs an entire figure once at a scale derived from b.N
+// and reports the row's per-op time as the benchmark result.
+func benchFigRow(b *testing.B, fig, row string) {
+	b.Helper()
+	opts := scaled(b)
+	var f *bench.Figure
+	var err error
+	switch fig {
+	case "fig6":
+		f, err = bench.Fig6(opts)
+	case "fig7":
+		f, err = bench.Fig7(opts)
+	default:
+		b.Fatalf("unknown figure %q", fig)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportRow(b, f, "", row)
+}
+
+func benchFig8Row(b *testing.B, group, row string) {
+	b.Helper()
+	f, err := bench.Fig8(scaled(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reportRow(b, f, group, row)
+}
+
+func scaled(b *testing.B) bench.Options {
+	iters := b.N
+	if iters > 50 {
+		iters = 50
+	}
+	if iters < 3 {
+		iters = 3
+	}
+	return bench.Options{Runs: 2, Iters: iters, MaxRetries: 0}
+}
+
+func reportRow(b *testing.B, f *bench.Figure, group, row string) {
+	b.Helper()
+	for _, r := range f.Rows {
+		if r.Name == row && (group == "" || r.Group == group) {
+			b.ReportMetric(r.MeasuredMs, "ms/op")
+			if r.PaperMs > 0 {
+				b.ReportMetric(r.PaperMs, "paper-ms")
+			}
+			return
+		}
+	}
+	b.Fatalf("row %s/%s not found in %s", group, row, f.ID)
+}
+
+func reportRows(b *testing.B, f *bench.Figure) {
+	b.Helper()
+	b.Log("\n" + f.Render())
+	if len(f.Rows) > 0 {
+		b.ReportMetric(f.Rows[0].MeasuredMs, "ms/op")
+	}
+}
+
+func benchProof(b *testing.B) core.Proof {
+	b.Helper()
+	owner := sfkey.FromSeed([]byte("bp-owner"))
+	alice := sfkey.FromSeed([]byte("bp-alice"))
+	ownerP := principal.KeyOf(owner.Public())
+	aliceP := principal.KeyOf(alice.Public())
+	chP := principal.ChannelOf(principal.ChannelSecure, []byte("bp-ch"))
+	c1, err := cert.Delegate(owner, aliceP, ownerP,
+		tag.MustParse(`(tag (db (owner "alice")))`), core.Forever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c2, err := cert.Delegate(alice, chP, aliceP,
+		tag.MustParse(`(tag (db (owner "alice") select))`), core.Forever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.NewTransitivity(c2, c1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func benchChain(b *testing.B, n int, disableShortcuts bool) (*prover.Prover, principal.Principal, principal.Principal) {
+	b.Helper()
+	pv := prover.New()
+	pv.DisableShortcuts = disableShortcuts
+	keys := make([]*sfkey.PrivateKey, n+1)
+	for i := range keys {
+		keys[i] = sfkey.FromSeed([]byte(fmt.Sprintf("bc-%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		c, err := cert.Delegate(keys[i],
+			principal.KeyOf(keys[i+1].Public()),
+			principal.KeyOf(keys[i].Public()),
+			tag.All(), core.Forever)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pv.AddProof(c)
+	}
+	return pv, principal.KeyOf(keys[n].Public()), principal.KeyOf(keys[0].Public())
+}
+
+// silence unused-import pressure for helpers used conditionally.
+var _ = io.Discard
+var _ = http.DefaultClient

@@ -1,0 +1,78 @@
+// Command sf-bench regenerates every table and figure of the paper's
+// evaluation (section 7) plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	sf-bench [-quick] [fig6|fig7|fig8|table1|setup|ablate-shortcuts|ablate-reverify|ablate-local|ablate-handshake|all]
+//
+// Each experiment prints the paper's numbers beside our measurements
+// and the within-figure ratios: on modern hardware the absolute
+// values shrink ~100x, but the orderings and rough factors — who
+// wins, by how much, where the crossovers fall — are the reproduced
+// result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer iterations (smoke test)")
+	shape := flag.Bool("shape", false, "exit nonzero when a figure's measured ordering contradicts the paper's")
+	flag.Parse()
+
+	opts := bench.DefaultOptions
+	if *quick {
+		opts = bench.QuickOptions
+	}
+
+	which := flag.Args()
+	if len(which) == 0 {
+		which = []string{"all"}
+	}
+	type runner struct {
+		name string
+		fn   func() (*bench.Figure, error)
+	}
+	all := []runner{
+		{"fig6", func() (*bench.Figure, error) { return bench.Fig6(opts) }},
+		{"fig7", func() (*bench.Figure, error) { return bench.Fig7(opts) }},
+		{"fig8", func() (*bench.Figure, error) { return bench.Fig8(opts) }},
+		{"table1", func() (*bench.Figure, error) { return bench.Table1(opts) }},
+		{"setup", func() (*bench.Figure, error) { return bench.Setup(opts) }},
+		{"ablate-shortcuts", func() (*bench.Figure, error) { return bench.AblateShortcuts(opts, 8) }},
+		{"ablate-reverify", func() (*bench.Figure, error) { return bench.AblateReverify(opts) }},
+		{"ablate-local", func() (*bench.Figure, error) { return bench.AblateLocalChannel(opts) }},
+		{"ablate-handshake", func() (*bench.Figure, error) { return bench.AblateSecureHandshake(opts) }},
+	}
+	want := map[string]bool{}
+	for _, w := range which {
+		want[w] = true
+	}
+	failures := 0
+	for _, r := range all {
+		if !want["all"] && !want[r.name] {
+			continue
+		}
+		fig, err := r.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			failures++
+			continue
+		}
+		fmt.Println(fig.Render())
+		if *shape {
+			for _, v := range fig.CheckShape(true) {
+				fmt.Fprintf(os.Stderr, "shape violation: %s\n", v)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

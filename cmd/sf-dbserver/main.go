@@ -1,0 +1,102 @@
+// Command sf-dbserver runs the protected relational email database of
+// paper section 6.2 as an RMI service over the secure channel.
+// Delegations of mailbox authority are issued with -grant-owner.
+//
+// Usage:
+//
+//	sf-dbserver -key db.key -addr 127.0.0.1:7001
+//	sf-dbserver -key db.key -grant-owner alice -grant-to '<principal sexp>'
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/channel/secure"
+	"repro/internal/core"
+	"repro/internal/emaildb"
+	"repro/internal/principal"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+)
+
+func main() {
+	keyFile := flag.String("key", "", "server private key file")
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	grantOwner := flag.String("grant-owner", "", "emit a mailbox delegation and exit")
+	grantTo := flag.String("grant-to", "", "recipient principal S-expression")
+	grantTTL := flag.Duration("grant-ttl", 0, "delegation lifetime (0 = unbounded)")
+	seedDemo := flag.Bool("seed-demo", false, "insert demonstration messages")
+	flag.Parse()
+
+	if *keyFile == "" {
+		log.Fatal("sf-dbserver: -key is required")
+	}
+	raw, err := os.ReadFile(*keyFile)
+	if err != nil {
+		log.Fatalf("sf-dbserver: %v", err)
+	}
+	kb, err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		log.Fatalf("sf-dbserver: bad key file: %v", err)
+	}
+	priv, err := sfkey.PrivateFromBytes(kb)
+	if err != nil {
+		log.Fatalf("sf-dbserver: %v", err)
+	}
+	issuer := principal.KeyOf(priv.Public())
+
+	if *grantOwner != "" {
+		if *grantTo == "" {
+			log.Fatal("sf-dbserver: -grant-owner needs -grant-to")
+		}
+		recipient, err := principal.Parse(*grantTo)
+		if err != nil {
+			log.Fatalf("sf-dbserver: recipient: %v", err)
+		}
+		v := core.Forever
+		if *grantTTL > 0 {
+			v = core.Until(time.Now().Add(*grantTTL))
+		}
+		c, err := cert.Delegate(priv, recipient, issuer, emaildb.OwnerTag(*grantOwner), v)
+		if err != nil {
+			log.Fatalf("sf-dbserver: %v", err)
+		}
+		fmt.Println(string(c.Sexp().Transport()))
+		return
+	}
+
+	svc, err := emaildb.NewService()
+	if err != nil {
+		log.Fatalf("sf-dbserver: %v", err)
+	}
+	if *seedDemo {
+		seed := []emaildb.Message{
+			{Owner: "alice", Folder: "inbox", From: "bob@example.org", To: "alice", Subject: "lunch?", Date: time.Now().Add(-2 * time.Hour)},
+			{Owner: "alice", Folder: "inbox", From: "carol@example.org", To: "alice", Subject: "budget draft", Date: time.Now().Add(-time.Hour)},
+			{Owner: "bob", Folder: "inbox", From: "alice@example.org", To: "bob", Subject: "re: lunch?", Date: time.Now()},
+		}
+		for _, m := range seed {
+			var r emaildb.InsertReply
+			if err := svc.Insert(emaildb.InsertArgs{Msg: m}, &r); err != nil {
+				log.Fatalf("sf-dbserver: seed: %v", err)
+			}
+		}
+	}
+	srv := rmi.NewServer()
+	if err := emaildb.Register(srv, svc, issuer); err != nil {
+		log.Fatalf("sf-dbserver: %v", err)
+	}
+	l, err := secure.Listen(*addr, &secure.Identity{Priv: priv})
+	if err != nil {
+		log.Fatalf("sf-dbserver: %v", err)
+	}
+	log.Printf("sf-dbserver: %s listening on %s (issuer %s)", emaildb.ObjectName, l.Addr(), issuer)
+	log.Fatal(srv.Serve(l))
+}

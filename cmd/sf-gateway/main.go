@@ -1,0 +1,70 @@
+// Command sf-gateway runs the quoting protocol gateway of paper
+// section 6.3: an HTML-over-HTTP front end that forwards mailbox
+// operations to the sf-dbserver over secure-channel RMI, quoting each
+// HTTP client so the database makes the real access-control decision.
+//
+// Usage:
+//
+//	sf-gateway -key gw.key -db 127.0.0.1:7001 -db-issuer '<principal sexp>' -addr 127.0.0.1:8081
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/channel/secure"
+	"repro/internal/gateway"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+)
+
+func main() {
+	keyFile := flag.String("key", "", "gateway private key file")
+	dbAddr := flag.String("db", "127.0.0.1:7001", "database server address")
+	dbIssuerS := flag.String("db-issuer", "", "database issuer principal S-expression")
+	addr := flag.String("addr", "127.0.0.1:8081", "HTTP listen address")
+	flag.Parse()
+
+	if *keyFile == "" || *dbIssuerS == "" {
+		log.Fatal("sf-gateway: -key and -db-issuer are required")
+	}
+	raw, err := os.ReadFile(*keyFile)
+	if err != nil {
+		log.Fatalf("sf-gateway: %v", err)
+	}
+	kb, err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		log.Fatalf("sf-gateway: bad key file: %v", err)
+	}
+	priv, err := sfkey.PrivateFromBytes(kb)
+	if err != nil {
+		log.Fatalf("sf-gateway: %v", err)
+	}
+	dbIssuer, err := principal.Parse(*dbIssuerS)
+	if err != nil {
+		log.Fatalf("sf-gateway: db issuer: %v", err)
+	}
+
+	pv := gateway.NewProver(priv)
+	id, err := secure.NewIdentity()
+	if err != nil {
+		log.Fatalf("sf-gateway: %v", err)
+	}
+	// The gateway controls its channel identity too, so its prover can
+	// link channel key -> gateway key when the database challenges it.
+	pv.AddClosure(prover.NewKeyClosure(id.Priv))
+	db, err := rmi.Dial(secure.Dialer{ID: id}, *dbAddr, pv)
+	if err != nil {
+		log.Fatalf("sf-gateway: dial db: %v", err)
+	}
+	gw := gateway.New(priv, db, dbIssuer, pv)
+	log.Printf("sf-gateway: bridging %s on %s (gateway key %s)",
+		*dbAddr, *addr, priv.Public().Fingerprint())
+	log.Fatal(http.ListenAndServe(*addr, gw))
+}

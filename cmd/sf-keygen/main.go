@@ -1,0 +1,49 @@
+// Command sf-keygen creates a Snowflake identity: an Ed25519 key pair
+// stored as S-expressions, with the public principal and its hash
+// printed for use as a server issuer ("specifying the hash of his
+// public key when starting up the server", paper section 6.1).
+//
+// Usage:
+//
+//	sf-keygen -out alice.key
+//	sf-keygen -out alice.key -seed "deterministic seed"   # tests only
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+)
+
+func main() {
+	out := flag.String("out", "", "file to write the private key to (default stdout)")
+	seed := flag.String("seed", "", "derive deterministically from a seed (INSECURE; tests only)")
+	flag.Parse()
+
+	var priv *sfkey.PrivateKey
+	var err error
+	if *seed != "" {
+		priv = sfkey.FromSeed([]byte(*seed))
+	} else if priv, err = sfkey.Generate(); err != nil {
+		log.Fatalf("sf-keygen: %v", err)
+	}
+
+	encoded := base64.StdEncoding.EncodeToString(priv.Bytes())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(encoded+"\n"), 0o600); err != nil {
+			log.Fatalf("sf-keygen: %v", err)
+		}
+	} else {
+		fmt.Println(encoded)
+	}
+
+	pub := priv.Public()
+	fmt.Fprintf(os.Stderr, "public principal: %s\n", pub.Sexp().Advanced())
+	fmt.Fprintf(os.Stderr, "hash principal:   %s\n", principal.HashOfKey(pub).Sexp().Advanced())
+	fmt.Fprintf(os.Stderr, "fingerprint:      %s\n", pub.Fingerprint())
+}

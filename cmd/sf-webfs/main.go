@@ -1,0 +1,73 @@
+// Command sf-webfs runs the protected web file server of paper
+// section 6.1: control rests with the hash of the owner's public key;
+// subtrees are shared by issuing delegation certificates (see the
+// -share flags), never by accounts or ACLs.
+//
+// Usage:
+//
+//	sf-webfs -root ./public -owner-key alice.key -addr :8080
+//	sf-webfs -owner-key alice.key -share-prefix /pub/ -share-to '<principal sexp>'
+package main
+
+import (
+	"encoding/base64"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/webfs"
+)
+
+func main() {
+	root := flag.String("root", ".", "directory to serve")
+	keyFile := flag.String("owner-key", "", "owner private key file (sf-keygen output)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	service := flag.String("service", "files", "service name used in tags")
+	sharePrefix := flag.String("share-prefix", "", "emit a delegation for this path prefix and exit")
+	shareTo := flag.String("share-to", "", "recipient principal S-expression for -share-prefix")
+	shareTTL := flag.Duration("share-ttl", 24*time.Hour, "delegation lifetime")
+	flag.Parse()
+
+	if *keyFile == "" {
+		log.Fatal("sf-webfs: -owner-key is required")
+	}
+	raw, err := os.ReadFile(*keyFile)
+	if err != nil {
+		log.Fatalf("sf-webfs: %v", err)
+	}
+	kb, err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		log.Fatalf("sf-webfs: bad key file: %v", err)
+	}
+	priv, err := sfkey.PrivateFromBytes(kb)
+	if err != nil {
+		log.Fatalf("sf-webfs: %v", err)
+	}
+	ownerHash := principal.HashOfKey(priv.Public())
+
+	if *sharePrefix != "" {
+		if *shareTo == "" {
+			log.Fatal("sf-webfs: -share-prefix needs -share-to")
+		}
+		recipient, err := principal.Parse(*shareTo)
+		if err != nil {
+			log.Fatalf("sf-webfs: recipient: %v", err)
+		}
+		c, err := webfs.ShareSubtree(priv, ownerHash, recipient, *service, *sharePrefix, *shareTTL)
+		if err != nil {
+			log.Fatalf("sf-webfs: %v", err)
+		}
+		fmt.Println(string(c.Sexp().Transport()))
+		return
+	}
+
+	srv := webfs.New(ownerHash, *service, os.DirFS(*root))
+	log.Printf("sf-webfs: serving %s on %s; controlled by %s", *root, *addr, ownerHash)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

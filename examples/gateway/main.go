@@ -1,0 +1,121 @@
+// Gateway demo: the full section 6.3 configuration crossing all four
+// boundaries — an HTTP client, a quoting gateway, and an RMI email
+// database, each holding distinct keys, with the database making the
+// final access-control decision on a proof that names everyone
+// involved.
+//
+// Run: go run ./examples/gateway
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/channel/secure"
+	"repro/internal/core"
+	"repro/internal/emaildb"
+	"repro/internal/gateway"
+	"repro/internal/httpauth"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+)
+
+func main() {
+	// --- The database server (one administrative domain) -----------
+	dbKey, err := sfkey.Generate()
+	check(err)
+	dbIssuer := principal.KeyOf(dbKey.Public())
+	svc, err := emaildb.NewService()
+	check(err)
+	for i, m := range []emaildb.Message{
+		{Owner: "alice", Folder: "inbox", From: "bob@x", To: "alice", Subject: "lunch?", Date: time.Now().Add(-time.Hour)},
+		{Owner: "alice", Folder: "inbox", From: "carol@y", To: "alice", Subject: "budget", Date: time.Now()},
+		{Owner: "bob", Folder: "inbox", From: "eve@z", To: "bob", Subject: "private to bob", Date: time.Now()},
+	} {
+		var r emaildb.InsertReply
+		check(svc.Insert(emaildb.InsertArgs{Msg: m}, &r))
+		_ = i
+	}
+	dbSrv := rmi.NewServer()
+	check(emaildb.Register(dbSrv, svc, dbIssuer))
+	lis, err := secure.Listen("127.0.0.1:0", &secure.Identity{Priv: dbKey})
+	check(err)
+	defer lis.Close()
+	go dbSrv.Serve(lis)
+	fmt.Println("database:", lis.Addr(), "issuer", dbIssuer)
+
+	// --- The gateway (a different party) -----------------------------
+	gwKey, err := sfkey.Generate()
+	check(err)
+	gpv := gateway.NewProver(gwKey)
+	chanID, err := secure.NewIdentity()
+	check(err)
+	gpv.AddClosure(prover.NewKeyClosure(chanID.Priv))
+	dbClient, err := rmi.Dial(secure.Dialer{ID: chanID}, lis.Addr().String(), gpv)
+	check(err)
+	defer dbClient.Close()
+	gw := gateway.New(gwKey, dbClient, dbIssuer, gpv)
+	gwHTTP := httptest.NewServer(gw)
+	defer gwHTTP.Close()
+	fmt.Println("gateway: ", gwHTTP.URL, "key", gwKey.Public().Fingerprint())
+
+	// --- Alice (a third domain) --------------------------------------
+	aliceKey, err := sfkey.Generate()
+	check(err)
+	alice := principal.KeyOf(aliceKey.Public())
+	// The database owner delegated alice's mailbox to her key.
+	grant, err := cert.Delegate(dbKey, alice, dbIssuer, emaildb.OwnerTag("alice"), core.Forever)
+	check(err)
+	apv := prover.New()
+	apv.AddClosure(prover.NewKeyClosure(aliceKey))
+	apv.AddProof(grant)
+	client := httpauth.NewClient(apv, alice)
+
+	// Alice reads her mailbox through the gateway: HTTP in front, the
+	// gateway quoting her over RMI behind, the database deciding.
+	resp, err := client.Get(gwHTTP.URL + "/mail?owner=alice&folder=inbox")
+	check(err)
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	resp.Body.Close()
+	fmt.Println("\nalice's mailbox via the gateway:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.Contains(line, "<td>") {
+			fmt.Println(" ", line)
+		}
+	}
+
+	// The gateway cannot be tricked into crossing mailboxes: it quotes
+	// alice, and the database refuses her quoted authority over bob.
+	resp2, err := client.Get(gwHTTP.URL + "/mail?owner=bob")
+	if err != nil {
+		fmt.Println("\nalice->bob denied (client could not build a proof):", trim(err.Error()))
+	} else {
+		defer resp2.Body.Close()
+		fmt.Println("\nalice->bob response status:", resp2.StatusCode, "(403 expected)")
+	}
+
+	st := gw.Stats()
+	fmt.Printf("\ngateway stats: %+v\n", st)
+	fmt.Println("four boundaries crossed: administrative, network scale (secure channel), abstraction (rows->mailbox), protocol (HTTP->RMI)")
+}
+
+func trim(s string) string {
+	if len(s) > 100 {
+		return s[:100] + "..."
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Localrmi: the colocated configuration of paper section 5.2 — a
+// protected service and its client in the same process, where the
+// trusted host runtime vouches for channel endpoints and the fast
+// path carries no encryption, only serialization. The authorization
+// structure (delegation, proof, checkAuth) is identical to the
+// network case; only the hop-by-hop mechanism changed.
+//
+// Run: go run ./examples/localrmi
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/channel/local"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// Counter is a tiny protected service.
+type Counter struct{ n int }
+
+// BumpArgs selects the increment.
+type BumpArgs struct{ By int }
+
+// BumpReply returns the new value.
+type BumpReply struct{ Value int }
+
+// Bump increments the counter.
+func (c *Counter) Bump(args BumpArgs, reply *BumpReply) error {
+	c.n += args.By
+	reply.Value = c.n
+	return nil
+}
+
+func main() {
+	host := local.NewHost()
+
+	// Server side: a protected object controlled by the server key.
+	serverKey, err := sfkey.Generate()
+	check(err)
+	issuer := principal.KeyOf(serverKey.Public())
+	srv := rmi.NewServer()
+	check(srv.Register("counter", &Counter{}, issuer, nil))
+	lis, err := host.Listen("counter-svc", serverKey.Public())
+	check(err)
+	defer lis.Close()
+	go srv.Serve(lis)
+
+	// Client side, same process: a user key plus a channel key the
+	// host vouches for.
+	userKey, err := sfkey.Generate()
+	check(err)
+	chanKey, err := sfkey.Generate()
+	check(err)
+	user := principal.KeyOf(userKey.Public())
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(userKey))
+	grant, err := cert.Delegate(serverKey, user, issuer, rmi.ObjectTag("counter"), core.Forever)
+	check(err)
+	pv.AddProof(grant)
+
+	client, err := rmi.Dial(local.Dialer{Host: host, Key: chanKey.Public()}, "counter-svc", pv)
+	check(err)
+	defer client.Close()
+
+	start := time.Now()
+	var reply BumpReply
+	for i := 0; i < 5; i++ {
+		check(client.Call("counter", "Bump", BumpArgs{By: i + 1}, &reply))
+		fmt.Printf("bump %d -> %d\n", i+1, reply.Value)
+	}
+	fmt.Printf("5 authorized calls over the local channel in %v (no encryption on the path)\n",
+		time.Since(start).Round(time.Microsecond))
+
+	// Authority is still enforced: a stranger in the same process is
+	// refused by the same checkAuth.
+	strangerKey, err := sfkey.Generate()
+	check(err)
+	spv := prover.New()
+	spv.AddClosure(prover.NewKeyClosure(strangerKey))
+	sc, err := rmi.Dial(local.Dialer{Host: host, Key: strangerKey.Public()}, "counter-svc", spv)
+	check(err)
+	defer sc.Close()
+	if err := sc.Call("counter", "Bump", BumpArgs{By: 100}, &reply); err != nil {
+		fmt.Println("stranger denied as expected")
+	}
+
+	// Restriction still narrows: a read-only style grant cannot bump.
+	ro, err := cert.Delegate(serverKey, principal.KeyOf(strangerKey.Public()), issuer,
+		tag.ListOf(tag.Literal("rmi"), tag.ListOf(tag.Literal("object"), tag.Literal("other"))),
+		core.Forever)
+	check(err)
+	spv.AddProof(ro)
+	if err := sc.Call("counter", "Bump", BumpArgs{By: 100}, &reply); err != nil {
+		fmt.Println("out-of-scope grant denied as expected")
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Webshare: sharing a protected web page across an administrative
+// boundary (paper sections 2.1 and 6.1). Alice runs a protected file
+// server controlled by the hash of her key; she hands Bob a
+// delegation for one subtree; Bob's authorizing client follows the
+// Snowflake HTTP challenge protocol and reads the page. No account
+// was created, no password shared, and the server never heard of Bob.
+//
+// Run: go run ./examples/webshare
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http/httptest"
+	"testing/fstest"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/httpauth"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+	"repro/internal/webfs"
+)
+
+func main() {
+	// Alice's domain: a file server controlled by H(K_alice).
+	aliceKey, err := sfkey.Generate()
+	check(err)
+	ownerHash := principal.HashOfKey(aliceKey.Public())
+	fsys := fstest.MapFS{
+		"pub/paper.txt": {Data: []byte("end-to-end authorization, 2000")},
+		"pub/notes.txt": {Data: []byte("snowflake design notes")},
+		"private/diary": {Data: []byte("alice's private diary")},
+	}
+	server := webfs.New(ownerHash, "alice-files", fsys)
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+	fmt.Println("alice's server:", ts.URL, "controlled by", ownerHash)
+
+	// Bob, in a different administrative domain, has only a key pair.
+	bobKey, err := sfkey.Generate()
+	check(err)
+	bob := principal.KeyOf(bobKey.Public())
+
+	// Alice delegates /pub/ to Bob for an hour — the "delegate" link
+	// of the proxy UI (section 5.3.5) produces exactly this object.
+	share, err := webfs.ShareSubtree(aliceKey, ownerHash, bob, "alice-files", "/pub/", time.Hour)
+	check(err)
+	fmt.Println("delegation issued:", share.Conclusion())
+
+	// Bob imports the delegation into his prover and reads the page.
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(bobKey))
+	pv.AddProof(share)
+	client := httpauth.NewClient(pv, bob)
+
+	resp, err := client.Get(ts.URL + "/pub/paper.txt")
+	check(err)
+	body, err := io.ReadAll(resp.Body)
+	check(err)
+	resp.Body.Close()
+	fmt.Printf("bob read /pub/paper.txt: %q\n", body)
+
+	// The restriction is enforced end to end: the same proof machinery
+	// refuses the private subtree.
+	if _, err := client.Get(ts.URL + "/private/diary"); err != nil {
+		fmt.Println("bob denied /private/diary as expected")
+	}
+
+	// Bob re-delegates a single file to Carol without consulting
+	// Alice; the chain intersects the restrictions. Bob signs over his
+	// key principal so the proof chains carol => bob => H(K_alice).
+	carolKey, err := sfkey.Generate()
+	check(err)
+	carol := principal.KeyOf(carolKey.Public())
+	fileTag := tag.ListOf(
+		tag.Literal("web"),
+		tag.ListOf(tag.Literal("method"), tag.Literal("GET")),
+		tag.ListOf(tag.Literal("service"), tag.Literal("alice-files")),
+		tag.ListOf(tag.Literal("resourcePath"), tag.Literal("/pub/notes.txt")),
+	)
+	carolGrant, err := cert.Delegate(bobKey, carol, bob, fileTag, core.Until(time.Now().Add(time.Hour)))
+	check(err)
+	cpv := prover.New()
+	cpv.AddClosure(prover.NewKeyClosure(carolKey))
+	cpv.AddProof(share)
+	cpv.AddProof(carolGrant)
+	cclient := httpauth.NewClient(cpv, carol)
+	resp, err = cclient.Get(ts.URL + "/pub/notes.txt")
+	if err != nil {
+		fmt.Println("carol denied (chain incomplete):", err)
+	} else {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("carol read via two-step chain: %q\n", b)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The baseline servers of section 7: a minimal hand-rolled HTTP
+// server standing in for the paper's C client + Apache pair, net/http
+// standing in for the convenient Java + Jetty pair, and crypto/tls
+// standing in for SSL (PureTLS/OpenSSL).
+
+// Document is the payload every baseline serves.
+var Document = []byte(strings.Repeat("snowflake end-to-end authorization\n", 30))
+
+// --- "C" baseline: raw-TCP minimal HTTP --------------------------------
+
+// MinHTTPServer is a minimal HTTP/1.0 server: one request per
+// connection, no parsing beyond the request line.
+type MinHTTPServer struct {
+	l net.Listener
+}
+
+// StartMinHTTP serves Document on a loopback port.
+func StartMinHTTP() (*MinHTTPServer, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &MinHTTPServer{l: l}
+	go s.loop()
+	return s, nil
+}
+
+func (s *MinHTTPServer) loop() {
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		go serveMinConn(c)
+	}
+}
+
+func serveMinConn(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		// Swallow headers until the blank line.
+		for {
+			h, err := br.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if h == "\r\n" || h == "\n" {
+				break
+			}
+		}
+		if !strings.HasPrefix(line, "GET") {
+			fmt.Fprintf(c, "HTTP/1.0 400 Bad Request\r\n\r\n")
+			return
+		}
+		fmt.Fprintf(c, "HTTP/1.0 200 OK\r\nContent-Length: %d\r\nConnection: close\r\n\r\n", len(Document))
+		c.Write(Document)
+		return
+	}
+}
+
+// Addr returns the listen address.
+func (s *MinHTTPServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server.
+func (s *MinHTTPServer) Close() error { return s.l.Close() }
+
+// MinHTTPGet is the "trivial C client": a raw socket, one GET.
+func MinHTTPGet(addr, path string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "GET %s HTTP/1.0\r\nHost: bench\r\n\r\n", path)
+	_, err = io.Copy(io.Discard, c)
+	return err
+}
+
+// --- "Java+Jetty" baseline: net/http -------------------------------------
+
+// StartStdHTTP serves Document through net/http.
+func StartStdHTTP() (*http.Server, string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(Document)
+	})}
+	go srv.Serve(l)
+	return srv, l.Addr().String(), nil
+}
+
+// --- SSL baseline: crypto/tls ---------------------------------------------
+
+// SelfSignedTLS builds an ephemeral server certificate.
+func SelfSignedTLS() (tls.Certificate, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber: big.NewInt(1),
+		Subject:      pkix.Name{CommonName: "bench"},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		DNSNames:     []string{"localhost"},
+		IPAddresses:  []net.IP{net.ParseIP("127.0.0.1")},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &priv.PublicKey, priv)
+	if err != nil {
+		return tls.Certificate{}, err
+	}
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: priv}, nil
+}
+
+// TLSServer is the minimal server over TLS (the "Apache+SSL" analog).
+type TLSServer struct {
+	l net.Listener
+}
+
+// StartMinTLS serves Document over TLS with hand-rolled HTTP.
+func StartMinTLS(cert tls.Certificate) (*TLSServer, error) {
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}}
+	l, err := tls.Listen("tcp", "127.0.0.1:0", cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &TLSServer{l: l}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go serveKeepAlive(c)
+		}
+	}()
+	return s, nil
+}
+
+// serveKeepAlive answers GETs on one connection until it closes.
+func serveKeepAlive(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		for {
+			h, err := br.ReadString('\n')
+			if err != nil {
+				return
+			}
+			if h == "\r\n" || h == "\n" {
+				break
+			}
+		}
+		if !strings.HasPrefix(line, "GET") {
+			return
+		}
+		oneShot := strings.Contains(line, "HTTP/1.0")
+		proto := "HTTP/1.1"
+		if oneShot {
+			proto = "HTTP/1.0"
+		}
+		fmt.Fprintf(c, "%s 200 OK\r\nContent-Length: %d\r\n\r\n", proto, len(Document))
+		if _, err := c.Write(Document); err != nil {
+			return
+		}
+		if oneShot {
+			return
+		}
+	}
+}
+
+// Addr returns the listen address.
+func (s *TLSServer) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server.
+func (s *TLSServer) Close() error { return s.l.Close() }
+
+// StartStdTLS serves Document through net/http over TLS (the
+// "Jetty+SSL" analog).
+func StartStdTLS(cert tls.Certificate) (*http.Server, string, error) {
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}}
+	l, err := tls.Listen("tcp", "127.0.0.1:0", cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(Document)
+	})}
+	go srv.Serve(l)
+	return srv, l.Addr().String(), nil
+}
+
+// TLSGet performs one GET over a dedicated TLS connection; cache
+// non-nil enables session resumption ("cached sess."), nil pays the
+// full handshake ("new sess.").
+func TLSGet(addr string, cache tls.ClientSessionCache) error {
+	cfg := &tls.Config{InsecureSkipVerify: true, ClientSessionCache: cache}
+	c, err := tls.Dial("tcp", addr, cfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "GET / HTTP/1.0\r\nHost: bench\r\n\r\n")
+	_, err = io.Copy(io.Discard, c)
+	if err == io.ErrUnexpectedEOF {
+		err = nil
+	}
+	return err
+}
+
+// KeepAliveTLSConn opens one long-lived TLS connection for
+// per-request measurements.
+type KeepAliveTLSConn struct {
+	c  *tls.Conn
+	br *bufio.Reader
+}
+
+// DialKeepAliveTLS connects once.
+func DialKeepAliveTLS(addr string) (*KeepAliveTLSConn, error) {
+	c, err := tls.Dial("tcp", addr, &tls.Config{InsecureSkipVerify: true})
+	if err != nil {
+		return nil, err
+	}
+	return &KeepAliveTLSConn{c: c, br: bufio.NewReader(c)}, nil
+}
+
+// Get issues one GET on the standing connection.
+func (k *KeepAliveTLSConn) Get() error {
+	if _, err := fmt.Fprintf(k.c, "GET / HTTP/1.1\r\nHost: bench\r\n\r\n"); err != nil {
+		return err
+	}
+	// Read the status line and headers, then the body by length.
+	var contentLen int
+	line, err := k.br.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(line, "200") {
+		return fmt.Errorf("bench: bad status %q", line)
+	}
+	for {
+		h, err := k.br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if h == "\r\n" || h == "\n" {
+			break
+		}
+		if n, ok := strings.CutPrefix(h, "Content-Length: "); ok {
+			fmt.Sscanf(n, "%d", &contentLen)
+		}
+	}
+	_, err = io.CopyN(io.Discard, k.br, int64(contentLen))
+	return err
+}
+
+// Close tears the connection down.
+func (k *KeepAliveTLSConn) Close() error { return k.c.Close() }

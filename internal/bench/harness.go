@@ -1,0 +1,238 @@
+// Package bench is the measurement harness that regenerates every
+// table and figure of the paper's evaluation (section 7). It follows
+// the experimental method of section 7.1: repeated runs with the
+// first discarded so caches are warm (except where setup cost is the
+// object of measurement), re-running when the coefficient of
+// variation exceeds 0.1, and reporting values to two significant
+// figures.
+//
+// Absolute numbers shift by orders of magnitude between a 270 MHz
+// Ultra 5 on 10 Mbps Ethernet and a modern machine on loopback; the
+// harness therefore reports, next to each measurement, the paper's
+// value and the within-figure ratios, which are the reproducible
+// shape (DESIGN.md section 3).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Row is one bar or line of a figure/table.
+type Row struct {
+	// Group labels the cluster ("SSL", "Sf client auth", ...).
+	Group string
+	// Name labels the bar.
+	Name string
+	// PaperMs is the paper's reported value in milliseconds (NaN when
+	// the paper gives none).
+	PaperMs float64
+	// MeasuredMs is our measured per-operation value in milliseconds.
+	MeasuredMs float64
+}
+
+// Figure is a named collection of rows.
+type Figure struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// Options tunes measurement effort; the benchmark binary uses larger
+// values than the unit tests.
+type Options struct {
+	// Runs is the number of timed runs (after the discarded warm-up).
+	Runs int
+	// Iters is the number of operations per run.
+	Iters int
+	// MaxRetries bounds CoV-triggered re-runs.
+	MaxRetries int
+}
+
+// DefaultOptions mirror section 7.1 at laptop scale.
+var DefaultOptions = Options{Runs: 5, Iters: 30, MaxRetries: 3}
+
+// QuickOptions keep unit tests fast.
+var QuickOptions = Options{Runs: 3, Iters: 5, MaxRetries: 1}
+
+// PerOp times op following the paper's method and returns the mean
+// per-operation cost. The first run is discarded so caches are warm;
+// when the coefficient of variation across runs exceeds 0.1 the
+// experiment re-runs (section 7.1).
+func PerOp(o Options, op func() error) (time.Duration, error) {
+	if o.Runs <= 0 || o.Iters <= 0 {
+		o = DefaultOptions
+	}
+	for attempt := 0; ; attempt++ {
+		// Warm-up run, discarded.
+		if err := runBatch(o.Iters, op); err != nil {
+			return 0, err
+		}
+		samples := make([]float64, 0, o.Runs)
+		for r := 0; r < o.Runs; r++ {
+			start := time.Now()
+			if err := runBatch(o.Iters, op); err != nil {
+				return 0, err
+			}
+			samples = append(samples, float64(time.Since(start))/float64(o.Iters))
+		}
+		mean, cov := meanCoV(samples)
+		if cov <= 0.1 || attempt >= o.MaxRetries {
+			return time.Duration(mean), nil
+		}
+	}
+}
+
+// PerOpCold measures an operation whose setup cost is the object:
+// no warm-up, each iteration pays the cold path.
+func PerOpCold(o Options, op func() error) (time.Duration, error) {
+	if o.Runs <= 0 || o.Iters <= 0 {
+		o = DefaultOptions
+	}
+	n := o.Runs * o.Iters
+	start := time.Now()
+	if err := runBatch(n, op); err != nil {
+		return 0, err
+	}
+	return time.Duration(float64(time.Since(start)) / float64(n)), nil
+}
+
+func runBatch(n int, op func() error) error {
+	for i := 0; i < n; i++ {
+		if err := op(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func meanCoV(samples []float64) (mean, cov float64) {
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	if mean == 0 {
+		return 0, 0
+	}
+	var varsum float64
+	for _, s := range samples {
+		d := s - mean
+		varsum += d * d
+	}
+	sd := math.Sqrt(varsum / float64(len(samples)))
+	return mean, sd / mean
+}
+
+// LinearFit returns slope and intercept of a least-squares fit; the
+// bandwidth experiments separate copy cost (slope) from setup cost
+// (intercept) this way (section 7.1).
+func LinearFit(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept
+}
+
+// Ms converts a duration to float milliseconds.
+func Ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// two renders to two significant figures (section 7.1).
+func two(v float64) string {
+	if v == 0 || math.IsNaN(v) {
+		return "-"
+	}
+	mag := math.Floor(math.Log10(math.Abs(v)))
+	scale := math.Pow(10, mag-1)
+	r := math.Round(v/scale) * scale
+	switch {
+	case r >= 100:
+		return fmt.Sprintf("%.0f", r)
+	case r >= 10:
+		return fmt.Sprintf("%.0f", r)
+	case r >= 1:
+		return fmt.Sprintf("%.1f", r)
+	default:
+		return fmt.Sprintf("%.3f", r)
+	}
+}
+
+// Render formats a figure as an aligned text table with paper and
+// measured columns plus within-figure ratios to the first row.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-22s %-16s %12s %14s %10s %10s\n",
+		"group", "variant", "paper (ms)", "measured (ms)", "paper ×", "meas ×")
+	var baseP, baseM float64
+	for i, r := range f.Rows {
+		if i == 0 {
+			baseP, baseM = r.PaperMs, r.MeasuredMs
+		}
+		ratioP, ratioM := "-", "-"
+		if baseP > 0 && !math.IsNaN(r.PaperMs) {
+			ratioP = two(r.PaperMs / baseP)
+		}
+		if baseM > 0 {
+			ratioM = two(r.MeasuredMs / baseM)
+		}
+		paper := "-"
+		if !math.IsNaN(r.PaperMs) {
+			paper = two(r.PaperMs)
+		}
+		fmt.Fprintf(&b, "%-22s %-16s %12s %14s %10s %10s\n",
+			r.Group, r.Name, paper, two(r.MeasuredMs), ratioP, ratioM)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CheckShape verifies the qualitative claims of a figure: that rows
+// ordered by the paper's values are ordered the same way in our
+// measurements (within a tolerance factor). It returns the violations.
+func (f *Figure) CheckShape(withinGroup bool) []string {
+	var violations []string
+	rows := f.Rows
+	byGroup := map[string][]Row{}
+	if withinGroup {
+		for _, r := range rows {
+			byGroup[r.Group] = append(byGroup[r.Group], r)
+		}
+	} else {
+		byGroup[""] = rows
+	}
+	for g, rs := range byGroup {
+		sorted := append([]Row(nil), rs...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].PaperMs < sorted[j].PaperMs })
+		for i := 1; i < len(sorted); i++ {
+			a, b := sorted[i-1], sorted[i]
+			if math.IsNaN(a.PaperMs) || math.IsNaN(b.PaperMs) {
+				continue
+			}
+			// Paper says a <= b; allow measured b to undercut a by up
+			// to 20% before calling it a shape violation.
+			if b.MeasuredMs < a.MeasuredMs*0.8 {
+				violations = append(violations,
+					fmt.Sprintf("%s/%s: paper %s<=%s but measured %.3fms > %.3fms",
+						g, f.ID, a.Name, b.Name, a.MeasuredMs, b.MeasuredMs))
+			}
+		}
+	}
+	return violations
+}

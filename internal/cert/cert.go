@@ -1,0 +1,194 @@
+// Package cert implements signed certificates: the leaf proofs of the
+// Snowflake logic. A certificate encodes a SpeaksFor statement and a
+// digital signature by the key controlling the statement's issuer;
+// verifying the signature justifies the logical assumption "K says
+// (Subject speaks for Issuer regarding T)" (paper section 3).
+//
+// SPKI's revocation mechanisms — certificate revocation lists and
+// one-time revalidations — are expressed as statements consulted
+// during verification (section 4.1).
+package cert
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sexp"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// RuleSignedCert is the wire name of the certificate proof leaf
+// ("signed-certificate" in the paper's Figure 1).
+const RuleSignedCert = "signed-certificate"
+
+func init() {
+	core.RegisterLeafDecoder(RuleSignedCert, decodeCert)
+}
+
+// Cert is a signed delegation. It implements core.Proof, so a bare
+// certificate is already a one-step proof.
+type Cert struct {
+	// Body is the delegation statement.
+	Body core.SpeaksFor
+	// Signer is the public key whose signature backs the statement.
+	// The body's issuer must be rooted at this key (the key itself,
+	// its hash, or a name based on either).
+	Signer sfkey.PublicKey
+	// RevalidateAt optionally names a one-time revalidation service
+	// the verifier must consult (SPKI revalidation).
+	RevalidateAt string
+	// Signature signs the canonical signing body.
+	Signature []byte
+}
+
+// Sign issues a certificate for body with the given private key. The
+// body's issuer must be rooted at the signing key: a key cannot give
+// away another principal's authority.
+func Sign(priv *sfkey.PrivateKey, body core.SpeaksFor) (*Cert, error) {
+	return SignWithRevalidation(priv, body, "")
+}
+
+// SignWithRevalidation issues a certificate that demands one-time
+// revalidation at the named service before each first use.
+func SignWithRevalidation(priv *sfkey.PrivateKey, body core.SpeaksFor, revalidateAt string) (*Cert, error) {
+	pub := priv.Public()
+	if !issuerRootedAt(body.Issuer, pub) {
+		return nil, fmt.Errorf("cert: issuer %s is not rooted at signing key %s",
+			body.Issuer, pub.Fingerprint())
+	}
+	c := &Cert{Body: body, Signer: pub, RevalidateAt: revalidateAt}
+	c.Signature = priv.Sign(c.signingBytes())
+	return c, nil
+}
+
+// issuerRootedAt reports whether the statement's issuer is controlled
+// by the signing key: the key itself, its hash, or a name rooted at
+// either.
+func issuerRootedAt(iss principal.Principal, pub sfkey.PublicKey) bool {
+	switch p := iss.(type) {
+	case principal.Key:
+		return p.Pub.Equal(pub)
+	case principal.Hash:
+		return principal.HashMatchesKey(p, pub)
+	case principal.Name:
+		return issuerRootedAt(p.Base, pub)
+	default:
+		return false
+	}
+}
+
+// signingBytes returns the canonical octets covered by the signature:
+// the body statement plus the revalidation demand, so neither can be
+// altered or stripped.
+func (c *Cert) signingBytes() []byte {
+	kids := []*sexp.Sexp{sexp.String("cert-body"), c.Body.Sexp()}
+	if c.RevalidateAt != "" {
+		kids = append(kids, sexp.List(sexp.String("revalidate"), sexp.String(c.RevalidateAt)))
+	}
+	return sexp.List(kids...).Canonical()
+}
+
+// Hash identifies the certificate for revocation purposes: the hash
+// of its signed body.
+func (c *Cert) Hash() []byte {
+	return sfkey.HashBytes(c.signingBytes())
+}
+
+// Conclusion implements core.Proof.
+func (c *Cert) Conclusion() core.SpeaksFor { return c.Body }
+
+// Children implements core.Proof; a certificate is a leaf.
+func (c *Cert) Children() []core.Proof { return nil }
+
+// Verify implements core.Proof: it checks the signature, the issuer
+// rooting, the revocation state, and any revalidation demand.
+// Expiration is not checked here — validity is part of the statement,
+// and request matching (core.Authorize) enforces it.
+func (c *Cert) Verify(ctx *core.VerifyContext) error {
+	if !issuerRootedAt(c.Body.Issuer, c.Signer) {
+		return fmt.Errorf("cert: issuer %s not rooted at signer %s", c.Body.Issuer, c.Signer.Fingerprint())
+	}
+	if !c.Signer.Verify(c.signingBytes(), c.Signature) {
+		return fmt.Errorf("cert: bad signature by %s", c.Signer.Fingerprint())
+	}
+	if ctx.Revoked != nil && ctx.Revoked(c.Hash()) {
+		return fmt.Errorf("cert: certificate revoked")
+	}
+	if c.RevalidateAt != "" {
+		if ctx.Revalidate == nil {
+			return fmt.Errorf("cert: certificate demands revalidation at %q but verifier has no revalidator", c.RevalidateAt)
+		}
+		if err := ctx.Revalidate(c.Hash(), c.RevalidateAt); err != nil {
+			return fmt.Errorf("cert: revalidation failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sexp implements core.Proof.
+func (c *Cert) Sexp() *sexp.Sexp {
+	kids := []*sexp.Sexp{
+		sexp.String("proof"),
+		sexp.String(RuleSignedCert),
+		c.Body.Sexp(),
+		sexp.List(sexp.String("signer"), c.Signer.Sexp()),
+		sexp.List(sexp.String("signature"), sexp.Atom(c.Signature)),
+	}
+	if c.RevalidateAt != "" {
+		kids = append(kids, sexp.List(sexp.String("revalidate"), sexp.String(c.RevalidateAt)))
+	}
+	return sexp.List(kids...)
+}
+
+func decodeCert(e *sexp.Sexp) (core.Proof, error) {
+	if e.Len() < 5 {
+		return nil, fmt.Errorf("cert: malformed signed-certificate proof")
+	}
+	body, err := core.SpeaksForFromSexp(e.Nth(2))
+	if err != nil {
+		return nil, fmt.Errorf("cert: body: %w", err)
+	}
+	signerE := e.Child("signer")
+	sigE := e.Child("signature")
+	if signerE == nil || signerE.Len() != 2 || sigE == nil || sigE.Len() != 2 || !sigE.Nth(1).IsAtom() {
+		return nil, fmt.Errorf("cert: missing signer or signature")
+	}
+	pub, err := sfkey.PublicFromSexp(signerE.Nth(1))
+	if err != nil {
+		return nil, fmt.Errorf("cert: signer: %w", err)
+	}
+	c := &Cert{
+		Body:      body,
+		Signer:    pub,
+		Signature: append([]byte(nil), sigE.Nth(1).Octets...),
+	}
+	if rv := e.Child("revalidate"); rv != nil {
+		if rv.Len() != 2 || !rv.Nth(1).IsAtom() {
+			return nil, fmt.Errorf("cert: malformed revalidate clause")
+		}
+		c.RevalidateAt = rv.Nth(1).Text()
+	}
+	return c, nil
+}
+
+// Delegate is the everyday convenience used across the system: priv's
+// key delegates to subject the authority to speak for issuer (usually
+// priv's own key principal) regarding t within v.
+func Delegate(priv *sfkey.PrivateKey, subject, issuer principal.Principal, t tag.Tag, v core.Validity) (*Cert, error) {
+	return Sign(priv, core.SpeaksFor{Subject: subject, Issuer: issuer, Tag: t, Validity: v})
+}
+
+// SelfIssuer returns the key principal for priv, the usual issuer of
+// its delegations.
+func SelfIssuer(priv *sfkey.PrivateKey) principal.Key {
+	return principal.KeyOf(priv.Public())
+}
+
+// Equal reports whether two certificates are byte-identical.
+func (c *Cert) Equal(o *Cert) bool {
+	return o != nil && bytes.Equal(c.signingBytes(), o.signingBytes()) &&
+		bytes.Equal(c.Signature, o.Signature)
+}

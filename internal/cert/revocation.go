@@ -1,0 +1,179 @@
+package cert
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sexp"
+	"repro/internal/sfkey"
+)
+
+// RevocationList is a signed statement by an issuing key that the
+// listed certificates (identified by their body hashes) are void. Its
+// validity window bounds the list's freshness, mirroring SPKI CRL
+// semantics expressed in the logic (section 4.1).
+type RevocationList struct {
+	Signer    sfkey.PublicKey
+	Hashes    [][]byte
+	Validity  core.Validity
+	Signature []byte
+}
+
+// NewRevocationList signs a CRL voiding the given certificate hashes.
+func NewRevocationList(priv *sfkey.PrivateKey, v core.Validity, hashes ...[]byte) *RevocationList {
+	rl := &RevocationList{Signer: priv.Public(), Validity: v}
+	for _, h := range hashes {
+		rl.Hashes = append(rl.Hashes, append([]byte(nil), h...))
+	}
+	rl.Signature = priv.Sign(rl.signingBytes())
+	return rl
+}
+
+func (rl *RevocationList) signingBytes() []byte {
+	kids := []*sexp.Sexp{sexp.String("crl-body")}
+	if v := rl.Validity.Sexp(); v != nil {
+		kids = append(kids, v)
+	}
+	for _, h := range rl.Hashes {
+		kids = append(kids, sexp.Atom(h))
+	}
+	return sexp.List(kids...).Canonical()
+}
+
+// Verify checks the CRL signature.
+func (rl *RevocationList) Verify() error {
+	if !rl.Signer.Verify(rl.signingBytes(), rl.Signature) {
+		return fmt.Errorf("cert: bad CRL signature")
+	}
+	return nil
+}
+
+// Sexp encodes the CRL for transfer.
+func (rl *RevocationList) Sexp() *sexp.Sexp {
+	kids := []*sexp.Sexp{
+		sexp.String("crl"),
+		sexp.List(sexp.String("signer"), rl.Signer.Sexp()),
+		sexp.List(sexp.String("signature"), sexp.Atom(rl.Signature)),
+	}
+	if v := rl.Validity.Sexp(); v != nil {
+		kids = append(kids, v)
+	}
+	for _, h := range rl.Hashes {
+		kids = append(kids, sexp.List(sexp.String("revoked"), sexp.Atom(h)))
+	}
+	return sexp.List(kids...)
+}
+
+// RevocationListFromSexp decodes a CRL.
+func RevocationListFromSexp(e *sexp.Sexp) (*RevocationList, error) {
+	if e == nil || e.Tag() != "crl" {
+		return nil, fmt.Errorf("cert: not a crl expression")
+	}
+	signerE := e.Child("signer")
+	sigE := e.Child("signature")
+	if signerE == nil || signerE.Len() != 2 || sigE == nil || sigE.Len() != 2 {
+		return nil, fmt.Errorf("cert: crl missing signer or signature")
+	}
+	pub, err := sfkey.PublicFromSexp(signerE.Nth(1))
+	if err != nil {
+		return nil, err
+	}
+	v, err := core.ValidityFromSexp(e.Child("valid"))
+	if err != nil {
+		return nil, err
+	}
+	rl := &RevocationList{
+		Signer:    pub,
+		Validity:  v,
+		Signature: append([]byte(nil), sigE.Nth(1).Octets...),
+	}
+	for i := 1; i < e.Len(); i++ {
+		c := e.Nth(i)
+		if c.Tag() == "revoked" && c.Len() == 2 && c.Nth(1).IsAtom() {
+			rl.Hashes = append(rl.Hashes, append([]byte(nil), c.Nth(1).Octets...))
+		}
+	}
+	return rl, nil
+}
+
+// RevocationStore aggregates verified CRLs and answers the
+// VerifyContext.Revoked query. It is safe for concurrent use.
+type RevocationStore struct {
+	mu    sync.RWMutex
+	lists []*RevocationList
+}
+
+// NewRevocationStore returns an empty store.
+func NewRevocationStore() *RevocationStore { return &RevocationStore{} }
+
+// Add verifies and installs a CRL.
+func (s *RevocationStore) Add(rl *RevocationList) error {
+	if err := rl.Verify(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lists = append(s.lists, rl)
+	return nil
+}
+
+// Checker returns the Revoked callback for a VerifyContext. A
+// certificate counts as revoked when any CRL fresh at the context's
+// verification time lists its hash.
+func (s *RevocationStore) Checker(ctx *core.VerifyContext) func([]byte) bool {
+	return func(h []byte) bool {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		for _, rl := range s.lists {
+			if !rl.Validity.Contains(ctx.At()) {
+				continue
+			}
+			for _, rh := range rl.Hashes {
+				if bytes.Equal(rh, h) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+// Revalidator is a trivial in-process one-time revalidation service:
+// certificates registered as suspended fail revalidation. Real
+// deployments would consult the issuer over a channel; the interface
+// to the verifier is identical.
+type Revalidator struct {
+	mu        sync.RWMutex
+	suspended map[string]bool
+}
+
+// NewRevalidator returns a service that confirms everything.
+func NewRevalidator() *Revalidator {
+	return &Revalidator{suspended: make(map[string]bool)}
+}
+
+// Suspend marks a certificate hash as no longer confirmable.
+func (r *Revalidator) Suspend(certHash []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.suspended[string(certHash)] = true
+}
+
+// Restore lifts a suspension.
+func (r *Revalidator) Restore(certHash []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.suspended, string(certHash))
+}
+
+// Revalidate implements the VerifyContext.Revalidate signature.
+func (r *Revalidator) Revalidate(certHash []byte, where string) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.suspended[string(certHash)] {
+		return fmt.Errorf("cert: issuer at %q no longer confirms certificate", where)
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+// Package local implements the paper's local channel (section 5.2):
+// when client and server are colocated, the trusted host runtime that
+// constructed both endpoints vouches for the binding between channel
+// and keys, and the fast path carries no encryption or system-call
+// overhead — only serialization.
+//
+// The paper treats the JVM and a few system classes as the trusted
+// host; here the Go process plays that role through an in-process
+// Host registry that pairs endpoints and swaps the endpoint keys
+// directly.
+package local
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+)
+
+// Host is the trusted in-process registry. The zero value is not
+// usable; call NewHost, or use the package-level Default host.
+type Host struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+	nextID    uint64
+}
+
+// NewHost returns an empty registry.
+func NewHost() *Host {
+	return &Host{listeners: make(map[string]*Listener)}
+}
+
+// Default is the process-wide host registry.
+var Default = NewHost()
+
+// Listen registers a local service under a name. The key identifies
+// the server endpoint on every accepted channel; the host vouches for
+// it because it constructed the endpoint.
+func (h *Host) Listen(name string, key sfkey.PublicKey) (*Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.listeners[name]; exists {
+		return nil, fmt.Errorf("local: %q already bound", name)
+	}
+	l := &Listener{host: h, name: name, key: key, pending: make(chan *Conn, 16)}
+	h.listeners[name] = l
+	return l, nil
+}
+
+// Dial connects to a named local service, presenting the client key.
+// Like a TCP connect against a full backlog, it blocks until the
+// listener accepts or closes.
+func (h *Host) Dial(name string, key sfkey.PublicKey) (conn *Conn, err error) {
+	h.mu.Lock()
+	l, ok := h.listeners[name]
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("local: no service %q", name)
+	}
+	h.nextID++
+	id := h.nextID
+	h.mu.Unlock()
+
+	binding := make([]byte, 8)
+	binary.BigEndian.PutUint64(binding, id)
+
+	a2b, b2a := newBufPipe(), newBufPipe()
+	clientConn := &Conn{r: b2a, w: a2b, localKey: key, peerKey: l.key, binding: binding}
+	serverConn := &Conn{r: a2b, w: b2a, localKey: l.key, peerKey: key, binding: binding}
+	defer func() {
+		// A concurrent Close turns the blocking send into a panic on
+		// the closed channel; report it as a dial failure.
+		if recover() != nil {
+			conn, err = nil, fmt.Errorf("local: %q closed during dial", name)
+		}
+	}()
+	l.pending <- serverConn
+	return clientConn, nil
+}
+
+// Listener accepts local channels.
+type Listener struct {
+	host    *Host
+	name    string
+	key     sfkey.PublicKey
+	pending chan *Conn
+	once    sync.Once
+}
+
+// Accept implements channel.Listener.
+func (l *Listener) Accept() (channel.Conn, error) {
+	c, ok := <-l.pending
+	if !ok {
+		return nil, fmt.Errorf("local: listener %q closed", l.name)
+	}
+	return c, nil
+}
+
+// Close implements channel.Listener.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		l.host.mu.Lock()
+		delete(l.host.listeners, l.name)
+		l.host.mu.Unlock()
+		close(l.pending)
+	})
+	return nil
+}
+
+// Addr implements channel.Listener.
+func (l *Listener) Addr() net.Addr { return localAddr(l.name) }
+
+// Dialer adapts a Host to channel.Dialer.
+type Dialer struct {
+	Host *Host
+	Key  sfkey.PublicKey
+}
+
+// Dial implements channel.Dialer.
+func (d Dialer) Dial(addr string) (channel.Conn, error) {
+	h := d.Host
+	if h == nil {
+		h = Default
+	}
+	return h.Dial(addr, d.Key)
+}
+
+// Conn is one end of a local channel; it implements channel.Conn.
+type Conn struct {
+	r, w     *bufPipe
+	localKey sfkey.PublicKey
+	peerKey  sfkey.PublicKey
+	binding  []byte
+}
+
+var _ channel.Conn = (*Conn)(nil)
+
+// Read implements io.Reader.
+func (c *Conn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// Write implements io.Writer.
+func (c *Conn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+// Close closes both directions.
+func (c *Conn) Close() error {
+	c.w.CloseWrite()
+	c.r.CloseRead()
+	return nil
+}
+
+// PeerKey implements channel.Conn; the binding is vouched by the
+// host, not proven cryptographically.
+func (c *Conn) PeerKey() sfkey.PublicKey { return c.peerKey }
+
+// LocalKey implements channel.Conn.
+func (c *Conn) LocalKey() sfkey.PublicKey { return c.localKey }
+
+// Principal implements channel.Conn.
+func (c *Conn) Principal() principal.Channel {
+	return principal.ChannelOf(principal.ChannelLocal, c.binding)
+}
+
+// Kind implements channel.Conn.
+func (c *Conn) Kind() string { return principal.ChannelLocal }
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return localAddr("local") }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return localAddr("local") }
+
+// SetDeadline implements net.Conn (unsupported, returns nil).
+func (c *Conn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn (unsupported, returns nil).
+func (c *Conn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn (unsupported, returns nil).
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+type localAddr string
+
+func (a localAddr) Network() string { return "local" }
+func (a localAddr) String() string  { return string(a) }
+
+// bufPipe is a buffered unidirectional in-memory byte stream; unlike
+// net.Pipe it does not rendezvous writers with readers, matching the
+// "Java IPC pipe" of section 5.2. Message handoff rides a buffered
+// channel, the cheapest cross-goroutine wakeup Go offers.
+type bufPipe struct {
+	ch       chan []byte
+	closed   chan struct{}
+	once     sync.Once
+	leftover []byte
+}
+
+func newBufPipe() *bufPipe {
+	return &bufPipe{ch: make(chan []byte, 64), closed: make(chan struct{})}
+}
+
+func (p *bufPipe) Write(b []byte) (int, error) {
+	cp := append([]byte(nil), b...)
+	select {
+	case <-p.closed:
+		return 0, io.ErrClosedPipe
+	default:
+	}
+	select {
+	case p.ch <- cp:
+		return len(b), nil
+	case <-p.closed:
+		return 0, io.ErrClosedPipe
+	}
+}
+
+func (p *bufPipe) Read(b []byte) (int, error) {
+	if len(p.leftover) == 0 {
+		select {
+		case chunk := <-p.ch:
+			p.leftover = chunk
+		default:
+			select {
+			case chunk := <-p.ch:
+				p.leftover = chunk
+			case <-p.closed:
+				// Drain anything buffered before reporting EOF.
+				select {
+				case chunk := <-p.ch:
+					p.leftover = chunk
+				default:
+					return 0, io.EOF
+				}
+			}
+		}
+	}
+	n := copy(b, p.leftover)
+	p.leftover = p.leftover[n:]
+	return n, nil
+}
+
+func (p *bufPipe) CloseWrite() { p.once.Do(func() { close(p.closed) }) }
+
+func (p *bufPipe) CloseRead() { p.once.Do(func() { close(p.closed) }) }

@@ -1,0 +1,141 @@
+package local
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/sfkey"
+)
+
+func TestDialAndAccept(t *testing.T) {
+	h := NewHost()
+	skey := sfkey.FromSeed([]byte("server")).Public()
+	ckey := sfkey.FromSeed([]byte("client")).Public()
+	l, err := h.Listen("db", skey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	cc, err := h.Dial("db", ckey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.PeerKey().Equal(skey) {
+		t.Error("client sees wrong server key")
+	}
+	if !sc.PeerKey().Equal(ckey) {
+		t.Error("server sees wrong client key")
+	}
+	if cc.Principal().Key() != sc.Principal().Key() {
+		t.Error("channel principals differ across ends")
+	}
+	if cc.Kind() != "local" {
+		t.Errorf("kind = %q", cc.Kind())
+	}
+}
+
+func TestDataFlow(t *testing.T) {
+	h := NewHost()
+	l, _ := h.Listen("svc", sfkey.FromSeed([]byte("s")).Public())
+	defer l.Close()
+	cc, err := h.Dial("svc", sfkey.FromSeed([]byte("c")).Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := l.Accept()
+	// Buffered pipe: writes complete without a waiting reader.
+	payload := bytes.Repeat([]byte("x"), 1<<16)
+	if _, err := cc.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(sc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted")
+	}
+	// Reply direction.
+	sc.Write([]byte("ack"))
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(cc, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseUnblocksReader(t *testing.T) {
+	h := NewHost()
+	l, _ := h.Listen("svc", sfkey.PublicKey{})
+	defer l.Close()
+	cc, _ := h.Dial("svc", sfkey.PublicKey{})
+	sc, _ := l.Accept()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := sc.Read(buf)
+		done <- err
+	}()
+	cc.Close()
+	if err := <-done; err != io.EOF {
+		t.Fatalf("read after close = %v, want EOF", err)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	h := NewHost()
+	if _, err := h.Dial("missing", sfkey.PublicKey{}); err == nil {
+		t.Fatal("dialing unbound name succeeded")
+	}
+	if _, err := h.Listen("dup", sfkey.PublicKey{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Listen("dup", sfkey.PublicKey{}); err == nil {
+		t.Fatal("double bind succeeded")
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	h := NewHost()
+	l, _ := h.Listen("svc", sfkey.PublicKey{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; err == nil {
+		t.Fatal("Accept returned after close without error")
+	}
+	// Name is released.
+	if _, err := h.Listen("svc", sfkey.PublicKey{}); err != nil {
+		t.Fatalf("name not released: %v", err)
+	}
+}
+
+func TestDialerInterface(t *testing.T) {
+	h := NewHost()
+	l, _ := h.Listen("iface", sfkey.FromSeed([]byte("s")).Public())
+	defer l.Close()
+	d := Dialer{Host: h, Key: sfkey.FromSeed([]byte("c")).Public()}
+	c, err := d.Dial("iface")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+func TestDistinctBindings(t *testing.T) {
+	h := NewHost()
+	l, _ := h.Listen("svc", sfkey.PublicKey{})
+	defer l.Close()
+	c1, _ := h.Dial("svc", sfkey.PublicKey{})
+	c2, _ := h.Dial("svc", sfkey.PublicKey{})
+	if c1.Principal().Key() == c2.Principal().Key() {
+		t.Fatal("two channels share a principal")
+	}
+}

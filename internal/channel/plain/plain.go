@@ -1,0 +1,87 @@
+// Package plain implements an unauthenticated TCP channel: the
+// baseline "basic RMI" transport of the paper's Figure 6. It offers
+// no keys and no protection; its channel principal says only that
+// some network peer spoke.
+package plain
+
+import (
+	"crypto/rand"
+	"net"
+
+	"repro/internal/channel"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+)
+
+// KindPlain names the mechanism.
+const KindPlain = "plain"
+
+// Conn wraps a raw net.Conn as a channel.Conn with no authentication.
+type Conn struct {
+	net.Conn
+	binding []byte
+}
+
+var _ channel.Conn = (*Conn)(nil)
+
+// Wrap makes a plain channel from an existing connection.
+func Wrap(c net.Conn) *Conn {
+	b := make([]byte, 8)
+	rand.Read(b)
+	return &Conn{Conn: c, binding: b}
+}
+
+// PeerKey implements channel.Conn: always the zero key.
+func (c *Conn) PeerKey() sfkey.PublicKey { return sfkey.PublicKey{} }
+
+// LocalKey implements channel.Conn: always the zero key.
+func (c *Conn) LocalKey() sfkey.PublicKey { return sfkey.PublicKey{} }
+
+// Principal implements channel.Conn.
+func (c *Conn) Principal() principal.Channel {
+	return principal.ChannelOf(KindPlain, c.binding)
+}
+
+// Kind implements channel.Conn.
+func (c *Conn) Kind() string { return KindPlain }
+
+// Dialer implements channel.Dialer over TCP.
+type Dialer struct{}
+
+// Dial implements channel.Dialer.
+func (Dialer) Dial(addr string) (channel.Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(raw), nil
+}
+
+// Listener accepts plain channels.
+type Listener struct {
+	L net.Listener
+}
+
+// Listen starts a plain listener on addr.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{L: l}, nil
+}
+
+// Accept implements channel.Listener.
+func (l *Listener) Accept() (channel.Conn, error) {
+	raw, err := l.L.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(raw), nil
+}
+
+// Close implements channel.Listener.
+func (l *Listener) Close() error { return l.L.Close() }
+
+// Addr implements channel.Listener.
+func (l *Listener) Addr() net.Addr { return l.L.Addr() }

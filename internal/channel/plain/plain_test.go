@@ -1,0 +1,83 @@
+package plain
+
+import (
+	"io"
+	"testing"
+)
+
+func TestPlainChannel(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		if len(c.PeerKey().Raw) != 0 {
+			done <- io.ErrUnexpectedEOF
+			return
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = c.Write(buf)
+		done <- err
+	}()
+	c, err := Dialer{}.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.PeerKey().Raw) != 0 || len(c.LocalKey().Raw) != 0 {
+		t.Fatal("plain channel claims keys")
+	}
+	if c.Kind() != KindPlain {
+		t.Fatalf("kind = %q", c.Kind())
+	}
+	c.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlainPrincipalsDistinct(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	c1, err := Dialer{}.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dialer{}.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c1.Principal().Key() == c2.Principal().Key() {
+		t.Fatal("plain channels share a principal")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/principal"
+	"repro/internal/tag"
+)
+
+// AuthError reports why a request failed authorization; the RMI and
+// HTTP layers translate it into their protocol-level challenges
+// (SfNeedAuthorizationException, "401 Unauthorized").
+type AuthError struct {
+	// Issuer is the principal the requester must speak for.
+	Issuer principal.Principal
+	// MinTag is the minimum restriction set the delegation must allow.
+	MinTag tag.Tag
+	// Reason describes the failure.
+	Reason string
+}
+
+func (e *AuthError) Error() string {
+	return fmt.Sprintf("core: not authorized: %s (need to speak for %s regarding %s)",
+		e.Reason, e.Issuer, e.MinTag)
+}
+
+// IsAuthError reports whether err is an authorization failure and
+// returns it.
+func IsAuthError(err error) (*AuthError, bool) {
+	var ae *AuthError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}
+
+// Authorize decides the end-to-end question of section 4: does proof
+// p show that speaker speaks for issuer regarding the request, now?
+//
+//   - the proof must verify in ctx;
+//   - its conclusion's subject must be the speaker that uttered the
+//     request (channel, quoting channel, request hash, or MAC);
+//   - its issuer must be the resource's controlling principal;
+//   - its tag must cover the request tag;
+//   - its validity window must contain the verification time (this is
+//     the step that "automatically disregards expired conclusions").
+func Authorize(ctx *VerifyContext, p Proof, speaker, issuer principal.Principal, request tag.Tag) error {
+	fail := func(reason string) error {
+		return &AuthError{Issuer: issuer, MinTag: request, Reason: reason}
+	}
+	if p == nil {
+		return fail("no proof supplied")
+	}
+	c := p.Conclusion()
+	if !principal.Equal(c.Subject, speaker) {
+		return fail(fmt.Sprintf("proof subject %s is not the requester %s", c.Subject, speaker))
+	}
+	if !principal.Equal(c.Issuer, issuer) {
+		return fail(fmt.Sprintf("proof issuer %s does not control the resource", c.Issuer))
+	}
+	if !tag.Covers(c.Tag, request) {
+		return fail(fmt.Sprintf("restriction %s does not cover the request", c.Tag))
+	}
+	if !c.Validity.Contains(ctx.At()) {
+		return fail(fmt.Sprintf("conclusion valid %s, not at %s", c.Validity, ctx.At().UTC()))
+	}
+	if err := p.Verify(ctx); err != nil {
+		return fail(err.Error())
+	}
+	return nil
+}
+
+// Lemmas returns every subproof of p (including p itself) in
+// depth-first order; the prover digests received proofs into these
+// reusable components (section 4.4).
+func Lemmas(p Proof) []Proof {
+	var out []Proof
+	var walk func(Proof)
+	walk = func(q Proof) {
+		out = append(out, q)
+		for _, c := range q.Children() {
+			walk(c)
+		}
+	}
+	walk(p)
+	return out
+}

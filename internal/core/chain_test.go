@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/principal"
+	"repro/internal/tag"
+)
+
+// Property tests over random delegation chains: the composed proof
+// must authorize exactly the requests every link's restriction
+// covers, and the whole structure must survive the wire.
+
+// randomChainTags builds n tags from a small vocabulary so
+// intersections are frequently nonempty.
+func randomChainTags(r *rand.Rand, n int) []tag.Tag {
+	verbs := [][]string{
+		{"read", "write", "admin"},
+		{"read", "write"},
+		{"read"},
+	}
+	paths := []string{"/", "/a/", "/a/b/"}
+	out := make([]tag.Tag, n)
+	for i := range out {
+		vs := verbs[r.Intn(len(verbs))]
+		var verbTag tag.Tag
+		if len(vs) == 1 {
+			verbTag = tag.Literal(vs[0])
+		} else {
+			elems := make([]tag.Tag, len(vs))
+			for j, v := range vs {
+				elems[j] = tag.Literal(v)
+			}
+			verbTag = tag.SetOf(elems...)
+		}
+		out[i] = tag.ListOf(
+			tag.Literal("fs"),
+			verbTag,
+			tag.Prefix(paths[r.Intn(len(paths))]),
+		)
+	}
+	return out
+}
+
+// buildChain composes assumptions k0 <= k1 <= ... <= kn with the
+// given tags via transitivity; returns nil when some intersection is
+// empty (a legitimate outcome).
+func buildChain(ctx *VerifyContext, tags []tag.Tag) (Proof, []principal.Principal) {
+	n := len(tags)
+	ps := make([]principal.Principal, n+1)
+	for i := range ps {
+		ps[i] = principal.ChannelOf(principal.ChannelLocal, []byte{byte(i)})
+	}
+	var acc Proof
+	for i := n - 1; i >= 0; i-- {
+		link := Assume(SpeaksFor{Subject: ps[i], Issuer: ps[i+1], Tag: tags[i]})
+		ctx.Assume(link.S)
+		if acc == nil {
+			acc = link
+		} else {
+			tr, err := NewTransitivity(link, acc)
+			if err != nil {
+				return nil, ps
+			}
+			acc = tr
+		}
+	}
+	return acc, ps
+}
+
+func TestQuickChainAuthorizesExactlyCoveredRequests(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		tags := randomChainTags(r, n)
+		ctx := NewVerifyContext()
+		proof, ps := buildChain(ctx, tags)
+		if proof == nil {
+			return true // empty intersection: nothing to check
+		}
+		// Random concrete request.
+		verbs := []string{"read", "write", "admin", "delete"}
+		paths := []string{"/x", "/a/x", "/a/b/x", "/c"}
+		req := tag.ListOf(
+			tag.Literal("fs"),
+			tag.Literal(verbs[r.Intn(len(verbs))]),
+			tag.Literal(paths[r.Intn(len(paths))]),
+		)
+		wantOK := true
+		for _, tg := range tags {
+			if !tag.Covers(tg, req) {
+				wantOK = false
+			}
+		}
+		err := Authorize(ctx, proof, ps[0], ps[len(ps)-1], req)
+		if wantOK && err != nil {
+			return false
+		}
+		// Soundness is the critical direction: a request outside any
+		// link must never authorize.
+		if !wantOK && err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickChainWireRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tags := randomChainTags(r, 1+r.Intn(3))
+		ctx := NewVerifyContext()
+		proof, _ := buildChain(ctx, tags)
+		if proof == nil {
+			return true
+		}
+		back, err := ProofFromSexp(proof.Sexp())
+		if err != nil {
+			return false
+		}
+		if back.Conclusion().Key() != proof.Conclusion().Key() {
+			return false
+		}
+		return back.Verify(ctx) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubjectSwapNeverAuthorizes(t *testing.T) {
+	// An adversary who substitutes its own principal as the speaker
+	// gains nothing from knowing a proof (proofs are not bearer
+	// capabilities, section 3).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tags := randomChainTags(r, 1+r.Intn(3))
+		ctx := NewVerifyContext()
+		proof, ps := buildChain(ctx, tags)
+		if proof == nil {
+			return true
+		}
+		eve := principal.ChannelOf(principal.ChannelLocal, []byte("eve"))
+		req := tag.ListOf(tag.Literal("fs"), tag.Literal("read"), tag.Literal("/a/x"))
+		return Authorize(ctx, proof, eve, ps[len(ps)-1], req) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sexp"
+)
+
+// Proof is a structured proof of a SpeaksFor conclusion, a tree of
+// axioms (leaves) and rule applications (interior nodes). Following
+// section 4.3, every component maps one-to-one to an implementation
+// object that verifies itself; proofs clearly exhibit their own
+// meaning, and lemmas (subproofs) are extractable for reuse.
+//
+// Proof objects may be received from untrusted parties; their Verify
+// methods are local code, so verification results are trustworthy.
+type Proof interface {
+	// Conclusion returns the statement this proof establishes.
+	Conclusion() SpeaksFor
+	// Verify checks the proof bottom-up in the given context. A nil
+	// error means the conclusion holds for a reader who accepts the
+	// context's assumptions.
+	Verify(ctx *VerifyContext) error
+	// Children returns immediate subproofs (lemma extraction).
+	Children() []Proof
+	// Sexp returns the wire form.
+	Sexp() *sexp.Sexp
+}
+
+// VerifyContext carries the verifier's environment: the clock, the
+// local assumptions it has itself witnessed (channel bindings), the
+// revocation state, and the verified-proof cache that makes repeated
+// verification of a cached proof cheap (sections 4.3 and 5.1.1).
+type VerifyContext struct {
+	// Now is the verification time; the zero value means time.Now().
+	Now time.Time
+
+	// Assumptions holds statement Keys the verifier itself witnessed,
+	// such as channel bindings established by its own runtime. An
+	// Assumption leaf verifies only when its statement is present
+	// here; assumptions never transfer between parties.
+	Assumptions map[string]bool
+
+	// Revoked, when non-nil, reports whether the certificate with the
+	// given body hash has been revoked (CRL-style, section 4.1).
+	Revoked func(certHash []byte) bool
+
+	// Revalidate, when non-nil, performs SPKI one-time revalidation
+	// for certificates that demand it: it must return nil only if the
+	// issuer currently confirms the certificate.
+	Revalidate func(certHash []byte, where string) error
+
+	// cache memoizes verified subproofs by canonical hash.
+	cache map[[32]byte]error
+}
+
+// NewVerifyContext returns a context with an empty assumption set.
+func NewVerifyContext() *VerifyContext {
+	return &VerifyContext{Assumptions: make(map[string]bool)}
+}
+
+// At returns the verification time.
+func (ctx *VerifyContext) At() time.Time {
+	if ctx.Now.IsZero() {
+		return time.Now()
+	}
+	return ctx.Now
+}
+
+// Assume registers a locally witnessed statement.
+func (ctx *VerifyContext) Assume(s SpeaksFor) {
+	if ctx.Assumptions == nil {
+		ctx.Assumptions = make(map[string]bool)
+	}
+	ctx.Assumptions[s.Key()] = true
+}
+
+// Holds reports whether the context carries the assumption.
+func (ctx *VerifyContext) Holds(s SpeaksFor) bool {
+	return ctx.Assumptions[s.Key()]
+}
+
+// verifyMemo wraps a node's verification with the proof cache.
+func (ctx *VerifyContext) verifyMemo(p Proof, f func() error) error {
+	if ctx.cache == nil {
+		ctx.cache = make(map[[32]byte]error)
+	}
+	h := p.Sexp().Hash()
+	if err, ok := ctx.cache[h]; ok {
+		return err
+	}
+	err := f()
+	ctx.cache[h] = err
+	return err
+}
+
+// CacheSize returns the number of memoized subproofs; exposed for the
+// ablation benchmarks.
+func (ctx *VerifyContext) CacheSize() int { return len(ctx.cache) }
+
+// --- wire encoding ----------------------------------------------------
+
+// leafDecoder decodes externally defined proof leaves (signed
+// certificates live in package cert, which registers itself here to
+// keep the dependency arrow pointing at core).
+type leafDecoder func(e *sexp.Sexp) (Proof, error)
+
+var leafDecoders = map[string]leafDecoder{}
+
+// RegisterLeafDecoder installs a decoder for (proof <kind> ...) forms
+// defined outside core. Call from an init function.
+func RegisterLeafDecoder(kind string, fn func(e *sexp.Sexp) (Proof, error)) {
+	leafDecoders[kind] = fn
+}
+
+// ProofFromSexp decodes any proof tree from its wire form.
+func ProofFromSexp(e *sexp.Sexp) (Proof, error) {
+	if e == nil || e.Tag() != "proof" || e.Len() < 2 {
+		return nil, fmt.Errorf("core: not a proof expression")
+	}
+	kind := e.Nth(1).Text()
+	if dec, ok := leafDecoders[kind]; ok {
+		return dec(e)
+	}
+	if dec, ok := ruleDecoders[kind]; ok {
+		return dec(e)
+	}
+	return nil, fmt.Errorf("core: unknown proof rule %q", kind)
+}
+
+// ParseProof decodes a proof from text (canonical, advanced, or
+// transport encoding).
+func ParseProof(b []byte) (Proof, error) {
+	e, err := sexp.ParseOne(b)
+	if err != nil {
+		return nil, err
+	}
+	return ProofFromSexp(e)
+}
+
+var ruleDecoders = map[string]leafDecoder{}
+
+func registerRule(kind string, fn leafDecoder) {
+	ruleDecoders[kind] = fn
+}
+
+// proofHeader builds (proof <kind> kids...).
+func proofHeader(kind string, kids ...*sexp.Sexp) *sexp.Sexp {
+	all := append([]*sexp.Sexp{sexp.String("proof"), sexp.String(kind)}, kids...)
+	return sexp.List(all...)
+}
+
+// childProofs decodes the trailing children of a rule node starting
+// at index start.
+func childProofs(e *sexp.Sexp, start int) ([]Proof, error) {
+	var out []Proof
+	for i := start; i < e.Len(); i++ {
+		p, err := ProofFromSexp(e.Nth(i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

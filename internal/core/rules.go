@@ -1,0 +1,569 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/principal"
+	"repro/internal/sexp"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// Rule names as they appear on the wire and in renderings.
+const (
+	RuleAssume       = "assume"
+	RuleTransitivity = "transitivity"
+	RuleRestrict     = "restrict"
+	RuleNameMono     = "name-monotonicity"
+	RuleHashIdent    = "hash-identity"
+	RuleQuoteQuotee  = "quoting-quotee-mono"
+	RuleQuoteQuoter  = "quoting-quoter-mono"
+	RuleConjIntro    = "conjunction-intro"
+	RuleConjProj     = "conjunction-projection"
+	RuleReflex       = "reflexivity"
+)
+
+func init() {
+	registerRule(RuleAssume, decodeAssumption)
+	registerRule(RuleTransitivity, decodeTransitivity)
+	registerRule(RuleRestrict, decodeRestrict)
+	registerRule(RuleNameMono, decodeNameMono)
+	registerRule(RuleHashIdent, decodeHashIdent)
+	registerRule(RuleQuoteQuotee, decodeQuote(true))
+	registerRule(RuleQuoteQuoter, decodeQuote(false))
+	registerRule(RuleConjIntro, decodeConjIntro)
+	registerRule(RuleConjProj, decodeConjProj)
+	registerRule(RuleReflex, decodeReflex)
+}
+
+// --- assumption -------------------------------------------------------
+
+// Assumption is a leaf whose statement the verifier must itself hold:
+// typically channel bindings ("M => KCH", "KCH => K2") witnessed by
+// the server runtime. Assumptions verify only inside a context that
+// registered the same statement, so they cannot be replayed to a
+// third party.
+type Assumption struct {
+	S SpeaksFor
+}
+
+// Assume builds an assumption leaf.
+func Assume(s SpeaksFor) *Assumption { return &Assumption{S: s} }
+
+func (a *Assumption) Conclusion() SpeaksFor { return a.S }
+func (a *Assumption) Children() []Proof     { return nil }
+func (a *Assumption) Verify(ctx *VerifyContext) error {
+	return ctx.verifyMemo(a, func() error {
+		if !ctx.Holds(a.S) {
+			return fmt.Errorf("core: assumption not held by verifier: %s", a.S)
+		}
+		return nil
+	})
+}
+func (a *Assumption) Sexp() *sexp.Sexp {
+	return proofHeader(RuleAssume, a.S.Sexp())
+}
+
+func decodeAssumption(e *sexp.Sexp) (Proof, error) {
+	if e.Len() != 3 {
+		return nil, fmt.Errorf("core: malformed assume proof")
+	}
+	s, err := SpeaksForFromSexp(e.Nth(2))
+	if err != nil {
+		return nil, err
+	}
+	return Assume(s), nil
+}
+
+// --- transitivity -----------------------------------------------------
+
+// Transitivity composes A =T1=> B and B =T2=> C into
+// A =T1∩T2=> C over the intersected validity window.
+type Transitivity struct {
+	Left, Right Proof // Left: A=>B, Right: B=>C
+	concl       SpeaksFor
+}
+
+// NewTransitivity links two proofs through their shared middle
+// principal.
+func NewTransitivity(left, right Proof) (*Transitivity, error) {
+	lc, rc := left.Conclusion(), right.Conclusion()
+	if !principal.Equal(lc.Issuer, rc.Subject) {
+		return nil, fmt.Errorf("core: transitivity mismatch: %s vs %s", lc.Issuer, rc.Subject)
+	}
+	t, ok := tag.Intersect(lc.Tag, rc.Tag)
+	if !ok {
+		return nil, fmt.Errorf("core: transitivity: empty tag intersection")
+	}
+	v, ok := lc.Validity.Intersect(rc.Validity)
+	if !ok {
+		return nil, fmt.Errorf("core: transitivity: empty validity intersection")
+	}
+	return &Transitivity{
+		Left: left, Right: right,
+		concl: SpeaksFor{Subject: lc.Subject, Issuer: rc.Issuer, Tag: t, Validity: v},
+	}, nil
+}
+
+func (t *Transitivity) Conclusion() SpeaksFor { return t.concl }
+func (t *Transitivity) Children() []Proof     { return []Proof{t.Left, t.Right} }
+func (t *Transitivity) Verify(ctx *VerifyContext) error {
+	return ctx.verifyMemo(t, func() error {
+		if err := t.Left.Verify(ctx); err != nil {
+			return err
+		}
+		return t.Right.Verify(ctx)
+	})
+}
+func (t *Transitivity) Sexp() *sexp.Sexp {
+	return proofHeader(RuleTransitivity, t.Left.Sexp(), t.Right.Sexp())
+}
+
+func decodeTransitivity(e *sexp.Sexp) (Proof, error) {
+	kids, err := childProofs(e, 2)
+	if err != nil {
+		return nil, err
+	}
+	if len(kids) != 2 {
+		return nil, fmt.Errorf("core: transitivity wants 2 children, got %d", len(kids))
+	}
+	return NewTransitivity(kids[0], kids[1])
+}
+
+// --- restriction (monotonicity) ----------------------------------------
+
+// Restrict weakens a conclusion to a narrower tag and/or validity
+// window; sound because the original covers the weaker statement.
+type Restrict struct {
+	Child Proof
+	concl SpeaksFor
+}
+
+// NewRestrict narrows the child's conclusion. A zero validity keeps
+// the child's window.
+func NewRestrict(child Proof, to tag.Tag, v Validity) (*Restrict, error) {
+	c := child.Conclusion()
+	if !tag.Covers(c.Tag, to) {
+		return nil, fmt.Errorf("core: restrict: %s does not cover %s", c.Tag, to)
+	}
+	if v == (Validity{}) {
+		v = c.Validity
+	} else if !c.Validity.Covers(v) {
+		return nil, fmt.Errorf("core: restrict: validity %s does not cover %s", c.Validity, v)
+	}
+	return &Restrict{
+		Child: child,
+		concl: SpeaksFor{Subject: c.Subject, Issuer: c.Issuer, Tag: to, Validity: v},
+	}, nil
+}
+
+func (r *Restrict) Conclusion() SpeaksFor { return r.concl }
+func (r *Restrict) Children() []Proof     { return []Proof{r.Child} }
+func (r *Restrict) Verify(ctx *VerifyContext) error {
+	return ctx.verifyMemo(r, func() error { return r.Child.Verify(ctx) })
+}
+func (r *Restrict) Sexp() *sexp.Sexp {
+	kids := []*sexp.Sexp{r.concl.Tag.Sexp()}
+	if v := r.concl.Validity.Sexp(); v != nil {
+		kids = append(kids, v)
+	}
+	kids = append(kids, r.Child.Sexp())
+	return proofHeader(RuleRestrict, kids...)
+}
+
+func decodeRestrict(e *sexp.Sexp) (Proof, error) {
+	if e.Len() < 4 {
+		return nil, fmt.Errorf("core: malformed restrict proof")
+	}
+	to, err := tag.FromSexp(e.Nth(2))
+	if err != nil {
+		return nil, err
+	}
+	i := 3
+	var v Validity
+	if e.Nth(i).Tag() == "valid" {
+		if v, err = ValidityFromSexp(e.Nth(i)); err != nil {
+			return nil, err
+		}
+		i++
+	}
+	if i != e.Len()-1 {
+		return nil, fmt.Errorf("core: malformed restrict proof")
+	}
+	child, err := ProofFromSexp(e.Nth(i))
+	if err != nil {
+		return nil, err
+	}
+	return NewRestrict(child, to, v)
+}
+
+// --- name monotonicity --------------------------------------------------
+
+// NameMono lifts A =T=> B to A·N =T=> B·N: if A speaks for B, then
+// A's binding for a name speaks for B's binding for the same name
+// (Figure 1's "name-monotonicity" step, HKC·N => KC·N).
+type NameMono struct {
+	Child Proof
+	Path  []string
+	concl SpeaksFor
+}
+
+// NewNameMono extends both ends of the child's conclusion by a name
+// path.
+func NewNameMono(child Proof, path ...string) (*NameMono, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("core: name-monotonicity wants a nonempty path")
+	}
+	c := child.Conclusion()
+	return &NameMono{
+		Child: child, Path: path,
+		concl: SpeaksFor{
+			Subject:  extendName(c.Subject, path),
+			Issuer:   extendName(c.Issuer, path),
+			Tag:      c.Tag,
+			Validity: c.Validity,
+		},
+	}, nil
+}
+
+// extendName appends a path to a principal, flattening nested names.
+func extendName(p principal.Principal, path []string) principal.Principal {
+	if n, ok := p.(principal.Name); ok {
+		return principal.Name{Base: n.Base, Path: append(append([]string(nil), n.Path...), path...)}
+	}
+	return principal.NameOf(p, path...)
+}
+
+func (n *NameMono) Conclusion() SpeaksFor { return n.concl }
+func (n *NameMono) Children() []Proof     { return []Proof{n.Child} }
+func (n *NameMono) Verify(ctx *VerifyContext) error {
+	return ctx.verifyMemo(n, func() error { return n.Child.Verify(ctx) })
+}
+func (n *NameMono) Sexp() *sexp.Sexp {
+	kids := []*sexp.Sexp{sexp.String("path")}
+	for _, p := range n.Path {
+		kids = append(kids, sexp.String(p))
+	}
+	return proofHeader(RuleNameMono, sexp.List(kids...), n.Child.Sexp())
+}
+
+func decodeNameMono(e *sexp.Sexp) (Proof, error) {
+	if e.Len() != 4 || e.Nth(2).Tag() != "path" {
+		return nil, fmt.Errorf("core: malformed name-monotonicity proof")
+	}
+	var path []string
+	pe := e.Nth(2)
+	for i := 1; i < pe.Len(); i++ {
+		if !pe.Nth(i).IsAtom() {
+			return nil, fmt.Errorf("core: name path element not an atom")
+		}
+		path = append(path, pe.Nth(i).Text())
+	}
+	child, err := ProofFromSexp(e.Nth(3))
+	if err != nil {
+		return nil, err
+	}
+	return NewNameMono(child, path...)
+}
+
+// --- hash identity --------------------------------------------------------
+
+// HashIdent is the axiom H(K) <=> K: a hash principal and the key it
+// names speak for each other. Verification recomputes the hash from
+// the embedded key, so the leaf is self-certifying.
+type HashIdent struct {
+	Pub     sfkey.PublicKey
+	Reverse bool // false: H(K) => K; true: K => H(K)
+}
+
+// NewHashIdent builds the forward axiom H(K) => K.
+func NewHashIdent(pub sfkey.PublicKey) *HashIdent { return &HashIdent{Pub: pub} }
+
+// NewHashIdentReverse builds K => H(K).
+func NewHashIdentReverse(pub sfkey.PublicKey) *HashIdent {
+	return &HashIdent{Pub: pub, Reverse: true}
+}
+
+func (h *HashIdent) Conclusion() SpeaksFor {
+	k := principal.KeyOf(h.Pub)
+	hp := principal.HashOfKey(h.Pub)
+	if h.Reverse {
+		return SpeaksFor{Subject: k, Issuer: hp, Tag: tag.All()}
+	}
+	return SpeaksFor{Subject: hp, Issuer: k, Tag: tag.All()}
+}
+func (h *HashIdent) Children() []Proof { return nil }
+func (h *HashIdent) Verify(ctx *VerifyContext) error {
+	// Correct by construction: both ends derive from the same key.
+	return nil
+}
+func (h *HashIdent) Sexp() *sexp.Sexp {
+	dir := "forward"
+	if h.Reverse {
+		dir = "reverse"
+	}
+	return proofHeader(RuleHashIdent, sexp.String(dir), h.Pub.Sexp())
+}
+
+func decodeHashIdent(e *sexp.Sexp) (Proof, error) {
+	if e.Len() != 4 || !e.Nth(2).IsAtom() {
+		return nil, fmt.Errorf("core: malformed hash-identity proof")
+	}
+	pub, err := sfkey.PublicFromSexp(e.Nth(3))
+	if err != nil {
+		return nil, err
+	}
+	switch e.Nth(2).Text() {
+	case "forward":
+		return NewHashIdent(pub), nil
+	case "reverse":
+		return NewHashIdentReverse(pub), nil
+	}
+	return nil, fmt.Errorf("core: bad hash-identity direction %q", e.Nth(2).Text())
+}
+
+// --- quoting monotonicity ----------------------------------------------
+
+// QuoteMono lifts A =T=> B into quoting principals: with a fixed
+// quoter Q, Q|A =T=> Q|B (Quotee true); with a fixed quotee Q,
+// A|Q =T=> B|Q (Quotee false). The gateway of section 6.3 uses the
+// quoter form to turn "channel speaks for gateway key" into "channel
+// quoting client speaks for gateway-key quoting client".
+type QuoteMono struct {
+	Child  Proof
+	Fixed  principal.Principal
+	Quotee bool
+	concl  SpeaksFor
+}
+
+// NewQuoteQuoteeMono builds Q|A => Q|B from A => B with fixed quoter Q.
+func NewQuoteQuoteeMono(quoter principal.Principal, child Proof) *QuoteMono {
+	c := child.Conclusion()
+	return &QuoteMono{
+		Child: child, Fixed: quoter, Quotee: true,
+		concl: SpeaksFor{
+			Subject:  principal.QuoteOf(quoter, c.Subject),
+			Issuer:   principal.QuoteOf(quoter, c.Issuer),
+			Tag:      c.Tag,
+			Validity: c.Validity,
+		},
+	}
+}
+
+// NewQuoteQuoterMono builds A|Q => B|Q from A => B with fixed quotee Q.
+func NewQuoteQuoterMono(quotee principal.Principal, child Proof) *QuoteMono {
+	c := child.Conclusion()
+	return &QuoteMono{
+		Child: child, Fixed: quotee, Quotee: false,
+		concl: SpeaksFor{
+			Subject:  principal.QuoteOf(c.Subject, quotee),
+			Issuer:   principal.QuoteOf(c.Issuer, quotee),
+			Tag:      c.Tag,
+			Validity: c.Validity,
+		},
+	}
+}
+
+func (q *QuoteMono) Conclusion() SpeaksFor { return q.concl }
+func (q *QuoteMono) Children() []Proof     { return []Proof{q.Child} }
+func (q *QuoteMono) Verify(ctx *VerifyContext) error {
+	return ctx.verifyMemo(q, func() error { return q.Child.Verify(ctx) })
+}
+func (q *QuoteMono) Sexp() *sexp.Sexp {
+	kind := RuleQuoteQuoter
+	if q.Quotee {
+		kind = RuleQuoteQuotee
+	}
+	return proofHeader(kind, q.Fixed.Sexp(), q.Child.Sexp())
+}
+
+func decodeQuote(quotee bool) leafDecoder {
+	return func(e *sexp.Sexp) (Proof, error) {
+		if e.Len() != 4 {
+			return nil, fmt.Errorf("core: malformed quoting proof")
+		}
+		fixed, err := principal.FromSexp(e.Nth(2))
+		if err != nil {
+			return nil, err
+		}
+		child, err := ProofFromSexp(e.Nth(3))
+		if err != nil {
+			return nil, err
+		}
+		if quotee {
+			return NewQuoteQuoteeMono(fixed, child), nil
+		}
+		return NewQuoteQuoterMono(fixed, child), nil
+	}
+}
+
+// --- conjunction -----------------------------------------------------------
+
+// ConjIntro derives X => (k-of-n P1..Pn) from proofs X => Pi for at
+// least k distinct parts. With k = n this is the conjunction used by
+// the disk-block example of section 2.3.
+type ConjIntro struct {
+	Target principal.Conj
+	Parts  []Proof
+	concl  SpeaksFor
+}
+
+// NewConjIntro checks that the part proofs share a subject and cover
+// at least K distinct members of the target.
+func NewConjIntro(target principal.Conj, parts []Proof) (*ConjIntro, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: conjunction-intro wants at least one part proof")
+	}
+	k := target.K
+	if k == 0 {
+		k = len(target.Parts)
+	}
+	members := map[string]bool{}
+	for _, p := range target.Parts {
+		members[p.Key()] = true
+	}
+	subject := parts[0].Conclusion().Subject
+	covered := map[string]bool{}
+	t := tag.All()
+	v := Forever
+	for _, p := range parts {
+		c := p.Conclusion()
+		if !principal.Equal(c.Subject, subject) {
+			return nil, fmt.Errorf("core: conjunction-intro: subjects differ: %s vs %s", c.Subject, subject)
+		}
+		if !members[c.Issuer.Key()] {
+			return nil, fmt.Errorf("core: conjunction-intro: %s is not a member of %s", c.Issuer, target)
+		}
+		covered[c.Issuer.Key()] = true
+		var ok bool
+		if t, ok = tag.Intersect(t, c.Tag); !ok {
+			return nil, fmt.Errorf("core: conjunction-intro: empty tag intersection")
+		}
+		if v, ok = v.Intersect(c.Validity); !ok {
+			return nil, fmt.Errorf("core: conjunction-intro: empty validity intersection")
+		}
+	}
+	if len(covered) < k {
+		return nil, fmt.Errorf("core: conjunction-intro: %d of %d required parts proven", len(covered), k)
+	}
+	return &ConjIntro{
+		Target: target, Parts: parts,
+		concl: SpeaksFor{Subject: subject, Issuer: target, Tag: t, Validity: v},
+	}, nil
+}
+
+func (c *ConjIntro) Conclusion() SpeaksFor { return c.concl }
+func (c *ConjIntro) Children() []Proof     { return c.Parts }
+func (c *ConjIntro) Verify(ctx *VerifyContext) error {
+	return ctx.verifyMemo(c, func() error {
+		for _, p := range c.Parts {
+			if err := p.Verify(ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+func (c *ConjIntro) Sexp() *sexp.Sexp {
+	kids := []*sexp.Sexp{c.Target.Sexp()}
+	for _, p := range c.Parts {
+		kids = append(kids, p.Sexp())
+	}
+	return proofHeader(RuleConjIntro, kids...)
+}
+
+func decodeConjIntro(e *sexp.Sexp) (Proof, error) {
+	if e.Len() < 4 {
+		return nil, fmt.Errorf("core: malformed conjunction-intro proof")
+	}
+	tp, err := principal.FromSexp(e.Nth(2))
+	if err != nil {
+		return nil, err
+	}
+	conj, ok := tp.(principal.Conj)
+	if !ok {
+		return nil, fmt.Errorf("core: conjunction-intro target is not a conjunction")
+	}
+	kids, err := childProofs(e, 3)
+	if err != nil {
+		return nil, err
+	}
+	return NewConjIntro(conj, kids)
+}
+
+// ConjProj is the projection axiom A∧B => A, sound only for full
+// conjunctions (everything all parts say, each part says).
+type ConjProj struct {
+	C     principal.Conj
+	Index int
+}
+
+// NewConjProj projects a member out of a full conjunction.
+func NewConjProj(c principal.Conj, index int) (*ConjProj, error) {
+	if !c.IsFullConjunction() {
+		return nil, fmt.Errorf("core: conjunction-projection unsound for %d-of-%d threshold", c.K, len(c.Parts))
+	}
+	if index < 0 || index >= len(c.Parts) {
+		return nil, fmt.Errorf("core: conjunction-projection index %d out of range", index)
+	}
+	return &ConjProj{C: c, Index: index}, nil
+}
+
+func (c *ConjProj) Conclusion() SpeaksFor {
+	return SpeaksFor{Subject: c.C, Issuer: c.C.Parts[c.Index], Tag: tag.All()}
+}
+func (c *ConjProj) Children() []Proof               { return nil }
+func (c *ConjProj) Verify(ctx *VerifyContext) error { return nil }
+func (c *ConjProj) Sexp() *sexp.Sexp {
+	return proofHeader(RuleConjProj, c.C.Sexp(), sexp.String(strconv.Itoa(c.Index)))
+}
+
+func decodeConjProj(e *sexp.Sexp) (Proof, error) {
+	if e.Len() != 4 || !e.Nth(3).IsAtom() {
+		return nil, fmt.Errorf("core: malformed conjunction-projection proof")
+	}
+	tp, err := principal.FromSexp(e.Nth(2))
+	if err != nil {
+		return nil, err
+	}
+	conj, ok := tp.(principal.Conj)
+	if !ok {
+		return nil, fmt.Errorf("core: conjunction-projection target is not a conjunction")
+	}
+	idx, err := strconv.Atoi(e.Nth(3).Text())
+	if err != nil {
+		return nil, fmt.Errorf("core: conjunction-projection index: %w", err)
+	}
+	return NewConjProj(conj, idx)
+}
+
+// --- reflexivity -------------------------------------------------------------
+
+// Reflex is the axiom A => A.
+type Reflex struct {
+	P principal.Principal
+}
+
+// NewReflex builds the trivial self-proof.
+func NewReflex(p principal.Principal) *Reflex { return &Reflex{P: p} }
+
+func (r *Reflex) Conclusion() SpeaksFor {
+	return SpeaksFor{Subject: r.P, Issuer: r.P, Tag: tag.All()}
+}
+func (r *Reflex) Children() []Proof               { return nil }
+func (r *Reflex) Verify(ctx *VerifyContext) error { return nil }
+func (r *Reflex) Sexp() *sexp.Sexp {
+	return proofHeader(RuleReflex, r.P.Sexp())
+}
+
+func decodeReflex(e *sexp.Sexp) (Proof, error) {
+	if e.Len() != 3 {
+		return nil, fmt.Errorf("core: malformed reflexivity proof")
+	}
+	p, err := principal.FromSexp(e.Nth(2))
+	if err != nil {
+		return nil, err
+	}
+	return NewReflex(p), nil
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// assume returns an assumption proof and registers it in ctx.
+func assume(ctx *VerifyContext, s SpeaksFor) Proof {
+	ctx.Assume(s)
+	return Assume(s)
+}
+
+func sf(sub, iss principal.Principal, t tag.Tag) SpeaksFor {
+	return SpeaksFor{Subject: sub, Issuer: iss, Tag: t}
+}
+
+func TestAssumptionVerifiesOnlyWhenHeld(t *testing.T) {
+	ctx := NewVerifyContext()
+	s := sf(key("a"), key("b"), tag.All())
+	p := Assume(s)
+	if err := p.Verify(ctx); err == nil {
+		t.Fatal("unheld assumption verified")
+	}
+	ctx2 := NewVerifyContext()
+	ctx2.Assume(s)
+	if err := p.Verify(ctx2); err != nil {
+		t.Fatalf("held assumption failed: %v", err)
+	}
+}
+
+func TestTransitivityChainsAndNarrows(t *testing.T) {
+	ctx := NewVerifyContext()
+	a, b, c := key("a"), key("b"), key("c")
+	tab := tag.MustParse(`(tag (fs (* set read write)))`)
+	tbc := tag.MustParse(`(tag (fs read))`)
+	p1 := assume(ctx, sf(a, b, tab))
+	p2 := assume(ctx, sf(b, c, tbc))
+	tr, err := NewTransitivity(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concl := tr.Conclusion()
+	if !principal.Equal(concl.Subject, a) || !principal.Equal(concl.Issuer, c) {
+		t.Fatalf("conclusion endpoints wrong: %s", concl)
+	}
+	if !tag.Covers(concl.Tag, tag.MustParse(`(tag (fs read))`)) {
+		t.Error("intersection lost read")
+	}
+	if tag.Covers(concl.Tag, tag.MustParse(`(tag (fs write))`)) {
+		t.Error("intersection kept write it should have dropped")
+	}
+	if err := tr.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransitivityRejectsMismatch(t *testing.T) {
+	ctx := NewVerifyContext()
+	p1 := assume(ctx, sf(key("a"), key("b"), tag.All()))
+	p2 := assume(ctx, sf(key("x"), key("c"), tag.All()))
+	if _, err := NewTransitivity(p1, p2); err == nil {
+		t.Fatal("mismatched middle principal accepted")
+	}
+	p3 := assume(ctx, sf(key("b"), key("c"), tag.Literal("other")))
+	p4 := assume(ctx, sf(key("a"), key("b"), tag.Literal("one")))
+	if _, err := NewTransitivity(p4, p3); err == nil {
+		t.Fatal("empty tag intersection accepted")
+	}
+}
+
+func TestTransitivityValidityIntersection(t *testing.T) {
+	ctx := NewVerifyContext()
+	s1 := SpeaksFor{Subject: key("a"), Issuer: key("b"), Tag: tag.All(), Validity: Between(t0, t2)}
+	s2 := SpeaksFor{Subject: key("b"), Issuer: key("c"), Tag: tag.All(), Validity: Between(t1, t3)}
+	tr, err := NewTransitivity(assume(ctx, s1), assume(ctx, s2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Conclusion().Validity != Between(t1, t2) {
+		t.Fatalf("validity = %s", tr.Conclusion().Validity)
+	}
+	s3 := SpeaksFor{Subject: key("c"), Issuer: key("d"), Tag: tag.All(), Validity: Between(t3, t3)}
+	if _, err := NewTransitivity(tr, assume(ctx, s3)); err == nil {
+		t.Fatal("disjoint validity accepted")
+	}
+}
+
+func TestRestrictNarrowsOnly(t *testing.T) {
+	ctx := NewVerifyContext()
+	wide := assume(ctx, sf(key("a"), key("b"), tag.MustParse(`(tag (fs (* set read write)))`)))
+	narrow, err := NewRestrict(wide, tag.MustParse(`(tag (fs read))`), Validity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := narrow.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRestrict(narrow, tag.MustParse(`(tag (fs write))`), Validity{}); err == nil {
+		t.Fatal("broadening restrict accepted")
+	}
+	// Validity narrowing.
+	dated := SpeaksFor{Subject: key("a"), Issuer: key("b"), Tag: tag.All(), Validity: Between(t0, t3)}
+	p := assume(ctx, dated)
+	if _, err := NewRestrict(p, tag.All(), Between(t1, t2)); err != nil {
+		t.Fatalf("validity narrowing rejected: %v", err)
+	}
+	if _, err := NewRestrict(p, tag.All(), Between(t0.Add(-1e9), t3)); err == nil {
+		t.Fatal("validity widening accepted")
+	}
+}
+
+func TestNameMonoExtendsBothEnds(t *testing.T) {
+	ctx := NewVerifyContext()
+	p := assume(ctx, sf(key("hk"), key("k"), tag.All()))
+	nm, err := NewNameMono(p, "N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := nm.Conclusion()
+	wantSub := principal.NameOf(key("hk"), "N")
+	wantIss := principal.NameOf(key("k"), "N")
+	if !principal.Equal(c.Subject, wantSub) || !principal.Equal(c.Issuer, wantIss) {
+		t.Fatalf("conclusion = %s", c)
+	}
+	if err := nm.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Extending an existing name flattens the path.
+	nm2, err := NewNameMono(nm, "M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := nm2.Conclusion().Subject.(principal.Name)
+	if len(sub.Path) != 2 || sub.Path[0] != "N" || sub.Path[1] != "M" {
+		t.Fatalf("path = %v", sub.Path)
+	}
+	if _, err := NewNameMono(p); err == nil {
+		t.Fatal("empty path accepted")
+	}
+}
+
+func TestHashIdent(t *testing.T) {
+	pub := sfkey.FromSeed([]byte("hi")).Public()
+	fwd := NewHashIdent(pub)
+	c := fwd.Conclusion()
+	if !principal.Equal(c.Subject, principal.HashOfKey(pub)) || !principal.Equal(c.Issuer, principal.KeyOf(pub)) {
+		t.Fatalf("forward conclusion = %s", c)
+	}
+	rev := NewHashIdentReverse(pub)
+	c = rev.Conclusion()
+	if !principal.Equal(c.Issuer, principal.HashOfKey(pub)) || !principal.Equal(c.Subject, principal.KeyOf(pub)) {
+		t.Fatalf("reverse conclusion = %s", c)
+	}
+	if err := fwd.Verify(NewVerifyContext()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuoteMonotonicity(t *testing.T) {
+	ctx := NewVerifyContext()
+	g, a, b := key("gw"), key("a"), key("b")
+	p := assume(ctx, sf(a, b, tag.Literal("t")))
+	qe := NewQuoteQuoteeMono(g, p)
+	c := qe.Conclusion()
+	if !principal.Equal(c.Subject, principal.QuoteOf(g, a)) || !principal.Equal(c.Issuer, principal.QuoteOf(g, b)) {
+		t.Fatalf("quotee mono conclusion = %s", c)
+	}
+	qr := NewQuoteQuoterMono(g, p)
+	c = qr.Conclusion()
+	if !principal.Equal(c.Subject, principal.QuoteOf(a, g)) || !principal.Equal(c.Issuer, principal.QuoteOf(b, g)) {
+		t.Fatalf("quoter mono conclusion = %s", c)
+	}
+	if err := qe.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := qr.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConjIntroAndProjection(t *testing.T) {
+	ctx := NewVerifyContext()
+	x, a, b := key("x"), key("alice"), key("fs")
+	conj := principal.ConjOf(a, b)
+	pa := assume(ctx, sf(x, a, tag.MustParse(`(tag (disk (* set read write)))`)))
+	pb := assume(ctx, sf(x, b, tag.MustParse(`(tag (disk read))`)))
+	ci, err := NewConjIntro(conj, []Proof{pa, pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ci.Conclusion()
+	if !principal.Equal(c.Subject, x) || !principal.Equal(c.Issuer, conj) {
+		t.Fatalf("conj conclusion = %s", c)
+	}
+	if err := ci.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Missing one part of a full conjunction fails.
+	if _, err := NewConjIntro(conj, []Proof{pa}); err == nil {
+		t.Fatal("partial conjunction accepted")
+	}
+	// Threshold 1-of-2 succeeds with one part.
+	th := principal.ThresholdOf(1, a, b)
+	if _, err := NewConjIntro(th, []Proof{pa}); err != nil {
+		t.Fatalf("threshold intro failed: %v", err)
+	}
+	// Projection.
+	pj, err := NewConjProj(conj, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !principal.Equal(pj.Conclusion().Subject, conj) {
+		t.Fatal("projection subject wrong")
+	}
+	if _, err := NewConjProj(th, 0); err == nil {
+		t.Fatal("projection out of threshold accepted")
+	}
+	if _, err := NewConjProj(conj, 5); err == nil {
+		t.Fatal("projection index out of range accepted")
+	}
+}
+
+func TestConjIntroRejectsForeignIssuerAndMixedSubjects(t *testing.T) {
+	ctx := NewVerifyContext()
+	x, a, b, z := key("x"), key("a"), key("b"), key("z")
+	conj := principal.ConjOf(a, b)
+	pa := assume(ctx, sf(x, a, tag.All()))
+	pz := assume(ctx, sf(x, z, tag.All()))
+	if _, err := NewConjIntro(conj, []Proof{pa, pz}); err == nil {
+		t.Fatal("foreign issuer accepted")
+	}
+	pb2 := assume(ctx, sf(key("y"), b, tag.All()))
+	if _, err := NewConjIntro(conj, []Proof{pa, pb2}); err == nil {
+		t.Fatal("mixed subjects accepted")
+	}
+}
+
+func TestReflex(t *testing.T) {
+	p := NewReflex(key("r"))
+	c := p.Conclusion()
+	if !principal.Equal(c.Subject, c.Issuer) || !c.Tag.IsAll() {
+		t.Fatalf("reflex conclusion = %s", c)
+	}
+	if err := p.Verify(NewVerifyContext()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProofWireRoundTrip(t *testing.T) {
+	ctx := NewVerifyContext()
+	a, b, c, g := key("a"), key("b"), key("c"), key("g")
+	p1 := assume(ctx, sf(a, b, tag.MustParse(`(tag (fs (* set read write)))`)))
+	p2 := assume(ctx, sf(b, c, tag.All()))
+	tr, err := NewTransitivity(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRestrict(tr, tag.MustParse(`(tag (fs read))`), Validity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := NewNameMono(rs, "inbox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm := NewQuoteQuoteeMono(g, nm)
+	pub := sfkey.FromSeed([]byte("wire")).Public()
+	proofs := []Proof{
+		p1, tr, rs, nm, qm,
+		NewHashIdent(pub), NewHashIdentReverse(pub),
+		NewReflex(a),
+	}
+	for _, p := range proofs {
+		enc := p.Sexp()
+		back, err := ProofFromSexp(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", enc, err)
+		}
+		if back.Conclusion().Key() != p.Conclusion().Key() {
+			t.Errorf("conclusion changed across wire:\n  %s\n  %s",
+				p.Conclusion(), back.Conclusion())
+		}
+		if err := back.Verify(ctx); err != nil {
+			t.Errorf("decoded proof fails verification: %v", err)
+		}
+	}
+}
+
+func TestProofFromSexpRejectsHostileInput(t *testing.T) {
+	bad := []string{
+		`(notproof x)`,
+		`(proof bogus-rule x)`,
+		`(proof transitivity)`,
+		`(proof transitivity (proof reflexivity (channel local |AA==|)))`,
+		`(proof restrict (tag (*)))`,
+		`(proof hash-identity sideways (channel local |AA==|))`,
+		`(proof conjunction-projection (channel local |AA==|) 0)`,
+		`(proof reflexivity)`,
+	}
+	for _, s := range bad {
+		if _, err := ParseProof([]byte(s)); err == nil {
+			t.Errorf("ParseProof(%s) succeeded, want error", s)
+		}
+	}
+}
+
+func TestForgedTransitivityRejectedAtDecode(t *testing.T) {
+	// Hand-craft a transitivity whose middle principals do not match;
+	// the decoder must refuse it.
+	ctx := NewVerifyContext()
+	p1 := assume(ctx, sf(key("a"), key("b"), tag.All()))
+	p2 := assume(ctx, sf(key("x"), key("c"), tag.All()))
+	forged := proofHeader(RuleTransitivity, p1.Sexp(), p2.Sexp())
+	if _, err := ProofFromSexp(forged); err == nil {
+		t.Fatal("forged transitivity decoded")
+	}
+}
+
+func TestLemmasDepthFirst(t *testing.T) {
+	ctx := NewVerifyContext()
+	p1 := assume(ctx, sf(key("a"), key("b"), tag.All()))
+	p2 := assume(ctx, sf(key("b"), key("c"), tag.All()))
+	tr, _ := NewTransitivity(p1, p2)
+	ls := Lemmas(tr)
+	if len(ls) != 3 {
+		t.Fatalf("lemmas = %d", len(ls))
+	}
+	if ls[0] != Proof(tr) || ls[1] != p1 || ls[2] != p2 {
+		t.Fatal("lemma order wrong")
+	}
+}
+
+func TestVerifyCache(t *testing.T) {
+	ctx := NewVerifyContext()
+	p1 := assume(ctx, sf(key("a"), key("b"), tag.All()))
+	p2 := assume(ctx, sf(key("b"), key("c"), tag.All()))
+	tr, _ := NewTransitivity(p1, p2)
+	if err := tr.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	n := ctx.CacheSize()
+	if n == 0 {
+		t.Fatal("cache empty after verification")
+	}
+	if err := tr.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.CacheSize() != n {
+		t.Fatal("re-verification grew the cache")
+	}
+}
+
+func TestAuthorize(t *testing.T) {
+	ctx := NewVerifyContext()
+	ctx.Now = t1
+	ch, kc, ks := key("channel"), key("client"), key("server")
+	grant := tag.MustParse(`(tag (web (method GET) (* prefix "/inbox/")))`)
+	p1 := assume(ctx, SpeaksFor{Subject: ch, Issuer: kc, Tag: tag.All(), Validity: Between(t0, t2)})
+	p2 := assume(ctx, SpeaksFor{Subject: kc, Issuer: ks, Tag: grant, Validity: Between(t0, t3)})
+	proof, err := NewTransitivity(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := tag.MustParse(`(tag (web (method GET) "/inbox/7"))`)
+	if err := Authorize(ctx, proof, ch, ks, req); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	// Wrong speaker.
+	if err := Authorize(ctx, proof, key("eve"), ks, req); err == nil {
+		t.Error("wrong speaker authorized")
+	}
+	// Wrong issuer.
+	if err := Authorize(ctx, proof, ch, key("other"), req); err == nil {
+		t.Error("wrong issuer authorized")
+	}
+	// Uncovered request.
+	put := tag.MustParse(`(tag (web (method PUT) "/inbox/7"))`)
+	if err := Authorize(ctx, proof, ch, ks, put); err == nil {
+		t.Error("uncovered request authorized")
+	}
+	// Expired at verification time.
+	late := NewVerifyContext()
+	late.Now = t3
+	late.Assumptions = ctx.Assumptions
+	if err := Authorize(late, proof, ch, ks, req); err == nil {
+		t.Error("expired conclusion authorized")
+	}
+	// AuthError carries the challenge parameters.
+	err = Authorize(ctx, nil, ch, ks, req)
+	ae, ok := IsAuthError(err)
+	if !ok {
+		t.Fatalf("expected AuthError, got %v", err)
+	}
+	if !principal.Equal(ae.Issuer, ks) || !ae.MinTag.Equal(req) {
+		t.Error("AuthError challenge parameters wrong")
+	}
+	if !strings.Contains(ae.Error(), "not authorized") {
+		t.Error("AuthError message")
+	}
+}
+
+func TestAssumptionsDoNotTravel(t *testing.T) {
+	// A proof built on a channel assumption verifies at the server
+	// that witnessed the binding but at no other party.
+	server := NewVerifyContext()
+	s := sf(key("msg"), key("ch"), tag.All())
+	p := assume(server, s)
+	if err := p.Verify(server); err != nil {
+		t.Fatal(err)
+	}
+	third := NewVerifyContext()
+	if err := p.Verify(third); err == nil {
+		t.Fatal("assumption verified at a third party")
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+func key(seed string) principal.Key {
+	return principal.KeyOf(sfkey.FromSeed([]byte(seed)).Public())
+}
+
+var (
+	t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	t1 = time.Date(2026, 6, 10, 0, 0, 0, 0, time.UTC)
+	t2 = time.Date(2026, 6, 20, 0, 0, 0, 0, time.UTC)
+	t3 = time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func TestValidityContains(t *testing.T) {
+	v := Between(t1, t2)
+	if v.Contains(t0) || v.Contains(t3) {
+		t.Error("window contains points outside")
+	}
+	if !v.Contains(t1) || !v.Contains(t2) {
+		t.Error("window excludes endpoints")
+	}
+	if !Forever.Contains(t0) || !Forever.Contains(t3) {
+		t.Error("Forever excludes points")
+	}
+	if !Until(t1).Contains(t0) || Until(t1).Contains(t2) {
+		t.Error("Until semantics wrong")
+	}
+}
+
+func TestValidityIntersect(t *testing.T) {
+	a := Between(t0, t2)
+	b := Between(t1, t3)
+	got, ok := a.Intersect(b)
+	if !ok || got != Between(t1, t2) {
+		t.Fatalf("intersect = %v %v", got, ok)
+	}
+	if _, ok := Between(t0, t1).Intersect(Between(t2, t3)); ok {
+		t.Error("disjoint windows intersected")
+	}
+	got, ok = Forever.Intersect(a)
+	if !ok || got != a {
+		t.Error("Forever should be identity")
+	}
+	// Touching windows share the instant.
+	got, ok = Between(t0, t1).Intersect(Between(t1, t2))
+	if !ok || got != Between(t1, t1) {
+		t.Errorf("touching windows = %v %v", got, ok)
+	}
+}
+
+func TestValidityCovers(t *testing.T) {
+	if !Forever.Covers(Between(t1, t2)) {
+		t.Error("Forever covers everything")
+	}
+	if Between(t1, t2).Covers(Forever) {
+		t.Error("bounded cannot cover Forever")
+	}
+	if !Between(t0, t3).Covers(Between(t1, t2)) {
+		t.Error("wide should cover narrow")
+	}
+	if Between(t1, t2).Covers(Between(t0, t3)) {
+		t.Error("narrow cannot cover wide")
+	}
+}
+
+func TestValiditySexpRoundTrip(t *testing.T) {
+	for _, v := range []Validity{Forever, Until(t2), Between(t1, t2), {NotBefore: t1}} {
+		e := v.Sexp()
+		got, err := ValidityFromSexp(e)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if !got.NotBefore.Equal(v.NotBefore) || !got.NotAfter.Equal(v.NotAfter) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestSpeaksForSexpRoundTrip(t *testing.T) {
+	s := SpeaksFor{
+		Subject:  key("bob"),
+		Issuer:   principal.NameOf(key("alice"), "mail"),
+		Tag:      tag.MustParse(`(tag (web (method GET)))`),
+		Validity: Between(t1, t2),
+	}
+	got, err := SpeaksForFromSexp(s.Sexp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !principal.Equal(got.Subject, s.Subject) || !principal.Equal(got.Issuer, s.Issuer) {
+		t.Error("principals mangled")
+	}
+	if !got.Tag.Equal(s.Tag) {
+		t.Error("tag mangled")
+	}
+	if !got.Validity.NotBefore.Equal(s.Validity.NotBefore) || !got.Validity.NotAfter.Equal(s.Validity.NotAfter) {
+		t.Error("validity mangled")
+	}
+}
+
+func TestSpeaksForEqualAndKey(t *testing.T) {
+	a := SpeaksFor{Subject: key("s"), Issuer: key("i"), Tag: tag.All()}
+	b := SpeaksFor{Subject: key("s"), Issuer: key("i"), Tag: tag.All()}
+	c := SpeaksFor{Subject: key("s"), Issuer: key("x"), Tag: tag.All()}
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Error("identical statements differ")
+	}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Error("different statements equal")
+	}
+}
+
+func TestSpeaksForFromSexpRejectsMalformed(t *testing.T) {
+	s := SpeaksFor{Subject: key("s"), Issuer: key("i"), Tag: tag.All()}
+	good := s.Sexp()
+	// Drop the tag.
+	bad := good.Copy()
+	bad.List = bad.List[:3]
+	if _, err := SpeaksForFromSexp(bad); err == nil {
+		t.Error("accepted statement without tag")
+	}
+	if _, err := SpeaksForFromSexp(nil); err == nil {
+		t.Error("accepted nil")
+	}
+}

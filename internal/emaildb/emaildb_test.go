@@ -1,0 +1,169 @@
+package emaildb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/channel/secure"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+var day = time.Date(2026, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func seedService(t *testing.T) *Service {
+	t.Helper()
+	svc, err := NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{
+		{Owner: "alice", Folder: "inbox", From: "bob", To: "alice", Subject: "a1", Date: day},
+		{Owner: "alice", Folder: "inbox", From: "carol", To: "alice", Subject: "a2", Date: day.Add(time.Hour)},
+		{Owner: "alice", Folder: "archive", From: "dave", To: "alice", Subject: "a3", Date: day.Add(2 * time.Hour)},
+		{Owner: "bob", Folder: "inbox", From: "eve", To: "bob", Subject: "b1", Date: day},
+	}
+	for _, m := range msgs {
+		var r InsertReply
+		if err := svc.Insert(InsertArgs{Msg: m}, &r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return svc
+}
+
+func TestLocalCRUD(t *testing.T) {
+	svc := seedService(t)
+	var sel SelectReply
+	if err := svc.Select(SelectArgs{Owner: "alice", Folder: "inbox"}, &sel); err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Msgs) != 2 {
+		t.Fatalf("inbox = %d msgs", len(sel.Msgs))
+	}
+	// Newest first.
+	if sel.Msgs[0].Subject != "a2" {
+		t.Fatalf("order wrong: %v", sel.Msgs[0])
+	}
+	var all SelectReply
+	svc.Select(SelectArgs{Owner: "alice"}, &all)
+	if len(all.Msgs) != 3 {
+		t.Fatalf("all = %d", len(all.Msgs))
+	}
+	var mr MarkReadReply
+	if err := svc.MarkRead(MarkReadArgs{Owner: "alice", ID: all.Msgs[0].ID}, &mr); err != nil || mr.Updated != 1 {
+		t.Fatalf("markread: %v %d", err, mr.Updated)
+	}
+	// Marking someone else's message does nothing.
+	var mr2 MarkReadReply
+	svc.MarkRead(MarkReadArgs{Owner: "bob", ID: all.Msgs[1].ID}, &mr2)
+	if mr2.Updated != 0 {
+		t.Fatal("cross-owner markread succeeded")
+	}
+	var del DeleteReply
+	if err := svc.Delete(DeleteArgs{Owner: "alice", ID: all.Msgs[2].ID}, &del); err != nil || del.Deleted != 1 {
+		t.Fatalf("delete: %v %d", err, del.Deleted)
+	}
+	// Insert requires an owner.
+	var ir InsertReply
+	if err := svc.Insert(InsertArgs{Msg: Message{}}, &ir); err == nil {
+		t.Fatal("ownerless insert accepted")
+	}
+}
+
+func TestTagForScopesPerMailbox(t *testing.T) {
+	aliceGrant := OwnerTag("alice")
+	cases := []struct {
+		args interface{}
+		want bool
+	}{
+		{SelectArgs{Owner: "alice"}, true},
+		{InsertArgs{Msg: Message{Owner: "alice"}}, true},
+		{MarkReadArgs{Owner: "alice", ID: 1}, true},
+		{DeleteArgs{Owner: "alice", ID: 1}, true},
+		{SelectArgs{Owner: "bob"}, false},
+		{DeleteArgs{Owner: "bob", ID: 1}, false},
+	}
+	for _, c := range cases {
+		req := TagFor(ObjectName, "X", c.args)
+		if got := tag.Covers(aliceGrant, req); got != c.want {
+			t.Errorf("Covers(alice grant, %+v) = %v, want %v", c.args, got, c.want)
+		}
+	}
+	// Read-only grant excludes writes.
+	ro := ReadOnlyTag("alice")
+	if !tag.Covers(ro, TagFor(ObjectName, "Select", SelectArgs{Owner: "alice"})) {
+		t.Error("read-only grant rejects select")
+	}
+	if tag.Covers(ro, TagFor(ObjectName, "Delete", DeleteArgs{Owner: "alice"})) {
+		t.Error("read-only grant allows delete")
+	}
+}
+
+// TestOverRMI is the section 6.2 configuration: the database adapted
+// to Snowflake with ssh-channel RMI and per-method checkAuth.
+func TestOverRMI(t *testing.T) {
+	svc := seedService(t)
+	serverKey := sfkey.FromSeed([]byte("emaildb-server"))
+	issuer := principal.KeyOf(serverKey.Public())
+	srv := rmi.NewServer()
+	if err := Register(srv, svc, issuer); err != nil {
+		t.Fatal(err)
+	}
+	l, err := secure.Listen("127.0.0.1:0", &secure.Identity{Priv: serverKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+
+	aliceKey := sfkey.FromSeed([]byte("emaildb-alice"))
+	alice := principal.KeyOf(aliceKey.Public())
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(aliceKey))
+	grant, err := cert.Delegate(serverKey, alice, issuer, OwnerTag("alice"), core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv.AddProof(grant)
+	id, _ := secure.NewIdentity()
+	c, err := rmi.Dial(secure.Dialer{ID: id}, l.Addr().String(), pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var sel SelectReply
+	if err := c.Call(ObjectName, "Select", SelectArgs{Owner: "alice"}, &sel); err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Msgs) != 3 {
+		t.Fatalf("alice msgs = %d", len(sel.Msgs))
+	}
+	// Alice cannot read bob's mail.
+	var selB SelectReply
+	if err := c.Call(ObjectName, "Select", SelectArgs{Owner: "bob"}, &selB); err == nil {
+		t.Fatal("alice read bob's mailbox")
+	}
+	// Alice can insert into her own mailbox.
+	var ir InsertReply
+	if err := c.Call(ObjectName, "Insert", InsertArgs{Msg: Message{
+		Owner: "alice", Folder: "inbox", From: "f", To: "alice", Subject: "new", Date: day,
+	}}, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.ID == 0 {
+		t.Fatal("no id assigned")
+	}
+	// ... but not into bob's.
+	if err := c.Call(ObjectName, "Insert", InsertArgs{Msg: Message{
+		Owner: "bob", Folder: "inbox", Date: day,
+	}}, &ir); err == nil {
+		t.Fatal("alice inserted into bob's mailbox")
+	}
+}

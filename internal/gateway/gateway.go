@@ -1,0 +1,271 @@
+// Package gateway is the quoting protocol gateway of paper section
+// 6.3: an HTML-over-HTTP front end to the relational email database.
+// The gateway holds no authority of its own over mailboxes. It quotes
+// each client in its RMI requests, so the database server — which
+// sees the full chain "gateway-channel quoting client speaks for
+// database" — makes the real access-control decision. A correct
+// gateway only needs to quote faithfully; it never duplicates the
+// database's checks.
+//
+// The gateway spans all four boundaries of section 2: administrative
+// domains (client and database need share no account database),
+// network scale (its database link may be a secure channel or a
+// colocated local channel), abstraction (it renders mailbox views
+// over relational rows), and protocol (HTTP in front, RMI behind).
+package gateway
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/emaildb"
+	"repro/internal/httpauth"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// Gateway bridges HTTP clients to the RMI email database.
+type Gateway struct {
+	// Key is the gateway's own key (G).
+	Key *sfkey.PrivateKey
+	// DB is the RMI connection to the database server; its prover
+	// must be Prover below.
+	DB *rmi.Client
+	// DBIssuer is the principal controlling the database (S).
+	DBIssuer principal.Principal
+	// Prover holds the gateway closure and digests client grants.
+	Prover *prover.Prover
+	// Clock for verification; nil means time.Now.
+	Clock func() time.Time
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts gateway work.
+type Stats struct {
+	Requests   int
+	Challenges int
+	Digested   int
+	Forwarded  int
+	Denied     int
+}
+
+// New wires a gateway around its key and database connection. The
+// supplied prover must hold the gateway key's closure (use NewProver).
+func New(key *sfkey.PrivateKey, db *rmi.Client, dbIssuer principal.Principal, pv *prover.Prover) *Gateway {
+	return &Gateway{Key: key, DB: db, DBIssuer: dbIssuer, Prover: pv}
+}
+
+// NewProver builds the prover a gateway needs: its own key closure.
+func NewProver(key *sfkey.PrivateKey) *prover.Prover {
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(key))
+	return pv
+}
+
+// Stats returns a copy of the counters.
+func (g *Gateway) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+func (g *Gateway) now() time.Time {
+	if g.Clock != nil {
+		return g.Clock()
+	}
+	return time.Now()
+}
+
+// dbOp describes the database call derived from an HTTP request.
+type dbOp struct {
+	owner  string
+	folder string
+	op     string // select | update
+	id     int64
+}
+
+// parseOp maps URLs to database operations:
+//
+//	GET  /mail?owner=alice&folder=inbox   -> select
+//	POST /markread?owner=alice&id=3      -> update
+func parseOp(r *http.Request) (dbOp, error) {
+	q := r.URL.Query()
+	op := dbOp{owner: q.Get("owner"), folder: q.Get("folder")}
+	if op.owner == "" {
+		return op, fmt.Errorf("gateway: missing owner parameter")
+	}
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/mail":
+		op.op = "select"
+	case r.Method == http.MethodPost && r.URL.Path == "/markread":
+		op.op = "update"
+		id, err := strconv.ParseInt(q.Get("id"), 10, 64)
+		if err != nil {
+			return op, fmt.Errorf("gateway: bad id: %w", err)
+		}
+		op.id = id
+	default:
+		return op, fmt.Errorf("gateway: no such endpoint %s %s", r.Method, r.URL.Path)
+	}
+	return op, nil
+}
+
+// ServeHTTP implements the gateway protocol of section 6.3.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	g.stats.Requests++
+	g.mu.Unlock()
+
+	op, err := parseOp(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	minTag := emaildb.OpTag(op.owner, op.op)
+
+	body, _ := io.ReadAll(r.Body)
+	reqPrin := httpauth.ServerRequestPrincipal(r, body)
+
+	auth := r.Header.Get("Authorization")
+	if auth == "" {
+		g.challenge(w, minTag)
+		return
+	}
+
+	client, err := g.admit(auth, reqPrin)
+	if err != nil {
+		g.mu.Lock()
+		g.stats.Denied++
+		g.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+
+	// Forward over RMI, quoting the client. The database, not the
+	// gateway, decides whether the quoted client may touch the
+	// mailbox.
+	g.mu.Lock()
+	g.stats.Forwarded++
+	g.mu.Unlock()
+	switch op.op {
+	case "select":
+		var reply emaildb.SelectReply
+		err = g.DB.CallQuoting(client, emaildb.ObjectName, "Select",
+			emaildb.SelectArgs{Owner: op.owner, Folder: op.folder}, &reply)
+		if err != nil {
+			g.deny(w, err)
+			return
+		}
+		renderMailbox(w, op.owner, reply.Msgs)
+	case "update":
+		var reply emaildb.MarkReadReply
+		err = g.DB.CallQuoting(client, emaildb.ObjectName, "MarkRead",
+			emaildb.MarkReadArgs{Owner: op.owner, ID: op.id}, &reply)
+		if err != nil {
+			g.deny(w, err)
+			return
+		}
+		fmt.Fprintf(w, "marked %d message(s) read\n", reply.Updated)
+	}
+}
+
+func (g *Gateway) deny(w http.ResponseWriter, err error) {
+	g.mu.Lock()
+	g.stats.Denied++
+	g.mu.Unlock()
+	http.Error(w, err.Error(), http.StatusForbidden)
+}
+
+// challenge sends the 401 naming the database issuer S, the minimum
+// tag, and the compound subject template "G quoting ?" — the
+// pseudo-principal shortcut that saves a round trip to discover the
+// client's identity (section 6.3).
+func (g *Gateway) challenge(w http.ResponseWriter, minTag tag.Tag) {
+	g.mu.Lock()
+	g.stats.Challenges++
+	g.mu.Unlock()
+	template := principal.QuoteOf(principal.KeyOf(g.Key.Public()), principal.Pseudo{})
+	w.Header().Set("WWW-Authenticate", httpauth.SchemeProof)
+	w.Header().Set(httpauth.HdrServiceIssuer, string(g.DBIssuer.Sexp().Transport()))
+	w.Header().Set(httpauth.HdrMinimumTag, string(minTag.Sexp().Transport()))
+	w.Header().Set(httpauth.HdrSubjectTemplate, string(template.Sexp().Transport()))
+	http.Error(w, "401 Unauthorized: delegate to the gateway quoting you", http.StatusUnauthorized)
+}
+
+// admit checks the two artifacts the client supplies (section 6.3):
+// the signed request showing R => C, and the delegation proof showing
+// (G quoting C) speaks for the database, which the gateway digests
+// into its prover for the RMI invoker to use.
+func (g *Gateway) admit(auth string, reqPrin principal.Hash) (principal.Principal, error) {
+	scheme, params := httpauth.ParseAuthHeader(auth)
+	if scheme != httpauth.SchemeProof {
+		return nil, fmt.Errorf("gateway: unsupported scheme %q", scheme)
+	}
+	rpRaw, ok := params["request-proof"]
+	if !ok {
+		return nil, fmt.Errorf("gateway: missing signed request")
+	}
+	rp, err := core.ParseProof([]byte(rpRaw))
+	if err != nil {
+		return nil, fmt.Errorf("gateway: bad request proof: %w", err)
+	}
+	ctx := core.NewVerifyContext()
+	ctx.Now = g.now()
+	if err := rp.Verify(ctx); err != nil {
+		return nil, fmt.Errorf("gateway: request proof: %w", err)
+	}
+	concl := rp.Conclusion()
+	if !principal.Equal(concl.Subject, reqPrin) {
+		return nil, fmt.Errorf("gateway: signed request does not match this request")
+	}
+	if !concl.Validity.Contains(g.now()) {
+		return nil, fmt.Errorf("gateway: signed request expired")
+	}
+	client := concl.Issuer
+
+	if pRaw, ok := params["proof"]; ok {
+		p, err := core.ParseProof([]byte(pRaw))
+		if err != nil {
+			return nil, fmt.Errorf("gateway: bad delegation proof: %w", err)
+		}
+		if err := p.Verify(ctx); err != nil {
+			return nil, fmt.Errorf("gateway: delegation proof: %w", err)
+		}
+		g.Prover.AddProof(p)
+		g.mu.Lock()
+		g.stats.Digested++
+		g.mu.Unlock()
+	}
+	return client, nil
+}
+
+var mailboxTmpl = template.Must(template.New("mailbox").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Owner}}'s mail</title></head><body>
+<h1>Mailbox: {{.Owner}}</h1>
+<table border="1">
+<tr><th>ID</th><th>From</th><th>Subject</th><th>Date</th><th>Read</th></tr>
+{{range .Msgs}}<tr><td>{{.ID}}</td><td>{{.From}}</td><td>{{.Subject}}</td><td>{{.Date.Format "2006-01-02 15:04"}}</td><td>{{if .Read}}yes{{else}}no{{end}}</td></tr>
+{{end}}</table>
+<p>{{len .Msgs}} message(s). Rendered by the Snowflake quoting gateway.</p>
+</body></html>`))
+
+// renderMailbox builds the HTML view — the abstraction boundary: an
+// email view assembled from relational rows.
+func renderMailbox(w http.ResponseWriter, owner string, msgs []emaildb.Message) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	mailboxTmpl.Execute(w, struct {
+		Owner string
+		Msgs  []emaildb.Message
+	}{Owner: owner, Msgs: msgs})
+}

@@ -1,0 +1,290 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/channel/local"
+	"repro/internal/channel/secure"
+	"repro/internal/core"
+	"repro/internal/emaildb"
+	"repro/internal/httpauth"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+)
+
+// fourBoundaryWorld assembles the full section 6.3 configuration:
+// HTTP client -> quoting gateway -> RMI email database.
+type fourBoundaryWorld struct {
+	dbKey, gwKey, aliceKey, bobKey *sfkey.PrivateKey
+	dbIssuer                       principal.Principal
+	gw                             *Gateway
+	gwHTTP                         *httptest.Server
+	dbSrv                          *rmi.Server
+}
+
+func newFourBoundaryWorld(t *testing.T, colocated bool) *fourBoundaryWorld {
+	t.Helper()
+	w := &fourBoundaryWorld{
+		dbKey:    sfkey.FromSeed([]byte("gw-db-key")),
+		gwKey:    sfkey.FromSeed([]byte("gw-gw-key")),
+		aliceKey: sfkey.FromSeed([]byte("gw-alice")),
+		bobKey:   sfkey.FromSeed([]byte("gw-bob")),
+	}
+	w.dbIssuer = principal.KeyOf(w.dbKey.Public())
+
+	// Database server with seed messages.
+	svc, err := emaildb.NewService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := []emaildb.Message{
+		{Owner: "alice", Folder: "inbox", From: "carol", To: "alice", Subject: "hello alice", Date: time.Now()},
+		{Owner: "alice", Folder: "inbox", From: "dave", To: "alice", Subject: "meeting", Date: time.Now()},
+		{Owner: "bob", Folder: "inbox", From: "eve", To: "bob", Subject: "secret for bob", Date: time.Now()},
+	}
+	for _, m := range seed {
+		var r emaildb.InsertReply
+		if err := svc.Insert(emaildb.InsertArgs{Msg: m}, &r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.dbSrv = rmi.NewServer()
+	if err := emaildb.Register(w.dbSrv, svc, w.dbIssuer); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gateway prover and RMI connection — over a colocated local
+	// channel or a secure network channel.
+	gpv := NewProver(w.gwKey)
+	var dbClient *rmi.Client
+	if colocated {
+		host := local.NewHost()
+		l, err := host.Listen("emaildb", w.dbKey.Public())
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.dbSrv.Serve(l)
+		chanKey := sfkey.FromSeed([]byte("gw-chan"))
+		dbClient, err = rmi.Dial(local.Dialer{Host: host, Key: chanKey.Public()}, "emaildb", gpv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Over the local channel the gateway's channel key is vouched
+		// by the host; the prover must control it to delegate G ->
+		// channel. Register a closure that signs with the gateway key
+		// on the channel key's behalf is wrong — instead the gateway
+		// uses its own key as the channel identity:
+		dbClient.Close()
+		dbClient, err = rmi.Dial(local.Dialer{Host: host, Key: w.gwKey.Public()}, "emaildb", gpv)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		l, err := secure.Listen("127.0.0.1:0", &secure.Identity{Priv: w.dbKey})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		go w.dbSrv.Serve(l)
+		id, err := secure.NewIdentity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpv.AddClosure(prover.NewKeyClosure(id.Priv))
+		dbClient, err = rmi.Dial(secure.Dialer{ID: id}, l.Addr().String(), gpv)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { dbClient.Close() })
+
+	w.gw = New(w.gwKey, dbClient, w.dbIssuer, gpv)
+	w.gwHTTP = httptest.NewServer(w.gw)
+	t.Cleanup(w.gwHTTP.Close)
+	return w
+}
+
+// clientFor builds Alice's or Bob's authorizing HTTP client: the
+// database owner delegated their mailbox to their key.
+func (w *fourBoundaryWorld) clientFor(t *testing.T, userKey *sfkey.PrivateKey, owner string) *httpauth.Client {
+	t.Helper()
+	user := principal.KeyOf(userKey.Public())
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(userKey))
+	grant, err := cert.Delegate(w.dbKey, user, w.dbIssuer, emaildb.OwnerTag(owner), core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv.AddProof(grant)
+	return httpauth.NewClient(pv, user)
+}
+
+func TestGatewayFourBoundaries(t *testing.T) {
+	w := newFourBoundaryWorld(t, false)
+	alice := w.clientFor(t, w.aliceKey, "alice")
+
+	resp, err := alice.Get(w.gwHTTP.URL + "/mail?owner=alice&folder=inbox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d: %s", resp.StatusCode, b)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	html := string(body)
+	if !strings.Contains(html, "hello alice") || !strings.Contains(html, "meeting") {
+		t.Fatalf("mailbox missing messages: %s", html)
+	}
+	if strings.Contains(html, "secret for bob") {
+		t.Fatal("gateway leaked bob's mail into alice's view")
+	}
+	st := w.gw.Stats()
+	if st.Challenges != 1 || st.Digested != 1 || st.Forwarded != 1 {
+		t.Fatalf("gateway stats = %+v", st)
+	}
+}
+
+func TestGatewayCannotCrossMailboxes(t *testing.T) {
+	// Alice asks the gateway for Bob's mailbox. The gateway forwards
+	// faithfully, quoting Alice — and the DATABASE refuses, because
+	// Alice's delegation covers only her mailbox. The gateway never
+	// had to make that decision.
+	w := newFourBoundaryWorld(t, false)
+	alice := w.clientFor(t, w.aliceKey, "alice")
+	resp, err := alice.Get(w.gwHTTP.URL + "/mail?owner=bob&folder=inbox")
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("alice read bob's mailbox through the gateway")
+		}
+	}
+	// Either the client fails to build a proof (its grant does not
+	// cover bob) or the database denies; both are acceptable ends.
+}
+
+func TestGatewayServesMultipleClientsWithoutConfusion(t *testing.T) {
+	// The gateway simultaneously holds delegations from Alice and
+	// Bob; quoting keeps their authority separate (section 6.3.1).
+	w := newFourBoundaryWorld(t, false)
+	alice := w.clientFor(t, w.aliceKey, "alice")
+	bob := w.clientFor(t, w.bobKey, "bob")
+
+	ra, err := alice.Get(w.gwHTTP.URL + "/mail?owner=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Body.Close()
+	rb, err := bob.Get(w.gwHTTP.URL + "/mail?owner=bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Body.Close()
+	ba, _ := io.ReadAll(ra.Body)
+	bb, _ := io.ReadAll(rb.Body)
+	if !strings.Contains(string(ba), "hello alice") {
+		t.Fatal("alice's view broken")
+	}
+	if !strings.Contains(string(bb), "secret for bob") {
+		t.Fatal("bob's view broken")
+	}
+	// Now that the gateway holds BOTH delegations, Alice still must
+	// not reach Bob's mail: the gateway quotes Alice, and Bob's
+	// grant chain does not apply.
+	resp, err := alice.Get(w.gwHTTP.URL + "/mail?owner=bob")
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("gateway conflated client authorities")
+		}
+	}
+}
+
+func TestGatewayMarkRead(t *testing.T) {
+	w := newFourBoundaryWorld(t, false)
+	alice := w.clientFor(t, w.aliceKey, "alice")
+	req, _ := http.NewRequest(http.MethodPost, w.gwHTTP.URL+"/markread?owner=alice&id=1", nil)
+	resp, err := alice.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "marked 1") {
+		t.Fatalf("markread: %d %s", resp.StatusCode, b)
+	}
+}
+
+func TestGatewayColocatedWithDatabase(t *testing.T) {
+	// Section 6.3: "It can be colocated with the server, in which
+	// case its RMI transactions automatically avoid encryption
+	// overhead by using the local channels of Section 5.2."
+	w := newFourBoundaryWorld(t, true)
+	alice := w.clientFor(t, w.aliceKey, "alice")
+	resp, err := alice.Get(w.gwHTTP.URL + "/mail?owner=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hello alice") {
+		t.Fatalf("colocated gateway failed: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestGatewayRejectsForgedRequestProof(t *testing.T) {
+	w := newFourBoundaryWorld(t, false)
+	// Send a request with an Authorization header whose request-proof
+	// was signed over a different request.
+	alice := w.clientFor(t, w.aliceKey, "alice")
+	var captured string
+	alice.HTTP = &http.Client{Transport: &capture{out: &captured}}
+	resp, err := alice.Get(w.gwHTTP.URL + "/mail?owner=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if captured == "" {
+		t.Fatal("no auth captured")
+	}
+	req, _ := http.NewRequest(http.MethodGet, w.gwHTTP.URL+"/mail?owner=alice&folder=spoofed", nil)
+	req.Header.Set("Authorization", captured)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusForbidden {
+		t.Fatalf("forged request got %d", resp2.StatusCode)
+	}
+}
+
+type capture struct{ out *string }
+
+func (c *capture) RoundTrip(r *http.Request) (*http.Response, error) {
+	if a := r.Header.Get("Authorization"); a != "" {
+		*c.out = a
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func TestGatewayUnknownEndpoint(t *testing.T) {
+	w := newFourBoundaryWorld(t, false)
+	resp, err := http.Get(w.gwHTTP.URL + "/nope?owner=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,406 @@
+package httpauth
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/sexp"
+	"repro/internal/tag"
+)
+
+// Client wraps an http.Client with Snowflake authorization: it
+// resends challenged requests with a proof whose subject is the
+// request hash, optionally amortizing signatures through the MAC
+// protocol, and verifies server document proofs (sections 5.3.1,
+// 5.3.3, 5.3.5).
+type Client struct {
+	// HTTP is the underlying transport; nil means a default client.
+	HTTP *http.Client
+	// Prover supplies and mints proofs; it must hold a closure for
+	// Self.
+	Prover *prover.Prover
+	// Self is the user's key principal (KC).
+	Self principal.Principal
+	// UseMAC enables the amortized protocol of section 5.3.1.
+	UseMAC bool
+	// VerifyDocs demands and checks server document proofs against
+	// ExpectServer (section 5.3.3).
+	VerifyDocs   bool
+	ExpectServer principal.Principal
+	// Clock for proof construction; nil means time.Now.
+	Clock func() time.Time
+
+	mu    sync.Mutex
+	macs  map[string]*macState // per host
+	stats ClientStats
+}
+
+// ClientStats counts client-side protocol work.
+type ClientStats struct {
+	Requests     int
+	Challenges   int
+	Signatures   int
+	MACUses      int
+	DocsVerified int
+	DocFailures  int
+}
+
+type macState struct {
+	keyID  string
+	secret []byte
+	prin   principal.MAC
+	// issuerProof shows MAC-principal => issuer; attached until the
+	// server confirms it has it.
+	issuerProof core.Proof
+	attached    bool
+}
+
+// NewClient builds an authorizing client around the user's prover.
+func NewClient(pv *prover.Prover, self principal.Principal) *Client {
+	return &Client{Prover: pv, Self: self, macs: make(map[string]*macState)}
+}
+
+// Stats returns a copy of the counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
+
+// Get issues an authorized GET.
+func (c *Client) Get(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+// Do sends the request, answering a Snowflake challenge when one
+// comes back. The request body, if any, is buffered so the request
+// can be replayed.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	c.mu.Lock()
+	c.stats.Requests++
+	c.mu.Unlock()
+
+	var body []byte
+	if req.Body != nil && req.Body != http.NoBody {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// With an established MAC session, authorize directly.
+	if c.UseMAC {
+		if ms := c.macFor(req.URL.Host); ms != nil {
+			resp, err := c.doMAC(req, body, ms)
+			if err != nil {
+				return nil, err
+			}
+			if resp.StatusCode != http.StatusUnauthorized && resp.StatusCode != http.StatusForbidden {
+				return c.checkDoc(resp, nil)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			c.dropMAC(req.URL.Host)
+			// Fall through to the challenge path.
+		}
+	}
+
+	resp, err := c.send(req, body, nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusUnauthorized ||
+		resp.Header.Get("WWW-Authenticate") != SchemeProof {
+		return c.checkDoc(resp, nil)
+	}
+	challenge := resp.Header
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.mu.Lock()
+	c.stats.Challenges++
+	c.mu.Unlock()
+
+	return c.answerChallenge(req, body, challenge)
+}
+
+// answerChallenge implements the client side of Figure 5 plus MAC
+// establishment.
+func (c *Client) answerChallenge(req *http.Request, body []byte, challenge http.Header) (*http.Response, error) {
+	issuer, minTag, subjTemplate, err := parseChallenge(challenge)
+	if err != nil {
+		return nil, err
+	}
+
+	headers := http.Header{}
+	var eph *ecdh.PrivateKey
+	if c.UseMAC {
+		priv, pub, err := newClientEphemeral()
+		if err != nil {
+			return nil, err
+		}
+		eph = priv
+		headers.Set(HdrMACEstablish, base64.StdEncoding.EncodeToString(pub))
+	}
+
+	// Build the proof. The subject is the hash of the (final) request
+	// — one public-key signature per challenged request, the cost the
+	// MAC protocol amortizes — unless the challenge supplied a
+	// compound subject template (quoting gateways).
+	reqCopy, err := cloneRequest(req, body, headers)
+	if err != nil {
+		return nil, err
+	}
+	reqPrin, _, err := RequestPrincipal(reqCopy)
+	if err != nil {
+		return nil, err
+	}
+	var subject principal.Principal = reqPrin
+	if subjTemplate != nil {
+		subject = principal.SubstitutePseudo(subjTemplate, c.Self)
+	}
+	proof, err := c.Prover.FindProof(subject, issuer, minTag, c.now())
+	if err != nil {
+		return nil, fmt.Errorf("httpauth: cannot satisfy challenge: %w", err)
+	}
+	c.mu.Lock()
+	c.stats.Signatures++
+	c.mu.Unlock()
+
+	authz := SchemeProof + ` proof=` + string(proof.Sexp().Transport())
+	if subjTemplate != nil {
+		// Gateway case (section 6.3): the delegation proof names the
+		// compound subject, so we additionally attach a signed copy of
+		// the request showing R => C.
+		rp, err := c.Prover.Delegate(c.Self, reqPrin, tag.All(),
+			core.Between(c.now().Add(-time.Minute), c.now().Add(5*time.Minute)))
+		if err != nil {
+			return nil, fmt.Errorf("httpauth: cannot sign request: %w", err)
+		}
+		c.mu.Lock()
+		c.stats.Signatures++
+		c.mu.Unlock()
+		authz += `, request-proof=` + string(rp.Sexp().Transport())
+	}
+	reqCopy.Header.Set("Authorization", authz)
+	resp, err := c.httpClient().Do(reqCopy)
+	if err != nil {
+		return nil, err
+	}
+
+	// Harvest a MAC session from the response.
+	if c.UseMAC && eph != nil && resp.Header.Get(HdrMACKeyID) != "" {
+		c.harvestMAC(req.URL.Host, issuer, minTag, eph, resp.Header)
+	}
+	return c.checkDoc(resp, nil)
+}
+
+// harvestMAC decrypts the MAC secret, delegates to the MAC principal
+// (one signature), and prepares the proof that the MAC principal
+// speaks for the issuer.
+func (c *Client) harvestMAC(host string, issuer principal.Principal, minTag tag.Tag, eph *ecdh.PrivateKey, h http.Header) error {
+	serverEph, err := base64.StdEncoding.DecodeString(h.Get(HdrMACServerEph))
+	if err != nil {
+		return err
+	}
+	sealed, err := base64.StdEncoding.DecodeString(h.Get(HdrMACSecret))
+	if err != nil {
+		return err
+	}
+	secret, err := openSecret(eph, serverEph, sealed)
+	if err != nil {
+		return err
+	}
+	mp := principal.MACOf(secret)
+	// One signature: our key delegates its full authority to the MAC
+	// principal for the session; composing with the widest chain to
+	// the issuer keeps the session usable for every request the
+	// original grant covers, not just the one that was challenged.
+	minted, err := c.Prover.Delegate(c.Self, mp, tag.All(),
+		core.Between(c.now().Add(-time.Minute), c.now().Add(time.Hour)))
+	if err != nil {
+		return err
+	}
+	chain, err := c.Prover.FindProof(c.Self, issuer, minTag, c.now())
+	if err != nil {
+		return err
+	}
+	var proof core.Proof
+	if _, ok := chain.(*core.Reflex); ok {
+		proof = minted
+	} else if proof, err = core.NewTransitivity(minted, chain); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.macs[host] = &macState{
+		keyID:       h.Get(HdrMACKeyID),
+		secret:      secret,
+		prin:        mp,
+		issuerProof: proof,
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Client) macFor(host string) *macState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.macs[host]
+}
+
+func (c *Client) dropMAC(host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.macs, host)
+}
+
+// doMAC authorizes with the amortized protocol: an HMAC over the
+// request hash plus (until cached server-side) the proof for the MAC
+// principal. No public-key operations on this path.
+func (c *Client) doMAC(req *http.Request, body []byte, ms *macState) (*http.Response, error) {
+	reqCopy, err := cloneRequest(req, body, nil)
+	if err != nil {
+		return nil, err
+	}
+	reqPrin, _, err := RequestPrincipal(reqCopy)
+	if err != nil {
+		return nil, err
+	}
+	mac := computeMAC(ms.secret, reqPrin.Digest)
+	reqCopy.Header.Set("Authorization",
+		fmt.Sprintf(`%s keyid=%s, mac=%s`, SchemeMAC, ms.keyID, mac))
+	c.mu.Lock()
+	if !ms.attached && ms.issuerProof != nil {
+		reqCopy.Header.Set(HdrProof, string(ms.issuerProof.Sexp().Transport()))
+		ms.attached = true
+	}
+	c.stats.MACUses++
+	c.mu.Unlock()
+	return c.httpClient().Do(reqCopy)
+}
+
+// checkDoc verifies a server document proof when configured
+// (section 5.3.3): the response body's hash must provably speak for
+// the expected server principal.
+func (c *Client) checkDoc(resp *http.Response, err error) (*http.Response, error) {
+	if err != nil || resp == nil || !c.VerifyDocs || resp.StatusCode != http.StatusOK {
+		return resp, err
+	}
+	raw := resp.Header.Get(HdrDocProof)
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	if rerr != nil {
+		return resp, rerr
+	}
+	fail := func(reason string) (*http.Response, error) {
+		c.mu.Lock()
+		c.stats.DocFailures++
+		c.mu.Unlock()
+		return resp, fmt.Errorf("httpauth: document authentication failed: %s", reason)
+	}
+	if raw == "" {
+		return fail("no document proof supplied")
+	}
+	proof, perr := core.ParseProof([]byte(raw))
+	if perr != nil {
+		return fail(perr.Error())
+	}
+	docPrin := principal.HashOfBytes(body)
+	ctx := core.NewVerifyContext()
+	ctx.Now = c.now()
+	path := ""
+	if resp.Request != nil {
+		path = resp.Request.URL.Path
+	}
+	if aerr := core.Authorize(ctx, proof, docPrin, c.ExpectServer, DocTag(path)); aerr != nil {
+		return fail(aerr.Error())
+	}
+	c.mu.Lock()
+	c.stats.DocsVerified++
+	c.mu.Unlock()
+	return resp, nil
+}
+
+// send issues the request with extra headers, body restored.
+func (c *Client) send(req *http.Request, body []byte, extra http.Header) (*http.Response, error) {
+	reqCopy, err := cloneRequest(req, body, extra)
+	if err != nil {
+		return nil, err
+	}
+	return c.httpClient().Do(reqCopy)
+}
+
+func cloneRequest(req *http.Request, body []byte, extra http.Header) (*http.Request, error) {
+	out, err := http.NewRequest(req.Method, req.URL.String(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vs := range req.Header {
+		for _, v := range vs {
+			out.Header.Add(k, v)
+		}
+	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			out.Header.Set(k, v)
+		}
+	}
+	out.Host = req.Host
+	return out, nil
+}
+
+// parseChallenge decodes the 401 headers.
+func parseChallenge(h http.Header) (issuer principal.Principal, minTag tag.Tag, subjTemplate principal.Principal, err error) {
+	ie, err := sexp.ParseOne([]byte(h.Get(HdrServiceIssuer)))
+	if err != nil {
+		return nil, tag.Tag{}, nil, fmt.Errorf("httpauth: challenge issuer: %w", err)
+	}
+	if issuer, err = principal.FromSexp(ie); err != nil {
+		return nil, tag.Tag{}, nil, err
+	}
+	te, err := sexp.ParseOne([]byte(h.Get(HdrMinimumTag)))
+	if err != nil {
+		return nil, tag.Tag{}, nil, fmt.Errorf("httpauth: challenge tag: %w", err)
+	}
+	if minTag, err = tag.FromSexp(te); err != nil {
+		return nil, tag.Tag{}, nil, err
+	}
+	if raw := h.Get(HdrSubjectTemplate); raw != "" {
+		se, err := sexp.ParseOne([]byte(raw))
+		if err != nil {
+			return nil, tag.Tag{}, nil, err
+		}
+		if subjTemplate, err = principal.FromSexp(se); err != nil {
+			return nil, tag.Tag{}, nil, err
+		}
+	}
+	return issuer, minTag, subjTemplate, nil
+}

@@ -1,0 +1,91 @@
+package httpauth
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+)
+
+// The MAC-establishment exchange of section 5.3.1: "the server send[s]
+// an encrypted, secret message authentication code (MAC) to the
+// client", amortizing the public-key operation of signed requests.
+// The client attaches an ephemeral X25519 key to an authorized
+// request; the server replies with its own ephemeral key and the MAC
+// secret sealed under the shared key.
+
+// newClientEphemeral generates the client half of the exchange.
+func newClientEphemeral() (priv *ecdh.PrivateKey, pubBytes []byte, err error) {
+	priv, err = ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	return priv, priv.PublicKey().Bytes(), nil
+}
+
+// sealSecret generates a fresh MAC secret and seals it to the
+// client's ephemeral public key.
+func sealSecret(clientEphPub []byte) (secret, serverEphPub, sealed []byte, err error) {
+	curve := ecdh.X25519()
+	peer, err := curve.NewPublicKey(clientEphPub)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("httpauth: client ephemeral: %w", err)
+	}
+	serverEph, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	shared, err := serverEph.ECDH(peer)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	secret = make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		return nil, nil, nil, err
+	}
+	aead, err := macAEAD(shared)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, nil, nil, err
+	}
+	sealed = append(nonce, aead.Seal(nil, nonce, secret, nil)...)
+	return secret, serverEph.PublicKey().Bytes(), sealed, nil
+}
+
+// openSecret recovers the MAC secret on the client side.
+func openSecret(clientEph *ecdh.PrivateKey, serverEphPub, sealed []byte) ([]byte, error) {
+	curve := ecdh.X25519()
+	peer, err := curve.NewPublicKey(serverEphPub)
+	if err != nil {
+		return nil, fmt.Errorf("httpauth: server ephemeral: %w", err)
+	}
+	shared, err := clientEph.ECDH(peer)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := macAEAD(shared)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, fmt.Errorf("httpauth: sealed secret too short")
+	}
+	return aead.Open(nil, sealed[:aead.NonceSize()], sealed[aead.NonceSize():], nil)
+}
+
+// macAEAD derives the sealing AEAD from the ECDH shared secret.
+func macAEAD(shared []byte) (cipher.AEAD, error) {
+	h := hmac.New(sha256.New, []byte("sf-mac-seal"))
+	h.Write(shared)
+	block, err := aes.NewCipher(h.Sum(nil))
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

@@ -1,0 +1,154 @@
+// Package httpauth implements the Snowflake HTTP authorization
+// protocol of paper section 5.3: a challenge/response extension in
+// which the server's "401 Unauthorized" names the issuer the client
+// must speak for and the minimum restriction set, and the client's
+// Authorization header carries a structured proof whose subject is
+// the hash of the request itself (a signed request).
+//
+// The package also provides the signed-request MAC optimization
+// (section 5.3.1) and server document authentication (section 5.3.3).
+package httpauth
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/principal"
+	"repro/internal/sexp"
+	"repro/internal/tag"
+)
+
+// Protocol constants.
+const (
+	// SchemeProof is the challenge scheme of Figure 5.
+	SchemeProof = "SnowflakeProof"
+	// SchemeMAC is the amortized scheme of section 5.3.1.
+	SchemeMAC = "SnowflakeMAC"
+
+	// Challenge headers (Figure 5).
+	HdrServiceIssuer = "Sf-ServiceIssuer"
+	HdrMinimumTag    = "Sf-MinimumTag"
+	// HdrSubjectTemplate extends the challenge for quoting gateways:
+	// the principal shape the proof's subject must take, with the
+	// pseudo-principal "?" standing for the client (section 6.3).
+	HdrSubjectTemplate = "Sf-SubjectTemplate"
+
+	// Proof attachment for MAC-authorized requests.
+	HdrProof = "Sf-Proof"
+
+	// MAC establishment headers.
+	HdrMACEstablish = "Sf-MAC-Establish"
+	HdrMACKeyID     = "Sf-MAC-KeyID"
+	HdrMACSecret    = "Sf-MAC-Secret"
+	HdrMACServerEph = "Sf-MAC-ServerEph"
+
+	// Document authentication (section 5.3.3).
+	HdrDocProof = "Sf-DocProof"
+)
+
+// canonicalRequest builds the S-expression whose hash is the request
+// principal: method, canonical URL, host, and body — everything
+// except the Authorization header ("the subject of the proof is a
+// hash of the request, less the Authorization header").
+func canonicalRequest(method, host, uri string, body []byte) *sexp.Sexp {
+	return sexp.List(
+		sexp.String("http-request"),
+		sexp.List(sexp.String("method"), sexp.String(strings.ToUpper(method))),
+		sexp.List(sexp.String("host"), sexp.String(host)),
+		sexp.List(sexp.String("uri"), sexp.String(uri)),
+		sexp.List(sexp.String("body"), sexp.Atom(body)),
+	)
+}
+
+// RequestPrincipal computes the hash principal of an outgoing request
+// (client side). The body is consumed and restored.
+func RequestPrincipal(r *http.Request) (principal.Hash, []byte, error) {
+	var body []byte
+	if r.Body != nil && r.Body != http.NoBody {
+		var err error
+		body, err = io.ReadAll(r.Body)
+		if err != nil {
+			return principal.Hash{}, nil, err
+		}
+		r.Body = io.NopCloser(strings.NewReader(string(body)))
+	}
+	e := canonicalRequest(r.Method, hostOf(r), r.URL.RequestURI(), body)
+	return principal.HashOfSexp(e), body, nil
+}
+
+// ServerRequestPrincipal computes the same hash on the receiving side.
+func ServerRequestPrincipal(r *http.Request, body []byte) principal.Hash {
+	e := canonicalRequest(r.Method, hostOf(r), r.URL.RequestURI(), body)
+	return principal.HashOfSexp(e)
+}
+
+// hostOf picks the Host header when set, else the URL host, so client
+// and server canonicalize identically.
+func hostOf(r *http.Request) string {
+	if r.Host != "" {
+		return r.Host
+	}
+	return r.URL.Host
+}
+
+// RequestTag is the concrete tag of one request, in the Figure 5
+// shape: (tag (web (method GET) (service "S") (resourcePath "/p"))).
+func RequestTag(method, service, resourcePath string) tag.Tag {
+	return tag.ListOf(
+		tag.Literal("web"),
+		tag.ListOf(tag.Literal("method"), tag.Literal(strings.ToUpper(method))),
+		tag.ListOf(tag.Literal("service"), tag.Literal(service)),
+		tag.ListOf(tag.Literal("resourcePath"), tag.Literal(resourcePath)),
+	)
+}
+
+// SubtreeTag is the grant covering a method set and a path prefix on
+// a service; the webfs application delegates subtrees with it.
+func SubtreeTag(methods []string, service, pathPrefix string) tag.Tag {
+	ms := make([]tag.Tag, len(methods))
+	for i, m := range methods {
+		ms[i] = tag.Literal(strings.ToUpper(m))
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Key() < ms[j].Key() })
+	var methodTag tag.Tag
+	if len(ms) == 1 {
+		methodTag = ms[0]
+	} else {
+		methodTag = tag.SetOf(ms...)
+	}
+	return tag.ListOf(
+		tag.Literal("web"),
+		tag.ListOf(tag.Literal("method"), methodTag),
+		tag.ListOf(tag.Literal("service"), tag.Literal(service)),
+		tag.ListOf(tag.Literal("resourcePath"), tag.Prefix(pathPrefix)),
+	)
+}
+
+// ParseAuthHeader splits "Scheme k1=v1, k2=v2" with values either
+// base64/token or {transport} blobs; exported for the gateway.
+func ParseAuthHeader(h string) (scheme string, params map[string]string) {
+	return parseAuthHeader(h)
+}
+
+// parseAuthHeader splits "Scheme k1=v1, k2=v2" with values either
+// base64/token or {transport} blobs.
+func parseAuthHeader(h string) (scheme string, params map[string]string) {
+	params = map[string]string{}
+	h = strings.TrimSpace(h)
+	sp := strings.IndexByte(h, ' ')
+	if sp < 0 {
+		return h, params
+	}
+	scheme = h[:sp]
+	for _, part := range strings.Split(h[sp+1:], ",") {
+		part = strings.TrimSpace(part)
+		if eq := strings.IndexByte(part, '='); eq > 0 {
+			k := part[:eq]
+			v := strings.Trim(part[eq+1:], `"`)
+			params[k] = v
+		}
+	}
+	return scheme, params
+}

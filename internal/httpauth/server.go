@@ -1,0 +1,313 @@
+package httpauth
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/tag"
+)
+
+// Mapper maps a request to the single principal that controls the
+// requested resource and the minimum restriction set required to
+// authorize it (the abstract ProtectedServlet methods of section
+// 5.3.4). Note there is no ACL: the client is responsible for knowing
+// and exploiting its group memberships as represented in delegations.
+type Mapper func(r *http.Request) (issuer principal.Principal, minTag tag.Tag, err error)
+
+// Protected wraps an http.Handler with Snowflake authorization: the
+// Go analog of ProtectedServlet (section 5.3.4).
+type Protected struct {
+	// Service names this service in request tags.
+	Service string
+	// Map supplies issuer and minimum restriction per request.
+	Map Mapper
+	// Handler is the service implementation, invoked only after
+	// authorization succeeds. The authorized request principal is
+	// exposed via FromContext-style header Sf-Authorized-Subject.
+	Handler http.Handler
+
+	// SubjectTemplate, when non-nil, is sent with challenges so
+	// clients know the proof subject must take a compound shape
+	// (quoting gateways).
+	SubjectTemplate principal.Principal
+
+	// Clock for verification time; nil means time.Now.
+	Clock func() time.Time
+	// Revoked / Revalidate hook revocation state into verification.
+	Revoked    func([]byte) bool
+	Revalidate func([]byte, string) error
+
+	mu     sync.Mutex
+	vctx   *core.VerifyContext
+	proofs map[string][]core.Proof // verified proofs by subject key
+	macs   map[string]*macSecret   // MAC key id -> state
+	stats  ServerStats
+}
+
+// ServerStats counts server-side protocol work.
+type ServerStats struct {
+	Requests      int
+	Challenges    int
+	ProofVerifies int
+	CacheHits     int
+	MACVerifies   int
+	MACEstablish  int
+	Denied        int
+}
+
+type macSecret struct {
+	secret []byte
+	prin   principal.MAC
+}
+
+// NewProtected builds a protected handler.
+func NewProtected(service string, m Mapper, h http.Handler) *Protected {
+	return &Protected{
+		Service: service,
+		Map:     m,
+		Handler: h,
+		vctx:    core.NewVerifyContext(),
+		proofs:  make(map[string][]core.Proof),
+		macs:    make(map[string]*macSecret),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (p *Protected) Stats() ServerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ForgetProofs drops cached proofs (measurement harness).
+func (p *Protected) ForgetProofs() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.proofs = make(map[string][]core.Proof)
+	p.vctx = core.NewVerifyContext()
+}
+
+func (p *Protected) now() time.Time {
+	if p.Clock != nil {
+		return p.Clock()
+	}
+	return time.Now()
+}
+
+// ServeHTTP implements the protocol: authorize or challenge.
+func (p *Protected) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	p.stats.Requests++
+	p.mu.Unlock()
+
+	issuer, minTag, err := p.Map(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "bad body", http.StatusBadRequest)
+		return
+	}
+	r.Body = io.NopCloser(newByteReader(body))
+	reqPrin := ServerRequestPrincipal(r, body)
+	reqTag := RequestTag(r.Method, p.Service, r.URL.Path)
+
+	auth := r.Header.Get("Authorization")
+	if auth == "" {
+		p.challenge(w, issuer, minTag)
+		return
+	}
+	scheme, params := parseAuthHeader(auth)
+	switch scheme {
+	case SchemeProof:
+		err = p.authorizeProof(r, params, reqPrin, issuer, reqTag)
+	case SchemeMAC:
+		err = p.authorizeMAC(r, params, reqPrin, issuer, reqTag)
+	default:
+		err = fmt.Errorf("httpauth: unsupported scheme %q", scheme)
+	}
+	if err != nil {
+		p.mu.Lock()
+		p.stats.Denied++
+		p.mu.Unlock()
+		// "403 Forbidden" indicates authorization failure after a
+		// challenge was answered (section 5.3).
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+
+	// MAC establishment rides on any authorized request.
+	if eph := r.Header.Get(HdrMACEstablish); eph != "" {
+		if err := p.establishMAC(w, eph); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	r.Header.Set("Sf-Authorized-Subject", reqPrin.String())
+	p.Handler.ServeHTTP(w, r)
+}
+
+// challenge emits the 401 of Figure 5.
+func (p *Protected) challenge(w http.ResponseWriter, issuer principal.Principal, minTag tag.Tag) {
+	p.mu.Lock()
+	p.stats.Challenges++
+	p.mu.Unlock()
+	w.Header().Set("WWW-Authenticate", SchemeProof)
+	w.Header().Set(HdrServiceIssuer, string(issuer.Sexp().Transport()))
+	w.Header().Set(HdrMinimumTag, string(minTag.Sexp().Transport()))
+	if p.SubjectTemplate != nil {
+		w.Header().Set(HdrSubjectTemplate, string(p.SubjectTemplate.Sexp().Transport()))
+	}
+	http.Error(w, "401 Unauthorized: Snowflake proof required", http.StatusUnauthorized)
+}
+
+// authorizeProof handles Authorization: SnowflakeProof proof={...}.
+// The proof's subject must be the hash of this very request (or, for
+// gateways, the compound principal that signed request hash chains
+// to).
+func (p *Protected) authorizeProof(r *http.Request, params map[string]string, reqPrin principal.Hash, issuer principal.Principal, reqTag tag.Tag) error {
+	raw, ok := params["proof"]
+	if !ok {
+		return fmt.Errorf("httpauth: missing proof parameter")
+	}
+	proof, err := core.ParseProof([]byte(raw))
+	if err != nil {
+		return fmt.Errorf("httpauth: bad proof: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ctx := p.lockedCtx()
+	p.stats.ProofVerifies++
+	if err := core.Authorize(ctx, proof, reqPrin, issuer, reqTag); err != nil {
+		return err
+	}
+	p.proofs[reqPrin.Key()] = append(p.proofs[reqPrin.Key()], proof)
+	return nil
+}
+
+// authorizeMAC handles Authorization: SnowflakeMAC keyid=..., mac=...:
+// verify the HMAC over the request hash (establishing the local
+// assumption "request speaks for MAC principal"), then chain through
+// the proof on file for the MAC principal.
+func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqPrin principal.Hash, issuer principal.Principal, reqTag tag.Tag) error {
+	keyID, mac := params["keyid"], params["mac"]
+	if keyID == "" || mac == "" {
+		return fmt.Errorf("httpauth: missing keyid or mac")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ms, ok := p.macs[keyID]
+	if !ok {
+		return fmt.Errorf("httpauth: unknown MAC key")
+	}
+	p.stats.MACVerifies++
+	if !verifyMAC(ms.secret, reqPrin.Digest, mac) {
+		return fmt.Errorf("httpauth: MAC verification failed")
+	}
+	ctx := p.lockedCtx()
+	// Local assumption witnessed by the HMAC check: this request
+	// speaks for the MAC principal.
+	link := core.SpeaksFor{Subject: reqPrin, Issuer: ms.prin, Tag: tag.All()}
+	ctx.Assume(link)
+
+	// A proof for the MAC principal may ride along on this request.
+	if raw := r.Header.Get(HdrProof); raw != "" {
+		if proof, err := core.ParseProof([]byte(raw)); err == nil {
+			p.stats.ProofVerifies++
+			if err := proof.Verify(ctx); err == nil {
+				k := proof.Conclusion().Subject.Key()
+				p.proofs[k] = append(p.proofs[k], proof)
+			}
+		}
+	}
+
+	for _, stored := range p.proofs[ms.prin.Key()] {
+		chain, err := core.NewTransitivity(core.Assume(link), stored)
+		if err != nil {
+			continue
+		}
+		if err := core.Authorize(ctx, chain, reqPrin, issuer, reqTag); err == nil {
+			p.stats.CacheHits++
+			return nil
+		}
+	}
+	return &core.AuthError{Issuer: issuer, MinTag: reqTag, Reason: "no proof on file for MAC principal"}
+}
+
+func (p *Protected) lockedCtx() *core.VerifyContext {
+	p.vctx.Now = p.now()
+	p.vctx.Revoked = p.Revoked
+	p.vctx.Revalidate = p.Revalidate
+	return p.vctx
+}
+
+// establishMAC answers the amortization handshake: generate a secret,
+// encrypt it to the client's ephemeral X25519 key, and return key id,
+// server ephemeral, and ciphertext in response headers.
+func (p *Protected) establishMAC(w http.ResponseWriter, clientEphB64 string) error {
+	clientEph, err := base64.StdEncoding.DecodeString(clientEphB64)
+	if err != nil {
+		return fmt.Errorf("httpauth: bad MAC establish key: %w", err)
+	}
+	secret, serverEphPub, sealed, err := sealSecret(clientEph)
+	if err != nil {
+		return err
+	}
+	mp := principal.MACOf(secret)
+	keyID := hex.EncodeToString(mp.KeyHash[:8])
+	p.mu.Lock()
+	p.macs[keyID] = &macSecret{secret: secret, prin: mp}
+	p.stats.MACEstablish++
+	p.mu.Unlock()
+	w.Header().Set(HdrMACKeyID, keyID)
+	w.Header().Set(HdrMACServerEph, base64.StdEncoding.EncodeToString(serverEphPub))
+	w.Header().Set(HdrMACSecret, base64.StdEncoding.EncodeToString(sealed))
+	return nil
+}
+
+// computeMAC/verifyMAC authenticate a request hash under the shared
+// secret.
+func computeMAC(secret, reqHash []byte) string {
+	m := hmac.New(sha256.New, secret)
+	m.Write(reqHash)
+	return base64.StdEncoding.EncodeToString(m.Sum(nil))
+}
+
+func verifyMAC(secret, reqHash []byte, macB64 string) bool {
+	want, err := base64.StdEncoding.DecodeString(macB64)
+	if err != nil {
+		return false
+	}
+	m := hmac.New(sha256.New, secret)
+	m.Write(reqHash)
+	return hmac.Equal(m.Sum(nil), want)
+}
+
+// byteReader re-readably wraps a body.
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}

@@ -1,0 +1,166 @@
+// Package namesvc is the name service Snowflake clients use to
+// retrieve object references (Figure 4 step d) and the home of SDSI
+// name bindings: certificates that bind a principal's local name
+// ("KC·N" in Figure 1) to another principal. Proofs involving names
+// compose through core's name-monotonicity rule, and authorization
+// information is collected in the course of resolving names
+// (section 4.4).
+package namesvc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// Entry is one directory record: a name bound to a service address
+// and the principal that controls the service.
+type Entry struct {
+	Name      string
+	Address   string // dialable address, e.g. "127.0.0.1:7001"
+	Principal []byte // transport-encoded principal controlling the service
+}
+
+// Directory is the remote name-service object.
+type Directory struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[string]Entry)}
+}
+
+// BindArgs registers or replaces an entry.
+type BindArgs struct{ E Entry }
+
+// BindReply acknowledges.
+type BindReply struct{ Replaced bool }
+
+// LookupArgs resolves a name.
+type LookupArgs struct{ Name string }
+
+// LookupReply returns the entry.
+type LookupReply struct {
+	Found bool
+	E     Entry
+}
+
+// ListArgs lists all names.
+type ListArgs struct{}
+
+// ListReply returns the names.
+type ListReply struct{ Names []string }
+
+// Bind implements the remote method.
+func (d *Directory) Bind(args BindArgs, reply *BindReply) error {
+	if args.E.Name == "" {
+		return fmt.Errorf("namesvc: empty name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, reply.Replaced = d.entries[args.E.Name]
+	d.entries[args.E.Name] = args.E
+	return nil
+}
+
+// Lookup implements the remote method.
+func (d *Directory) Lookup(args LookupArgs, reply *LookupReply) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	reply.E, reply.Found = d.entries[args.Name]
+	return nil
+}
+
+// List implements the remote method.
+func (d *Directory) List(args ListArgs, reply *ListReply) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for n := range d.entries {
+		reply.Names = append(reply.Names, n)
+	}
+	return nil
+}
+
+// OpTag scopes directory operations: (ns (op bind) (name "x")).
+func OpTag(op, name string) tag.Tag {
+	return tag.ListOf(
+		tag.Literal("ns"),
+		tag.ListOf(tag.Literal("op"), tag.Literal(op)),
+		tag.ListOf(tag.Literal("name"), tag.Literal(name)),
+	)
+}
+
+// TagFor is the rmi.TagFunc for the directory: binds require per-name
+// authority; lookups and lists are cheap reads but still attributed.
+func TagFor(object, method string, args interface{}) tag.Tag {
+	switch a := args.(type) {
+	case BindArgs:
+		return OpTag("bind", a.E.Name)
+	case LookupArgs:
+		return OpTag("lookup", a.Name)
+	case ListArgs:
+		return OpTag("list", "")
+	default:
+		return rmi.MethodTag(object, method)
+	}
+}
+
+// ObjectName is the conventional RMI name.
+const ObjectName = "names"
+
+// Register installs the directory on an RMI server.
+func Register(srv *rmi.Server, d *Directory, issuer principal.Principal) error {
+	return srv.Register(ObjectName, d, issuer, TagFor)
+}
+
+// --- SDSI name certificates ---------------------------------------------
+
+// BindName issues the certificate "target speaks for owner·name":
+// owner's local namespace binds name to target. Chains of such
+// certificates compose with name-monotonicity into Figure 1 proofs.
+func BindName(owner *sfkey.PrivateKey, name string, target principal.Principal, v core.Validity) (*cert.Cert, error) {
+	return cert.Sign(owner, core.SpeaksFor{
+		Subject:  target,
+		Issuer:   principal.NameOf(principal.KeyOf(owner.Public()), name),
+		Tag:      tag.All(),
+		Validity: v,
+	})
+}
+
+// BindNameTTL is BindName with a duration.
+func BindNameTTL(owner *sfkey.PrivateKey, name string, target principal.Principal, ttl time.Duration) (*cert.Cert, error) {
+	return BindName(owner, name, target, core.Until(time.Now().Add(ttl)))
+}
+
+// Resolve walks a name path through a set of binding certificates,
+// returning the bound principal: the client-side counterpart of
+// building proofs incrementally while resolving names.
+func Resolve(start principal.Principal, path []string, certs []*cert.Cert) (principal.Principal, []core.Proof, error) {
+	cur := start
+	var steps []core.Proof
+	for _, n := range path {
+		want := principal.NameOf(cur, n)
+		var found *cert.Cert
+		for _, c := range certs {
+			if principal.Equal(c.Body.Issuer, want) {
+				found = c
+				break
+			}
+		}
+		if found == nil {
+			return nil, nil, fmt.Errorf("namesvc: no binding for %s", want)
+		}
+		steps = append(steps, found)
+		cur = found.Body.Subject
+	}
+	return cur, steps, nil
+}

@@ -1,0 +1,136 @@
+package namesvc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/channel/secure"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+func TestDirectoryLocal(t *testing.T) {
+	d := NewDirectory()
+	var br BindReply
+	if err := d.Bind(BindArgs{E: Entry{Name: "db", Address: "127.0.0.1:7001"}}, &br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Replaced {
+		t.Fatal("fresh bind reported replaced")
+	}
+	if err := d.Bind(BindArgs{E: Entry{Name: "db", Address: "127.0.0.1:7002"}}, &br); err != nil || !br.Replaced {
+		t.Fatal("rebind not reported")
+	}
+	var lr LookupReply
+	if err := d.Lookup(LookupArgs{Name: "db"}, &lr); err != nil || !lr.Found {
+		t.Fatal("lookup failed")
+	}
+	if lr.E.Address != "127.0.0.1:7002" {
+		t.Fatalf("address = %q", lr.E.Address)
+	}
+	if err := d.Lookup(LookupArgs{Name: "missing"}, &lr); err != nil || lr.Found {
+		t.Fatal("missing lookup should report not found")
+	}
+	var list ListReply
+	d.List(ListArgs{}, &list)
+	if len(list.Names) != 1 {
+		t.Fatalf("names = %v", list.Names)
+	}
+	if err := d.Bind(BindArgs{E: Entry{}}, &br); err == nil {
+		t.Fatal("empty name bound")
+	}
+}
+
+func TestDirectoryOverRMIWithScopedBinds(t *testing.T) {
+	adminKey := sfkey.FromSeed([]byte("ns-admin"))
+	issuer := principal.KeyOf(adminKey.Public())
+	srv := rmi.NewServer()
+	if err := Register(srv, NewDirectory(), issuer); err != nil {
+		t.Fatal(err)
+	}
+	l, err := secure.Listen("127.0.0.1:0", &secure.Identity{Priv: adminKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+
+	// User may bind only names under its own: grant (ns (op bind)
+	// (name "alice-svc")) plus lookups of anything.
+	userKey := sfkey.FromSeed([]byte("ns-user"))
+	user := principal.KeyOf(userKey.Public())
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(userKey))
+	grant := tag.SetOf(
+		OpTag("bind", "alice-svc"),
+		tag.ListOf(tag.Literal("ns"), tag.ListOf(tag.Literal("op"), tag.Literal("lookup"))),
+	)
+	c1, err := cert.Delegate(adminKey, user, issuer, grant, core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv.AddProof(c1)
+	id, _ := secure.NewIdentity()
+	cli, err := rmi.Dial(secure.Dialer{ID: id}, l.Addr().String(), pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var br BindReply
+	if err := cli.Call(ObjectName, "Bind", BindArgs{E: Entry{Name: "alice-svc", Address: "x:1"}}, &br); err != nil {
+		t.Fatalf("authorized bind failed: %v", err)
+	}
+	if err := cli.Call(ObjectName, "Bind", BindArgs{E: Entry{Name: "other", Address: "y:2"}}, &br); err == nil {
+		t.Fatal("out-of-scope bind succeeded")
+	}
+	var lr LookupReply
+	if err := cli.Call(ObjectName, "Lookup", LookupArgs{Name: "alice-svc"}, &lr); err != nil || !lr.Found {
+		t.Fatalf("lookup failed: %v", err)
+	}
+}
+
+func TestBindNameAndResolve(t *testing.T) {
+	// Alice's namespace: alice·"mail" -> Bob's key; Bob's namespace:
+	// bob·"backup" -> Carol's key. Resolve alice·mail, then compose a
+	// Figure 1 style proof through name-monotonicity.
+	aliceKey := sfkey.FromSeed([]byte("sdsi-alice"))
+	bobKey := sfkey.FromSeed([]byte("sdsi-bob"))
+	carol := principal.KeyOf(sfkey.FromSeed([]byte("sdsi-carol")).Public())
+	bob := principal.KeyOf(bobKey.Public())
+	alice := principal.KeyOf(aliceKey.Public())
+
+	c1, err := BindNameTTL(aliceKey, "mail", bob, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := BindNameTTL(bobKey, "backup", carol, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, steps, err := Resolve(alice, []string{"mail"}, []*cert.Cert{c1, c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !principal.Equal(got, bob) || len(steps) != 1 {
+		t.Fatalf("resolve = %s (%d steps)", got, len(steps))
+	}
+	// Unresolvable path.
+	if _, _, err := Resolve(alice, []string{"nope"}, []*cert.Cert{c1, c2}); err == nil {
+		t.Fatal("bogus name resolved")
+	}
+	// The binding is a proof usable in the logic: bob => alice·mail.
+	ctx := core.NewVerifyContext()
+	if err := c1.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := principal.NameOf(alice, "mail")
+	if !principal.Equal(c1.Conclusion().Issuer, want) {
+		t.Fatalf("binding issuer = %s", c1.Conclusion().Issuer)
+	}
+}

@@ -1,0 +1,45 @@
+package prover
+
+import (
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// KeyClosure controls a key principal by holding its private key; its
+// delegations are signed certificates.
+type KeyClosure struct {
+	Priv *sfkey.PrivateKey
+}
+
+// NewKeyClosure wraps a private key as a closure.
+func NewKeyClosure(priv *sfkey.PrivateKey) KeyClosure {
+	return KeyClosure{Priv: priv}
+}
+
+// Principal implements Closure.
+func (k KeyClosure) Principal() principal.Principal {
+	return principal.KeyOf(k.Priv.Public())
+}
+
+// Delegate implements Closure by signing a certificate.
+func (k KeyClosure) Delegate(subject principal.Principal, t tag.Tag, v core.Validity) (core.Proof, error) {
+	return cert.Delegate(k.Priv, subject, k.Principal(), t, v)
+}
+
+// FuncClosure adapts an arbitrary delegation function as a closure;
+// capability-style principals (local channels, MAC secrets) use this.
+type FuncClosure struct {
+	P  principal.Principal
+	Fn func(subject principal.Principal, t tag.Tag, v core.Validity) (core.Proof, error)
+}
+
+// Principal implements Closure.
+func (f FuncClosure) Principal() principal.Principal { return f.P }
+
+// Delegate implements Closure.
+func (f FuncClosure) Delegate(subject principal.Principal, t tag.Tag, v core.Validity) (core.Proof, error) {
+	return f.Fn(subject, t, v)
+}

@@ -1,0 +1,348 @@
+// Package prover implements the Prover of paper section 4.4: the
+// client-side tool that collects delegations, caches proofs, and
+// constructs new delegations on demand.
+//
+// Delegations live in a graph whose nodes are principals and whose
+// edges are proofs of authority from one principal to the next
+// (Figure 2). The Prover traverses the graph breadth-first, backwards
+// from the required issuer. Nodes backed by a closure — an object
+// holding a private key or other means of exercising a principal —
+// are "final": the Prover can complete a proof by minting a fresh
+// delegation from the controlled principal to the required subject.
+//
+// Whenever the Prover digests or computes a proof composed of smaller
+// components, it records a shortcut edge; these shortcuts form a
+// cache that eliminates most deep traversals.
+//
+// The Prover is deliberately incomplete (general access control with
+// conjunction and quoting is exponential; Abadi et al. p. 726); it
+// handles chains, quoting reductions, and conjunction introduction to
+// a bounded depth, which covers the authorization tasks applications
+// face.
+package prover
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/tag"
+)
+
+// Closure represents a principal the application controls, able to
+// issue new delegations of that principal's authority (section 4.4:
+// "an object that knows the private key or how to exercise the
+// capability").
+type Closure interface {
+	// Principal names the controlled principal.
+	Principal() principal.Principal
+	// Delegate issues subject =t=> Principal() within v.
+	Delegate(subject principal.Principal, t tag.Tag, v core.Validity) (core.Proof, error)
+}
+
+// Stats counts the work performed by the Prover; the ablation
+// benchmarks report these.
+type Stats struct {
+	Traversals   int // FindProof invocations (including recursive)
+	Expanded     int // nodes popped during BFS
+	ShortcutHits int // goal reached through a cached shortcut edge
+	Minted       int // delegations issued through closures
+}
+
+// Prover maintains the delegation graph.
+type Prover struct {
+	mu       sync.Mutex
+	edges    map[string][]*edge // issuer key -> incoming proofs
+	closures map[string]Closure
+	seen     map[[32]byte]bool // digested proof hashes
+
+	// DisableShortcuts turns off the proof cache (ablation).
+	DisableShortcuts bool
+	// MaxDepth bounds recursive quoting/conjunction reductions.
+	MaxDepth int
+	// MintTTL bounds the validity of freshly minted delegations.
+	MintTTL time.Duration
+
+	stats Stats
+}
+
+type edge struct {
+	subject  principal.Principal
+	issuer   principal.Principal
+	proof    core.Proof
+	shortcut bool
+}
+
+// New returns an empty Prover.
+func New() *Prover {
+	return &Prover{
+		edges:    make(map[string][]*edge),
+		closures: make(map[string]Closure),
+		seen:     make(map[[32]byte]bool),
+		MaxDepth: 4,
+		MintTTL:  10 * time.Minute,
+	}
+}
+
+// AddClosure registers a controlled principal.
+func (p *Prover) AddClosure(c Closure) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closures[c.Principal().Key()] = c
+}
+
+// AddProof digests a proof into the graph: every lemma (subproof)
+// becomes an edge, and composite lemmas additionally become shortcut
+// edges for their overall conclusions (section 4.4).
+func (p *Prover) AddProof(pr core.Proof) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, lemma := range core.Lemmas(pr) {
+		p.addEdgeLocked(lemma, len(lemma.Children()) > 0)
+	}
+}
+
+// addEdgeLocked inserts one proof as a graph edge, deduplicating by
+// proof hash.
+func (p *Prover) addEdgeLocked(pr core.Proof, shortcut bool) {
+	h := pr.Sexp().Hash()
+	if p.seen[h] {
+		return
+	}
+	p.seen[h] = true
+	c := pr.Conclusion()
+	e := &edge{subject: c.Subject, issuer: c.Issuer, proof: pr, shortcut: shortcut}
+	ik := c.Issuer.Key()
+	p.edges[ik] = append(p.edges[ik], e)
+}
+
+// Stats returns a copy of the work counters.
+func (p *Prover) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// EdgeCount returns the number of edges in the graph.
+func (p *Prover) EdgeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, es := range p.edges {
+		n += len(es)
+	}
+	return n
+}
+
+// FindProof finds or constructs a proof that subject speaks for
+// issuer regarding want, valid at now. It searches existing
+// delegations first and completes proofs through closures when the
+// chain reaches a controlled principal.
+func (p *Prover) FindProof(subject, issuer principal.Principal, want tag.Tag, now time.Time) (core.Proof, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.findLocked(subject, issuer, want, now, p.MaxDepth)
+}
+
+func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, now time.Time, depth int) (core.Proof, error) {
+	p.stats.Traversals++
+	if depth < 0 {
+		return nil, fmt.Errorf("prover: search depth exhausted")
+	}
+	if principal.Equal(subject, issuer) {
+		return core.NewReflex(subject), nil
+	}
+
+	type reach struct {
+		node principal.Principal
+		// proof of node => issuer; nil at the issuer itself.
+		path core.Proof
+		// hops counts graph edges on the path; single-hop results are
+		// already edges and need no shortcut recording.
+		hops int
+	}
+	visited := map[string]bool{issuer.Key(): true}
+	queue := []reach{{node: issuer}}
+
+	// tryComplete attempts to finish the proof at a reached node.
+	tryComplete := func(r reach) (core.Proof, bool) {
+		// (a) Reached the subject itself.
+		if principal.Equal(r.node, subject) && r.path != nil {
+			return r.path, true
+		}
+		// (b) Reached a final (closure-backed) node: mint the last hop.
+		if cl, ok := p.closures[r.node.Key()]; ok {
+			minted, err := cl.Delegate(subject, want, core.Between(now.Add(-time.Minute), now.Add(p.MintTTL)))
+			if err == nil {
+				p.stats.Minted++
+				p.addEdgeLocked(minted, false)
+				if r.path == nil {
+					return minted, true
+				}
+				if tr, err := core.NewTransitivity(minted, r.path); err == nil {
+					return tr, true
+				}
+			}
+		}
+		// (c) Quoting reductions.
+		if nq, ok := r.node.(principal.Quote); ok {
+			if sq, ok := subject.(principal.Quote); ok {
+				// Same quotee: X|C => A|C reduces to X => A.
+				if principal.Equal(sq.Quotee, nq.Quotee) && !principal.Equal(sq.Quoter, nq.Quoter) {
+					if sub, err := p.findLocked(sq.Quoter, nq.Quoter, want, now, depth-1); err == nil {
+						lift := core.NewQuoteQuoterMono(nq.Quotee, sub)
+						if r.path == nil {
+							return lift, true
+						}
+						if tr, err := core.NewTransitivity(lift, r.path); err == nil {
+							return tr, true
+						}
+					}
+				}
+				// Same quoter: Q|Y => Q|B reduces to Y => B.
+				if principal.Equal(sq.Quoter, nq.Quoter) && !principal.Equal(sq.Quotee, nq.Quotee) {
+					if sub, err := p.findLocked(sq.Quotee, nq.Quotee, want, now, depth-1); err == nil {
+						lift := core.NewQuoteQuoteeMono(nq.Quoter, sub)
+						if r.path == nil {
+							return lift, true
+						}
+						if tr, err := core.NewTransitivity(lift, r.path); err == nil {
+							return tr, true
+						}
+					}
+				}
+			}
+		}
+		// (d) Conjunction introduction: prove subject => each part.
+		if conj, ok := r.node.(principal.Conj); ok {
+			k := conj.K
+			if k == 0 {
+				k = len(conj.Parts)
+			}
+			var parts []core.Proof
+			for _, member := range conj.Parts {
+				if sub, err := p.findLocked(subject, member, want, now, depth-1); err == nil {
+					parts = append(parts, sub)
+					if len(parts) >= k {
+						break
+					}
+				}
+			}
+			if len(parts) >= k {
+				if ci, err := core.NewConjIntro(conj, parts); err == nil {
+					if r.path == nil {
+						return ci, true
+					}
+					if tr, err := core.NewTransitivity(ci, r.path); err == nil {
+						return tr, true
+					}
+				}
+			}
+		}
+		return nil, false
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		p.stats.Expanded++
+		if proof, ok := tryComplete(cur); ok {
+			// Cache multi-hop compositions as shortcut edges (the
+			// dotted edges of Figure 2); single-hop results are the
+			// edges themselves.
+			if cur.hops > 1 || (cur.hops == 1 && !principal.Equal(proof.Conclusion().Subject, cur.node)) {
+				p.recordShortcutLocked(proof)
+			}
+			return proof, nil
+		}
+		for _, e := range p.edges[cur.node.Key()] {
+			if p.DisableShortcuts && e.shortcut {
+				continue
+			}
+			if visited[e.subject.Key()] {
+				continue
+			}
+			ec := e.proof.Conclusion()
+			if !tag.Covers(ec.Tag, want) || !ec.Validity.Contains(now) {
+				continue
+			}
+			var path core.Proof
+			if cur.path == nil {
+				path = e.proof
+			} else {
+				tr, err := core.NewTransitivity(e.proof, cur.path)
+				if err != nil {
+					continue
+				}
+				path = tr
+			}
+			if e.shortcut {
+				p.stats.ShortcutHits++
+			}
+			visited[e.subject.Key()] = true
+			queue = append(queue, reach{node: e.subject, path: path, hops: cur.hops + 1})
+		}
+	}
+	return nil, fmt.Errorf("prover: no proof that %s speaks for %s regarding %s",
+		subject, issuer, want)
+}
+
+// recordShortcutLocked caches a composed proof as a shortcut edge
+// (the dotted edges of Figure 2).
+func (p *Prover) recordShortcutLocked(pr core.Proof) {
+	if p.DisableShortcuts || len(pr.Children()) == 0 {
+		return
+	}
+	p.addEdgeLocked(pr, true)
+}
+
+// Controls reports whether the prover holds a closure for pr.
+func (p *Prover) Controls(pr principal.Principal) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.closures[pr.Key()]
+	return ok
+}
+
+// Delegate issues a fresh delegation from a controlled principal
+// without a graph search; the RMI invoker uses this to push authority
+// onto a newly established channel (Figure 4 step m).
+func (p *Prover) Delegate(from principal.Principal, subject principal.Principal, t tag.Tag, v core.Validity) (core.Proof, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cl, ok := p.closures[from.Key()]
+	if !ok {
+		return nil, fmt.Errorf("prover: no closure for %s", from)
+	}
+	minted, err := cl.Delegate(subject, t, v)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Minted++
+	p.addEdgeLocked(minted, false)
+	return minted, nil
+}
+
+// Principals returns every node currently in the graph; for
+// inspection and the proxy's delegation UI.
+func (p *Prover) Principals() []principal.Principal {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := map[string]principal.Principal{}
+	for _, es := range p.edges {
+		for _, e := range es {
+			seen[e.subject.Key()] = e.subject
+			seen[e.issuer.Key()] = e.issuer
+		}
+	}
+	for _, c := range p.closures {
+		seen[c.Principal().Key()] = c.Principal()
+	}
+	out := make([]principal.Principal, 0, len(seen))
+	for _, pr := range seen {
+		out = append(out, pr)
+	}
+	return out
+}

@@ -1,0 +1,370 @@
+package prover
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+var now = time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)
+
+type party struct {
+	priv *sfkey.PrivateKey
+	pr   principal.Key
+}
+
+func mkParty(seed string) party {
+	priv := sfkey.FromSeed([]byte(seed))
+	return party{priv: priv, pr: principal.KeyOf(priv.Public())}
+}
+
+func mustDelegate(t *testing.T, from party, subject principal.Principal, tg tag.Tag) core.Proof {
+	t.Helper()
+	c, err := cert.Delegate(from.priv, subject, from.pr, tg, core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFindDirectEdge(t *testing.T) {
+	alice, bob := mkParty("alice"), mkParty("bob")
+	p := New()
+	p.AddProof(mustDelegate(t, alice, bob.pr, tag.All()))
+	proof, err := p.FindProof(bob.pr, alice.pr, tag.Literal("x"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Verify(core.NewVerifyContext()); err != nil {
+		t.Fatal(err)
+	}
+	c := proof.Conclusion()
+	if !principal.Equal(c.Subject, bob.pr) || !principal.Equal(c.Issuer, alice.pr) {
+		t.Fatalf("conclusion = %s", c)
+	}
+}
+
+func TestFindChain(t *testing.T) {
+	// s -> v -> b -> a: server delegates to v, v to b, b to a.
+	s, v, b, a := mkParty("s"), mkParty("v"), mkParty("b"), mkParty("a")
+	p := New()
+	p.AddProof(mustDelegate(t, s, v.pr, tag.All()))
+	p.AddProof(mustDelegate(t, v, b.pr, tag.All()))
+	p.AddProof(mustDelegate(t, b, a.pr, tag.All()))
+	proof, err := p.FindProof(a.pr, s.pr, tag.Literal("req"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Verify(core.NewVerifyContext()); err != nil {
+		t.Fatal(err)
+	}
+	if !principal.Equal(proof.Conclusion().Subject, a.pr) ||
+		!principal.Equal(proof.Conclusion().Issuer, s.pr) {
+		t.Fatalf("conclusion = %s", proof.Conclusion())
+	}
+}
+
+func TestReflexiveGoal(t *testing.T) {
+	a := mkParty("a")
+	p := New()
+	proof, err := p.FindProof(a.pr, a.pr, tag.All(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := proof.(*core.Reflex); !ok {
+		t.Fatalf("got %T", proof)
+	}
+}
+
+func TestNoProofFound(t *testing.T) {
+	alice, bob, eve := mkParty("alice"), mkParty("bob"), mkParty("eve")
+	p := New()
+	p.AddProof(mustDelegate(t, alice, bob.pr, tag.All()))
+	if _, err := p.FindProof(eve.pr, alice.pr, tag.All(), now); err == nil {
+		t.Fatal("found proof for unauthorized principal")
+	}
+}
+
+func TestTagFiltering(t *testing.T) {
+	alice, bob := mkParty("alice"), mkParty("bob")
+	p := New()
+	p.AddProof(mustDelegate(t, alice, bob.pr, tag.MustParse(`(tag (fs read))`)))
+	if _, err := p.FindProof(bob.pr, alice.pr, tag.MustParse(`(tag (fs write))`), now); err == nil {
+		t.Fatal("proof found outside delegated restriction")
+	}
+	if _, err := p.FindProof(bob.pr, alice.pr, tag.MustParse(`(tag (fs read))`), now); err != nil {
+		t.Fatalf("proof not found inside restriction: %v", err)
+	}
+}
+
+func TestExpiredEdgeSkipped(t *testing.T) {
+	alice, bob := mkParty("alice"), mkParty("bob")
+	p := New()
+	expired, err := cert.Delegate(alice.priv, bob.pr, alice.pr, tag.All(),
+		core.Until(now.Add(-time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddProof(expired)
+	if _, err := p.FindProof(bob.pr, alice.pr, tag.All(), now); err == nil {
+		t.Fatal("expired delegation used")
+	}
+}
+
+// TestFigure2 mirrors the paper's Figure 2: Alice's prover holds a
+// graph of principals with a final node A; to prove that a channel
+// KCH speaks for server S, it works backwards from S, finds
+// A =V∩X=> S, and completes the proof by issuing KCH => A.
+func TestFigure2(t *testing.T) {
+	a := mkParty("A") // final: Alice's key, closure held
+	s := mkParty("S") // the server
+	vPty, xPty := mkParty("V"), mkParty("X")
+	bPty, cPty, tPty := mkParty("B"), mkParty("C"), mkParty("T")
+	vx := principal.ConjOf(vPty.pr, xPty.pr)
+	kch := principal.ChannelOf(principal.ChannelSecure, []byte("ch-1"))
+
+	p := New()
+	p.AddClosure(NewKeyClosure(a.priv))
+	// S delegated to the conjunction V∩X.
+	p.AddProof(mustDelegate(t, s, vx, tag.All()))
+	// V and X each delegated to A.
+	p.AddProof(mustDelegate(t, vPty, a.pr, tag.All()))
+	p.AddProof(mustDelegate(t, xPty, a.pr, tag.All()))
+	// Unrelated edges A->B, B->C, A->T populate the rest of the graph.
+	p.AddProof(mustDelegate(t, a, bPty.pr, tag.All()))
+	p.AddProof(mustDelegate(t, bPty, cPty.pr, tag.All()))
+	p.AddProof(mustDelegate(t, a, tPty.pr, tag.All()))
+
+	proof, err := p.FindProof(kch, s.pr, tag.Literal("m"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := proof.Conclusion()
+	if !principal.Equal(c.Subject, kch) || !principal.Equal(c.Issuer, s.pr) {
+		t.Fatalf("conclusion = %s", c)
+	}
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	if err := proof.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Minted == 0 {
+		t.Fatal("no delegation minted through the closure")
+	}
+}
+
+func TestClosureMintsLastHop(t *testing.T) {
+	alice, server := mkParty("alice"), mkParty("server")
+	ch := principal.ChannelOf(principal.ChannelSecure, []byte("sess"))
+	p := New()
+	p.AddClosure(NewKeyClosure(alice.priv))
+	p.AddProof(mustDelegate(t, server, alice.pr, tag.MustParse(`(tag (db (* set select insert)))`)))
+	want := tag.MustParse(`(tag (db select))`)
+	proof, err := p.FindProof(ch, server.pr, want, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	if err := core.Authorize(ctx, proof, ch, server.pr, want); err != nil {
+		t.Fatal(err)
+	}
+	// The minted delegation is narrow: it must not authorize inserts.
+	insert := tag.MustParse(`(tag (db insert))`)
+	if err := core.Authorize(ctx, proof, ch, server.pr, insert); err == nil {
+		t.Fatal("minted delegation over-broad")
+	}
+}
+
+func TestQuotingReductionGatewayCase(t *testing.T) {
+	// The section 6.3 gateway: the server requires CH|Client => S
+	// where CH is the gateway's channel. The gateway holds the
+	// client-granted proof (G|Client) => S and controls G.
+	g, s, client := mkParty("gateway"), mkParty("server"), mkParty("client")
+	ch := principal.ChannelOf(principal.ChannelSecure, []byte("gw-sess"))
+
+	p := New() // the gateway's prover
+	p.AddClosure(NewKeyClosure(g.priv))
+	// Client delegated "G quoting client speaks for S" using its own
+	// authority over S.
+	sToClient := mustDelegate(t, s, client.pr, tag.All())
+	gQuotingClient := principal.QuoteOf(g.pr, client.pr)
+	clientGrant, err := cert.Delegate(client.priv, gQuotingClient, client.pr, tag.All(), core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := core.NewTransitivity(clientGrant, sToClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddProof(chain)
+
+	// Goal: (CH | client) => S.
+	goal := principal.QuoteOf(ch, client.pr)
+	proof, err := p.FindProof(goal, s.pr, tag.Literal("get-mail"), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	if err := core.Authorize(ctx, proof, goal, s.pr, tag.Literal("get-mail")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigestionExtractsLemmas(t *testing.T) {
+	// Adding a composed proof makes its components individually
+	// usable.
+	a, b, c := mkParty("a"), mkParty("b"), mkParty("c")
+	p := New()
+	e1 := mustDelegate(t, a, b.pr, tag.All())
+	e2 := mustDelegate(t, b, c.pr, tag.All())
+	tr, err := core.NewTransitivity(e2, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddProof(tr)
+	// The component b => a must be findable on its own.
+	if _, err := p.FindProof(b.pr, a.pr, tag.All(), now); err != nil {
+		t.Fatalf("digested lemma not usable: %v", err)
+	}
+	// EdgeCount: tr (shortcut) + 2 lemmas.
+	if got := p.EdgeCount(); got != 3 {
+		t.Fatalf("EdgeCount = %d, want 3", got)
+	}
+	// Re-adding is idempotent.
+	p.AddProof(tr)
+	if got := p.EdgeCount(); got != 3 {
+		t.Fatalf("EdgeCount after re-add = %d, want 3", got)
+	}
+}
+
+func TestShortcutCacheReducesExpansion(t *testing.T) {
+	// A long chain: the first search walks it; the recorded shortcut
+	// makes the second search reach the goal in fewer expansions.
+	parties := make([]party, 8)
+	for i := range parties {
+		parties[i] = mkParty(string(rune('a' + i)))
+	}
+	build := func(shortcuts bool) (int, *Prover) {
+		p := New()
+		p.DisableShortcuts = !shortcuts
+		for i := 0; i+1 < len(parties); i++ {
+			p.AddProof(mustDelegate(t, parties[i], parties[i+1].pr, tag.All()))
+		}
+		goalSub, goalIss := parties[len(parties)-1].pr, parties[0].pr
+		if _, err := p.FindProof(goalSub, goalIss, tag.All(), now); err != nil {
+			t.Fatal(err)
+		}
+		before := p.Stats().Expanded
+		if _, err := p.FindProof(goalSub, goalIss, tag.All(), now); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats().Expanded - before, p
+	}
+	withCache, pc := build(true)
+	withoutCache, _ := build(false)
+	if withCache >= withoutCache {
+		t.Fatalf("shortcut cache did not help: %d vs %d expansions", withCache, withoutCache)
+	}
+	if pc.Stats().ShortcutHits == 0 {
+		t.Fatal("no shortcut hits recorded")
+	}
+}
+
+func TestDelegateExplicit(t *testing.T) {
+	alice := mkParty("alice")
+	ch := principal.ChannelOf(principal.ChannelLocal, []byte("k2"))
+	p := New()
+	p.AddClosure(NewKeyClosure(alice.priv))
+	proof, err := p.Delegate(alice.pr, ch, tag.Literal("m"), core.Until(now.Add(time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proof.Verify(core.NewVerifyContext()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Delegate(mkParty("bob").pr, ch, tag.All(), core.Forever); err == nil {
+		t.Fatal("delegated from uncontrolled principal")
+	}
+	if !p.Controls(alice.pr) {
+		t.Fatal("Controls(alice) false")
+	}
+}
+
+func TestFuncClosure(t *testing.T) {
+	mac := principal.MACOf([]byte("secret"))
+	called := false
+	fc := FuncClosure{
+		P: mac,
+		Fn: func(subject principal.Principal, tg tag.Tag, v core.Validity) (core.Proof, error) {
+			called = true
+			s := core.SpeaksFor{Subject: subject, Issuer: mac, Tag: tg, Validity: v}
+			return core.Assume(s), nil
+		},
+	}
+	p := New()
+	p.AddClosure(fc)
+	req := principal.HashOfBytes([]byte("request"))
+	if _, err := p.Delegate(mac, req, tag.All(), core.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("func closure not invoked")
+	}
+}
+
+func TestPrincipalsListing(t *testing.T) {
+	alice, bob := mkParty("alice"), mkParty("bob")
+	p := New()
+	p.AddClosure(NewKeyClosure(alice.priv))
+	p.AddProof(mustDelegate(t, alice, bob.pr, tag.All()))
+	ps := p.Principals()
+	if len(ps) != 2 {
+		t.Fatalf("Principals = %d, want 2", len(ps))
+	}
+}
+
+func TestSearchDepthBound(t *testing.T) {
+	// Nested quoting beyond MaxDepth must fail cleanly, not hang.
+	g, s, c := mkParty("g"), mkParty("s"), mkParty("c")
+	p := New()
+	p.MaxDepth = 0
+	p.AddClosure(NewKeyClosure(g.priv))
+	gq := principal.QuoteOf(g.pr, c.pr)
+	cert1, err := cert.Delegate(s.priv, gq, s.pr, tag.All(), core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddProof(cert1)
+	ch := principal.ChannelOf(principal.ChannelSecure, []byte("x"))
+	goal := principal.QuoteOf(ch, c.pr)
+	if _, err := p.FindProof(goal, s.pr, tag.All(), now); err == nil {
+		t.Fatal("depth bound not enforced")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	alice, bob := mkParty("alice"), mkParty("bob")
+	p := New()
+	p.AddClosure(NewKeyClosure(alice.priv))
+	d := mustDelegate(t, alice, bob.pr, tag.All())
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			p.AddProof(d)
+			p.FindProof(bob.pr, alice.pr, tag.All(), now)
+			p.EdgeCount()
+			p.Principals()
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

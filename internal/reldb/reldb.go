@@ -1,0 +1,513 @@
+// Package reldb is a small in-memory relational database engine: the
+// substrate under the protected email database of paper section 6.2
+// ("the original database server accepts insert, update, and select
+// requests ... and returns the results of the query"). It provides
+// typed schemas, predicates, secondary hash indexes, ordering, and
+// limits — enough relational machinery for the gateway to "construct
+// a view of an e-mail message from several rows and tables" (6.3).
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ColType enumerates column types.
+type ColType int
+
+// Column types.
+const (
+	Int ColType = iota
+	String
+	Bytes
+	Time
+	Bool
+)
+
+func (t ColType) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	case Bytes:
+		return "bytes"
+	case Time:
+		return "time"
+	case Bool:
+		return "bool"
+	}
+	return "unknown"
+}
+
+// Value is a dynamically typed cell. Exactly one field is meaningful,
+// selected by Type. Gob-friendly (exported fields, no interfaces).
+type Value struct {
+	Type ColType
+	I    int64
+	S    string
+	B    []byte
+	T    time.Time
+	Bool bool
+}
+
+// Typed constructors.
+func IntV(v int64) Value      { return Value{Type: Int, I: v} }
+func StringV(v string) Value  { return Value{Type: String, S: v} }
+func BytesV(v []byte) Value   { return Value{Type: Bytes, B: v} }
+func TimeV(v time.Time) Value { return Value{Type: Time, T: v} }
+func BoolV(v bool) Value      { return Value{Type: Bool, Bool: v} }
+
+// key returns a map key for hashing and equality.
+func (v Value) key() string {
+	switch v.Type {
+	case Int:
+		return fmt.Sprintf("i%d", v.I)
+	case String:
+		return "s" + v.S
+	case Bytes:
+		return "b" + string(v.B)
+	case Time:
+		return "t" + v.T.UTC().Format(time.RFC3339Nano)
+	case Bool:
+		if v.Bool {
+			return "B1"
+		}
+		return "B0"
+	}
+	return "?"
+}
+
+// compare orders two values of the same type; panics are avoided by
+// treating cross-type comparisons as type-name ordering.
+func (v Value) compare(o Value) int {
+	if v.Type != o.Type {
+		return strings.Compare(v.Type.String(), o.Type.String())
+	}
+	switch v.Type {
+	case Int:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	case String:
+		return strings.Compare(v.S, o.S)
+	case Bytes:
+		return strings.Compare(string(v.B), string(o.B))
+	case Time:
+		switch {
+		case v.T.Before(o.T):
+			return -1
+		case v.T.After(o.T):
+			return 1
+		}
+		return 0
+	case Bool:
+		switch {
+		case !v.Bool && o.Bool:
+			return -1
+		case v.Bool && !o.Bool:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Column describes one attribute.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table.
+type Schema struct {
+	Name    string
+	Columns []Column
+	// Key is the primary key column (must be unique); empty means
+	// rowid-only.
+	Key string
+	// Indexes lists columns with secondary hash indexes.
+	Indexes []string
+}
+
+// Row is a tuple keyed by column name.
+type Row map[string]Value
+
+// clone copies a row.
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Op enumerates predicate operators.
+type Op int
+
+// Predicate operators.
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	Prefix // string prefix match
+)
+
+// Cond is one conjunct of a WHERE clause.
+type Cond struct {
+	Col string
+	Op  Op
+	Val Value
+}
+
+// Query selects rows from one table: conjunctive conditions, optional
+// ordering, optional limit (0 = unlimited).
+type Query struct {
+	Table   string
+	Where   []Cond
+	OrderBy string
+	Desc    bool
+	Limit   int
+}
+
+// DB is a set of tables; safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+type table struct {
+	schema  Schema
+	colType map[string]ColType
+	rows    map[int64]Row // rowid -> row
+	nextID  int64
+	// pk maps primary key value -> rowid.
+	pk map[string]int64
+	// idx maps column -> value-key -> set of rowids.
+	idx map[string]map[string]map[int64]bool
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*table)}
+}
+
+// CreateTable installs a schema.
+func (db *DB) CreateTable(s Schema) error {
+	if s.Name == "" || len(s.Columns) == 0 {
+		return fmt.Errorf("reldb: empty schema")
+	}
+	ct := make(map[string]ColType, len(s.Columns))
+	for _, c := range s.Columns {
+		if _, dup := ct[c.Name]; dup {
+			return fmt.Errorf("reldb: duplicate column %q", c.Name)
+		}
+		ct[c.Name] = c.Type
+	}
+	if s.Key != "" {
+		if _, ok := ct[s.Key]; !ok {
+			return fmt.Errorf("reldb: key column %q not in schema", s.Key)
+		}
+	}
+	t := &table{
+		schema:  s,
+		colType: ct,
+		rows:    make(map[int64]Row),
+		pk:      make(map[string]int64),
+		idx:     make(map[string]map[string]map[int64]bool),
+	}
+	for _, col := range s.Indexes {
+		if _, ok := ct[col]; !ok {
+			return fmt.Errorf("reldb: indexed column %q not in schema", col)
+		}
+		t.idx[col] = make(map[string]map[int64]bool)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[s.Name]; dup {
+		return fmt.Errorf("reldb: table %q exists", s.Name)
+	}
+	db.tables[s.Name] = t
+	return nil
+}
+
+// Tables lists table names.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (db *DB) table(name string) (*table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("reldb: no table %q", name)
+	}
+	return t, nil
+}
+
+// checkRow validates a row against the schema; missing columns are an
+// error, extra columns are an error.
+func (t *table) checkRow(r Row) error {
+	if len(r) != len(t.colType) {
+		return fmt.Errorf("reldb: row has %d columns, schema %q has %d", len(r), t.schema.Name, len(t.colType))
+	}
+	for name, v := range r {
+		want, ok := t.colType[name]
+		if !ok {
+			return fmt.Errorf("reldb: unknown column %q", name)
+		}
+		if v.Type != want {
+			return fmt.Errorf("reldb: column %q wants %s, got %s", name, want, v.Type)
+		}
+	}
+	return nil
+}
+
+// Insert adds a row, returning its rowid.
+func (db *DB) Insert(tableName string, r Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.checkRow(r); err != nil {
+		return 0, err
+	}
+	if t.schema.Key != "" {
+		k := r[t.schema.Key].key()
+		if _, dup := t.pk[k]; dup {
+			return 0, fmt.Errorf("reldb: duplicate key %v in %q", r[t.schema.Key], tableName)
+		}
+	}
+	t.nextID++
+	id := t.nextID
+	row := r.clone()
+	t.rows[id] = row
+	if t.schema.Key != "" {
+		t.pk[row[t.schema.Key].key()] = id
+	}
+	for col, byVal := range t.idx {
+		vk := row[col].key()
+		if byVal[vk] == nil {
+			byVal[vk] = make(map[int64]bool)
+		}
+		byVal[vk][id] = true
+	}
+	return id, nil
+}
+
+// matchRow tests all conjuncts.
+func matchRow(r Row, where []Cond) bool {
+	for _, c := range where {
+		v, ok := r[c.Col]
+		if !ok {
+			return false
+		}
+		switch c.Op {
+		case Eq:
+			if v.compare(c.Val) != 0 {
+				return false
+			}
+		case Ne:
+			if v.compare(c.Val) == 0 {
+				return false
+			}
+		case Lt:
+			if v.compare(c.Val) >= 0 {
+				return false
+			}
+		case Le:
+			if v.compare(c.Val) > 0 {
+				return false
+			}
+		case Gt:
+			if v.compare(c.Val) <= 0 {
+				return false
+			}
+		case Ge:
+			if v.compare(c.Val) < 0 {
+				return false
+			}
+		case Prefix:
+			if v.Type != String || c.Val.Type != String || !strings.HasPrefix(v.S, c.Val.S) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// candidateIDs picks the cheapest access path: an equality condition
+// on an indexed column, else a full scan.
+func (t *table) candidateIDs(where []Cond) []int64 {
+	for _, c := range where {
+		if c.Op != Eq {
+			continue
+		}
+		if byVal, ok := t.idx[c.Col]; ok {
+			ids := make([]int64, 0, len(byVal[c.Val.key()]))
+			for id := range byVal[c.Val.key()] {
+				ids = append(ids, id)
+			}
+			return ids
+		}
+		if t.schema.Key == c.Col {
+			if id, ok := t.pk[c.Val.key()]; ok {
+				return []int64{id}
+			}
+			return nil
+		}
+	}
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Select runs a query and returns matching rows (copies).
+func (db *DB) Select(q Query) ([]Row, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	var out []Row
+	for _, id := range t.candidateIDs(q.Where) {
+		r, ok := t.rows[id]
+		if !ok || !matchRow(r, q.Where) {
+			continue
+		}
+		out = append(out, r.clone())
+	}
+	if q.OrderBy != "" {
+		col := q.OrderBy
+		sort.SliceStable(out, func(i, j int) bool {
+			c := out[i][col].compare(out[j][col])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	} else {
+		// Deterministic order even without OrderBy: primary key or
+		// insertion via the row's own sort.
+		sort.SliceStable(out, func(i, j int) bool {
+			return rowLess(out[i], out[j], t.schema)
+		})
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+func rowLess(a, b Row, s Schema) bool {
+	if s.Key != "" {
+		return a[s.Key].compare(b[s.Key]) < 0
+	}
+	for _, c := range s.Columns {
+		if cmp := a[c.Name].compare(b[c.Name]); cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return false
+}
+
+// Update modifies matching rows, returning the count.
+func (db *DB) Update(tableName string, where []Cond, set Row) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	for col, v := range set {
+		want, ok := t.colType[col]
+		if !ok {
+			return 0, fmt.Errorf("reldb: unknown column %q", col)
+		}
+		if v.Type != want {
+			return 0, fmt.Errorf("reldb: column %q wants %s, got %s", col, want, v.Type)
+		}
+		if col == t.schema.Key {
+			return 0, fmt.Errorf("reldb: cannot update key column %q", col)
+		}
+	}
+	n := 0
+	for id, r := range t.rows {
+		if !matchRow(r, where) {
+			continue
+		}
+		for col, v := range set {
+			if byVal, ok := t.idx[col]; ok {
+				old := r[col].key()
+				delete(byVal[old], id)
+				nk := v.key()
+				if byVal[nk] == nil {
+					byVal[nk] = make(map[int64]bool)
+				}
+				byVal[nk][id] = true
+			}
+			r[col] = v
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Delete removes matching rows, returning the count.
+func (db *DB) Delete(tableName string, where []Cond) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for id, r := range t.rows {
+		if !matchRow(r, where) {
+			continue
+		}
+		if t.schema.Key != "" {
+			delete(t.pk, r[t.schema.Key].key())
+		}
+		for col, byVal := range t.idx {
+			delete(byVal[r[col].key()], id)
+		}
+		delete(t.rows, id)
+		n++
+	}
+	return n, nil
+}
+
+// Count returns the number of rows in a table.
+func (db *DB) Count(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(tableName)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.rows), nil
+}

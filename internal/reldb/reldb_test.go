@@ -1,0 +1,345 @@
+package reldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func msgSchema() Schema {
+	return Schema{
+		Name: "messages",
+		Columns: []Column{
+			{Name: "id", Type: Int},
+			{Name: "owner", Type: String},
+			{Name: "subject", Type: String},
+			{Name: "date", Type: Time},
+			{Name: "read", Type: Bool},
+		},
+		Key:     "id",
+		Indexes: []string{"owner"},
+	}
+}
+
+func mkRow(id int64, owner, subject string, d time.Time) Row {
+	return Row{
+		"id":      IntV(id),
+		"owner":   StringV(owner),
+		"subject": StringV(subject),
+		"date":    TimeV(d),
+		"read":    BoolV(false),
+	}
+}
+
+func newDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if err := db.CreateTable(msgSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+var day = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestInsertAndSelect(t *testing.T) {
+	db := newDB(t)
+	for i := 1; i <= 5; i++ {
+		owner := "alice"
+		if i%2 == 0 {
+			owner = "bob"
+		}
+		if _, err := db.Insert("messages", mkRow(int64(i), owner, fmt.Sprintf("s%d", i), day.Add(time.Duration(i)*time.Hour))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Select(Query{Table: "messages", Where: []Cond{{Col: "owner", Op: Eq, Val: StringV("alice")}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("alice rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r["owner"].S != "alice" {
+			t.Fatalf("leaked row: %v", r)
+		}
+	}
+}
+
+func TestSchemaEnforcement(t *testing.T) {
+	db := newDB(t)
+	// Wrong type.
+	bad := mkRow(1, "a", "s", day)
+	bad["id"] = StringV("not-an-int")
+	if _, err := db.Insert("messages", bad); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	// Missing column.
+	short := mkRow(1, "a", "s", day)
+	delete(short, "read")
+	if _, err := db.Insert("messages", short); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	// Extra column.
+	extra := mkRow(1, "a", "s", day)
+	extra["bogus"] = IntV(1)
+	if _, err := db.Insert("messages", extra); err == nil {
+		t.Fatal("extra column accepted")
+	}
+	// Unknown table.
+	if _, err := db.Insert("nope", mkRow(1, "a", "s", day)); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestPrimaryKeyUnique(t *testing.T) {
+	db := newDB(t)
+	if _, err := db.Insert("messages", mkRow(1, "a", "s", day)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Insert("messages", mkRow(1, "b", "t", day)); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	db := newDB(t)
+	for i := 1; i <= 10; i++ {
+		db.Insert("messages", mkRow(int64(i), "alice", fmt.Sprintf("subj-%02d", i), day.Add(time.Duration(i)*time.Hour)))
+	}
+	cases := []struct {
+		cond Cond
+		want int
+	}{
+		{Cond{"id", Eq, IntV(5)}, 1},
+		{Cond{"id", Ne, IntV(5)}, 9},
+		{Cond{"id", Lt, IntV(4)}, 3},
+		{Cond{"id", Le, IntV(4)}, 4},
+		{Cond{"id", Gt, IntV(8)}, 2},
+		{Cond{"id", Ge, IntV(8)}, 3},
+		{Cond{"subject", Prefix, StringV("subj-0")}, 9},
+		{Cond{"date", Lt, TimeV(day.Add(3 * time.Hour))}, 2},
+	}
+	for _, c := range cases {
+		rows, err := db.Select(Query{Table: "messages", Where: []Cond{c.cond}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != c.want {
+			t.Errorf("cond %+v -> %d rows, want %d", c.cond, len(rows), c.want)
+		}
+	}
+}
+
+func TestConjunctiveWhere(t *testing.T) {
+	db := newDB(t)
+	for i := 1; i <= 10; i++ {
+		owner := "alice"
+		if i > 5 {
+			owner = "bob"
+		}
+		db.Insert("messages", mkRow(int64(i), owner, "s", day))
+	}
+	rows, _ := db.Select(Query{Table: "messages", Where: []Cond{
+		{Col: "owner", Op: Eq, Val: StringV("bob")},
+		{Col: "id", Op: Le, Val: IntV(7)},
+	}})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := newDB(t)
+	for i := 1; i <= 5; i++ {
+		db.Insert("messages", mkRow(int64(i), "a", "s", day.Add(time.Duration(6-i)*time.Hour)))
+	}
+	rows, _ := db.Select(Query{Table: "messages", OrderBy: "date", Limit: 3})
+	if len(rows) != 3 {
+		t.Fatalf("limit ignored: %d", len(rows))
+	}
+	if !(rows[0]["date"].T.Before(rows[1]["date"].T) && rows[1]["date"].T.Before(rows[2]["date"].T)) {
+		t.Fatal("ascending order wrong")
+	}
+	rows, _ = db.Select(Query{Table: "messages", OrderBy: "date", Desc: true, Limit: 1})
+	if rows[0]["id"].I != 1 {
+		t.Fatalf("desc order wrong: %v", rows[0])
+	}
+	// Default ordering is by primary key: deterministic.
+	rows, _ = db.Select(Query{Table: "messages"})
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1]["id"].I >= rows[i]["id"].I {
+			t.Fatal("default order not by key")
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := newDB(t)
+	for i := 1; i <= 4; i++ {
+		db.Insert("messages", mkRow(int64(i), "alice", "s", day))
+	}
+	n, err := db.Update("messages",
+		[]Cond{{Col: "id", Op: Le, Val: IntV(2)}},
+		Row{"read": BoolV(true)})
+	if err != nil || n != 2 {
+		t.Fatalf("update n=%d err=%v", n, err)
+	}
+	rows, _ := db.Select(Query{Table: "messages", Where: []Cond{{Col: "read", Op: Eq, Val: BoolV(true)}}})
+	if len(rows) != 2 {
+		t.Fatalf("read rows = %d", len(rows))
+	}
+	// Updating the key column is refused.
+	if _, err := db.Update("messages", nil, Row{"id": IntV(99)}); err == nil {
+		t.Fatal("key update accepted")
+	}
+	// Updating an indexed column keeps the index coherent.
+	n, err = db.Update("messages",
+		[]Cond{{Col: "id", Op: Eq, Val: IntV(1)}},
+		Row{"owner": StringV("bob")})
+	if err != nil || n != 1 {
+		t.Fatal(err)
+	}
+	rows, _ = db.Select(Query{Table: "messages", Where: []Cond{{Col: "owner", Op: Eq, Val: StringV("bob")}}})
+	if len(rows) != 1 || rows[0]["id"].I != 1 {
+		t.Fatalf("index stale after update: %v", rows)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := newDB(t)
+	for i := 1; i <= 4; i++ {
+		db.Insert("messages", mkRow(int64(i), "alice", "s", day))
+	}
+	n, err := db.Delete("messages", []Cond{{Col: "id", Op: Gt, Val: IntV(2)}})
+	if err != nil || n != 2 {
+		t.Fatalf("delete n=%d err=%v", n, err)
+	}
+	if c, _ := db.Count("messages"); c != 2 {
+		t.Fatalf("count = %d", c)
+	}
+	// Key is reusable after delete.
+	if _, err := db.Insert("messages", mkRow(3, "alice", "again", day)); err != nil {
+		t.Fatalf("key not released: %v", err)
+	}
+	// Index coherent after delete.
+	rows, _ := db.Select(Query{Table: "messages", Where: []Cond{{Col: "owner", Op: Eq, Val: StringV("alice")}}})
+	if len(rows) != 3 {
+		t.Fatalf("index stale after delete: %d", len(rows))
+	}
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := New()
+	if err := db.CreateTable(Schema{}); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "t", Columns: []Column{{Name: "a", Type: Int}, {Name: "a", Type: Int}}}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "t", Columns: []Column{{Name: "a", Type: Int}}, Key: "zz"}); err == nil {
+		t.Fatal("bad key accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "t", Columns: []Column{{Name: "a", Type: Int}}, Indexes: []string{"zz"}}); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if err := db.CreateTable(Schema{Name: "t", Columns: []Column{{Name: "a", Type: Int}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(Schema{Name: "t", Columns: []Column{{Name: "a", Type: Int}}}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if got := db.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("Tables = %v", got)
+	}
+}
+
+func TestSelectReturnsCopies(t *testing.T) {
+	db := newDB(t)
+	db.Insert("messages", mkRow(1, "alice", "orig", day))
+	rows, _ := db.Select(Query{Table: "messages"})
+	rows[0]["subject"] = StringV("mutated")
+	rows2, _ := db.Select(Query{Table: "messages"})
+	if rows2[0]["subject"].S != "orig" {
+		t.Fatal("Select leaks internal storage")
+	}
+}
+
+// Property: indexed equality selects exactly the same rows as a full
+// scan with the same predicate.
+func TestQuickIndexAgreesWithScan(t *testing.T) {
+	g := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New()
+		db.CreateTable(msgSchema())
+		owners := []string{"a", "b", "c"}
+		total := 20 + r.Intn(30)
+		counts := map[string]int{}
+		for i := 0; i < total; i++ {
+			o := owners[r.Intn(len(owners))]
+			counts[o]++
+			db.Insert("messages", mkRow(int64(i), o, "s", day))
+		}
+		for _, o := range owners {
+			rows, err := db.Select(Query{Table: "messages",
+				Where: []Cond{{Col: "owner", Op: Eq, Val: StringV(o)}}})
+			if err != nil || len(rows) != counts[o] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: insert-then-delete round trips to the original count.
+func TestQuickInsertDeleteInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := New()
+		db.CreateTable(msgSchema())
+		n := 1 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			db.Insert("messages", mkRow(int64(i), "x", "s", day))
+		}
+		deleted, _ := db.Delete("messages", []Cond{{Col: "owner", Op: Eq, Val: StringV("x")}})
+		c, _ := db.Count("messages")
+		return deleted == n && c == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	db := newDB(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				db.Insert("messages", mkRow(int64(w*1000+i), "alice", "s", day))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				db.Select(Query{Table: "messages", Where: []Cond{{Col: "owner", Op: Eq, Val: StringV("alice")}}})
+			}
+		}()
+	}
+	wg.Wait()
+	if c, _ := db.Count("messages"); c != 200 {
+		t.Fatalf("count = %d, want 200", c)
+	}
+}

@@ -1,0 +1,380 @@
+package rmi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// TagFunc maps a method invocation (with its decoded arguments) to
+// the restriction set required to authorize it — the server
+// programmer's "mapping from method invocation to restriction set
+// (T)" of section 5.1.1.
+type TagFunc func(object, method string, args interface{}) tag.Tag
+
+// DefaultTagFunc requires (rmi (object X) (method M)).
+func DefaultTagFunc(object, method string, args interface{}) tag.Tag {
+	return MethodTag(object, method)
+}
+
+// object is a registered remote object.
+type object struct {
+	name   string
+	issuer principal.Principal // KS: the principal controlling the object
+	tagFor TagFunc
+	recv   reflect.Value
+	method map[string]reflect.Method
+	open   bool // unprotected: no checkAuth prologue
+}
+
+// Stats counts server-side authorization work, reported by the
+// measurement harness.
+type Stats struct {
+	Calls         int
+	AuthChecks    int
+	AuthFailures  int
+	ProofSubmits  int
+	ProofVerifies int
+}
+
+// Server dispatches invocations arriving over authenticated channels.
+type Server struct {
+	mu      sync.Mutex
+	objects map[string]*object
+	// proofs caches verified proofs by subject principal key — the
+	// "cache/proof" box of Figure 4. Entries are only ever inserted
+	// after full verification.
+	proofs map[string][]core.Proof
+	vctx   *core.VerifyContext
+	stats  Stats
+
+	// Clock supplies verification time; nil means time.Now.
+	Clock func() time.Time
+	// Revoked and Revalidate plug revocation state into proof
+	// verification (package cert). They are consulted when a proof is
+	// first verified; proofs already cached keep their authority until
+	// ForgetProofs, so operators pairing revocation with long-lived
+	// connections should flush after updating revocation state.
+	Revoked    func(certHash []byte) bool
+	Revalidate func(certHash []byte, where string) error
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{
+		objects: make(map[string]*object),
+		proofs:  make(map[string][]core.Proof),
+		vctx:    core.NewVerifyContext(),
+	}
+}
+
+// Register installs a protected remote object. Methods must have the
+// net/rpc shape: func (t *T) M(args A, reply *R) error. Every call is
+// prefixed by checkAuth against the issuer and tagFor (nil tagFor
+// uses DefaultTagFunc).
+func (s *Server) Register(name string, impl interface{}, issuer principal.Principal, tagFor TagFunc) error {
+	return s.register(name, impl, issuer, tagFor, false)
+}
+
+// RegisterOpen installs an unprotected object (the "basic RMI"
+// baseline of Figure 6).
+func (s *Server) RegisterOpen(name string, impl interface{}) error {
+	return s.register(name, impl, nil, nil, true)
+}
+
+func (s *Server) register(name string, impl interface{}, issuer principal.Principal, tagFor TagFunc, open bool) error {
+	if !open && issuer == nil {
+		return fmt.Errorf("rmi: protected object %q needs an issuer", name)
+	}
+	if tagFor == nil {
+		tagFor = DefaultTagFunc
+	}
+	recv := reflect.ValueOf(impl)
+	t := recv.Type()
+	methods := make(map[string]reflect.Method)
+	for i := 0; i < t.NumMethod(); i++ {
+		m := t.Method(i)
+		if !suitableMethod(m) {
+			continue
+		}
+		methods[m.Name] = m
+	}
+	if len(methods) == 0 {
+		return fmt.Errorf("rmi: %q exports no suitable methods", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.objects[name]; dup {
+		return fmt.Errorf("rmi: object %q already registered", name)
+	}
+	s.objects[name] = &object{
+		name: name, issuer: issuer, tagFor: tagFor,
+		recv: recv, method: methods, open: open,
+	}
+	return nil
+}
+
+// suitableMethod checks the net/rpc shape: two args (value, pointer),
+// one error return.
+func suitableMethod(m reflect.Method) bool {
+	mt := m.Type
+	if mt.NumIn() != 3 || mt.NumOut() != 1 {
+		return false
+	}
+	if mt.In(2).Kind() != reflect.Ptr {
+		return false
+	}
+	return mt.Out(0) == reflect.TypeOf((*error)(nil)).Elem()
+}
+
+// Serve accepts connections until the listener fails.
+func (s *Server) Serve(l channel.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn dispatches one connection; it returns when the peer
+// disconnects. Responses are buffered and flushed once per message.
+func (s *Server) ServeConn(conn channel.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(bw)
+	for {
+		var req callRequest
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrClosedPipe) {
+				// Connection torn down; nothing to report to.
+				_ = err
+			}
+			return
+		}
+		resp := s.dispatch(conn, &req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// speakerFor derives the principal that uttered a request: the
+// channel's peer key ("checkAuth discovers the key K2 associated with
+// the channel"), wrapped as a quoting principal when the caller
+// claims to quote (section 6.3).
+func speakerFor(conn channel.Conn, req *callRequest) (principal.Principal, error) {
+	peer := conn.PeerKey()
+	var base principal.Principal
+	if len(peer.Raw) == 0 {
+		// Unauthenticated channel: only the channel itself speaks.
+		base = conn.Principal()
+	} else {
+		base = principal.KeyOf(peer)
+	}
+	if len(req.Quotee) == 0 {
+		return base, nil
+	}
+	qe, err := principal.Parse(string(req.Quotee))
+	if err != nil {
+		return nil, fmt.Errorf("rmi: bad quotee: %w", err)
+	}
+	return principal.QuoteOf(base, qe), nil
+}
+
+func (s *Server) dispatch(conn channel.Conn, req *callRequest) *callResponse {
+	s.mu.Lock()
+	s.stats.Calls++
+	s.mu.Unlock()
+	resp := &callResponse{ID: req.ID}
+
+	if req.Object == proofRecipientObject {
+		return s.handleProofSubmit(req, resp)
+	}
+
+	s.mu.Lock()
+	obj, ok := s.objects[req.Object]
+	s.mu.Unlock()
+	if !ok {
+		resp.Kind = kindError
+		resp.Err = fmt.Sprintf("rmi: no object %q", req.Object)
+		return resp
+	}
+	m, ok := obj.method[req.Method]
+	if !ok {
+		resp.Kind = kindError
+		resp.Err = fmt.Sprintf("rmi: %q has no method %q", req.Object, req.Method)
+		return resp
+	}
+
+	// Decode arguments.
+	argv := reflect.New(m.Type.In(1))
+	if err := gob.NewDecoder(bytes.NewReader(req.Args)).DecodeValue(argv); err != nil {
+		resp.Kind = kindError
+		resp.Err = fmt.Sprintf("rmi: decode args: %v", err)
+		return resp
+	}
+
+	// The checkAuth() prologue (Figure 4, step l).
+	if !obj.open {
+		speaker, err := speakerFor(conn, req)
+		if err != nil {
+			resp.Kind = kindError
+			resp.Err = err.Error()
+			return resp
+		}
+		reqTag := obj.tagFor(req.Object, req.Method, argv.Elem().Interface())
+		if err := s.checkAuth(speaker, obj.issuer, reqTag); err != nil {
+			var ae *core.AuthError
+			if errors.As(err, &ae) {
+				resp.Kind = kindNeedAuth
+				resp.Issuer, resp.MinTag = encodeChallenge(ae.Issuer, ae.MinTag)
+				return resp
+			}
+			resp.Kind = kindError
+			resp.Err = err.Error()
+			return resp
+		}
+	}
+
+	// Invoke.
+	replyv := reflect.New(m.Type.In(2).Elem())
+	out := m.Func.Call([]reflect.Value{obj.recv, argv.Elem(), replyv})
+	if errv := out[0].Interface(); errv != nil {
+		resp.Kind = kindError
+		resp.Err = errv.(error).Error()
+		return resp
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).EncodeValue(replyv); err != nil {
+		resp.Kind = kindError
+		resp.Err = fmt.Sprintf("rmi: encode reply: %v", err)
+		return resp
+	}
+	resp.Kind = kindOK
+	resp.Result = buf.Bytes()
+	return resp
+}
+
+// checkAuth finds a cached, already verified proof that speaker
+// speaks for issuer regarding reqTag. Because proofs are verified
+// when submitted and conclusions carry their own expiry, the per-call
+// cost is a cache lookup plus tag matching (section 7.2: "finds a
+// cached proof for that subject and sees that the proof has already
+// been verified").
+func (s *Server) checkAuth(speaker, issuer principal.Principal, reqTag tag.Tag) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.AuthChecks++
+	ctx := s.verifyContextLocked()
+	for _, p := range s.proofs[speaker.Key()] {
+		if err := core.Authorize(ctx, p, speaker, issuer, reqTag); err == nil {
+			return nil
+		}
+	}
+	s.stats.AuthFailures++
+	return &core.AuthError{Issuer: issuer, MinTag: reqTag, Reason: "no valid proof on file"}
+}
+
+// verifyContextLocked refreshes the shared verification context's
+// clock and revocation hooks.
+func (s *Server) verifyContextLocked() *core.VerifyContext {
+	now := time.Now()
+	if s.Clock != nil {
+		now = s.Clock()
+	}
+	s.vctx.Now = now
+	s.vctx.Revoked = s.Revoked
+	s.vctx.Revalidate = s.Revalidate
+	return s.vctx
+}
+
+// handleProofSubmit is the proofRecipient (Figure 4, step n): parse,
+// verify once, and file the proof under its subject.
+func (s *Server) handleProofSubmit(req *callRequest, resp *callResponse) *callResponse {
+	var args submitArgs
+	if err := gob.NewDecoder(bytes.NewReader(req.Args)).Decode(&args); err != nil {
+		resp.Kind = kindError
+		resp.Err = fmt.Sprintf("rmi: decode proof submit: %v", err)
+		return resp
+	}
+	if err := s.AcceptProof(args.Proof); err != nil {
+		resp.Kind = kindError
+		resp.Err = err.Error()
+		return resp
+	}
+	var buf bytes.Buffer
+	gob.NewEncoder(&buf).Encode(submitReply{Stored: true})
+	resp.Kind = kindOK
+	resp.Result = buf.Bytes()
+	return resp
+}
+
+// AcceptProof parses, verifies, and files a transport-encoded proof;
+// exported so colocated gateways and tests can install proofs
+// directly.
+func (s *Server) AcceptProof(raw []byte) error {
+	p, err := core.ParseProof(raw)
+	if err != nil {
+		return fmt.Errorf("rmi: parse proof: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.ProofSubmits++
+	ctx := s.verifyContextLocked()
+	s.stats.ProofVerifies++
+	if err := p.Verify(ctx); err != nil {
+		return fmt.Errorf("rmi: proof does not verify: %w", err)
+	}
+	subj := p.Conclusion().Subject.Key()
+	s.proofs[subj] = append(s.proofs[subj], p)
+	return nil
+}
+
+// ForgetProofs drops the server's proof cache; the measurement
+// harness uses it to isolate the proof parse+verify cost ("when ...
+// we make the server forget its copy after each use", section 7.2).
+func (s *Server) ForgetProofs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.proofs = make(map[string][]core.Proof)
+	s.vctx = core.NewVerifyContext()
+}
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ObjectIssuer reports the issuer protecting a registered object.
+func (s *Server) ObjectIssuer(name string) (principal.Principal, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.objects[name]
+	if !ok || o.open {
+		return nil, false
+	}
+	return o.issuer, true
+}
+
+// zeroKey reports whether a public key is absent.
+func zeroKey(k sfkey.PublicKey) bool { return len(k.Raw) == 0 }

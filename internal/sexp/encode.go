@@ -1,0 +1,200 @@
+package sexp
+
+import (
+	"bytes"
+	"encoding/base64"
+	"fmt"
+	"strconv"
+)
+
+// Canonical returns the canonical encoding of s: atoms as
+// "[hint]<len>:<octets>" verbatim strings, lists parenthesized. The
+// canonical form is the input to hashing and signing.
+func (s *Sexp) Canonical() []byte {
+	var buf bytes.Buffer
+	s.canonicalTo(&buf)
+	return buf.Bytes()
+}
+
+func (s *Sexp) canonicalTo(buf *bytes.Buffer) {
+	if s == nil {
+		return
+	}
+	if !s.IsList {
+		if s.Hint != "" {
+			buf.WriteByte('[')
+			writeVerbatim(buf, []byte(s.Hint))
+			buf.WriteByte(']')
+		}
+		writeVerbatim(buf, s.Octets)
+		return
+	}
+	buf.WriteByte('(')
+	for _, c := range s.List {
+		c.canonicalTo(buf)
+	}
+	buf.WriteByte(')')
+}
+
+func writeVerbatim(buf *bytes.Buffer, b []byte) {
+	buf.WriteString(strconv.Itoa(len(b)))
+	buf.WriteByte(':')
+	buf.Write(b)
+}
+
+// Transport returns the transport encoding: the canonical form,
+// base64-encoded and wrapped in braces. Transport form survives
+// transfer through protocols that mangle binary data (HTTP headers,
+// mail, cut-and-paste), per section 2.4 of the paper.
+func (s *Sexp) Transport() []byte {
+	can := s.Canonical()
+	out := make([]byte, base64.StdEncoding.EncodedLen(len(can))+2)
+	out[0] = '{'
+	base64.StdEncoding.Encode(out[1:], can)
+	out[len(out)-1] = '}'
+	return out
+}
+
+// Advanced returns the human-readable advanced encoding: token atoms
+// bare, printable atoms quoted, binary atoms |base64|.
+func (s *Sexp) Advanced() []byte {
+	var buf bytes.Buffer
+	s.advancedTo(&buf)
+	return buf.Bytes()
+}
+
+func (s *Sexp) advancedTo(buf *bytes.Buffer) {
+	if s == nil {
+		return
+	}
+	if !s.IsList {
+		if s.Hint != "" {
+			buf.WriteByte('[')
+			writeAdvancedAtom(buf, []byte(s.Hint))
+			buf.WriteByte(']')
+		}
+		writeAdvancedAtom(buf, s.Octets)
+		return
+	}
+	buf.WriteByte('(')
+	for i, c := range s.List {
+		if i > 0 {
+			buf.WriteByte(' ')
+		}
+		c.advancedTo(buf)
+	}
+	buf.WriteByte(')')
+}
+
+func writeAdvancedAtom(buf *bytes.Buffer, b []byte) {
+	switch {
+	case isToken(b):
+		buf.Write(b)
+	case isQuotable(b):
+		buf.WriteByte('"')
+		for _, c := range b {
+			switch c {
+			case '"', '\\':
+				buf.WriteByte('\\')
+				buf.WriteByte(c)
+			case '\n':
+				buf.WriteString(`\n`)
+			case '\r':
+				buf.WriteString(`\r`)
+			case '\t':
+				buf.WriteString(`\t`)
+			default:
+				buf.WriteByte(c)
+			}
+		}
+		buf.WriteByte('"')
+	default:
+		buf.WriteByte('|')
+		buf.WriteString(base64.StdEncoding.EncodeToString(b))
+		buf.WriteByte('|')
+	}
+}
+
+// isToken reports whether b may be written as a bare token: nonempty,
+// starts with a non-digit token char, contains only token chars.
+func isToken(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return false
+	}
+	for _, c := range b {
+		if !isTokenChar(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func isTokenChar(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	}
+	switch c {
+	case '-', '.', '/', '_', ':', '*', '+', '=':
+		return true
+	}
+	return false
+}
+
+func isQuotable(b []byte) bool {
+	for _, c := range b {
+		if c < 0x20 && c != '\n' && c != '\r' && c != '\t' {
+			return false
+		}
+		if c >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendCanonical appends the canonical encoding of s to dst and
+// returns the extended slice; useful for building signing buffers
+// without intermediate allocation.
+func AppendCanonical(dst []byte, s *Sexp) []byte {
+	var buf bytes.Buffer
+	buf.Write(dst)
+	s.canonicalTo(&buf)
+	return buf.Bytes()
+}
+
+// FormatLen returns the canonical encoding length without materializing
+// the encoding.
+func (s *Sexp) FormatLen() int {
+	if s == nil {
+		return 0
+	}
+	if !s.IsList {
+		n := verbatimLen(len(s.Octets))
+		if s.Hint != "" {
+			n += 2 + verbatimLen(len(s.Hint))
+		}
+		return n
+	}
+	n := 2
+	for _, c := range s.List {
+		n += c.FormatLen()
+	}
+	return n
+}
+
+func verbatimLen(n int) int {
+	return len(strconv.Itoa(n)) + 1 + n
+}
+
+// mustFit panics when FormatLen disagrees with the materialized
+// canonical length; used only under testing builds via ValidateLen.
+func (s *Sexp) validateLen() error {
+	if got, want := len(s.Canonical()), s.FormatLen(); got != want {
+		return fmt.Errorf("sexp: FormatLen mismatch got %d want %d", want, got)
+	}
+	return nil
+}

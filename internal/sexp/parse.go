@@ -1,0 +1,301 @@
+package sexp
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Limits protecting the parser against hostile input. Proof objects
+// arrive from untrusted parties (paper section 4.3), so the parser is
+// a security boundary.
+const (
+	// MaxAtomLen bounds a single atom.
+	MaxAtomLen = 1 << 20
+	// MaxDepth bounds list nesting.
+	MaxDepth = 128
+	// MaxTotal bounds the total encoded input accepted.
+	MaxTotal = 8 << 20
+)
+
+// ErrTruncated is returned when input ends mid-expression.
+var ErrTruncated = errors.New("sexp: truncated input")
+
+type parser struct {
+	in  []byte
+	pos int
+}
+
+// Parse decodes one S-expression in canonical, transport, or advanced
+// form (auto-detected) and returns it along with the number of input
+// bytes consumed.
+func Parse(in []byte) (*Sexp, int, error) {
+	if len(in) > MaxTotal {
+		return nil, 0, fmt.Errorf("sexp: input exceeds %d bytes", MaxTotal)
+	}
+	p := &parser{in: in}
+	p.skipSpace()
+	if p.pos < len(p.in) && p.in[p.pos] == '{' {
+		return p.parseTransport()
+	}
+	s, err := p.parse(0)
+	if err != nil {
+		return nil, p.pos, err
+	}
+	return s, p.pos, nil
+}
+
+// ParseOne is Parse but requires the input to contain exactly one
+// expression with nothing but whitespace after it.
+func ParseOne(in []byte) (*Sexp, error) {
+	s, n, err := Parse(in)
+	if err != nil {
+		return nil, err
+	}
+	for ; n < len(in); n++ {
+		if !isSpace(in[n]) {
+			return nil, fmt.Errorf("sexp: trailing garbage at byte %d", n)
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseTransport() (*Sexp, int, error) {
+	start := p.pos
+	p.pos++ // '{'
+	end := p.pos
+	for end < len(p.in) && p.in[end] != '}' {
+		end++
+	}
+	if end >= len(p.in) {
+		return nil, start, ErrTruncated
+	}
+	raw := make([]byte, 0, len(p.in[p.pos:end]))
+	for _, c := range p.in[p.pos:end] {
+		if !isSpace(c) {
+			raw = append(raw, c)
+		}
+	}
+	dec := make([]byte, base64.StdEncoding.DecodedLen(len(raw)))
+	n, err := base64.StdEncoding.Decode(dec, raw)
+	if err != nil {
+		return nil, start, fmt.Errorf("sexp: bad transport base64: %v", err)
+	}
+	inner := &parser{in: dec[:n]}
+	s, err := inner.parse(0)
+	if err != nil {
+		return nil, start, err
+	}
+	p.pos = end + 1
+	return s, p.pos, nil
+}
+
+func (p *parser) parse(depth int) (*Sexp, error) {
+	if depth > MaxDepth {
+		return nil, fmt.Errorf("sexp: nesting exceeds %d", MaxDepth)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return nil, ErrTruncated
+	}
+	switch c := p.in[p.pos]; {
+	case c == '(':
+		p.pos++
+		list := []*Sexp{}
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.in) {
+				return nil, ErrTruncated
+			}
+			if p.in[p.pos] == ')' {
+				p.pos++
+				return &Sexp{IsList: true, List: list}, nil
+			}
+			child, err := p.parse(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, child)
+		}
+	case c == '[':
+		p.pos++
+		hint, err := p.parseAtomBody()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.in) || p.in[p.pos] != ']' {
+			return nil, fmt.Errorf("sexp: unterminated display hint at byte %d", p.pos)
+		}
+		p.pos++
+		p.skipSpace()
+		body, err := p.parseAtomBody()
+		if err != nil {
+			return nil, err
+		}
+		return &Sexp{Octets: body, Hint: string(hint)}, nil
+	default:
+		body, err := p.parseAtomBody()
+		if err != nil {
+			return nil, err
+		}
+		return &Sexp{Octets: body}, nil
+	}
+}
+
+// parseAtomBody handles verbatim (canonical), token, quoted-string,
+// |base64| and #hex# atoms.
+func (p *parser) parseAtomBody() ([]byte, error) {
+	if p.pos >= len(p.in) {
+		return nil, ErrTruncated
+	}
+	c := p.in[p.pos]
+	switch {
+	case c >= '0' && c <= '9':
+		return p.parseVerbatim()
+	case c == '"':
+		return p.parseQuoted()
+	case c == '|':
+		return p.parseBase64()
+	case c == '#':
+		return p.parseHex()
+	case isTokenChar(c):
+		start := p.pos
+		for p.pos < len(p.in) && isTokenChar(p.in[p.pos]) {
+			p.pos++
+		}
+		return append([]byte(nil), p.in[start:p.pos]...), nil
+	default:
+		return nil, fmt.Errorf("sexp: unexpected byte %q at %d", c, p.pos)
+	}
+}
+
+// parseVerbatim parses "<len>:<octets>". When the digits are not
+// followed by ':', they begin a bare token instead (numbers such as
+// "10" inside range tags); canonical encodings always carry the colon,
+// so the forms stay unambiguous.
+func (p *parser) parseVerbatim() ([]byte, error) {
+	start := p.pos
+	n := 0
+	tooBig := false
+	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
+		n = n*10 + int(p.in[p.pos]-'0')
+		if n > MaxAtomLen {
+			tooBig = true
+			n = MaxAtomLen + 1
+		}
+		p.pos++
+	}
+	if p.pos >= len(p.in) || p.in[p.pos] != ':' {
+		for p.pos < len(p.in) && isTokenChar(p.in[p.pos]) && p.in[p.pos] != ':' {
+			p.pos++
+		}
+		return append([]byte(nil), p.in[start:p.pos]...), nil
+	}
+	if tooBig {
+		return nil, fmt.Errorf("sexp: atom exceeds %d bytes", MaxAtomLen)
+	}
+	p.pos++
+	if p.pos+n > len(p.in) {
+		return nil, ErrTruncated
+	}
+	out := append([]byte(nil), p.in[p.pos:p.pos+n]...)
+	p.pos += n
+	return out, nil
+}
+
+func (p *parser) parseQuoted() ([]byte, error) {
+	p.pos++ // opening quote
+	var out []byte
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		switch c {
+		case '"':
+			p.pos++
+			return out, nil
+		case '\\':
+			p.pos++
+			if p.pos >= len(p.in) {
+				return nil, ErrTruncated
+			}
+			switch e := p.in[p.pos]; e {
+			case 'n':
+				out = append(out, '\n')
+			case 'r':
+				out = append(out, '\r')
+			case 't':
+				out = append(out, '\t')
+			case '"', '\\':
+				out = append(out, e)
+			default:
+				return nil, fmt.Errorf("sexp: bad escape \\%c at byte %d", e, p.pos)
+			}
+			p.pos++
+		default:
+			out = append(out, c)
+			p.pos++
+		}
+		if len(out) > MaxAtomLen {
+			return nil, fmt.Errorf("sexp: atom exceeds %d bytes", MaxAtomLen)
+		}
+	}
+	return nil, ErrTruncated
+}
+
+func (p *parser) parseBase64() ([]byte, error) {
+	p.pos++ // opening |
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != '|' {
+		p.pos++
+	}
+	if p.pos >= len(p.in) {
+		return nil, ErrTruncated
+	}
+	raw := make([]byte, 0, p.pos-start)
+	for _, c := range p.in[start:p.pos] {
+		if !isSpace(c) {
+			raw = append(raw, c)
+		}
+	}
+	p.pos++ // closing |
+	dec := make([]byte, base64.StdEncoding.DecodedLen(len(raw)))
+	n, err := base64.StdEncoding.Decode(dec, raw)
+	if err != nil {
+		return nil, fmt.Errorf("sexp: bad base64 atom: %v", err)
+	}
+	return dec[:n], nil
+}
+
+func (p *parser) parseHex() ([]byte, error) {
+	p.pos++ // opening #
+	start := p.pos
+	for p.pos < len(p.in) && p.in[p.pos] != '#' {
+		p.pos++
+	}
+	if p.pos >= len(p.in) {
+		return nil, ErrTruncated
+	}
+	raw := make([]byte, 0, p.pos-start)
+	for _, c := range p.in[start:p.pos] {
+		if !isSpace(c) {
+			raw = append(raw, c)
+		}
+	}
+	p.pos++ // closing #
+	out := make([]byte, hex.DecodedLen(len(raw)))
+	if _, err := hex.Decode(out, raw); err != nil {
+		return nil, fmt.Errorf("sexp: bad hex atom: %v", err)
+	}
+	return out, nil
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && isSpace(p.in[p.pos]) {
+		p.pos++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}

@@ -1,0 +1,212 @@
+// Package sexp implements SPKI S-expressions as specified in Rivest's
+// S-expression Internet draft, the wire language of the Snowflake
+// authorization system (Howell & Kotz, OSDI 2000, section 2.4).
+//
+// An S-expression is either an octet-string atom or a list of
+// S-expressions. Three encodings are supported:
+//
+//   - canonical: unambiguous, used for hashing and signing
+//     ("(3:abc(1:x))" style verbatim length-prefixed atoms);
+//   - transport: base64 of the canonical form wrapped in braces;
+//   - advanced: human-readable tokens, quoted strings, |base64| and
+//     #hex# atoms, used in examples and debugging output.
+//
+// Atoms may carry a display hint ("[text/plain]3:abc"), preserved by
+// all encoders.
+package sexp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+// Sexp is a single S-expression node: an atom (IsList false) holding
+// octets, or a list (IsList true) of children. The zero value is the
+// empty atom.
+type Sexp struct {
+	// IsList distinguishes lists from atoms.
+	IsList bool
+	// Octets is the atom content; meaningful only when !IsList.
+	Octets []byte
+	// Hint is the optional display hint of an atom (may be empty).
+	Hint string
+	// List holds the children of a list; meaningful only when IsList.
+	List []*Sexp
+}
+
+// Atom returns a new atom node holding the given octets.
+func Atom(b []byte) *Sexp {
+	return &Sexp{Octets: append([]byte(nil), b...)}
+}
+
+// String returns a new atom node holding the octets of s.
+func String(s string) *Sexp {
+	return &Sexp{Octets: []byte(s)}
+}
+
+// HintedAtom returns an atom with a display hint attached.
+func HintedAtom(hint string, b []byte) *Sexp {
+	return &Sexp{Octets: append([]byte(nil), b...), Hint: hint}
+}
+
+// List returns a new list node with the given children. The children
+// are not copied; callers must not mutate them afterwards.
+func List(children ...*Sexp) *Sexp {
+	if children == nil {
+		children = []*Sexp{}
+	}
+	return &Sexp{IsList: true, List: children}
+}
+
+// IsAtom reports whether s is an atom node.
+func (s *Sexp) IsAtom() bool { return s != nil && !s.IsList }
+
+// Len returns the number of children of a list, or 0 for an atom.
+func (s *Sexp) Len() int {
+	if s == nil || !s.IsList {
+		return 0
+	}
+	return len(s.List)
+}
+
+// Nth returns the i'th child of a list, or nil when out of range or
+// when s is an atom.
+func (s *Sexp) Nth(i int) *Sexp {
+	if s == nil || !s.IsList || i < 0 || i >= len(s.List) {
+		return nil
+	}
+	return s.List[i]
+}
+
+// Tag returns the octets of the first child when it is an atom, which
+// by SPKI convention names the type of a list expression ("cert",
+// "tag", "public-key", ...). It returns "" for atoms, empty lists, and
+// lists whose first element is itself a list.
+func (s *Sexp) Tag() string {
+	if s == nil || !s.IsList || len(s.List) == 0 || s.List[0].IsList {
+		return ""
+	}
+	return string(s.List[0].Octets)
+}
+
+// Text returns the atom octets as a string ("" for lists).
+func (s *Sexp) Text() string {
+	if s == nil || s.IsList {
+		return ""
+	}
+	return string(s.Octets)
+}
+
+// Copy returns a deep copy of s.
+func (s *Sexp) Copy() *Sexp {
+	if s == nil {
+		return nil
+	}
+	if !s.IsList {
+		return &Sexp{Octets: append([]byte(nil), s.Octets...), Hint: s.Hint}
+	}
+	kids := make([]*Sexp, len(s.List))
+	for i, c := range s.List {
+		kids[i] = c.Copy()
+	}
+	return &Sexp{IsList: true, List: kids}
+}
+
+// Equal reports whether two expressions are structurally identical,
+// including display hints.
+func Equal(a, b *Sexp) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.IsList != b.IsList {
+		return false
+	}
+	if !a.IsList {
+		return a.Hint == b.Hint && bytes.Equal(a.Octets, b.Octets)
+	}
+	if len(a.List) != len(b.List) {
+		return false
+	}
+	for i := range a.List {
+		if !Equal(a.List[i], b.List[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns the SHA-256 hash of the canonical encoding of s. Two
+// expressions hash equal exactly when Equal reports true.
+func (s *Sexp) Hash() [32]byte {
+	return sha256.Sum256(s.Canonical())
+}
+
+// Key returns the canonical encoding as a string, suitable for use as
+// a map key.
+func (s *Sexp) Key() string {
+	return string(s.Canonical())
+}
+
+// SortChildren sorts the children of a list (after the leading type
+// atom, if any) by canonical encoding. Atoms are unchanged. It is used
+// to canonicalize set-valued expressions.
+func (s *Sexp) SortChildren() {
+	if s == nil || !s.IsList || len(s.List) < 2 {
+		return
+	}
+	start := 0
+	if !s.List[0].IsList {
+		start = 1
+	}
+	rest := s.List[start:]
+	sort.Slice(rest, func(i, j int) bool {
+		return bytes.Compare(rest[i].Canonical(), rest[j].Canonical()) < 0
+	})
+}
+
+// String renders the expression in advanced form for debugging.
+func (s *Sexp) String() string {
+	if s == nil {
+		return "<nil>"
+	}
+	return string(s.Advanced())
+}
+
+// Path walks a list expression by type tags: Path("cert","issuer")
+// returns the first child list tagged "issuer" of the first child list
+// tagged "cert". It returns nil when any step is missing.
+func (s *Sexp) Path(tags ...string) *Sexp {
+	cur := s
+	for _, t := range tags {
+		if cur == nil || !cur.IsList {
+			return nil
+		}
+		var next *Sexp
+		for _, c := range cur.List {
+			if c.IsList && c.Tag() == t {
+				next = c
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Child returns the first child list tagged tag, or nil.
+func (s *Sexp) Child(tag string) *Sexp { return s.Path(tag) }
+
+// MustText returns the atom text of the i'th child or an error naming
+// what was expected; a convenience for decoding fixed-shape lists.
+func (s *Sexp) MustText(i int, what string) (string, error) {
+	c := s.Nth(i)
+	if c == nil || c.IsList {
+		return "", fmt.Errorf("sexp: expected %s atom at position %d of %s", what, i, s.Tag())
+	}
+	return string(c.Octets), nil
+}

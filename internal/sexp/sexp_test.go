@@ -1,0 +1,388 @@
+package sexp
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomBasics(t *testing.T) {
+	a := Atom([]byte("hello"))
+	if a.IsList {
+		t.Fatal("atom reported as list")
+	}
+	if a.Text() != "hello" {
+		t.Fatalf("Text = %q", a.Text())
+	}
+	if a.Len() != 0 {
+		t.Fatalf("atom Len = %d", a.Len())
+	}
+	if a.Nth(0) != nil {
+		t.Fatal("atom Nth should be nil")
+	}
+}
+
+func TestListBasics(t *testing.T) {
+	l := List(String("cert"), String("x"), List(String("inner")))
+	if !l.IsList {
+		t.Fatal("list reported as atom")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Tag() != "cert" {
+		t.Fatalf("Tag = %q", l.Tag())
+	}
+	if l.Nth(2).Tag() != "inner" {
+		t.Fatalf("Nth(2).Tag = %q", l.Nth(2).Tag())
+	}
+	if l.Nth(3) != nil || l.Nth(-1) != nil {
+		t.Fatal("out-of-range Nth should be nil")
+	}
+}
+
+func TestTagOfAtomAndEmpty(t *testing.T) {
+	if Atom([]byte("x")).Tag() != "" {
+		t.Fatal("atom Tag should be empty")
+	}
+	if List().Tag() != "" {
+		t.Fatal("empty list Tag should be empty")
+	}
+	if List(List(String("a"))).Tag() != "" {
+		t.Fatal("list-headed list Tag should be empty")
+	}
+}
+
+func TestCanonicalEncoding(t *testing.T) {
+	cases := []struct {
+		in   *Sexp
+		want string
+	}{
+		{Atom(nil), "0:"},
+		{String("abc"), "3:abc"},
+		{List(), "()"},
+		{List(String("a"), String("bc")), "(1:a2:bc)"},
+		{List(String("cert"), List(String("issuer"), String("k"))), "(4:cert(6:issuer1:k))"},
+		{HintedAtom("text/plain", []byte("hi")), "[10:text/plain]2:hi"},
+	}
+	for _, c := range cases {
+		got := string(c.in.Canonical())
+		if got != c.want {
+			t.Errorf("Canonical(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	exprs := []*Sexp{
+		Atom(nil),
+		String("token"),
+		Atom([]byte{0, 1, 2, 255}),
+		HintedAtom("mime", []byte("data")),
+		List(),
+		List(String("tag"), List(String("web"), List(String("method"), String("GET")))),
+		List(List(), List(List(String("deep")))),
+	}
+	for _, e := range exprs {
+		enc := e.Canonical()
+		got, err := ParseOne(enc)
+		if err != nil {
+			t.Fatalf("parse %q: %v", enc, err)
+		}
+		if !Equal(e, got) {
+			t.Errorf("round trip %q: got %v", enc, got)
+		}
+	}
+}
+
+func TestParseAdvancedForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *Sexp
+	}{
+		{`abc`, String("abc")},
+		{`(a b c)`, List(String("a"), String("b"), String("c"))},
+		{`"quoted string"`, String("quoted string")},
+		{`"esc\"q\n"`, String("esc\"q\n")},
+		{`|aGVsbG8=|`, String("hello")},
+		{`#68656c6c6f#`, String("hello")},
+		{`( a ( b "c d" ) )`, List(String("a"), List(String("b"), String("c d")))},
+		{"(tag (*))", List(String("tag"), List(String("*")))},
+	}
+	for _, c := range cases {
+		got, err := ParseOne([]byte(c.in))
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.in, err)
+		}
+		if !Equal(c.want, got) {
+			t.Errorf("parse %q = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAdvancedRoundTrip(t *testing.T) {
+	exprs := []*Sexp{
+		String("token"),
+		String("with space"),
+		Atom([]byte{0x00, 0xff}),
+		List(String("cert"), String("9numeric-start"), Atom([]byte("bin\x01"))),
+		HintedAtom("text/plain", []byte("hinted")),
+	}
+	for _, e := range exprs {
+		enc := e.Advanced()
+		got, err := ParseOne(enc)
+		if err != nil {
+			t.Fatalf("parse advanced %q: %v", enc, err)
+		}
+		if !Equal(e, got) {
+			t.Errorf("advanced round trip %q -> %v", enc, got)
+		}
+	}
+}
+
+func TestTransportRoundTrip(t *testing.T) {
+	e := List(String("cert"), List(String("issuer"), Atom([]byte{1, 2, 3})))
+	enc := e.Transport()
+	if enc[0] != '{' || enc[len(enc)-1] != '}' {
+		t.Fatalf("transport framing: %q", enc)
+	}
+	got, err := ParseOne(enc)
+	if err != nil {
+		t.Fatalf("parse transport: %v", err)
+	}
+	if !Equal(e, got) {
+		t.Errorf("transport round trip mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "(", "(a", "3:ab", "(]", "\"unterminated", "|aGVsbG8", "#zz#",
+		"[hint", "999999999999:x", "4:abc",
+	}
+	for _, in := range bad {
+		if _, err := ParseOne([]byte(in)); err == nil {
+			t.Errorf("ParseOne(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	if _, err := ParseOne([]byte("(a) junk")); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := ParseOne([]byte("(a)  \n ")); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("(", MaxDepth+2) + strings.Repeat(")", MaxDepth+2)
+	if _, err := ParseOne([]byte(deep)); err == nil {
+		t.Fatal("over-deep input accepted")
+	}
+	ok := strings.Repeat("(", 10) + "a" + strings.Repeat(")", 10)
+	if _, err := ParseOne([]byte(ok)); err != nil {
+		t.Fatalf("reasonable nesting rejected: %v", err)
+	}
+}
+
+func TestEqualAndHash(t *testing.T) {
+	a := List(String("x"), Atom([]byte{1}))
+	b := List(String("x"), Atom([]byte{1}))
+	c := List(String("x"), Atom([]byte{2}))
+	if !Equal(a, b) {
+		t.Fatal("equal expressions not Equal")
+	}
+	if Equal(a, c) {
+		t.Fatal("different expressions Equal")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal expressions hash differently")
+	}
+	if a.Hash() == c.Hash() {
+		t.Fatal("different expressions hash equal")
+	}
+	if Equal(a, nil) || !Equal(nil, nil) {
+		t.Fatal("nil Equal semantics")
+	}
+	hintA := HintedAtom("h", []byte("x"))
+	if Equal(hintA, String("x")) {
+		t.Fatal("hint ignored by Equal")
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	orig := List(String("a"), List(String("b")))
+	cp := orig.Copy()
+	cp.List[0].Octets[0] = 'z'
+	cp.List[1].List[0].Octets[0] = 'z'
+	if orig.List[0].Text() != "a" || orig.List[1].List[0].Text() != "b" {
+		t.Fatal("Copy shares storage with original")
+	}
+}
+
+func TestPath(t *testing.T) {
+	e := List(String("cert"),
+		List(String("issuer"), String("ki")),
+		List(String("subject"), List(String("keyhash"), String("ks"))),
+	)
+	if got := e.Path("issuer"); got == nil || got.Nth(1).Text() != "ki" {
+		t.Fatalf("Path(issuer) = %v", got)
+	}
+	if got := e.Path("subject", "keyhash"); got == nil || got.Nth(1).Text() != "ks" {
+		t.Fatalf("Path(subject,keyhash) = %v", got)
+	}
+	if e.Path("nope") != nil {
+		t.Fatal("missing path should be nil")
+	}
+}
+
+func TestSortChildren(t *testing.T) {
+	e := List(String("set"), String("c"), String("a"), String("b"))
+	e.SortChildren()
+	want := List(String("set"), String("a"), String("b"), String("c"))
+	if !Equal(e, want) {
+		t.Fatalf("SortChildren = %v", e)
+	}
+	// Leading list head: everything sorted.
+	f := List(List(String("z")), List(String("a")))
+	f.SortChildren()
+	if f.Nth(0).Tag() != "a" {
+		t.Fatalf("SortChildren with list head = %v", f)
+	}
+}
+
+func TestFormatLenMatchesCanonical(t *testing.T) {
+	exprs := []*Sexp{
+		Atom(nil), String("abcdef"),
+		HintedAtom("hint", []byte("body")),
+		List(String("a"), List(String("b"), Atom(bytes.Repeat([]byte{7}, 300)))),
+	}
+	for _, e := range exprs {
+		if err := e.validateLen(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// randomSexp builds a random expression for property tests.
+func randomSexp(r *rand.Rand, depth int) *Sexp {
+	if depth <= 0 || r.Intn(3) == 0 {
+		n := r.Intn(12)
+		b := make([]byte, n)
+		r.Read(b)
+		s := Atom(b)
+		if r.Intn(4) == 0 {
+			s.Hint = "h"
+		}
+		return s
+	}
+	n := r.Intn(4)
+	kids := make([]*Sexp, n)
+	for i := range kids {
+		kids[i] = randomSexp(r, depth-1)
+	}
+	return List(kids...)
+}
+
+func TestQuickCanonicalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomSexp(r, 4)
+		got, err := ParseOne(e.Canonical())
+		if err != nil {
+			return false
+		}
+		return Equal(e, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdvancedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomSexp(r, 4)
+		got, err := ParseOne(e.Advanced())
+		if err != nil {
+			return false
+		}
+		return Equal(e, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransportRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomSexp(r, 3)
+		got, err := ParseOne(e.Transport())
+		if err != nil {
+			return false
+		}
+		return Equal(e, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCopyEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomSexp(r, 4)
+		return Equal(e, e.Copy())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHashInjective(t *testing.T) {
+	// Different canonical encodings must give different Keys.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSexp(r, 3)
+		b := randomSexp(r, 3)
+		if Equal(a, b) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserFuzzSeeds(t *testing.T) {
+	// Hostile inputs should error, never panic.
+	inputs := []string{
+		"((((((((", ")", "1:", "(1:a))", "{bad b64}", "{}", "[]x",
+		"\x00\x01", "(|  |)", "\"\\q\"", "#6#",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Errorf("panic on %q: %v", in, rec)
+				}
+			}()
+			Parse([]byte(in))
+		}()
+	}
+}
+
+func TestReflectDeepEqualAgreesWithEqual(t *testing.T) {
+	a := List(String("x"))
+	b := a.Copy()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("DeepEqual disagrees after Copy")
+	}
+}

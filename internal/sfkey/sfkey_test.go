@@ -1,0 +1,136 @@
+package sfkey
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateSignVerify(t *testing.T) {
+	k, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("it would be good to read file X")
+	sig := k.Sign(msg)
+	if !k.Public().Verify(msg, sig) {
+		t.Fatal("signature did not verify")
+	}
+	if k.Public().Verify([]byte("tampered"), sig) {
+		t.Fatal("verify accepted wrong message")
+	}
+	sig[0] ^= 1
+	if k.Public().Verify(msg, sig) {
+		t.Fatal("verify accepted corrupted signature")
+	}
+}
+
+func TestFromSeedDeterministic(t *testing.T) {
+	a := FromSeed([]byte("alice"))
+	b := FromSeed([]byte("alice"))
+	c := FromSeed([]byte("bob"))
+	if !a.Public().Equal(b.Public()) {
+		t.Fatal("same seed produced different keys")
+	}
+	if a.Public().Equal(c.Public()) {
+		t.Fatal("different seeds produced the same key")
+	}
+}
+
+func TestSexpRoundTrip(t *testing.T) {
+	k := FromSeed([]byte("seed"))
+	e := k.Public().Sexp()
+	back, err := PublicFromSexp(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(k.Public()) {
+		t.Fatal("sexp round trip changed key")
+	}
+}
+
+func TestPublicFromSexpRejectsMalformed(t *testing.T) {
+	k := FromSeed([]byte("x")).Public()
+	good := k.Sexp()
+	// Wrong tag.
+	bad := good.Copy()
+	bad.List[0].Octets = []byte("private-key")
+	if _, err := PublicFromSexp(bad); err == nil {
+		t.Error("accepted wrong tag")
+	}
+	// Wrong algorithm.
+	bad = good.Copy()
+	bad.List[1].List[0].Octets = []byte("rsa")
+	if _, err := PublicFromSexp(bad); err == nil {
+		t.Error("accepted wrong algorithm")
+	}
+	// Truncated key.
+	bad = good.Copy()
+	bad.List[1].List[1].Octets = bad.List[1].List[1].Octets[:16]
+	if _, err := PublicFromSexp(bad); err == nil {
+		t.Error("accepted truncated key")
+	}
+	if _, err := PublicFromSexp(nil); err == nil {
+		t.Error("accepted nil")
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	k := FromSeed([]byte("k"))
+	h1 := k.Public().Hash()
+	h2 := k.Public().Hash()
+	if !bytes.Equal(h1, h2) {
+		t.Fatal("hash not deterministic")
+	}
+	if len(h1) != 32 {
+		t.Fatalf("hash length %d", len(h1))
+	}
+	o := FromSeed([]byte("other"))
+	if bytes.Equal(h1, o.Public().Hash()) {
+		t.Fatal("different keys hash equal")
+	}
+}
+
+func TestPrivateBytesRoundTrip(t *testing.T) {
+	k := FromSeed([]byte("rt"))
+	back, err := PrivateFromBytes(k.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	if !k.Public().Verify(msg, back.Sign(msg)) {
+		t.Fatal("restored key signs differently")
+	}
+	if _, err := PrivateFromBytes([]byte("short")); err == nil {
+		t.Fatal("accepted short private key")
+	}
+}
+
+func TestVerifyZeroKey(t *testing.T) {
+	var k PublicKey
+	if k.Verify([]byte("m"), make([]byte, 64)) {
+		t.Fatal("zero key verified")
+	}
+}
+
+func TestQuickSignVerify(t *testing.T) {
+	k := FromSeed([]byte("q"))
+	pub := k.Public()
+	f := func(msg []byte) bool {
+		return pub.Verify(msg, k.Sign(msg))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCrossVerifyFails(t *testing.T) {
+	a := FromSeed([]byte("a"))
+	b := FromSeed([]byte("b")).Public()
+	f := func(msg []byte) bool {
+		return !b.Verify(msg, a.Sign(msg))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

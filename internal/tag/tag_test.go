@@ -1,0 +1,525 @@
+package tag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	cases := []string{
+		`(tag (*))`,
+		`(tag (web (method GET) (resourcePath "/inbox")))`,
+		`(tag (* set read write))`,
+		`(tag (* prefix "/home/alice/"))`,
+		`(tag (* range numeric ge 1 le 10))`,
+		`(tag (* range alpha ge a))`,
+		`(tag hello)`,
+	}
+	for _, c := range cases {
+		tg, err := Parse(c)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", c, err)
+		}
+		back, err := Parse(tg.String())
+		if err != nil {
+			t.Fatalf("reparse(%s): %v", tg, err)
+		}
+		if !tg.Equal(back) {
+			t.Errorf("round trip %s -> %s", c, back)
+		}
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`(tag)`,
+		`(tag a b)`,
+		`(tag (* bogus))`,
+		`(tag (* prefix))`,
+		`(tag (* prefix (a)))`,
+		`(tag (* range))`,
+		`(tag (* range sideways ge 1))`,
+		`(tag (* range numeric ge))`,
+		`(tag (* range numeric le 1 ge 2))`, // bounds out of order
+		`(tag (* range numeric ge notanumber))`,
+		`(tag (* range numeric ge 1 le 2 le 3))`,
+	}
+	for _, c := range bad {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%s) succeeded, want error", c)
+		}
+	}
+}
+
+func TestAllIdentity(t *testing.T) {
+	a := All()
+	if !a.IsAll() {
+		t.Fatal("All().IsAll() false")
+	}
+	x := MustParse(`(tag (web (method GET)))`)
+	for _, pair := range [][2]Tag{{a, x}, {x, a}} {
+		got, ok := Intersect(pair[0], pair[1])
+		if !ok || !got.Equal(x) {
+			t.Errorf("Intersect with (*) = %v, %v", got, ok)
+		}
+	}
+	if !Covers(a, x) {
+		t.Error("(*) should cover everything")
+	}
+	if Covers(x, a) {
+		t.Error("a list should not cover (*)")
+	}
+}
+
+func TestAtomIntersection(t *testing.T) {
+	a, b := Literal("read"), Literal("read")
+	c := Literal("write")
+	if got, ok := Intersect(a, b); !ok || !got.Equal(a) {
+		t.Error("equal atoms should intersect to themselves")
+	}
+	if _, ok := Intersect(a, c); ok {
+		t.Error("distinct atoms should not intersect")
+	}
+	if !Covers(a, b) || Covers(a, c) {
+		t.Error("atom coverage wrong")
+	}
+}
+
+func TestListIntersectionShorterIsMorePermissive(t *testing.T) {
+	// (tag (ftp)) permits (ftp read file); their intersection is the
+	// longer, more specific form.
+	short := MustParse(`(tag (ftp))`)
+	long := MustParse(`(tag (ftp read (file "/etc/motd")))`)
+	got, ok := Intersect(short, long)
+	if !ok {
+		t.Fatal("prefix-list intersection empty")
+	}
+	if !got.Equal(long) {
+		t.Errorf("intersection = %s, want %s", got, long)
+	}
+	if !Covers(short, long) {
+		t.Error("shorter list must cover its extension")
+	}
+	if Covers(long, short) {
+		t.Error("longer list must not cover the shorter")
+	}
+}
+
+func TestListElementMismatch(t *testing.T) {
+	a := MustParse(`(tag (http GET))`)
+	b := MustParse(`(tag (http PUT))`)
+	if _, ok := Intersect(a, b); ok {
+		t.Error("mismatched elements should empty the intersection")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := MustParse(`(tag (* set read write))`)
+	r := Literal("read")
+	w := Literal("write")
+	x := Literal("execute")
+	if got, ok := Intersect(s, r); !ok || !got.Equal(r) {
+		t.Errorf("set ∩ member = %v %v", got, ok)
+	}
+	if _, ok := Intersect(s, x); ok {
+		t.Error("set ∩ non-member should be empty")
+	}
+	if !Covers(s, r) || !Covers(s, w) || Covers(s, x) {
+		t.Error("set coverage wrong")
+	}
+	// Set covers a subset set.
+	sub := MustParse(`(tag (* set read))`)
+	if !Covers(s, sub) {
+		t.Error("set should cover subset")
+	}
+	if Covers(sub, s) {
+		t.Error("subset should not cover superset")
+	}
+}
+
+func TestSetIntersectionSet(t *testing.T) {
+	a := MustParse(`(tag (* set read write admin))`)
+	b := MustParse(`(tag (* set write admin audit))`)
+	got, ok := Intersect(a, b)
+	if !ok {
+		t.Fatal("overlapping sets should intersect")
+	}
+	for _, m := range []Tag{Literal("write"), Literal("admin")} {
+		if !Covers(got, m) {
+			t.Errorf("intersection missing %s", m)
+		}
+	}
+	for _, m := range []Tag{Literal("read"), Literal("audit")} {
+		if Covers(got, m) {
+			t.Errorf("intersection wrongly contains %s", m)
+		}
+	}
+}
+
+func TestPrefixOperations(t *testing.T) {
+	p := Prefix("/home/alice/")
+	in := Literal("/home/alice/mail")
+	out := Literal("/home/bob/mail")
+	if got, ok := Intersect(p, in); !ok || !got.Equal(in) {
+		t.Error("prefix ∩ matching atom")
+	}
+	if _, ok := Intersect(p, out); ok {
+		t.Error("prefix ∩ non-matching atom should be empty")
+	}
+	longer := Prefix("/home/alice/mail/")
+	got, ok := Intersect(p, longer)
+	if !ok || !got.Equal(longer) {
+		t.Error("prefix ∩ longer prefix should be the longer")
+	}
+	if !Covers(p, longer) || Covers(longer, p) {
+		t.Error("prefix coverage wrong")
+	}
+	other := Prefix("/var/")
+	if _, ok := Intersect(p, other); ok {
+		t.Error("disjoint prefixes should not intersect")
+	}
+}
+
+func TestRangeOperations(t *testing.T) {
+	r := MustParse(`(tag (* range numeric ge 10 le 20))`)
+	if got, ok := Intersect(r, Literal("15")); !ok || !got.Equal(Literal("15")) {
+		t.Error("range ∩ member")
+	}
+	for _, v := range []string{"9", "21", "abc"} {
+		if _, ok := Intersect(r, Literal(v)); ok {
+			t.Errorf("range ∩ %q should be empty", v)
+		}
+	}
+	// Boundary semantics.
+	if !Covers(r, Literal("10")) || !Covers(r, Literal("20")) {
+		t.Error("closed bounds must include endpoints")
+	}
+	open := MustParse(`(tag (* range numeric g 10 l 20))`)
+	if Covers(open, Literal("10")) || Covers(open, Literal("20")) {
+		t.Error("open bounds must exclude endpoints")
+	}
+	if !Covers(open, Literal("10.5")) {
+		t.Error("numeric ordering must handle decimals")
+	}
+}
+
+func TestRangeIntersectRange(t *testing.T) {
+	a := MustParse(`(tag (* range numeric ge 0 le 10))`)
+	b := MustParse(`(tag (* range numeric ge 5 le 15))`)
+	got, ok := Intersect(a, b)
+	if !ok {
+		t.Fatal("overlapping ranges must intersect")
+	}
+	if !Covers(got, Literal("7")) || Covers(got, Literal("3")) || Covers(got, Literal("12")) {
+		t.Errorf("range intersection wrong: %s", got)
+	}
+	c := MustParse(`(tag (* range numeric ge 11 le 15))`)
+	if _, ok := Intersect(a, c); ok {
+		t.Error("disjoint ranges must not intersect")
+	}
+	// Touching endpoints: [0,10] ∩ [10,15] = {10}.
+	d := MustParse(`(tag (* range numeric ge 10 le 15))`)
+	got, ok = Intersect(a, d)
+	if !ok || !Covers(got, Literal("10")) || Covers(got, Literal("11")) {
+		t.Errorf("touching ranges: %v %v", got, ok)
+	}
+	// Open touching: [0,10) ∩ [10,15] = empty.
+	e := MustParse(`(tag (* range numeric ge 0 l 10))`)
+	if _, ok := Intersect(e, d); ok {
+		t.Error("open touching ranges must be empty")
+	}
+}
+
+func TestRangeCoversRange(t *testing.T) {
+	outer := MustParse(`(tag (* range numeric ge 0 le 100))`)
+	inner := MustParse(`(tag (* range numeric ge 10 le 20))`)
+	if !Covers(outer, inner) || Covers(inner, outer) {
+		t.Error("range nesting coverage wrong")
+	}
+	unbounded := MustParse(`(tag (* range numeric ge 0))`)
+	if !Covers(unbounded, outer) || Covers(outer, unbounded) {
+		t.Error("unbounded range coverage wrong")
+	}
+	closed := MustParse(`(tag (* range numeric ge 0 le 10))`)
+	halfOpen := MustParse(`(tag (* range numeric ge 0 l 10))`)
+	if !Covers(closed, halfOpen) || Covers(halfOpen, closed) {
+		t.Error("inclusive/exclusive endpoint coverage wrong")
+	}
+}
+
+func TestPrefixRangeInteraction(t *testing.T) {
+	p := Prefix("b")
+	inside := MustParse(`(tag (* range alpha ge ba le bz))`)
+	if !Covers(p, inside) {
+		t.Error("prefix b should cover [ba,bz]")
+	}
+	straddle := MustParse(`(tag (* range alpha ge az le bz))`)
+	if Covers(p, straddle) {
+		t.Error("prefix b should not cover [az,bz]")
+	}
+	wide := MustParse(`(tag (* range alpha ge a le z))`)
+	if !Covers(wide, p) {
+		t.Error("[a,z] should cover prefix b")
+	}
+	narrow := MustParse(`(tag (* range alpha ge bm le bz))`)
+	if Covers(narrow, p) {
+		t.Error("[bm,bz] should not cover prefix b")
+	}
+	// Intersection picks the smaller side when one covers the other.
+	got, ok := Intersect(p, inside)
+	if !ok || !got.Equal(inside) {
+		t.Errorf("prefix ∩ covered range = %v %v", got, ok)
+	}
+}
+
+func TestDifferentOrderingsDisjoint(t *testing.T) {
+	a := MustParse(`(tag (* range numeric ge 1 le 9))`)
+	b := MustParse(`(tag (* range alpha ge 1 le 9))`)
+	if _, ok := Intersect(a, b); ok {
+		t.Error("ranges over different orderings must not intersect")
+	}
+	if Covers(a, b) || Covers(b, a) {
+		t.Error("ranges over different orderings must not cover")
+	}
+}
+
+func TestWebTagScenario(t *testing.T) {
+	// The paper's HTTP challenge (Figure 5): the minimum restriction
+	// set for a GET on a protected service.
+	grant := MustParse(`(tag (web (method GET) (service "mail") (* prefix "/inbox/")))`)
+	request := MustParse(`(tag (web (method GET) (service "mail") "/inbox/42"))`)
+	if !CoversRequest(grant, request) {
+		t.Error("grant should authorize the request")
+	}
+	put := MustParse(`(tag (web (method PUT) (service "mail") "/inbox/42"))`)
+	if CoversRequest(grant, put) {
+		t.Error("grant should not authorize PUT")
+	}
+	elsewhere := MustParse(`(tag (web (method GET) (service "mail") "/outbox/1"))`)
+	if CoversRequest(grant, elsewhere) {
+		t.Error("grant should not authorize other paths")
+	}
+}
+
+func TestIntersectionChainNarrows(t *testing.T) {
+	// Delegation chains intersect restrictions: Alice grants Bob
+	// read+write; Bob grants Charlie writes on /a only.
+	alice := MustParse(`(tag (fs (* set read write) (* prefix "/")))`)
+	bob := MustParse(`(tag (fs write (* prefix "/a/")))`)
+	got, ok := Intersect(alice, bob)
+	if !ok {
+		t.Fatal("chain intersection empty")
+	}
+	okReq := MustParse(`(tag (fs write "/a/x"))`)
+	badReq1 := MustParse(`(tag (fs read "/a/x"))`)
+	badReq2 := MustParse(`(tag (fs write "/b/x"))`)
+	if !Covers(got, okReq) {
+		t.Error("narrowed grant should allow write under /a/")
+	}
+	if Covers(got, badReq1) || Covers(got, badReq2) {
+		t.Error("narrowed grant leaks authority")
+	}
+}
+
+func TestNextPrefix(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		bounded bool
+	}{
+		{"a", "b", true},
+		{"az", "b", false}, // "az"+1 = "b"? No: 'z'+1='{'
+	}
+	_ = cases
+	if np, ok := nextPrefix("a"); !ok || np != "b" {
+		t.Errorf("nextPrefix(a) = %q %v", np, ok)
+	}
+	if np, ok := nextPrefix("az"); !ok || np != "a{" {
+		t.Errorf("nextPrefix(az) = %q %v", np, ok)
+	}
+	if np, ok := nextPrefix("a\xff"); !ok || np != "b" {
+		t.Errorf("nextPrefix(a\\xff) = %q %v", np, ok)
+	}
+	if _, ok := nextPrefix("\xff\xff"); ok {
+		t.Error("nextPrefix(all-0xff) should be unbounded")
+	}
+	if _, ok := nextPrefix(""); ok {
+		t.Error("nextPrefix(empty) should be unbounded")
+	}
+}
+
+// --- property tests -------------------------------------------------
+
+// randomTag generates a random tag; randomConcrete generates a fully
+// concrete request tag (atoms and plain lists only).
+func randomTag(r *rand.Rand, depth int) Tag {
+	switch k := r.Intn(8); {
+	case k == 0:
+		return All()
+	case k == 1 && depth > 0:
+		n := 1 + r.Intn(3)
+		elems := make([]Tag, n)
+		for i := range elems {
+			elems[i] = randomTag(r, depth-1)
+		}
+		return SetOf(elems...)
+	case k == 2:
+		return Prefix(randomWord(r, 3))
+	case k == 3:
+		lo, hi := r.Intn(50), 50+r.Intn(50)
+		return Range(OrdNumeric, BoundGE, itoa(lo), BoundLE, itoa(hi))
+	case k >= 4 && depth > 0:
+		n := 1 + r.Intn(3)
+		elems := make([]Tag, n)
+		for i := range elems {
+			elems[i] = randomTag(r, depth-1)
+		}
+		return ListOf(elems...)
+	default:
+		return Literal(randomWord(r, 5))
+	}
+}
+
+func randomConcrete(r *rand.Rand, depth int) Tag {
+	if depth == 0 || r.Intn(2) == 0 {
+		return Literal(randomWord(r, 5))
+	}
+	n := 1 + r.Intn(3)
+	elems := make([]Tag, n)
+	for i := range elems {
+		elems[i] = randomConcrete(r, depth-1)
+	}
+	return ListOf(elems...)
+}
+
+func randomWord(r *rand.Rand, maxLen int) string {
+	n := 1 + r.Intn(maxLen)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(4))
+	}
+	return string(b)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// Soundness: the intersection is covered by both operands.
+func TestQuickIntersectionSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomTag(r, 3), randomTag(r, 3)
+		i, ok := Intersect(a, b)
+		if !ok {
+			return true
+		}
+		return Covers(a, i) && Covers(b, i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Commutativity (semantic): a∩b and b∩a cover each other.
+func TestQuickIntersectionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomTag(r, 3), randomTag(r, 3)
+		i1, ok1 := Intersect(a, b)
+		i2, ok2 := Intersect(b, a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return Covers(i1, i2) && Covers(i2, i1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Idempotence: a∩a is equivalent to a.
+func TestQuickIntersectionIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomTag(r, 3)
+		i, ok := Intersect(a, a)
+		if !ok {
+			return false
+		}
+		return Covers(a, i) && Covers(i, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Covers is reflexive.
+func TestQuickCoversReflexive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomTag(r, 3)
+		return Covers(a, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Decision agreement: for concrete requests, membership in the
+// intersection equals membership in both operands.
+func TestQuickIntersectionDecidesConjunction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomTag(r, 2), randomTag(r, 2)
+		req := randomConcrete(r, 2)
+		both := Covers(a, req) && Covers(b, req)
+		i, ok := Intersect(a, b)
+		inInter := ok && Covers(i, req)
+		// Soundness direction must always hold: inInter -> both.
+		if inInter && !both {
+			return false
+		}
+		// Completeness direction holds except for the documented
+		// conservative prefix×range case; exclude it by construction:
+		// randomTag only generates numeric ranges, and prefixes never
+		// cover numeric-range members, so completeness holds here too.
+		return both == inInter
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Coverage transitivity on the generated family.
+func TestQuickCoversTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomTag(r, 2)
+		b, okb := Intersect(a, randomTag(r, 2))
+		if !okb {
+			return true
+		}
+		c, okc := Intersect(b, randomTag(r, 2))
+		if !okc {
+			return true
+		}
+		// a covers b, b covers c (by soundness); then a must cover c.
+		return Covers(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package webfs is the protected web file server of paper section
+// 6.1: a file service over HTTP whose control rests with the hash of
+// the owner's public key, and whose subtrees and files are shared by
+// restricted delegation rather than accounts or ACLs.
+package webfs
+
+import (
+	"fmt"
+	"io/fs"
+	"net/http"
+	"path"
+	"strings"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/httpauth"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// Server is a protected read-only file tree.
+type Server struct {
+	// OwnerHash is the hash of the owner's public key: the principal
+	// that controls the server ("one user establishes control over
+	// the file server by specifying the hash of his public key when
+	// starting up the server").
+	OwnerHash principal.Hash
+	// Service names this server in tags.
+	Service string
+	// FS supplies file content.
+	FS fs.FS
+
+	prot *httpauth.Protected
+}
+
+// New builds the protected server.
+func New(ownerHash principal.Hash, service string, fsys fs.FS) *Server {
+	s := &Server{OwnerHash: ownerHash, Service: service, FS: fsys}
+	mapper := func(r *http.Request) (principal.Principal, tag.Tag, error) {
+		return s.OwnerHash, httpauth.RequestTag(r.Method, s.Service, r.URL.Path), nil
+	}
+	s.prot = httpauth.NewProtected(service, mapper, http.HandlerFunc(s.serveFile))
+	return s
+}
+
+// Protected exposes the underlying handler for stats and tuning.
+func (s *Server) Protected() *httpauth.Protected { return s.prot }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.prot.ServeHTTP(w, r)
+}
+
+// serveFile is the service implementation behind authorization.
+func (s *Server) serveFile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not supported", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(path.Clean(r.URL.Path), "/")
+	if name == "" || strings.HasPrefix(name, "..") {
+		http.Error(w, "bad path", http.StatusBadRequest)
+		return
+	}
+	b, err := fs.ReadFile(s.FS, name)
+	if err != nil {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if r.Method == http.MethodHead {
+		w.Header().Set("Content-Length", fmt.Sprint(len(b)))
+		return
+	}
+	w.Write(b)
+}
+
+// ShareSubtree issues the owner's delegation of read access to a path
+// prefix: the mechanism behind the proxy's "delegate" link (section
+// 5.3.5). The recipient can further delegate, narrowing the prefix.
+func ShareSubtree(owner *sfkey.PrivateKey, ownerHash principal.Hash, recipient principal.Principal, service, pathPrefix string, ttl time.Duration) (*cert.Cert, error) {
+	grant := httpauth.SubtreeTag([]string{"GET", "HEAD"}, service, pathPrefix)
+	v := core.Validity{NotAfter: time.Now().Add(ttl)}
+	if ttl == 0 {
+		v = core.Forever
+	}
+	return cert.Sign(owner, core.SpeaksFor{
+		Subject:  recipient,
+		Issuer:   ownerHash,
+		Tag:      grant,
+		Validity: v,
+	})
+}
+
+// ShareFile issues read access to a single file.
+func ShareFile(owner *sfkey.PrivateKey, ownerHash principal.Hash, recipient principal.Principal, service, filePath string, ttl time.Duration) (*cert.Cert, error) {
+	grant := tag.ListOf(
+		tag.Literal("web"),
+		tag.ListOf(tag.Literal("method"), tag.Literal("GET")),
+		tag.ListOf(tag.Literal("service"), tag.Literal(service)),
+		tag.ListOf(tag.Literal("resourcePath"), tag.Literal(filePath)),
+	)
+	v := core.Validity{NotAfter: time.Now().Add(ttl)}
+	if ttl == 0 {
+		v = core.Forever
+	}
+	return cert.Sign(owner, core.SpeaksFor{
+		Subject:  recipient,
+		Issuer:   ownerHash,
+		Tag:      grant,
+		Validity: v,
+	})
+}

@@ -1,0 +1,176 @@
+package webfs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"testing/fstest"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/httpauth"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/sfkey"
+)
+
+func testFS() fstest.MapFS {
+	return fstest.MapFS{
+		"pub/readme.txt":    {Data: []byte("public readme")},
+		"pub/docs/guide.md": {Data: []byte("the guide")},
+		"home/alice/diary":  {Data: []byte("dear diary")},
+	}
+}
+
+type world struct {
+	owner     *sfkey.PrivateKey
+	ownerHash principal.Hash
+	srv       *Server
+	ts        *httptest.Server
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{owner: sfkey.FromSeed([]byte("webfs-owner"))}
+	w.ownerHash = principal.HashOfKey(w.owner.Public())
+	w.srv = New(w.ownerHash, "files", testFS())
+	w.ts = httptest.NewServer(w.srv)
+	t.Cleanup(w.ts.Close)
+	return w
+}
+
+func (w *world) reader(t *testing.T, seed, prefix string) *httpauth.Client {
+	t.Helper()
+	userKey := sfkey.FromSeed([]byte(seed))
+	user := principal.KeyOf(userKey.Public())
+	c, err := ShareSubtree(w.owner, w.ownerHash, user, "files", prefix, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(userKey))
+	pv.AddProof(c)
+	return httpauth.NewClient(pv, user)
+}
+
+func TestOwnerHashControlsServer(t *testing.T) {
+	// The delegation chain runs through the hash of the owner's key:
+	// issuer is the hash principal, certs are signed by the key.
+	w := newWorld(t)
+	c := w.reader(t, "reader-1", "/pub/")
+	resp, err := c.Get(w.ts.URL + "/pub/readme.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if string(b) != "public readme" {
+		t.Fatalf("body = %q", b)
+	}
+}
+
+func TestSubtreeRestriction(t *testing.T) {
+	w := newWorld(t)
+	c := w.reader(t, "reader-2", "/pub/")
+	// Deep path within the subtree works.
+	resp, err := c.Get(w.ts.URL + "/pub/docs/guide.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Outside the subtree fails.
+	if _, err := c.Get(w.ts.URL + "/home/alice/diary"); err == nil {
+		t.Fatal("read outside delegated subtree")
+	}
+}
+
+func TestSingleFileShare(t *testing.T) {
+	w := newWorld(t)
+	userKey := sfkey.FromSeed([]byte("file-reader"))
+	user := principal.KeyOf(userKey.Public())
+	c, err := ShareFile(w.owner, w.ownerHash, user, "files", "/home/alice/diary", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(userKey))
+	pv.AddProof(c)
+	hc := httpauth.NewClient(pv, user)
+	resp, err := hc.Get(w.ts.URL + "/home/alice/diary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := hc.Get(w.ts.URL + "/pub/readme.txt"); err == nil {
+		t.Fatal("single-file share leaked the tree")
+	}
+}
+
+func TestRedelegation(t *testing.T) {
+	// Alice (subtree holder) further delegates a narrower subtree to
+	// Bob; the chain carries the intersection.
+	w := newWorld(t)
+	aliceKey := sfkey.FromSeed([]byte("redelegate-alice"))
+	alice := principal.KeyOf(aliceKey.Public())
+	rootGrant, err := ShareSubtree(w.owner, w.ownerHash, alice, "files", "/pub/", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobKey := sfkey.FromSeed([]byte("redelegate-bob"))
+	bob := principal.KeyOf(bobKey.Public())
+	sub := httpauth.SubtreeTag([]string{"GET"}, "files", "/pub/docs/")
+	// The chain Bob needs: owner -> alice (cert), alice -> bob (cert
+	// by alice over her own key principal, narrowed to /pub/docs/).
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(bobKey))
+	pv.AddProof(rootGrant)
+	aliceCert, err := cert.Delegate(aliceKey, bob, alice, sub, core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv.AddProof(aliceCert)
+	hc := httpauth.NewClient(pv, bob)
+	resp, err := hc.Get(w.ts.URL + "/pub/docs/guide.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Bob's narrower grant does not reach the wider subtree.
+	if _, err := hc.Get(w.ts.URL + "/pub/readme.txt"); err == nil {
+		t.Fatal("redelegation escalated")
+	}
+}
+
+func TestPathTraversalBlocked(t *testing.T) {
+	w := newWorld(t)
+	c := w.reader(t, "traverse", "/")
+	for _, p := range []string{"/../etc/passwd", "/./../../x"} {
+		resp, err := c.Get(w.ts.URL + p)
+		if err != nil {
+			continue // denied by authorization is fine too
+		}
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("path %q served", p)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestExpiredShareRejected(t *testing.T) {
+	w := newWorld(t)
+	userKey := sfkey.FromSeed([]byte("late-reader"))
+	user := principal.KeyOf(userKey.Public())
+	c, err := ShareSubtree(w.owner, w.ownerHash, user, "files", "/pub/", -time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := prover.New()
+	pv.AddClosure(prover.NewKeyClosure(userKey))
+	pv.AddProof(c)
+	hc := httpauth.NewClient(pv, user)
+	if _, err := hc.Get(w.ts.URL + "/pub/readme.txt"); err == nil {
+		t.Fatal("expired share accepted")
+	}
+}
