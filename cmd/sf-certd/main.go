@@ -1,0 +1,89 @@
+// Command sf-certd runs the certificate directory daemon: principals
+// publish signed delegations, provers on other machines query by
+// issuer or subject to discover speaks-for chains (internal/certdir).
+//
+// Usage:
+//
+//	sf-certd -addr 127.0.0.1:8360
+//	sf-certd -addr 127.0.0.1:8360 -shards 64 -sweep 30s -crl revoked.crl
+//
+// The -crl file holds CRL S-expressions (one per line or
+// concatenated); listed certificates are evicted at every sweep.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/certdir"
+	"repro/internal/sexp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8360", "listen address")
+	shards := flag.Int("shards", certdir.DefaultShards, "store shard count")
+	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep interval (0 disables)")
+	crlFile := flag.String("crl", "", "file of CRL S-expressions to enforce")
+	flag.Parse()
+
+	store := certdir.NewStore(*shards)
+
+	revocations := cert.NewRevocationStore()
+	if *crlFile != "" {
+		if err := loadCRLs(revocations, *crlFile); err != nil {
+			log.Fatalf("sf-certd: %v", err)
+		}
+	}
+
+	if *sweep > 0 {
+		go func() {
+			for range time.Tick(*sweep) {
+				now := time.Now()
+				expired := store.Sweep(now)
+				revoked := 0
+				if *crlFile != "" {
+					revoked = store.EvictRevoked(revocations.RevokedAt(now))
+				}
+				if expired+revoked > 0 {
+					log.Printf("sf-certd: swept %d expired, %d revoked (%d stored)",
+						expired, revoked, store.Len())
+				}
+			}
+		}()
+	}
+
+	log.Printf("sf-certd: directory listening on %s (%d shards)", *addr, *shards)
+	log.Fatal(http.ListenAndServe(*addr, certdir.NewService(store)))
+}
+
+// loadCRLs reads every CRL expression in the file into the store.
+func loadCRLs(rs *cert.RevocationStore, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	n := 0
+	for len(bytes.TrimSpace(raw)) > 0 {
+		e, used, err := sexp.Parse(raw)
+		if err != nil {
+			return fmt.Errorf("crl %d: %w", n+1, err)
+		}
+		rl, err := cert.RevocationListFromSexp(e)
+		if err != nil {
+			return fmt.Errorf("crl %d: %w", n+1, err)
+		}
+		if err := rs.Add(rl); err != nil {
+			return fmt.Errorf("crl %d: %w", n+1, err)
+		}
+		raw = raw[used:]
+		n++
+	}
+	log.Printf("sf-certd: loaded %d revocation lists from %s", n, path)
+	return nil
+}

@@ -1,0 +1,110 @@
+// Certdir: end-to-end authorization across machines through the
+// certificate directory. A gateway on "host B" publishes a delegation
+// chain to a directory service; a user key on "host A" — whose prover
+// has never seen any of those delegations — discovers the chain over
+// HTTP, assembles the proof, and the gateway verifies it.
+//
+// Run: go run ./examples/certdir
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/certdir"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+func main() {
+	now := time.Now()
+	valid := core.Between(now.Add(-time.Minute), now.Add(time.Hour))
+	files := tag.Prefix("gateway/files")
+
+	// 0. A directory daemon (what cmd/sf-certd runs), here in-process
+	// on a loopback port.
+	store := certdir.NewStore(0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	go http.Serve(ln, certdir.NewService(store))
+	dirURL := "http://" + ln.Addr().String()
+	fmt.Printf("directory listening at %s\n\n", dirURL)
+
+	// 1. Host B: the gateway's organization. Authority flows gateway
+	// -> department -> team -> user, and every delegation is published
+	// to the directory instead of being hand-carried.
+	gateway := genKey("gateway")
+	dept := genKey("department")
+	team := genKey("team")
+	user := genKey("user")
+
+	pub := certdir.NewClient(dirURL)
+	for _, d := range []struct {
+		from *sfkey.PrivateKey
+		to   principal.Principal
+		desc string
+	}{
+		{gateway.priv, dept.prin, "gateway delegates files to department"},
+		{dept.priv, team.prin, "department delegates files to team"},
+		{team.priv, user.prin, "team delegates files to user"},
+	} {
+		c, err := cert.Delegate(d.from, d.to, principal.KeyOf(d.from.Public()), files, valid)
+		check(err)
+		check(pub.Publish(c))
+		fmt.Printf("published: %s\n", d.desc)
+	}
+
+	// 2. Host A: the user's prover. Its local delegation graph is
+	// empty — everything it needs lives in the directory.
+	p := prover.New()
+	p.AddRemote(certdir.NewClient(dirURL))
+	fmt.Printf("\nprover starts with %d local edges\n", p.EdgeCount())
+
+	proof, err := p.FindProof(user.prin, gateway.prin, files, now)
+	check(err)
+	st := p.Stats()
+	fmt.Printf("proof discovered: %s\n", proof.Conclusion())
+	fmt.Printf("  %d directory queries, %d certificates fetched\n",
+		st.RemoteQueries, st.RemoteCerts)
+
+	// 3. The gateway verifies the proof; the directory is pure
+	// mechanism and appears nowhere in the trust computation.
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	check(core.Authorize(ctx, proof, user.prin, gateway.prin, files))
+	fmt.Println("gateway verdict: authorized")
+
+	// 4. Re-proving stays off the network: the fetched chain is now
+	// part of the local graph.
+	before := p.Stats().RemoteQueries
+	_, err = p.FindProof(user.prin, gateway.prin, files, now.Add(time.Second))
+	check(err)
+	fmt.Printf("re-prove used %d directory queries (chain is local now)\n",
+		p.Stats().RemoteQueries-before)
+}
+
+type identity struct {
+	priv *sfkey.PrivateKey
+	prin principal.Principal
+}
+
+func genKey(name string) identity {
+	priv, err := sfkey.Generate()
+	check(err)
+	id := identity{priv: priv, prin: principal.KeyOf(priv.Public())}
+	fmt.Printf("key %-12s %s\n", name, id.prin)
+	return id
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/sexp"
@@ -123,21 +124,30 @@ func (s *RevocationStore) Add(rl *RevocationList) error {
 // certificate counts as revoked when any CRL fresh at the context's
 // verification time lists its hash.
 func (s *RevocationStore) Checker(ctx *core.VerifyContext) func([]byte) bool {
-	return func(h []byte) bool {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		for _, rl := range s.lists {
-			if !rl.Validity.Contains(ctx.At()) {
-				continue
-			}
-			for _, rh := range rl.Hashes {
-				if bytes.Equal(rh, h) {
-					return true
-				}
+	return func(h []byte) bool { return s.revokedAt(h, ctx.At()) }
+}
+
+// RevokedAt returns a predicate over certificate hashes as of the
+// given instant, independent of any VerifyContext; certificate
+// directories use it to evict delegations a fresh CRL has voided.
+func (s *RevocationStore) RevokedAt(at time.Time) func([]byte) bool {
+	return func(h []byte) bool { return s.revokedAt(h, at) }
+}
+
+func (s *RevocationStore) revokedAt(h []byte, at time.Time) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, rl := range s.lists {
+		if !rl.Validity.Contains(at) {
+			continue
+		}
+		for _, rh := range rl.Hashes {
+			if bytes.Equal(rh, h) {
+				return true
 			}
 		}
-		return false
 	}
+	return false
 }
 
 // Revalidator is a trivial in-process one-time revalidation service:

@@ -1,0 +1,153 @@
+package certdir
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sexp"
+)
+
+// Client talks the directory wire protocol. Its ByIssuer and
+// BySubject methods satisfy prover.RemoteSource, so a client plugs
+// straight into Prover.AddRemote for remote chain discovery.
+type Client struct {
+	// BaseURL is the directory root, e.g. "http://host:8360".
+	BaseURL string
+	// HTTP is the transport; nil means a client with a 5 s timeout,
+	// so a dead directory cannot wedge a prover.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the directory at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// roundTrip posts one S-expression and parses the one in the reply.
+// Replies are read up to the parser's own input bound (a query answer
+// aggregates many certificates, so it is far larger than any single
+// request); beyond that the reply is refused rather than silently
+// truncated.
+func (c *Client) roundTrip(path string, req *sexp.Sexp) (*sexp.Sexp, error) {
+	resp, err := c.httpClient().Post(c.BaseURL+path, "text/plain",
+		bytes.NewReader(req.Canonical()))
+	if err != nil {
+		return nil, fmt.Errorf("certdir: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, sexp.MaxTotal+1))
+	if err != nil {
+		return nil, fmt.Errorf("certdir: %s: %w", path, err)
+	}
+	if len(body) > sexp.MaxTotal {
+		return nil, fmt.Errorf("certdir: %s: reply exceeds %d bytes", path, sexp.MaxTotal)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("certdir: %s: %s: %s", path, resp.Status,
+			strings.TrimSpace(string(body)))
+	}
+	e, err := sexp.ParseOne(body)
+	if err != nil {
+		return nil, fmt.Errorf("certdir: %s: bad reply: %w", path, err)
+	}
+	return e, nil
+}
+
+// Publish uploads a certificate to the directory.
+func (c *Client) Publish(ct *cert.Cert) error {
+	resp, err := c.roundTrip(PathPublish, ct.Sexp())
+	if err != nil {
+		return err
+	}
+	switch resp.Tag() {
+	case "published", "duplicate":
+		return nil
+	}
+	return fmt.Errorf("certdir: unexpected publish reply %s", resp)
+}
+
+// query runs one (query <by> <principal>) round trip.
+func (c *Client) query(by string, p principal.Principal) ([]*cert.Cert, error) {
+	resp, err := c.roundTrip(PathQuery,
+		sexp.List(sexp.String("query"), sexp.String(by), p.Sexp()))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag() != "certs" {
+		return nil, fmt.Errorf("certdir: unexpected query reply %s", resp)
+	}
+	var out []*cert.Cert
+	for i := 1; i < resp.Len(); i++ {
+		p, err := core.ProofFromSexp(resp.Nth(i))
+		if err != nil {
+			return nil, fmt.Errorf("certdir: reply certificate %d: %w", i, err)
+		}
+		ct, ok := p.(*cert.Cert)
+		if !ok {
+			return nil, fmt.Errorf("certdir: reply %d is %T, not a certificate", i, p)
+		}
+		out = append(out, ct)
+	}
+	return out, nil
+}
+
+// QueryByIssuer fetches the live certificates issued by p.
+func (c *Client) QueryByIssuer(p principal.Principal) ([]*cert.Cert, error) {
+	return c.query("issuer", p)
+}
+
+// QueryBySubject fetches the live certificates whose subject is p.
+func (c *Client) QueryBySubject(p principal.Principal) ([]*cert.Cert, error) {
+	return c.query("subject", p)
+}
+
+// Remove retracts the certificate with the given body hash, reporting
+// whether the directory held it.
+func (c *Client) Remove(hash []byte) (bool, error) {
+	resp, err := c.roundTrip(PathRemove,
+		sexp.List(sexp.String("remove"), sexp.Atom(hash)))
+	if err != nil {
+		return false, err
+	}
+	return resp.Tag() == "removed", nil
+}
+
+// ByIssuer implements prover.RemoteSource.
+func (c *Client) ByIssuer(p principal.Principal) ([]core.Proof, error) {
+	certs, err := c.QueryByIssuer(p)
+	if err != nil {
+		return nil, err
+	}
+	return asProofs(certs), nil
+}
+
+// BySubject implements prover.RemoteSource.
+func (c *Client) BySubject(p principal.Principal) ([]core.Proof, error) {
+	certs, err := c.QueryBySubject(p)
+	if err != nil {
+		return nil, err
+	}
+	return asProofs(certs), nil
+}
+
+func asProofs(certs []*cert.Cert) []core.Proof {
+	out := make([]core.Proof, len(certs))
+	for i, ct := range certs {
+		out[i] = ct
+	}
+	return out
+}

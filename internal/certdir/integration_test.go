@@ -1,0 +1,123 @@
+package certdir
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// TestProverRemoteDiscovery is the end-to-end acceptance scenario: a
+// key on host A reaches a gateway on host B through a 3-hop
+// delegation chain held entirely by the directory. The prover starts
+// with an empty local graph, discovers the chain over HTTP, and the
+// resulting proof verifies under core.VerifyContext.
+func TestProverRemoteDiscovery(t *testing.T) {
+	now := time.Now()
+	valid := core.Between(now.Add(-time.Minute), now.Add(time.Hour))
+	want := tag.Prefix("gateway/files")
+
+	// Host B's side: the gateway delegates down an org chain and
+	// publishes each certificate to the directory.
+	gateway := sfkey.FromSeed([]byte("e2e-gateway"))
+	dept := sfkey.FromSeed([]byte("e2e-dept"))
+	team := sfkey.FromSeed([]byte("e2e-team"))
+	user := sfkey.FromSeed([]byte("e2e-user"))
+	gatewayP := principal.KeyOf(gateway.Public())
+	deptP := principal.KeyOf(dept.Public())
+	teamP := principal.KeyOf(team.Public())
+	userP := principal.KeyOf(user.Public())
+
+	_, cl := startDirectory(t)
+	for _, c := range []struct {
+		priv    *sfkey.PrivateKey
+		subject principal.Principal
+	}{
+		{gateway, deptP}, // dept  =t=> gateway
+		{dept, teamP},    // team  =t=> dept
+		{team, userP},    // user  =t=> team
+	} {
+		if err := cl.Publish(delegate(t, c.priv, c.subject, want, valid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Host A's side: a prover that has never seen any of these
+	// delegations, pointed at the directory.
+	p := prover.New()
+	p.AddRemote(cl)
+	if p.EdgeCount() != 0 {
+		t.Fatal("prover graph not empty at start")
+	}
+
+	proof, err := p.FindProof(userP, gatewayP, want, now)
+	if err != nil {
+		t.Fatalf("remote discovery failed: %v", err)
+	}
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	if err := core.Authorize(ctx, proof, userP, gatewayP, want); err != nil {
+		t.Fatalf("discovered proof does not authorize: %v", err)
+	}
+
+	st := p.Stats()
+	if st.RemoteQueries == 0 || st.RemoteCerts != 3 {
+		t.Fatalf("stats = %+v, want 3 remote certs", st)
+	}
+
+	// The chain is now digested locally: re-proving (e.g. for a fresh
+	// request tag under the same delegations) must stay off the network.
+	before := p.Stats().RemoteQueries
+	if _, err := p.FindProof(userP, gatewayP, want, now.Add(time.Second)); err != nil {
+		t.Fatalf("re-prove failed: %v", err)
+	}
+	if after := p.Stats().RemoteQueries; after != before {
+		t.Fatalf("re-prove hit the network: %d -> %d queries", before, after)
+	}
+}
+
+// TestProverNegativeCaching checks that unprovable goals don't hammer
+// the directory: the empty answers are cached and later attempts
+// within the TTL are answered locally.
+func TestProverNegativeCaching(t *testing.T) {
+	now := time.Now()
+	_, cl := startDirectory(t)
+
+	strangerP := principal.KeyOf(sfkey.FromSeed([]byte("neg-stranger")).Public())
+	ownerP := principal.KeyOf(sfkey.FromSeed([]byte("neg-owner")).Public())
+
+	p := prover.New()
+	p.AddRemote(cl)
+
+	if _, err := p.FindProof(strangerP, ownerP, tag.All(), now); err == nil {
+		t.Fatal("proved an undelegated goal")
+	}
+	first := p.Stats()
+	if first.RemoteQueries == 0 {
+		t.Fatal("dead-end never consulted the directory")
+	}
+
+	if _, err := p.FindProof(strangerP, ownerP, tag.All(), now.Add(time.Second)); err == nil {
+		t.Fatal("proved an undelegated goal")
+	}
+	second := p.Stats()
+	if second.RemoteQueries != first.RemoteQueries {
+		t.Fatalf("negative cache miss: %d -> %d queries", first.RemoteQueries, second.RemoteQueries)
+	}
+	if second.NegCacheHits == 0 {
+		t.Fatal("no negative-cache hits recorded")
+	}
+
+	// After the TTL the prover asks again.
+	ttl := prover.DefaultNegativeTTL
+	if _, err := p.FindProof(strangerP, ownerP, tag.All(), now.Add(ttl+time.Second)); err == nil {
+		t.Fatal("proved an undelegated goal")
+	}
+	if third := p.Stats(); third.RemoteQueries == second.RemoteQueries {
+		t.Fatal("negative cache never expired")
+	}
+}

@@ -1,0 +1,170 @@
+package certdir
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sexp"
+)
+
+// Wire protocol. Every request body and response body is a single
+// S-expression (canonical, transport, or advanced encoding — the
+// parser accepts all three), keeping the directory on the same wire
+// language as the rest of the system (section 2.4).
+//
+//	POST /certdir/publish   (proof signed-certificate ...)      -> (published) | (duplicate)
+//	POST /certdir/query     (query issuer|subject <principal>)  -> (certs <proof>...)
+//	POST /certdir/remove    (remove <hash octets>)              -> (removed) | (absent)
+//	GET  /certdir/stats                                         -> (stats (published N) ...)
+const (
+	PathPublish = "/certdir/publish"
+	PathQuery   = "/certdir/query"
+	PathRemove  = "/certdir/remove"
+	PathStats   = "/certdir/stats"
+)
+
+// maxBody bounds request bodies; a delegation certificate is a few
+// hundred bytes, so 1 MiB leaves generous headroom without letting a
+// client balloon the server.
+const maxBody = 1 << 20
+
+// Service serves a Store over HTTP.
+type Service struct {
+	Store *Store
+	// Clock supplies the service's notion of now; nil means time.Now.
+	Clock func() time.Time
+}
+
+// NewService wraps a store.
+func NewService(st *Store) *Service { return &Service{Store: st} }
+
+func (s *Service) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// ServeHTTP dispatches the directory protocol.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case PathPublish:
+		s.post(w, r, s.handlePublish)
+	case PathQuery:
+		s.post(w, r, s.handleQuery)
+	case PathRemove:
+		s.post(w, r, s.handleRemove)
+	case PathStats:
+		s.reply(w, s.statsSexp())
+	default:
+		http.Error(w, "certdir: no such endpoint", http.StatusNotFound)
+	}
+}
+
+// post parses the request body as one S-expression and runs the
+// handler; handler errors become 400s.
+func (s *Service) post(w http.ResponseWriter, r *http.Request, h func(*sexp.Sexp) (*sexp.Sexp, error)) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "certdir: POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		http.Error(w, "certdir: bad body", http.StatusBadRequest)
+		return
+	}
+	e, err := sexp.ParseOne(body)
+	if err != nil {
+		http.Error(w, "certdir: bad S-expression: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := h(e)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.reply(w, resp)
+}
+
+func (s *Service) reply(w http.ResponseWriter, e *sexp.Sexp) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(e.Canonical())
+}
+
+func (s *Service) handlePublish(e *sexp.Sexp) (*sexp.Sexp, error) {
+	p, err := core.ProofFromSexp(e)
+	if err != nil {
+		return nil, fmt.Errorf("certdir: publish wants a certificate proof: %w", err)
+	}
+	c, ok := p.(*cert.Cert)
+	if !ok {
+		return nil, fmt.Errorf("certdir: only signed certificates are publishable, not %T", p)
+	}
+	added, err := s.Store.Publish(c, s.now())
+	if err != nil {
+		return nil, err
+	}
+	if !added {
+		return sexp.List(sexp.String("duplicate")), nil
+	}
+	return sexp.List(sexp.String("published")), nil
+}
+
+func (s *Service) handleQuery(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if e.Tag() != "query" || e.Len() != 3 || !e.Nth(1).IsAtom() {
+		return nil, fmt.Errorf("certdir: query wants (query issuer|subject <principal>)")
+	}
+	p, err := principal.FromSexp(e.Nth(2))
+	if err != nil {
+		return nil, fmt.Errorf("certdir: query principal: %w", err)
+	}
+	var certs []*cert.Cert
+	switch by := e.Nth(1).Text(); by {
+	case "issuer":
+		certs = s.Store.ByIssuer(p, s.now())
+	case "subject":
+		certs = s.Store.BySubject(p, s.now())
+	default:
+		return nil, fmt.Errorf("certdir: unknown query axis %q", by)
+	}
+	kids := make([]*sexp.Sexp, 0, len(certs)+1)
+	kids = append(kids, sexp.String("certs"))
+	for _, c := range certs {
+		kids = append(kids, c.Sexp())
+	}
+	return sexp.List(kids...), nil
+}
+
+func (s *Service) handleRemove(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if e.Tag() != "remove" || e.Len() != 2 || !e.Nth(1).IsAtom() {
+		return nil, fmt.Errorf("certdir: remove wants (remove <hash>)")
+	}
+	if s.Store.Remove(e.Nth(1).Octets) {
+		return sexp.List(sexp.String("removed")), nil
+	}
+	return sexp.List(sexp.String("absent")), nil
+}
+
+func (s *Service) statsSexp() *sexp.Sexp {
+	st := s.Store.Stats()
+	row := func(name string, v int64) *sexp.Sexp {
+		return sexp.List(sexp.String(name), sexp.String(strconv.FormatInt(v, 10)))
+	}
+	return sexp.List(
+		sexp.String("stats"),
+		row("stored", int64(s.Store.Len())),
+		row("published", st.Published),
+		row("duplicates", st.Duplicates),
+		row("rejected", st.Rejected),
+		row("queries", st.Queries),
+		row("removed", st.Removed),
+		row("swept", st.Swept),
+		row("evicted", st.Evicted),
+	)
+}

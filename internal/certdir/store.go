@@ -1,0 +1,306 @@
+// Package certdir implements a distributed certificate directory: a
+// networked store where principals publish signed delegation
+// certificates and provers query by issuer or subject to assemble
+// speaks-for chains they do not hold locally.
+//
+// The paper's Prover (section 4.4) searches a local delegation graph;
+// end-to-end authorization across administrative domains additionally
+// needs a discovery path, the role SDSI/SPKI assign to certificate
+// directories and Vanadium assigns to blessing discovery. A directory
+// is pure mechanism: it stores verifiable facts, and knowledge of a
+// certificate bestows no authority (core's proofs are not bearer
+// capabilities), so the directory itself need not be trusted for
+// integrity — only for availability.
+//
+// The store is sharded by issuer principal so heavy publish/query
+// traffic spreads across independent locks, with a secondary
+// subject-side index for reverse discovery, expiry sweeping, and
+// revocation-aware eviction driven by cert.RevocationStore.
+package certdir
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+)
+
+// DefaultShards is the shard count used when NewStore is given n <= 0.
+// 32 keeps per-shard contention negligible at ~100k certs while the
+// per-shard fixed cost stays trivial.
+const DefaultShards = 32
+
+// entry is one stored certificate with its precomputed index keys.
+type entry struct {
+	cert     *cert.Cert
+	hashKey  string // string(cert.Hash()), the identity for dedup/removal
+	issuerK  string
+	subjectK string
+	expiry   time.Time // zero when unbounded
+}
+
+// shard is an independently locked slice of the directory. A
+// certificate lives in exactly one shard, chosen by its issuer, and
+// appears in both of that shard's indexes.
+type shard struct {
+	mu        sync.RWMutex
+	byIssuer  map[string][]*entry
+	bySubject map[string][]*entry
+	byHash    map[string]*entry
+}
+
+// Stats counts directory traffic; the service exposes them and the
+// benchmarks read them.
+type Stats struct {
+	Published  int64 // accepted publishes (new certificates)
+	Duplicates int64 // publishes deduplicated by hash
+	Rejected   int64 // publishes refused (bad signature, expired)
+	Queries    int64 // issuer + subject lookups
+	Removed    int64 // explicit removals
+	Swept      int64 // entries dropped by expiry sweeps
+	Evicted    int64 // entries dropped as revoked
+}
+
+// Store is the sharded, concurrency-safe certificate directory.
+type Store struct {
+	shards []*shard
+
+	published  atomic.Int64
+	duplicates atomic.Int64
+	rejected   atomic.Int64
+	queries    atomic.Int64
+	removed    atomic.Int64
+	swept      atomic.Int64
+	evicted    atomic.Int64
+}
+
+// NewStore returns an empty directory with n shards (DefaultShards
+// when n <= 0).
+func NewStore(n int) *Store {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	s := &Store{shards: make([]*shard, n)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			byIssuer:  make(map[string][]*entry),
+			bySubject: make(map[string][]*entry),
+			byHash:    make(map[string]*entry),
+		}
+	}
+	return s
+}
+
+// shardFor picks the shard for an issuer key.
+func (s *Store) shardFor(issuerKey string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(issuerKey))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// publishCtx verifies certificates on the way in. The directory
+// confirms anything demanding revalidation: revalidation is the
+// verifier's duty at use time, not the directory's at publish time.
+func publishCtx(now time.Time) *core.VerifyContext {
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	ctx.Revalidate = func([]byte, string) error { return nil }
+	return ctx
+}
+
+// Publish verifies and stores a certificate, reporting whether it was
+// newly stored. Certificates with bad signatures or already-expired
+// validity are refused; duplicates (same signed body and signature)
+// are accepted idempotently with added == false.
+func (s *Store) Publish(c *cert.Cert, now time.Time) (added bool, err error) {
+	if c == nil {
+		s.rejected.Add(1)
+		return false, fmt.Errorf("certdir: nil certificate")
+	}
+	if !c.Body.Validity.Contains(now) {
+		s.rejected.Add(1)
+		return false, fmt.Errorf("certdir: certificate not valid at %s", now.UTC().Format(time.RFC3339))
+	}
+	if err := c.Verify(publishCtx(now)); err != nil {
+		s.rejected.Add(1)
+		return false, fmt.Errorf("certdir: refusing certificate: %w", err)
+	}
+	e := &entry{
+		cert:     c,
+		hashKey:  string(c.Hash()),
+		issuerK:  c.Body.Issuer.Key(),
+		subjectK: c.Body.Subject.Key(),
+		expiry:   c.Body.Validity.NotAfter,
+	}
+	sh := s.shardFor(e.issuerK)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.byHash[e.hashKey]; dup {
+		s.duplicates.Add(1)
+		return false, nil
+	}
+	sh.byHash[e.hashKey] = e
+	sh.byIssuer[e.issuerK] = append(sh.byIssuer[e.issuerK], e)
+	sh.bySubject[e.subjectK] = append(sh.bySubject[e.subjectK], e)
+	s.published.Add(1)
+	return true, nil
+}
+
+// ByIssuer returns every stored certificate whose issuer is p and
+// whose validity contains now. Only one shard is consulted.
+func (s *Store) ByIssuer(p principal.Principal, now time.Time) []*cert.Cert {
+	s.queries.Add(1)
+	k := p.Key()
+	sh := s.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return liveCerts(sh.byIssuer[k], now)
+}
+
+// BySubject returns every stored certificate whose subject is p and
+// whose validity contains now. Sharding is issuer-keyed, so the
+// subject index fans across all shards.
+func (s *Store) BySubject(p principal.Principal, now time.Time) []*cert.Cert {
+	s.queries.Add(1)
+	k := p.Key()
+	var out []*cert.Cert
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		out = append(out, liveCerts(sh.bySubject[k], now)...)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// liveCerts filters an index bucket by validity at now.
+func liveCerts(es []*entry, now time.Time) []*cert.Cert {
+	var out []*cert.Cert
+	for _, e := range es {
+		if e.cert.Body.Validity.Contains(now) {
+			out = append(out, e.cert)
+		}
+	}
+	return out
+}
+
+// Remove deletes the certificate with the given body hash (cert.Hash)
+// and reports whether it was present. Publishers use it to retract a
+// delegation before its expiry.
+func (s *Store) Remove(hash []byte) bool {
+	key := string(hash)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		e, ok := sh.byHash[key]
+		if ok {
+			sh.dropLocked(e)
+			s.removed.Add(1)
+		}
+		sh.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// dropLocked unlinks an entry from all three indexes. Caller holds the
+// shard lock.
+func (sh *shard) dropLocked(e *entry) {
+	delete(sh.byHash, e.hashKey)
+	sh.byIssuer[e.issuerK] = dropEntry(sh.byIssuer[e.issuerK], e)
+	if len(sh.byIssuer[e.issuerK]) == 0 {
+		delete(sh.byIssuer, e.issuerK)
+	}
+	sh.bySubject[e.subjectK] = dropEntry(sh.bySubject[e.subjectK], e)
+	if len(sh.bySubject[e.subjectK]) == 0 {
+		delete(sh.bySubject, e.subjectK)
+	}
+}
+
+func dropEntry(es []*entry, e *entry) []*entry {
+	for i, x := range es {
+		if x == e {
+			return append(es[:i], es[i+1:]...)
+		}
+	}
+	return es
+}
+
+// Sweep drops every certificate expired at now and returns the count.
+// Run it periodically (cmd/sf-certd does) so the indexes don't
+// accumulate dead delegations.
+func (s *Store) Sweep(now time.Time) int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		var dead []*entry
+		for _, e := range sh.byHash {
+			if !e.expiry.IsZero() && now.After(e.expiry) {
+				dead = append(dead, e)
+			}
+		}
+		for _, e := range dead {
+			sh.dropLocked(e)
+		}
+		n += len(dead)
+		sh.mu.Unlock()
+	}
+	s.swept.Add(int64(n))
+	return n
+}
+
+// EvictRevoked drops every certificate the predicate reports revoked
+// (keyed by cert.Hash) and returns the count. Pair it with
+// cert.RevocationStore.RevokedAt to keep the directory from serving
+// delegations a CRL has voided.
+func (s *Store) EvictRevoked(revoked func(certHash []byte) bool) int {
+	if revoked == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		var dead []*entry
+		for _, e := range sh.byHash {
+			if revoked([]byte(e.hashKey)) {
+				dead = append(dead, e)
+			}
+		}
+		for _, e := range dead {
+			sh.dropLocked(e)
+		}
+		n += len(dead)
+		sh.mu.Unlock()
+	}
+	s.evicted.Add(int64(n))
+	return n
+}
+
+// Len returns the number of stored certificates.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.byHash)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Published:  s.published.Load(),
+		Duplicates: s.duplicates.Load(),
+		Rejected:   s.rejected.Load(),
+		Queries:    s.queries.Load(),
+		Removed:    s.removed.Load(),
+		Swept:      s.swept.Load(),
+		Evicted:    s.evicted.Load(),
+	}
+}

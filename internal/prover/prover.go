@@ -49,6 +49,11 @@ type Stats struct {
 	Expanded     int // nodes popped during BFS
 	ShortcutHits int // goal reached through a cached shortcut edge
 	Minted       int // delegations issued through closures
+
+	RemoteQueries  int // directory lookups issued
+	RemoteCerts    int // fresh proofs digested from directories
+	RemoteRejected int // remote proofs dropped as unverifiable
+	NegCacheHits   int // directory lookups skipped by the negative cache
 }
 
 // Prover maintains the delegation graph.
@@ -58,12 +63,25 @@ type Prover struct {
 	closures map[string]Closure
 	seen     map[[32]byte]bool // digested proof hashes
 
+	remotes  []RemoteSource       // consulted when local search dead-ends
+	negCache map[string]time.Time // query key -> time it came back empty
+
 	// DisableShortcuts turns off the proof cache (ablation).
 	DisableShortcuts bool
 	// MaxDepth bounds recursive quoting/conjunction reductions.
 	MaxDepth int
 	// MintTTL bounds the validity of freshly minted delegations.
 	MintTTL time.Duration
+	// NegativeTTL is how long an empty directory answer suppresses
+	// re-asking the same question; zero means DefaultNegativeTTL.
+	NegativeTTL time.Duration
+	// RemoteFanout caps directory queries per FindProof call; zero
+	// means DefaultRemoteFanout.
+	RemoteFanout int
+	// RemoteRounds caps fetch-then-research iterations per FindProof
+	// call (each round can extend the frontier by one hop); zero means
+	// DefaultRemoteRounds.
+	RemoteRounds int
 
 	stats Stats
 }
@@ -81,6 +99,7 @@ func New() *Prover {
 		edges:    make(map[string][]*edge),
 		closures: make(map[string]Closure),
 		seen:     make(map[[32]byte]bool),
+		negCache: make(map[string]time.Time),
 		MaxDepth: 4,
 		MintTTL:  10 * time.Minute,
 	}
@@ -105,17 +124,18 @@ func (p *Prover) AddProof(pr core.Proof) {
 }
 
 // addEdgeLocked inserts one proof as a graph edge, deduplicating by
-// proof hash.
-func (p *Prover) addEdgeLocked(pr core.Proof, shortcut bool) {
+// proof hash; it reports whether the edge was new.
+func (p *Prover) addEdgeLocked(pr core.Proof, shortcut bool) bool {
 	h := pr.Sexp().Hash()
 	if p.seen[h] {
-		return
+		return false
 	}
 	p.seen[h] = true
 	c := pr.Conclusion()
 	e := &edge{subject: c.Subject, issuer: c.Issuer, proof: pr, shortcut: shortcut}
 	ik := c.Issuer.Key()
 	p.edges[ik] = append(p.edges[ik], e)
+	return true
 }
 
 // Stats returns a copy of the work counters.
@@ -139,11 +159,21 @@ func (p *Prover) EdgeCount() int {
 // FindProof finds or constructs a proof that subject speaks for
 // issuer regarding want, valid at now. It searches existing
 // delegations first and completes proofs through closures when the
-// chain reaches a controlled principal.
+// chain reaches a controlled principal. When the local graph
+// dead-ends and remote sources are registered (AddRemote), it fetches
+// candidate delegations from them and retries — the hot local path
+// never touches the network.
 func (p *Prover) FindProof(subject, issuer principal.Principal, want tag.Tag, now time.Time) (core.Proof, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.findLocked(subject, issuer, want, now, p.MaxDepth)
+	proof, err, hasRemotes := func() (core.Proof, error, bool) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		pr, e := p.findLocked(subject, issuer, want, now, p.MaxDepth)
+		return pr, e, len(p.remotes) > 0
+	}()
+	if err == nil || !hasRemotes {
+		return proof, err
+	}
+	return p.findRemote(subject, issuer, want, now, err)
 }
 
 func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, now time.Time, depth int) (core.Proof, error) {

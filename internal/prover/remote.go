@@ -1,0 +1,269 @@
+package prover
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/tag"
+)
+
+// RemoteSource is a store of delegations outside this process — a
+// certificate directory (certdir.Client implements this), a name
+// service, a gossip peer. The Prover consults sources only after the
+// local delegation graph dead-ends, so local proving stays
+// network-free.
+//
+// Sources supply candidate proofs; they are not trusted. Every
+// fetched proof is verified before it is digested into the graph, so
+// a compromised directory can withhold delegations (denial of
+// service) but cannot plant authority.
+//
+// Implementations must be safe for concurrent use: the prover fans
+// queries out in parallel.
+type RemoteSource interface {
+	// ByIssuer returns proofs whose conclusion issuer is the given
+	// principal: the delegations extending that principal's authority.
+	ByIssuer(issuer principal.Principal) ([]core.Proof, error)
+	// BySubject returns proofs whose conclusion subject is the given
+	// principal: the delegations that principal can exercise.
+	BySubject(subject principal.Principal) ([]core.Proof, error)
+}
+
+// Defaults for the remote-discovery tunables.
+const (
+	DefaultNegativeTTL  = 30 * time.Second
+	DefaultRemoteFanout = 32
+	DefaultRemoteRounds = 4
+)
+
+// negCacheMax bounds the negative cache: once full of fresh entries,
+// new misses go unrecorded rather than growing the map.
+const negCacheMax = 4096
+
+// AddRemote registers a remote delegation source. Multiple sources
+// are queried in registration order and their answers merged.
+func (p *Prover) AddRemote(r RemoteSource) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.remotes = append(p.remotes, r)
+}
+
+// remoteQuery is one directory question: an axis ("i" by issuer, "s"
+// by subject) and a principal.
+type remoteQuery struct {
+	axis string
+	prin principal.Principal
+}
+
+func (q remoteQuery) key() string { return q.axis + "|" + q.prin.Key() }
+
+// remoteAnswer collects the merged replies to one query. answered is
+// false when every source errored, so an unreachable directory is
+// never mistaken for a genuinely empty answer.
+type remoteAnswer struct {
+	proofs   []core.Proof
+	answered bool
+}
+
+// findRemote runs bounded fetch-then-research rounds after a local
+// miss. Each round queries the directories for the current search
+// frontier (every principal reachable backwards from the issuer,
+// plus the target subject), digests verified answers as graph edges,
+// and re-runs the local search; the frontier grows at least one hop
+// per productive round, so a k-hop remote chain needs at most k
+// rounds. The lock is never held across network fetches.
+func (p *Prover) findRemote(subject, issuer principal.Principal, want tag.Tag, now time.Time, localErr error) (core.Proof, error) {
+	budget := p.RemoteFanout
+	if budget <= 0 {
+		budget = DefaultRemoteFanout
+	}
+	rounds := p.RemoteRounds
+	if rounds <= 0 {
+		rounds = DefaultRemoteRounds
+	}
+	asked := make(map[string]bool) // queries spent during this call
+	err := localErr
+	for round := 0; round < rounds && budget > 0; round++ {
+		var queries []remoteQuery
+		var remotes []RemoteSource
+		func() {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			queries = p.planQueriesLocked(subject, issuer, want, now, asked, &budget)
+			remotes = p.remotes
+		}()
+		if len(queries) == 0 {
+			break
+		}
+		answers := fetchAll(remotes, queries)
+
+		var proof core.Proof
+		done := func() bool {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.stats.RemoteQueries += len(queries) * len(remotes)
+			added := 0
+			for i, q := range queries {
+				if len(answers[i].proofs) == 0 {
+					if answers[i].answered {
+						p.cacheNegativeLocked(q.key(), now)
+					}
+					continue
+				}
+				added += p.digestRemoteLocked(answers[i].proofs, now)
+			}
+			if added == 0 {
+				return true
+			}
+			proof, err = p.findLocked(subject, issuer, want, now, p.MaxDepth)
+			return err == nil
+		}()
+		if done {
+			if err == nil {
+				return proof, nil
+			}
+			break
+		}
+	}
+	return nil, err
+}
+
+// planQueriesLocked chooses this round's directory questions: the
+// issuer-side frontier in BFS order, then the subject itself, skipping
+// questions already asked this call or freshly answered empty.
+func (p *Prover) planQueriesLocked(subject, issuer principal.Principal, want tag.Tag, now time.Time, asked map[string]bool, budget *int) []remoteQuery {
+	var out []remoteQuery
+	add := func(q remoteQuery) {
+		if *budget <= 0 || asked[q.key()] {
+			return
+		}
+		if t, ok := p.negCache[q.key()]; ok {
+			if now.Sub(t) < p.negTTL() {
+				p.stats.NegCacheHits++
+				return
+			}
+			delete(p.negCache, q.key())
+		}
+		asked[q.key()] = true
+		*budget--
+		out = append(out, q)
+	}
+	for _, node := range p.reachableLocked(issuer, want, now) {
+		add(remoteQuery{axis: "i", prin: node})
+	}
+	add(remoteQuery{axis: "s", prin: subject})
+	return out
+}
+
+// reachableLocked collects every principal reachable backwards from
+// issuer through usable edges (the BFS frontier of findLocked), in
+// BFS order starting at the issuer itself.
+func (p *Prover) reachableLocked(issuer principal.Principal, want tag.Tag, now time.Time) []principal.Principal {
+	visited := map[string]bool{issuer.Key(): true}
+	order := []principal.Principal{issuer}
+	for i := 0; i < len(order); i++ {
+		for _, e := range p.edges[order[i].Key()] {
+			if p.DisableShortcuts && e.shortcut {
+				continue
+			}
+			if visited[e.subject.Key()] {
+				continue
+			}
+			ec := e.proof.Conclusion()
+			if !tag.Covers(ec.Tag, want) || !ec.Validity.Contains(now) {
+				continue
+			}
+			visited[e.subject.Key()] = true
+			order = append(order, e.subject)
+		}
+	}
+	return order
+}
+
+// fetchAll runs every query against every remote concurrently, with
+// no prover lock held, merging answers per query. Source errors mark
+// the (query, source) pair unanswered: an unreachable directory
+// degrades discovery for a round, it neither fails proving nor
+// poisons the negative cache.
+func fetchAll(remotes []RemoteSource, queries []remoteQuery) []remoteAnswer {
+	answers := make([]remoteAnswer, len(queries))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		for _, r := range remotes {
+			wg.Add(1)
+			go func(i int, q remoteQuery, r RemoteSource) {
+				defer wg.Done()
+				var (
+					got []core.Proof
+					err error
+				)
+				if q.axis == "i" {
+					got, err = r.ByIssuer(q.prin)
+				} else {
+					got, err = r.BySubject(q.prin)
+				}
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				answers[i].answered = true
+				answers[i].proofs = append(answers[i].proofs, got...)
+				mu.Unlock()
+			}(i, q, r)
+		}
+	}
+	wg.Wait()
+	return answers
+}
+
+// digestRemoteLocked verifies fetched proofs and installs the good
+// ones as graph edges, returning how many were new.
+func (p *Prover) digestRemoteLocked(proofs []core.Proof, now time.Time) int {
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	// Revalidation demands are deferred to the relying verifier; the
+	// prover only screens out proofs that can never verify.
+	ctx.Revalidate = func([]byte, string) error { return nil }
+	added := 0
+	for _, pr := range proofs {
+		if pr == nil {
+			continue
+		}
+		if err := pr.Verify(ctx); err != nil {
+			p.stats.RemoteRejected++
+			continue
+		}
+		if p.addEdgeLocked(pr, false) {
+			added++
+			p.stats.RemoteCerts++
+		}
+	}
+	return added
+}
+
+func (p *Prover) negTTL() time.Duration {
+	if p.NegativeTTL > 0 {
+		return p.NegativeTTL
+	}
+	return DefaultNegativeTTL
+}
+
+// cacheNegativeLocked records an empty directory answer, pruning
+// expired entries when full and refusing new entries rather than
+// growing past the bound.
+func (p *Prover) cacheNegativeLocked(key string, now time.Time) {
+	if len(p.negCache) >= negCacheMax {
+		for k, t := range p.negCache {
+			if now.Sub(t) >= p.negTTL() {
+				delete(p.negCache, k)
+			}
+		}
+		if len(p.negCache) >= negCacheMax {
+			return
+		}
+	}
+	p.negCache[key] = now
+}
