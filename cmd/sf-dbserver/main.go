@@ -23,6 +23,7 @@ import (
 	"repro/internal/emaildb"
 	"repro/internal/principal"
 	"repro/internal/rmi"
+	"repro/internal/sexp"
 	"repro/internal/sfkey"
 )
 
@@ -33,6 +34,7 @@ func main() {
 	grantTo := flag.String("grant-to", "", "recipient principal S-expression")
 	grantTTL := flag.Duration("grant-ttl", 0, "delegation lifetime (0 = unbounded)")
 	seedDemo := flag.Bool("seed-demo", false, "insert demonstration messages")
+	crlFile := flag.String("crl", "", "revocation list S-expression file")
 	flag.Parse()
 
 	if *keyFile == "" {
@@ -90,7 +92,25 @@ func main() {
 		}
 	}
 	srv := rmi.NewServer()
-	if err := emaildb.Register(srv, svc, issuer); err != nil {
+	rs := cert.NewRevocationStore()
+	if *crlFile != "" {
+		raw, err := os.ReadFile(*crlFile)
+		if err != nil {
+			log.Fatalf("sf-dbserver: %v", err)
+		}
+		e, err := sexp.ParseOne(raw)
+		if err != nil {
+			log.Fatalf("sf-dbserver: crl: %v", err)
+		}
+		rl, err := cert.RevocationListFromSexp(e)
+		if err != nil {
+			log.Fatalf("sf-dbserver: crl: %v", err)
+		}
+		if err := rs.Add(rl); err != nil {
+			log.Fatalf("sf-dbserver: crl: %v", err)
+		}
+	}
+	if err := emaildb.RegisterWithRevocation(srv, svc, issuer, rs); err != nil {
 		log.Fatalf("sf-dbserver: %v", err)
 	}
 	l, err := secure.Listen(*addr, &secure.Identity{Priv: priv})

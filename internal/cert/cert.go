@@ -107,26 +107,40 @@ func (c *Cert) Children() []core.Proof { return nil }
 // rooting, the revocation state, and any revalidation demand.
 // Expiration is not checked here — validity is part of the statement,
 // and request matching (core.Authorize) enforces it.
+//
+// Verification runs through the context's proof cache: a certificate
+// already verified under the current revocation epoch costs a lookup,
+// not a signature check. Certificates demanding one-time revalidation
+// are context-dependent (the revalidator is consulted per verifier)
+// and never enter the shared cache.
 func (c *Cert) Verify(ctx *core.VerifyContext) error {
-	if !issuerRootedAt(c.Body.Issuer, c.Signer) {
-		return fmt.Errorf("cert: issuer %s not rooted at signer %s", c.Body.Issuer, c.Signer.Fingerprint())
-	}
-	if !c.Signer.Verify(c.signingBytes(), c.Signature) {
-		return fmt.Errorf("cert: bad signature by %s", c.Signer.Fingerprint())
-	}
-	if ctx.Revoked != nil && ctx.Revoked(c.Hash()) {
-		return fmt.Errorf("cert: certificate revoked")
-	}
-	if c.RevalidateAt != "" {
-		if ctx.Revalidate == nil {
-			return fmt.Errorf("cert: certificate demands revalidation at %q but verifier has no revalidator", c.RevalidateAt)
+	return ctx.VerifyCached(c, func() error {
+		if !issuerRootedAt(c.Body.Issuer, c.Signer) {
+			return fmt.Errorf("cert: issuer %s not rooted at signer %s", c.Body.Issuer, c.Signer.Fingerprint())
 		}
-		if err := ctx.Revalidate(c.Hash(), c.RevalidateAt); err != nil {
-			return fmt.Errorf("cert: revalidation failed: %w", err)
+		if !c.Signer.Verify(c.signingBytes(), c.Signature) {
+			return fmt.Errorf("cert: bad signature by %s", c.Signer.Fingerprint())
 		}
-	}
-	return nil
+		if ctx.Revoked != nil && ctx.Revoked(c.Hash()) {
+			return fmt.Errorf("cert: certificate revoked")
+		}
+		if c.RevalidateAt != "" {
+			if ctx.Revalidate == nil {
+				return fmt.Errorf("cert: certificate demands revalidation at %q but verifier has no revalidator", c.RevalidateAt)
+			}
+			if err := ctx.Revalidate(c.Hash(), c.RevalidateAt); err != nil {
+				return fmt.Errorf("cert: revalidation failed: %w", err)
+			}
+		}
+		return nil
+	})
 }
+
+// ContextDependent reports whether this certificate's verdict depends
+// on verifier-local state: one-time revalidation must be performed by
+// each verifier, so such certificates stay out of shared proof
+// caches. Plain revoked-or-not state is epoch-tracked and shareable.
+func (c *Cert) ContextDependent() bool { return c.RevalidateAt != "" }
 
 // Sexp implements core.Proof.
 func (c *Cert) Sexp() *sexp.Sexp {

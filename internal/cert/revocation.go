@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -101,22 +102,83 @@ func RevocationListFromSexp(e *sexp.Sexp) (*RevocationList, error) {
 
 // RevocationStore aggregates verified CRLs and answers the
 // VerifyContext.Revoked query. It is safe for concurrent use.
+//
+// Installing a CRL bumps the revocation epoch of the process-wide
+// shared proof cache (and any caches attached with AttachCache), so
+// cached verification verdicts die with the certificates they rest
+// on: the next presentation of an affected proof re-verifies against
+// the new revocation state.
 type RevocationStore struct {
-	mu    sync.RWMutex
-	lists []*RevocationList
+	mu     sync.RWMutex
+	lists  []*RevocationList
+	caches []*core.ProofCache
+	view   uint64
 }
 
-// NewRevocationStore returns an empty store.
-func NewRevocationStore() *RevocationStore { return &RevocationStore{} }
+// nextView hands each store a process-unique revocation view id;
+// cached proof verdicts are shared only between verifiers holding the
+// same view, so a verdict checked against this store's CRLs never
+// lets a verifier with different revocation state skip its own check.
+var nextView atomic.Uint64
 
-// Add verifies and installs a CRL.
+// NewRevocationStore returns an empty store wired to the shared proof
+// cache, with a fresh revocation view id.
+func NewRevocationStore() *RevocationStore {
+	return &RevocationStore{
+		caches: []*core.ProofCache{core.SharedProofCache()},
+		view:   nextView.Add(1),
+	}
+}
+
+// View returns the store's revocation view id for
+// core.VerifyContext.RevocationView.
+func (s *RevocationStore) View() uint64 { return s.view }
+
+// Bind wires a verification context to this store: the Revoked hook
+// and the matching revocation view, so the context may share cached
+// verdicts with every other verifier bound to the same store.
+func (s *RevocationStore) Bind(ctx *core.VerifyContext) {
+	ctx.Revoked = s.Checker(ctx)
+	ctx.RevocationView = s.view
+}
+
+// AttachCache registers an additional proof cache whose epoch this
+// store bumps on revocation; verifiers running a private cache attach
+// it here so their cached verdicts obey this store's CRLs.
+func (s *RevocationStore) AttachCache(c *core.ProofCache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.caches = append(s.caches, c)
+}
+
+// Add verifies and installs a CRL, invalidating attached proof
+// caches. A CRL that is not yet fresh (future NotBefore) schedules a
+// second bump for the moment it becomes fresh: verdicts cached in the
+// not-yet-fresh window would otherwise outlive the CRL's activation.
+// The schedule runs on the wall clock; harnesses that verify under a
+// simulated clock must call BumpEpoch themselves when their clock
+// crosses a CRL's NotBefore.
 func (s *RevocationStore) Add(rl *RevocationList) error {
 	if err := rl.Verify(); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	caches := append([]*core.ProofCache(nil), s.caches...)
 	s.lists = append(s.lists, rl)
+	s.mu.Unlock()
+	for _, c := range caches {
+		c.BumpEpoch()
+	}
+	if nb := rl.Validity.NotBefore; !nb.IsZero() && nb.After(time.Now()) {
+		time.AfterFunc(time.Until(nb)+10*time.Millisecond, func() {
+			s.mu.RLock()
+			caches := append([]*core.ProofCache(nil), s.caches...)
+			s.mu.RUnlock()
+			for _, c := range caches {
+				c.BumpEpoch()
+			}
+		})
+	}
 	return nil
 }
 

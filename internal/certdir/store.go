@@ -20,7 +20,6 @@ package certdir
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +27,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/principal"
+	"repro/internal/shard"
 )
 
 // DefaultShards is the shard count used when NewStore is given n <= 0.
@@ -44,10 +44,10 @@ type entry struct {
 	expiry   time.Time // zero when unbounded
 }
 
-// shard is an independently locked slice of the directory. A
+// dirShard is an independently locked slice of the directory. A
 // certificate lives in exactly one shard, chosen by its issuer, and
 // appears in both of that shard's indexes.
-type shard struct {
+type dirShard struct {
 	mu        sync.RWMutex
 	byIssuer  map[string][]*entry
 	bySubject map[string][]*entry
@@ -68,7 +68,7 @@ type Stats struct {
 
 // Store is the sharded, concurrency-safe certificate directory.
 type Store struct {
-	shards []*shard
+	shards []*dirShard
 
 	published  atomic.Int64
 	duplicates atomic.Int64
@@ -85,9 +85,9 @@ func NewStore(n int) *Store {
 	if n <= 0 {
 		n = DefaultShards
 	}
-	s := &Store{shards: make([]*shard, n)}
+	s := &Store{shards: make([]*dirShard, n)}
 	for i := range s.shards {
-		s.shards[i] = &shard{
+		s.shards[i] = &dirShard{
 			byIssuer:  make(map[string][]*entry),
 			bySubject: make(map[string][]*entry),
 			byHash:    make(map[string]*entry),
@@ -97,19 +97,21 @@ func NewStore(n int) *Store {
 }
 
 // shardFor picks the shard for an issuer key.
-func (s *Store) shardFor(issuerKey string) *shard {
-	h := fnv.New32a()
-	h.Write([]byte(issuerKey))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+func (s *Store) shardFor(issuerKey string) *dirShard {
+	return s.shards[shard.Index(issuerKey, len(s.shards))]
 }
 
 // publishCtx verifies certificates on the way in. The directory
 // confirms anything demanding revalidation: revalidation is the
 // verifier's duty at use time, not the directory's at publish time.
+// Publish-time verification shares the process-wide proof cache, so
+// re-publishes and certificates already screened by another layer
+// cost a lookup instead of a signature check.
 func publishCtx(now time.Time) *core.VerifyContext {
 	ctx := core.NewVerifyContext()
 	ctx.Now = now
 	ctx.Revalidate = func([]byte, string) error { return nil }
+	ctx.Cache = core.SharedProofCache()
 	return ctx
 }
 
@@ -210,7 +212,7 @@ func (s *Store) Remove(hash []byte) bool {
 
 // dropLocked unlinks an entry from all three indexes. Caller holds the
 // shard lock.
-func (sh *shard) dropLocked(e *entry) {
+func (sh *dirShard) dropLocked(e *entry) {
 	delete(sh.byHash, e.hashKey)
 	sh.byIssuer[e.issuerK] = dropEntry(sh.byIssuer[e.issuerK], e)
 	if len(sh.byIssuer[e.issuerK]) == 0 {

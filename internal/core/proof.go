@@ -51,6 +51,23 @@ type VerifyContext struct {
 	// issuer currently confirms the certificate.
 	Revalidate func(certHash []byte, where string) error
 
+	// Cache, when non-nil, is a shared verified-proof cache consulted
+	// before (and populated after) signature-level verification of
+	// portable subproofs. Pair it with a revocation source that bumps
+	// the cache's epoch (cert.RevocationStore does this for the shared
+	// cache automatically).
+	Cache *ProofCache
+
+	// RevocationView identifies the revocation state behind Revoked
+	// (cert.RevocationStore.View supplies it; zero means unidentified).
+	// Cached verdicts are shared only between verifiers with the same
+	// view: a verdict recorded by a verifier that checks no CRLs (or
+	// someone else's CRLs) must not let this verifier skip its own
+	// revocation check. When Revoked is set but RevocationView is
+	// zero — an ad-hoc callback with no epoch/view discipline — the
+	// shared cache is bypassed entirely, which is slow but safe.
+	RevocationView uint64
+
 	// cache memoizes verified subproofs by canonical hash.
 	cache map[[32]byte]error
 }
@@ -81,7 +98,12 @@ func (ctx *VerifyContext) Holds(s SpeaksFor) bool {
 	return ctx.Assumptions[s.Key()]
 }
 
-// verifyMemo wraps a node's verification with the proof cache.
+// verifyMemo wraps a node's verification with the per-context memo
+// and, for portable subproofs, the shared verified-proof cache: a
+// cached positive verdict short-circuits the whole subtree's
+// signature checks (the fast path), and a fresh positive verdict on a
+// portable subtree is published for later verifiers holding the same
+// revocation view.
 func (ctx *VerifyContext) verifyMemo(p Proof, f func() error) error {
 	if ctx.cache == nil {
 		ctx.cache = make(map[[32]byte]error)
@@ -90,9 +112,49 @@ func (ctx *VerifyContext) verifyMemo(p Proof, f func() error) error {
 	if err, ok := ctx.cache[h]; ok {
 		return err
 	}
+	// An enforcing verifier with an unidentified revocation view gets
+	// no shared cache: its verdicts cannot be labeled, and verdicts
+	// labeled by others might skip its revocation check.
+	enforcing := ctx.Revoked != nil
+	shared := ctx.Cache
+	if enforcing && ctx.RevocationView == 0 {
+		shared = nil
+	}
+	if shared != nil {
+		lookupView := ctx.RevocationView
+		if !enforcing {
+			lookupView = ViewAny
+		}
+		if shared.Lookup(h, ctx.At(), lookupView) {
+			ctx.cache[h] = nil
+			return nil
+		}
+	}
+	// The epoch is captured before verification runs: a CRL installed
+	// mid-verification bumps it, and Store then discards the verdict
+	// instead of caching it against the new revocation state.
+	var epoch uint64
+	if shared != nil {
+		epoch = shared.Epoch()
+	}
 	err := f()
 	ctx.cache[h] = err
+	if err == nil && shared != nil && Portable(p) && p.Conclusion().Validity.Contains(ctx.At()) {
+		storeView := uint64(0)
+		if enforcing {
+			storeView = ctx.RevocationView
+		}
+		shared.Store(h, p.Conclusion().Validity, epoch, storeView)
+	}
 	return err
+}
+
+// VerifyCached exposes verifyMemo for proof leaves defined outside
+// core (package cert's signed certificates); their Verify methods
+// call it so leaf signature checks enjoy the same memoization and
+// shared caching as the rule nodes.
+func (ctx *VerifyContext) VerifyCached(p Proof, f func() error) error {
+	return ctx.verifyMemo(p, f)
 }
 
 // CacheSize returns the number of memoized subproofs; exposed for the

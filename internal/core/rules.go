@@ -61,6 +61,12 @@ func (a *Assumption) Verify(ctx *VerifyContext) error {
 		return nil
 	})
 }
+
+// ContextDependent marks assumptions as unshareable: whether an
+// assumption holds is a fact about one verifier's runtime, so its
+// verdict must never enter a shared proof cache.
+func (a *Assumption) ContextDependent() bool { return true }
+
 func (a *Assumption) Sexp() *sexp.Sexp {
 	return proofHeader(RuleAssume, a.S.Sexp())
 }

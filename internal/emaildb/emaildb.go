@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cert"
 	"repro/internal/principal"
 	"repro/internal/reldb"
 	"repro/internal/rmi"
@@ -246,5 +247,29 @@ const ObjectName = "emaildb"
 
 // Register installs the service on an RMI server under ObjectName.
 func Register(srv *rmi.Server, svc *Service, issuer principal.Principal) error {
+	return srv.Register(ObjectName, svc, issuer, TagFor)
+}
+
+// RegisterWithRevocation installs the service and wires the server's
+// access checks to a revocation store: submitted proofs are checked
+// against its CRLs, and because the store bumps the shared
+// verified-proof cache's epoch on every CRL it installs, a revocation
+// invalidates previously cached verdicts at the next call — the
+// database keeps making the real access-control decision (section
+// 6.2) while the warm path stays one cache lookup.
+func RegisterWithRevocation(srv *rmi.Server, svc *Service, issuer principal.Principal, rs *cert.RevocationStore) error {
+	if rs != nil {
+		if srv.Cache != nil {
+			rs.AttachCache(srv.Cache)
+		}
+		srv.Revoked = func(h []byte) bool {
+			now := time.Now()
+			if srv.Clock != nil {
+				now = srv.Clock()
+			}
+			return rs.RevokedAt(now)(h)
+		}
+		srv.RevocationView = rs.View()
+	}
 	return srv.Register(ObjectName, svc, issuer, TagFor)
 }

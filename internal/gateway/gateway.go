@@ -15,6 +15,7 @@
 package gateway
 
 import (
+	"errors"
 	"fmt"
 	"html/template"
 	"io"
@@ -46,10 +47,26 @@ type Gateway struct {
 	Prover *prover.Prover
 	// Clock for verification; nil means time.Now.
 	Clock func() time.Time
+	// Cache is the verified-proof cache consulted when admitting
+	// clients; nil means the process-wide shared cache, so repeated
+	// presentations of the same signed request chain or delegation
+	// proof cost a lookup instead of signature checks.
+	Cache *core.ProofCache
 
 	mu    sync.Mutex
 	stats Stats
 }
+
+// maxRequestBody bounds how much of a client request body the gateway
+// reads for request hashing; gateway operations are small form posts,
+// so 1 MiB is generous headroom rather than an invitation to balloon
+// the process.
+const maxRequestBody = 1 << 20
+
+// sweepEvery is how many digested client proofs trigger an expired-
+// edge sweep of the gateway prover: the gateway digests a delegation
+// per client, and without sweeping the graph would only ever grow.
+const sweepEvery = 256
 
 // Stats counts gateway work.
 type Stats struct {
@@ -134,7 +151,16 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	minTag := emaildb.OpTag(op.owner, op.op)
 
-	body, _ := io.ReadAll(r.Body)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "gateway: request body too large", http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, "gateway: bad request body", http.StatusBadRequest)
+		}
+		return
+	}
 	reqPrin := httpauth.ServerRequestPrincipal(r, body)
 
 	auth := r.Header.Get("Authorization")
@@ -222,6 +248,7 @@ func (g *Gateway) admit(auth string, reqPrin principal.Hash) (principal.Principa
 	}
 	ctx := core.NewVerifyContext()
 	ctx.Now = g.now()
+	ctx.Cache = g.proofCache()
 	if err := rp.Verify(ctx); err != nil {
 		return nil, fmt.Errorf("gateway: request proof: %w", err)
 	}
@@ -245,9 +272,21 @@ func (g *Gateway) admit(auth string, reqPrin principal.Hash) (principal.Principa
 		g.Prover.AddProof(p)
 		g.mu.Lock()
 		g.stats.Digested++
+		sweep := g.stats.Digested%sweepEvery == 0
 		g.mu.Unlock()
+		if sweep {
+			g.Prover.Sweep(g.now())
+		}
 	}
 	return client, nil
+}
+
+// proofCache returns the verified-proof cache the gateway uses.
+func (g *Gateway) proofCache() *core.ProofCache {
+	if g.Cache != nil {
+		return g.Cache
+	}
+	return core.SharedProofCache()
 }
 
 var mailboxTmpl = template.Must(template.New("mailbox").Parse(`<!DOCTYPE html>

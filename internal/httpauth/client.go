@@ -336,6 +336,10 @@ func (c *Client) checkDoc(resp *http.Response, err error) (*http.Response, error
 	docPrin := principal.HashOfBytes(body)
 	ctx := core.NewVerifyContext()
 	ctx.Now = c.now()
+	// Re-fetching an unchanged document re-presents the same document
+	// certificate; the shared cache turns the repeat verification into
+	// a lookup.
+	ctx.Cache = core.SharedProofCache()
 	path := ""
 	if resp.Request != nil {
 		path = resp.Request.URL.Path

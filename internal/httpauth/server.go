@@ -45,9 +45,17 @@ type Protected struct {
 	// Revoked / Revalidate hook revocation state into verification.
 	Revoked    func([]byte) bool
 	Revalidate func([]byte, string) error
+	// RevocationView identifies the revocation state behind Revoked
+	// (cert.RevocationStore.View). With Revoked set but no view, the
+	// shared proof cache is bypassed — safe but slow.
+	RevocationView uint64
+	// Cache is the verified-proof cache; nil means the process-wide
+	// shared cache. Its revocation epoch must be bumped by whatever
+	// store backs Revoked (cert.RevocationStore does this).
+	Cache *core.ProofCache
 
 	mu     sync.Mutex
-	vctx   *core.VerifyContext
+	vctx   core.EpochContext       // persistent memo, flushed on epoch bumps
 	proofs map[string][]core.Proof // verified proofs by subject key
 	macs   map[string]*macSecret   // MAC key id -> state
 	stats  ServerStats
@@ -75,7 +83,6 @@ func NewProtected(service string, m Mapper, h http.Handler) *Protected {
 		Service: service,
 		Map:     m,
 		Handler: h,
-		vctx:    core.NewVerifyContext(),
 		proofs:  make(map[string][]core.Proof),
 		macs:    make(map[string]*macSecret),
 	}
@@ -93,7 +100,7 @@ func (p *Protected) ForgetProofs() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.proofs = make(map[string][]core.Proof)
-	p.vctx = core.NewVerifyContext()
+	p.vctx.Reset()
 }
 
 func (p *Protected) now() time.Time {
@@ -246,11 +253,20 @@ func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqP
 	return &core.AuthError{Issuer: issuer, MinTag: reqTag, Reason: "no proof on file for MAC principal"}
 }
 
+// lockedCtx refreshes the persistent verification context. Its local
+// memo is the warm path across requests; a proof-cache epoch bump
+// (CRL installed) discards it so no stale verdict survives.
 func (p *Protected) lockedCtx() *core.VerifyContext {
-	p.vctx.Now = p.now()
-	p.vctx.Revoked = p.Revoked
-	p.vctx.Revalidate = p.Revalidate
-	return p.vctx
+	cache := p.Cache
+	if cache == nil {
+		cache = core.SharedProofCache()
+	}
+	ctx := p.vctx.Refresh(cache)
+	ctx.Now = p.now()
+	ctx.Revoked = p.Revoked
+	ctx.Revalidate = p.Revalidate
+	ctx.RevocationView = p.RevocationView
+	return ctx
 }
 
 // establishMAC answers the amortization handshake: generate a secret,

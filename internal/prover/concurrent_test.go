@@ -1,0 +1,165 @@
+package prover
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/tag"
+)
+
+// TestConcurrentFindAddDelegate exercises the sharded prover under
+// simultaneous searching, digesting, and minting; run with -race (the
+// CI race job covers this package).
+func TestConcurrentFindAddDelegate(t *testing.T) {
+	root := mkParty("root")
+	mids := make([]party, 8)
+	leaves := make([]party, 8)
+	p := New()
+	p.AddClosure(NewKeyClosure(root.priv))
+	for i := range mids {
+		mids[i] = mkParty(fmt.Sprintf("mid-%d", i))
+		leaves[i] = mkParty(fmt.Sprintf("leaf-%d", i))
+		p.AddProof(mustDelegate(t, root, mids[i].pr, tag.All()))
+		p.AddProof(mustDelegate(t, mids[i], leaves[i].pr, tag.All()))
+	}
+
+	const goroutines = 16
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*iters)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch g % 4 {
+				case 0: // chain search
+					leaf := leaves[(g+i)%len(leaves)]
+					proof, err := p.FindProof(leaf.pr, root.pr, tag.Literal("req"), now)
+					if err != nil {
+						errs <- err
+						continue
+					}
+					if err := proof.Verify(core.NewVerifyContext()); err != nil {
+						errs <- err
+					}
+				case 1: // digest fresh delegations
+					from := mids[(g+i)%len(mids)]
+					stranger := mkParty(fmt.Sprintf("stranger-%d-%d", g, i))
+					p.AddProof(mustDelegate(t, from, stranger.pr, tag.All()))
+				case 2: // mint through the closure
+					stranger := mkParty(fmt.Sprintf("grantee-%d-%d", g, i))
+					if _, err := p.Delegate(root.pr, stranger.pr, tag.All(), core.Until(now.Add(time.Hour))); err != nil {
+						errs <- err
+					}
+				case 3: // closure-completed search for an unknown subject
+					stranger := mkParty(fmt.Sprintf("direct-%d-%d", g, i))
+					if _, err := p.FindProof(stranger.pr, root.pr, tag.Literal("req"), now); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent op failed: %v", err)
+	}
+	if p.EdgeCount() == 0 {
+		t.Fatal("graph unexpectedly empty")
+	}
+}
+
+// TestConcurrentFindSameChain has many goroutines race to prove the
+// same multi-hop chain, which also races shortcut recording against
+// readers of the same issuer shard.
+func TestConcurrentFindSameChain(t *testing.T) {
+	s, v, b, a := mkParty("s"), mkParty("v"), mkParty("b"), mkParty("a")
+	p := New()
+	p.AddProof(mustDelegate(t, s, v.pr, tag.All()))
+	p.AddProof(mustDelegate(t, v, b.pr, tag.All()))
+	p.AddProof(mustDelegate(t, b, a.pr, tag.All()))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				proof, err := p.FindProof(a.pr, s.pr, tag.Literal("req"), now)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				c := proof.Conclusion()
+				if !principal.Equal(c.Subject, a.pr) || !principal.Equal(c.Issuer, s.pr) {
+					t.Errorf("conclusion = %s", c)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSweepEvictsExpiredEdges(t *testing.T) {
+	alice, bob, carol := mkParty("alice"), mkParty("bob"), mkParty("carol")
+	p := New()
+	expired, err := cert.Delegate(alice.priv, bob.pr, alice.pr, tag.All(),
+		core.Until(now.Add(-time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddProof(expired)
+	p.AddProof(mustDelegate(t, alice, carol.pr, tag.All())) // unbounded, survives
+	if got := p.EdgeCount(); got != 2 {
+		t.Fatalf("EdgeCount = %d, want 2", got)
+	}
+
+	if evicted := p.Sweep(now); evicted != 1 {
+		t.Fatalf("Sweep evicted %d, want 1", evicted)
+	}
+	if got := p.EdgeCount(); got != 1 {
+		t.Fatalf("EdgeCount after sweep = %d, want 1", got)
+	}
+	if p.Stats().Swept != 1 {
+		t.Fatalf("Stats().Swept = %d, want 1", p.Stats().Swept)
+	}
+
+	// The dedup entry must go with the edge: re-digesting the same
+	// proof after a sweep re-enters the graph (a re-delegated cert
+	// with identical bytes is the degenerate case).
+	p.AddProof(expired)
+	if got := p.EdgeCount(); got != 2 {
+		t.Fatalf("EdgeCount after re-add = %d, want 2 (seen entry not pruned)", got)
+	}
+
+	// A second sweep takes it right back out.
+	if evicted := p.Sweep(now); evicted != 1 {
+		t.Fatalf("second Sweep evicted %d, want 1", evicted)
+	}
+}
+
+// TestSweepPrunesNegativeCache checks that stale empty-answer records
+// are dropped so re-resolution can happen immediately after a sweep.
+func TestSweepPrunesNegativeCache(t *testing.T) {
+	p := New()
+	p.NegativeTTL = time.Minute
+	p.cacheNegative("i|someone", now.Add(-2*time.Minute)) // stale
+	p.cacheNegative("s|other", now)                       // fresh
+	p.Sweep(now)
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
+	if _, ok := p.negCache["i|someone"]; ok {
+		t.Fatal("stale negative-cache entry survived sweep")
+	}
+	if _, ok := p.negCache["s|other"]; !ok {
+		t.Fatal("fresh negative-cache entry swept")
+	}
+}

@@ -14,6 +14,13 @@
 // components, it records a shortcut edge; these shortcuts form a
 // cache that eliminates most deep traversals.
 //
+// The delegation graph is sharded by issuer principal behind
+// read-write locks, so concurrent FindProof calls (the gateway and
+// the RMI invoker share one prover) read in parallel and only edge
+// insertion takes a write lock on one shard. Expensive closure
+// minting (signing) runs outside all locks. The tunable fields
+// (MaxDepth, MintTTL, ...) must be set before concurrent use.
+//
 // The Prover is deliberately incomplete (general access control with
 // conjunction and quoting is exponential; Abadi et al. p. 726); it
 // handles chains, quoting reductions, and conjunction introduction to
@@ -24,10 +31,12 @@ package prover
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/principal"
+	"repro/internal/shard"
 	"repro/internal/tag"
 )
 
@@ -49,6 +58,7 @@ type Stats struct {
 	Expanded     int // nodes popped during BFS
 	ShortcutHits int // goal reached through a cached shortcut edge
 	Minted       int // delegations issued through closures
+	Swept        int // expired edges evicted by Sweep
 
 	RemoteQueries  int // directory lookups issued
 	RemoteCerts    int // fresh proofs digested from directories
@@ -56,14 +66,45 @@ type Stats struct {
 	NegCacheHits   int // directory lookups skipped by the negative cache
 }
 
+// counters is the internal, concurrency-safe form of Stats.
+type counters struct {
+	traversals   atomic.Int64
+	expanded     atomic.Int64
+	shortcutHits atomic.Int64
+	minted       atomic.Int64
+	swept        atomic.Int64
+
+	remoteQueries  atomic.Int64
+	remoteCerts    atomic.Int64
+	remoteRejected atomic.Int64
+	negCacheHits   atomic.Int64
+}
+
+// DefaultEdgeShards is the shard count of the delegation graph's
+// issuer index; enough to keep write contention negligible at the
+// concurrency levels a single process sees, cheap enough to allocate
+// unconditionally.
+const DefaultEdgeShards = 16
+
+// edgeShard is one independently locked slice of the issuer index. An
+// edge lives in exactly the shard of its conclusion's issuer, and the
+// shard's seen set dedups proofs by hash (a proof's issuer determines
+// its shard, so the hash can only ever appear here).
+type edgeShard struct {
+	mu    sync.RWMutex
+	edges map[string][]*edge // issuer key -> incoming proofs
+	seen  map[[32]byte]bool  // digested proof hashes
+}
+
 // Prover maintains the delegation graph.
 type Prover struct {
-	mu       sync.Mutex
-	edges    map[string][]*edge // issuer key -> incoming proofs
-	closures map[string]Closure
-	seen     map[[32]byte]bool // digested proof hashes
+	shards []*edgeShard
 
-	remotes  []RemoteSource       // consulted when local search dead-ends
+	cmu      sync.RWMutex
+	closures map[string]Closure
+
+	rmu      sync.Mutex
+	remotes  []RemoteSource
 	negCache map[string]time.Time // query key -> time it came back empty
 
 	// DisableShortcuts turns off the proof cache (ablation).
@@ -83,7 +124,7 @@ type Prover struct {
 	// DefaultRemoteRounds.
 	RemoteRounds int
 
-	stats Stats
+	stats counters
 }
 
 type edge struct {
@@ -91,69 +132,159 @@ type edge struct {
 	issuer   principal.Principal
 	proof    core.Proof
 	shortcut bool
+	hash     [32]byte
+	expiry   time.Time // conclusion's NotAfter; zero when unbounded
 }
 
 // New returns an empty Prover.
 func New() *Prover {
-	return &Prover{
-		edges:    make(map[string][]*edge),
+	p := &Prover{
+		shards:   make([]*edgeShard, DefaultEdgeShards),
 		closures: make(map[string]Closure),
-		seen:     make(map[[32]byte]bool),
 		negCache: make(map[string]time.Time),
 		MaxDepth: 4,
 		MintTTL:  10 * time.Minute,
 	}
+	for i := range p.shards {
+		p.shards[i] = &edgeShard{
+			edges: make(map[string][]*edge),
+			seen:  make(map[[32]byte]bool),
+		}
+	}
+	return p
+}
+
+// shardFor picks the shard holding edges into the given issuer.
+func (p *Prover) shardFor(issuerKey string) *edgeShard {
+	return p.shards[shard.Index(issuerKey, len(p.shards))]
 }
 
 // AddClosure registers a controlled principal.
 func (p *Prover) AddClosure(c Closure) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.cmu.Lock()
+	defer p.cmu.Unlock()
 	p.closures[c.Principal().Key()] = c
+}
+
+// closureFor looks up the closure controlling a principal, if any.
+func (p *Prover) closureFor(key string) (Closure, bool) {
+	p.cmu.RLock()
+	defer p.cmu.RUnlock()
+	c, ok := p.closures[key]
+	return c, ok
 }
 
 // AddProof digests a proof into the graph: every lemma (subproof)
 // becomes an edge, and composite lemmas additionally become shortcut
 // edges for their overall conclusions (section 4.4).
 func (p *Prover) AddProof(pr core.Proof) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, lemma := range core.Lemmas(pr) {
-		p.addEdgeLocked(lemma, len(lemma.Children()) > 0)
+		p.addEdge(lemma, len(lemma.Children()) > 0)
 	}
 }
 
-// addEdgeLocked inserts one proof as a graph edge, deduplicating by
-// proof hash; it reports whether the edge was new.
-func (p *Prover) addEdgeLocked(pr core.Proof, shortcut bool) bool {
+// addEdge inserts one proof as a graph edge, deduplicating by proof
+// hash within the issuer's shard; it reports whether the edge was
+// new.
+func (p *Prover) addEdge(pr core.Proof, shortcut bool) bool {
 	h := pr.Sexp().Hash()
-	if p.seen[h] {
+	c := pr.Conclusion()
+	ik := c.Issuer.Key()
+	e := &edge{
+		subject: c.Subject, issuer: c.Issuer, proof: pr,
+		shortcut: shortcut, hash: h, expiry: c.Validity.NotAfter,
+	}
+	sh := p.shardFor(ik)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.seen[h] {
 		return false
 	}
-	p.seen[h] = true
-	c := pr.Conclusion()
-	e := &edge{subject: c.Subject, issuer: c.Issuer, proof: pr, shortcut: shortcut}
-	ik := c.Issuer.Key()
-	p.edges[ik] = append(p.edges[ik], e)
+	sh.seen[h] = true
+	sh.edges[ik] = append(sh.edges[ik], e)
 	return true
+}
+
+// edgesInto returns a snapshot of the edges whose conclusions' issuer
+// is the given principal. The copy is taken under the shard's read
+// lock, so BFS walks a consistent slice while writers append
+// concurrently.
+func (p *Prover) edgesInto(issuerKey string) []*edge {
+	sh := p.shardFor(issuerKey)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	es := sh.edges[issuerKey]
+	if len(es) == 0 {
+		return nil
+	}
+	return append([]*edge(nil), es...)
 }
 
 // Stats returns a copy of the work counters.
 func (p *Prover) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Traversals:     int(p.stats.traversals.Load()),
+		Expanded:       int(p.stats.expanded.Load()),
+		ShortcutHits:   int(p.stats.shortcutHits.Load()),
+		Minted:         int(p.stats.minted.Load()),
+		Swept:          int(p.stats.swept.Load()),
+		RemoteQueries:  int(p.stats.remoteQueries.Load()),
+		RemoteCerts:    int(p.stats.remoteCerts.Load()),
+		RemoteRejected: int(p.stats.remoteRejected.Load()),
+		NegCacheHits:   int(p.stats.negCacheHits.Load()),
+	}
 }
 
 // EdgeCount returns the number of edges in the graph.
 func (p *Prover) EdgeCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, es := range p.edges {
-		n += len(es)
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for _, es := range sh.edges {
+			n += len(es)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// Sweep evicts every edge whose conclusion expired before now —
+// including its dedup entry, so a re-delegated equivalent proof can
+// re-enter — and prunes stale negative-cache entries. Long-running
+// digesters (the gateway digests a proof per client) call this
+// periodically so the graph tracks the live delegation set instead of
+// growing without bound. It returns the number of edges evicted.
+func (p *Prover) Sweep(now time.Time) int {
+	evicted := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for ik, es := range sh.edges {
+			kept := es[:0]
+			for _, e := range es {
+				if !e.expiry.IsZero() && e.expiry.Before(now) {
+					delete(sh.seen, e.hash)
+					evicted++
+					continue
+				}
+				kept = append(kept, e)
+			}
+			if len(kept) == 0 {
+				delete(sh.edges, ik)
+			} else {
+				sh.edges[ik] = kept
+			}
+		}
+		sh.mu.Unlock()
+	}
+	p.rmu.Lock()
+	for k, t := range p.negCache {
+		if now.Sub(t) >= p.negTTL() {
+			delete(p.negCache, k)
+		}
+	}
+	p.rmu.Unlock()
+	p.stats.swept.Add(int64(evicted))
+	return evicted
 }
 
 // FindProof finds or constructs a proof that subject speaks for
@@ -163,21 +294,26 @@ func (p *Prover) EdgeCount() int {
 // dead-ends and remote sources are registered (AddRemote), it fetches
 // candidate delegations from them and retries — the hot local path
 // never touches the network.
+//
+// FindProof is safe for concurrent use and concurrent calls do not
+// serialize: the search reads per-shard snapshots of the graph, and
+// only minting or digesting a new edge briefly write-locks one shard.
 func (p *Prover) FindProof(subject, issuer principal.Principal, want tag.Tag, now time.Time) (core.Proof, error) {
-	proof, err, hasRemotes := func() (core.Proof, error, bool) {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		pr, e := p.findLocked(subject, issuer, want, now, p.MaxDepth)
-		return pr, e, len(p.remotes) > 0
-	}()
-	if err == nil || !hasRemotes {
-		return proof, err
+	proof, err := p.find(subject, issuer, want, now, p.MaxDepth)
+	if err == nil {
+		return proof, nil
+	}
+	p.rmu.Lock()
+	hasRemotes := len(p.remotes) > 0
+	p.rmu.Unlock()
+	if !hasRemotes {
+		return nil, err
 	}
 	return p.findRemote(subject, issuer, want, now, err)
 }
 
-func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, now time.Time, depth int) (core.Proof, error) {
-	p.stats.Traversals++
+func (p *Prover) find(subject, issuer principal.Principal, want tag.Tag, now time.Time, depth int) (core.Proof, error) {
+	p.stats.traversals.Add(1)
 	if depth < 0 {
 		return nil, fmt.Errorf("prover: search depth exhausted")
 	}
@@ -196,18 +332,20 @@ func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, n
 	visited := map[string]bool{issuer.Key(): true}
 	queue := []reach{{node: issuer}}
 
-	// tryComplete attempts to finish the proof at a reached node.
+	// tryComplete attempts to finish the proof at a reached node. It
+	// runs with no locks held: minting through a closure is a signing
+	// operation and must not serialize concurrent searches.
 	tryComplete := func(r reach) (core.Proof, bool) {
 		// (a) Reached the subject itself.
 		if principal.Equal(r.node, subject) && r.path != nil {
 			return r.path, true
 		}
 		// (b) Reached a final (closure-backed) node: mint the last hop.
-		if cl, ok := p.closures[r.node.Key()]; ok {
+		if cl, ok := p.closureFor(r.node.Key()); ok {
 			minted, err := cl.Delegate(subject, want, core.Between(now.Add(-time.Minute), now.Add(p.MintTTL)))
 			if err == nil {
-				p.stats.Minted++
-				p.addEdgeLocked(minted, false)
+				p.stats.minted.Add(1)
+				p.addEdge(minted, false)
 				if r.path == nil {
 					return minted, true
 				}
@@ -221,7 +359,7 @@ func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, n
 			if sq, ok := subject.(principal.Quote); ok {
 				// Same quotee: X|C => A|C reduces to X => A.
 				if principal.Equal(sq.Quotee, nq.Quotee) && !principal.Equal(sq.Quoter, nq.Quoter) {
-					if sub, err := p.findLocked(sq.Quoter, nq.Quoter, want, now, depth-1); err == nil {
+					if sub, err := p.find(sq.Quoter, nq.Quoter, want, now, depth-1); err == nil {
 						lift := core.NewQuoteQuoterMono(nq.Quotee, sub)
 						if r.path == nil {
 							return lift, true
@@ -233,7 +371,7 @@ func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, n
 				}
 				// Same quoter: Q|Y => Q|B reduces to Y => B.
 				if principal.Equal(sq.Quoter, nq.Quoter) && !principal.Equal(sq.Quotee, nq.Quotee) {
-					if sub, err := p.findLocked(sq.Quotee, nq.Quotee, want, now, depth-1); err == nil {
+					if sub, err := p.find(sq.Quotee, nq.Quotee, want, now, depth-1); err == nil {
 						lift := core.NewQuoteQuoteeMono(nq.Quoter, sub)
 						if r.path == nil {
 							return lift, true
@@ -253,7 +391,7 @@ func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, n
 			}
 			var parts []core.Proof
 			for _, member := range conj.Parts {
-				if sub, err := p.findLocked(subject, member, want, now, depth-1); err == nil {
+				if sub, err := p.find(subject, member, want, now, depth-1); err == nil {
 					parts = append(parts, sub)
 					if len(parts) >= k {
 						break
@@ -277,17 +415,17 @@ func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, n
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		p.stats.Expanded++
+		p.stats.expanded.Add(1)
 		if proof, ok := tryComplete(cur); ok {
 			// Cache multi-hop compositions as shortcut edges (the
 			// dotted edges of Figure 2); single-hop results are the
 			// edges themselves.
 			if cur.hops > 1 || (cur.hops == 1 && !principal.Equal(proof.Conclusion().Subject, cur.node)) {
-				p.recordShortcutLocked(proof)
+				p.recordShortcut(proof)
 			}
 			return proof, nil
 		}
-		for _, e := range p.edges[cur.node.Key()] {
+		for _, e := range p.edgesInto(cur.node.Key()) {
 			if p.DisableShortcuts && e.shortcut {
 				continue
 			}
@@ -309,7 +447,7 @@ func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, n
 				path = tr
 			}
 			if e.shortcut {
-				p.stats.ShortcutHits++
+				p.stats.shortcutHits.Add(1)
 			}
 			visited[e.subject.Key()] = true
 			queue = append(queue, reach{node: e.subject, path: path, hops: cur.hops + 1})
@@ -319,30 +457,27 @@ func (p *Prover) findLocked(subject, issuer principal.Principal, want tag.Tag, n
 		subject, issuer, want)
 }
 
-// recordShortcutLocked caches a composed proof as a shortcut edge
-// (the dotted edges of Figure 2).
-func (p *Prover) recordShortcutLocked(pr core.Proof) {
+// recordShortcut caches a composed proof as a shortcut edge (the
+// dotted edges of Figure 2).
+func (p *Prover) recordShortcut(pr core.Proof) {
 	if p.DisableShortcuts || len(pr.Children()) == 0 {
 		return
 	}
-	p.addEdgeLocked(pr, true)
+	p.addEdge(pr, true)
 }
 
 // Controls reports whether the prover holds a closure for pr.
 func (p *Prover) Controls(pr principal.Principal) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.closures[pr.Key()]
+	_, ok := p.closureFor(pr.Key())
 	return ok
 }
 
 // Delegate issues a fresh delegation from a controlled principal
 // without a graph search; the RMI invoker uses this to push authority
-// onto a newly established channel (Figure 4 step m).
+// onto a newly established channel (Figure 4 step m). The signing
+// itself runs outside all prover locks.
 func (p *Prover) Delegate(from principal.Principal, subject principal.Principal, t tag.Tag, v core.Validity) (core.Proof, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	cl, ok := p.closures[from.Key()]
+	cl, ok := p.closureFor(from.Key())
 	if !ok {
 		return nil, fmt.Errorf("prover: no closure for %s", from)
 	}
@@ -350,26 +485,30 @@ func (p *Prover) Delegate(from principal.Principal, subject principal.Principal,
 	if err != nil {
 		return nil, err
 	}
-	p.stats.Minted++
-	p.addEdgeLocked(minted, false)
+	p.stats.minted.Add(1)
+	p.addEdge(minted, false)
 	return minted, nil
 }
 
 // Principals returns every node currently in the graph; for
 // inspection and the proxy's delegation UI.
 func (p *Prover) Principals() []principal.Principal {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	seen := map[string]principal.Principal{}
-	for _, es := range p.edges {
-		for _, e := range es {
-			seen[e.subject.Key()] = e.subject
-			seen[e.issuer.Key()] = e.issuer
+	for _, sh := range p.shards {
+		sh.mu.RLock()
+		for _, es := range sh.edges {
+			for _, e := range es {
+				seen[e.subject.Key()] = e.subject
+				seen[e.issuer.Key()] = e.issuer
+			}
 		}
+		sh.mu.RUnlock()
 	}
+	p.cmu.RLock()
 	for _, c := range p.closures {
 		seen[c.Principal().Key()] = c.Principal()
 	}
+	p.cmu.RUnlock()
 	out := make([]principal.Principal, 0, len(seen))
 	for _, pr := range seen {
 		out = append(out, pr)

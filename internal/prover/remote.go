@@ -45,8 +45,8 @@ const negCacheMax = 4096
 // AddRemote registers a remote delegation source. Multiple sources
 // are queried in registration order and their answers merged.
 func (p *Prover) AddRemote(r RemoteSource) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
 	p.remotes = append(p.remotes, r)
 }
 
@@ -73,7 +73,7 @@ type remoteAnswer struct {
 // plus the target subject), digests verified answers as graph edges,
 // and re-runs the local search; the frontier grows at least one hop
 // per productive round, so a k-hop remote chain needs at most k
-// rounds. The lock is never held across network fetches.
+// rounds. No prover lock is held across network fetches.
 func (p *Prover) findRemote(subject, issuer principal.Principal, want tag.Tag, now time.Time, localErr error) (core.Proof, error) {
 	budget := p.RemoteFanout
 	if budget <= 0 {
@@ -86,54 +86,45 @@ func (p *Prover) findRemote(subject, issuer principal.Principal, want tag.Tag, n
 	asked := make(map[string]bool) // queries spent during this call
 	err := localErr
 	for round := 0; round < rounds && budget > 0; round++ {
-		var queries []remoteQuery
-		var remotes []RemoteSource
-		func() {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			queries = p.planQueriesLocked(subject, issuer, want, now, asked, &budget)
-			remotes = p.remotes
-		}()
+		frontier := p.reachable(issuer, want, now)
+		queries := p.planQueries(frontier, subject, now, asked, &budget)
 		if len(queries) == 0 {
 			break
 		}
+		p.rmu.Lock()
+		remotes := append([]RemoteSource(nil), p.remotes...)
+		p.rmu.Unlock()
 		answers := fetchAll(remotes, queries)
 
-		var proof core.Proof
-		done := func() bool {
-			p.mu.Lock()
-			defer p.mu.Unlock()
-			p.stats.RemoteQueries += len(queries) * len(remotes)
-			added := 0
-			for i, q := range queries {
-				if len(answers[i].proofs) == 0 {
-					if answers[i].answered {
-						p.cacheNegativeLocked(q.key(), now)
-					}
-					continue
+		p.stats.remoteQueries.Add(int64(len(queries) * len(remotes)))
+		added := 0
+		for i, q := range queries {
+			if len(answers[i].proofs) == 0 {
+				if answers[i].answered {
+					p.cacheNegative(q.key(), now)
 				}
-				added += p.digestRemoteLocked(answers[i].proofs, now)
+				continue
 			}
-			if added == 0 {
-				return true
-			}
-			proof, err = p.findLocked(subject, issuer, want, now, p.MaxDepth)
-			return err == nil
-		}()
-		if done {
-			if err == nil {
-				return proof, nil
-			}
+			added += p.digestRemote(answers[i].proofs, now)
+		}
+		if added == 0 {
 			break
+		}
+		var proof core.Proof
+		proof, err = p.find(subject, issuer, want, now, p.MaxDepth)
+		if err == nil {
+			return proof, nil
 		}
 	}
 	return nil, err
 }
 
-// planQueriesLocked chooses this round's directory questions: the
+// planQueries chooses this round's directory questions: the
 // issuer-side frontier in BFS order, then the subject itself, skipping
 // questions already asked this call or freshly answered empty.
-func (p *Prover) planQueriesLocked(subject, issuer principal.Principal, want tag.Tag, now time.Time, asked map[string]bool, budget *int) []remoteQuery {
+func (p *Prover) planQueries(frontier []principal.Principal, subject principal.Principal, now time.Time, asked map[string]bool, budget *int) []remoteQuery {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
 	var out []remoteQuery
 	add := func(q remoteQuery) {
 		if *budget <= 0 || asked[q.key()] {
@@ -141,7 +132,7 @@ func (p *Prover) planQueriesLocked(subject, issuer principal.Principal, want tag
 		}
 		if t, ok := p.negCache[q.key()]; ok {
 			if now.Sub(t) < p.negTTL() {
-				p.stats.NegCacheHits++
+				p.stats.negCacheHits.Add(1)
 				return
 			}
 			delete(p.negCache, q.key())
@@ -150,21 +141,22 @@ func (p *Prover) planQueriesLocked(subject, issuer principal.Principal, want tag
 		*budget--
 		out = append(out, q)
 	}
-	for _, node := range p.reachableLocked(issuer, want, now) {
+	for _, node := range frontier {
 		add(remoteQuery{axis: "i", prin: node})
 	}
 	add(remoteQuery{axis: "s", prin: subject})
 	return out
 }
 
-// reachableLocked collects every principal reachable backwards from
-// issuer through usable edges (the BFS frontier of findLocked), in
-// BFS order starting at the issuer itself.
-func (p *Prover) reachableLocked(issuer principal.Principal, want tag.Tag, now time.Time) []principal.Principal {
+// reachable collects every principal reachable backwards from issuer
+// through usable edges (the BFS frontier of find), in BFS order
+// starting at the issuer itself. It reads per-shard snapshots, like
+// the search it mirrors.
+func (p *Prover) reachable(issuer principal.Principal, want tag.Tag, now time.Time) []principal.Principal {
 	visited := map[string]bool{issuer.Key(): true}
 	order := []principal.Principal{issuer}
 	for i := 0; i < len(order); i++ {
-		for _, e := range p.edges[order[i].Key()] {
+		for _, e := range p.edgesInto(order[i].Key()) {
 			if p.DisableShortcuts && e.shortcut {
 				continue
 			}
@@ -219,11 +211,15 @@ func fetchAll(remotes []RemoteSource, queries []remoteQuery) []remoteAnswer {
 	return answers
 }
 
-// digestRemoteLocked verifies fetched proofs and installs the good
-// ones as graph edges, returning how many were new.
-func (p *Prover) digestRemoteLocked(proofs []core.Proof, now time.Time) int {
+// digestRemote verifies fetched proofs and installs the good ones as
+// graph edges, returning how many were new. Verification consults the
+// shared verified-proof cache: a delegation fetched by several
+// concurrent searches (or previously screened by another layer) costs
+// one signature check process-wide.
+func (p *Prover) digestRemote(proofs []core.Proof, now time.Time) int {
 	ctx := core.NewVerifyContext()
 	ctx.Now = now
+	ctx.Cache = core.SharedProofCache()
 	// Revalidation demands are deferred to the relying verifier; the
 	// prover only screens out proofs that can never verify.
 	ctx.Revalidate = func([]byte, string) error { return nil }
@@ -233,12 +229,12 @@ func (p *Prover) digestRemoteLocked(proofs []core.Proof, now time.Time) int {
 			continue
 		}
 		if err := pr.Verify(ctx); err != nil {
-			p.stats.RemoteRejected++
+			p.stats.remoteRejected.Add(1)
 			continue
 		}
-		if p.addEdgeLocked(pr, false) {
+		if p.addEdge(pr, false) {
 			added++
-			p.stats.RemoteCerts++
+			p.stats.remoteCerts.Add(1)
 		}
 	}
 	return added
@@ -251,10 +247,12 @@ func (p *Prover) negTTL() time.Duration {
 	return DefaultNegativeTTL
 }
 
-// cacheNegativeLocked records an empty directory answer, pruning
-// expired entries when full and refusing new entries rather than
-// growing past the bound.
-func (p *Prover) cacheNegativeLocked(key string, now time.Time) {
+// cacheNegative records an empty directory answer, pruning expired
+// entries when full and refusing new entries rather than growing past
+// the bound.
+func (p *Prover) cacheNegative(key string, now time.Time) {
+	p.rmu.Lock()
+	defer p.rmu.Unlock()
 	if len(p.negCache) >= negCacheMax {
 		for k, t := range p.negCache {
 			if now.Sub(t) >= p.negTTL() {

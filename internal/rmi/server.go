@@ -57,18 +57,30 @@ type Server struct {
 	// "cache/proof" box of Figure 4. Entries are only ever inserted
 	// after full verification.
 	proofs map[string][]core.Proof
-	vctx   *core.VerifyContext
-	stats  Stats
+	// vctx holds the persistent verification context; its local memo
+	// is discarded on every proof-cache epoch bump so revoked chains
+	// re-verify.
+	vctx  core.EpochContext
+	stats Stats
 
 	// Clock supplies verification time; nil means time.Now.
 	Clock func() time.Time
 	// Revoked and Revalidate plug revocation state into proof
 	// verification (package cert). They are consulted when a proof is
-	// first verified; proofs already cached keep their authority until
-	// ForgetProofs, so operators pairing revocation with long-lived
-	// connections should flush after updating revocation state.
+	// first verified; cached verdicts are dropped whenever the proof
+	// cache's revocation epoch advances (cert.RevocationStore bumps it
+	// on every CRL), so a revocation takes effect at the next call
+	// without ForgetProofs.
 	Revoked    func(certHash []byte) bool
 	Revalidate func(certHash []byte, where string) error
+	// RevocationView identifies the revocation state behind Revoked
+	// (cert.RevocationStore.View). With Revoked set but no view, the
+	// shared proof cache is bypassed — safe but slow; wiring helpers
+	// like emaildb.RegisterWithRevocation set both.
+	RevocationView uint64
+	// Cache is the verified-proof cache; nil means the process-wide
+	// shared cache.
+	Cache *core.ProofCache
 }
 
 // NewServer returns an empty server.
@@ -76,7 +88,6 @@ func NewServer() *Server {
 	return &Server{
 		objects: make(map[string]*object),
 		proofs:  make(map[string][]core.Proof),
-		vctx:    core.NewVerifyContext(),
 	}
 }
 
@@ -294,16 +305,25 @@ func (s *Server) checkAuth(speaker, issuer principal.Principal, reqTag tag.Tag) 
 }
 
 // verifyContextLocked refreshes the shared verification context's
-// clock and revocation hooks.
+// clock, revocation hooks, and proof cache. The context's local memo
+// persists across calls — that is the warm path — but it is discarded
+// whenever the proof cache's revocation epoch advances, so no stale
+// verdict survives a CRL.
 func (s *Server) verifyContextLocked() *core.VerifyContext {
 	now := time.Now()
 	if s.Clock != nil {
 		now = s.Clock()
 	}
-	s.vctx.Now = now
-	s.vctx.Revoked = s.Revoked
-	s.vctx.Revalidate = s.Revalidate
-	return s.vctx
+	cache := s.Cache
+	if cache == nil {
+		cache = core.SharedProofCache()
+	}
+	ctx := s.vctx.Refresh(cache)
+	ctx.Now = now
+	ctx.Revoked = s.Revoked
+	ctx.Revalidate = s.Revalidate
+	ctx.RevocationView = s.RevocationView
+	return ctx
 }
 
 // handleProofSubmit is the proofRecipient (Figure 4, step n): parse,
@@ -355,7 +375,7 @@ func (s *Server) ForgetProofs() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.proofs = make(map[string][]core.Proof)
-	s.vctx = core.NewVerifyContext()
+	s.vctx.Reset()
 }
 
 // Stats returns a copy of the counters.

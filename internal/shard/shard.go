@@ -1,0 +1,17 @@
+// Package shard provides the key-to-shard mapping shared by the
+// concurrency-sharded stores (the prover's delegation graph, the
+// certificate directory). One implementation keeps the sharding
+// strategy from drifting between subsystems.
+package shard
+
+// Index maps key onto [0, n) with FNV-1a inlined over the string:
+// this runs on hot paths (once per BFS node expansion in the prover),
+// where a hash.Hash32 would heap-allocate per call.
+func Index(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
