@@ -6,9 +6,17 @@
 //
 //	sf-certd -addr 127.0.0.1:8360
 //	sf-certd -addr 127.0.0.1:8360 -shards 64 -sweep 30s -crl revoked.crl
+//	sf-certd -addr 127.0.0.1:8360 -data-dir /var/lib/sf-certd \
+//	         -fsync always -peer http://dir-b:8360 -peer http://dir-c:8360
 //
-// The -crl file holds CRL S-expressions (one per line or
+// With -data-dir the directory is durable: accepted publishes and
+// removals are journaled to a write-ahead log before they are
+// acknowledged, and a restart replays the log. With one or more -peer
+// flags the directory replicates: publishes fan out to the peers
+// immediately and a periodic anti-entropy round pulls whatever a push
+// missed. The -crl file holds CRL S-expressions (one per line or
 // concatenated); listed certificates are evicted at every sweep.
+// docs/OPERATIONS.md covers every flag and counter in detail.
 package main
 
 import (
@@ -25,14 +33,57 @@ import (
 	"repro/internal/sexp"
 )
 
+// peerList collects repeated -peer flags.
+type peerList []string
+
+func (p *peerList) String() string { return fmt.Sprint(*p) }
+func (p *peerList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8360", "listen address")
 	shards := flag.Int("shards", certdir.DefaultShards, "store shard count")
 	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep interval (0 disables)")
 	crlFile := flag.String("crl", "", "file of CRL S-expressions to enforce")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead log (empty = memory-only)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval, or never")
+	fsyncEvery := flag.Duration("fsync-every", time.Second, "sync period under -fsync interval")
+	var peers peerList
+	flag.Var(&peers, "peer", "peer directory base URL (repeatable) to replicate with")
+	gossip := flag.Duration("gossip", certdir.DefaultGossipInterval, "anti-entropy round interval (0 disables pulls; pushes still run)")
+	pushRetries := flag.Int("push-retries", certdir.DefaultPushRetries, "push attempts per peer per mutation")
 	flag.Parse()
 
-	store := certdir.NewStore(*shards)
+	var store *certdir.Store
+	if *dataDir != "" {
+		policy, err := certdir.ParseSyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("sf-certd: %v", err)
+		}
+		st, rec, err := certdir.OpenDurable(*dataDir, *shards, policy, time.Now())
+		if err != nil {
+			log.Fatalf("sf-certd: %v", err)
+		}
+		store = st
+		log.Printf("sf-certd: replayed %d WAL records from %s (%d dropped, torn=%v, compacted=%v, %d certs live)",
+			rec.Replayed, *dataDir, rec.Dropped, rec.Torn, rec.Compacted, store.Len())
+		if policy == certdir.SyncInterval && *fsyncEvery > 0 {
+			go func() {
+				for range time.Tick(*fsyncEvery) {
+					if err := store.SyncWAL(); err != nil {
+						log.Printf("sf-certd: wal sync: %v", err)
+					}
+				}
+			}()
+		}
+		// No clean-shutdown hook on purpose: the daemon dies by signal,
+		// and the WAL is built to make that safe (replay + torn-tail
+		// truncation at next start).
+	} else {
+		store = certdir.NewStore(*shards)
+	}
 
 	revocations := cert.NewRevocationStore()
 	if *crlFile != "" {
@@ -58,8 +109,37 @@ func main() {
 		}()
 	}
 
+	svc := certdir.NewService(store)
+	if len(peers) > 0 {
+		clients := make([]*certdir.Client, len(peers))
+		for i, p := range peers {
+			clients[i] = certdir.NewClient(p)
+		}
+		rep := certdir.NewReplicator(store, clients)
+		rep.Interval = *gossip
+		if *gossip <= 0 {
+			// A zero ticker panics; an effectively-infinite interval
+			// keeps pushes running while disabling pulls, as documented.
+			rep.Interval = time.Duration(1<<62 - 1)
+		}
+		rep.Retries = *pushRetries
+		rep.Logf = log.Printf
+		rep.Start()
+		svc.Replicator = rep
+		// One eager round so a restarted or freshly added node catches
+		// up before its first ticker tick.
+		go func() {
+			if n, err := rep.Converge(); err != nil {
+				log.Printf("sf-certd: initial anti-entropy: %v", err)
+			} else if n > 0 {
+				log.Printf("sf-certd: initial anti-entropy pulled %d certs", n)
+			}
+		}()
+		log.Printf("sf-certd: replicating with %d peer(s), gossip every %s", len(peers), *gossip)
+	}
+
 	log.Printf("sf-certd: directory listening on %s (%d shards)", *addr, *shards)
-	log.Fatal(http.ListenAndServe(*addr, certdir.NewService(store)))
+	log.Fatal(http.ListenAndServe(*addr, svc))
 }
 
 // loadCRLs reads every CRL expression in the file into the store.

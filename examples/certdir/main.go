@@ -1,8 +1,12 @@
-// Certdir: end-to-end authorization across machines through the
-// certificate directory. A gateway on "host B" publishes a delegation
-// chain to a directory service; a user key on "host A" — whose prover
-// has never seen any of those delegations — discovers the chain over
-// HTTP, assembles the proof, and the gateway verifies it.
+// Certdir: end-to-end authorization across machines through
+// replicated, durable certificate directories. A gateway on "host B"
+// publishes a delegation chain to its own domain's directory A; gossip
+// replication makes the chain visible at domain B's directory; a user
+// key on "host A" — whose prover has never seen any of those
+// delegations and only knows directory B — discovers the chain over
+// HTTP, assembles the proof, and the gateway verifies it. Directory A
+// is then restarted and recovers its contents from its write-ahead
+// log, pulling anything it missed while down from its peer.
 //
 // Run: go run ./examples/certdir
 package main
@@ -12,6 +16,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/cert"
@@ -28,24 +33,40 @@ func main() {
 	valid := core.Between(now.Add(-time.Minute), now.Add(time.Hour))
 	files := tag.Prefix("gateway/files")
 
-	// 0. A directory daemon (what cmd/sf-certd runs), here in-process
-	// on a loopback port.
-	store := certdir.NewStore(0)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// 0. Two directory daemons (what cmd/sf-certd runs), one per
+	// administrative domain, here in-process on loopback ports.
+	// Directory A is durable: its write-ahead log lives in dataDir.
+	dataDir, err := os.MkdirTemp("", "certdir-demo-")
 	check(err)
-	go http.Serve(ln, certdir.NewService(store))
-	dirURL := "http://" + ln.Addr().String()
-	fmt.Printf("directory listening at %s\n\n", dirURL)
+	defer os.RemoveAll(dataDir)
 
-	// 1. Host B: the gateway's organization. Authority flows gateway
-	// -> department -> team -> user, and every delegation is published
-	// to the directory instead of being hand-carried.
+	storeA, _, err := certdir.OpenDurable(dataDir, 0, certdir.SyncAlways, now)
+	check(err)
+	storeB := certdir.NewStore(0)
+
+	urlA, stopA := serve(storeA)
+	urlB, stopB := serve(storeB)
+	defer stopB()
+
+	// Each domain's directory gossips with the other: pushes fan out
+	// on publish, and anti-entropy rounds repair anything missed.
+	repA := certdir.NewReplicator(storeA, []*certdir.Client{certdir.NewClient(urlB)})
+	repB := certdir.NewReplicator(storeB, []*certdir.Client{certdir.NewClient(urlA)})
+	repA.Start()
+	repB.Start()
+	defer repB.Stop()
+	fmt.Printf("directory A (domain alpha, durable) at %s\n", urlA)
+	fmt.Printf("directory B (domain beta)           at %s\n\n", urlB)
+
+	// 1. Domain alpha: the gateway's organization. Authority flows
+	// gateway -> department -> team -> user, and every delegation is
+	// published to the organization's OWN directory only.
 	gateway := genKey("gateway")
 	dept := genKey("department")
 	team := genKey("team")
 	user := genKey("user")
 
-	pub := certdir.NewClient(dirURL)
+	pub := certdir.NewClient(urlA)
 	for _, d := range []struct {
 		from *sfkey.PrivateKey
 		to   principal.Principal
@@ -58,14 +79,19 @@ func main() {
 		c, err := cert.Delegate(d.from, d.to, principal.KeyOf(d.from.Public()), files, valid)
 		check(err)
 		check(pub.Publish(c))
-		fmt.Printf("published: %s\n", d.desc)
+		fmt.Printf("published to A: %s\n", d.desc)
 	}
 
-	// 2. Host A: the user's prover. Its local delegation graph is
-	// empty — everything it needs lives in the directory.
+	// 2. Push replication: within one gossip exchange the chain is in
+	// directory B too, server-side — no client had to merge anything.
+	waitFor("replication A -> B", func() bool { return storeB.Len() == 3 })
+	fmt.Printf("\ndirectory B now stores %d certs (pushed by A)\n", storeB.Len())
+
+	// 3. Domain beta: the user's prover. Its local delegation graph is
+	// empty and it has never heard of directory A.
 	p := prover.New()
-	p.AddRemote(certdir.NewClient(dirURL))
-	fmt.Printf("\nprover starts with %d local edges\n", p.EdgeCount())
+	p.AddRemote(certdir.NewClient(urlB))
+	fmt.Printf("prover starts with %d local edges, knows only directory B\n", p.EdgeCount())
 
 	proof, err := p.FindProof(user.prin, gateway.prin, files, now)
 	check(err)
@@ -74,20 +100,58 @@ func main() {
 	fmt.Printf("  %d directory queries, %d certificates fetched\n",
 		st.RemoteQueries, st.RemoteCerts)
 
-	// 3. The gateway verifies the proof; the directory is pure
-	// mechanism and appears nowhere in the trust computation.
+	// 4. The gateway verifies the proof; the directories are pure
+	// mechanism and appear nowhere in the trust computation.
 	ctx := core.NewVerifyContext()
 	ctx.Now = now
 	check(core.Authorize(ctx, proof, user.prin, gateway.prin, files))
 	fmt.Println("gateway verdict: authorized")
 
-	// 4. Re-proving stays off the network: the fetched chain is now
-	// part of the local graph.
-	before := p.Stats().RemoteQueries
-	_, err = p.FindProof(user.prin, gateway.prin, files, now.Add(time.Second))
+	// 5. Crash and restart directory A. While it is down, a fourth
+	// delegation lands at B only.
+	repA.Stop()
+	stopA()
+	check(storeA.CloseWAL())
+	fmt.Println("\ndirectory A stopped (process gone, WAL on disk)")
+
+	intern := genKey("intern")
+	c, err := cert.Delegate(user.priv, intern.prin, user.prin, files, valid)
 	check(err)
-	fmt.Printf("re-prove used %d directory queries (chain is local now)\n",
-		p.Stats().RemoteQueries-before)
+	check(certdir.NewClient(urlB).Publish(c))
+	fmt.Println("published to B while A is down: user delegates files to intern")
+
+	storeA2, rec, err := certdir.OpenDurable(dataDir, 0, certdir.SyncAlways, time.Now())
+	check(err)
+	fmt.Printf("directory A restarted: %d WAL records replayed, %d certs live again\n",
+		rec.Replayed, storeA2.Len())
+
+	// 6. One anti-entropy round pulls what A missed while down.
+	repA2 := certdir.NewReplicator(storeA2, []*certdir.Client{certdir.NewClient(urlB)})
+	pulled, err := repA2.Converge()
+	check(err)
+	fmt.Printf("anti-entropy round pulled %d cert(s); A now stores %d\n", pulled, storeA2.Len())
+}
+
+// serve exposes a store on a loopback port, returning its base URL and
+// a closer.
+func serve(st *certdir.Store) (url string, stop func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	srv := &http.Server{Handler: certdir.NewService(st)}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }
+}
+
+// waitFor polls cond (push replication is asynchronous) with a
+// generous deadline.
+func waitFor(what string, cond func() bool) {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 type identity struct {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/principal"
 	"repro/internal/sexp"
+	"repro/internal/tag"
 )
 
 // Client talks the directory wire protocol. Its ByIssuer and
@@ -80,13 +82,24 @@ func (c *Client) Publish(ct *cert.Cert) error {
 	return fmt.Errorf("certdir: unexpected publish reply %s", resp)
 }
 
-// query runs one (query <by> <principal>) round trip.
-func (c *Client) query(by string, p principal.Principal) ([]*cert.Cert, error) {
-	resp, err := c.roundTrip(PathQuery,
-		sexp.List(sexp.String("query"), sexp.String(by), p.Sexp()))
+// query runs one (query <by> <principal> [clauses]) round trip.
+func (c *Client) query(by string, p principal.Principal, f QueryFilter) ([]*cert.Cert, error) {
+	req := []*sexp.Sexp{sexp.String("query"), sexp.String(by), p.Sexp()}
+	if f.Limit > 0 {
+		req = append(req, sexp.List(sexp.String("limit"), sexp.String(strconv.Itoa(f.Limit))))
+	}
+	if f.Tag.Valid() {
+		req = append(req, f.Tag.Sexp())
+	}
+	resp, err := c.roundTrip(PathQuery, sexp.List(req...))
 	if err != nil {
 		return nil, err
 	}
+	return parseCerts(resp)
+}
+
+// parseCerts decodes a (certs <proof>...) reply.
+func parseCerts(resp *sexp.Sexp) ([]*cert.Cert, error) {
 	if resp.Tag() != "certs" {
 		return nil, fmt.Errorf("certdir: unexpected query reply %s", resp)
 	}
@@ -107,12 +120,24 @@ func (c *Client) query(by string, p principal.Principal) ([]*cert.Cert, error) {
 
 // QueryByIssuer fetches the live certificates issued by p.
 func (c *Client) QueryByIssuer(p principal.Principal) ([]*cert.Cert, error) {
-	return c.query("issuer", p)
+	return c.query("issuer", p, QueryFilter{})
 }
 
 // QueryBySubject fetches the live certificates whose subject is p.
 func (c *Client) QueryBySubject(p principal.Principal) ([]*cert.Cert, error) {
-	return c.query("subject", p)
+	return c.query("subject", p, QueryFilter{})
+}
+
+// QueryByIssuerFiltered is QueryByIssuer with a server-side bound: the
+// directory applies the filter before shipping, so a heavy issuer's
+// irrelevant delegations never cross the wire.
+func (c *Client) QueryByIssuerFiltered(p principal.Principal, f QueryFilter) ([]*cert.Cert, error) {
+	return c.query("issuer", p, f)
+}
+
+// QueryBySubjectFiltered is QueryBySubject with a server-side bound.
+func (c *Client) QueryBySubjectFiltered(p principal.Principal, f QueryFilter) ([]*cert.Cert, error) {
+	return c.query("subject", p, f)
 }
 
 // Remove retracts the certificate with the given body hash, reporting
@@ -124,6 +149,72 @@ func (c *Client) Remove(hash []byte) (bool, error) {
 		return false, err
 	}
 	return resp.Tag() == "removed", nil
+}
+
+// Digests fetches the peer's per-partition gossip summaries
+// (Replicator's first anti-entropy round trip).
+func (c *Client) Digests() ([]PartitionDigest, error) {
+	resp, err := c.roundTrip(PathDigests, sexp.List(sexp.String("digests")))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag() != "digests" {
+		return nil, fmt.Errorf("certdir: unexpected digests reply %s", resp)
+	}
+	var out []PartitionDigest
+	for i := 1; i < resp.Len(); i++ {
+		row := resp.Nth(i)
+		if row.Tag() != "part" || row.Len() != 4 || !row.Nth(3).IsAtom() {
+			return nil, fmt.Errorf("certdir: bad digest row %s", row)
+		}
+		p, err1 := strconv.Atoi(row.Nth(1).Text())
+		n, err2 := strconv.Atoi(row.Nth(2).Text())
+		if err1 != nil || err2 != nil || p < 0 || p >= GossipPartitions || len(row.Nth(3).Octets) != 32 {
+			return nil, fmt.Errorf("certdir: bad digest row %s", row)
+		}
+		d := PartitionDigest{Partition: p, Count: n}
+		copy(d.XOR[:], row.Nth(3).Octets)
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// HashesIn fetches the content hashes the peer stores in one gossip
+// partition.
+func (c *Client) HashesIn(p int) ([][]byte, error) {
+	resp, err := c.roundTrip(PathHashes,
+		sexp.List(sexp.String("hashes"), sexp.String(strconv.Itoa(p))))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag() != "hashes" {
+		return nil, fmt.Errorf("certdir: unexpected hashes reply %s", resp)
+	}
+	var out [][]byte
+	for i := 1; i < resp.Len(); i++ {
+		h := resp.Nth(i)
+		if !h.IsAtom() {
+			return nil, fmt.Errorf("certdir: hash %d is not an atom", i)
+		}
+		out = append(out, append([]byte(nil), h.Octets...))
+	}
+	return out, nil
+}
+
+// Fetch pulls the certificates with the given content hashes; absent
+// or expired ones are omitted from the answer. The caller re-verifies
+// everything before trusting it (Store.Publish does when pulling).
+func (c *Client) Fetch(hashes [][]byte) ([]*cert.Cert, error) {
+	kids := make([]*sexp.Sexp, 0, len(hashes)+1)
+	kids = append(kids, sexp.String("fetch"))
+	for _, h := range hashes {
+		kids = append(kids, sexp.Atom(h))
+	}
+	resp, err := c.roundTrip(PathFetch, sexp.List(kids...))
+	if err != nil {
+		return nil, err
+	}
+	return parseCerts(resp)
 }
 
 // ByIssuer implements prover.RemoteSource.
@@ -138,6 +229,25 @@ func (c *Client) ByIssuer(p principal.Principal) ([]core.Proof, error) {
 // BySubject implements prover.RemoteSource.
 func (c *Client) BySubject(p principal.Principal) ([]core.Proof, error) {
 	certs, err := c.QueryBySubject(p)
+	if err != nil {
+		return nil, err
+	}
+	return asProofs(certs), nil
+}
+
+// ByIssuerFor implements prover.FilteredSource: the prover pushes the
+// tag it is searching for and its fetch cap down to the directory.
+func (c *Client) ByIssuerFor(p principal.Principal, want tag.Tag, limit int) ([]core.Proof, error) {
+	certs, err := c.QueryByIssuerFiltered(p, QueryFilter{Limit: limit, Tag: want})
+	if err != nil {
+		return nil, err
+	}
+	return asProofs(certs), nil
+}
+
+// BySubjectFor implements prover.FilteredSource.
+func (c *Client) BySubjectFor(p principal.Principal, want tag.Tag, limit int) ([]core.Proof, error) {
+	certs, err := c.QueryBySubjectFiltered(p, QueryFilter{Limit: limit, Tag: want})
 	if err != nil {
 		return nil, err
 	}

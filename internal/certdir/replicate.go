@@ -1,0 +1,347 @@
+package certdir
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+)
+
+// Replicator keeps a Store converged with peer directories in other
+// administrative domains, so a delegation published at one domain's
+// directory becomes discoverable at another's without every prover
+// having to merge directories client-side (the job prover.RemoteSource
+// fan-out did alone before replication existed).
+//
+// Two mechanisms cooperate:
+//
+//   - Push-on-publish. Every newly indexed certificate (and every
+//     acknowledged removal) is fanned out to all peers immediately,
+//     with bounded retry. Pushes are rumor mongering: a peer that
+//     accepts a pushed certificate pushes it onward to its own peers,
+//     and the publish dedup (added == false) terminates the flood, so
+//     a mesh converges without a routing layer.
+//   - Anti-entropy. A periodic round compares per-partition digests
+//     (count + XOR of content hashes, see Store.Digests) with each
+//     peer and pulls whatever is missing: the repair path for pushes
+//     lost to crashes, queue overflow, or partitions. Locally removed
+//     certificates are tombstoned (Store.Tombstoned) and never pulled
+//     back; when a round finds a peer still serving a tombstoned
+//     certificate, it re-pushes the removal, so retractions — whose
+//     push may have been dropped, exhausted its retries, or been
+//     refused by the peer — are repaired by anti-entropy exactly like
+//     publishes are.
+//
+// Trust: replication extends availability, not authority. Everything a
+// peer supplies goes through Store.Publish, which re-verifies the
+// signature before indexing — exactly the verify-before-digest
+// discipline prover.RemoteSource applies — so a compromised peer can
+// withhold delegations but cannot plant them.
+type Replicator struct {
+	store *Store
+	peers []*Client
+
+	// Interval is the anti-entropy period; 0 means
+	// DefaultGossipInterval. Set before Start.
+	Interval time.Duration
+	// Retries bounds push attempts per peer per mutation; 0 means
+	// DefaultPushRetries. Exhausted retries are not fatal — the next
+	// anti-entropy round repairs the gap.
+	Retries int
+	// Backoff is the wait between push retry attempts; 0 means
+	// DefaultPushBackoff.
+	Backoff time.Duration
+	// Clock supplies the replicator's notion of now; nil means
+	// time.Now.
+	Clock func() time.Time
+	// Logf, when set, receives one line per failed push and failed
+	// round (cmd/sf-certd wires log.Printf).
+	Logf func(format string, args ...any)
+
+	queue chan repJob
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	pushes       atomic.Int64
+	pushFailures atomic.Int64
+	queueDrops   atomic.Int64
+	rounds       atomic.Int64
+	pulled       atomic.Int64
+	pullRejected atomic.Int64
+	roundErrors  atomic.Int64
+}
+
+// Replication defaults.
+const (
+	// DefaultGossipInterval is the anti-entropy period. One round per
+	// few seconds makes "visible within one gossip round" a human
+	// timescale while keeping steady-state cost at a digest exchange
+	// per peer.
+	DefaultGossipInterval = 5 * time.Second
+	// DefaultPushRetries bounds push attempts per peer per mutation.
+	DefaultPushRetries = 3
+	// DefaultPushBackoff is the wait between push attempts.
+	DefaultPushBackoff = 100 * time.Millisecond
+	// pushQueueDepth bounds mutations awaiting fan-out; overflow is
+	// dropped (and counted) rather than blocking publishes —
+	// anti-entropy repairs whatever the queue sheds.
+	pushQueueDepth = 1024
+	// fetchBatch bounds hashes per gossip fetch round trip.
+	fetchBatch = 64
+)
+
+// repJob is one queued fan-out: a publish (cert != nil) or a removal.
+type repJob struct {
+	cert         *cert.Cert
+	removeHash   []byte
+	removeExpiry time.Time
+}
+
+// ReplicatorStats is a snapshot of replication counters for the stats
+// endpoint.
+type ReplicatorStats struct {
+	Peers        int
+	Pushes       int64 // successful per-peer pushes (publish + remove)
+	PushFailures int64 // pushes abandoned after all retries
+	QueueDrops   int64 // mutations shed by a full fan-out queue
+	Rounds       int64 // anti-entropy rounds completed
+	Pulled       int64 // certificates pulled and indexed by anti-entropy
+	PullRejected int64 // pulled certificates refused by verification
+	RoundErrors  int64 // per-peer round failures (unreachable peer etc.)
+}
+
+// NewReplicator wires a store to its peers. Tune the exported fields,
+// then Start.
+func NewReplicator(st *Store, peers []*Client) *Replicator {
+	return &Replicator{store: st, peers: peers}
+}
+
+func (r *Replicator) now() time.Time {
+	if r.Clock != nil {
+		return r.Clock()
+	}
+	return time.Now()
+}
+
+func (r *Replicator) interval() time.Duration {
+	if r.Interval > 0 {
+		return r.Interval
+	}
+	return DefaultGossipInterval
+}
+
+func (r *Replicator) retries() int {
+	if r.Retries > 0 {
+		return r.Retries
+	}
+	return DefaultPushRetries
+}
+
+func (r *Replicator) backoff() time.Duration {
+	if r.Backoff > 0 {
+		return r.Backoff
+	}
+	return DefaultPushBackoff
+}
+
+func (r *Replicator) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Start registers the store hooks and launches the push worker and the
+// anti-entropy loop. Call Stop to halt both.
+func (r *Replicator) Start() {
+	r.queue = make(chan repJob, pushQueueDepth)
+	r.stop = make(chan struct{})
+	r.store.SetHooks(
+		func(c *cert.Cert) { r.enqueue(repJob{cert: c}) },
+		func(hash []byte, expiry time.Time) {
+			r.enqueue(repJob{removeHash: hash, removeExpiry: expiry})
+		},
+	)
+	r.wg.Add(2)
+	go r.pushLoop()
+	go r.gossipLoop()
+}
+
+// Stop detaches the hooks and halts the loops, draining nothing: any
+// queued push is abandoned to the next anti-entropy round of a
+// restarted replicator.
+func (r *Replicator) Stop() {
+	r.store.SetHooks(nil, nil)
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// enqueue hands a mutation to the push worker without ever blocking
+// the publishing goroutine.
+func (r *Replicator) enqueue(j repJob) {
+	select {
+	case r.queue <- j:
+	default:
+		r.queueDrops.Add(1)
+	}
+}
+
+// pushLoop fans queued mutations out to every peer with bounded retry.
+func (r *Replicator) pushLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case j := <-r.queue:
+			for _, peer := range r.peers {
+				r.pushOne(peer, j)
+			}
+		}
+	}
+}
+
+// pushOne delivers one mutation to one peer, retrying transport
+// failures up to the retry bound with backoff between attempts.
+func (r *Replicator) pushOne(peer *Client, j repJob) {
+	var err error
+	for attempt := 0; attempt < r.retries(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-r.stop:
+				return
+			case <-time.After(r.backoff()):
+			}
+		}
+		if j.cert != nil {
+			err = peer.Publish(j.cert)
+		} else {
+			_, err = peer.Remove(j.removeHash)
+		}
+		if err == nil {
+			r.pushes.Add(1)
+			return
+		}
+	}
+	r.pushFailures.Add(1)
+	r.logf("certdir: push to %s failed after %d attempts: %v", peer.BaseURL, r.retries(), err)
+}
+
+// gossipLoop runs anti-entropy rounds until stopped.
+func (r *Replicator) gossipLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.Converge()
+		}
+	}
+}
+
+// Converge runs one full anti-entropy round against every peer right
+// now, returning how many certificates it pulled and the joined
+// per-peer errors (a partially failed round still pulls from the
+// reachable peers). The gossip loop calls it on the interval; tests
+// and sf-certd's startup call it directly.
+func (r *Replicator) Converge() (pulled int, err error) {
+	var errs []error
+	for _, peer := range r.peers {
+		n, perr := r.pullFrom(peer)
+		pulled += n
+		if perr != nil {
+			r.roundErrors.Add(1)
+			r.logf("certdir: anti-entropy with %s: %v", peer.BaseURL, perr)
+			errs = append(errs, fmt.Errorf("%s: %w", peer.BaseURL, perr))
+		}
+	}
+	r.rounds.Add(1)
+	return pulled, errors.Join(errs...)
+}
+
+// pullFrom compares digests with one peer and pulls whatever this
+// store is missing: digest exchange, hash-list diff for disagreeing
+// partitions, batched fetch, verify-before-index via Publish.
+func (r *Replicator) pullFrom(peer *Client) (pulled int, err error) {
+	theirs, err := peer.Digests()
+	if err != nil {
+		return 0, err
+	}
+	mine := make(map[int]PartitionDigest, GossipPartitions)
+	for _, d := range r.store.Digests() {
+		mine[d.Partition] = d
+	}
+	for _, d := range theirs {
+		if m, ok := mine[d.Partition]; ok && m.Count == d.Count && m.XOR == d.XOR {
+			continue
+		}
+		hashes, err := peer.HashesIn(d.Partition)
+		if err != nil {
+			return pulled, err
+		}
+		var missing [][]byte
+		for _, h := range hashes {
+			if r.store.Tombstoned(h) {
+				// The peer still serves a delegation retracted here:
+				// repair the removal now rather than waiting for a push
+				// that already failed or was shed.
+				if _, err := peer.Remove(h); err != nil {
+					r.pushFailures.Add(1)
+					r.logf("certdir: anti-entropy removal to %s: %v", peer.BaseURL, err)
+				} else {
+					r.pushes.Add(1)
+				}
+				continue
+			}
+			if r.store.HasHash(h) {
+				continue
+			}
+			missing = append(missing, h)
+		}
+		for len(missing) > 0 {
+			batch := missing
+			if len(batch) > fetchBatch {
+				batch = batch[:fetchBatch]
+			}
+			missing = missing[len(batch):]
+			certs, err := peer.Fetch(batch)
+			if err != nil {
+				return pulled, err
+			}
+			now := r.now()
+			for _, c := range certs {
+				// PublishPulled, not Publish: a removal that raced this
+				// pull leaves a tombstone the pull must yield to, never
+				// clear.
+				added, err := r.store.PublishPulled(c, now)
+				switch {
+				case err != nil:
+					r.pullRejected.Add(1)
+				case added:
+					r.pulled.Add(1)
+					pulled++
+				}
+			}
+		}
+	}
+	return pulled, nil
+}
+
+// Stats returns a snapshot of the replication counters.
+func (r *Replicator) Stats() ReplicatorStats {
+	return ReplicatorStats{
+		Peers:        len(r.peers),
+		Pushes:       r.pushes.Load(),
+		PushFailures: r.pushFailures.Load(),
+		QueueDrops:   r.queueDrops.Load(),
+		Rounds:       r.rounds.Load(),
+		Pulled:       r.pulled.Load(),
+		PullRejected: r.pullRejected.Load(),
+		RoundErrors:  r.roundErrors.Load(),
+	}
+}

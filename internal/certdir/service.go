@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/principal"
 	"repro/internal/sexp"
+	"repro/internal/tag"
 )
 
 // Wire protocol. Every request body and response body is a single
@@ -19,24 +20,50 @@ import (
 // language as the rest of the system (section 2.4).
 //
 //	POST /certdir/publish   (proof signed-certificate ...)      -> (published) | (duplicate)
-//	POST /certdir/query     (query issuer|subject <principal>)  -> (certs <proof>...)
+//	POST /certdir/query     (query issuer|subject <principal>
+//	                               [(limit <n>)] [(tag <texpr>)]) -> (certs <proof>...)
 //	POST /certdir/remove    (remove <hash octets>)              -> (removed) | (absent)
 //	GET  /certdir/stats                                         -> (stats (published N) ...)
+//
+// The optional query clauses bound the answer server-side: (limit n)
+// caps the number of certificates returned, (tag t) keeps only
+// delegations whose tag covers t (the prover's edge-usability test),
+// so heavy issuers don't ship irrelevant delegations. Requests
+// without the clauses behave exactly as before the clauses existed.
+//
+// Anti-entropy replication (see Replicator) adds three peer-facing
+// endpoints:
+//
+//	POST /certdir/gossip/digests  (digests)            -> (digests (part <p> <count> <xor32>)...)
+//	POST /certdir/gossip/hashes   (hashes <partition>) -> (hashes <hash>...)
+//	POST /certdir/gossip/fetch    (fetch <hash>...)    -> (certs <proof>...)
+//
+// None of the gossip endpoints is trusted any more than publish is:
+// fetched certificates are re-verified by the puller before indexing,
+// and serving digests or hashes reveals only content hashes of
+// certificates the directory would hand out anyway.
 const (
 	PathPublish = "/certdir/publish"
 	PathQuery   = "/certdir/query"
 	PathRemove  = "/certdir/remove"
 	PathStats   = "/certdir/stats"
+	PathDigests = "/certdir/gossip/digests"
+	PathHashes  = "/certdir/gossip/hashes"
+	PathFetch   = "/certdir/gossip/fetch"
 )
 
 // maxBody bounds request bodies; a delegation certificate is a few
-// hundred bytes, so 1 MiB leaves generous headroom without letting a
+// hundred bytes and a gossip fetch asks for at most a few thousand
+// 32-byte hashes, so 1 MiB leaves generous headroom without letting a
 // client balloon the server.
 const maxBody = 1 << 20
 
 // Service serves a Store over HTTP.
 type Service struct {
 	Store *Store
+	// Replicator, when set, contributes its counters to the stats
+	// endpoint. The service never drives it — cmd/sf-certd does.
+	Replicator *Replicator
 	// Clock supplies the service's notion of now; nil means time.Now.
 	Clock func() time.Time
 }
@@ -60,6 +87,12 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.post(w, r, s.handleQuery)
 	case PathRemove:
 		s.post(w, r, s.handleRemove)
+	case PathDigests:
+		s.post(w, r, s.handleDigests)
+	case PathHashes:
+		s.post(w, r, s.handleHashes)
+	case PathFetch:
+		s.post(w, r, s.handleFetch)
 	case PathStats:
 		s.reply(w, s.statsSexp())
 	default:
@@ -117,28 +150,65 @@ func (s *Service) handlePublish(e *sexp.Sexp) (*sexp.Sexp, error) {
 }
 
 func (s *Service) handleQuery(e *sexp.Sexp) (*sexp.Sexp, error) {
-	if e.Tag() != "query" || e.Len() != 3 || !e.Nth(1).IsAtom() {
-		return nil, fmt.Errorf("certdir: query wants (query issuer|subject <principal>)")
+	if e.Tag() != "query" || e.Len() < 3 || !e.Nth(1).IsAtom() {
+		return nil, fmt.Errorf("certdir: query wants (query issuer|subject <principal> [(limit n)] [(tag t)])")
 	}
 	p, err := principal.FromSexp(e.Nth(2))
 	if err != nil {
 		return nil, fmt.Errorf("certdir: query principal: %w", err)
 	}
+	f, err := queryFilter(e)
+	if err != nil {
+		return nil, err
+	}
 	var certs []*cert.Cert
 	switch by := e.Nth(1).Text(); by {
 	case "issuer":
-		certs = s.Store.ByIssuer(p, s.now())
+		certs = s.Store.ByIssuerFiltered(p, s.now(), f)
 	case "subject":
-		certs = s.Store.BySubject(p, s.now())
+		certs = s.Store.BySubjectFiltered(p, s.now(), f)
 	default:
 		return nil, fmt.Errorf("certdir: unknown query axis %q", by)
 	}
+	return certsSexp(certs), nil
+}
+
+// queryFilter decodes the optional (limit n) and (tag t) clauses after
+// the principal; an absent clause leaves the zero (unbounded) filter.
+func queryFilter(e *sexp.Sexp) (QueryFilter, error) {
+	var f QueryFilter
+	for i := 3; i < e.Len(); i++ {
+		c := e.Nth(i)
+		switch c.Tag() {
+		case "limit":
+			if c.Len() != 2 || !c.Nth(1).IsAtom() {
+				return f, fmt.Errorf("certdir: query limit wants (limit <n>)")
+			}
+			n, err := strconv.Atoi(c.Nth(1).Text())
+			if err != nil || n < 0 {
+				return f, fmt.Errorf("certdir: bad query limit %q", c.Nth(1).Text())
+			}
+			f.Limit = n
+		case "tag":
+			t, err := tag.FromSexp(c)
+			if err != nil {
+				return f, fmt.Errorf("certdir: query tag: %w", err)
+			}
+			f.Tag = t
+		default:
+			return f, fmt.Errorf("certdir: unknown query clause %q", c.Tag())
+		}
+	}
+	return f, nil
+}
+
+func certsSexp(certs []*cert.Cert) *sexp.Sexp {
 	kids := make([]*sexp.Sexp, 0, len(certs)+1)
 	kids = append(kids, sexp.String("certs"))
 	for _, c := range certs {
 		kids = append(kids, c.Sexp())
 	}
-	return sexp.List(kids...), nil
+	return sexp.List(kids...)
 }
 
 func (s *Service) handleRemove(e *sexp.Sexp) (*sexp.Sexp, error) {
@@ -151,12 +221,65 @@ func (s *Service) handleRemove(e *sexp.Sexp) (*sexp.Sexp, error) {
 	return sexp.List(sexp.String("absent")), nil
 }
 
+// handleDigests answers (digests) with the per-partition summaries of
+// the stored set; the requesting peer pulls hash lists only for
+// partitions whose digests disagree with its own.
+func (s *Service) handleDigests(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if e.Tag() != "digests" || e.Len() != 1 {
+		return nil, fmt.Errorf("certdir: digests wants (digests)")
+	}
+	kids := []*sexp.Sexp{sexp.String("digests")}
+	for _, d := range s.Store.Digests() {
+		kids = append(kids, sexp.List(
+			sexp.String("part"),
+			sexp.String(strconv.Itoa(d.Partition)),
+			sexp.String(strconv.Itoa(d.Count)),
+			sexp.Atom(d.XOR[:]),
+		))
+	}
+	return sexp.List(kids...), nil
+}
+
+// handleHashes answers (hashes <partition>) with the content hashes
+// stored in that gossip partition.
+func (s *Service) handleHashes(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if e.Tag() != "hashes" || e.Len() != 2 || !e.Nth(1).IsAtom() {
+		return nil, fmt.Errorf("certdir: hashes wants (hashes <partition>)")
+	}
+	p, err := strconv.Atoi(e.Nth(1).Text())
+	if err != nil || p < 0 || p >= GossipPartitions {
+		return nil, fmt.Errorf("certdir: bad partition %q", e.Nth(1).Text())
+	}
+	kids := []*sexp.Sexp{sexp.String("hashes")}
+	for _, h := range s.Store.HashesIn(p) {
+		kids = append(kids, sexp.Atom(h))
+	}
+	return sexp.List(kids...), nil
+}
+
+// handleFetch answers (fetch <hash>...) with the live certificates
+// matching the hashes; absent or expired ones are silently omitted.
+func (s *Service) handleFetch(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if e.Tag() != "fetch" || e.Len() < 2 {
+		return nil, fmt.Errorf("certdir: fetch wants (fetch <hash>...)")
+	}
+	hashes := make([][]byte, 0, e.Len()-1)
+	for i := 1; i < e.Len(); i++ {
+		h := e.Nth(i)
+		if !h.IsAtom() {
+			return nil, fmt.Errorf("certdir: fetch hash %d is not an atom", i)
+		}
+		hashes = append(hashes, h.Octets)
+	}
+	return certsSexp(s.Store.ByHashes(hashes, s.now())), nil
+}
+
 func (s *Service) statsSexp() *sexp.Sexp {
 	st := s.Store.Stats()
 	row := func(name string, v int64) *sexp.Sexp {
 		return sexp.List(sexp.String(name), sexp.String(strconv.FormatInt(v, 10)))
 	}
-	return sexp.List(
+	kids := []*sexp.Sexp{
 		sexp.String("stats"),
 		row("stored", int64(s.Store.Len())),
 		row("published", st.Published),
@@ -166,5 +289,29 @@ func (s *Service) statsSexp() *sexp.Sexp {
 		row("removed", st.Removed),
 		row("swept", st.Swept),
 		row("evicted", st.Evicted),
-	)
+		row("tombstones", st.Tombstones),
+		row("wal-errors", st.WALErrors),
+	}
+	if ws, ok := s.Store.WALStats(); ok {
+		kids = append(kids,
+			row("wal-size-bytes", ws.SizeBytes),
+			row("wal-appends", ws.Appends),
+			row("wal-syncs", ws.Syncs),
+			row("wal-compactions", ws.Compactions),
+		)
+	}
+	if s.Replicator != nil {
+		rs := s.Replicator.Stats()
+		kids = append(kids,
+			row("peers", int64(rs.Peers)),
+			row("pushes", rs.Pushes),
+			row("push-failures", rs.PushFailures),
+			row("push-queue-drops", rs.QueueDrops),
+			row("gossip-rounds", rs.Rounds),
+			row("gossip-pulled", rs.Pulled),
+			row("gossip-rejected", rs.PullRejected),
+			row("gossip-round-errors", rs.RoundErrors),
+		)
+	}
+	return sexp.List(kids...)
 }

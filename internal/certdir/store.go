@@ -12,10 +12,37 @@
 // capabilities), so the directory itself need not be trusted for
 // integrity — only for availability.
 //
-// The store is sharded by issuer principal so heavy publish/query
+// # Store
+//
+// The Store is sharded by issuer principal so heavy publish/query
 // traffic spreads across independent locks, with a secondary
 // subject-side index for reverse discovery, expiry sweeping, and
-// revocation-aware eviction driven by cert.RevocationStore.
+// revocation-aware eviction driven by cert.RevocationStore. Every
+// certificate is signature-verified before it is indexed; a directory
+// fed hostile publishes can at worst refuse service, never grant
+// authority.
+//
+// # Durability
+//
+// A Store opened with OpenDurable is backed by a write-ahead log
+// (WAL): every accepted publish and removal is journaled — under a
+// configurable fsync policy — before it is acknowledged, and a
+// restart replays the log, so the delegation graph survives process
+// lifetimes. Sweeps and revocation evictions compact the log back to
+// the live contents. See wal.go for the record format and crash
+// semantics.
+//
+// # Replication
+//
+// A Replicator connects a Store to peer directories in other
+// administrative domains and keeps them converged two ways: accepted
+// publishes and removals fan out to peers immediately (push, with
+// bounded retry), and a periodic anti-entropy round exchanges
+// per-partition digests to pull anything a push missed. Removed
+// certificates leave tombstones so gossip cannot resurrect a
+// retracted delegation. Everything pulled from a peer is re-verified
+// before it is indexed: replication, like publish, extends
+// availability without extending trust.
 package certdir
 
 import (
@@ -28,12 +55,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/principal"
 	"repro/internal/shard"
+	"repro/internal/tag"
 )
 
 // DefaultShards is the shard count used when NewStore is given n <= 0.
 // 32 keeps per-shard contention negligible at ~100k certs while the
 // per-shard fixed cost stays trivial.
 const DefaultShards = 32
+
+// GossipPartitions is the fixed partition count of the anti-entropy
+// digest space. Certificates are assigned to partitions by content
+// hash, independently of any node's local shard count, so two
+// directories configured with different -shards values still compute
+// comparable digests.
+const GossipPartitions = 64
 
 // entry is one stored certificate with its precomputed index keys.
 type entry struct {
@@ -64,11 +99,33 @@ type Stats struct {
 	Removed    int64 // explicit removals
 	Swept      int64 // entries dropped by expiry sweeps
 	Evicted    int64 // entries dropped as revoked
+	WALErrors  int64 // mutations refused because the WAL could not append
+	Tombstones int64 // live removal tombstones held back from gossip
+}
+
+// hookSet bundles the replication callbacks; it is swapped atomically
+// so hot-path reads need no lock.
+type hookSet struct {
+	onAdd    func(*cert.Cert)
+	onRemove func(hash []byte, expiry time.Time)
 }
 
 // Store is the sharded, concurrency-safe certificate directory.
 type Store struct {
 	shards []*dirShard
+
+	// wal, when non-nil, journals every accepted mutation before it is
+	// acknowledged. Attached by OpenDurable; nil for memory-only use.
+	wal *WAL
+
+	// tombstones remembers removed (or revocation-evicted) certificate
+	// hashes with the expiry of the certificate they retract, so
+	// anti-entropy pulls do not resurrect them. Cleared by an explicit
+	// re-publish, expired by Sweep.
+	tmu        sync.Mutex
+	tombstones map[string]time.Time
+
+	hooks atomic.Pointer[hookSet]
 
 	published  atomic.Int64
 	duplicates atomic.Int64
@@ -77,15 +134,16 @@ type Store struct {
 	removed    atomic.Int64
 	swept      atomic.Int64
 	evicted    atomic.Int64
+	walErrors  atomic.Int64
 }
 
-// NewStore returns an empty directory with n shards (DefaultShards
-// when n <= 0).
+// NewStore returns an empty memory-only directory with n shards
+// (DefaultShards when n <= 0). Use OpenDurable for a WAL-backed one.
 func NewStore(n int) *Store {
 	if n <= 0 {
 		n = DefaultShards
 	}
-	s := &Store{shards: make([]*dirShard, n)}
+	s := &Store{shards: make([]*dirShard, n), tombstones: make(map[string]time.Time)}
 	for i := range s.shards {
 		s.shards[i] = &dirShard{
 			byIssuer:  make(map[string][]*entry),
@@ -99,6 +157,29 @@ func NewStore(n int) *Store {
 // shardFor picks the shard for an issuer key.
 func (s *Store) shardFor(issuerKey string) *dirShard {
 	return s.shards[shard.Index(issuerKey, len(s.shards))]
+}
+
+// attachWAL makes subsequent mutations journal to w. Call before the
+// store takes traffic; OpenDurable does.
+func (s *Store) attachWAL(w *WAL) { s.wal = w }
+
+// WALStats returns the attached log's counters, or (zero, false) for a
+// memory-only store.
+func (s *Store) WALStats() (WALStats, bool) {
+	if s.wal == nil {
+		return WALStats{}, false
+	}
+	return s.wal.Stats(), true
+}
+
+// SetHooks registers replication callbacks: onAdd fires after every
+// newly indexed certificate (client publish, peer push, or gossip
+// pull alike), onRemove after every acknowledged removal. Callbacks
+// run synchronously on the mutating goroutine with no store lock held,
+// so they must be fast and non-blocking (the Replicator's only
+// enqueue). Either may be nil.
+func (s *Store) SetHooks(onAdd func(*cert.Cert), onRemove func(hash []byte, expiry time.Time)) {
+	s.hooks.Store(&hookSet{onAdd: onAdd, onRemove: onRemove})
 }
 
 // publishCtx verifies certificates on the way in. The directory
@@ -118,8 +199,29 @@ func publishCtx(now time.Time) *core.VerifyContext {
 // Publish verifies and stores a certificate, reporting whether it was
 // newly stored. Certificates with bad signatures or already-expired
 // validity are refused; duplicates (same signed body and signature)
-// are accepted idempotently with added == false.
+// are accepted idempotently with added == false. On a durable store
+// the publish is journaled before it is acknowledged, so added == true
+// implies the certificate survives a restart (under the WAL's fsync
+// policy). A successful publish clears any removal tombstone for the
+// same certificate: an explicit re-publish outranks a past retraction.
+// Anti-entropy pulls must use PublishPulled instead, which yields to
+// tombstones rather than clearing them.
 func (s *Store) Publish(c *cert.Cert, now time.Time) (added bool, err error) {
+	return s.publish(c, now, false)
+}
+
+// PublishPulled is Publish for certificates arriving via anti-entropy
+// gossip: identical verification and journaling, but a live removal
+// tombstone wins — the pull is refused (added == false, no error)
+// instead of resurrecting a delegation retracted here. The tombstone
+// check happens under the same shard lock Remove adds tombstones
+// under, so a pull racing a removal converges to removed in either
+// interleaving.
+func (s *Store) PublishPulled(c *cert.Cert, now time.Time) (added bool, err error) {
+	return s.publish(c, now, true)
+}
+
+func (s *Store) publish(c *cert.Cert, now time.Time, yieldToTombstone bool) (added bool, err error) {
 	if c == nil {
 		s.rejected.Add(1)
 		return false, fmt.Errorf("certdir: nil certificate")
@@ -141,73 +243,205 @@ func (s *Store) Publish(c *cert.Cert, now time.Time) (added bool, err error) {
 	}
 	sh := s.shardFor(e.issuerK)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, dup := sh.byHash[e.hashKey]; dup {
+		sh.mu.Unlock()
 		s.duplicates.Add(1)
 		return false, nil
+	}
+	if yieldToTombstone && s.Tombstoned([]byte(e.hashKey)) {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	if s.wal != nil {
+		// Journal before indexing: an acknowledged publish must be on
+		// disk. The shard stays locked so the log's record order cannot
+		// contradict the index for this certificate.
+		if err := s.wal.AppendPublish(c); err != nil {
+			sh.mu.Unlock()
+			s.walErrors.Add(1)
+			return false, err
+		}
 	}
 	sh.byHash[e.hashKey] = e
 	sh.byIssuer[e.issuerK] = append(sh.byIssuer[e.issuerK], e)
 	sh.bySubject[e.subjectK] = append(sh.bySubject[e.subjectK], e)
+	// The tombstone clear happens under the shard lock, like Remove's
+	// tombstone add, so index and tombstone state cannot disagree for
+	// a concurrent observer holding the same shard.
+	s.tmu.Lock()
+	delete(s.tombstones, e.hashKey)
+	s.tmu.Unlock()
+	sh.mu.Unlock()
 	s.published.Add(1)
+	if h := s.hooks.Load(); h != nil && h.onAdd != nil {
+		h.onAdd(c)
+	}
 	return true, nil
 }
 
+// QueryFilter narrows and bounds a directory answer. The zero value
+// means "everything, unbounded" — the pre-filter wire behavior.
+type QueryFilter struct {
+	// Limit caps the number of certificates returned; 0 means
+	// unbounded. Truncation keeps index (insertion) order, so repeated
+	// queries see a stable prefix.
+	Limit int
+	// Tag, when valid (tag.Tag.Valid), keeps only certificates whose
+	// delegation tag covers it — exactly the edge-usability test the
+	// prover applies (tag.Covers(certTag, want)), so a filtered answer
+	// omits nothing a proof search for that tag could use.
+	Tag tag.Tag
+}
+
 // ByIssuer returns every stored certificate whose issuer is p and
-// whose validity contains now. Only one shard is consulted.
+// whose validity contains now. Only one shard is consulted. Unbounded;
+// use ByIssuerFiltered to cap or tag-filter the answer.
 func (s *Store) ByIssuer(p principal.Principal, now time.Time) []*cert.Cert {
+	return s.ByIssuerFiltered(p, now, QueryFilter{})
+}
+
+// ByIssuerFiltered is ByIssuer narrowed by f.
+func (s *Store) ByIssuerFiltered(p principal.Principal, now time.Time, f QueryFilter) []*cert.Cert {
 	s.queries.Add(1)
 	k := p.Key()
 	sh := s.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return liveCerts(sh.byIssuer[k], now)
+	return appendLive(nil, sh.byIssuer[k], now, f)
 }
 
 // BySubject returns every stored certificate whose subject is p and
 // whose validity contains now. Sharding is issuer-keyed, so the
 // subject index fans across all shards.
 func (s *Store) BySubject(p principal.Principal, now time.Time) []*cert.Cert {
+	return s.BySubjectFiltered(p, now, QueryFilter{})
+}
+
+// BySubjectFiltered is BySubject narrowed by f.
+func (s *Store) BySubjectFiltered(p principal.Principal, now time.Time, f QueryFilter) []*cert.Cert {
 	s.queries.Add(1)
 	k := p.Key()
 	var out []*cert.Cert
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		out = append(out, liveCerts(sh.bySubject[k], now)...)
+		out = appendLive(out, sh.bySubject[k], now, f)
 		sh.mu.RUnlock()
-	}
-	return out
-}
-
-// liveCerts filters an index bucket by validity at now.
-func liveCerts(es []*entry, now time.Time) []*cert.Cert {
-	var out []*cert.Cert
-	for _, e := range es {
-		if e.cert.Body.Validity.Contains(now) {
-			out = append(out, e.cert)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
 		}
 	}
 	return out
 }
 
+// appendLive appends the entries passing validity-at-now and the
+// filter onto dst, honoring the filter's limit across calls.
+func appendLive(dst []*cert.Cert, es []*entry, now time.Time, f QueryFilter) []*cert.Cert {
+	for _, e := range es {
+		if f.Limit > 0 && len(dst) >= f.Limit {
+			return dst
+		}
+		if !e.cert.Body.Validity.Contains(now) {
+			continue
+		}
+		if f.Tag.Valid() && !tag.Covers(e.cert.Body.Tag, f.Tag) {
+			continue
+		}
+		dst = append(dst, e.cert)
+	}
+	return dst
+}
+
 // Remove deletes the certificate with the given body hash (cert.Hash)
 // and reports whether it was present. Publishers use it to retract a
-// delegation before its expiry.
+// delegation before its expiry. An acknowledged removal is durable (on
+// a WAL-backed store) and leaves a tombstone that keeps anti-entropy
+// gossip from pulling the certificate back from a lagging peer; if the
+// WAL cannot journal the removal, the certificate is kept and Remove
+// reports false rather than acknowledging a retraction that would
+// silently reappear after a restart.
 func (s *Store) Remove(hash []byte) bool {
 	key := string(hash)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		e, ok := sh.byHash[key]
-		if ok {
-			sh.dropLocked(e)
-			s.removed.Add(1)
+		if !ok {
+			sh.mu.Unlock()
+			continue
 		}
+		if s.wal != nil {
+			if err := s.wal.AppendRemove(hash, e.expiry); err != nil {
+				sh.mu.Unlock()
+				s.walErrors.Add(1)
+				return false
+			}
+		}
+		sh.dropLocked(e)
+		// Tombstone before releasing the shard lock: a concurrent
+		// anti-entropy pull of this certificate serializes on the same
+		// shard and must find either the entry or the tombstone, never
+		// neither (which would let it resurrect the removal).
+		s.addTombstone(key, e.expiry)
 		sh.mu.Unlock()
-		if ok {
-			return true
+		s.removed.Add(1)
+		if h := s.hooks.Load(); h != nil && h.onRemove != nil {
+			h.onRemove(hash, e.expiry)
 		}
+		return true
 	}
 	return false
+}
+
+// replayRemove re-applies a WAL removal record: drop the certificate
+// if a preceding replayed publish indexed it, and restore the
+// tombstone unless the certificate has expired anyway. No journaling,
+// no hooks — replay reconstructs state, it does not create history.
+func (s *Store) replayRemove(hash []byte, expiry, now time.Time) {
+	key := string(hash)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if e, ok := sh.byHash[key]; ok {
+			sh.dropLocked(e)
+			if expiry.IsZero() {
+				expiry = e.expiry
+			}
+			sh.mu.Unlock()
+			break
+		}
+		sh.mu.Unlock()
+	}
+	if expiry.IsZero() || now.Before(expiry) {
+		s.addTombstone(key, expiry)
+	}
+}
+
+// addTombstone records a retraction until the certificate's expiry
+// (forever for unbounded certificates).
+func (s *Store) addTombstone(key string, expiry time.Time) {
+	s.tmu.Lock()
+	s.tombstones[key] = expiry
+	s.tmu.Unlock()
+}
+
+// Tombstoned reports whether the certificate hash was removed here and
+// its retraction is still live. The Replicator consults it before
+// pulling: a lagging peer must not resurrect a local removal. An
+// explicit Publish of the same certificate clears the tombstone.
+func (s *Store) Tombstoned(hash []byte) bool {
+	s.tmu.Lock()
+	_, ok := s.tombstones[string(hash)]
+	s.tmu.Unlock()
+	return ok
+}
+
+// tombstoneSnapshot copies the live tombstones for WAL compaction.
+func (s *Store) tombstoneSnapshot() map[string]time.Time {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	out := make(map[string]time.Time, len(s.tombstones))
+	for k, v := range s.tombstones {
+		out[k] = v
+	}
+	return out
 }
 
 // dropLocked unlinks an entry from all three indexes. Caller holds the
@@ -233,9 +467,11 @@ func dropEntry(es []*entry, e *entry) []*entry {
 	return es
 }
 
-// Sweep drops every certificate expired at now and returns the count.
-// Run it periodically (cmd/sf-certd does) so the indexes don't
-// accumulate dead delegations.
+// Sweep drops every certificate expired at now (and every tombstone
+// whose certificate has expired), returns the count of dropped
+// certificates, and compacts the WAL when anything was dropped. Run it
+// periodically (cmd/sf-certd does) so the indexes don't accumulate
+// dead delegations.
 func (s *Store) Sweep(now time.Time) int {
 	n := 0
 	for _, sh := range s.shards {
@@ -253,13 +489,27 @@ func (s *Store) Sweep(now time.Time) int {
 		sh.mu.Unlock()
 	}
 	s.swept.Add(int64(n))
+	tombs := 0
+	s.tmu.Lock()
+	for k, expiry := range s.tombstones {
+		if !expiry.IsZero() && now.After(expiry) {
+			delete(s.tombstones, k)
+			tombs++
+		}
+	}
+	s.tmu.Unlock()
+	if n+tombs > 0 {
+		s.compactAfterDrop()
+	}
 	return n
 }
 
 // EvictRevoked drops every certificate the predicate reports revoked
-// (keyed by cert.Hash) and returns the count. Pair it with
-// cert.RevocationStore.RevokedAt to keep the directory from serving
-// delegations a CRL has voided.
+// (keyed by cert.Hash), returns the count, and compacts the WAL when
+// anything was dropped. Pair it with cert.RevocationStore.RevokedAt to
+// keep the directory from serving delegations a CRL has voided.
+// Evicted certificates are tombstoned like removals: a peer that has
+// not seen the CRL must not gossip the revoked delegation back in.
 func (s *Store) EvictRevoked(revoked func(certHash []byte) bool) int {
 	if revoked == nil {
 		return 0
@@ -275,12 +525,176 @@ func (s *Store) EvictRevoked(revoked func(certHash []byte) bool) int {
 		}
 		for _, e := range dead {
 			sh.dropLocked(e)
+			// Under the shard lock, like Remove: a concurrent pull must
+			// see the entry or its tombstone, never neither.
+			s.addTombstone(e.hashKey, e.expiry)
 		}
-		n += len(dead)
 		sh.mu.Unlock()
+		n += len(dead)
 	}
 	s.evicted.Add(int64(n))
+	if n > 0 {
+		s.compactAfterDrop()
+	}
 	return n
+}
+
+// compactAfterDrop rewrites the WAL after entries were dropped; errors
+// are tolerated (the log is merely larger than necessary and still
+// replays to the correct state, because replay itself drops expired
+// certificates and Publish dedups).
+func (s *Store) compactAfterDrop() {
+	if s.wal == nil {
+		return
+	}
+	if err := s.CompactWAL(); err != nil {
+		s.walErrors.Add(1)
+	}
+}
+
+// CompactWAL rewrites the attached log as exactly the live
+// certificates plus live tombstones. No-op on a memory-only store.
+//
+// Every shard's read lock is held across the whole rewrite — not just
+// the snapshot — because mutations journal under their shard's write
+// lock: were a shard released before the rename, a publish could
+// append to the old log file after the snapshot missed it, and the
+// rename would discard an acknowledged durable record. Queries
+// (read locks) proceed throughout; publishes and removals stall for
+// the rewrite (~100ms per 10k certificates, and compaction only runs
+// when sweeps or evictions dropped something).
+func (s *Store) CompactWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+	}
+	var certs []*cert.Cert
+	for _, sh := range s.shards {
+		for _, e := range sh.byHash {
+			certs = append(certs, e.cert)
+		}
+	}
+	return s.wal.Compact(certs, s.tombstoneSnapshot())
+}
+
+// CloseWAL syncs and closes the attached log (no-op when memory-only).
+// The store itself remains queryable; further mutations fail.
+func (s *Store) CloseWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// SyncWAL forces journaled records to disk; cmd/sf-certd calls it on a
+// timer under the "interval" fsync policy.
+func (s *Store) SyncWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// HasHash reports whether the certificate with the given body hash is
+// currently stored.
+func (s *Store) HasHash(hash []byte) bool {
+	key := string(hash)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		_, ok := sh.byHash[key]
+		sh.mu.RUnlock()
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ByHashes returns the stored certificates matching the given hashes
+// whose validity contains now; absent hashes are silently skipped. The
+// gossip fetch endpoint serves from it.
+func (s *Store) ByHashes(hashes [][]byte, now time.Time) []*cert.Cert {
+	want := make(map[string]bool, len(hashes))
+	for _, h := range hashes {
+		want[string(h)] = true
+	}
+	var out []*cert.Cert
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range want {
+			if e, ok := sh.byHash[k]; ok && e.cert.Body.Validity.Contains(now) {
+				out = append(out, e.cert)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// PartitionDigest summarizes one gossip partition: how many
+// certificates it holds here and the XOR of their 32-byte content
+// hashes. Two directories hold the same partition contents exactly
+// when count and XOR both match (an adversary cannot steer SHA-256
+// outputs, so it cannot craft a colliding XOR), which is all
+// anti-entropy needs: equality is cheap, and inequality triggers a
+// hash-list pull.
+type PartitionDigest struct {
+	Partition int
+	Count     int
+	XOR       [32]byte
+}
+
+// partitionOf assigns a certificate (by content-hash key) to its
+// gossip partition.
+func partitionOf(hashKey string) int {
+	return shard.Index(hashKey, GossipPartitions)
+}
+
+// Digests summarizes every non-empty gossip partition of the stored
+// set. Expired-but-unswept certificates are included — digests
+// describe what is stored, and Publish on the pulling side rejects
+// anything already expired.
+func (s *Store) Digests() []PartitionDigest {
+	var counts [GossipPartitions]int
+	var xors [GossipPartitions][32]byte
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.byHash {
+			p := partitionOf(k)
+			counts[p]++
+			for i := 0; i < len(xors[p]) && i < len(k); i++ {
+				xors[p][i] ^= k[i]
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	var out []PartitionDigest
+	for p, n := range counts {
+		if n > 0 {
+			out = append(out, PartitionDigest{Partition: p, Count: n, XOR: xors[p]})
+		}
+	}
+	return out
+}
+
+// HashesIn lists the content hashes stored in one gossip partition;
+// the anti-entropy protocol pulls it only for partitions whose
+// digests disagree.
+func (s *Store) HashesIn(p int) [][]byte {
+	var out [][]byte
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k := range sh.byHash {
+			if partitionOf(k) == p {
+				out = append(out, []byte(k))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // Len returns the number of stored certificates.
@@ -294,8 +708,25 @@ func (s *Store) Len() int {
 	return n
 }
 
+// ShardCounts returns the number of certificates per shard, in shard
+// order — the operator's view of issuer skew, and the recovery tests'
+// way of asserting a replayed store is shaped identically to a
+// never-crashed one.
+func (s *Store) ShardCounts() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		out[i] = len(sh.byHash)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // Stats returns a snapshot of the traffic counters.
 func (s *Store) Stats() Stats {
+	s.tmu.Lock()
+	tombs := int64(len(s.tombstones))
+	s.tmu.Unlock()
 	return Stats{
 		Published:  s.published.Load(),
 		Duplicates: s.duplicates.Load(),
@@ -304,5 +735,20 @@ func (s *Store) Stats() Stats {
 		Removed:    s.removed.Load(),
 		Swept:      s.swept.Load(),
 		Evicted:    s.evicted.Load(),
+		WALErrors:  s.walErrors.Load(),
+		Tombstones: tombs,
 	}
+}
+
+// resetStats zeroes the traffic counters; OpenDurable calls it after
+// replay so Stats reports traffic since boot, not since the log began.
+func (s *Store) resetStats() {
+	s.published.Store(0)
+	s.duplicates.Store(0)
+	s.rejected.Store(0)
+	s.queries.Store(0)
+	s.removed.Store(0)
+	s.swept.Store(0)
+	s.evicted.Store(0)
+	s.walErrors.Store(0)
 }

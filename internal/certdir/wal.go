@@ -1,0 +1,448 @@
+package certdir
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/sexp"
+)
+
+// The write-ahead log makes a directory survive restarts: every
+// accepted publish and every removal is appended as one framed
+// S-expression (sexp.AppendFrame: length prefix + CRC32 + canonical
+// payload) before the mutation is acknowledged, and OpenDurable
+// replays the log into a fresh Store on startup. Two record shapes
+// appear on disk:
+//
+//	(wal-publish <signed-certificate proof>)
+//	(wal-remove <cert hash> <expiry unix seconds, "0" if unbounded>)
+//
+// A crash can tear at most the final record; replay stops at the
+// first bad frame, truncates it away, and everything acknowledged
+// before the crash is intact. Removal records carry the certificate's
+// expiry so the tombstone that stops gossip from resurrecting a
+// retracted delegation (see Replicator) survives restarts and
+// compactions until the certificate would have expired anyway.
+//
+// The log is an append-only image of directory history, so Sweep and
+// EvictRevoked rewrite it (WAL.Compact) whenever they drop entries:
+// the compacted log is exactly the live certificates plus the live
+// tombstones, written to a temp file, fsynced, and atomically renamed
+// over the old log.
+
+// WALName is the log's file name inside a directory's data dir.
+const WALName = "certdir.wal"
+
+// Wire tags of the two WAL record shapes.
+const (
+	walTagPublish = "wal-publish"
+	walTagRemove  = "wal-remove"
+)
+
+// SyncPolicy selects when the WAL forces appended records to stable
+// storage. The choice trades publish latency against the crash window:
+// see docs/OPERATIONS.md for the operator guidance.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged publish
+	// survives an immediate power cut. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval performs no per-append fsync; the owner calls Sync
+	// on a timer (cmd/sf-certd does, flag -fsync-every). A crash can
+	// lose up to one interval of acknowledged records — never corrupt
+	// older ones.
+	SyncInterval
+	// SyncNever leaves flushing entirely to the operating system.
+	// Benchmarks use it to isolate the in-memory cost of logging.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values ("always", "interval",
+// "never") onto a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("certdir: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// WAL is the append log backing a durable Store. All methods are safe
+// for concurrent use. Construct through OpenDurable (which also
+// replays), or OpenWAL for direct control in tests and tools.
+type WAL struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	policy SyncPolicy
+
+	appends     atomic.Int64
+	syncs       atomic.Int64
+	compactions atomic.Int64
+	size        atomic.Int64
+}
+
+// WALStats is a snapshot of the log's counters for the stats endpoint.
+type WALStats struct {
+	Path        string
+	SizeBytes   int64 // current log size
+	Appends     int64 // records appended since open
+	Syncs       int64 // explicit fsyncs issued
+	Compactions int64 // log rewrites
+}
+
+// OpenWAL opens (creating if absent) the log at dir/certdir.wal for
+// appending, without replaying it. truncateAt >= 0 cuts the file to
+// that many bytes first — OpenDurable uses it to drop a torn tail.
+func OpenWAL(dir string, policy SyncPolicy, truncateAt int64) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("certdir: wal dir: %w", err)
+	}
+	path := filepath.Join(dir, WALName)
+	if truncateAt >= 0 {
+		if err := os.Truncate(path, truncateAt); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("certdir: wal truncate: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("certdir: wal open: %w", err)
+	}
+	// Persist the directory entry of a freshly created log: fsync on
+	// the file alone does not make its name durable.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("certdir: wal stat: %w", err)
+	}
+	w := &WAL{path: path, f: f, policy: policy}
+	w.size.Store(st.Size())
+	return w, nil
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// syncDir fsyncs a directory so renames and creations inside it are
+// crash-durable, not just the file contents they point at.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("certdir: wal dir sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("certdir: wal dir sync: %w", err)
+	}
+	return nil
+}
+
+// appendRecord frames and writes one record under the chosen sync
+// policy. An error means the record may not be durable and the caller
+// must not apply (or acknowledge) the mutation it describes.
+func (w *WAL) appendRecord(e *sexp.Sexp) error {
+	buf := sexp.AppendFrame(nil, e)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("certdir: wal is closed")
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("certdir: wal append: %w", err)
+	}
+	w.appends.Add(1)
+	w.size.Add(int64(len(buf)))
+	if w.policy == SyncAlways {
+		w.syncs.Add(1)
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("certdir: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendPublish logs an accepted publish.
+func (w *WAL) AppendPublish(c *cert.Cert) error {
+	return w.appendRecord(sexp.List(sexp.String(walTagPublish), c.Sexp()))
+}
+
+// AppendRemove logs a removal together with the removed certificate's
+// expiry (zero time for unbounded), which bounds the tombstone's life.
+func (w *WAL) AppendRemove(hash []byte, expiry time.Time) error {
+	return w.appendRecord(removeRecord(hash, expiry))
+}
+
+func removeRecord(hash []byte, expiry time.Time) *sexp.Sexp {
+	exp := "0"
+	if !expiry.IsZero() {
+		exp = strconv.FormatInt(expiry.Unix(), 10)
+	}
+	return sexp.List(sexp.String(walTagRemove), sexp.Atom(hash), sexp.String(exp))
+}
+
+// Sync forces buffered records to stable storage. Under SyncInterval
+// the owner calls it on a timer; under SyncAlways it is a no-op beyond
+// what every append already did.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	w.syncs.Add(1)
+	return w.f.Sync()
+}
+
+// Close syncs and closes the log. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// Compact atomically rewrites the log as exactly the given live
+// certificates plus live tombstones, dropping every superseded record
+// (duplicates, removed or swept certificates). The rewrite goes to a
+// temp file first and replaces the log by rename, so a crash during
+// compaction leaves either the old log or the new one, never a mix.
+func (w *WAL) Compact(certs []*cert.Cert, tombstones map[string]time.Time) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("certdir: wal is closed")
+	}
+	tmpPath := w.path + ".compact"
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("certdir: wal compact: %w", err)
+	}
+	bw := bufio.NewWriter(tmp)
+	var size int64
+	write := func(e *sexp.Sexp) error {
+		buf := sexp.AppendFrame(nil, e)
+		size += int64(len(buf))
+		_, err := bw.Write(buf)
+		return err
+	}
+	for _, c := range certs {
+		if err := write(sexp.List(sexp.String(walTagPublish), c.Sexp())); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("certdir: wal compact: %w", err)
+		}
+	}
+	for hash, expiry := range tombstones {
+		if err := write(removeRecord([]byte(hash), expiry)); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("certdir: wal compact: %w", err)
+		}
+	}
+	if err := bw.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("certdir: wal compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("certdir: wal compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("certdir: wal compact: %w", err)
+	}
+	// The rename is not durable until the directory is synced: without
+	// this, a power cut could resurrect the pre-compaction log and
+	// with it lose records fsynced to the new file afterwards.
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		return err
+	}
+	old := w.f
+	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted log is on disk but unappendable; keep the old
+		// handle closed state explicit rather than appending to the
+		// renamed-away inode.
+		w.f = nil
+		old.Close()
+		return fmt.Errorf("certdir: wal reopen after compact: %w", err)
+	}
+	old.Close()
+	w.f = f
+	w.size.Store(size)
+	w.compactions.Add(1)
+	return nil
+}
+
+// Stats returns a snapshot of the log counters.
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Path:        w.path,
+		SizeBytes:   w.size.Load(),
+		Appends:     w.appends.Load(),
+		Syncs:       w.syncs.Load(),
+		Compactions: w.compactions.Load(),
+	}
+}
+
+// RecoveryStats reports what OpenDurable found in the log.
+type RecoveryStats struct {
+	// Replayed counts records applied to the store: certificates
+	// re-indexed and removals (with their tombstones) re-applied.
+	Replayed int
+	// Dropped counts records the replay skipped: certificates that
+	// expired since they were logged, duplicates, and records that no
+	// longer verify. Dropping is expected hygiene, not data loss.
+	Dropped int
+	// Torn reports that the log ended mid-record — the signature of a
+	// crash during an append. The torn tail is truncated away.
+	Torn bool
+	// Compacted reports that the log was rewritten after replay
+	// because it contained torn or dead records.
+	Compacted bool
+}
+
+// OpenDurable opens a WAL-backed directory rooted at dir: it replays
+// dir/certdir.wal (creating it when absent) into a fresh Store with n
+// shards, truncates any torn tail, attaches the log so subsequent
+// publishes and removals are journaled, and compacts the log when the
+// replay found anything dead. Traffic counters are reset after replay
+// so Stats reflects traffic since this open, not since the log began.
+func OpenDurable(dir string, n int, policy SyncPolicy, now time.Time) (*Store, RecoveryStats, error) {
+	st := NewStore(n)
+	var rec RecoveryStats
+	good, torn, err := replayInto(st, filepath.Join(dir, WALName), now, &rec)
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.Torn = torn
+	truncateAt := int64(-1)
+	if torn {
+		truncateAt = good
+	}
+	w, err := OpenWAL(dir, policy, truncateAt)
+	if err != nil {
+		return nil, rec, err
+	}
+	st.attachWAL(w)
+	st.resetStats()
+	if torn || rec.Dropped > 0 {
+		if err := st.CompactWAL(); err != nil {
+			return nil, rec, err
+		}
+		rec.Compacted = true
+	}
+	return st, rec, nil
+}
+
+// replayInto streams the log into the store, returning the byte offset
+// of the last good frame and whether a torn tail was found. The store
+// must not have a WAL attached yet: replay re-applies history, it does
+// not write it.
+func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("certdir: wal replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		e, n, err := sexp.ReadFrame(r)
+		if err == io.EOF {
+			return good, false, nil
+		}
+		if errors.Is(err, sexp.ErrFrameCorrupt) {
+			return good, true, nil
+		}
+		if err != nil {
+			return good, false, fmt.Errorf("certdir: wal replay: %w", err)
+		}
+		good += int64(n)
+		switch e.Tag() {
+		case walTagPublish:
+			if e.Len() != 2 {
+				rec.Dropped++
+				continue
+			}
+			p, err := core.ProofFromSexp(e.Nth(1))
+			if err != nil {
+				rec.Dropped++
+				continue
+			}
+			c, ok := p.(*cert.Cert)
+			if !ok {
+				rec.Dropped++
+				continue
+			}
+			// Publish re-verifies, so a log tampered with at rest
+			// cannot plant authority; expired-in-the-meantime
+			// certificates are dropped here and compacted away.
+			if added, err := st.Publish(c, now); err != nil || !added {
+				rec.Dropped++
+				continue
+			}
+			rec.Replayed++
+		case walTagRemove:
+			if e.Len() != 3 || !e.Nth(1).IsAtom() {
+				rec.Dropped++
+				continue
+			}
+			var expiry time.Time
+			if sec, err := strconv.ParseInt(e.Nth(2).Text(), 10, 64); err == nil && sec != 0 {
+				expiry = time.Unix(sec, 0)
+			}
+			st.replayRemove(e.Nth(1).Octets, expiry, now)
+			rec.Replayed++
+		default:
+			rec.Dropped++
+		}
+	}
+}

@@ -8,6 +8,25 @@
 // knowledge of a proof bestows no authority on an adversary. Authority
 // flows only from controlling the principal at the subject end of the
 // chain (a private key, a channel endpoint, a MAC secret).
+//
+// # The verified-proof cache
+//
+// Because proofs are self-describing and independently verifiable,
+// their verdicts can be memoized: ProofCache maps a proof's canonical
+// hash to a positive verdict, and every verifying layer (gateway,
+// HTTP, RMI, directory publish) shares one process-wide instance
+// (SharedProofCache). Soundness rests on four invariants, documented
+// in detail on ProofCache and enforced by Lookup/Store:
+//
+//   - only positive verdicts are cached (a failure may be local to
+//     one verifier and must not condemn the proof for others);
+//   - only Portable proofs are cached (assumption leaves and
+//     revalidation-demanding certificates keep their subtree out);
+//   - every entry dies with the revocation epoch (bumped by
+//     cert.RevocationStore on every CRL) and is scoped to the
+//     revocation view it was checked under;
+//   - every entry is unusable outside its conclusion's validity
+//     window.
 package core
 
 import (

@@ -123,6 +123,10 @@ type Prover struct {
 	// call (each round can extend the frontier by one hop); zero means
 	// DefaultRemoteRounds.
 	RemoteRounds int
+	// RemoteLimit caps certificates fetched per query from sources
+	// that support server-side filtering (FilteredSource); zero means
+	// DefaultRemoteLimit.
+	RemoteLimit int
 
 	stats counters
 }

@@ -31,11 +31,33 @@ type RemoteSource interface {
 	BySubject(subject principal.Principal) ([]core.Proof, error)
 }
 
+// FilteredSource is optionally implemented by remote sources that can
+// narrow answers server-side (certdir.Client does, via the wire
+// query's (limit n) and (tag t) clauses). When a source implements it,
+// the prover pushes down the tag it is searching for — only
+// delegations whose tag covers the goal can ever become usable edges
+// (see reachable) — and a fetch cap, so heavy issuers don't ship
+// thousands of irrelevant delegations per query. Sources without the
+// interface get the plain unbounded ByIssuer/BySubject calls.
+type FilteredSource interface {
+	// ByIssuerFor is ByIssuer restricted to proofs whose conclusion
+	// tag covers want, truncated to limit (0 = unbounded).
+	ByIssuerFor(issuer principal.Principal, want tag.Tag, limit int) ([]core.Proof, error)
+	// BySubjectFor is the subject-side counterpart.
+	BySubjectFor(subject principal.Principal, want tag.Tag, limit int) ([]core.Proof, error)
+}
+
 // Defaults for the remote-discovery tunables.
 const (
 	DefaultNegativeTTL  = 30 * time.Second
 	DefaultRemoteFanout = 32
 	DefaultRemoteRounds = 4
+	// DefaultRemoteLimit caps certificates fetched per filtered
+	// directory query. A productive round needs only the edges that
+	// extend the frontier; 256 covers realistic issuer fan-out while
+	// bounding the damage a certificate-spamming issuer can do to
+	// discovery latency.
+	DefaultRemoteLimit = 256
 )
 
 // negCacheMax bounds the negative cache: once full of fresh entries,
@@ -94,7 +116,7 @@ func (p *Prover) findRemote(subject, issuer principal.Principal, want tag.Tag, n
 		p.rmu.Lock()
 		remotes := append([]RemoteSource(nil), p.remotes...)
 		p.rmu.Unlock()
-		answers := fetchAll(remotes, queries)
+		answers := fetchAll(remotes, queries, want, p.remoteLimit())
 
 		p.stats.remoteQueries.Add(int64(len(queries) * len(remotes)))
 		added := 0
@@ -175,11 +197,13 @@ func (p *Prover) reachable(issuer principal.Principal, want tag.Tag, now time.Ti
 }
 
 // fetchAll runs every query against every remote concurrently, with
-// no prover lock held, merging answers per query. Source errors mark
-// the (query, source) pair unanswered: an unreachable directory
-// degrades discovery for a round, it neither fails proving nor
-// poisons the negative cache.
-func fetchAll(remotes []RemoteSource, queries []remoteQuery) []remoteAnswer {
+// no prover lock held, merging answers per query. Sources that
+// implement FilteredSource are asked only for delegations covering
+// the search tag, capped at limit. Source errors mark the (query,
+// source) pair unanswered: an unreachable directory degrades
+// discovery for a round, it neither fails proving nor poisons the
+// negative cache.
+func fetchAll(remotes []RemoteSource, queries []remoteQuery, want tag.Tag, limit int) []remoteAnswer {
 	answers := make([]remoteAnswer, len(queries))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -192,9 +216,14 @@ func fetchAll(remotes []RemoteSource, queries []remoteQuery) []remoteAnswer {
 					got []core.Proof
 					err error
 				)
-				if q.axis == "i" {
+				switch fs, filtered := r.(FilteredSource); {
+				case filtered && q.axis == "i":
+					got, err = fs.ByIssuerFor(q.prin, want, limit)
+				case filtered:
+					got, err = fs.BySubjectFor(q.prin, want, limit)
+				case q.axis == "i":
 					got, err = r.ByIssuer(q.prin)
-				} else {
+				default:
 					got, err = r.BySubject(q.prin)
 				}
 				if err != nil {
@@ -209,6 +238,13 @@ func fetchAll(remotes []RemoteSource, queries []remoteQuery) []remoteAnswer {
 	}
 	wg.Wait()
 	return answers
+}
+
+func (p *Prover) remoteLimit() int {
+	if p.RemoteLimit > 0 {
+		return p.RemoteLimit
+	}
+	return DefaultRemoteLimit
 }
 
 // digestRemote verifies fetched proofs and installs the good ones as

@@ -1,0 +1,71 @@
+package sexp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	exprs := []*Sexp{
+		String("hello"),
+		List(String("cert"), Atom([]byte{0, 1, 2, 0xff})),
+		List(String("nested"), List(String("a"), String("b")), HintedAtom("text/plain", []byte("x"))),
+	}
+	var buf []byte
+	for _, e := range exprs {
+		buf = AppendFrame(buf, e)
+	}
+	r := bytes.NewReader(buf)
+	total := 0
+	for i, want := range exprs {
+		got, n, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !Equal(got, want) {
+			t.Fatalf("frame %d: got %s want %s", i, got, want)
+		}
+		total += n
+	}
+	if total != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", total, len(buf))
+	}
+	if _, n, err := ReadFrame(r); err != io.EOF || n != 0 {
+		t.Fatalf("at end: n=%d err=%v, want clean EOF", n, err)
+	}
+}
+
+func TestFrameTornTail(t *testing.T) {
+	full := AppendFrame(AppendFrame(nil, String("first")), List(String("second"), String("payload")))
+	// Cut at every point inside the second frame: the first must still
+	// read cleanly, the second must report corruption, never EOF.
+	firstLen := len(AppendFrame(nil, String("first")))
+	for cut := firstLen + 1; cut < len(full); cut++ {
+		r := bytes.NewReader(full[:cut])
+		if _, _, err := ReadFrame(r); err != nil {
+			t.Fatalf("cut %d: first frame: %v", cut, err)
+		}
+		_, _, err := ReadFrame(r)
+		if !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("cut %d: second frame err = %v, want ErrFrameCorrupt", cut, err)
+		}
+	}
+}
+
+func TestFrameCRCMismatch(t *testing.T) {
+	buf := AppendFrame(nil, String("checksummed"))
+	buf[len(buf)-1] ^= 0x40 // flip a payload bit; header CRC now disagrees
+	if _, _, err := ReadFrame(bytes.NewReader(buf)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("err = %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestFrameOversizedLength(t *testing.T) {
+	buf := AppendFrame(nil, String("x"))
+	buf[0] = 0xff // declared length far beyond MaxTotal
+	if _, _, err := ReadFrame(bytes.NewReader(buf)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("err = %v, want ErrFrameCorrupt", err)
+	}
+}
