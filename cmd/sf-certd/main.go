@@ -15,22 +15,27 @@
 // flags the directory replicates: publishes fan out to the peers
 // immediately and a periodic anti-entropy round pulls whatever a push
 // missed. The -crl file holds CRL S-expressions (one per line or
-// concatenated); listed certificates are evicted at every sweep.
+// concatenated); listed certificates are evicted at every sweep, and
+// the file is re-read without a restart on SIGHUP or through the
+// POST /certdir/admin/reload endpoint. CRLs also arrive live over
+// POST /certdir/admin/crl and replicate to peers (CRL gossip), and
+// every removal or revocation is emitted on the /certdir/events
+// stream so subscribed provers drop their cached copies.
 // docs/OPERATIONS.md covers every flag and counter in detail.
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cert"
 	"repro/internal/certdir"
-	"repro/internal/sexp"
 )
 
 // peerList collects repeated -peer flags.
@@ -87,9 +92,11 @@ func main() {
 
 	revocations := cert.NewRevocationStore()
 	if *crlFile != "" {
-		if err := loadCRLs(revocations, *crlFile); err != nil {
+		_, total, err := revocations.LoadFile(*crlFile)
+		if err != nil {
 			log.Fatalf("sf-certd: %v", err)
 		}
+		log.Printf("sf-certd: loaded %d revocation lists from %s", total, *crlFile)
 	}
 
 	if *sweep > 0 {
@@ -97,10 +104,7 @@ func main() {
 			for range time.Tick(*sweep) {
 				now := time.Now()
 				expired := store.Sweep(now)
-				revoked := 0
-				if *crlFile != "" {
-					revoked = store.EvictRevoked(revocations.RevokedAt(now))
-				}
+				revoked := store.EvictRevokedByIssuer(revocations.RevokedByIssuerAt(now))
 				if expired+revoked > 0 {
 					log.Printf("sf-certd: swept %d expired, %d revoked (%d stored)",
 						expired, revoked, store.Len())
@@ -110,12 +114,14 @@ func main() {
 	}
 
 	svc := certdir.NewService(store)
+	svc.Revocations = revocations
 	if len(peers) > 0 {
 		clients := make([]*certdir.Client, len(peers))
 		for i, p := range peers {
 			clients[i] = certdir.NewClient(p)
 		}
 		rep := certdir.NewReplicator(store, clients)
+		rep.Revocations = revocations
 		rep.Interval = *gossip
 		if *gossip <= 0 {
 			// A zero ticker panics; an effectively-infinite interval
@@ -138,32 +144,43 @@ func main() {
 		log.Printf("sf-certd: replicating with %d peer(s), gossip every %s", len(peers), *gossip)
 	}
 
+	// Hot CRL reload: SIGHUP and the admin endpoint run the same
+	// function — re-read the file through the shared loader (new lists
+	// only, dedup keeps a no-op reload from flushing the proof cache),
+	// evict what the new lists void RIGHT NOW rather than at the next
+	// sweep, and fan the new lists out to gossip peers.
+	if *crlFile != "" {
+		reload := func() (added, total, evicted int, err error) {
+			// On a partial failure (a malformed list mid-file) the lists
+			// before it ARE installed — evict and gossip them rather than
+			// leaving their revocations to the next sweep.
+			lists, total, err := revocations.LoadFile(*crlFile)
+			if len(lists) > 0 {
+				evicted = store.EvictRevokedByIssuer(revocations.RevokedByIssuerAt(time.Now()))
+				if svc.Replicator != nil {
+					for _, rl := range lists {
+						svc.Replicator.EnqueueCRL(rl)
+					}
+				}
+			}
+			return len(lists), total, evicted, err
+		}
+		svc.ReloadCRLs = reload
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				added, total, evicted, err := reload()
+				if err != nil {
+					log.Printf("sf-certd: SIGHUP crl reload: %v", err)
+					continue
+				}
+				log.Printf("sf-certd: SIGHUP reloaded %s: %d new of %d lists, %d certs evicted",
+					*crlFile, added, total, evicted)
+			}
+		}()
+	}
+
 	log.Printf("sf-certd: directory listening on %s (%d shards)", *addr, *shards)
 	log.Fatal(http.ListenAndServe(*addr, svc))
-}
-
-// loadCRLs reads every CRL expression in the file into the store.
-func loadCRLs(rs *cert.RevocationStore, path string) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	n := 0
-	for len(bytes.TrimSpace(raw)) > 0 {
-		e, used, err := sexp.Parse(raw)
-		if err != nil {
-			return fmt.Errorf("crl %d: %w", n+1, err)
-		}
-		rl, err := cert.RevocationListFromSexp(e)
-		if err != nil {
-			return fmt.Errorf("crl %d: %w", n+1, err)
-		}
-		if err := rs.Add(rl); err != nil {
-			return fmt.Errorf("crl %d: %w", n+1, err)
-		}
-		raw = raw[used:]
-		n++
-	}
-	log.Printf("sf-certd: loaded %d revocation lists from %s", n, path)
-	return nil
 }

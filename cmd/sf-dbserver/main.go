@@ -5,7 +5,15 @@
 // Usage:
 //
 //	sf-dbserver -key db.key -addr 127.0.0.1:7001
+//	sf-dbserver -key db.key -addr 127.0.0.1:7001 -crl revoked.crl -admin-addr 127.0.0.1:7002
 //	sf-dbserver -key db.key -grant-owner alice -grant-to '<principal sexp>'
+//
+// The -crl file (same format as sf-certd's: CRL S-expressions, one
+// per line or concatenated) is re-read without a restart on SIGHUP or
+// via POST /admin/reload-crl on the -admin-addr listener; individual
+// CRLs can also be installed live via POST /admin/crl. Every install
+// bumps the proof-cache epoch, so revocation bites on the next RMI
+// call, not the next restart.
 package main
 
 import (
@@ -13,8 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cert"
@@ -23,7 +34,6 @@ import (
 	"repro/internal/emaildb"
 	"repro/internal/principal"
 	"repro/internal/rmi"
-	"repro/internal/sexp"
 	"repro/internal/sfkey"
 )
 
@@ -34,7 +44,8 @@ func main() {
 	grantTo := flag.String("grant-to", "", "recipient principal S-expression")
 	grantTTL := flag.Duration("grant-ttl", 0, "delegation lifetime (0 = unbounded)")
 	seedDemo := flag.Bool("seed-demo", false, "insert demonstration messages")
-	crlFile := flag.String("crl", "", "revocation list S-expression file")
+	crlFile := flag.String("crl", "", "file of CRL S-expressions (one per line or concatenated)")
+	adminAddr := flag.String("admin-addr", "", "revocation admin HTTP listen address (empty = disabled)")
 	flag.Parse()
 
 	if *keyFile == "" {
@@ -93,22 +104,45 @@ func main() {
 	}
 	srv := rmi.NewServer()
 	rs := cert.NewRevocationStore()
+	// reloadCRLs re-reads the -crl file through the shared loader
+	// (which accepts one-per-line and concatenated layouts alike, so
+	// the same file works for sf-certd and sf-dbserver). AddNew's
+	// dedup means re-reading an unchanged file bumps no epoch; a new
+	// list bumps it, so every cached verdict resting on a revoked
+	// certificate dies and the next RMI call re-verifies.
+	reloadCRLs := func() (added, total int, err error) {
+		lists, total, err := rs.LoadFile(*crlFile)
+		return len(lists), total, err
+	}
 	if *crlFile != "" {
-		raw, err := os.ReadFile(*crlFile)
-		if err != nil {
-			log.Fatalf("sf-dbserver: %v", err)
-		}
-		e, err := sexp.ParseOne(raw)
+		_, total, err := reloadCRLs()
 		if err != nil {
 			log.Fatalf("sf-dbserver: crl: %v", err)
 		}
-		rl, err := cert.RevocationListFromSexp(e)
-		if err != nil {
-			log.Fatalf("sf-dbserver: crl: %v", err)
+		log.Printf("sf-dbserver: loaded %d revocation lists from %s", total, *crlFile)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				added, total, err := reloadCRLs()
+				if err != nil {
+					log.Printf("sf-dbserver: SIGHUP crl reload: %v", err)
+					continue
+				}
+				log.Printf("sf-dbserver: SIGHUP reloaded %s: %d new of %d lists",
+					*crlFile, added, total)
+			}
+		}()
+	}
+	if *adminAddr != "" {
+		var reload func() (int, int, error)
+		if *crlFile != "" {
+			reload = reloadCRLs
 		}
-		if err := rs.Add(rl); err != nil {
-			log.Fatalf("sf-dbserver: crl: %v", err)
-		}
+		go func() {
+			log.Printf("sf-dbserver: revocation admin listening on %s", *adminAddr)
+			log.Fatal(http.ListenAndServe(*adminAddr, cert.AdminHandler(rs, reload)))
+		}()
 	}
 	if err := emaildb.RegisterWithRevocation(srv, svc, issuer, rs); err != nil {
 		log.Fatalf("sf-dbserver: %v", err)

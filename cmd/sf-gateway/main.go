@@ -6,6 +6,13 @@
 // Usage:
 //
 //	sf-gateway -key gw.key -db 127.0.0.1:7001 -db-issuer '<principal sexp>' -addr 127.0.0.1:8081
+//	sf-gateway -key gw.key -db 127.0.0.1:7001 -db-issuer '<principal sexp>' -certdir http://127.0.0.1:8360
+//
+// With -certdir the gateway's prover additionally discovers
+// delegation chains from the certificate directory and subscribes to
+// its invalidation event stream, so revoked or retracted delegations
+// are dropped from the prover's cache the moment the directory stops
+// vouching for them.
 package main
 
 import (
@@ -16,7 +23,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/certdir"
 	"repro/internal/channel/secure"
+	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/principal"
 	"repro/internal/prover"
@@ -29,6 +38,7 @@ func main() {
 	dbAddr := flag.String("db", "127.0.0.1:7001", "database server address")
 	dbIssuerS := flag.String("db-issuer", "", "database issuer principal S-expression")
 	addr := flag.String("addr", "127.0.0.1:8081", "HTTP listen address")
+	certdirURL := flag.String("certdir", "", "certificate directory base URL for remote chain discovery (empty = local-only)")
 	flag.Parse()
 
 	if *keyFile == "" || *dbIssuerS == "" {
@@ -62,6 +72,18 @@ func main() {
 	db, err := rmi.Dial(secure.Dialer{ID: id}, *dbAddr, pv)
 	if err != nil {
 		log.Fatalf("sf-gateway: dial db: %v", err)
+	}
+	// With -certdir the gateway's prover discovers delegation chains it
+	// was never handed (remote discovery) and subscribes to the
+	// directory's invalidation stream, so a digested client delegation
+	// that is later revoked or retracted is dropped from the prover's
+	// graph — and its verdict from the shared proof cache — instead of
+	// being quoted to the database until it expires.
+	if *certdirURL != "" {
+		dir := certdir.NewClient(*certdirURL)
+		pv.AddRemote(dir)
+		pv.Subscribe(dir, core.SharedProofCache())
+		log.Printf("sf-gateway: using certificate directory %s (discovery + invalidation)", *certdirURL)
 	}
 	gw := gateway.New(priv, db, dbIssuer, pv)
 	log.Printf("sf-gateway: bridging %s on %s (gateway key %s)",

@@ -6,7 +6,12 @@
 // delegations and only knows directory B — discovers the chain over
 // HTTP, assembles the proof, and the gateway verifies it. Directory A
 // is then restarted and recovers its contents from its write-ahead
-// log, pulling anything it missed while down from its peer.
+// log, pulling anything it missed while down from its peer. Finally
+// the team revokes the user's delegation LIVE — a CRL installed
+// through a directory admin endpoint, no restarts — and within one
+// gossip exchange the revocation has evicted at both directories and
+// the user's prover, subscribed to its directory's invalidation
+// stream, can no longer prove the chain.
 //
 // Run: go run ./examples/certdir
 package main
@@ -44,17 +49,22 @@ func main() {
 	check(err)
 	storeB := certdir.NewStore(0)
 
-	urlA, stopA := serve(storeA)
-	urlB, stopB := serve(storeB)
+	svcA, urlA, stopA := serve(storeA)
+	svcB, urlB, stopB := serve(storeB)
 	defer stopB()
 
 	// Each domain's directory gossips with the other: pushes fan out
-	// on publish, and anti-entropy rounds repair anything missed.
+	// on publish, anti-entropy rounds repair anything missed, and CRLs
+	// replicate alongside the certificates they void.
 	repA := certdir.NewReplicator(storeA, []*certdir.Client{certdir.NewClient(urlB)})
+	repA.Revocations = svcA.Revocations
 	repB := certdir.NewReplicator(storeB, []*certdir.Client{certdir.NewClient(urlA)})
+	repB.Revocations = svcB.Revocations
 	repA.Start()
 	repB.Start()
 	defer repB.Stop()
+	svcA.Replicator = repA
+	svcB.Replicator = repB
 	fmt.Printf("directory A (domain alpha, durable) at %s\n", urlA)
 	fmt.Printf("directory B (domain beta)           at %s\n\n", urlB)
 
@@ -67,6 +77,7 @@ func main() {
 	user := genKey("user")
 
 	pub := certdir.NewClient(urlA)
+	var chain []*cert.Cert
 	for _, d := range []struct {
 		from *sfkey.PrivateKey
 		to   principal.Principal
@@ -79,6 +90,7 @@ func main() {
 		c, err := cert.Delegate(d.from, d.to, principal.KeyOf(d.from.Public()), files, valid)
 		check(err)
 		check(pub.Publish(c))
+		chain = append(chain, c)
 		fmt.Printf("published to A: %s\n", d.desc)
 	}
 
@@ -88,9 +100,15 @@ func main() {
 	fmt.Printf("\ndirectory B now stores %d certs (pushed by A)\n", storeB.Len())
 
 	// 3. Domain beta: the user's prover. Its local delegation graph is
-	// empty and it has never heard of directory A.
+	// empty and it has never heard of directory A. Besides querying
+	// directory B it subscribes to B's invalidation stream, so
+	// certificates B stops vouching for are dropped from the prover's
+	// cache instead of lingering until expiry.
 	p := prover.New()
-	p.AddRemote(certdir.NewClient(urlB))
+	clientB := certdir.NewClient(urlB)
+	p.AddRemote(clientB)
+	sub := p.Subscribe(clientB, core.SharedProofCache())
+	defer sub.Stop()
 	fmt.Printf("prover starts with %d local edges, knows only directory B\n", p.EdgeCount())
 
 	proof, err := p.FindProof(user.prin, gateway.prin, files, now)
@@ -127,19 +145,49 @@ func main() {
 
 	// 6. One anti-entropy round pulls what A missed while down.
 	repA2 := certdir.NewReplicator(storeA2, []*certdir.Client{certdir.NewClient(urlB)})
+	repA2.Revocations = cert.NewRevocationStore()
 	pulled, err := repA2.Converge()
 	check(err)
 	fmt.Printf("anti-entropy round pulled %d cert(s); A now stores %d\n", pulled, storeA2.Len())
+
+	// 7. Live revocation, end to end. The team retracts the user's
+	// delegation: a signed CRL installed at directory B's admin
+	// endpoint — no daemon restarts, no sweep timers. B verifies the
+	// CRL, evicts the delegation immediately (tombstoned against
+	// gossip resurrection), bumps the shared proof-cache epoch, and
+	// emits an invalidation event; the user's subscribed prover drops
+	// its cached chain. Directory A pulls the CRL in its next
+	// anti-entropy round and evicts too.
+	teamToUser := chain[2]
+	check(clientB.PushCRL(cert.NewRevocationList(team.priv, valid, teamToUser.Hash())))
+	fmt.Printf("\nCRL installed at B: team revokes 'user speaks for team'\n")
+	fmt.Printf("directory B now stores %d certs (revoked delegation evicted)\n", storeB.Len())
+
+	waitFor("prover invalidation via event stream", func() bool {
+		_, err := p.FindProof(user.prin, gateway.prin, files, time.Now())
+		return err != nil
+	})
+	st = p.Stats()
+	fmt.Printf("prover can no longer prove the chain (%d cached edges invalidated)\n", st.Invalidated)
+
+	before := storeA2.Len()
+	_, err = repA2.Converge()
+	check(err)
+	rst := repA2.Stats()
+	fmt.Printf("directory A pulled %d CRL(s) by gossip and now stores %d certs (was %d)\n",
+		rst.CRLsPulled, storeA2.Len(), before)
 }
 
-// serve exposes a store on a loopback port, returning its base URL and
-// a closer.
-func serve(st *certdir.Store) (url string, stop func()) {
+// serve exposes a store on a loopback port with the revocation
+// endpoints enabled, returning its service, base URL, and a closer.
+func serve(st *certdir.Store) (svc *certdir.Service, url string, stop func()) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
-	srv := &http.Server{Handler: certdir.NewService(st)}
+	svc = certdir.NewService(st)
+	svc.Revocations = cert.NewRevocationStore()
+	srv := &http.Server{Handler: svc}
 	go srv.Serve(ln)
-	return "http://" + ln.Addr().String(), func() { srv.Close() }
+	return svc, "http://" + ln.Addr().String(), func() { srv.Close() }
 }
 
 // waitFor polls cond (push replication is asynchronous) with a

@@ -1,0 +1,67 @@
+package cert
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"repro/internal/sexp"
+)
+
+// LoadCRLFile reads every CRL S-expression in the file and returns
+// them in order. It accepts both layouts that grew in the daemons:
+// one CRL per line and whole-file concatenated expressions (and any
+// mix — the parser consumes one expression at a time and whitespace
+// between expressions is skipped), so the same CRL file works in
+// every daemon. Signatures are NOT verified here; installation
+// (RevocationStore.Add / AddNew) verifies before anything takes
+// effect.
+func LoadCRLFile(path string) ([]*RevocationList, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var lists []*RevocationList
+	n := 0
+	for {
+		raw = bytes.TrimLeft(raw, " \t\r\n")
+		if len(raw) == 0 {
+			return lists, nil
+		}
+		e, used, err := sexp.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cert: %s: crl %d: %w", path, n+1, err)
+		}
+		rl, err := RevocationListFromSexp(e)
+		if err != nil {
+			return nil, fmt.Errorf("cert: %s: crl %d: %w", path, n+1, err)
+		}
+		lists = append(lists, rl)
+		raw = raw[used:]
+		n++
+	}
+}
+
+// LoadFile reads the CRL file (LoadCRLFile) and installs every list
+// through AddNew, returning the lists that were newly installed and
+// how many the file held in total. Because AddNew deduplicates,
+// calling LoadFile again on the same (possibly extended) file is the
+// hot reload path: only genuinely new CRLs bump the proof-cache
+// epoch, so a no-op reload costs no cache flush — and the returned
+// slice is exactly what a directory should gossip onward to peers.
+func (s *RevocationStore) LoadFile(path string) (added []*RevocationList, total int, err error) {
+	lists, err := LoadCRLFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, rl := range lists {
+		ok, err := s.AddNew(rl)
+		if err != nil {
+			return added, len(lists), fmt.Errorf("cert: %s: crl %d: %w", path, i+1, err)
+		}
+		if ok {
+			added = append(added, rl)
+		}
+	}
+	return added, len(lists), nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/principal"
 	"repro/internal/sexp"
 	"repro/internal/sfkey"
 )
@@ -16,11 +17,17 @@ import (
 // listed certificates (identified by their body hashes) are void. Its
 // validity window bounds the list's freshness, mirroring SPKI CRL
 // semantics expressed in the logic (section 4.1).
+// A RevocationList is immutable once constructed (NewRevocationList
+// or RevocationListFromSexp); its content hash is computed once there
+// and gossip re-reads it every round.
 type RevocationList struct {
 	Signer    sfkey.PublicKey
 	Hashes    [][]byte
 	Validity  core.Validity
 	Signature []byte
+
+	hash    [32]byte // cached Hash(); set by the constructors
+	hashSet bool
 }
 
 // NewRevocationList signs a CRL voiding the given certificate hashes.
@@ -30,6 +37,7 @@ func NewRevocationList(priv *sfkey.PrivateKey, v core.Validity, hashes ...[]byte
 		rl.Hashes = append(rl.Hashes, append([]byte(nil), h...))
 	}
 	rl.Signature = priv.Sign(rl.signingBytes())
+	rl.hash, rl.hashSet = rl.Sexp().Hash(), true
 	return rl
 }
 
@@ -68,6 +76,18 @@ func (rl *RevocationList) Sexp() *sexp.Sexp {
 	return sexp.List(kids...)
 }
 
+// Hash returns the CRL's content identity — the hash of its canonical
+// encoding (body and signature alike) — used to deduplicate installs
+// and to diff CRL sets during gossip. Constructed lists carry it
+// precomputed; the fallback (a hand-assembled literal) computes fresh
+// each call rather than racing to memoize.
+func (rl *RevocationList) Hash() [32]byte {
+	if rl.hashSet {
+		return rl.hash
+	}
+	return rl.Sexp().Hash()
+}
+
 // RevocationListFromSexp decodes a CRL.
 func RevocationListFromSexp(e *sexp.Sexp) (*RevocationList, error) {
 	if e == nil || e.Tag() != "crl" {
@@ -97,6 +117,7 @@ func RevocationListFromSexp(e *sexp.Sexp) (*RevocationList, error) {
 			rl.Hashes = append(rl.Hashes, append([]byte(nil), c.Nth(1).Octets...))
 		}
 	}
+	rl.hash, rl.hashSet = rl.Sexp().Hash(), true
 	return rl, nil
 }
 
@@ -111,6 +132,7 @@ func RevocationListFromSexp(e *sexp.Sexp) (*RevocationList, error) {
 type RevocationStore struct {
 	mu     sync.RWMutex
 	lists  []*RevocationList
+	seen   map[[32]byte]bool // installed CRL hashes, for dedup
 	caches []*core.ProofCache
 	view   uint64
 }
@@ -125,6 +147,7 @@ var nextView atomic.Uint64
 // cache, with a fresh revocation view id.
 func NewRevocationStore() *RevocationStore {
 	return &RevocationStore{
+		seen:   make(map[[32]byte]bool),
 		caches: []*core.ProofCache{core.SharedProofCache()},
 		view:   nextView.Add(1),
 	}
@@ -159,10 +182,30 @@ func (s *RevocationStore) AttachCache(c *core.ProofCache) {
 // simulated clock must call BumpEpoch themselves when their clock
 // crosses a CRL's NotBefore.
 func (s *RevocationStore) Add(rl *RevocationList) error {
+	_, err := s.AddNew(rl)
+	return err
+}
+
+// AddNew is Add with idempotence made visible: installing a CRL
+// already held (same content hash) is a no-op that reports
+// added == false — and, crucially, bumps no epoch, so re-reading an
+// unchanged CRL file or re-receiving a gossiped CRL never flushes
+// the proof cache. Hot reload and CRL gossip both install through
+// AddNew.
+func (s *RevocationStore) AddNew(rl *RevocationList) (added bool, err error) {
 	if err := rl.Verify(); err != nil {
-		return err
+		return false, err
 	}
+	h := rl.Hash()
 	s.mu.Lock()
+	if s.seen == nil {
+		s.seen = make(map[[32]byte]bool)
+	}
+	if s.seen[h] {
+		s.mu.Unlock()
+		return false, nil
+	}
+	s.seen[h] = true
 	caches := append([]*core.ProofCache(nil), s.caches...)
 	s.lists = append(s.lists, rl)
 	s.mu.Unlock()
@@ -179,7 +222,23 @@ func (s *RevocationStore) Add(rl *RevocationList) error {
 			}
 		})
 	}
-	return nil
+	return true, nil
+}
+
+// Lists returns a snapshot of the installed CRLs; the certificate
+// directory serves them to gossip peers from here.
+func (s *RevocationStore) Lists() []*RevocationList {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*RevocationList(nil), s.lists...)
+}
+
+// Has reports whether a CRL with the given content hash is installed;
+// gossip uses it to diff CRL sets without shipping the lists.
+func (s *RevocationStore) Has(h [32]byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seen[h]
 }
 
 // Checker returns the Revoked callback for a VerifyContext. A
@@ -194,6 +253,51 @@ func (s *RevocationStore) Checker(ctx *core.VerifyContext) func([]byte) bool {
 // directories use it to evict delegations a fresh CRL has voided.
 func (s *RevocationStore) RevokedAt(at time.Time) func([]byte) bool {
 	return func(h []byte) bool { return s.revokedAt(h, at) }
+}
+
+// RevokedByIssuerAt is RevokedAt restricted to CRLs whose signer IS
+// the certificate's issuer (matched by principal key): only the key
+// that granted a delegation may void it. Directories use this
+// predicate for CRLs that arrive over the network (admin endpoint,
+// gossip), where a valid signature alone proves only that SOMEONE
+// signed the list — without the issuer match, any key holder could
+// sign a CRL naming arbitrary certificate hashes and deny service to
+// delegations it never issued.
+func (s *RevocationStore) RevokedByIssuerAt(at time.Time) func(certHash []byte, issuerKey string) bool {
+	// Snapshot the fresh lists and precompute each signer's principal
+	// key once: the returned predicate runs once per stored certificate
+	// (Store.EvictRevokedByIssuer scans the whole directory), so work
+	// per call must not include serializing signer keys or taking the
+	// store lock.
+	s.mu.RLock()
+	type signedList struct {
+		signerKey string
+		hashes    [][]byte
+	}
+	fresh := make([]signedList, 0, len(s.lists))
+	for _, rl := range s.lists {
+		if !rl.Validity.Contains(at) {
+			continue
+		}
+		fresh = append(fresh, signedList{
+			signerKey: principal.KeyOf(rl.Signer).Key(),
+			hashes:    rl.Hashes,
+		})
+	}
+	s.mu.RUnlock()
+	return func(h []byte, issuerKey string) bool {
+		for _, rl := range fresh {
+			if rl.signerKey != issuerKey {
+				continue
+			}
+			for _, rh := range rl.hashes {
+				if bytes.Equal(rh, h) {
+					return true
+				}
+			}
+		}
+		return false
+	}
 }
 
 func (s *RevocationStore) revokedAt(h []byte, at time.Time) bool {

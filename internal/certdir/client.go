@@ -45,7 +45,13 @@ func (c *Client) httpClient() *http.Client {
 // request); beyond that the reply is refused rather than silently
 // truncated.
 func (c *Client) roundTrip(path string, req *sexp.Sexp) (*sexp.Sexp, error) {
-	resp, err := c.httpClient().Post(c.BaseURL+path, "text/plain",
+	return c.roundTripWith(c.httpClient(), path, req)
+}
+
+// roundTripWith is roundTrip on an explicit HTTP client; the events
+// long poll uses it to stretch the timeout past the requested wait.
+func (c *Client) roundTripWith(hc *http.Client, path string, req *sexp.Sexp) (*sexp.Sexp, error) {
+	resp, err := hc.Post(c.BaseURL+path, "text/plain",
 		bytes.NewReader(req.Canonical()))
 	if err != nil {
 		return nil, fmt.Errorf("certdir: %s: %w", path, err)
@@ -149,6 +155,117 @@ func (c *Client) Remove(hash []byte) (bool, error) {
 		return false, err
 	}
 	return resp.Tag() == "removed", nil
+}
+
+// PushCRL installs a CRL at the directory through its admin endpoint.
+// Duplicates are acknowledged idempotently (like Publish), so CRL
+// rumor floods terminate.
+func (c *Client) PushCRL(rl *cert.RevocationList) error {
+	resp, err := c.roundTrip(PathAdminCRL, rl.Sexp())
+	if err != nil {
+		return err
+	}
+	switch resp.Tag() {
+	case "crl-installed", "crl-duplicate":
+		return nil
+	}
+	return fmt.Errorf("certdir: unexpected crl reply %s", resp)
+}
+
+// CRLs fetches the CRLs the directory holds, minus the ones whose
+// content hashes are in have. The caller verifies every returned list
+// before applying it (Replicator.pullCRLs does).
+func (c *Client) CRLs(have [][]byte) ([]*cert.RevocationList, error) {
+	kids := make([]*sexp.Sexp, 0, len(have)+1)
+	kids = append(kids, sexp.String("crls"))
+	for _, h := range have {
+		kids = append(kids, sexp.Atom(h))
+	}
+	resp, err := c.roundTrip(PathCRLs, sexp.List(kids...))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag() != "crls" {
+		return nil, fmt.Errorf("certdir: unexpected crls reply %s", resp)
+	}
+	var out []*cert.RevocationList
+	for i := 1; i < resp.Len(); i++ {
+		rl, err := cert.RevocationListFromSexp(resp.Nth(i))
+		if err != nil {
+			return nil, fmt.Errorf("certdir: reply crl %d: %w", i, err)
+		}
+		out = append(out, rl)
+	}
+	return out, nil
+}
+
+// ReloadCRLs asks the directory to re-read its CRL file (the admin
+// reload endpoint), returning how many lists were newly installed.
+func (c *Client) ReloadCRLs() (added int, err error) {
+	resp, err := c.roundTrip(PathReload, sexp.List(sexp.String("reload-crl")))
+	if err != nil {
+		return 0, err
+	}
+	if resp.Tag() != "reloaded" {
+		return 0, fmt.Errorf("certdir: unexpected reload reply %s", resp)
+	}
+	if a := resp.Child("added"); a != nil && a.Len() == 2 {
+		added, _ = strconv.Atoi(a.Nth(1).Text())
+	}
+	return added, nil
+}
+
+// Events long-polls the directory's invalidation stream: after is the
+// last sequence consumed (0 on first call), wait how long the
+// directory may hold the poll open. It returns the certificate body
+// hashes to invalidate, the new cursor, and reset — true when the
+// stream could not be served continuously (the subscriber lagged past
+// the retained tail or the directory restarted), in which case the
+// caller must invalidate coarsely. The signature is primitive-typed
+// on purpose: it is what prover.InvalidationSource requires, so this
+// client satisfies it structurally without the prover importing
+// certdir.
+func (c *Client) Events(after uint64, wait time.Duration) (hashes [][]byte, next uint64, reset bool, err error) {
+	req := []*sexp.Sexp{sexp.String("events"), sexp.String(strconv.FormatUint(after, 10))}
+	if wait > 0 {
+		req = append(req, sexp.List(sexp.String("wait"),
+			sexp.String(strconv.FormatInt(wait.Milliseconds(), 10))))
+	}
+	// The long poll must outlive the default transport timeout.
+	cl := c.httpClient()
+	if wait > 0 && cl.Timeout > 0 && cl.Timeout < wait+5*time.Second {
+		cp := *cl
+		cp.Timeout = wait + 5*time.Second
+		cl = &cp
+	}
+	resp, err := c.roundTripWith(cl, PathEvents, sexp.List(req...))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if resp.Tag() != "events" {
+		return nil, 0, false, fmt.Errorf("certdir: unexpected events reply %s", resp)
+	}
+	nx := resp.Child("next")
+	if nx == nil || nx.Len() != 2 {
+		return nil, 0, false, fmt.Errorf("certdir: events reply missing cursor")
+	}
+	next, err = strconv.ParseUint(nx.Nth(1).Text(), 10, 64)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("certdir: bad events cursor: %w", err)
+	}
+	for i := 1; i < resp.Len(); i++ {
+		row := resp.Nth(i)
+		switch row.Tag() {
+		case "reset":
+			reset = true
+		case "ev":
+			if row.Len() != 3 || !row.Nth(2).IsAtom() {
+				return nil, 0, false, fmt.Errorf("certdir: bad event row %s", row)
+			}
+			hashes = append(hashes, append([]byte(nil), row.Nth(2).Octets...))
+		}
+	}
+	return hashes, next, reset, nil
 }
 
 // Digests fetches the peer's per-partition gossip summaries

@@ -60,6 +60,15 @@ type Replicator struct {
 	// Logf, when set, receives one line per failed push and failed
 	// round (cmd/sf-certd wires log.Printf).
 	Logf func(format string, args ...any)
+	// Revocations, when set, extends gossip to CRLs themselves: newly
+	// installed CRLs fan out to peers (EnqueueCRL), and every
+	// anti-entropy round pulls the CRLs this node is missing,
+	// verify-before-apply, evicting what each one's signer issued. Set
+	// before Start. Without it, revocations still replicate — but only
+	// as per-directory tombstones after each node's own sweep, which
+	// leaves peers serving the revoked delegation until their own CRL
+	// arrives by other means.
+	Revocations *cert.RevocationStore
 
 	queue chan repJob
 	stop  chan struct{}
@@ -72,6 +81,8 @@ type Replicator struct {
 	pulled       atomic.Int64
 	pullRejected atomic.Int64
 	roundErrors  atomic.Int64
+	crlsPulled   atomic.Int64
+	crlsRejected atomic.Int64
 }
 
 // Replication defaults.
@@ -93,9 +104,11 @@ const (
 	fetchBatch = 64
 )
 
-// repJob is one queued fan-out: a publish (cert != nil) or a removal.
+// repJob is one queued fan-out: a publish (cert != nil), a CRL
+// install (crl != nil), or a removal.
 type repJob struct {
 	cert         *cert.Cert
+	crl          *cert.RevocationList
 	removeHash   []byte
 	removeExpiry time.Time
 }
@@ -104,13 +117,15 @@ type repJob struct {
 // endpoint.
 type ReplicatorStats struct {
 	Peers        int
-	Pushes       int64 // successful per-peer pushes (publish + remove)
+	Pushes       int64 // successful per-peer pushes (publish + crl + remove)
 	PushFailures int64 // pushes abandoned after all retries
 	QueueDrops   int64 // mutations shed by a full fan-out queue
 	Rounds       int64 // anti-entropy rounds completed
 	Pulled       int64 // certificates pulled and indexed by anti-entropy
 	PullRejected int64 // pulled certificates refused by verification
 	RoundErrors  int64 // per-peer round failures (unreachable peer etc.)
+	CRLsPulled   int64 // CRLs pulled and installed by anti-entropy
+	CRLsRejected int64 // pulled CRLs refused (bad signature)
 }
 
 // NewReplicator wires a store to its peers. Tune the exported fields,
@@ -188,6 +203,19 @@ func (r *Replicator) enqueue(j repJob) {
 	}
 }
 
+// EnqueueCRL fans a newly installed CRL out to every peer (rumor
+// mongering, like publishes: an accepting peer pushes it onward, and
+// the install dedup terminates the flood). Dropped or failed pushes
+// are repaired by the next anti-entropy round's CRL pull. Callers
+// install the CRL locally first — the fan-out is availability, the
+// local install is what revokes.
+func (r *Replicator) EnqueueCRL(rl *cert.RevocationList) {
+	if r.queue == nil {
+		return // not started: the first anti-entropy round will carry it
+	}
+	r.enqueue(repJob{crl: rl})
+}
+
 // pushLoop fans queued mutations out to every peer with bounded retry.
 func (r *Replicator) pushLoop() {
 	defer r.wg.Done()
@@ -215,9 +243,12 @@ func (r *Replicator) pushOne(peer *Client, j repJob) {
 			case <-time.After(r.backoff()):
 			}
 		}
-		if j.cert != nil {
+		switch {
+		case j.cert != nil:
 			err = peer.Publish(j.cert)
-		} else {
+		case j.crl != nil:
+			err = peer.PushCRL(j.crl)
+		default:
 			_, err = peer.Remove(j.removeHash)
 		}
 		if err == nil {
@@ -252,6 +283,14 @@ func (r *Replicator) gossipLoop() {
 func (r *Replicator) Converge() (pulled int, err error) {
 	var errs []error
 	for _, peer := range r.peers {
+		// CRLs first: once a peer's CRLs are applied here, the revoked
+		// certificates are tombstoned, so the certificate pull that
+		// follows in the same round cannot resurrect them.
+		if cerr := r.pullCRLs(peer); cerr != nil {
+			r.roundErrors.Add(1)
+			r.logf("certdir: crl anti-entropy with %s: %v", peer.BaseURL, cerr)
+			errs = append(errs, fmt.Errorf("%s: crls: %w", peer.BaseURL, cerr))
+		}
 		n, perr := r.pullFrom(peer)
 		pulled += n
 		if perr != nil {
@@ -262,6 +301,37 @@ func (r *Replicator) Converge() (pulled int, err error) {
 	}
 	r.rounds.Add(1)
 	return pulled, errors.Join(errs...)
+}
+
+// pullCRLs asks one peer for the CRLs this node is missing (diffed by
+// content hash so converged peers exchange only the hash list) and
+// applies each: verify, install, evict what its signer issued, and
+// rumor it onward. A rejected CRL (bad signature) is counted and
+// skipped — a compromised peer can fabricate neither revocations nor
+// delegations.
+func (r *Replicator) pullCRLs(peer *Client) error {
+	if r.Revocations == nil {
+		return nil
+	}
+	var have [][]byte
+	for _, rl := range r.Revocations.Lists() {
+		h := rl.Hash()
+		have = append(have, h[:])
+	}
+	lists, err := peer.CRLs(have)
+	if err != nil {
+		return err
+	}
+	for _, rl := range lists {
+		added, _, err := installCRL(r.store, r.Revocations, r, rl, r.now())
+		switch {
+		case err != nil:
+			r.crlsRejected.Add(1)
+		case added:
+			r.crlsPulled.Add(1)
+		}
+	}
+	return nil
 }
 
 // pullFrom compares digests with one peer and pulls whatever this
@@ -343,5 +413,7 @@ func (r *Replicator) Stats() ReplicatorStats {
 		Pulled:       r.pulled.Load(),
 		PullRejected: r.pullRejected.Load(),
 		RoundErrors:  r.roundErrors.Load(),
+		CRLsPulled:   r.crlsPulled.Load(),
+		CRLsRejected: r.crlsRejected.Load(),
 	}
 }

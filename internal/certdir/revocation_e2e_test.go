@@ -1,0 +1,117 @@
+package certdir
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// TestRevocationPropagatesEndToEnd is the acceptance scenario for the
+// revocation pipeline, run under -race in CI: a delegation published
+// at directory A and discovered through directory B keeps proving at
+// a prover attached to B — until the issuer revokes it at A through
+// the admin endpoint (no restart, no sweep tick). The CRL gossips
+// A -> B, B evicts and emits an invalidation event, and the prover's
+// subscription drops its cached edge, so the proof is rejected at B's
+// prover within one gossip exchange of a revocation it never heard
+// about directly.
+func TestRevocationPropagatesEndToEnd(t *testing.T) {
+	now := time.Now()
+	v := core.Between(now.Add(-time.Minute), now.Add(time.Hour))
+	want := tag.Prefix("gateway/files")
+	alice := sfkey.FromSeed([]byte("e2e-rev-alice"))
+	aliceP := principal.KeyOf(alice.Public())
+	bobP := principal.KeyOf(sfkey.FromSeed([]byte("e2e-rev-bob")).Public())
+
+	// Two directory domains, each with revocation endpoints, each
+	// replicating with the other (push + anti-entropy, like two
+	// sf-certd daemons with -peer pointing at each other).
+	newDir := func() (*Store, *cert.RevocationStore, *Service, *Client) {
+		st := NewStore(4)
+		svc := NewService(st)
+		svc.Revocations = cert.NewRevocationStore()
+		ts := httptest.NewServer(svc)
+		t.Cleanup(ts.Close)
+		return st, svc.Revocations, svc, NewClient(ts.URL)
+	}
+	stA, _, svcA, clA := newDir()
+	stB, rsB, svcB, clB := newDir()
+
+	repA := NewReplicator(stA, []*Client{clB})
+	repA.Revocations = svcA.Revocations
+	repA.Interval = 100 * time.Millisecond
+	repA.Start()
+	t.Cleanup(repA.Stop)
+	svcA.Replicator = repA
+
+	repB := NewReplicator(stB, []*Client{clA})
+	repB.Revocations = rsB
+	repB.Interval = 100 * time.Millisecond
+	repB.Start()
+	t.Cleanup(repB.Stop)
+	svcB.Replicator = repB
+
+	// Publish bob =want=> alice at A only; replication carries it to B.
+	c := delegate(t, alice, bobP, want, v)
+	if err := clA.Publish(c); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "publish replication A -> B", func() bool { return stB.Len() == 1 })
+
+	// The prover lives in B's domain: discovery and invalidation both
+	// go through directory B.
+	p := prover.New()
+	p.AddRemote(clB)
+	p.NegativeTTL = 50 * time.Millisecond // a re-query after revocation must not be masked
+	cache := core.NewProofCache(64)
+	sub := p.SubscribeWait(clB, cache, 2*time.Second)
+	t.Cleanup(sub.Stop)
+
+	if _, err := p.FindProof(bobP, aliceP, want, now); err != nil {
+		t.Fatalf("pre-revocation discovery failed: %v", err)
+	}
+
+	// Alice revokes the delegation at HER directory, live.
+	rl := cert.NewRevocationList(alice, v, c.Hash())
+	if err := clA.PushCRL(rl); err != nil {
+		t.Fatal(err)
+	}
+	if stA.Len() != 0 {
+		t.Fatal("admin CRL install did not evict at A immediately")
+	}
+
+	// Within one gossip exchange, B holds the CRL, has evicted the
+	// certificate, and B's prover no longer proves the delegation:
+	// its cached edge is invalidated by the event stream, and the
+	// re-query finds a directory that no longer serves the cert.
+	waitFor(t, "CRL gossip A -> B", func() bool { return rsB.Has(rl.Hash()) })
+	waitFor(t, "eviction at B", func() bool { return stB.Len() == 0 })
+	waitFor(t, "prover invalidation", func() bool { return p.EdgeCount() == 0 })
+	waitFor(t, "proof rejection at B's prover", func() bool {
+		_, err := p.FindProof(bobP, aliceP, want, time.Now())
+		return err != nil
+	})
+	if st := p.Stats(); st.Invalidated == 0 {
+		t.Fatalf("prover invalidated %d edges, want > 0", st.Invalidated)
+	}
+}
+
+// waitFor polls cond until the deadline; replication and invalidation
+// are asynchronous.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

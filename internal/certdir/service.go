@@ -42,15 +42,43 @@ import (
 // fetched certificates are re-verified by the puller before indexing,
 // and serving digests or hashes reveals only content hashes of
 // certificates the directory would hand out anyway.
+// Revocation propagation adds four endpoints:
+//
+//	POST /certdir/events       (events <after> [(wait <ms>)]) -> (events (next <n>) [(reset)] (ev remove|revoke <hash>)...)
+//	POST /certdir/admin/crl    (crl ...)                      -> (crl-installed (evicted n)) | (crl-duplicate)
+//	POST /certdir/admin/reload (reload-crl)                   -> (reloaded (added n) (total m) (evicted k))
+//	POST /certdir/gossip/crls  (crls <have-hash>...)          -> (crls <crl>...)
+//
+// The events stream is the directory->prover invalidation channel: a
+// long-poll cursor protocol over the store's EventLog (see events.go
+// for cursor and reset semantics). The admin endpoints install a CRL
+// (or re-read the daemon's -crl file) without a restart; installation
+// verifies the CRL signature, evicts the delegations its SIGNER
+// issued (see Store.EvictRevokedByIssuer for why the issuer match
+// matters), bumps the proof-cache epoch, and fans the CRL out to
+// gossip peers. The gossip/crls endpoint serves the installed CRLs —
+// minus the ones the asking peer already has — so one domain's
+// revocation evicts at every peer directly instead of waiting for
+// per-directory tombstones; pullers verify every CRL before applying
+// it, exactly like certificates.
 const (
-	PathPublish = "/certdir/publish"
-	PathQuery   = "/certdir/query"
-	PathRemove  = "/certdir/remove"
-	PathStats   = "/certdir/stats"
-	PathDigests = "/certdir/gossip/digests"
-	PathHashes  = "/certdir/gossip/hashes"
-	PathFetch   = "/certdir/gossip/fetch"
+	PathPublish  = "/certdir/publish"
+	PathQuery    = "/certdir/query"
+	PathRemove   = "/certdir/remove"
+	PathStats    = "/certdir/stats"
+	PathDigests  = "/certdir/gossip/digests"
+	PathHashes   = "/certdir/gossip/hashes"
+	PathFetch    = "/certdir/gossip/fetch"
+	PathCRLs     = "/certdir/gossip/crls"
+	PathEvents   = "/certdir/events"
+	PathAdminCRL = "/certdir/admin/crl"
+	PathReload   = "/certdir/admin/reload"
 )
+
+// maxEventWait caps the long-poll duration a client may request; a
+// subscriber wanting to wait longer re-polls, so a directory never
+// holds a handler goroutine hostage indefinitely.
+const maxEventWait = 30 * time.Second
 
 // maxBody bounds request bodies; a delegation certificate is a few
 // hundred bytes and a gossip fetch asks for at most a few thousand
@@ -62,10 +90,19 @@ const maxBody = 1 << 20
 type Service struct {
 	Store *Store
 	// Replicator, when set, contributes its counters to the stats
-	// endpoint. The service never drives it — cmd/sf-certd does.
+	// endpoint and receives newly installed CRLs for fan-out. The
+	// service never drives its loops — cmd/sf-certd does.
 	Replicator *Replicator
 	// Clock supplies the service's notion of now; nil means time.Now.
 	Clock func() time.Time
+	// Revocations, when set, enables the revocation endpoints
+	// (admin/crl, admin/reload, gossip/crls): CRLs installed through
+	// them land here, bumping the shared proof-cache epoch.
+	Revocations *cert.RevocationStore
+	// ReloadCRLs, when set, is invoked by the admin reload endpoint
+	// (cmd/sf-certd wires it to re-read the -crl file, evict, and
+	// gossip the new lists; SIGHUP runs the same function).
+	ReloadCRLs func() (added, total, evicted int, err error)
 }
 
 // NewService wraps a store.
@@ -93,6 +130,14 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.post(w, r, s.handleHashes)
 	case PathFetch:
 		s.post(w, r, s.handleFetch)
+	case PathCRLs:
+		s.post(w, r, s.handleCRLs)
+	case PathEvents:
+		s.post(w, r, s.handleEvents)
+	case PathAdminCRL:
+		s.post(w, r, s.handleAdminCRL)
+	case PathReload:
+		s.post(w, r, s.handleReload)
 	case PathStats:
 		s.reply(w, s.statsSexp())
 	default:
@@ -274,6 +319,146 @@ func (s *Service) handleFetch(e *sexp.Sexp) (*sexp.Sexp, error) {
 	return certsSexp(s.Store.ByHashes(hashes, s.now())), nil
 }
 
+// handleEvents serves the invalidation stream: (events <after>
+// [(wait <ms>)]) answers with every retained event after the cursor,
+// long-polling up to the requested wait when the cursor is current.
+// See events.go for cursor and reset semantics.
+func (s *Service) handleEvents(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if e.Tag() != "events" || e.Len() < 2 || !e.Nth(1).IsAtom() {
+		return nil, fmt.Errorf("certdir: events wants (events <after> [(wait <ms>)])")
+	}
+	after, err := strconv.ParseUint(e.Nth(1).Text(), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("certdir: bad events cursor %q", e.Nth(1).Text())
+	}
+	var wait time.Duration
+	for i := 2; i < e.Len(); i++ {
+		c := e.Nth(i)
+		if c.Tag() != "wait" || c.Len() != 2 || !c.Nth(1).IsAtom() {
+			return nil, fmt.Errorf("certdir: unknown events clause %s", c)
+		}
+		ms, err := strconv.Atoi(c.Nth(1).Text())
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("certdir: bad events wait %q", c.Nth(1).Text())
+		}
+		wait = time.Duration(ms) * time.Millisecond
+	}
+	if wait > maxEventWait {
+		wait = maxEventWait
+	}
+	evs, next, reset := s.Store.Events().Wait(after, wait)
+	kids := []*sexp.Sexp{
+		sexp.String("events"),
+		sexp.List(sexp.String("next"), sexp.String(strconv.FormatUint(next, 10))),
+	}
+	if reset {
+		kids = append(kids, sexp.List(sexp.String("reset")))
+	}
+	for _, ev := range evs {
+		kids = append(kids, sexp.List(sexp.String("ev"), sexp.String(ev.Kind), sexp.Atom(ev.Hash)))
+	}
+	return sexp.List(kids...), nil
+}
+
+// handleAdminCRL installs one CRL without a restart: verify, dedup,
+// evict what its signer issued, fan out to peers. Duplicates are
+// acknowledged idempotently so gossip floods terminate.
+func (s *Service) handleAdminCRL(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if s.Revocations == nil {
+		return nil, fmt.Errorf("certdir: revocation endpoints not enabled")
+	}
+	rl, err := cert.RevocationListFromSexp(e)
+	if err != nil {
+		return nil, fmt.Errorf("certdir: admin crl: %w", err)
+	}
+	added, evicted, err := s.installCRL(rl)
+	if err != nil {
+		return nil, fmt.Errorf("certdir: admin crl: %w", err)
+	}
+	if !added {
+		return sexp.List(sexp.String("crl-duplicate")), nil
+	}
+	return sexp.List(
+		sexp.String("crl-installed"),
+		sexp.List(sexp.String("evicted"), sexp.String(strconv.Itoa(evicted))),
+	), nil
+}
+
+func (s *Service) installCRL(rl *cert.RevocationList) (added bool, evicted int, err error) {
+	return installCRL(s.Store, s.Revocations, s.Replicator, rl, s.now())
+}
+
+// installCRL is the one path every network-arriving CRL takes — the
+// admin endpoint and the gossip pull both funnel here: verify-before-
+// apply into the revocation store (which bumps the proof-cache
+// epoch), immediate issuer-matched eviction (which tombstones and
+// emits revoke events), then rumor-mongering fan-out to peers (nil
+// rep for an unreplicated directory). Dedup in AddNew terminates the
+// flood.
+func installCRL(st *Store, revs *cert.RevocationStore, rep *Replicator, rl *cert.RevocationList, now time.Time) (added bool, evicted int, err error) {
+	added, err = revs.AddNew(rl)
+	if err != nil || !added {
+		return added, 0, err
+	}
+	evicted = st.EvictRevokedByIssuer(revs.RevokedByIssuerAt(now))
+	if rep != nil {
+		rep.EnqueueCRL(rl)
+	}
+	return true, evicted, nil
+}
+
+// handleReload re-reads the daemon's CRL file via the wired callback;
+// (reload-crl) with no callback is a clean error, not a 500.
+func (s *Service) handleReload(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if e.Tag() != "reload-crl" || e.Len() != 1 {
+		return nil, fmt.Errorf("certdir: reload wants (reload-crl)")
+	}
+	if s.ReloadCRLs == nil {
+		return nil, fmt.Errorf("certdir: no CRL file configured to reload")
+	}
+	added, total, evicted, err := s.ReloadCRLs()
+	if err != nil {
+		return nil, fmt.Errorf("certdir: reload: %w", err)
+	}
+	row := func(name string, v int) *sexp.Sexp {
+		return sexp.List(sexp.String(name), sexp.String(strconv.Itoa(v)))
+	}
+	return sexp.List(sexp.String("reloaded"),
+		row("added", added), row("total", total), row("evicted", evicted)), nil
+}
+
+// handleCRLs serves the installed CRLs minus the ones the asking peer
+// already holds: (crls <have-hash>...). CRLs are public, signed
+// statements; serving them reveals nothing the signer did not already
+// publish.
+func (s *Service) handleCRLs(e *sexp.Sexp) (*sexp.Sexp, error) {
+	if e.Tag() != "crls" {
+		return nil, fmt.Errorf("certdir: crls wants (crls <have-hash>...)")
+	}
+	if s.Revocations == nil {
+		// A directory without revocation state has nothing to serve;
+		// answer empty so peers with CRLs enabled interoperate.
+		return sexp.List(sexp.String("crls")), nil
+	}
+	have := make(map[[32]byte]bool, e.Len()-1)
+	for i := 1; i < e.Len(); i++ {
+		h := e.Nth(i)
+		if !h.IsAtom() || len(h.Octets) != 32 {
+			return nil, fmt.Errorf("certdir: crls hash %d is not a 32-byte atom", i)
+		}
+		var k [32]byte
+		copy(k[:], h.Octets)
+		have[k] = true
+	}
+	kids := []*sexp.Sexp{sexp.String("crls")}
+	for _, rl := range s.Revocations.Lists() {
+		if !have[rl.Hash()] {
+			kids = append(kids, rl.Sexp())
+		}
+	}
+	return sexp.List(kids...), nil
+}
+
 func (s *Service) statsSexp() *sexp.Sexp {
 	st := s.Store.Stats()
 	row := func(name string, v int64) *sexp.Sexp {
@@ -291,6 +476,10 @@ func (s *Service) statsSexp() *sexp.Sexp {
 		row("evicted", st.Evicted),
 		row("tombstones", st.Tombstones),
 		row("wal-errors", st.WALErrors),
+		row("events-emitted", int64(s.Store.Events().Emitted())),
+	}
+	if s.Revocations != nil {
+		kids = append(kids, row("crls", int64(len(s.Revocations.Lists()))))
 	}
 	if ws, ok := s.Store.WALStats(); ok {
 		kids = append(kids,
@@ -311,6 +500,8 @@ func (s *Service) statsSexp() *sexp.Sexp {
 			row("gossip-pulled", rs.Pulled),
 			row("gossip-rejected", rs.PullRejected),
 			row("gossip-round-errors", rs.RoundErrors),
+			row("gossip-crls-pulled", rs.CRLsPulled),
+			row("gossip-crls-rejected", rs.CRLsRejected),
 		)
 	}
 	return sexp.List(kids...)

@@ -125,6 +125,11 @@ type Store struct {
 	tmu        sync.Mutex
 	tombstones map[string]time.Time
 
+	// events is the invalidation stream served to subscribed provers:
+	// one event per removal or revocation eviction, so caches beyond
+	// the directory's reach can drop what it can no longer vouch for.
+	events *EventLog
+
 	hooks atomic.Pointer[hookSet]
 
 	published  atomic.Int64
@@ -143,7 +148,11 @@ func NewStore(n int) *Store {
 	if n <= 0 {
 		n = DefaultShards
 	}
-	s := &Store{shards: make([]*dirShard, n), tombstones: make(map[string]time.Time)}
+	s := &Store{
+		shards:     make([]*dirShard, n),
+		tombstones: make(map[string]time.Time),
+		events:     newEventLog(0),
+	}
 	for i := range s.shards {
 		s.shards[i] = &dirShard{
 			byIssuer:  make(map[string][]*entry),
@@ -383,6 +392,7 @@ func (s *Store) Remove(hash []byte) bool {
 		s.addTombstone(key, e.expiry)
 		sh.mu.Unlock()
 		s.removed.Add(1)
+		s.events.append(EventRemove, hash)
 		if h := s.hooks.Load(); h != nil && h.onRemove != nil {
 			h.onRemove(hash, e.expiry)
 		}
@@ -390,6 +400,10 @@ func (s *Store) Remove(hash []byte) bool {
 	}
 	return false
 }
+
+// Events exposes the store's invalidation stream; the service's
+// long-poll endpoint and tests read it.
+func (s *Store) Events() *EventLog { return s.events }
 
 // replayRemove re-applies a WAL removal record: drop the certificate
 // if a preceding replayed publish indexed it, and restore the
@@ -514,23 +528,51 @@ func (s *Store) EvictRevoked(revoked func(certHash []byte) bool) int {
 	if revoked == nil {
 		return 0
 	}
+	return s.evictWhere(func(e *entry) bool { return revoked([]byte(e.hashKey)) })
+}
+
+// EvictRevokedByIssuer is EvictRevoked for predicates that also see
+// the certificate's issuer key — pair it with
+// cert.RevocationStore.RevokedByIssuerAt so a CRL only voids
+// delegations its signer actually issued. This is the eviction the
+// daemons and the CRL gossip path use: CRLs that arrive over the
+// network carry a valid signature from SOME key, and the issuer match
+// is what stops an arbitrary key holder from denying service to
+// delegations it never granted.
+func (s *Store) EvictRevokedByIssuer(revoked func(certHash []byte, issuerKey string) bool) int {
+	if revoked == nil {
+		return 0
+	}
+	return s.evictWhere(func(e *entry) bool { return revoked([]byte(e.hashKey), e.issuerK) })
+}
+
+// evictWhere drops every entry the predicate condemns, tombstoning
+// each (a peer that has not seen the CRL must not gossip the
+// certificate back in) and emitting one revoke event per drop so
+// subscribed provers shed their copies too.
+func (s *Store) evictWhere(dead func(*entry) bool) int {
 	n := 0
+	var dropped []*entry
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		var dead []*entry
+		var del []*entry
 		for _, e := range sh.byHash {
-			if revoked([]byte(e.hashKey)) {
-				dead = append(dead, e)
+			if dead(e) {
+				del = append(del, e)
 			}
 		}
-		for _, e := range dead {
+		for _, e := range del {
 			sh.dropLocked(e)
 			// Under the shard lock, like Remove: a concurrent pull must
 			// see the entry or its tombstone, never neither.
 			s.addTombstone(e.hashKey, e.expiry)
 		}
 		sh.mu.Unlock()
-		n += len(dead)
+		n += len(del)
+		dropped = append(dropped, del...)
+	}
+	for _, e := range dropped {
+		s.events.append(EventRevoke, []byte(e.hashKey))
 	}
 	s.evicted.Add(int64(n))
 	if n > 0 {

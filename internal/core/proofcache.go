@@ -32,6 +32,7 @@ type ProofCache struct {
 	mu      sync.RWMutex
 	entries map[[32]byte]proofCacheEntry
 	max     int
+	clock   func() time.Time // nil means time.Now; see SetClock
 
 	epoch  atomic.Uint64
 	hits   atomic.Int64
@@ -63,6 +64,25 @@ func NewProofCache(max int) *ProofCache {
 		max = DefaultProofCacheSize
 	}
 	return &ProofCache{entries: make(map[[32]byte]proofCacheEntry), max: max}
+}
+
+// SetClock injects the cache's notion of now (nil restores time.Now).
+// The rest of verification threads now explicitly through contexts and
+// Lookup; the clock only feeds eviction's validity test, so tests can
+// park entries on either side of a window instead of sleeping across
+// it. Set before the cache takes traffic.
+func (c *ProofCache) SetClock(clock func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clock
+}
+
+// now reads the injected clock; callers hold at least a read lock.
+func (c *ProofCache) now() time.Time {
+	if c.clock != nil {
+		return c.clock()
+	}
+	return time.Now()
 }
 
 var sharedProofCache = NewProofCache(0)
@@ -141,7 +161,7 @@ func (c *ProofCache) Store(h [32]byte, v Validity, epoch, view uint64) {
 // delegation verdicts), then an arbitrary quarter of the map.
 func (c *ProofCache) evictLocked() {
 	epoch := c.epoch.Load()
-	now := time.Now()
+	now := c.now()
 	for h, e := range c.entries {
 		if e.epoch != epoch || !e.validity.Contains(now) {
 			delete(c.entries, h)
@@ -160,6 +180,21 @@ func (c *ProofCache) evictLocked() {
 			break
 		}
 	}
+}
+
+// Evict drops the single cached verdict for the given proof hash,
+// reporting whether one was present. This is the targeted complement
+// to BumpEpoch: a directory invalidation event names the certificates
+// it voids, so a subscriber (prover.Subscription) can kill exactly the
+// verdicts resting on them without flushing the whole cache.
+func (c *ProofCache) Evict(h [32]byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[h]; !ok {
+		return false
+	}
+	delete(c.entries, h)
+	return true
 }
 
 // BumpEpoch advances the revocation epoch, invalidating every cached

@@ -133,6 +133,64 @@ func TestProofCacheSizeBound(t *testing.T) {
 	}
 }
 
+// TestProofCacheEvictionPrefersExpired pins the eviction priority
+// without sleeping: the injected clock says the short-lived entries
+// are past their validity, so a full cache sheds exactly those and
+// keeps the long-lived verdicts. Before the clock was injectable this
+// test would have had to sleep real wall time across the window (and
+// could flake near the boundary).
+func TestProofCacheEvictionPrefersExpired(t *testing.T) {
+	const max = 8
+	c := NewProofCache(max)
+	clock := cacheNow
+	c.SetClock(func() time.Time { return clock })
+
+	// Half the cache expires at +1m, half lives an hour.
+	var keepers [][32]byte
+	for i := 0; i < max; i++ {
+		h := someHash(byte(i + 1))
+		if i%2 == 0 {
+			c.Store(h, Until(cacheNow.Add(time.Minute)), c.Epoch(), 0)
+		} else {
+			c.Store(h, Until(cacheNow.Add(time.Hour)), c.Epoch(), 0)
+			keepers = append(keepers, h)
+		}
+	}
+	// Advance the injected clock past the short window — no sleep —
+	// and force an eviction by inserting into the full cache.
+	clock = cacheNow.Add(2 * time.Minute)
+	c.Store(someHash(100), Until(cacheNow.Add(time.Hour)), c.Epoch(), 0)
+	for _, h := range keepers {
+		if !c.Lookup(h, clock, ViewAny) {
+			t.Fatal("eviction displaced a live long-lived verdict while expired entries existed")
+		}
+	}
+	if !c.Lookup(someHash(100), clock, ViewAny) {
+		t.Fatal("newly stored entry missing after eviction")
+	}
+}
+
+// TestProofCacheEvict: targeted single-entry eviction (the
+// directory→prover invalidation hook) drops exactly the named verdict.
+func TestProofCacheEvict(t *testing.T) {
+	c := NewProofCache(16)
+	h, other := someHash(1), someHash(2)
+	c.Store(h, Forever, c.Epoch(), 0)
+	c.Store(other, Forever, c.Epoch(), 0)
+	if !c.Evict(h) {
+		t.Fatal("Evict reported absent for a stored entry")
+	}
+	if c.Evict(h) {
+		t.Fatal("second Evict reported present")
+	}
+	if c.Lookup(h, cacheNow, ViewAny) {
+		t.Fatal("evicted verdict still served")
+	}
+	if !c.Lookup(other, cacheNow, ViewAny) {
+		t.Fatal("Evict disturbed an unrelated entry")
+	}
+}
+
 func TestPortable(t *testing.T) {
 	a := key("alice")
 	refl := NewReflex(a)

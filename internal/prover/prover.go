@@ -64,6 +64,10 @@ type Stats struct {
 	RemoteCerts    int // fresh proofs digested from directories
 	RemoteRejected int // remote proofs dropped as unverifiable
 	NegCacheHits   int // directory lookups skipped by the negative cache
+
+	NegCacheEvicted int // fresh negative entries displaced by newer ones (cache overflow)
+	Invalidated     int // edges dropped by directory invalidation events
+	EventResets     int // subscription stream resets (coarse invalidation fallback)
 }
 
 // counters is the internal, concurrency-safe form of Stats.
@@ -78,6 +82,10 @@ type counters struct {
 	remoteCerts    atomic.Int64
 	remoteRejected atomic.Int64
 	negCacheHits   atomic.Int64
+
+	negCacheEvicted atomic.Int64
+	invalidated     atomic.Int64
+	eventResets     atomic.Int64
 }
 
 // DefaultEdgeShards is the shard count of the delegation graph's
@@ -236,6 +244,10 @@ func (p *Prover) Stats() Stats {
 		RemoteCerts:    int(p.stats.remoteCerts.Load()),
 		RemoteRejected: int(p.stats.remoteRejected.Load()),
 		NegCacheHits:   int(p.stats.negCacheHits.Load()),
+
+		NegCacheEvicted: int(p.stats.negCacheEvicted.Load()),
+		Invalidated:     int(p.stats.invalidated.Load()),
+		EventResets:     int(p.stats.eventResets.Load()),
 	}
 }
 

@@ -60,8 +60,10 @@ const (
 	DefaultRemoteLimit = 256
 )
 
-// negCacheMax bounds the negative cache: once full of fresh entries,
-// new misses go unrecorded rather than growing the map.
+// negCacheMax bounds the negative cache: at the bound, recording a
+// new miss first prunes expired entries, then evicts the oldest —
+// the incoming key is the freshest fact and is always inserted (see
+// cacheNegative).
 const negCacheMax = 4096
 
 // AddRemote registers a remote delegation source. Multiple sources
@@ -284,8 +286,11 @@ func (p *Prover) negTTL() time.Duration {
 }
 
 // cacheNegative records an empty directory answer, pruning expired
-// entries when full and refusing new entries rather than growing past
-// the bound.
+// entries when full and evicting the oldest entries when pruning
+// frees nothing. The new key is always inserted: it is the freshest
+// fact the cache holds, and refusing it (the old behavior) meant a
+// hot missing issuer re-queried the directory on every FindProof for
+// as long as the cache stayed full of still-fresh strangers.
 func (p *Prover) cacheNegative(key string, now time.Time) {
 	p.rmu.Lock()
 	defer p.rmu.Unlock()
@@ -295,8 +300,16 @@ func (p *Prover) cacheNegative(key string, now time.Time) {
 				delete(p.negCache, k)
 			}
 		}
-		if len(p.negCache) >= negCacheMax {
-			return
+		for len(p.negCache) >= negCacheMax {
+			var oldestK string
+			var oldestT time.Time
+			for k, t := range p.negCache {
+				if oldestK == "" || t.Before(oldestT) {
+					oldestK, oldestT = k, t
+				}
+			}
+			delete(p.negCache, oldestK)
+			p.stats.negCacheEvicted.Add(1)
 		}
 	}
 	p.negCache[key] = now
