@@ -8,6 +8,8 @@
 //	sf-certd -addr 127.0.0.1:8360 -shards 64 -sweep 30s -crl revoked.crl
 //	sf-certd -addr 127.0.0.1:8360 -data-dir /var/lib/sf-certd \
 //	         -fsync always -peer http://dir-b:8360 -peer http://dir-c:8360
+//	sf-certd -addr 127.0.0.1:8360 -admin-auth -operator operator.prin \
+//	         -ctl-key dirA.key -ctl-cert dirA-ctl.cert -peer http://dir-b:8360
 //
 // With -data-dir the directory is durable: accepted publishes and
 // removals are journaled to a write-ahead log before they are
@@ -21,6 +23,15 @@
 // POST /certdir/admin/crl and replicate to peers (CRL gossip), and
 // every removal or revocation is emitted on the /certdir/events
 // stream so subscribed provers drop their cached copies.
+//
+// With -admin-auth the control plane is closed: publish, remove, and
+// the admin endpoints demand a speaks-for proof that the request
+// speaks for the -operator principal regarding (sf-ctl publish) or
+// (sf-ctl admin) — the same certificates, the same proof cache, the
+// same revocation pipeline as the data plane, so revoking an
+// operator credential locks its holder out on the next request. The
+// daemon's own gossip pushes are signed with -ctl-key plus the
+// -ctl-cert chain. -admin-addr serves /metrics (Prometheus format).
 // docs/OPERATIONS.md covers every flag and counter in detail.
 package main
 
@@ -28,14 +39,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/internal/cert"
 	"repro/internal/certdir"
+	"repro/internal/core"
+	"repro/internal/httpauth"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/server"
+	"repro/internal/sfkey"
 )
 
 // peerList collects repeated -peer flags.
@@ -49,6 +62,7 @@ func (p *peerList) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8360", "listen address")
+	adminAddr := flag.String("admin-addr", "", "admin/metrics HTTP listen address (empty = disabled)")
 	shards := flag.Int("shards", certdir.DefaultShards, "store shard count")
 	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep interval (0 disables)")
 	crlFile := flag.String("crl", "", "file of CRL S-expressions to enforce")
@@ -59,7 +73,13 @@ func main() {
 	flag.Var(&peers, "peer", "peer directory base URL (repeatable) to replicate with")
 	gossip := flag.Duration("gossip", certdir.DefaultGossipInterval, "anti-entropy round interval (0 disables pulls; pushes still run)")
 	pushRetries := flag.Int("push-retries", certdir.DefaultPushRetries, "push attempts per peer per mutation")
+	adminAuth := flag.Bool("admin-auth", false, "require speaks-for proofs on publish/remove/admin endpoints")
+	operatorFile := flag.String("operator", "", "file holding the operator principal S-expression (required with -admin-auth)")
+	ctlKeyFile := flag.String("ctl-key", "", "private key signing this daemon's gossip pushes (required with -admin-auth and -peer)")
+	ctlCertFile := flag.String("ctl-cert", "", "certificate chain file delegating control authority to -ctl-key")
 	flag.Parse()
+
+	rt := server.New("sf-certd")
 
 	var store *certdir.Store
 	if *dataDir != "" {
@@ -72,53 +92,91 @@ func main() {
 			log.Fatalf("sf-certd: %v", err)
 		}
 		store = st
-		log.Printf("sf-certd: replayed %d WAL records from %s (%d dropped, torn=%v, compacted=%v, %d certs live)",
+		rt.Printf("replayed %d WAL records from %s (%d dropped, torn=%v, compacted=%v, %d certs live)",
 			rec.Replayed, *dataDir, rec.Dropped, rec.Torn, rec.Compacted, store.Len())
-		if policy == certdir.SyncInterval && *fsyncEvery > 0 {
-			go func() {
-				for range time.Tick(*fsyncEvery) {
-					if err := store.SyncWAL(); err != nil {
-						log.Printf("sf-certd: wal sync: %v", err)
-					}
+		if policy == certdir.SyncInterval {
+			rt.Every(*fsyncEvery, func() {
+				if err := store.SyncWAL(); err != nil {
+					rt.Printf("wal sync: %v", err)
 				}
-			}()
+			})
 		}
-		// No clean-shutdown hook on purpose: the daemon dies by signal,
-		// and the WAL is built to make that safe (replay + torn-tail
-		// truncation at next start).
+		// Signal death stays safe (replay + torn-tail truncation), but a
+		// clean SIGTERM also closes the log.
+		rt.OnShutdown(func() {
+			if err := store.CloseWAL(); err != nil {
+				rt.Printf("wal close: %v", err)
+			}
+		})
 	} else {
 		store = certdir.NewStore(*shards)
 	}
 
 	revocations := cert.NewRevocationStore()
-	if *crlFile != "" {
-		_, total, err := revocations.LoadFile(*crlFile)
-		if err != nil {
-			log.Fatalf("sf-certd: %v", err)
+	rt.Every(*sweep, func() {
+		now := time.Now()
+		expired := store.Sweep(now)
+		revoked := store.EvictRevokedByIssuer(revocations.RevokedByIssuerAt(now))
+		lapsed := revocations.Sweep(now)
+		if expired+revoked+lapsed > 0 {
+			rt.Printf("swept %d expired, %d revoked, %d lapsed CRLs (%d stored)",
+				expired, revoked, lapsed, store.Len())
 		}
-		log.Printf("sf-certd: loaded %d revocation lists from %s", total, *crlFile)
-	}
-
-	if *sweep > 0 {
-		go func() {
-			for range time.Tick(*sweep) {
-				now := time.Now()
-				expired := store.Sweep(now)
-				revoked := store.EvictRevokedByIssuer(revocations.RevokedByIssuerAt(now))
-				if expired+revoked > 0 {
-					log.Printf("sf-certd: swept %d expired, %d revoked (%d stored)",
-						expired, revoked, store.Len())
-				}
-			}
-		}()
-	}
+	})
 
 	svc := certdir.NewService(store)
 	svc.Revocations = revocations
+
+	// Control-plane wiring. The signer (outbound: authenticates this
+	// daemon's pushes to its peers) and the guard (inbound: closes this
+	// daemon's own mutating endpoints) are deliberately independent —
+	// the documented migration runs a mesh signing-but-not-enforcing
+	// first, then enables -admin-auth one node at a time, so -ctl-key
+	// must work without -admin-auth.
+	var operator principal.Principal
+	if *operatorFile != "" {
+		var err error
+		if operator, err = server.LoadPrincipalFile(*operatorFile); err != nil {
+			log.Fatalf("sf-certd: operator principal: %v", err)
+		}
+	}
+	var ctlSigner *httpauth.CtlSigner
+	if *ctlCertFile != "" && *ctlKeyFile == "" {
+		log.Fatal("sf-certd: -ctl-cert requires -ctl-key (a credential without its key signs nothing)")
+	}
+	if *ctlKeyFile != "" {
+		if operator == nil {
+			log.Fatal("sf-certd: -ctl-key requires -operator (the principal peers enforce)")
+		}
+		priv, err := sfkey.LoadPrivateKeyFile(*ctlKeyFile)
+		if err != nil {
+			log.Fatalf("sf-certd: %v", err)
+		}
+		var chain []*cert.Cert
+		if *ctlCertFile != "" {
+			if chain, err = cert.LoadCertFile(*ctlCertFile); err != nil {
+				log.Fatalf("sf-certd: %v", err)
+			}
+		}
+		ctlSigner = httpauth.NewCtlSigner(prover.NewKeyClosure(priv), operator, chain...)
+		rt.Printf("signing outbound control-plane requests for operator %s", operator)
+	}
+	if *adminAuth {
+		if operator == nil {
+			log.Fatal("sf-certd: -admin-auth requires -operator")
+		}
+		if ctlSigner == nil && len(peers) > 0 {
+			log.Fatal("sf-certd: -admin-auth with -peer requires -ctl-key (peers will reject unsigned pushes)")
+		}
+		svc.Guard = httpauth.NewCtlGuard(operator, revocations)
+		rt.Printf("control plane enforcing: callers must speak for %s", operator)
+	}
+
 	if len(peers) > 0 {
 		clients := make([]*certdir.Client, len(peers))
 		for i, p := range peers {
 			clients[i] = certdir.NewClient(p)
+			clients[i].Ctl = ctlSigner
 		}
 		rep := certdir.NewReplicator(store, clients)
 		rep.Revocations = revocations
@@ -131,56 +189,77 @@ func main() {
 		rep.Retries = *pushRetries
 		rep.Logf = log.Printf
 		rep.Start()
+		rt.OnShutdown(rep.Stop)
 		svc.Replicator = rep
 		// One eager round so a restarted or freshly added node catches
 		// up before its first ticker tick.
 		go func() {
 			if n, err := rep.Converge(); err != nil {
-				log.Printf("sf-certd: initial anti-entropy: %v", err)
+				rt.Printf("initial anti-entropy: %v", err)
 			} else if n > 0 {
-				log.Printf("sf-certd: initial anti-entropy pulled %d certs", n)
+				rt.Printf("initial anti-entropy pulled %d certs", n)
 			}
 		}()
-		log.Printf("sf-certd: replicating with %d peer(s), gossip every %s", len(peers), *gossip)
+		rt.Printf("replicating with %d peer(s), gossip every %s", len(peers), *gossip)
 	}
 
 	// Hot CRL reload: SIGHUP and the admin endpoint run the same
-	// function — re-read the file through the shared loader (new lists
-	// only, dedup keeps a no-op reload from flushing the proof cache),
-	// evict what the new lists void RIGHT NOW rather than at the next
-	// sweep, and fan the new lists out to gossip peers.
+	// function through the runtime's shared wiring — re-read the file
+	// (new lists only; dedup keeps a no-op reload from flushing the
+	// proof cache), evict what the new lists void RIGHT NOW rather
+	// than at the next sweep, and fan the new lists out to peers.
 	if *crlFile != "" {
-		reload := func() (added, total, evicted int, err error) {
-			// On a partial failure (a malformed list mid-file) the lists
-			// before it ARE installed — evict and gossip them rather than
-			// leaving their revocations to the next sweep.
-			lists, total, err := revocations.LoadFile(*crlFile)
-			if len(lists) > 0 {
-				evicted = store.EvictRevokedByIssuer(revocations.RevokedByIssuerAt(time.Now()))
-				if svc.Replicator != nil {
-					for _, rl := range lists {
-						svc.Replicator.EnqueueCRL(rl)
-					}
+		reload, err := rt.WireCRLFile(revocations, *crlFile, func(added []*cert.RevocationList) int {
+			evicted := store.EvictRevokedByIssuer(revocations.RevokedByIssuerAt(time.Now()))
+			if svc.Replicator != nil {
+				for _, rl := range added {
+					svc.Replicator.EnqueueCRL(rl)
 				}
 			}
-			return len(lists), total, evicted, err
+			return evicted
+		})
+		if err != nil {
+			log.Fatalf("sf-certd: %v", err)
 		}
 		svc.ReloadCRLs = reload
-		hup := make(chan os.Signal, 1)
-		signal.Notify(hup, syscall.SIGHUP)
-		go func() {
-			for range hup {
-				added, total, evicted, err := reload()
-				if err != nil {
-					log.Printf("sf-certd: SIGHUP crl reload: %v", err)
-					continue
-				}
-				log.Printf("sf-certd: SIGHUP reloaded %s: %d new of %d lists, %d certs evicted",
-					*crlFile, added, total, evicted)
-			}
-		}()
 	}
 
-	log.Printf("sf-certd: directory listening on %s (%d shards)", *addr, *shards)
-	log.Fatal(http.ListenAndServe(*addr, svc))
+	// Operator metrics: the Prometheus mirror of the stats endpoint,
+	// served at /metrics on -admin-addr.
+	m := rt.Metrics()
+	m.Register(server.ProofCacheCollector(core.SharedProofCache()))
+	m.Register(func(emit func(server.Metric)) {
+		st := store.Stats()
+		emit(server.Gauge("sf_certdir_stored", "Certificates currently indexed.", float64(store.Len())))
+		emit(server.Counter("sf_certdir_published_total", "Certificates accepted by publish.", float64(st.Published)))
+		emit(server.Counter("sf_certdir_rejected_total", "Publishes refused by verification.", float64(st.Rejected)))
+		emit(server.Counter("sf_certdir_queries_total", "Query requests served.", float64(st.Queries)))
+		emit(server.Counter("sf_certdir_removed_total", "Certificates retracted.", float64(st.Removed)))
+		emit(server.Counter("sf_certdir_evicted_total", "Certificates evicted by revocation.", float64(st.Evicted)))
+		emit(server.Gauge("sf_certdir_crls", "Revocation lists installed.", float64(len(revocations.Lists()))))
+		if svc.Replicator != nil {
+			rs := svc.Replicator.Stats()
+			emit(server.Counter("sf_certdir_gossip_pushes_total", "Successful per-peer pushes.", float64(rs.Pushes)))
+			emit(server.Counter("sf_certdir_gossip_pulled_total", "Certificates pulled by anti-entropy.", float64(rs.Pulled)))
+			emit(server.Counter("sf_certdir_gossip_rounds_total", "Anti-entropy rounds completed.", float64(rs.Rounds)))
+			emit(server.Counter("sf_certdir_gossip_crls_pulled_total", "CRLs pulled by anti-entropy.", float64(rs.CRLsPulled)))
+		}
+		if svc.Guard != nil {
+			gs := svc.Guard.Stats()
+			emit(server.Counter("sf_ctl_authorized_total", "Control-plane requests authorized.", float64(gs.Authorized)))
+			emit(server.Counter("sf_ctl_denied_total", "Control-plane requests denied.", float64(gs.Denied)))
+		}
+	})
+
+	bound, err := rt.Serve(*addr, svc)
+	if err != nil {
+		log.Fatalf("sf-certd: %v", err)
+	}
+	if _, err := rt.ServeAdmin(*adminAddr); err != nil {
+		log.Fatalf("sf-certd: %v", err)
+	}
+	rt.Printf("directory listening on %s (%d shards)", bound, *shards)
+	if err := rt.Wait(); err != nil {
+		log.Fatalf("sf-certd: %v", err)
+	}
 }

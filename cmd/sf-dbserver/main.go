@@ -6,6 +6,7 @@
 //
 //	sf-dbserver -key db.key -addr 127.0.0.1:7001
 //	sf-dbserver -key db.key -addr 127.0.0.1:7001 -crl revoked.crl -admin-addr 127.0.0.1:7002
+//	sf-dbserver -key db.key -admin-addr 127.0.0.1:7002 -admin-auth -operator operator.prin
 //	sf-dbserver -key db.key -grant-owner alice -grant-to '<principal sexp>'
 //
 // The -crl file (same format as sf-certd's: CRL S-expressions, one
@@ -13,27 +14,26 @@
 // via POST /admin/reload-crl on the -admin-addr listener; individual
 // CRLs can also be installed live via POST /admin/crl. Every install
 // bumps the proof-cache epoch, so revocation bites on the next RMI
-// call, not the next restart.
+// call, not the next restart. With -admin-auth the admin endpoints
+// demand a speaks-for proof for the -operator principal regarding
+// (sf-ctl admin) — the same machinery the database itself enforces on
+// mailboxes. The admin listener also serves /metrics.
 package main
 
 import (
-	"encoding/base64"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
-	"os"
-	"os/signal"
-	"strings"
-	"syscall"
 	"time"
 
 	"repro/internal/cert"
 	"repro/internal/channel/secure"
 	"repro/internal/core"
 	"repro/internal/emaildb"
+	"repro/internal/httpauth"
 	"repro/internal/principal"
 	"repro/internal/rmi"
+	"repro/internal/server"
 	"repro/internal/sfkey"
 )
 
@@ -45,21 +45,16 @@ func main() {
 	grantTTL := flag.Duration("grant-ttl", 0, "delegation lifetime (0 = unbounded)")
 	seedDemo := flag.Bool("seed-demo", false, "insert demonstration messages")
 	crlFile := flag.String("crl", "", "file of CRL S-expressions (one per line or concatenated)")
-	adminAddr := flag.String("admin-addr", "", "revocation admin HTTP listen address (empty = disabled)")
+	adminAddr := flag.String("admin-addr", "", "revocation admin + metrics HTTP listen address (empty = disabled)")
+	adminAuth := flag.Bool("admin-auth", false, "require speaks-for proofs on the admin endpoints")
+	operatorFile := flag.String("operator", "", "file holding the operator principal S-expression (required with -admin-auth)")
+	crlSweep := flag.Duration("crl-sweep", time.Minute, "lapsed-CRL sweep interval (0 disables)")
 	flag.Parse()
 
 	if *keyFile == "" {
 		log.Fatal("sf-dbserver: -key is required")
 	}
-	raw, err := os.ReadFile(*keyFile)
-	if err != nil {
-		log.Fatalf("sf-dbserver: %v", err)
-	}
-	kb, err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
-	if err != nil {
-		log.Fatalf("sf-dbserver: bad key file: %v", err)
-	}
-	priv, err := sfkey.PrivateFromBytes(kb)
+	priv, err := sfkey.LoadPrivateKeyFile(*keyFile)
 	if err != nil {
 		log.Fatalf("sf-dbserver: %v", err)
 	}
@@ -85,6 +80,8 @@ func main() {
 		return
 	}
 
+	rt := server.New("sf-dbserver")
+
 	svc, err := emaildb.NewService()
 	if err != nil {
 		log.Fatalf("sf-dbserver: %v", err)
@@ -104,46 +101,60 @@ func main() {
 	}
 	srv := rmi.NewServer()
 	rs := cert.NewRevocationStore()
-	// reloadCRLs re-reads the -crl file through the shared loader
-	// (which accepts one-per-line and concatenated layouts alike, so
-	// the same file works for sf-certd and sf-dbserver). AddNew's
-	// dedup means re-reading an unchanged file bumps no epoch; a new
-	// list bumps it, so every cached verdict resting on a revoked
-	// certificate dies and the next RMI call re-verifies.
-	reloadCRLs := func() (added, total int, err error) {
-		lists, total, err := rs.LoadFile(*crlFile)
-		return len(lists), total, err
-	}
+	rt.Every(*crlSweep, func() {
+		if n := rs.Sweep(time.Now()); n > 0 {
+			rt.Printf("swept %d lapsed CRLs", n)
+		}
+	})
+
+	// The -crl wiring (initial load, SIGHUP reload, admin reload
+	// endpoint) comes from the shared runtime; a pure verifier passes
+	// no apply hook — installing into rs already bumps the proof-cache
+	// epoch, so every cached verdict resting on a revoked certificate
+	// dies and the next RMI call re-verifies.
+	var reload func() (added, total int, err error)
 	if *crlFile != "" {
-		_, total, err := reloadCRLs()
+		r, err := rt.WireCRLFile(rs, *crlFile, nil)
 		if err != nil {
 			log.Fatalf("sf-dbserver: crl: %v", err)
 		}
-		log.Printf("sf-dbserver: loaded %d revocation lists from %s", total, *crlFile)
-		hup := make(chan os.Signal, 1)
-		signal.Notify(hup, syscall.SIGHUP)
-		go func() {
-			for range hup {
-				added, total, err := reloadCRLs()
-				if err != nil {
-					log.Printf("sf-dbserver: SIGHUP crl reload: %v", err)
-					continue
-				}
-				log.Printf("sf-dbserver: SIGHUP reloaded %s: %d new of %d lists",
-					*crlFile, added, total)
-			}
-		}()
-	}
-	if *adminAddr != "" {
-		var reload func() (int, int, error)
-		if *crlFile != "" {
-			reload = reloadCRLs
+		reload = func() (int, int, error) {
+			added, total, _, err := r()
+			return added, total, err
 		}
-		go func() {
-			log.Printf("sf-dbserver: revocation admin listening on %s", *adminAddr)
-			log.Fatal(http.ListenAndServe(*adminAddr, cert.AdminHandler(rs, reload)))
-		}()
 	}
+
+	rt.Metrics().Register(server.ProofCacheCollector(core.SharedProofCache()))
+	rt.Metrics().Register(func(emit func(server.Metric)) {
+		emit(server.Gauge("sf_crls", "Revocation lists installed.", float64(len(rs.Lists()))))
+		st := srv.Stats()
+		emit(server.Counter("sf_rmi_calls_total", "RMI calls dispatched.", float64(st.Calls)))
+		emit(server.Counter("sf_rmi_auth_checks_total", "RMI authorization checks.", float64(st.AuthChecks)))
+		emit(server.Counter("sf_rmi_auth_failures_total", "RMI calls denied authorization.", float64(st.AuthFailures)))
+	})
+
+	if *adminAddr != "" {
+		admin := cert.AdminHandler(rs, reload)
+		if *adminAuth {
+			if *operatorFile == "" {
+				log.Fatal("sf-dbserver: -admin-auth requires -operator")
+			}
+			operator, err := server.LoadPrincipalFile(*operatorFile)
+			if err != nil {
+				log.Fatalf("sf-dbserver: operator principal: %v", err)
+			}
+			guard := httpauth.NewCtlGuard(operator, rs)
+			admin = guard.Middleware(cert.CtlTag(cert.CtlAdmin), 1<<20, admin)
+			rt.Printf("admin surface enforcing: callers must speak for %s", operator)
+		}
+		mux := rt.AdminMux()
+		mux.Handle(cert.AdminPathCRL, admin)
+		mux.Handle(cert.AdminPathReload, admin)
+		if _, err := rt.ServeAdmin(*adminAddr); err != nil {
+			log.Fatalf("sf-dbserver: %v", err)
+		}
+	}
+
 	if err := emaildb.RegisterWithRevocation(srv, svc, issuer, rs); err != nil {
 		log.Fatalf("sf-dbserver: %v", err)
 	}
@@ -151,6 +162,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("sf-dbserver: %v", err)
 	}
-	log.Printf("sf-dbserver: %s listening on %s (issuer %s)", emaildb.ObjectName, l.Addr(), issuer)
-	log.Fatal(srv.Serve(l))
+	rt.OnShutdown(func() { l.Close() })
+	rt.Printf("%s listening on %s (issuer %s)", emaildb.ObjectName, l.Addr(), issuer)
+	stopping := rt.Stopping()
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			select {
+			case <-stopping: // listener closed by our own shutdown hook
+			default:
+				rt.Fail(fmt.Errorf("rmi serve: %w", err))
+			}
+		}
+	}()
+	if err := rt.Wait(); err != nil {
+		log.Fatalf("sf-dbserver: %v", err)
+	}
 }

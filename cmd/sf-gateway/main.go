@@ -12,16 +12,17 @@
 // delegation chains from the certificate directory and subscribes to
 // its invalidation event stream, so revoked or retracted delegations
 // are dropped from the prover's cache the moment the directory stops
-// vouching for them.
+// vouching for them. The gateway digests a delegation per client;
+// -sweep bounds the graph by evicting expired edges on a timer (the
+// runtime schedules it — the old every-256-digests heuristic idled
+// exactly when traffic stopped and cleanup mattered). -admin-addr
+// serves /metrics.
 package main
 
 import (
-	"encoding/base64"
 	"flag"
 	"log"
-	"net/http"
-	"os"
-	"strings"
+	"time"
 
 	"repro/internal/certdir"
 	"repro/internal/channel/secure"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/principal"
 	"repro/internal/prover"
 	"repro/internal/rmi"
+	"repro/internal/server"
 	"repro/internal/sfkey"
 )
 
@@ -38,21 +40,15 @@ func main() {
 	dbAddr := flag.String("db", "127.0.0.1:7001", "database server address")
 	dbIssuerS := flag.String("db-issuer", "", "database issuer principal S-expression")
 	addr := flag.String("addr", "127.0.0.1:8081", "HTTP listen address")
+	adminAddr := flag.String("admin-addr", "", "admin/metrics HTTP listen address (empty = disabled)")
 	certdirURL := flag.String("certdir", "", "certificate directory base URL for remote chain discovery (empty = local-only)")
+	sweepEvery := flag.Duration("sweep", time.Minute, "prover expired-edge sweep interval (0 disables)")
 	flag.Parse()
 
 	if *keyFile == "" || *dbIssuerS == "" {
 		log.Fatal("sf-gateway: -key and -db-issuer are required")
 	}
-	raw, err := os.ReadFile(*keyFile)
-	if err != nil {
-		log.Fatalf("sf-gateway: %v", err)
-	}
-	kb, err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
-	if err != nil {
-		log.Fatalf("sf-gateway: bad key file: %v", err)
-	}
-	priv, err := sfkey.PrivateFromBytes(kb)
+	priv, err := sfkey.LoadPrivateKeyFile(*keyFile)
 	if err != nil {
 		log.Fatalf("sf-gateway: %v", err)
 	}
@@ -60,6 +56,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("sf-gateway: db issuer: %v", err)
 	}
+
+	rt := server.New("sf-gateway")
 
 	pv := gateway.NewProver(priv)
 	id, err := secure.NewIdentity()
@@ -82,11 +80,38 @@ func main() {
 	if *certdirURL != "" {
 		dir := certdir.NewClient(*certdirURL)
 		pv.AddRemote(dir)
-		pv.Subscribe(dir, core.SharedProofCache())
-		log.Printf("sf-gateway: using certificate directory %s (discovery + invalidation)", *certdirURL)
+		sub := pv.Subscribe(dir, core.SharedProofCache())
+		rt.OnShutdown(sub.Stop)
+		rt.Printf("using certificate directory %s (discovery + invalidation)", *certdirURL)
 	}
+	// Timer-based graph hygiene: the gateway and its RMI invoker share
+	// this long-lived prover, so expired edges are evicted on the
+	// clock, not on request count.
+	rt.Every(*sweepEvery, func() { pv.Sweep(time.Now()) })
+
+	rt.Metrics().Register(server.ProofCacheCollector(core.SharedProofCache()))
+	rt.Metrics().Register(server.ProverCollector(pv))
+
 	gw := gateway.New(priv, db, dbIssuer, pv)
-	log.Printf("sf-gateway: bridging %s on %s (gateway key %s)",
-		*dbAddr, *addr, priv.Public().Fingerprint())
-	log.Fatal(http.ListenAndServe(*addr, gw))
+	rt.Metrics().Register(func(emit func(server.Metric)) {
+		st := gw.Stats()
+		emit(server.Counter("sf_gateway_requests_total", "HTTP requests received.", float64(st.Requests)))
+		emit(server.Counter("sf_gateway_challenges_total", "Challenges issued.", float64(st.Challenges)))
+		emit(server.Counter("sf_gateway_digested_total", "Client proofs digested.", float64(st.Digested)))
+		emit(server.Counter("sf_gateway_forwarded_total", "Requests forwarded to the database.", float64(st.Forwarded)))
+		emit(server.Counter("sf_gateway_denied_total", "Requests denied.", float64(st.Denied)))
+	})
+
+	bound, err := rt.Serve(*addr, gw)
+	if err != nil {
+		log.Fatalf("sf-gateway: %v", err)
+	}
+	if _, err := rt.ServeAdmin(*adminAddr); err != nil {
+		log.Fatalf("sf-gateway: %v", err)
+	}
+	rt.Printf("bridging %s on %s (gateway key %s)",
+		*dbAddr, bound, priv.Public().Fingerprint())
+	if err := rt.Wait(); err != nil {
+		log.Fatalf("sf-gateway: %v", err)
+	}
 }

@@ -7,18 +7,20 @@
 //
 // Usage:
 //
-//	sf-proxy -addr 127.0.0.1:3128 [-key user.key]
+//	sf-proxy -addr 127.0.0.1:3128 [-key user.key] [-admin-addr 127.0.0.1:3129]
+//
+// The proxy holds a long-lived prover (imported delegations, minted
+// shortcuts); -sweep evicts its expired edges on a timer through the
+// shared server runtime. -admin-addr serves /metrics.
 package main
 
 import (
-	"encoding/base64"
 	"flag"
 	"fmt"
 	"html/template"
 	"io"
 	"log"
 	"net/http"
-	"os"
 	"strings"
 	"sync"
 	"time"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/httpauth"
 	"repro/internal/principal"
 	"repro/internal/prover"
+	"repro/internal/server"
 	"repro/internal/sexp"
 	"repro/internal/sfkey"
 	"repro/internal/tag"
@@ -45,26 +48,22 @@ const uiHost = "security.localhost"
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:3128", "proxy listen address")
+	adminAddr := flag.String("admin-addr", "", "admin/metrics HTTP listen address (empty = disabled)")
 	keyFile := flag.String("key", "", "user private key (created fresh when absent)")
+	sweepEvery := flag.Duration("sweep", time.Minute, "prover expired-edge sweep interval (0 disables)")
 	flag.Parse()
 
 	var priv *sfkey.PrivateKey
 	var err error
 	if *keyFile != "" {
-		raw, err := os.ReadFile(*keyFile)
-		if err != nil {
-			log.Fatalf("sf-proxy: %v", err)
-		}
-		kb, err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
-		if err != nil {
-			log.Fatalf("sf-proxy: bad key file: %v", err)
-		}
-		if priv, err = sfkey.PrivateFromBytes(kb); err != nil {
+		if priv, err = sfkey.LoadPrivateKeyFile(*keyFile); err != nil {
 			log.Fatalf("sf-proxy: %v", err)
 		}
 	} else if priv, err = sfkey.Generate(); err != nil {
 		log.Fatalf("sf-proxy: %v", err)
 	}
+
+	rt := server.New("sf-proxy")
 
 	pv := prover.New()
 	pv.AddClosure(prover.NewKeyClosure(priv))
@@ -73,9 +72,25 @@ func main() {
 		pv:     pv,
 		client: httpauth.NewClient(pv, principal.KeyOf(priv.Public())),
 	}
-	log.Printf("sf-proxy: listening on %s; UI at http://%s/ (user %s)",
-		*addr, uiHost, priv.Public().Fingerprint())
-	log.Fatal(http.ListenAndServe(*addr, p))
+	// The proxy's prover lives as long as the process and digests every
+	// imported delegation; the runtime sweeps its expired edges on a
+	// timer so the graph tracks the live delegation set.
+	rt.Every(*sweepEvery, func() { pv.Sweep(time.Now()) })
+	rt.Metrics().Register(server.ProofCacheCollector(core.SharedProofCache()))
+	rt.Metrics().Register(server.ProverCollector(pv))
+
+	bound, err := rt.Serve(*addr, p)
+	if err != nil {
+		log.Fatalf("sf-proxy: %v", err)
+	}
+	if _, err := rt.ServeAdmin(*adminAddr); err != nil {
+		log.Fatalf("sf-proxy: %v", err)
+	}
+	rt.Printf("listening on %s; UI at http://%s/ (user %s)",
+		bound, uiHost, priv.Public().Fingerprint())
+	if err := rt.Wait(); err != nil {
+		log.Fatalf("sf-proxy: %v", err)
+	}
 }
 
 // ServeHTTP dispatches between the UI virtual host and forwarding.

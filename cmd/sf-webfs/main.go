@@ -7,19 +7,22 @@
 //
 //	sf-webfs -root ./public -owner-key alice.key -addr :8080
 //	sf-webfs -owner-key alice.key -share-prefix /pub/ -share-to '<principal sexp>'
+//
+// Like every sf-* daemon it boots through the shared server runtime:
+// -admin-addr serves /metrics (proof-cache counters), and SIGTERM
+// drains the listener gracefully.
 package main
 
 import (
-	"encoding/base64"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
-	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/principal"
+	"repro/internal/server"
 	"repro/internal/sfkey"
 	"repro/internal/webfs"
 )
@@ -28,6 +31,7 @@ func main() {
 	root := flag.String("root", ".", "directory to serve")
 	keyFile := flag.String("owner-key", "", "owner private key file (sf-keygen output)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	adminAddr := flag.String("admin-addr", "", "admin/metrics HTTP listen address (empty = disabled)")
 	service := flag.String("service", "files", "service name used in tags")
 	sharePrefix := flag.String("share-prefix", "", "emit a delegation for this path prefix and exit")
 	shareTo := flag.String("share-to", "", "recipient principal S-expression for -share-prefix")
@@ -37,15 +41,7 @@ func main() {
 	if *keyFile == "" {
 		log.Fatal("sf-webfs: -owner-key is required")
 	}
-	raw, err := os.ReadFile(*keyFile)
-	if err != nil {
-		log.Fatalf("sf-webfs: %v", err)
-	}
-	kb, err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
-	if err != nil {
-		log.Fatalf("sf-webfs: bad key file: %v", err)
-	}
-	priv, err := sfkey.PrivateFromBytes(kb)
+	priv, err := sfkey.LoadPrivateKeyFile(*keyFile)
 	if err != nil {
 		log.Fatalf("sf-webfs: %v", err)
 	}
@@ -67,7 +63,19 @@ func main() {
 		return
 	}
 
+	rt := server.New("sf-webfs")
+	rt.Metrics().Register(server.ProofCacheCollector(core.SharedProofCache()))
+
 	srv := webfs.New(ownerHash, *service, os.DirFS(*root))
-	log.Printf("sf-webfs: serving %s on %s; controlled by %s", *root, *addr, ownerHash)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	bound, err := rt.Serve(*addr, srv)
+	if err != nil {
+		log.Fatalf("sf-webfs: %v", err)
+	}
+	if _, err := rt.ServeAdmin(*adminAddr); err != nil {
+		log.Fatalf("sf-webfs: %v", err)
+	}
+	rt.Printf("serving %s on %s; controlled by %s", *root, bound, ownerHash)
+	if err := rt.Wait(); err != nil {
+		log.Fatalf("sf-webfs: %v", err)
+	}
 }

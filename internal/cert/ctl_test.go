@@ -1,0 +1,121 @@
+package cert
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+func TestCtlTagCoverage(t *testing.T) {
+	admin := CtlTag(CtlAdmin)
+	publish := CtlTag(CtlPublish)
+	all := CtlAllTag()
+
+	if !tag.Covers(admin, admin) || !tag.Covers(publish, publish) {
+		t.Fatal("ctl tags must cover themselves")
+	}
+	if tag.Covers(admin, publish) || tag.Covers(publish, admin) {
+		t.Fatal("admin and publish must be disjoint")
+	}
+	if !tag.Covers(all, admin) || !tag.Covers(all, publish) {
+		t.Fatal("CtlAllTag must cover both operation classes")
+	}
+	// Control tags never leak into the data plane: a web request tag
+	// is not covered, nor does a web grant cover control.
+	web := tag.ListOf(tag.Literal("web"), tag.ListOf(tag.Literal("method"), tag.Literal("GET")))
+	if tag.Covers(all, web) {
+		t.Fatal("control tag covered a data-plane tag")
+	}
+	if tag.Covers(web, admin) {
+		t.Fatal("data-plane tag covered a control tag")
+	}
+}
+
+func TestDelegateCtlShapes(t *testing.T) {
+	op, _ := sfkey.Generate()
+	to, _ := sfkey.Generate()
+	recipient := principal.KeyOf(to.Public())
+
+	one, err := DelegateCtl(op, recipient, time.Hour, CtlAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tag.Covers(one.Body.Tag, CtlTag(CtlAdmin)) || tag.Covers(one.Body.Tag, CtlTag(CtlPublish)) {
+		t.Fatalf("single-op credential tag wrong: %s", one.Body.Tag)
+	}
+	both, err := DelegateCtl(op, recipient, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tag.Covers(both.Body.Tag, CtlTag(CtlAdmin)) || !tag.Covers(both.Body.Tag, CtlTag(CtlPublish)) {
+		t.Fatalf("default credential must cover both: %s", both.Body.Tag)
+	}
+	if !both.Body.Validity.IsUnbounded() {
+		t.Fatal("zero ttl must mean unbounded")
+	}
+	listed, err := DelegateCtl(op, recipient, time.Hour, CtlAdmin, CtlPublish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tag.Covers(listed.Body.Tag, CtlTag(CtlAdmin)) || !tag.Covers(listed.Body.Tag, CtlTag(CtlPublish)) {
+		t.Fatalf("listed-ops credential must cover both: %s", listed.Body.Tag)
+	}
+	// The credential verifies like any certificate.
+	ctx := core.NewVerifyContext()
+	if err := one.Verify(ctx); err != nil {
+		t.Fatalf("credential does not verify: %v", err)
+	}
+}
+
+func TestLoadCertFile(t *testing.T) {
+	op, _ := sfkey.Generate()
+	to, _ := sfkey.Generate()
+	c1, err := DelegateCtl(op, principal.KeyOf(to.Public()), time.Hour, CtlAdmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := DelegateCtl(op, principal.KeyOf(to.Public()), time.Hour, CtlPublish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// One per line.
+	lines := filepath.Join(dir, "lines.cert")
+	if err := os.WriteFile(lines, append(append(c1.Sexp().Transport(), '\n'), c2.Sexp().Transport()...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCertFile(lines)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("lines layout: %d certs, %v", len(got), err)
+	}
+	if !got[0].Equal(c1) || !got[1].Equal(c2) {
+		t.Fatal("loaded certs differ from written ones")
+	}
+
+	// Concatenated canonical encodings.
+	cat := filepath.Join(dir, "cat.cert")
+	if err := os.WriteFile(cat, append(c1.Sexp().Canonical(), c2.Sexp().Canonical()...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadCertFile(cat)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("concatenated layout: %d certs, %v", len(got), err)
+	}
+
+	// Garbage fails loudly.
+	bad := filepath.Join(dir, "bad.cert")
+	os.WriteFile(bad, []byte("(not-a-cert)"), 0o644)
+	if _, err := LoadCertFile(bad); err == nil {
+		t.Fatal("garbage cert file loaded")
+	}
+	if _, err := LoadCertFile(filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("absent file loaded")
+	}
+}

@@ -1,7 +1,6 @@
 package cert
 
 import (
-	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -132,9 +131,18 @@ func RevocationListFromSexp(e *sexp.Sexp) (*RevocationList, error) {
 type RevocationStore struct {
 	mu     sync.RWMutex
 	lists  []*RevocationList
-	seen   map[[32]byte]bool // installed CRL hashes, for dedup
+	seen   map[[32]byte]bool // installed CRL hashes, for dedup (never swept; see Sweep)
+	byHash map[string][]revEntry
 	caches []*core.ProofCache
 	view   uint64
+}
+
+// revEntry is one CRL's claim on one certificate hash in the byHash
+// index, with the signer's principal key precomputed so the
+// issuer-matched predicates never serialize a key per lookup.
+type revEntry struct {
+	rl        *RevocationList
+	signerKey string
 }
 
 // nextView hands each store a process-unique revocation view id;
@@ -148,6 +156,7 @@ var nextView atomic.Uint64
 func NewRevocationStore() *RevocationStore {
 	return &RevocationStore{
 		seen:   make(map[[32]byte]bool),
+		byHash: make(map[string][]revEntry),
 		caches: []*core.ProofCache{core.SharedProofCache()},
 		view:   nextView.Add(1),
 	}
@@ -208,6 +217,7 @@ func (s *RevocationStore) AddNew(rl *RevocationList) (added bool, err error) {
 	s.seen[h] = true
 	caches := append([]*core.ProofCache(nil), s.caches...)
 	s.lists = append(s.lists, rl)
+	s.indexLocked(rl)
 	s.mu.Unlock()
 	for _, c := range caches {
 		c.BumpEpoch()
@@ -264,56 +274,88 @@ func (s *RevocationStore) RevokedAt(at time.Time) func([]byte) bool {
 // sign a CRL naming arbitrary certificate hashes and deny service to
 // delegations it never issued.
 func (s *RevocationStore) RevokedByIssuerAt(at time.Time) func(certHash []byte, issuerKey string) bool {
-	// Snapshot the fresh lists and precompute each signer's principal
-	// key once: the returned predicate runs once per stored certificate
-	// (Store.EvictRevokedByIssuer scans the whole directory), so work
-	// per call must not include serializing signer keys or taking the
-	// store lock.
+	// Snapshot the fresh slice of the hash index once: the returned
+	// predicate runs once per stored certificate
+	// (Store.EvictRevokedByIssuer scans the whole directory), so each
+	// call must be a map lookup — no store lock, no signer-key
+	// serialization, no scan over every revoked hash.
 	s.mu.RLock()
-	type signedList struct {
-		signerKey string
-		hashes    [][]byte
-	}
-	fresh := make([]signedList, 0, len(s.lists))
-	for _, rl := range s.lists {
-		if !rl.Validity.Contains(at) {
-			continue
+	fresh := make(map[string][]string, len(s.byHash))
+	for h, entries := range s.byHash {
+		for _, e := range entries {
+			if e.rl.Validity.Contains(at) {
+				fresh[h] = append(fresh[h], e.signerKey)
+			}
 		}
-		fresh = append(fresh, signedList{
-			signerKey: principal.KeyOf(rl.Signer).Key(),
-			hashes:    rl.Hashes,
-		})
 	}
 	s.mu.RUnlock()
 	return func(h []byte, issuerKey string) bool {
-		for _, rl := range fresh {
-			if rl.signerKey != issuerKey {
-				continue
-			}
-			for _, rh := range rl.hashes {
-				if bytes.Equal(rh, h) {
-					return true
-				}
+		for _, sk := range fresh[string(h)] {
+			if sk == issuerKey {
+				return true
 			}
 		}
 		return false
 	}
 }
 
+// indexLocked adds one installed CRL's hashes to the byHash index;
+// the caller holds the write lock.
+func (s *RevocationStore) indexLocked(rl *RevocationList) {
+	if s.byHash == nil {
+		s.byHash = make(map[string][]revEntry)
+	}
+	e := revEntry{rl: rl, signerKey: principal.KeyOf(rl.Signer).Key()}
+	for _, h := range rl.Hashes {
+		s.byHash[string(h)] = append(s.byHash[string(h)], e)
+	}
+}
+
+// revokedAt answers through the hash index: one map lookup plus a
+// freshness check per CRL naming this certificate, instead of a scan
+// over every hash of every installed list.
 func (s *RevocationStore) revokedAt(h []byte, at time.Time) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, rl := range s.lists {
-		if !rl.Validity.Contains(at) {
-			continue
-		}
-		for _, rh := range rl.Hashes {
-			if bytes.Equal(rh, h) {
-				return true
-			}
+	for _, e := range s.byHash[string(h)] {
+		if e.rl.Validity.Contains(at) {
+			return true
 		}
 	}
 	return false
+}
+
+// Sweep drops every CRL whose validity window has lapsed (NotAfter
+// before now): the certificates such a list voided have expired too
+// wherever the CRL mattered — a CRL bounded to outlive its targets is
+// the issuer's job, and a lapsed list no longer affects any verdict
+// (revokedAt checks freshness) — so keeping it only bloats the store
+// and the hash index. The dedup set is intentionally NOT swept: a
+// peer still holding a lapsed CRL would otherwise re-gossip it every
+// round, and each reinstall would bump the proof-cache epoch — a
+// flush loop bought by nothing. It returns the number of lists
+// dropped. No epoch bump is needed: only positive verdicts are
+// cached, so no cached state rests on a list's presence.
+func (s *RevocationStore) Sweep(now time.Time) (dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.lists[:0]
+	for _, rl := range s.lists {
+		if na := rl.Validity.NotAfter; !na.IsZero() && na.Before(now) {
+			dropped++
+			continue
+		}
+		kept = append(kept, rl)
+	}
+	if dropped == 0 {
+		return 0
+	}
+	s.lists = kept
+	s.byHash = make(map[string][]revEntry, len(s.byHash))
+	for _, rl := range s.lists {
+		s.indexLocked(rl)
+	}
+	return dropped
 }
 
 // Revalidator is a trivial in-process one-time revalidation service:

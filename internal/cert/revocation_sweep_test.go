@@ -1,0 +1,119 @@
+package cert
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+)
+
+// TestRevocationStoreSweep: lapsed CRLs are dropped from the store
+// and the hash index, but the dedup set keeps them from being
+// reinstalled (a peer re-gossiping a lapsed list must not bump the
+// epoch every round).
+func TestRevocationStoreSweep(t *testing.T) {
+	priv, _ := sfkey.Generate()
+	now := time.Now()
+	lapsed := NewRevocationList(priv, core.Between(now.Add(-2*time.Hour), now.Add(-time.Hour)), []byte("old-cert"))
+	fresh := NewRevocationList(priv, core.Between(now.Add(-time.Hour), now.Add(time.Hour)), []byte("live-cert"))
+	unbounded := NewRevocationList(priv, core.Forever, []byte("forever-cert"))
+
+	rs := NewRevocationStore()
+	for _, rl := range []*RevocationList{lapsed, fresh, unbounded} {
+		if err := rs.Add(rl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(rs.Lists()); n != 3 {
+		t.Fatalf("installed %d lists, want 3", n)
+	}
+
+	if dropped := rs.Sweep(now); dropped != 1 {
+		t.Fatalf("swept %d lists, want 1", dropped)
+	}
+	if n := len(rs.Lists()); n != 2 {
+		t.Fatalf("%d lists after sweep, want 2", n)
+	}
+	// The index survives for live lists…
+	if !rs.RevokedAt(now)([]byte("live-cert")) || !rs.RevokedAt(now)([]byte("forever-cert")) {
+		t.Fatal("sweep dropped live revocations from the index")
+	}
+	// …and the lapsed hash is gone from it.
+	if rs.RevokedAt(now.Add(-90 * time.Minute))([]byte("old-cert")) {
+		t.Fatal("lapsed CRL still answers through the index after sweep")
+	}
+
+	// Reinstalling the lapsed list is a dedup'd no-op: no epoch bump.
+	epoch := core.SharedProofCache().Epoch()
+	added, err := rs.AddNew(lapsed)
+	if err != nil || added {
+		t.Fatalf("lapsed CRL reinstalled after sweep: added=%v err=%v", added, err)
+	}
+	if core.SharedProofCache().Epoch() != epoch {
+		t.Fatal("re-gossiped lapsed CRL bumped the epoch")
+	}
+
+	// Second sweep: nothing left to drop.
+	if dropped := rs.Sweep(now); dropped != 0 {
+		t.Fatalf("second sweep dropped %d", dropped)
+	}
+}
+
+// TestRevokedAtIndex: the hash-set index answers exactly like the old
+// linear scan, including freshness windows.
+func TestRevokedAtIndex(t *testing.T) {
+	priv, _ := sfkey.Generate()
+	now := time.Now()
+	h1, h2 := []byte("cert-1"), []byte("cert-2")
+	windowed := NewRevocationList(priv, core.Between(now, now.Add(time.Hour)), h1)
+	rs := NewRevocationStore()
+	if err := rs.Add(windowed); err != nil {
+		t.Fatal(err)
+	}
+	if !rs.RevokedAt(now.Add(time.Minute))(h1) {
+		t.Fatal("listed hash not revoked inside the window")
+	}
+	if rs.RevokedAt(now.Add(2 * time.Hour))(h1) {
+		t.Fatal("revoked after the CRL lapsed")
+	}
+	if rs.RevokedAt(now.Add(-time.Minute))(h1) {
+		t.Fatal("revoked before the CRL is fresh")
+	}
+	if rs.RevokedAt(now.Add(time.Minute))(h2) {
+		t.Fatal("unlisted hash revoked")
+	}
+
+	// Two lists naming the same hash: either window suffices.
+	later := NewRevocationList(priv, core.Between(now.Add(2*time.Hour), now.Add(3*time.Hour)), h1)
+	if err := rs.Add(later); err != nil {
+		t.Fatal(err)
+	}
+	if !rs.RevokedAt(now.Add(150 * time.Minute))(h1) {
+		t.Fatal("second list's window not honored")
+	}
+
+	// The issuer-matched predicate rides the same index.
+	other, _ := sfkey.Generate()
+	otherList := NewRevocationList(other, core.Forever, h2)
+	if err := rs.Add(otherList); err != nil {
+		t.Fatal(err)
+	}
+	pred := rs.RevokedByIssuerAt(now.Add(time.Minute))
+	issuerKey := keyOfSigner(priv)
+	otherKey := keyOfSigner(other)
+	if !pred(h1, issuerKey) {
+		t.Fatal("issuer-matched revocation missed")
+	}
+	if pred(h1, otherKey) {
+		t.Fatal("wrong issuer matched")
+	}
+	if !pred(h2, otherKey) {
+		t.Fatal("second issuer's revocation missed")
+	}
+}
+
+func keyOfSigner(priv *sfkey.PrivateKey) string {
+	return principal.KeyOf(priv.Public()).Key()
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/core"
+	"repro/internal/httpauth"
 	"repro/internal/principal"
 	"repro/internal/sexp"
 	"repro/internal/tag"
@@ -25,6 +26,12 @@ type Client struct {
 	// HTTP is the transport; nil means a client with a 5 s timeout,
 	// so a dead directory cannot wedge a prover.
 	HTTP *http.Client
+	// Ctl, when set, signs every mutating request (publish, remove,
+	// admin endpoints — the paths CtlTagFor names) with a speaks-for
+	// proof for the directory's operator principal, as an enforcing
+	// directory (Service.Guard) demands. Read-only requests are never
+	// signed. Nil talks the open protocol.
+	Ctl *httpauth.CtlSigner
 }
 
 // NewClient returns a client for the directory at baseURL.
@@ -51,24 +58,36 @@ func (c *Client) roundTrip(path string, req *sexp.Sexp) (*sexp.Sexp, error) {
 // roundTripWith is roundTrip on an explicit HTTP client; the events
 // long poll uses it to stretch the timeout past the requested wait.
 func (c *Client) roundTripWith(hc *http.Client, path string, req *sexp.Sexp) (*sexp.Sexp, error) {
-	resp, err := hc.Post(c.BaseURL+path, "text/plain",
-		bytes.NewReader(req.Canonical()))
+	body := req.Canonical()
+	hreq, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("certdir: %s: %w", path, err)
+	}
+	hreq.Header.Set("Content-Type", "text/plain")
+	if c.Ctl != nil {
+		if ctl := CtlTagFor(path); ctl.Valid() {
+			if err := c.Ctl.Sign(hreq, body, ctl); err != nil {
+				return nil, fmt.Errorf("certdir: %s: %w", path, err)
+			}
+		}
+	}
+	resp, err := hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("certdir: %s: %w", path, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, sexp.MaxTotal+1))
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, sexp.MaxTotal+1))
 	if err != nil {
 		return nil, fmt.Errorf("certdir: %s: %w", path, err)
 	}
-	if len(body) > sexp.MaxTotal {
+	if len(reply) > sexp.MaxTotal {
 		return nil, fmt.Errorf("certdir: %s: reply exceeds %d bytes", path, sexp.MaxTotal)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("certdir: %s: %s: %s", path, resp.Status,
-			strings.TrimSpace(string(body)))
+			strings.TrimSpace(string(reply)))
 	}
-	e, err := sexp.ParseOne(body)
+	e, err := sexp.ParseOne(reply)
 	if err != nil {
 		return nil, fmt.Errorf("certdir: %s: bad reply: %w", path, err)
 	}

@@ -39,7 +39,14 @@ import (
 // peer supplies goes through Store.Publish, which re-verifies the
 // signature before indexing — exactly the verify-before-digest
 // discipline prover.RemoteSource applies — so a compromised peer can
-// withhold delegations but cannot plant them.
+// withhold delegations but cannot plant them. Under an enforcing
+// control plane (Service.Guard) the arrow also points the other way:
+// a replicator's pushes are publishes, removes, and CRL installs at
+// the peer, so its Clients must carry a CtlSigner (Client.Ctl) whose
+// credential the peer's operator delegated — sf-certd wires this from
+// -ctl-key/-ctl-cert. Pulls (digests, hashes, fetch, crls) are
+// read-only and never need a credential, which is what lets a mesh
+// migrate to -admin-auth one node at a time.
 type Replicator struct {
 	store *Store
 	peers []*Client

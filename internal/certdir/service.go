@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/core"
+	"repro/internal/httpauth"
 	"repro/internal/principal"
 	"repro/internal/sexp"
 	"repro/internal/tag"
@@ -103,6 +104,17 @@ type Service struct {
 	// (cmd/sf-certd wires it to re-read the -crl file, evict, and
 	// gossip the new lists; SIGHUP runs the same function).
 	ReloadCRLs func() (added, total, evicted int, err error)
+	// Guard, when set, closes the control plane: every MUTATING
+	// endpoint — publish, remove, and the admin endpoints (which is
+	// also where peers push gossip: a gossip push IS a publish,
+	// remove, or admin CRL install at the receiver) — requires a
+	// speaks-for proof that the request speaks for the directory's
+	// operator principal regarding the operation's control tag
+	// (cert.CtlTag). Read-only endpoints (query, stats, events, and
+	// the gossip pull surface, which reveals nothing query does not)
+	// stay open. Nil leaves the directory open, the pre-auth
+	// behavior; docs/OPERATIONS.md describes the migration.
+	Guard *httpauth.CtlGuard
 }
 
 // NewService wraps a store.
@@ -113,6 +125,20 @@ func (s *Service) now() time.Time {
 		return s.Clock()
 	}
 	return time.Now()
+}
+
+// CtlTagFor maps a mutating directory path to the control tag its
+// caller must prove under an enforcing directory; the zero tag means
+// the path is read-only (never guarded). Clients use the same map to
+// decide which requests to sign.
+func CtlTagFor(path string) tag.Tag {
+	switch path {
+	case PathPublish, PathRemove:
+		return cert.CtlTag(cert.CtlPublish)
+	case PathAdminCRL, PathReload:
+		return cert.CtlTag(cert.CtlAdmin)
+	}
+	return tag.Tag{}
 }
 
 // ServeHTTP dispatches the directory protocol.
@@ -146,7 +172,10 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // post parses the request body as one S-expression and runs the
-// handler; handler errors become 400s.
+// handler; handler errors become 400s. Under an enforcing Guard,
+// mutating paths are authorized first — against the raw body bytes,
+// which the request principal covers, so a proof cannot be replayed
+// onto a different mutation.
 func (s *Service) post(w http.ResponseWriter, r *http.Request, h func(*sexp.Sexp) (*sexp.Sexp, error)) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "certdir: POST required", http.StatusMethodNotAllowed)
@@ -156,6 +185,14 @@ func (s *Service) post(w http.ResponseWriter, r *http.Request, h func(*sexp.Sexp
 	if err != nil {
 		http.Error(w, "certdir: bad body", http.StatusBadRequest)
 		return
+	}
+	if s.Guard != nil {
+		if ctl := CtlTagFor(r.URL.Path); ctl.Valid() {
+			if err := s.Guard.Authorize(r, body, ctl); err != nil {
+				s.Guard.Challenge(w, ctl, err)
+				return
+			}
+		}
 	}
 	e, err := sexp.ParseOne(body)
 	if err != nil {
@@ -480,6 +517,12 @@ func (s *Service) statsSexp() *sexp.Sexp {
 	}
 	if s.Revocations != nil {
 		kids = append(kids, row("crls", int64(len(s.Revocations.Lists()))))
+	}
+	if s.Guard != nil {
+		gs := s.Guard.Stats()
+		kids = append(kids,
+			row("ctl-authorized", gs.Authorized),
+			row("ctl-denied", gs.Denied))
 	}
 	if ws, ok := s.Store.WALStats(); ok {
 		kids = append(kids,

@@ -63,11 +63,6 @@ type Gateway struct {
 // the process.
 const maxRequestBody = 1 << 20
 
-// sweepEvery is how many digested client proofs trigger an expired-
-// edge sweep of the gateway prover: the gateway digests a delegation
-// per client, and without sweeping the graph would only ever grow.
-const sweepEvery = 256
-
 // Stats counts gateway work.
 type Stats struct {
 	Requests   int
@@ -272,11 +267,12 @@ func (g *Gateway) admit(auth string, reqPrin principal.Hash) (principal.Principa
 		g.Prover.AddProof(p)
 		g.mu.Lock()
 		g.stats.Digested++
-		sweep := g.stats.Digested%sweepEvery == 0
 		g.mu.Unlock()
-		if sweep {
-			g.Prover.Sweep(g.now())
-		}
+		// Graph hygiene is the daemon's job now: cmd/sf-gateway sweeps
+		// the prover on a timer through the shared runtime, so eviction
+		// keeps pace with the clock instead of the request rate (the old
+		// every-256-digests heuristic idled exactly when traffic stopped
+		// and expired edges lingered).
 	}
 	return client, nil
 }

@@ -1,0 +1,286 @@
+// Control-plane authorization: the management surface of every daemon
+// (admin endpoints, directory publish/remove, gossip pushes) is
+// guarded by the same speaks-for machinery that guards the data
+// plane. A mutating request must carry an Authorization header in the
+// SnowflakeProof scheme whose proof shows that the REQUEST HASH
+// speaks for the daemon's operator principal regarding the
+// operation's control tag (cert.CtlTag) — the identical shape the
+// data-plane HTTP protocol uses (request.go), so there is no second
+// credential system: operator credentials are ordinary delegation
+// certificates, discovered, cached, and revoked through the ordinary
+// pipeline. Verification rides the shared core.ProofCache fast path,
+// and binding the guard to a cert.RevocationStore makes revoking an
+// operator credential lock the holder out on the next request.
+package httpauth
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/prover"
+	"repro/internal/tag"
+)
+
+// CtlGuard authorizes mutating control-plane requests against an
+// operator principal. The zero value with only Operator set is
+// usable; nil-able fields fall back to the process-wide defaults.
+// Safe for concurrent use.
+type CtlGuard struct {
+	// Operator is the principal the caller must prove its request
+	// speaks for.
+	Operator principal.Principal
+	// Revocations, when set, binds verification to this revocation
+	// store (Revoked hook + view), so installing a CRL that names an
+	// operator credential locks its holder out on the very next
+	// request — the epoch bump kills the cached verdict, re-
+	// verification hits the Revoked check.
+	Revocations *cert.RevocationStore
+	// Cache is the verified-proof cache; nil means the shared one.
+	Cache *core.ProofCache
+	// Clock supplies verification time; nil means time.Now.
+	Clock func() time.Time
+
+	mu    sync.Mutex
+	vctx  core.EpochContext
+	stats CtlStats
+}
+
+// CtlStats counts guard decisions.
+type CtlStats struct {
+	Authorized int64
+	Denied     int64
+}
+
+// NewCtlGuard builds a guard for the operator, bound to rs (which may
+// be nil for a guard that enforces no revocation state — not
+// recommended outside tests).
+func NewCtlGuard(operator principal.Principal, rs *cert.RevocationStore) *CtlGuard {
+	return &CtlGuard{Operator: operator, Revocations: rs}
+}
+
+func (g *CtlGuard) now() time.Time {
+	if g.Clock != nil {
+		return g.Clock()
+	}
+	return time.Now()
+}
+
+func (g *CtlGuard) cache() *core.ProofCache {
+	if g.Cache != nil {
+		return g.Cache
+	}
+	return core.SharedProofCache()
+}
+
+// Stats returns a copy of the counters.
+func (g *CtlGuard) Stats() CtlStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}
+
+// Authorize decides one request: body is the already-read request
+// body (the request principal covers it), ctl the operation's control
+// tag. A nil error means the caller proved the request speaks for the
+// operator regarding ctl. The error for a missing header is
+// ErrCtlNoProof so servers can answer 401-with-challenge rather than
+// 403.
+func (g *CtlGuard) Authorize(r *http.Request, body []byte, ctl tag.Tag) error {
+	auth := r.Header.Get("Authorization")
+	if auth == "" {
+		g.deny()
+		return ErrCtlNoProof
+	}
+	scheme, params := parseAuthHeader(auth)
+	if scheme != SchemeProof {
+		g.deny()
+		return fmt.Errorf("httpauth: control plane wants scheme %s, got %q", SchemeProof, scheme)
+	}
+	raw, ok := params["proof"]
+	if !ok {
+		g.deny()
+		return fmt.Errorf("httpauth: control-plane authorization missing proof parameter")
+	}
+	proof, err := core.ParseProof([]byte(raw))
+	if err != nil {
+		g.deny()
+		return fmt.Errorf("httpauth: bad control-plane proof: %w", err)
+	}
+	reqPrin := ServerRequestPrincipal(r, body)
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// The persistent context's memo is the warm path across requests;
+	// it is rebuilt whenever the proof-cache epoch advances (a CRL
+	// landed), so no verdict survives a revocation.
+	ctx := g.vctx.Refresh(g.cache())
+	ctx.Now = g.now()
+	if g.Revocations != nil {
+		g.Revocations.Bind(ctx)
+	} else {
+		ctx.Revoked = nil
+		ctx.RevocationView = 0
+	}
+	err = core.Authorize(ctx, proof, reqPrin, g.Operator, ctl)
+	// Every request memoizes its unique request-hash leaf in the
+	// context, so between CRLs (epoch bumps) the memo only grows;
+	// reset it once it is clearly past the credential-chain working
+	// set. The chain verdicts live on in the shared cache, so a reset
+	// costs a lookup, not a re-verification.
+	if ctx.CacheSize() > ctlMemoMax {
+		g.vctx.Reset()
+	}
+	if err != nil {
+		g.stats.Denied++
+		return err
+	}
+	g.stats.Authorized++
+	return nil
+}
+
+// ctlMemoMax bounds the guard's per-context memo; credential chains
+// are a handful of nodes, so thousands of entries are request-leaf
+// residue, not working set.
+const ctlMemoMax = 4096
+
+// ErrCtlNoProof reports a request that carried no Authorization
+// header at all; servers answer it with a 401 challenge naming the
+// operator and tag (Challenge), a failed proof with a 403.
+var ErrCtlNoProof = errors.New("httpauth: control-plane authorization required")
+
+// Challenge writes the control-plane 401 or 403 for a failed
+// Authorize: a missing header earns the full challenge (scheme,
+// operator issuer, minimum tag — the same headers as the data-plane
+// protocol, so any Snowflake client knows what to prove), an
+// unsatisfying proof a 403.
+func (g *CtlGuard) Challenge(w http.ResponseWriter, ctl tag.Tag, err error) {
+	if err == ErrCtlNoProof {
+		w.Header().Set("WWW-Authenticate", SchemeProof)
+		w.Header().Set(HdrServiceIssuer, string(g.Operator.Sexp().Transport()))
+		w.Header().Set(HdrMinimumTag, string(ctl.Sexp().Transport()))
+		http.Error(w, "401 Unauthorized: operator proof required", http.StatusUnauthorized)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusForbidden)
+}
+
+// Middleware wraps an http.Handler (sf-dbserver's admin mux) so every
+// request through it must pass the guard for ctl. The body is read
+// (bounded), checked, and restored for the inner handler. An
+// over-limit body is refused outright with 413 — truncating it would
+// hash a prefix the caller never signed and turn a size problem into
+// a baffling 403.
+func (g *CtlGuard) Middleware(ctl tag.Tag, maxBody int64, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body []byte
+		if r.Body != nil && r.Body != http.NoBody {
+			var err error
+			body, err = io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+			if err != nil {
+				http.Error(w, "httpauth: bad body", http.StatusBadRequest)
+				return
+			}
+			if int64(len(body)) > maxBody {
+				http.Error(w, "httpauth: request body exceeds limit", http.StatusRequestEntityTooLarge)
+				return
+			}
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		if err := g.Authorize(r, body, ctl); err != nil {
+			g.Challenge(w, ctl, err)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (g *CtlGuard) deny() {
+	g.mu.Lock()
+	g.stats.Denied++
+	g.mu.Unlock()
+}
+
+// CtlSigner signs outgoing control-plane requests: it proves the
+// request hash speaks for the operator regarding the operation's
+// control tag, exactly as the guard demands. The prover must hold a
+// closure for the caller's key plus the delegation chain from that
+// key to the operator (an imported credential, or a directory
+// discovery source). Safe for concurrent use if the prover is.
+type CtlSigner struct {
+	// Prover finds or mints the chain request-hash -> caller-key ->
+	// ... -> operator.
+	Prover *prover.Prover
+	// Operator is the principal the target daemon enforces.
+	Operator principal.Principal
+	// Clock for proof construction; nil means time.Now.
+	Clock func() time.Time
+
+	// lastSweep (unix nanos) schedules the prover hygiene below: each
+	// Sign mints a unique request-hash edge into the prover's graph,
+	// so a long-lived signer (a daemon's gossip pusher) would leak an
+	// edge per mutation without periodic Sweep.
+	lastSweep atomic.Int64
+}
+
+// CtlMintTTL bounds the validity of the per-request minted leaf
+// ("request-hash speaks for caller-key"). The canonical request
+// carries no nonce, so a captured authenticated request CAN be
+// replayed verbatim until this leaf expires — the window is kept to
+// a couple of minutes (generous clock skew plus transit), far below
+// the prover's general-purpose default. Callers who build their own
+// prover for a CtlSigner should set Prover.MintTTL comparably.
+const CtlMintTTL = 2 * time.Minute
+
+// NewCtlSigner builds a signer around a caller key and its credential
+// chain: the key's closure and every certificate are digested into a
+// fresh prover, with the replay-bounding CtlMintTTL. Callers needing
+// discovery or extra closures build the prover themselves and fill
+// the struct directly.
+func NewCtlSigner(key prover.Closure, operator principal.Principal, chain ...*cert.Cert) *CtlSigner {
+	pv := prover.New()
+	pv.MintTTL = CtlMintTTL
+	pv.AddClosure(key)
+	for _, c := range chain {
+		pv.AddProof(c)
+	}
+	return &CtlSigner{Prover: pv, Operator: operator}
+}
+
+func (s *CtlSigner) now() time.Time {
+	if s.Clock != nil {
+		return s.Clock()
+	}
+	return time.Now()
+}
+
+// Sign sets the Authorization header on req, whose body bytes must be
+// passed explicitly (the request principal covers them). One
+// signature per request: the prover mints "request-hash speaks for
+// caller-key" through the key closure and composes it with the cached
+// credential chain, so the chain itself is never re-proved. Expired
+// request-hash edges are swept from the prover roughly once per
+// CtlMintTTL so a long-lived signer's graph tracks its live working
+// set instead of its lifetime mutation count.
+func (s *CtlSigner) Sign(req *http.Request, body []byte, ctl tag.Tag) error {
+	now := s.now()
+	if last := s.lastSweep.Load(); now.UnixNano()-last > int64(CtlMintTTL) &&
+		s.lastSweep.CompareAndSwap(last, now.UnixNano()) {
+		s.Prover.Sweep(now)
+	}
+	reqPrin := ServerRequestPrincipal(req, body)
+	proof, err := s.Prover.FindProof(reqPrin, s.Operator, ctl, now)
+	if err != nil {
+		return fmt.Errorf("httpauth: cannot prove control authority: %w", err)
+	}
+	req.Header.Set("Authorization", SchemeProof+` proof=`+string(proof.Sexp().Transport()))
+	return nil
+}

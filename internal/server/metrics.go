@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/prover"
+)
+
+// Metrics is a Prometheus-text-format mirror of the daemons' existing
+// counters. The S-expression stats endpoints remain the wire-native
+// source of truth; this registry re-exports the same numbers in the
+// format standard dashboards scrape, at /metrics on the runtime's
+// admin mux. Collectors are closures so the registry holds no copies:
+// every scrape reads the live counters.
+type Metrics struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// Metric is one sample. Type is "counter" or "gauge" (Prometheus
+// semantics: counters only go up — resets excepted — gauges move
+// both ways).
+type Metric struct {
+	Name  string
+	Type  string
+	Help  string
+	Value float64
+}
+
+// Counter and Gauge build a Metric of the respective type.
+func Counter(name, help string, v float64) Metric {
+	return Metric{Name: name, Type: "counter", Help: help, Value: v}
+}
+func Gauge(name, help string, v float64) Metric {
+	return Metric{Name: name, Type: "gauge", Help: help, Value: v}
+}
+
+// Collector emits the current value of each metric it covers.
+type Collector func(emit func(Metric))
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Register adds a collector; collectors run on every scrape.
+func (m *Metrics) Register(c Collector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.collectors = append(m.collectors, c)
+}
+
+// Gather runs every collector and returns the samples sorted by name
+// (scrape order is stable for tests and diffs).
+func (m *Metrics) Gather() []Metric {
+	m.mu.Lock()
+	cs := append([]Collector(nil), m.collectors...)
+	m.mu.Unlock()
+	var out []Metric
+	for _, c := range cs {
+		c(func(s Metric) { out = append(out, s) })
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ServeHTTP renders the exposition format: # HELP / # TYPE header per
+// metric name, then the sample.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	seen := map[string]bool{}
+	for _, s := range m.Gather() {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			if s.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help)
+			}
+			typ := s.Type
+			if typ == "" {
+				typ = "gauge"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, typ)
+		}
+		fmt.Fprintf(w, "%s %g\n", s.Name, s.Value)
+	}
+}
+
+// ProofCacheCollector exports the shared verified-proof cache's
+// counters — the fast path every verifying layer (data plane AND,
+// since the control-plane refactor, admin/publish/gossip auth) rides.
+func ProofCacheCollector(pc *core.ProofCache) Collector {
+	return func(emit func(Metric)) {
+		emit(Counter("sf_proofcache_hits_total", "Verified-proof cache hits.", float64(pc.Hits())))
+		emit(Counter("sf_proofcache_misses_total", "Verified-proof cache misses.", float64(pc.Misses())))
+		emit(Counter("sf_proofcache_epoch", "Revocation epoch (bumps on every CRL install).", float64(pc.Epoch())))
+		emit(Gauge("sf_proofcache_entries", "Cached verdicts currently held.", float64(pc.Len())))
+	}
+}
+
+// ProverCollector exports a long-lived prover's work counters
+// (gateway, proxy).
+func ProverCollector(pv *prover.Prover) Collector {
+	return func(emit func(Metric)) {
+		st := pv.Stats()
+		emit(Gauge("sf_prover_edges", "Delegation-graph edges currently held.", float64(pv.EdgeCount())))
+		emit(Counter("sf_prover_traversals_total", "FindProof traversals (including recursive).", float64(st.Traversals)))
+		emit(Counter("sf_prover_minted_total", "Delegations minted through closures.", float64(st.Minted)))
+		emit(Counter("sf_prover_swept_total", "Expired edges evicted by Sweep.", float64(st.Swept)))
+		emit(Counter("sf_prover_shortcut_hits_total", "Goals reached through cached shortcut edges.", float64(st.ShortcutHits)))
+		emit(Counter("sf_prover_remote_queries_total", "Directory lookups issued.", float64(st.RemoteQueries)))
+		emit(Counter("sf_prover_remote_certs_total", "Fresh proofs digested from directories.", float64(st.RemoteCerts)))
+		emit(Counter("sf_prover_invalidated_total", "Edges dropped by directory invalidation events.", float64(st.Invalidated)))
+	}
+}

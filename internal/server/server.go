@@ -1,0 +1,342 @@
+// Package server is the shared daemon runtime behind every sf-*
+// command. Before it existed, each daemon hand-rolled the same
+// scaffolding — listener setup, an admin mux, SIGHUP handling, CRL
+// file wiring, periodic sweeps, shutdown — and the five copies had
+// already drifted (sf-certd had hot CRL reload, sf-dbserver a
+// different admin surface, sf-gateway none of either). The runtime
+// owns that scaffolding once:
+//
+//   - Serve starts HTTP listeners whose lifecycle the runtime owns;
+//     Wait blocks until SIGINT/SIGTERM (or Shutdown) and then drains
+//     them gracefully.
+//   - OnSIGHUP registers hot-reload hooks (CRL re-reads).
+//   - Every schedules background maintenance (store sweeps,
+//     Prover.Sweep, WAL syncs) on tickers that stop with the daemon —
+//     replacing ad-hoc per-daemon heuristics like the gateway's
+//     "sweep every 256 digested proofs".
+//   - Metrics is a Prometheus-text mirror of the daemons' counters,
+//     served at /metrics on the admin mux (AdminMux/ServeAdmin),
+//     with ready-made collectors for the shared proof cache and the
+//     prover.
+//   - WireCRLFile is the one implementation of "-crl file + SIGHUP
+//     reload + admin reload endpoint" that sf-certd and sf-dbserver
+//     previously duplicated with different bugs.
+//
+// The runtime is mechanism only: it never decides what is authorized.
+// Control-plane authorization (who may call the admin endpoints the
+// runtime hosts) is httpauth.CtlGuard's job, wired by each daemon.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/principal"
+)
+
+// Runtime bundles the daemon scaffolding. Construct with New, wire
+// listeners and hooks, then Wait. Safe for concurrent use.
+type Runtime struct {
+	// Name prefixes log lines ("sf-certd").
+	Name string
+	// Logf receives log lines; nil means log.Printf.
+	Logf func(format string, args ...any)
+	// ShutdownTimeout bounds graceful drain per listener; zero means
+	// 5 s.
+	ShutdownTimeout time.Duration
+
+	mu       sync.Mutex
+	servers  []*http.Server
+	onHUP    []func()
+	onStop   []func()
+	admin    *http.ServeMux
+	metrics  *Metrics
+	hupOnce  sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	err      error // first fatal error (Fail); reported by Wait
+}
+
+// New returns a runtime for the named daemon.
+func New(name string) *Runtime {
+	return &Runtime{Name: name, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+func (rt *Runtime) logf(format string, args ...any) {
+	if rt.Logf != nil {
+		rt.Logf(rt.Name+": "+format, args...)
+		return
+	}
+	log.Printf(rt.Name+": "+format, args...)
+}
+
+// Printf logs one line under the daemon's name; daemons use it so
+// every line carries the same prefix the runtime's own lines do.
+func (rt *Runtime) Printf(format string, args ...any) { rt.logf(format, args...) }
+
+// Serve starts an HTTP listener on addr whose lifecycle the runtime
+// owns: it is drained gracefully at shutdown. The returned address is
+// the bound one (addr may carry port 0 in tests). Serve never blocks.
+func (rt *Runtime) Serve(addr string, h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h}
+	rt.mu.Lock()
+	rt.servers = append(rt.servers, srv)
+	rt.mu.Unlock()
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			// A daemon whose listener died must die with it: before the
+			// runtime existed this was log.Fatal(http.ListenAndServe(...)),
+			// and a supervisor restarted the process. Logging and limping
+			// on would leave a zombie serving nothing on its primary port.
+			rt.Fail(fmt.Errorf("listener %s: %w", ln.Addr(), err))
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Fail records a fatal error and begins shutdown: Wait returns it,
+// and daemons exit non-zero. Daemon-owned listeners the runtime does
+// not manage (secure-channel RMI) report their serve errors here so a
+// dead listener kills the process instead of zombifying it. Safe to
+// call from runtime-owned goroutines: the shutdown runs detached.
+func (rt *Runtime) Fail(err error) {
+	if err == nil {
+		return
+	}
+	rt.mu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.mu.Unlock()
+	rt.logf("fatal: %v", err)
+	go rt.Shutdown()
+}
+
+// Metrics returns the runtime's metric registry (created lazily).
+func (rt *Runtime) Metrics() *Metrics {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.metrics == nil {
+		rt.metrics = NewMetrics()
+	}
+	return rt.metrics
+}
+
+// AdminMux returns the admin mux (created lazily) with /metrics
+// already wired to the registry. Daemons hang their own admin
+// endpoints off it — guarded by httpauth.CtlGuard where they mutate —
+// and expose it with ServeAdmin or inside their main handler.
+func (rt *Runtime) AdminMux() *http.ServeMux {
+	m := rt.Metrics() // ensure registry exists before first scrape
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.admin == nil {
+		rt.admin = http.NewServeMux()
+		rt.admin.Handle("/metrics", m)
+	}
+	return rt.admin
+}
+
+// ServeAdmin starts the admin mux on its own listener; empty addr is
+// a no-op (admin surface disabled) returning "".
+func (rt *Runtime) ServeAdmin(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	bound, err := rt.Serve(addr, rt.AdminMux())
+	if err != nil {
+		return "", err
+	}
+	rt.logf("admin listening on %s", bound)
+	return bound, nil
+}
+
+// Every runs fn every interval until shutdown; a non-positive
+// interval disables the job. Long-lived servers schedule their
+// Prover.Sweep, store sweeps, and WAL syncs here instead of each
+// daemon growing its own goroutine-and-ticker (or worse, a
+// per-N-requests heuristic that idles exactly when cleanup matters).
+func (rt *Runtime) Every(interval time.Duration, fn func()) {
+	if interval <= 0 {
+		return
+	}
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stop:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+}
+
+// OnSIGHUP registers a hot-reload hook; the first registration starts
+// the signal listener. Hooks run sequentially per signal.
+func (rt *Runtime) OnSIGHUP(fn func()) {
+	rt.mu.Lock()
+	rt.onHUP = append(rt.onHUP, fn)
+	rt.mu.Unlock()
+	rt.hupOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGHUP)
+		rt.wg.Add(1)
+		go func() {
+			defer rt.wg.Done()
+			for {
+				select {
+				case <-rt.stop:
+					signal.Stop(ch)
+					return
+				case <-ch:
+					rt.mu.Lock()
+					hooks := append([]func(){}, rt.onHUP...)
+					rt.mu.Unlock()
+					for _, h := range hooks {
+						h()
+					}
+				}
+			}
+		}()
+	})
+}
+
+// OnShutdown registers a hook run during Shutdown, after the
+// listeners have drained. Hooks run in REVERSE registration order —
+// defer semantics — so teardown unwinds setup: a replicator
+// registered after the WAL it feeds stops before the WAL closes.
+func (rt *Runtime) OnShutdown(fn func()) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.onStop = append(rt.onStop, fn)
+}
+
+// Wait blocks until SIGINT/SIGTERM arrives (or Shutdown is called),
+// then drains and returns the fatal error, if any (nil on a clean
+// signal-driven exit). Daemons end main with it and log.Fatal a
+// non-nil result so supervisors see a non-zero exit.
+func (rt *Runtime) Wait() error {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-ch:
+		rt.logf("received %s, shutting down", s)
+	case <-rt.stop:
+	}
+	signal.Stop(ch)
+	rt.Shutdown()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.err
+}
+
+// Shutdown drains every listener gracefully (bounded by
+// ShutdownTimeout each), stops and JOINS the tickers and signal
+// handlers, and only then runs the shutdown hooks — so a sweep tick
+// in flight can never touch state a hook is about to tear down (the
+// WAL a hook closes, the replicator a hook stops). Idempotent; tests
+// drive the runtime through it directly.
+func (rt *Runtime) Shutdown() {
+	rt.stopOnce.Do(func() {
+		close(rt.stop)
+		timeout := rt.ShutdownTimeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		rt.mu.Lock()
+		servers := append([]*http.Server(nil), rt.servers...)
+		hooks := append([]func(){}, rt.onStop...)
+		rt.mu.Unlock()
+		for _, srv := range servers {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			if err := srv.Shutdown(ctx); err != nil {
+				srv.Close()
+			}
+			cancel()
+		}
+		rt.wg.Wait()
+		for i := len(hooks) - 1; i >= 0; i-- {
+			hooks[i]()
+		}
+		close(rt.done)
+	})
+	<-rt.done
+}
+
+// Stopping returns a channel closed when shutdown begins; goroutines
+// the runtime does not own can select on it.
+func (rt *Runtime) Stopping() <-chan struct{} { return rt.stop }
+
+// LoadPrincipalFile reads a principal S-expression from a file — the
+// one implementation of every daemon's -operator flag.
+func LoadPrincipalFile(path string) (principal.Principal, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := principal.Parse(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// WireCRLFile is the one implementation of a daemon's -crl flag: it
+// loads path into rs now (returning the load error — daemons fail
+// startup on a bad file), registers a SIGHUP hook that re-reads it,
+// and returns the same reload function for admin endpoints. apply,
+// when non-nil, receives each batch of NEWLY installed lists and
+// returns how many stored certificates it evicted (sf-certd evicts
+// from its directory and gossips the lists onward; pure verifiers
+// pass nil — installing into rs already bumped the proof-cache
+// epoch, which is all a verifier needs). On a partial failure (a
+// malformed list mid-file) the lists before it ARE installed and
+// applied, so their revocations take effect rather than waiting for
+// a fixed file.
+func (rt *Runtime) WireCRLFile(rs *cert.RevocationStore, path string, apply func(added []*cert.RevocationList) (evicted int)) (reload func() (added, total, evicted int, err error), err error) {
+	reload = func() (int, int, int, error) {
+		lists, total, err := rs.LoadFile(path)
+		evicted := 0
+		if len(lists) > 0 && apply != nil {
+			evicted = apply(lists)
+		}
+		return len(lists), total, evicted, err
+	}
+	_, initial, _, err := reload()
+	if err != nil {
+		return nil, err
+	}
+	rt.logf("loaded %d revocation lists from %s", initial, path)
+	rt.OnSIGHUP(func() {
+		added, total, evicted, err := reload()
+		if err != nil {
+			rt.logf("SIGHUP crl reload: %v", err)
+			return
+		}
+		rt.logf("SIGHUP reloaded %s: %d new of %d lists, %d certs evicted",
+			path, added, total, evicted)
+	})
+	return reload, nil
+}

@@ -1,0 +1,27 @@
+package sfkey
+
+import (
+	"encoding/base64"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// LoadPrivateKeyFile reads a private key written by sf-keygen: one
+// base64 line holding the key bytes. Every daemon loads its identity
+// through here, so the file format lives in exactly one place.
+func LoadPrivateKeyFile(path string) (*PrivateKey, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	kb, err := base64.StdEncoding.DecodeString(strings.TrimSpace(string(raw)))
+	if err != nil {
+		return nil, fmt.Errorf("sfkey: %s: bad key file: %w", path, err)
+	}
+	priv, err := PrivateFromBytes(kb)
+	if err != nil {
+		return nil, fmt.Errorf("sfkey: %s: %w", path, err)
+	}
+	return priv, nil
+}
