@@ -77,9 +77,22 @@ func main() {
 	operatorFile := flag.String("operator", "", "file holding the operator principal S-expression (required with -admin-auth)")
 	ctlKeyFile := flag.String("ctl-key", "", "private key signing this daemon's gossip pushes (required with -admin-auth and -peer)")
 	ctlCertFile := flag.String("ctl-cert", "", "certificate chain file delegating control authority to -ctl-key")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	auditLog := flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)")
 	flag.Parse()
 
 	rt := server.New("sf-certd")
+	logger, err := server.NewLogger(*logFormat)
+	if err != nil {
+		log.Fatalf("sf-certd: %v", err)
+	}
+	rt.Logger = logger
+	if *auditLog != "" {
+		if err := rt.Audit().OpenSink(*auditLog); err != nil {
+			log.Fatalf("sf-certd: audit log: %v", err)
+		}
+		rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	}
 
 	var store *certdir.Store
 	if *dataDir != "" {
@@ -126,6 +139,9 @@ func main() {
 
 	svc := certdir.NewService(store)
 	svc.Revocations = revocations
+	svc.Obs = rt.Tracer()
+	svc.PublishHist = rt.Latencies().PublishAck
+	svc.CRLHist = rt.Latencies().CRLInstall
 
 	// Control-plane wiring. The signer (outbound: authenticates this
 	// daemon's pushes to its peers) and the guard (inbound: closes this
@@ -169,6 +185,7 @@ func main() {
 			log.Fatal("sf-certd: -admin-auth with -peer requires -ctl-key (peers will reject unsigned pushes)")
 		}
 		svc.Guard = httpauth.NewCtlGuard(operator, revocations)
+		svc.Guard.Audit = rt.Audit()
 		rt.Printf("control plane enforcing: callers must speak for %s", operator)
 	}
 
@@ -180,6 +197,7 @@ func main() {
 		}
 		rep := certdir.NewReplicator(store, clients)
 		rep.Revocations = revocations
+		rep.RoundHist = rt.Latencies().GossipRound
 		rep.Interval = *gossip
 		if *gossip <= 0 {
 			// A zero ticker panics; an effectively-infinite interval
@@ -187,7 +205,7 @@ func main() {
 			rep.Interval = time.Duration(1<<62 - 1)
 		}
 		rep.Retries = *pushRetries
-		rep.Logf = log.Printf
+		rep.Logf = rt.Printf
 		rep.Start()
 		rt.OnShutdown(rep.Stop)
 		svc.Replicator = rep

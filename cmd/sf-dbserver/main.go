@@ -49,6 +49,8 @@ func main() {
 	adminAuth := flag.Bool("admin-auth", false, "require speaks-for proofs on the admin endpoints")
 	operatorFile := flag.String("operator", "", "file holding the operator principal S-expression (required with -admin-auth)")
 	crlSweep := flag.Duration("crl-sweep", time.Minute, "lapsed-CRL sweep interval (0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	auditLog := flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)")
 	flag.Parse()
 
 	if *keyFile == "" {
@@ -81,6 +83,15 @@ func main() {
 	}
 
 	rt := server.New("sf-dbserver")
+	if rt.Logger, err = server.NewLogger(*logFormat); err != nil {
+		log.Fatalf("sf-dbserver: %v", err)
+	}
+	if *auditLog != "" {
+		if err := rt.Audit().OpenSink(*auditLog); err != nil {
+			log.Fatalf("sf-dbserver: audit log: %v", err)
+		}
+		rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	}
 
 	svc, err := emaildb.NewService()
 	if err != nil {
@@ -100,6 +111,8 @@ func main() {
 		}
 	}
 	srv := rmi.NewServer()
+	srv.Obs = rt.Tracer()
+	srv.Audit = rt.Audit()
 	rs := cert.NewRevocationStore()
 	rt.Every(*crlSweep, func() {
 		if n := rs.Sweep(time.Now()); n > 0 {
@@ -144,6 +157,7 @@ func main() {
 				log.Fatalf("sf-dbserver: operator principal: %v", err)
 			}
 			guard := httpauth.NewCtlGuard(operator, rs)
+			guard.Audit = rt.Audit()
 			admin = guard.Middleware(cert.CtlTag(cert.CtlAdmin), 1<<20, admin)
 			rt.Printf("admin surface enforcing: callers must speak for %s", operator)
 		}
@@ -162,18 +176,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("sf-dbserver: %v", err)
 	}
-	rt.OnShutdown(func() { l.Close() })
+	// The runtime owns the RMI lifecycle: at shutdown the listener
+	// closes first, then in-flight dispatches drain (bounded by
+	// ShutdownTimeout) before the channels are torn down — a client
+	// mid-call sees its reply, not a reset.
+	rt.ServeRMI(l, srv)
 	rt.Printf("%s listening on %s (issuer %s)", emaildb.ObjectName, l.Addr(), issuer)
-	stopping := rt.Stopping()
-	go func() {
-		if err := srv.Serve(l); err != nil {
-			select {
-			case <-stopping: // listener closed by our own shutdown hook
-			default:
-				rt.Fail(fmt.Errorf("rmi serve: %w", err))
-			}
-		}
-	}()
 	if err := rt.Wait(); err != nil {
 		log.Fatalf("sf-dbserver: %v", err)
 	}

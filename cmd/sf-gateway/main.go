@@ -28,6 +28,7 @@ import (
 	"repro/internal/channel/secure"
 	"repro/internal/core"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/prover"
 	"repro/internal/rmi"
@@ -43,6 +44,8 @@ func main() {
 	adminAddr := flag.String("admin-addr", "", "admin/metrics HTTP listen address (empty = disabled)")
 	certdirURL := flag.String("certdir", "", "certificate directory base URL for remote chain discovery (empty = local-only)")
 	sweepEvery := flag.Duration("sweep", time.Minute, "prover expired-edge sweep interval (0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	auditLog := flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)")
 	flag.Parse()
 
 	if *keyFile == "" || *dbIssuerS == "" {
@@ -58,8 +61,21 @@ func main() {
 	}
 
 	rt := server.New("sf-gateway")
+	if rt.Logger, err = server.NewLogger(*logFormat); err != nil {
+		log.Fatalf("sf-gateway: %v", err)
+	}
+	if *auditLog != "" {
+		if err := rt.Audit().OpenSink(*auditLog); err != nil {
+			log.Fatalf("sf-gateway: audit log: %v", err)
+		}
+		rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	}
 
 	pv := gateway.NewProver(priv)
+	// Directory lookups the prover makes mid-admit are the expensive
+	// leg of a cold admit; time them under their own histogram.
+	pv.RemoteHist = obs.NewHistogram("sf_prover_remote_seconds", "Prover remote chain-discovery latency per FindProof miss.")
+	rt.Metrics().RegisterHistogram(pv.RemoteHist)
 	id, err := secure.NewIdentity()
 	if err != nil {
 		log.Fatalf("sf-gateway: %v", err)
@@ -93,6 +109,11 @@ func main() {
 	rt.Metrics().Register(server.ProverCollector(pv))
 
 	gw := gateway.New(priv, db, dbIssuer, pv)
+	gw.Obs = rt.Tracer()
+	gw.Audit = rt.Audit()
+	lat := rt.Latencies()
+	gw.ColdAdmit = lat.ColdAdmit
+	gw.WarmAdmit = lat.WarmAdmit
 	rt.Metrics().Register(func(emit func(server.Metric)) {
 		st := gw.Stats()
 		emit(server.Counter("sf_gateway_requests_total", "HTTP requests received.", float64(st.Requests)))

@@ -51,6 +51,7 @@ func main() {
 	adminAddr := flag.String("admin-addr", "", "admin/metrics HTTP listen address (empty = disabled)")
 	keyFile := flag.String("key", "", "user private key (created fresh when absent)")
 	sweepEvery := flag.Duration("sweep", time.Minute, "prover expired-edge sweep interval (0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 
 	var priv *sfkey.PrivateKey
@@ -64,6 +65,9 @@ func main() {
 	}
 
 	rt := server.New("sf-proxy")
+	if rt.Logger, err = server.NewLogger(*logFormat); err != nil {
+		log.Fatalf("sf-proxy: %v", err)
+	}
 
 	pv := prover.New()
 	pv.AddClosure(prover.NewKeyClosure(priv))

@@ -36,6 +36,8 @@ func main() {
 	sharePrefix := flag.String("share-prefix", "", "emit a delegation for this path prefix and exit")
 	shareTo := flag.String("share-to", "", "recipient principal S-expression for -share-prefix")
 	shareTTL := flag.Duration("share-ttl", 24*time.Hour, "delegation lifetime")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	auditLog := flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)")
 	flag.Parse()
 
 	if *keyFile == "" {
@@ -64,9 +66,20 @@ func main() {
 	}
 
 	rt := server.New("sf-webfs")
+	if rt.Logger, err = server.NewLogger(*logFormat); err != nil {
+		log.Fatalf("sf-webfs: %v", err)
+	}
+	if *auditLog != "" {
+		if err := rt.Audit().OpenSink(*auditLog); err != nil {
+			log.Fatalf("sf-webfs: audit log: %v", err)
+		}
+		rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	}
 	rt.Metrics().Register(server.ProofCacheCollector(core.SharedProofCache()))
 
 	srv := webfs.New(ownerHash, *service, os.DirFS(*root))
+	srv.Protected().Obs = rt.Tracer()
+	srv.Protected().Audit = rt.Audit()
 	bound, err := rt.Serve(*addr, srv)
 	if err != nil {
 		log.Fatalf("sf-webfs: %v", err)

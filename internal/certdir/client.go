@@ -2,6 +2,7 @@ package certdir
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/httpauth"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/sexp"
 	"repro/internal/tag"
@@ -52,18 +54,29 @@ func (c *Client) httpClient() *http.Client {
 // request); beyond that the reply is refused rather than silently
 // truncated.
 func (c *Client) roundTrip(path string, req *sexp.Sexp) (*sexp.Sexp, error) {
-	return c.roundTripWith(c.httpClient(), path, req)
+	return c.roundTripCtx(context.Background(), c.httpClient(), path, req)
 }
 
 // roundTripWith is roundTrip on an explicit HTTP client; the events
 // long poll uses it to stretch the timeout past the requested wait.
 func (c *Client) roundTripWith(hc *http.Client, path string, req *sexp.Sexp) (*sexp.Sexp, error) {
+	return c.roundTripCtx(context.Background(), hc, path, req)
+}
+
+// roundTripCtx is the one wire implementation: it honors ctx for
+// cancellation and, when ctx carries an active obs span, forwards the
+// trace as the Sf-Trace header so the directory's span joins the
+// caller's trace.
+func (c *Client) roundTripCtx(ctx context.Context, hc *http.Client, path string, req *sexp.Sexp) (*sexp.Sexp, error) {
 	body := req.Canonical()
-	hreq, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("certdir: %s: %w", path, err)
 	}
 	hreq.Header.Set("Content-Type", "text/plain")
+	if tr := obs.Inject(ctx); tr != "" {
+		hreq.Header.Set(obs.TraceHeader, tr)
+	}
 	if c.Ctl != nil {
 		if ctl := CtlTagFor(path); ctl.Valid() {
 			if err := c.Ctl.Sign(hreq, body, ctl); err != nil {
@@ -109,6 +122,10 @@ func (c *Client) Publish(ct *cert.Cert) error {
 
 // query runs one (query <by> <principal> [clauses]) round trip.
 func (c *Client) query(by string, p principal.Principal, f QueryFilter) ([]*cert.Cert, error) {
+	return c.queryCtx(context.Background(), by, p, f)
+}
+
+func (c *Client) queryCtx(ctx context.Context, by string, p principal.Principal, f QueryFilter) ([]*cert.Cert, error) {
 	req := []*sexp.Sexp{sexp.String("query"), sexp.String(by), p.Sexp()}
 	if f.Limit > 0 {
 		req = append(req, sexp.List(sexp.String("limit"), sexp.String(strconv.Itoa(f.Limit))))
@@ -116,7 +133,7 @@ func (c *Client) query(by string, p principal.Principal, f QueryFilter) ([]*cert
 	if f.Tag.Valid() {
 		req = append(req, f.Tag.Sexp())
 	}
-	resp, err := c.roundTrip(PathQuery, sexp.List(req...))
+	resp, err := c.roundTripCtx(ctx, c.httpClient(), PathQuery, sexp.List(req...))
 	if err != nil {
 		return nil, err
 	}
@@ -384,6 +401,26 @@ func (c *Client) ByIssuerFor(p principal.Principal, want tag.Tag, limit int) ([]
 // BySubjectFor implements prover.FilteredSource.
 func (c *Client) BySubjectFor(p principal.Principal, want tag.Tag, limit int) ([]core.Proof, error) {
 	certs, err := c.QueryBySubjectFiltered(p, QueryFilter{Limit: limit, Tag: want})
+	if err != nil {
+		return nil, err
+	}
+	return asProofs(certs), nil
+}
+
+// ByIssuerForCtx implements prover.ContextSource: the filtered query
+// carrying the search's context, so discovery fetches propagate the
+// caller's trace and honor cancellation.
+func (c *Client) ByIssuerForCtx(ctx context.Context, p principal.Principal, want tag.Tag, limit int) ([]core.Proof, error) {
+	certs, err := c.queryCtx(ctx, "issuer", p, QueryFilter{Limit: limit, Tag: want})
+	if err != nil {
+		return nil, err
+	}
+	return asProofs(certs), nil
+}
+
+// BySubjectForCtx implements prover.ContextSource.
+func (c *Client) BySubjectForCtx(ctx context.Context, p principal.Principal, want tag.Tag, limit int) ([]core.Proof, error) {
+	certs, err := c.queryCtx(ctx, "subject", p, QueryFilter{Limit: limit, Tag: want})
 	if err != nil {
 		return nil, err
 	}

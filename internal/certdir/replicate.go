@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cert"
+	"repro/internal/obs"
 )
 
 // Replicator keeps a Store converged with peer directories in other
@@ -76,6 +77,9 @@ type Replicator struct {
 	// leaves peers serving the revoked delegation until their own CRL
 	// arrives by other means.
 	Revocations *cert.RevocationStore
+	// RoundHist, when set, observes the wall-clock seconds of each
+	// anti-entropy round (Converge).
+	RoundHist *obs.Histogram
 
 	queue chan repJob
 	stop  chan struct{}
@@ -288,6 +292,8 @@ func (r *Replicator) gossipLoop() {
 // reachable peers). The gossip loop calls it on the interval; tests
 // and sf-certd's startup call it directly.
 func (r *Replicator) Converge() (pulled int, err error) {
+	start := time.Now()
+	defer r.RoundHist.Since(start)
 	var errs []error
 	for _, peer := range r.peers {
 		// CRLs first: once a peer's CRLs are applied here, the revoked

@@ -5,11 +5,13 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/httpauth"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/sexp"
 	"repro/internal/tag"
@@ -115,6 +117,16 @@ type Service struct {
 	// stay open. Nil leaves the directory open, the pre-auth
 	// behavior; docs/OPERATIONS.md describes the migration.
 	Guard *httpauth.CtlGuard
+	// Obs, when set, records one span per served endpoint, continuing
+	// the trace named by the request's Sf-Trace header — the directory
+	// leg of a cold admit's trace tree.
+	Obs *obs.Recorder
+	// PublishHist, when set, observes receipt-to-acknowledgment
+	// seconds for each successful publish.
+	PublishHist *obs.Histogram
+	// CRLHist, when set, observes install-through-eviction seconds for
+	// each CRL newly installed via the admin endpoint.
+	CRLHist *obs.Histogram
 }
 
 // NewService wraps a store.
@@ -143,6 +155,10 @@ func CtlTagFor(path string) tag.Tag {
 
 // ServeHTTP dispatches the directory protocol.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Obs != nil {
+		_, span := s.Obs.StartFromHeader(r.Context(), r.Header.Get(obs.TraceHeader), spanName(r.URL.Path))
+		defer span.End()
+	}
 	switch r.URL.Path {
 	case PathPublish:
 		s.post(w, r, s.handlePublish)
@@ -169,6 +185,13 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "certdir: no such endpoint", http.StatusNotFound)
 	}
+}
+
+// spanName maps a wire path to its span name: "certdir." plus the
+// path under the protocol prefix ("certdir.query",
+// "certdir.admin/crl").
+func spanName(path string) string {
+	return "certdir." + strings.TrimPrefix(strings.TrimPrefix(path, "/certdir/"), "/")
 }
 
 // post parses the request body as one S-expression and runs the
@@ -213,6 +236,15 @@ func (s *Service) reply(w http.ResponseWriter, e *sexp.Sexp) {
 }
 
 func (s *Service) handlePublish(e *sexp.Sexp) (*sexp.Sexp, error) {
+	start := time.Now()
+	resp, err := s.doPublish(e)
+	if err == nil {
+		s.PublishHist.Since(start)
+	}
+	return resp, err
+}
+
+func (s *Service) doPublish(e *sexp.Sexp) (*sexp.Sexp, error) {
 	p, err := core.ProofFromSexp(e)
 	if err != nil {
 		return nil, fmt.Errorf("certdir: publish wants a certificate proof: %w", err)
@@ -408,7 +440,11 @@ func (s *Service) handleAdminCRL(e *sexp.Sexp) (*sexp.Sexp, error) {
 	if err != nil {
 		return nil, fmt.Errorf("certdir: admin crl: %w", err)
 	}
+	start := time.Now()
 	added, evicted, err := s.installCRL(rl)
+	if err == nil && added {
+		s.CRLHist.Since(start)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("certdir: admin crl: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -84,5 +85,24 @@ func Lemmas(p Proof) []Proof {
 		}
 	}
 	walk(p)
+	return out
+}
+
+// LeafHashes returns the hex S-expression hashes of p's leaf lemmas —
+// the signed certificates and signed requests the chain rests on, in
+// depth-first order. These are the hashes directories store
+// certificates under, so an audit record carrying them names the
+// exact chain that justified a decision.
+func LeafHashes(p Proof) []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for _, l := range Lemmas(p) {
+		if len(l.Children()) == 0 {
+			h := l.Sexp().Hash()
+			out = append(out, hex.EncodeToString(h[:]))
+		}
+	}
 	return out
 }

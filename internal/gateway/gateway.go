@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emaildb"
 	"repro/internal/httpauth"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/prover"
 	"repro/internal/rmi"
@@ -52,6 +53,21 @@ type Gateway struct {
 	// presentations of the same signed request chain or delegation
 	// proof cost a lookup instead of signature checks.
 	Cache *core.ProofCache
+
+	// Obs, when set, records one "gateway.admit" span per request —
+	// the root of a cold admit's trace tree, continued across the RMI
+	// hop and the prover's directory lookups via the Sf-Trace header.
+	Obs *obs.Recorder
+	// Audit, when set, receives one Decision per request naming the
+	// client, tag, verdict, and the cert hashes of the artifacts that
+	// justified an admit.
+	Audit *obs.AuditLog
+	// ColdAdmit / WarmAdmit, when set, observe end-to-end admit
+	// seconds: cold when the request carried a delegation proof to
+	// digest or the prover went to a directory mid-request, warm when
+	// admission rode cached state alone.
+	ColdAdmit *obs.Histogram
+	WarmAdmit *obs.Histogram
 
 	mu    sync.Mutex
 	stats Stats
@@ -135,19 +151,30 @@ func parseOp(r *http.Request) (dbOp, error) {
 
 // ServeHTTP implements the gateway protocol of section 6.3.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ctx := r.Context()
+	var span *obs.ActiveSpan
+	if g.Obs != nil {
+		ctx, span = g.Obs.StartFromHeader(ctx, r.Header.Get(obs.TraceHeader), "gateway.admit")
+		defer span.End()
+	}
 	g.mu.Lock()
 	g.stats.Requests++
 	g.mu.Unlock()
 
 	op, err := parseOp(r)
 	if err != nil {
+		span.Fail(err)
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
 	minTag := emaildb.OpTag(op.owner, op.op)
+	opName := r.Method + " " + r.URL.Path
+	span.SetAttr("tag", minTag.String())
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err != nil {
+		span.Fail(err)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			http.Error(w, "gateway: request body too large", http.StatusRequestEntityTooLarge)
@@ -157,21 +184,34 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reqPrin := httpauth.ServerRequestPrincipal(r, body)
+	span.SetAttr("principal", reqPrin.String())
 
 	auth := r.Header.Get("Authorization")
 	if auth == "" {
+		g.audit(obs.Decision{
+			Op: opName, Principal: reqPrin.String(), Tag: minTag.String(),
+			Verdict: obs.VerdictChallenge, Reason: "no authorization header",
+			Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
+		})
 		g.challenge(w, minTag)
 		return
 	}
 
-	client, err := g.admit(auth, reqPrin)
+	client, hashes, cold, err := g.admit(auth, reqPrin)
 	if err != nil {
 		g.mu.Lock()
 		g.stats.Denied++
 		g.mu.Unlock()
+		span.Fail(err)
+		g.audit(obs.Decision{
+			Op: opName, Principal: reqPrin.String(), Tag: minTag.String(),
+			Verdict: obs.VerdictDeny, Reason: err.Error(),
+			Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
+		})
 		http.Error(w, err.Error(), http.StatusForbidden)
 		return
 	}
+	span.SetAttr("client", client.String())
 
 	// Forward over RMI, quoting the client. The database, not the
 	// gateway, decides whether the quoted client may touch the
@@ -179,33 +219,65 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	g.mu.Lock()
 	g.stats.Forwarded++
 	g.mu.Unlock()
+	preRemote := g.Prover.Stats().RemoteQueries
+	deny := func(err error) {
+		g.mu.Lock()
+		g.stats.Denied++
+		g.mu.Unlock()
+		span.Fail(err)
+		g.audit(obs.Decision{
+			Op: opName, Principal: client.String(), Tag: minTag.String(),
+			Verdict: obs.VerdictDeny, Reason: err.Error(), CertHashes: hashes,
+			Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
+		})
+		http.Error(w, err.Error(), http.StatusForbidden)
+	}
 	switch op.op {
 	case "select":
 		var reply emaildb.SelectReply
-		err = g.DB.CallQuoting(client, emaildb.ObjectName, "Select",
+		err = g.DB.CallQuotingCtx(ctx, client, emaildb.ObjectName, "Select",
 			emaildb.SelectArgs{Owner: op.owner, Folder: op.folder}, &reply)
 		if err != nil {
-			g.deny(w, err)
+			deny(err)
 			return
 		}
 		renderMailbox(w, op.owner, reply.Msgs)
 	case "update":
 		var reply emaildb.MarkReadReply
-		err = g.DB.CallQuoting(client, emaildb.ObjectName, "MarkRead",
+		err = g.DB.CallQuotingCtx(ctx, client, emaildb.ObjectName, "MarkRead",
 			emaildb.MarkReadArgs{Owner: op.owner, ID: op.id}, &reply)
 		if err != nil {
-			g.deny(w, err)
+			deny(err)
 			return
 		}
 		fmt.Fprintf(w, "marked %d message(s) read\n", reply.Updated)
 	}
+
+	// Admitted end to end. Cold when the client handed over a
+	// delegation to digest or the forward drove the prover to a
+	// directory; warm when cached state carried the whole request.
+	cold = cold || g.Prover.Stats().RemoteQueries > preRemote
+	if cold {
+		g.ColdAdmit.Since(start)
+	} else {
+		g.WarmAdmit.Since(start)
+	}
+	g.audit(obs.Decision{
+		Op: opName, Principal: client.String(), Tag: minTag.String(),
+		Verdict: obs.VerdictAdmit, CertHashes: hashes, CacheHit: !cold,
+		Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
+	})
 }
 
-func (g *Gateway) deny(w http.ResponseWriter, err error) {
-	g.mu.Lock()
-	g.stats.Denied++
-	g.mu.Unlock()
-	http.Error(w, err.Error(), http.StatusForbidden)
+// audit appends one decision record, stamping the layer and the
+// revocation epoch the verdict was computed under. Nil Audit drops it.
+func (g *Gateway) audit(d obs.Decision) {
+	if g.Audit == nil {
+		return
+	}
+	d.Layer = "gateway"
+	d.Epoch = g.proofCache().Epoch()
+	g.Audit.Append(d)
 }
 
 // challenge sends the 401 naming the database issuer S, the minimum
@@ -227,44 +299,49 @@ func (g *Gateway) challenge(w http.ResponseWriter, minTag tag.Tag) {
 // admit checks the two artifacts the client supplies (section 6.3):
 // the signed request showing R => C, and the delegation proof showing
 // (G quoting C) speaks for the database, which the gateway digests
-// into its prover for the RMI invoker to use.
-func (g *Gateway) admit(auth string, reqPrin principal.Hash) (principal.Principal, error) {
+// into its prover for the RMI invoker to use. It also returns the
+// cert hashes of every leaf lemma presented (for the audit record)
+// and whether the request did cold work (a delegation was digested).
+func (g *Gateway) admit(auth string, reqPrin principal.Hash) (client principal.Principal, hashes []string, cold bool, err error) {
 	scheme, params := httpauth.ParseAuthHeader(auth)
 	if scheme != httpauth.SchemeProof {
-		return nil, fmt.Errorf("gateway: unsupported scheme %q", scheme)
+		return nil, nil, false, fmt.Errorf("gateway: unsupported scheme %q", scheme)
 	}
 	rpRaw, ok := params["request-proof"]
 	if !ok {
-		return nil, fmt.Errorf("gateway: missing signed request")
+		return nil, nil, false, fmt.Errorf("gateway: missing signed request")
 	}
 	rp, err := core.ParseProof([]byte(rpRaw))
 	if err != nil {
-		return nil, fmt.Errorf("gateway: bad request proof: %w", err)
+		return nil, nil, false, fmt.Errorf("gateway: bad request proof: %w", err)
 	}
 	ctx := core.NewVerifyContext()
 	ctx.Now = g.now()
 	ctx.Cache = g.proofCache()
 	if err := rp.Verify(ctx); err != nil {
-		return nil, fmt.Errorf("gateway: request proof: %w", err)
+		return nil, nil, false, fmt.Errorf("gateway: request proof: %w", err)
 	}
 	concl := rp.Conclusion()
 	if !principal.Equal(concl.Subject, reqPrin) {
-		return nil, fmt.Errorf("gateway: signed request does not match this request")
+		return nil, nil, false, fmt.Errorf("gateway: signed request does not match this request")
 	}
 	if !concl.Validity.Contains(g.now()) {
-		return nil, fmt.Errorf("gateway: signed request expired")
+		return nil, nil, false, fmt.Errorf("gateway: signed request expired")
 	}
-	client := concl.Issuer
+	client = concl.Issuer
+	hashes = core.LeafHashes(rp)
 
 	if pRaw, ok := params["proof"]; ok {
 		p, err := core.ParseProof([]byte(pRaw))
 		if err != nil {
-			return nil, fmt.Errorf("gateway: bad delegation proof: %w", err)
+			return nil, nil, false, fmt.Errorf("gateway: bad delegation proof: %w", err)
 		}
 		if err := p.Verify(ctx); err != nil {
-			return nil, fmt.Errorf("gateway: delegation proof: %w", err)
+			return nil, nil, false, fmt.Errorf("gateway: delegation proof: %w", err)
 		}
 		g.Prover.AddProof(p)
+		cold = true
+		hashes = append(hashes, core.LeafHashes(p)...)
 		g.mu.Lock()
 		g.stats.Digested++
 		g.mu.Unlock()
@@ -274,7 +351,7 @@ func (g *Gateway) admit(auth string, reqPrin principal.Hash) (principal.Principa
 		// every-256-digests heuristic idled exactly when traffic stopped
 		// and expired edges lingered).
 	}
-	return client, nil
+	return client, hashes, cold, nil
 }
 
 // proofCache returns the verified-proof cache the gateway uses.

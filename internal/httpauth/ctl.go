@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/prover"
 	"repro/internal/tag"
@@ -48,6 +49,10 @@ type CtlGuard struct {
 	Cache *core.ProofCache
 	// Clock supplies verification time; nil means time.Now.
 	Clock func() time.Time
+	// Audit, when set, receives one Decision per Authorize call naming
+	// the request principal, control tag, verdict, and — on admit —
+	// the cert hashes of the operator credential chain.
+	Audit *obs.AuditLog
 
 	mu    sync.Mutex
 	vctx  core.EpochContext
@@ -95,25 +100,38 @@ func (g *CtlGuard) Stats() CtlStats {
 // ErrCtlNoProof so servers can answer 401-with-challenge rather than
 // 403.
 func (g *CtlGuard) Authorize(r *http.Request, body []byte, ctl tag.Tag) error {
+	start := time.Now()
+	trace, _, _ := obs.ParseHeader(r.Header.Get(obs.TraceHeader))
 	auth := r.Header.Get("Authorization")
 	if auth == "" {
 		g.deny()
+		g.audit(obs.Decision{
+			Op: r.URL.Path, Tag: ctl.String(), Verdict: obs.VerdictChallenge,
+			Reason:   "no authorization header",
+			Duration: time.Since(start).Microseconds(), Trace: trace,
+		})
 		return ErrCtlNoProof
+	}
+	fail := func(err error) error {
+		g.deny()
+		g.audit(obs.Decision{
+			Op: r.URL.Path, Tag: ctl.String(), Verdict: obs.VerdictDeny,
+			Reason:   err.Error(),
+			Duration: time.Since(start).Microseconds(), Trace: trace,
+		})
+		return err
 	}
 	scheme, params := parseAuthHeader(auth)
 	if scheme != SchemeProof {
-		g.deny()
-		return fmt.Errorf("httpauth: control plane wants scheme %s, got %q", SchemeProof, scheme)
+		return fail(fmt.Errorf("httpauth: control plane wants scheme %s, got %q", SchemeProof, scheme))
 	}
 	raw, ok := params["proof"]
 	if !ok {
-		g.deny()
-		return fmt.Errorf("httpauth: control-plane authorization missing proof parameter")
+		return fail(fmt.Errorf("httpauth: control-plane authorization missing proof parameter"))
 	}
 	proof, err := core.ParseProof([]byte(raw))
 	if err != nil {
-		g.deny()
-		return fmt.Errorf("httpauth: bad control-plane proof: %w", err)
+		return fail(fmt.Errorf("httpauth: bad control-plane proof: %w", err))
 	}
 	reqPrin := ServerRequestPrincipal(r, body)
 
@@ -141,9 +159,19 @@ func (g *CtlGuard) Authorize(r *http.Request, body []byte, ctl tag.Tag) error {
 	}
 	if err != nil {
 		g.stats.Denied++
+		g.audit(obs.Decision{
+			Op: r.URL.Path, Principal: reqPrin.String(), Tag: ctl.String(),
+			Verdict: obs.VerdictDeny, Reason: err.Error(),
+			Duration: time.Since(start).Microseconds(), Trace: trace,
+		})
 		return err
 	}
 	g.stats.Authorized++
+	g.audit(obs.Decision{
+		Op: r.URL.Path, Principal: reqPrin.String(), Tag: ctl.String(),
+		Verdict: obs.VerdictAdmit, CertHashes: core.LeafHashes(proof),
+		Duration: time.Since(start).Microseconds(), Trace: trace,
+	})
 	return nil
 }
 
@@ -207,6 +235,20 @@ func (g *CtlGuard) deny() {
 	g.mu.Lock()
 	g.stats.Denied++
 	g.mu.Unlock()
+}
+
+// audit appends one decision record, stamping the layer and the
+// revocation state the verdict was computed under. Nil Audit drops it.
+func (g *CtlGuard) audit(d obs.Decision) {
+	if g.Audit == nil {
+		return
+	}
+	d.Layer = "ctlguard"
+	d.Epoch = g.cache().Epoch()
+	if g.Revocations != nil {
+		d.View = g.Revocations.View()
+	}
+	g.Audit.Append(d)
 }
 
 // CtlSigner signs outgoing control-plane requests: it proves the

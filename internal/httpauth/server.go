@@ -1,6 +1,7 @@
 package httpauth
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/base64"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/tag"
 )
@@ -53,6 +55,14 @@ type Protected struct {
 	// shared cache. Its revocation epoch must be bumped by whatever
 	// store backs Revoked (cert.RevocationStore does this).
 	Cache *core.ProofCache
+
+	// Obs, when set, records one "httpauth.check" span per request,
+	// continuing the trace named by the Sf-Trace request header.
+	Obs *obs.Recorder
+	// Audit, when set, receives one Decision per request naming the
+	// principal, tag, verdict, and the cert hashes of the proof chain
+	// that justified an admit.
+	Audit *obs.AuditLog
 
 	mu     sync.Mutex
 	vctx   core.EpochContext       // persistent memo, flushed on epoch bumps
@@ -112,36 +122,57 @@ func (p *Protected) now() time.Time {
 
 // ServeHTTP implements the protocol: authorize or challenge.
 func (p *Protected) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var span *obs.ActiveSpan
+	if p.Obs != nil {
+		var ctx context.Context
+		ctx, span = p.Obs.StartFromHeader(r.Context(), r.Header.Get(obs.TraceHeader), "httpauth.check")
+		defer span.End()
+		r = r.WithContext(ctx)
+	}
 	p.mu.Lock()
 	p.stats.Requests++
 	p.mu.Unlock()
 
 	issuer, minTag, err := p.Map(r)
 	if err != nil {
+		span.Fail(err)
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
 
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
+		span.Fail(err)
 		http.Error(w, "bad body", http.StatusBadRequest)
 		return
 	}
 	r.Body = io.NopCloser(newByteReader(body))
 	reqPrin := ServerRequestPrincipal(r, body)
 	reqTag := RequestTag(r.Method, p.Service, r.URL.Path)
+	op := r.Method + " " + r.URL.Path
+	span.SetAttr("principal", reqPrin.String())
+	span.SetAttr("tag", reqTag.String())
 
 	auth := r.Header.Get("Authorization")
 	if auth == "" {
+		p.audit(obs.Decision{
+			Op: op, Principal: reqPrin.String(), Tag: reqTag.String(),
+			Verdict: obs.VerdictChallenge, Reason: "no authorization header",
+			Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
+		})
 		p.challenge(w, issuer, minTag)
 		return
 	}
+	var proof core.Proof
+	var reused bool
 	scheme, params := parseAuthHeader(auth)
 	switch scheme {
 	case SchemeProof:
-		err = p.authorizeProof(r, params, reqPrin, issuer, reqTag)
+		proof, err = p.authorizeProof(r, params, reqPrin, issuer, reqTag)
 	case SchemeMAC:
-		err = p.authorizeMAC(r, params, reqPrin, issuer, reqTag)
+		proof, err = p.authorizeMAC(r, params, reqPrin, issuer, reqTag)
+		reused = err == nil // admit chained through a proof on file
 	default:
 		err = fmt.Errorf("httpauth: unsupported scheme %q", scheme)
 	}
@@ -149,11 +180,22 @@ func (p *Protected) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.mu.Lock()
 		p.stats.Denied++
 		p.mu.Unlock()
+		span.Fail(err)
+		p.audit(obs.Decision{
+			Op: op, Principal: reqPrin.String(), Tag: reqTag.String(),
+			Verdict: obs.VerdictDeny, Reason: err.Error(),
+			Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
+		})
 		// "403 Forbidden" indicates authorization failure after a
 		// challenge was answered (section 5.3).
 		http.Error(w, err.Error(), http.StatusForbidden)
 		return
 	}
+	p.audit(obs.Decision{
+		Op: op, Principal: reqPrin.String(), Tag: reqTag.String(),
+		Verdict: obs.VerdictAdmit, CertHashes: core.LeafHashes(proof), CacheHit: reused,
+		Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
+	})
 
 	// MAC establishment rides on any authorized request.
 	if eph := r.Header.Get(HdrMACEstablish); eph != "" {
@@ -184,44 +226,44 @@ func (p *Protected) challenge(w http.ResponseWriter, issuer principal.Principal,
 // The proof's subject must be the hash of this very request (or, for
 // gateways, the compound principal that signed request hash chains
 // to).
-func (p *Protected) authorizeProof(r *http.Request, params map[string]string, reqPrin principal.Hash, issuer principal.Principal, reqTag tag.Tag) error {
+func (p *Protected) authorizeProof(r *http.Request, params map[string]string, reqPrin principal.Hash, issuer principal.Principal, reqTag tag.Tag) (core.Proof, error) {
 	raw, ok := params["proof"]
 	if !ok {
-		return fmt.Errorf("httpauth: missing proof parameter")
+		return nil, fmt.Errorf("httpauth: missing proof parameter")
 	}
 	proof, err := core.ParseProof([]byte(raw))
 	if err != nil {
-		return fmt.Errorf("httpauth: bad proof: %w", err)
+		return nil, fmt.Errorf("httpauth: bad proof: %w", err)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	ctx := p.lockedCtx()
 	p.stats.ProofVerifies++
 	if err := core.Authorize(ctx, proof, reqPrin, issuer, reqTag); err != nil {
-		return err
+		return nil, err
 	}
 	p.proofs[reqPrin.Key()] = append(p.proofs[reqPrin.Key()], proof)
-	return nil
+	return proof, nil
 }
 
 // authorizeMAC handles Authorization: SnowflakeMAC keyid=..., mac=...:
 // verify the HMAC over the request hash (establishing the local
 // assumption "request speaks for MAC principal"), then chain through
 // the proof on file for the MAC principal.
-func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqPrin principal.Hash, issuer principal.Principal, reqTag tag.Tag) error {
+func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqPrin principal.Hash, issuer principal.Principal, reqTag tag.Tag) (core.Proof, error) {
 	keyID, mac := params["keyid"], params["mac"]
 	if keyID == "" || mac == "" {
-		return fmt.Errorf("httpauth: missing keyid or mac")
+		return nil, fmt.Errorf("httpauth: missing keyid or mac")
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	ms, ok := p.macs[keyID]
 	if !ok {
-		return fmt.Errorf("httpauth: unknown MAC key")
+		return nil, fmt.Errorf("httpauth: unknown MAC key")
 	}
 	p.stats.MACVerifies++
 	if !verifyMAC(ms.secret, reqPrin.Digest, mac) {
-		return fmt.Errorf("httpauth: MAC verification failed")
+		return nil, fmt.Errorf("httpauth: MAC verification failed")
 	}
 	ctx := p.lockedCtx()
 	// Local assumption witnessed by the HMAC check: this request
@@ -247,10 +289,26 @@ func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqP
 		}
 		if err := core.Authorize(ctx, chain, reqPrin, issuer, reqTag); err == nil {
 			p.stats.CacheHits++
-			return nil
+			return chain, nil
 		}
 	}
-	return &core.AuthError{Issuer: issuer, MinTag: reqTag, Reason: "no proof on file for MAC principal"}
+	return nil, &core.AuthError{Issuer: issuer, MinTag: reqTag, Reason: "no proof on file for MAC principal"}
+}
+
+// audit appends one decision record, stamping the layer and the
+// revocation state the verdict was computed under. Nil Audit drops it.
+func (p *Protected) audit(d obs.Decision) {
+	if p.Audit == nil {
+		return
+	}
+	d.Layer = "httpauth"
+	cache := p.Cache
+	if cache == nil {
+		cache = core.SharedProofCache()
+	}
+	d.Epoch = cache.Epoch()
+	d.View = p.RevocationView
+	p.Audit.Append(d)
 }
 
 // lockedCtx refreshes the persistent verification context. Its local

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Decision verdicts.
+const (
+	VerdictAdmit     = "admit"
+	VerdictDeny      = "deny"
+	VerdictChallenge = "challenge"
+)
+
+// Decision is one authorization outcome: who asked to do what, what
+// the answer was, and — the paper's accountability property — the
+// exact certificate chain that justified it. CertHashes are the hex
+// SHA-256 hashes of the proof's leaf lemmas (signed certificates and
+// signed requests), the same hashes the directory stores them under.
+type Decision struct {
+	Time       time.Time `json:"time"`
+	Layer      string    `json:"layer"` // gateway | httpauth | ctlguard | rmi
+	Op         string    `json:"op"`
+	Principal  string    `json:"principal,omitempty"`
+	Tag        string    `json:"tag,omitempty"`
+	Verdict    string    `json:"verdict"`
+	Reason     string    `json:"reason,omitempty"`
+	CertHashes []string  `json:"cert_hashes,omitempty"`
+	CacheHit   bool      `json:"cache_hit"`
+	Epoch      uint64    `json:"epoch"`
+	View       uint64    `json:"view,omitempty"`
+	Duration   int64     `json:"duration_us"`
+	Trace      string    `json:"trace,omitempty"`
+}
+
+// AuditLog is a bounded ring of Decisions with an optional JSONL
+// sink. All methods are safe for concurrent use, and every method
+// no-ops on a nil receiver so enforcement points append
+// unconditionally.
+type AuditLog struct {
+	mu         sync.Mutex
+	ring       []Decision
+	next       int
+	full       bool
+	sink       io.Writer
+	closeSink  func() error
+	admitted   uint64
+	denied     uint64
+	challenged uint64
+	dropped    uint64
+	sinkErrs   uint64
+}
+
+// DefaultAuditSize bounds an AuditLog built with NewAuditLog(0).
+const DefaultAuditSize = 4096
+
+// NewAuditLog returns a log retaining at most max decisions
+// (DefaultAuditSize when max <= 0).
+func NewAuditLog(max int) *AuditLog {
+	if max <= 0 {
+		max = DefaultAuditSize
+	}
+	return &AuditLog{ring: make([]Decision, max)}
+}
+
+// SetSink streams every future decision to w as one JSON line each,
+// in addition to the ring. Pass nil to detach.
+func (l *AuditLog) SetSink(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = w
+	l.closeSink = nil
+	l.mu.Unlock()
+}
+
+// OpenSink appends decisions to a JSONL file at path; CloseSink (or a
+// later OpenSink) closes it.
+func (l *AuditLog) OpenSink(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	old := l.closeSink
+	l.sink = f
+	l.closeSink = f.Close
+	l.mu.Unlock()
+	if old != nil {
+		old()
+	}
+	return nil
+}
+
+// CloseSink detaches and closes a file sink opened with OpenSink.
+func (l *AuditLog) CloseSink() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	c := l.closeSink
+	l.sink = nil
+	l.closeSink = nil
+	l.mu.Unlock()
+	if c != nil {
+		return c()
+	}
+	return nil
+}
+
+// Append records one decision. A zero Time is stamped now.
+func (l *AuditLog) Append(d Decision) {
+	if l == nil {
+		return
+	}
+	if d.Time.IsZero() {
+		d.Time = time.Now()
+	}
+	l.mu.Lock()
+	switch d.Verdict {
+	case VerdictAdmit:
+		l.admitted++
+	case VerdictDeny:
+		l.denied++
+	case VerdictChallenge:
+		l.challenged++
+	}
+	if l.full {
+		l.dropped++
+	}
+	l.ring[l.next] = d
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.full = true
+	}
+	sink := l.sink
+	if sink != nil {
+		line, err := json.Marshal(d)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = sink.Write(line)
+		}
+		if err != nil {
+			l.sinkErrs++
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Recent returns the newest n decisions, oldest first (all retained
+// decisions when n <= 0).
+func (l *AuditLog) Recent(n int) []Decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	var out []Decision
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+	}
+	out = append(out, l.ring[:l.next]...)
+	l.mu.Unlock()
+	if n > 0 && n < len(out) {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Admitted, Denied, and Challenged report cumulative verdict counts
+// (beyond what the ring retains) for metric export.
+func (l *AuditLog) Admitted() uint64   { return l.count(func() uint64 { return l.admitted }) }
+func (l *AuditLog) Denied() uint64     { return l.count(func() uint64 { return l.denied }) }
+func (l *AuditLog) Challenged() uint64 { return l.count(func() uint64 { return l.challenged }) }
+
+func (l *AuditLog) count(read func() uint64) uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return read()
+}
+
+// ServeHTTP exports the decision ring at /debug/decisions as a JSON
+// array, newest-bounded by n=<max> and filterable with
+// verdict=<admit|deny|challenge>, layer=<name>, trace=<id>, and
+// principal=<substring>.
+func (l *AuditLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	verdict, layer, trace, prin := q.Get("verdict"), q.Get("layer"), q.Get("trace"), q.Get("principal")
+	all := l.Recent(0)
+	out := make([]Decision, 0, len(all))
+	for _, d := range all {
+		if verdict != "" && d.Verdict != verdict {
+			continue
+		}
+		if layer != "" && d.Layer != layer {
+			continue
+		}
+		if trace != "" && d.Trace != trace {
+			continue
+		}
+		if prin != "" && !strings.Contains(d.Principal, prin) {
+			continue
+		}
+		out = append(out, d)
+	}
+	if nStr := q.Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(out) {
+			out = out[len(out)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Admitted   uint64     `json:"admitted_total"`
+		Denied     uint64     `json:"denied_total"`
+		Challenged uint64     `json:"challenged_total"`
+		Decisions  []Decision `json:"decisions"`
+	}{l.Admitted(), l.Denied(), l.Challenged(), out})
+}

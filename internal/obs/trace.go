@@ -1,0 +1,354 @@
+// Package obs is the observability substrate for the mesh: request-
+// scoped span tracing, a structured authorization audit trail, and
+// fixed-bucket latency histograms. It is deliberately a leaf package —
+// stdlib only, imported by every layer (gateway, prover, certdir, rmi,
+// httpauth, server) without creating cycles — and deliberately not
+// OpenTelemetry: the mesh needs a few hundred lines of ring buffers,
+// not a collector pipeline. A trace here is the explainability story
+// of the paper made operational: one cold admit renders as a single
+// tree of timed spans crossing the gateway, the prover's remote
+// discovery, and the directory, linked by the Sf-Trace header.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries trace context between processes. The value is
+// "<trace-id>-<span-id>": the 16-hex-digit trace ID and the 16-hex
+// span ID of the caller's active span, which becomes the parent of
+// the first span the callee opens.
+const TraceHeader = "Sf-Trace"
+
+// Span is one completed, timed operation within a trace.
+type Span struct {
+	Trace    string            `json:"trace"`
+	ID       string            `json:"id"`
+	Parent   string            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Err      string            `json:"err,omitempty"`
+}
+
+// Recorder collects completed spans into a bounded ring; when the
+// ring is full the oldest spans are dropped (and counted). One
+// Recorder per daemon, exported at /debug/trace on the admin mux.
+type Recorder struct {
+	mu      sync.Mutex
+	ring    []Span
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// DefaultRingSize bounds a Recorder built with NewRecorder(0).
+const DefaultRingSize = 2048
+
+// NewRecorder returns a recorder holding at most max completed spans
+// (DefaultRingSize when max <= 0).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = DefaultRingSize
+	}
+	return &Recorder{ring: make([]Span, max)}
+}
+
+func (r *Recorder) record(s Span) {
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.ring[r.next] = s
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Span
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+	}
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// TraceSpans returns the retained spans of one trace, sorted by start
+// time.
+func (r *Recorder) TraceSpans(trace string) []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.Trace == trace {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Dropped reports how many spans the ring has evicted.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+func newID(bytes int) string {
+	b := make([]byte, bytes)
+	if _, err := rand.Read(b); err != nil {
+		panic("obs: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceID mints a fresh 16-hex-digit trace identifier.
+func NewTraceID() string { return newID(8) }
+
+// ActiveSpan is an in-progress span. The zero of usefulness is nil:
+// every method no-ops on a nil receiver, so instrumentation sites
+// never test whether tracing is wired.
+type ActiveSpan struct {
+	rec   *Recorder
+	mu    sync.Mutex
+	span  Span
+	ended bool
+}
+
+// Start opens a span in this recorder. If ctx already carries an
+// active span the new one joins its trace as a child; otherwise a
+// fresh trace begins. The returned context carries the new span for
+// further nesting.
+func (r *Recorder) Start(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	s := &ActiveSpan{rec: r, span: Span{ID: newID(8), Name: name, Start: time.Now()}}
+	if parent := FromContext(ctx); parent != nil && parent.span.Trace != "" {
+		s.span.Trace = parent.span.Trace
+		s.span.Parent = parent.span.ID
+	} else {
+		s.span.Trace = NewTraceID()
+	}
+	return ContextWith(ctx, s), s
+}
+
+// StartFromHeader opens a span continuing the trace named by an
+// incoming Sf-Trace header value; an empty or malformed value begins
+// a fresh trace. Servers call this at their edge.
+func (r *Recorder) StartFromHeader(ctx context.Context, header, name string) (context.Context, *ActiveSpan) {
+	s := &ActiveSpan{rec: r, span: Span{ID: newID(8), Name: name, Start: time.Now()}}
+	if trace, parent, ok := ParseHeader(header); ok {
+		s.span.Trace = trace
+		s.span.Parent = parent
+	} else {
+		s.span.Trace = NewTraceID()
+	}
+	return ContextWith(ctx, s), s
+}
+
+// StartSpan opens a child span inside whatever recorder the context's
+// active span belongs to. On a context with no active trace it
+// returns (ctx, nil): the nil span's methods no-op, so instrumented
+// code costs nothing off the traced path.
+func StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	parent := FromContext(ctx)
+	if parent == nil || parent.rec == nil {
+		return ctx, nil
+	}
+	return parent.rec.Start(ctx, name)
+}
+
+// SetAttr attaches a key/value to the span.
+func (s *ActiveSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[k] = v
+	s.mu.Unlock()
+}
+
+// Fail records the error the span's operation ended with.
+func (s *ActiveSpan) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.span.Err = err.Error()
+	s.mu.Unlock()
+}
+
+// End completes the span and commits it to the recorder. Idempotent.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.span.Duration = time.Since(s.span.Start)
+	sp := s.span
+	rec := s.rec
+	s.mu.Unlock()
+	if rec != nil {
+		rec.record(sp)
+	}
+}
+
+// TraceID returns the span's trace identifier ("" on a nil span).
+func (s *ActiveSpan) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.span.Trace
+}
+
+type ctxKey struct{}
+
+// ContextWith returns a context carrying s as the active span.
+func ContextWith(ctx context.Context, s *ActiveSpan) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the context's active span, or nil.
+func FromContext(ctx context.Context) *ActiveSpan {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*ActiveSpan)
+	return s
+}
+
+// Header renders the span as an Sf-Trace header value ("" on nil).
+func (s *ActiveSpan) Header() string {
+	if s == nil {
+		return ""
+	}
+	return s.span.Trace + "-" + s.span.ID
+}
+
+// Inject returns the Sf-Trace header value for the context's active
+// span, or "" when the context carries no trace.
+func Inject(ctx context.Context) string { return FromContext(ctx).Header() }
+
+// ParseHeader splits an Sf-Trace value into trace and parent span
+// IDs.
+func ParseHeader(v string) (trace, parent string, ok bool) {
+	trace, parent, found := strings.Cut(v, "-")
+	if !found || trace == "" || parent == "" {
+		return "", "", false
+	}
+	for _, part := range []string{trace, parent} {
+		if _, err := hex.DecodeString(part); err != nil {
+			return "", "", false
+		}
+	}
+	return trace, parent, true
+}
+
+// ServeHTTP exports the span ring at /debug/trace. Query parameters:
+// trace=<id> restricts to one trace; n=<max> bounds the span count;
+// format=tree renders an indented per-trace text tree instead of
+// JSON.
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
+	var spans []Span
+	if id := q.Get("trace"); id != "" {
+		spans = r.TraceSpans(id)
+	} else {
+		spans = r.Spans()
+	}
+	if nStr := q.Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(spans) {
+			spans = spans[len(spans)-n:]
+		}
+	}
+	if q.Get("format") == "tree" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeTree(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Dropped uint64 `json:"dropped"`
+		Spans   []Span `json:"spans"`
+	}{r.Dropped(), spans})
+}
+
+// writeTree renders spans grouped by trace as indented trees: roots
+// are spans whose parent is absent from the set (it may live in
+// another process's recorder).
+func writeTree(w http.ResponseWriter, spans []Span) {
+	byTrace := map[string][]Span{}
+	var order []string
+	for _, s := range spans {
+		if _, seen := byTrace[s.Trace]; !seen {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	for _, tid := range order {
+		group := byTrace[tid]
+		fmt.Fprintf(w, "trace %s (%d spans)\n", tid, len(group))
+		ids := map[string]bool{}
+		children := map[string][]Span{}
+		for _, s := range group {
+			ids[s.ID] = true
+		}
+		var roots []Span
+		for _, s := range group {
+			if s.Parent != "" && ids[s.Parent] {
+				children[s.Parent] = append(children[s.Parent], s)
+			} else {
+				roots = append(roots, s)
+			}
+		}
+		var emit func(s Span, depth int)
+		emit = func(s Span, depth int) {
+			fmt.Fprintf(w, "%s%s %s", strings.Repeat("  ", depth+1), s.Name, s.Duration)
+			if s.Err != "" {
+				fmt.Fprintf(w, " err=%q", s.Err)
+			}
+			for _, k := range sortedKeys(s.Attrs) {
+				fmt.Fprintf(w, " %s=%s", k, s.Attrs[k])
+			}
+			fmt.Fprintln(w)
+			for _, c := range children[s.ID] {
+				emit(c, depth+1)
+			}
+		}
+		for _, root := range roots {
+			emit(root, 0)
+		}
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -29,12 +29,14 @@
 package prover
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/shard"
 	"repro/internal/tag"
@@ -54,11 +56,12 @@ type Closure interface {
 // Stats counts the work performed by the Prover; the ablation
 // benchmarks report these.
 type Stats struct {
-	Traversals   int // FindProof invocations (including recursive)
-	Expanded     int // nodes popped during BFS
-	ShortcutHits int // goal reached through a cached shortcut edge
-	Minted       int // delegations issued through closures
-	Swept        int // expired edges evicted by Sweep
+	Traversals    int // FindProof invocations (including recursive)
+	Expanded      int // nodes popped during BFS
+	ShortcutHits  int // goal reached through a cached shortcut edge
+	Minted        int // delegations issued through closures
+	Swept         int // expired edges evicted by Sweep
+	SweptVerdicts int // cached proof-cache verdicts evicted alongside swept edges
 
 	RemoteQueries  int // directory lookups issued
 	RemoteCerts    int // fresh proofs digested from directories
@@ -72,11 +75,12 @@ type Stats struct {
 
 // counters is the internal, concurrency-safe form of Stats.
 type counters struct {
-	traversals   atomic.Int64
-	expanded     atomic.Int64
-	shortcutHits atomic.Int64
-	minted       atomic.Int64
-	swept        atomic.Int64
+	traversals    atomic.Int64
+	expanded      atomic.Int64
+	shortcutHits  atomic.Int64
+	minted        atomic.Int64
+	swept         atomic.Int64
+	sweptVerdicts atomic.Int64
 
 	remoteQueries  atomic.Int64
 	remoteCerts    atomic.Int64
@@ -135,6 +139,15 @@ type Prover struct {
 	// that support server-side filtering (FilteredSource); zero means
 	// DefaultRemoteLimit.
 	RemoteLimit int
+	// VerdictCache is the verified-proof cache whose verdicts Sweep
+	// evicts alongside the edges it drops (so a swept edge does not
+	// linger as a warm verdict until its validity or the next epoch
+	// bump); nil means the process-wide shared cache.
+	VerdictCache *core.ProofCache
+	// RemoteHist, when set, observes the wall-clock seconds each
+	// remote discovery (findRemote) takes — the cold-proof-discovery
+	// latency signal.
+	RemoteHist *obs.Histogram
 
 	stats counters
 }
@@ -240,6 +253,7 @@ func (p *Prover) Stats() Stats {
 		ShortcutHits:   int(p.stats.shortcutHits.Load()),
 		Minted:         int(p.stats.minted.Load()),
 		Swept:          int(p.stats.swept.Load()),
+		SweptVerdicts:  int(p.stats.sweptVerdicts.Load()),
 		RemoteQueries:  int(p.stats.remoteQueries.Load()),
 		RemoteCerts:    int(p.stats.remoteCerts.Load()),
 		RemoteRejected: int(p.stats.remoteRejected.Load()),
@@ -266,12 +280,19 @@ func (p *Prover) EdgeCount() int {
 
 // Sweep evicts every edge whose conclusion expired before now —
 // including its dedup entry, so a re-delegated equivalent proof can
-// re-enter — and prunes stale negative-cache entries. Long-running
-// digesters (the gateway digests a proof per client) call this
-// periodically so the graph tracks the live delegation set instead of
-// growing without bound. It returns the number of edges evicted.
+// re-enter, and its cached proof-cache verdict, so the swept proof
+// does not linger as a warm verdict — and prunes stale negative-cache
+// entries. Long-running digesters (the gateway digests a proof per
+// client) call this periodically so the graph tracks the live
+// delegation set instead of growing without bound. It returns the
+// number of edges evicted.
 func (p *Prover) Sweep(now time.Time) int {
 	evicted := 0
+	verdicts := 0
+	cache := p.VerdictCache
+	if cache == nil {
+		cache = core.SharedProofCache()
+	}
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		for ik, es := range sh.edges {
@@ -279,6 +300,9 @@ func (p *Prover) Sweep(now time.Time) int {
 			for _, e := range es {
 				if !e.expiry.IsZero() && e.expiry.Before(now) {
 					delete(sh.seen, e.hash)
+					if cache.Evict(e.hash) {
+						verdicts++
+					}
 					evicted++
 					continue
 				}
@@ -300,6 +324,7 @@ func (p *Prover) Sweep(now time.Time) int {
 	}
 	p.rmu.Unlock()
 	p.stats.swept.Add(int64(evicted))
+	p.stats.sweptVerdicts.Add(int64(verdicts))
 	return evicted
 }
 
@@ -315,6 +340,14 @@ func (p *Prover) Sweep(now time.Time) int {
 // serialize: the search reads per-shard snapshots of the graph, and
 // only minting or digesting a new edge briefly write-locks one shard.
 func (p *Prover) FindProof(subject, issuer principal.Principal, want tag.Tag, now time.Time) (core.Proof, error) {
+	return p.FindProofCtx(context.Background(), subject, issuer, want, now)
+}
+
+// FindProofCtx is FindProof carrying a context: when ctx holds an
+// active obs span, remote discovery records a "prover.remote" child
+// span and directory fetches propagate the trace on the wire, so one
+// cold admit renders as a single tree across processes.
+func (p *Prover) FindProofCtx(ctx context.Context, subject, issuer principal.Principal, want tag.Tag, now time.Time) (core.Proof, error) {
 	proof, err := p.find(subject, issuer, want, now, p.MaxDepth)
 	if err == nil {
 		return proof, nil
@@ -325,7 +358,15 @@ func (p *Prover) FindProof(subject, issuer principal.Principal, want tag.Tag, no
 	if !hasRemotes {
 		return nil, err
 	}
-	return p.findRemote(subject, issuer, want, now, err)
+	ctx, span := obs.StartSpan(ctx, "prover.remote")
+	span.SetAttr("subject", subject.String())
+	span.SetAttr("issuer", issuer.String())
+	start := time.Now()
+	proof, err = p.findRemote(ctx, subject, issuer, want, now, err)
+	p.RemoteHist.Since(start)
+	span.Fail(err)
+	span.End()
+	return proof, err
 }
 
 func (p *Prover) find(subject, issuer principal.Principal, want tag.Tag, now time.Time, depth int) (core.Proof, error) {

@@ -1,6 +1,7 @@
 package prover
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -29,6 +30,18 @@ type RemoteSource interface {
 	// BySubject returns proofs whose conclusion subject is the given
 	// principal: the delegations that principal can exercise.
 	BySubject(subject principal.Principal) ([]core.Proof, error)
+}
+
+// ContextSource is optionally implemented by remote sources that can
+// carry a request context — certdir.Client does, propagating the
+// context's obs trace as the HTTP Sf-Trace header and honoring
+// cancellation. Sources implementing it are preferred over
+// FilteredSource/RemoteSource during discovery.
+type ContextSource interface {
+	// ByIssuerForCtx is ByIssuerFor carrying the search's context.
+	ByIssuerForCtx(ctx context.Context, issuer principal.Principal, want tag.Tag, limit int) ([]core.Proof, error)
+	// BySubjectForCtx is the subject-side counterpart.
+	BySubjectForCtx(ctx context.Context, subject principal.Principal, want tag.Tag, limit int) ([]core.Proof, error)
 }
 
 // FilteredSource is optionally implemented by remote sources that can
@@ -98,7 +111,7 @@ type remoteAnswer struct {
 // and re-runs the local search; the frontier grows at least one hop
 // per productive round, so a k-hop remote chain needs at most k
 // rounds. No prover lock is held across network fetches.
-func (p *Prover) findRemote(subject, issuer principal.Principal, want tag.Tag, now time.Time, localErr error) (core.Proof, error) {
+func (p *Prover) findRemote(ctx context.Context, subject, issuer principal.Principal, want tag.Tag, now time.Time, localErr error) (core.Proof, error) {
 	budget := p.RemoteFanout
 	if budget <= 0 {
 		budget = DefaultRemoteFanout
@@ -118,7 +131,7 @@ func (p *Prover) findRemote(subject, issuer principal.Principal, want tag.Tag, n
 		p.rmu.Lock()
 		remotes := append([]RemoteSource(nil), p.remotes...)
 		p.rmu.Unlock()
-		answers := fetchAll(remotes, queries, want, p.remoteLimit())
+		answers := fetchAll(ctx, remotes, queries, want, p.remoteLimit())
 
 		p.stats.remoteQueries.Add(int64(len(queries) * len(remotes)))
 		added := 0
@@ -205,7 +218,7 @@ func (p *Prover) reachable(issuer principal.Principal, want tag.Tag, now time.Ti
 // source) pair unanswered: an unreachable directory degrades
 // discovery for a round, it neither fails proving nor poisons the
 // negative cache.
-func fetchAll(remotes []RemoteSource, queries []remoteQuery, want tag.Tag, limit int) []remoteAnswer {
+func fetchAll(ctx context.Context, remotes []RemoteSource, queries []remoteQuery, want tag.Tag, limit int) []remoteAnswer {
 	answers := make([]remoteAnswer, len(queries))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -218,7 +231,13 @@ func fetchAll(remotes []RemoteSource, queries []remoteQuery, want tag.Tag, limit
 					got []core.Proof
 					err error
 				)
-				switch fs, filtered := r.(FilteredSource); {
+				cs, withCtx := r.(ContextSource)
+				fs, filtered := r.(FilteredSource)
+				switch {
+				case withCtx && q.axis == "i":
+					got, err = cs.ByIssuerForCtx(ctx, q.prin, want, limit)
+				case withCtx:
+					got, err = cs.BySubjectForCtx(ctx, q.prin, want, limit)
 				case filtered && q.axis == "i":
 					got, err = fs.ByIssuerFor(q.prin, want, limit)
 				case filtered:

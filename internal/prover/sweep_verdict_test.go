@@ -1,0 +1,59 @@
+package prover
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/tag"
+)
+
+// TestSweepEvictsCachedVerdicts: dropping an expired edge must also
+// drop its cached verification verdict, or a cold lookup could keep
+// riding a verdict for a certificate the prover no longer holds.
+func TestSweepEvictsCachedVerdicts(t *testing.T) {
+	alice, bob := mkParty("sweep-verdict-a"), mkParty("sweep-verdict-b")
+	c, err := cert.Delegate(alice.priv, bob.pr, alice.pr, tag.All(), core.Until(now.Add(time.Minute)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := core.NewProofCache(64)
+	p := New()
+	p.VerdictCache = cache
+	p.AddProof(c)
+
+	// Verify through the prover's verdict cache so the cert's verdict
+	// is resident, exactly as a served request would leave it.
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	ctx.Cache = cache
+	if err := c.Verify(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !cache.Lookup(c.Sexp().Hash(), now, 0) {
+		t.Fatal("verdict not cached after verification")
+	}
+
+	// Past expiry, the sweep evicts the edge AND its verdict.
+	later := now.Add(2 * time.Minute)
+	if n := p.Sweep(later); n != 1 {
+		t.Fatalf("Sweep evicted %d edges, want 1", n)
+	}
+	if cache.Lookup(c.Sexp().Hash(), now, 0) {
+		t.Fatal("cached verdict survived the sweep of its edge")
+	}
+	st := p.Stats()
+	if st.Swept != 1 || st.SweptVerdicts != 1 {
+		t.Fatalf("stats = swept %d, sweptVerdicts %d; want 1, 1", st.Swept, st.SweptVerdicts)
+	}
+
+	// Sweeping again is a no-op: nothing left to evict, counters hold.
+	if n := p.Sweep(later); n != 0 {
+		t.Fatalf("second Sweep evicted %d edges, want 0", n)
+	}
+	if st := p.Stats(); st.SweptVerdicts != 1 {
+		t.Fatalf("sweptVerdicts = %d after no-op sweep, want 1", st.SweptVerdicts)
+	}
+}

@@ -3,6 +3,7 @@ package rmi
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/prover"
 	"repro/internal/tag"
@@ -93,32 +95,44 @@ func (c *Client) Stats() ClientStats {
 
 // Call invokes object.method(args, reply).
 func (c *Client) Call(object, method string, args, reply interface{}) error {
-	return c.call(nil, object, method, args, reply)
+	return c.call(context.Background(), nil, object, method, args, reply)
+}
+
+// CallCtx is Call carrying a context: an active obs span on ctx rides
+// the wire as the request's Sf-Trace value, so the server's dispatch
+// span (and any proof search a challenge triggers) joins the trace.
+func (c *Client) CallCtx(ctx context.Context, object, method string, args, reply interface{}) error {
+	return c.call(ctx, nil, object, method, args, reply)
 }
 
 // CallQuoting invokes the method while quoting another principal: the
 // server attributes the request to "channel-key | quotee" and demands
 // a proof for that compound principal (section 6.3).
 func (c *Client) CallQuoting(quotee principal.Principal, object, method string, args, reply interface{}) error {
-	return c.call(quotee, object, method, args, reply)
+	return c.call(context.Background(), quotee, object, method, args, reply)
 }
 
-func (c *Client) call(quotee principal.Principal, object, method string, args, reply interface{}) error {
+// CallQuotingCtx is CallQuoting carrying a context (see CallCtx).
+func (c *Client) CallQuotingCtx(ctx context.Context, quotee principal.Principal, object, method string, args, reply interface{}) error {
+	return c.call(ctx, quotee, object, method, args, reply)
+}
+
+func (c *Client) call(ctx context.Context, quotee principal.Principal, object, method string, args, reply interface{}) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Calls++
 
-	resp, err := c.roundTrip(quotee, object, method, args)
+	resp, err := c.roundTrip(ctx, quotee, object, method, args)
 	if err != nil {
 		return err
 	}
 	if resp.Kind == kindNeedAuth {
 		c.stats.Challenges++
-		if err := c.satisfyChallenge(quotee, resp); err != nil {
+		if err := c.satisfyChallenge(ctx, quotee, resp); err != nil {
 			return err
 		}
 		c.stats.Retries++
-		if resp, err = c.roundTrip(quotee, object, method, args); err != nil {
+		if resp, err = c.roundTrip(ctx, quotee, object, method, args); err != nil {
 			return err
 		}
 	}
@@ -139,7 +153,7 @@ func (c *Client) call(quotee principal.Principal, object, method string, args, r
 	}
 }
 
-func (c *Client) roundTrip(quotee principal.Principal, object, method string, args interface{}) (*callResponse, error) {
+func (c *Client) roundTrip(ctx context.Context, quotee principal.Principal, object, method string, args interface{}) (*callResponse, error) {
 	var argBuf bytes.Buffer
 	if err := gob.NewEncoder(&argBuf).Encode(args); err != nil {
 		return nil, fmt.Errorf("rmi: encode args: %w", err)
@@ -150,6 +164,7 @@ func (c *Client) roundTrip(quotee principal.Principal, object, method string, ar
 		Object: object,
 		Method: method,
 		Args:   argBuf.Bytes(),
+		Trace:  obs.Inject(ctx),
 	}
 	if quotee != nil {
 		req.Quotee = quotee.Sexp().Transport()
@@ -173,7 +188,7 @@ func (c *Client) roundTrip(quotee principal.Principal, object, method string, ar
 // satisfyChallenge is steps f-n of Figure 4: inspect the challenge,
 // query the Prover for a proof that our channel key (possibly quoting)
 // speaks for the required issuer, and push it to the proof recipient.
-func (c *Client) satisfyChallenge(quotee principal.Principal, resp *callResponse) error {
+func (c *Client) satisfyChallenge(ctx context.Context, quotee principal.Principal, resp *callResponse) error {
 	if c.prover == nil {
 		return fmt.Errorf("rmi: server demands authorization but client has no prover")
 	}
@@ -189,7 +204,7 @@ func (c *Client) satisfyChallenge(quotee principal.Principal, resp *callResponse
 	if c.Clock != nil {
 		now = c.Clock()
 	}
-	proof, err := c.prover.FindProof(speaker, issuer, minTag, now)
+	proof, err := c.prover.FindProofCtx(ctx, speaker, issuer, minTag, now)
 	if err != nil {
 		return fmt.Errorf("rmi: cannot satisfy challenge: %w", err)
 	}

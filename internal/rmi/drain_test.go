@@ -1,0 +1,99 @@
+package rmi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/channel/plain"
+)
+
+// SlowService signals when a call enters dispatch and then blocks
+// until the test releases it, so the test can drain mid-call.
+type SlowService struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+type SlowArgs struct{ Msg string }
+type SlowReply struct{ Msg string }
+
+func (s *SlowService) Block(args SlowArgs, reply *SlowReply) error {
+	close(s.entered)
+	<-s.release
+	reply.Msg = args.Msg
+	return nil
+}
+
+// TestDrainWaitsForInflightCall: a call already dispatched when Drain
+// starts must run to completion and its reply must reach the client;
+// only then does Drain tear the connections down.
+func TestDrainWaitsForInflightCall(t *testing.T) {
+	svc := &SlowService{entered: make(chan struct{}), release: make(chan struct{})}
+	srv := NewServer()
+	if err := srv.RegisterOpen("slow", svc); err != nil {
+		t.Fatal(err)
+	}
+	l, err := plain.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+
+	c, err := Dial(plain.Dialer{}, l.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type result struct {
+		reply SlowReply
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		var r result
+		r.err = c.Call("slow", "Block", SlowArgs{Msg: "survives drain"}, &r.reply)
+		done <- r
+	}()
+
+	select {
+	case <-svc.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never entered dispatch")
+	}
+
+	// Release the handler once Drain is underway, then drain. The
+	// in-flight dispatch must finish and flush before Drain closes
+	// the connection.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(svc.release)
+	}()
+	start := time.Now()
+	srv.Drain(5 * time.Second)
+	if waited := time.Since(start); waited < 50*time.Millisecond {
+		t.Fatalf("Drain returned after %v, before the in-flight call was released", waited)
+	}
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("in-flight call failed across drain: %v", r.err)
+		}
+		if r.reply.Msg != "survives drain" {
+			t.Fatalf("reply = %+v", r.reply)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call never completed")
+	}
+
+	// After draining, new connections are refused outright.
+	if c2, err := Dial(plain.Dialer{}, l.Addr().String(), nil); err == nil {
+		var reply SlowReply
+		if err := c2.Call("slow", "Block", SlowArgs{Msg: "late"}, &reply); err == nil {
+			t.Fatal("call on a drained server succeeded")
+		}
+		c2.Close()
+	}
+}

@@ -3,6 +3,7 @@ package rmi
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/principal"
 	"repro/internal/sfkey"
 	"repro/internal/tag"
@@ -63,6 +65,13 @@ type Server struct {
 	vctx  core.EpochContext
 	stats Stats
 
+	// conns tracks live connections and inflight the dispatches on
+	// them, so Drain can stop accepting work, wait for calls already
+	// executing, and only then tear channels down.
+	conns    map[channel.Conn]struct{}
+	inflight sync.WaitGroup
+	draining bool
+
 	// Clock supplies verification time; nil means time.Now.
 	Clock func() time.Time
 	// Revoked and Revalidate plug revocation state into proof
@@ -81,6 +90,12 @@ type Server struct {
 	// Cache is the verified-proof cache; nil means the process-wide
 	// shared cache.
 	Cache *core.ProofCache
+	// Obs records one span per dispatched call, continuing the trace
+	// named by the request's Trace field; nil disables tracing.
+	Obs *obs.Recorder
+	// Audit receives one Decision per checkAuth prologue; nil
+	// disables the audit trail.
+	Audit *obs.AuditLog
 }
 
 // NewServer returns an empty server.
@@ -164,7 +179,23 @@ func (s *Server) Serve(l channel.Listener) error {
 // ServeConn dispatches one connection; it returns when the peer
 // disconnects. Responses are buffered and flushed once per message.
 func (s *Server) ServeConn(conn channel.Conn) {
-	defer conn.Close()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if s.conns == nil {
+		s.conns = make(map[channel.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	dec := gob.NewDecoder(conn)
 	bw := bufio.NewWriter(conn)
 	enc := gob.NewEncoder(bw)
@@ -177,13 +208,52 @@ func (s *Server) ServeConn(conn channel.Conn) {
 			}
 			return
 		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
 		resp := s.dispatch(conn, &req)
+		s.inflight.Done()
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
+	}
+}
+
+// Drain stops dispatching new calls, waits up to timeout (forever
+// when timeout <= 0) for in-flight dispatches to finish, and then
+// closes every live connection so ServeConn loops unwind. Daemons
+// reach it through server.Runtime.ServeRMI; direct callers pair it
+// with closing their listener.
+func (s *Server) Drain(timeout time.Duration) {
+	s.mu.Lock()
+	s.draining = true
+	conns := make([]channel.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(timeout):
+		}
+	} else {
+		<-done
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 }
 
@@ -215,6 +285,12 @@ func (s *Server) dispatch(conn channel.Conn, req *callRequest) *callResponse {
 	s.stats.Calls++
 	s.mu.Unlock()
 	resp := &callResponse{ID: req.ID}
+
+	var span *obs.ActiveSpan
+	if s.Obs != nil {
+		_, span = s.Obs.StartFromHeader(context.Background(), req.Trace, "rmi."+req.Object+"."+req.Method)
+		defer span.End()
+	}
 
 	if req.Object == proofRecipientObject {
 		return s.handleProofSubmit(req, resp)
@@ -252,17 +328,41 @@ func (s *Server) dispatch(conn channel.Conn, req *callRequest) *callResponse {
 			return resp
 		}
 		reqTag := obj.tagFor(req.Object, req.Method, argv.Elem().Interface())
-		if err := s.checkAuth(speaker, obj.issuer, reqTag); err != nil {
+		authStart := time.Now()
+		proof, err := s.checkAuth(speaker, obj.issuer, reqTag)
+		if err != nil {
 			var ae *core.AuthError
 			if errors.As(err, &ae) {
+				span.SetAttr("verdict", "challenge")
+				s.audit(obs.Decision{
+					Op: req.Object + "." + req.Method, Principal: speaker.String(),
+					Tag: reqTag.String(), Verdict: obs.VerdictChallenge,
+					Reason: ae.Reason, Duration: time.Since(authStart).Microseconds(),
+					Trace: traceOf(req),
+				})
 				resp.Kind = kindNeedAuth
 				resp.Issuer, resp.MinTag = encodeChallenge(ae.Issuer, ae.MinTag)
 				return resp
 			}
+			span.Fail(err)
+			s.audit(obs.Decision{
+				Op: req.Object + "." + req.Method, Principal: speaker.String(),
+				Tag: reqTag.String(), Verdict: obs.VerdictDeny,
+				Reason: err.Error(), Duration: time.Since(authStart).Microseconds(),
+				Trace: traceOf(req),
+			})
 			resp.Kind = kindError
 			resp.Err = err.Error()
 			return resp
 		}
+		span.SetAttr("verdict", "admit")
+		s.audit(obs.Decision{
+			Op: req.Object + "." + req.Method, Principal: speaker.String(),
+			Tag: reqTag.String(), Verdict: obs.VerdictAdmit,
+			CertHashes: core.LeafHashes(proof),
+			Duration:   time.Since(authStart).Microseconds(),
+			Trace:      traceOf(req),
+		})
 	}
 
 	// Invoke.
@@ -285,23 +385,46 @@ func (s *Server) dispatch(conn channel.Conn, req *callRequest) *callResponse {
 }
 
 // checkAuth finds a cached, already verified proof that speaker
-// speaks for issuer regarding reqTag. Because proofs are verified
-// when submitted and conclusions carry their own expiry, the per-call
-// cost is a cache lookup plus tag matching (section 7.2: "finds a
-// cached proof for that subject and sees that the proof has already
-// been verified").
-func (s *Server) checkAuth(speaker, issuer principal.Principal, reqTag tag.Tag) error {
+// speaks for issuer regarding reqTag, returning the proof that
+// authorized the call (the audit trail names its chain). Because
+// proofs are verified when submitted and conclusions carry their own
+// expiry, the per-call cost is a cache lookup plus tag matching
+// (section 7.2: "finds a cached proof for that subject and sees that
+// the proof has already been verified").
+func (s *Server) checkAuth(speaker, issuer principal.Principal, reqTag tag.Tag) (core.Proof, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.AuthChecks++
 	ctx := s.verifyContextLocked()
 	for _, p := range s.proofs[speaker.Key()] {
 		if err := core.Authorize(ctx, p, speaker, issuer, reqTag); err == nil {
-			return nil
+			return p, nil
 		}
 	}
 	s.stats.AuthFailures++
-	return &core.AuthError{Issuer: issuer, MinTag: reqTag, Reason: "no valid proof on file"}
+	return nil, &core.AuthError{Issuer: issuer, MinTag: reqTag, Reason: "no valid proof on file"}
+}
+
+// audit stamps the layer and revocation coordinates onto a decision
+// and appends it; a nil Audit log makes this a no-op.
+func (s *Server) audit(d obs.Decision) {
+	if s.Audit == nil {
+		return
+	}
+	cache := s.Cache
+	if cache == nil {
+		cache = core.SharedProofCache()
+	}
+	d.Layer = "rmi"
+	d.Epoch = cache.Epoch()
+	d.View = s.RevocationView
+	s.Audit.Append(d)
+}
+
+// traceOf extracts the trace ID from a request's Sf-Trace value.
+func traceOf(req *callRequest) string {
+	trace, _, _ := obs.ParseHeader(req.Trace)
+	return trace
 }
 
 // verifyContextLocked refreshes the shared verification context's

@@ -30,6 +30,9 @@ type callRequest struct {
 	Method string
 	Args   []byte
 	Quotee []byte
+	// Trace carries the caller's Sf-Trace context (obs.TraceHeader
+	// format) so the server's dispatch span joins the caller's trace.
+	Trace string
 }
 
 // Response kinds.

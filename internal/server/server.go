@@ -31,8 +31,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -40,7 +42,10 @@ import (
 	"time"
 
 	"repro/internal/cert"
+	"repro/internal/channel"
+	"repro/internal/obs"
 	"repro/internal/principal"
+	"repro/internal/rmi"
 )
 
 // Runtime bundles the daemon scaffolding. Construct with New, wire
@@ -48,8 +53,13 @@ import (
 type Runtime struct {
 	// Name prefixes log lines ("sf-certd").
 	Name string
-	// Logf receives log lines; nil means log.Printf.
+	// Logf receives log lines; nil means Logger (or log.Printf when
+	// neither is set).
 	Logf func(format string, args ...any)
+	// Logger, when set, receives runtime log lines as structured slog
+	// records with a "daemon" attribute; daemons build one with
+	// NewLogger from their -log-format flag. Logf takes precedence.
+	Logger *slog.Logger
 	// ShutdownTimeout bounds graceful drain per listener; zero means
 	// 5 s.
 	ShutdownTimeout time.Duration
@@ -60,6 +70,9 @@ type Runtime struct {
 	onStop   []func()
 	admin    *http.ServeMux
 	metrics  *Metrics
+	tracer   *obs.Recorder
+	audit    *obs.AuditLog
+	lat      *Latencies
 	hupOnce  sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -78,7 +91,25 @@ func (rt *Runtime) logf(format string, args ...any) {
 		rt.Logf(rt.Name+": "+format, args...)
 		return
 	}
+	if rt.Logger != nil {
+		rt.Logger.Info(fmt.Sprintf(format, args...), "daemon", rt.Name)
+		return
+	}
 	log.Printf(rt.Name+": "+format, args...)
+}
+
+// NewLogger builds the slog logger behind every daemon's -log-format
+// flag: "text" (the default) renders human-readable lines, "json"
+// renders one JSON object per line for log pipelines.
+func NewLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
 }
 
 // Printf logs one line under the daemon's name; daemons use it so
@@ -111,6 +142,39 @@ func (rt *Runtime) Serve(addr string, h http.Handler) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// ServeRMI runs an RMI server on a secure-channel listener whose
+// lifecycle the runtime owns — the RMI counterpart of Serve. At
+// shutdown the listener closes first (no new connections), then the
+// server drains: dispatches already executing finish (bounded by
+// ShutdownTimeout) before the channels are torn down, so a client
+// mid-call sees its reply, not a reset. Replaces the daemons'
+// hand-rolled close-the-listener-in-a-hook pattern, which dropped
+// in-flight calls.
+func (rt *Runtime) ServeRMI(l channel.Listener, srv *rmi.Server) {
+	rt.wg.Add(2)
+	go func() {
+		defer rt.wg.Done()
+		<-rt.stop
+		l.Close()
+		timeout := rt.ShutdownTimeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		srv.Drain(timeout)
+	}()
+	go func() {
+		defer rt.wg.Done()
+		if err := srv.Serve(l); err != nil {
+			select {
+			case <-rt.stop:
+				// Listener closed by shutdown; expected.
+			default:
+				rt.Fail(fmt.Errorf("rmi listener: %w", err))
+			}
+		}
+	}()
+}
+
 // Fail records a fatal error and begins shutdown: Wait returns it,
 // and daemons exit non-zero. Daemon-owned listeners the runtime does
 // not manage (secure-channel RMI) report their serve errors here so a
@@ -139,17 +203,99 @@ func (rt *Runtime) Metrics() *Metrics {
 	return rt.metrics
 }
 
-// AdminMux returns the admin mux (created lazily) with /metrics
-// already wired to the registry. Daemons hang their own admin
-// endpoints off it — guarded by httpauth.CtlGuard where they mutate —
-// and expose it with ServeAdmin or inside their main handler.
+// Tracer returns the runtime's span recorder (created lazily, with
+// its ring-pressure counter registered); daemons hand it to the
+// layers they want traced. Spans land at /debug/trace on the admin
+// mux.
+func (rt *Runtime) Tracer() *obs.Recorder {
+	m := rt.Metrics()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.tracer == nil {
+		rt.tracer = obs.NewRecorder(0)
+		m.Register(TraceCollector(rt.tracer))
+	}
+	return rt.tracer
+}
+
+// Audit returns the runtime's authorization audit log (created
+// lazily, with its verdict counters registered); daemons hand it to
+// their enforcement points. Decisions land at /debug/decisions on the
+// admin mux.
+func (rt *Runtime) Audit() *obs.AuditLog {
+	m := rt.Metrics()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.audit == nil {
+		rt.audit = obs.NewAuditLog(0)
+		m.Register(AuditCollector(rt.audit))
+	}
+	return rt.audit
+}
+
+// Latencies is the standard set of mesh latency histograms every
+// daemon exposes; each names the canonical flow it times.
+type Latencies struct {
+	// ColdAdmit times admits that did new authorization work (a fresh
+	// delegation digested or a remote proof discovered).
+	ColdAdmit *obs.Histogram
+	// WarmAdmit times admits served from cached verdicts and proofs.
+	WarmAdmit *obs.Histogram
+	// PublishAck times directory publish from receipt to acknowledgment.
+	PublishAck *obs.Histogram
+	// GossipRound times one anti-entropy replication round.
+	GossipRound *obs.Histogram
+	// CRLInstall times a CRL install through eviction-complete.
+	CRLInstall *obs.Histogram
+}
+
+// Latencies returns the standard histogram set (created and
+// registered lazily). AdminMux calls it, so every daemon with an
+// admin surface exposes the full set even for flows it never
+// exercises — a flat histogram is a dashboard's "no traffic", an
+// absent one is a wiring bug.
+func (rt *Runtime) Latencies() *Latencies {
+	m := rt.Metrics()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.lat == nil {
+		rt.lat = &Latencies{
+			ColdAdmit:   obs.NewHistogram("sf_admit_cold_seconds", "Cold admit latency: authorization including proof digestion or remote discovery."),
+			WarmAdmit:   obs.NewHistogram("sf_admit_warm_seconds", "Warm admit latency: authorization served from cached proofs and verdicts."),
+			PublishAck:  obs.NewHistogram("sf_publish_ack_seconds", "Directory publish receipt-to-acknowledgment latency."),
+			GossipRound: obs.NewHistogram("sf_gossip_round_seconds", "Anti-entropy gossip round latency."),
+			CRLInstall:  obs.NewHistogram("sf_crl_install_seconds", "CRL install through eviction-complete latency."),
+		}
+		for _, h := range []*obs.Histogram{rt.lat.ColdAdmit, rt.lat.WarmAdmit, rt.lat.PublishAck, rt.lat.GossipRound, rt.lat.CRLInstall} {
+			m.RegisterHistogram(h)
+		}
+	}
+	return rt.lat
+}
+
+// AdminMux returns the admin mux (created lazily) with the
+// observability surface already wired: /metrics (including the
+// standard latency histograms), /debug/trace, /debug/decisions, and
+// the /debug/pprof handlers. Daemons hang their own admin endpoints
+// off it — guarded by httpauth.CtlGuard where they mutate — and
+// expose it with ServeAdmin or inside their main handler.
 func (rt *Runtime) AdminMux() *http.ServeMux {
 	m := rt.Metrics() // ensure registry exists before first scrape
+	tr := rt.Tracer()
+	au := rt.Audit()
+	rt.Latencies()
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.admin == nil {
 		rt.admin = http.NewServeMux()
 		rt.admin.Handle("/metrics", m)
+		rt.admin.Handle("/debug/trace", tr)
+		rt.admin.Handle("/debug/decisions", au)
+		rt.admin.HandleFunc("/debug/pprof/", pprof.Index)
+		rt.admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		rt.admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		rt.admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		rt.admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return rt.admin
 }
@@ -316,11 +462,18 @@ func LoadPrincipalFile(path string) (principal.Principal, error) {
 // applied, so their revocations take effect rather than waiting for
 // a fixed file.
 func (rt *Runtime) WireCRLFile(rs *cert.RevocationStore, path string, apply func(added []*cert.RevocationList) (evicted int)) (reload func() (added, total, evicted int, err error), err error) {
+	crlHist := rt.Latencies().CRLInstall
 	reload = func() (int, int, int, error) {
+		start := time.Now()
 		lists, total, err := rs.LoadFile(path)
 		evicted := 0
 		if len(lists) > 0 && apply != nil {
 			evicted = apply(lists)
+		}
+		// Only rounds that installed something are CRL installs; a
+		// no-op re-read is not a revocation latency sample.
+		if len(lists) > 0 {
+			crlHist.Since(start)
 		}
 		return len(lists), total, evicted, err
 	}
