@@ -78,7 +78,7 @@ func main() {
 	ctlKeyFile := flag.String("ctl-key", "", "private key signing this daemon's gossip pushes (required with -admin-auth and -peer)")
 	ctlCertFile := flag.String("ctl-cert", "", "certificate chain file delegating control authority to -ctl-key")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
-	auditLog := flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)")
+	obsFlags := server.RegisterObsFlags()
 	flag.Parse()
 
 	rt := server.New("sf-certd")
@@ -87,11 +87,8 @@ func main() {
 		log.Fatalf("sf-certd: %v", err)
 	}
 	rt.Logger = logger
-	if *auditLog != "" {
-		if err := rt.Audit().OpenSink(*auditLog); err != nil {
-			log.Fatalf("sf-certd: audit log: %v", err)
-		}
-		rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	if err := obsFlags.Wire(rt); err != nil {
+		log.Fatalf("sf-certd: audit log: %v", err)
 	}
 
 	var store *certdir.Store

@@ -50,7 +50,7 @@ func main() {
 	operatorFile := flag.String("operator", "", "file holding the operator principal S-expression (required with -admin-auth)")
 	crlSweep := flag.Duration("crl-sweep", time.Minute, "lapsed-CRL sweep interval (0 disables)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
-	auditLog := flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)")
+	obsFlags := server.RegisterObsFlags()
 	flag.Parse()
 
 	if *keyFile == "" {
@@ -86,11 +86,8 @@ func main() {
 	if rt.Logger, err = server.NewLogger(*logFormat); err != nil {
 		log.Fatalf("sf-dbserver: %v", err)
 	}
-	if *auditLog != "" {
-		if err := rt.Audit().OpenSink(*auditLog); err != nil {
-			log.Fatalf("sf-dbserver: audit log: %v", err)
-		}
-		rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	if err := obsFlags.Wire(rt); err != nil {
+		log.Fatalf("sf-dbserver: audit log: %v", err)
 	}
 
 	svc, err := emaildb.NewService()

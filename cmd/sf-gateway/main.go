@@ -45,7 +45,7 @@ func main() {
 	certdirURL := flag.String("certdir", "", "certificate directory base URL for remote chain discovery (empty = local-only)")
 	sweepEvery := flag.Duration("sweep", time.Minute, "prover expired-edge sweep interval (0 disables)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
-	auditLog := flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)")
+	obsFlags := server.RegisterObsFlags()
 	flag.Parse()
 
 	if *keyFile == "" || *dbIssuerS == "" {
@@ -64,11 +64,8 @@ func main() {
 	if rt.Logger, err = server.NewLogger(*logFormat); err != nil {
 		log.Fatalf("sf-gateway: %v", err)
 	}
-	if *auditLog != "" {
-		if err := rt.Audit().OpenSink(*auditLog); err != nil {
-			log.Fatalf("sf-gateway: audit log: %v", err)
-		}
-		rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	if err := obsFlags.Wire(rt); err != nil {
+		log.Fatalf("sf-gateway: audit log: %v", err)
 	}
 
 	pv := gateway.NewProver(priv)

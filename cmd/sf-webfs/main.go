@@ -37,7 +37,7 @@ func main() {
 	shareTo := flag.String("share-to", "", "recipient principal S-expression for -share-prefix")
 	shareTTL := flag.Duration("share-ttl", 24*time.Hour, "delegation lifetime")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
-	auditLog := flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)")
+	obsFlags := server.RegisterObsFlags()
 	flag.Parse()
 
 	if *keyFile == "" {
@@ -69,11 +69,8 @@ func main() {
 	if rt.Logger, err = server.NewLogger(*logFormat); err != nil {
 		log.Fatalf("sf-webfs: %v", err)
 	}
-	if *auditLog != "" {
-		if err := rt.Audit().OpenSink(*auditLog); err != nil {
-			log.Fatalf("sf-webfs: audit log: %v", err)
-		}
-		rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	if err := obsFlags.Wire(rt); err != nil {
+		log.Fatalf("sf-webfs: audit log: %v", err)
 	}
 	rt.Metrics().Register(server.ProofCacheCollector(core.SharedProofCache()))
 

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BENCH_7.json records the wire-layer and bulk-verification numbers
+// this PR's acceptance criteria are stated against: parse/encode
+// bytes and allocs per op, cold/warm verify signature counts, and
+// the WAL-replay / gossip-round throughput of the batched verifier.
+// The emitter is gated on BENCH7_OUT so ordinary `go test ./...`
+// stays fast; CI's bench-smoke job sets it and uploads the artifact:
+//
+//	BENCH7_OUT=BENCH_7.json go test -run TestEmitBench7JSON ./internal/bench/
+//
+// Each entry carries the pre-PR baseline (measured on the same
+// single-core 2.70 GHz Xeon runner before the typed sexp layer and
+// BatchVerifier landed) so the delta is visible without digging
+// through git history.
+
+// bench7Baseline is the pre-PR measurement a metric is compared to.
+type bench7Baseline struct {
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   int64   `json:"allocs_per_op,omitempty"`
+	SigVerifiesOp float64 `json:"sigverifies_per_op,omitempty"`
+}
+
+// bench7Entry is one benchmark's measurement plus its baseline.
+type bench7Entry struct {
+	NsPerOp       float64         `json:"ns_per_op"`
+	BytesPerOp    int64           `json:"bytes_per_op"`
+	AllocsPerOp   int64           `json:"allocs_per_op"`
+	SigVerifiesOp float64         `json:"sigverifies_per_op,omitempty"`
+	Baseline      *bench7Baseline `json:"baseline,omitempty"`
+	// SpeedupVsBaseline is baseline ns/op divided by measured ns/op
+	// (>1 means faster than the pre-PR code).
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+type bench7Report struct {
+	Schema     string                 `json:"schema"`
+	PR         int                    `json:"pr"`
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	NumCPU     int                    `json:"num_cpu"`
+	Benchmarks map[string]bench7Entry `json:"benchmarks"`
+}
+
+// bench7Baselines are the pre-PR numbers (recursive parser, byte-tree
+// sexp model, one ed25519.Verify per certificate, 8192-entry proof
+// cache) on the CI-class single-core runner.
+var bench7Baselines = map[string]bench7Baseline{
+	"WireParse":              {NsPerOp: 12195, BytesPerOp: 10376, AllocsPerOp: 253},
+	"WireEncode":             {NsPerOp: 1904, BytesPerOp: 1984, AllocsPerOp: 5},
+	"WireCertRoundTrip":      {NsPerOp: 32017, BytesPerOp: 26328, AllocsPerOp: 552},
+	"VerifyCold":             {NsPerOp: 240_000, AllocsPerOp: 711, SigVerifiesOp: 3},
+	"VerifyWarm":             {NsPerOp: 19_600, AllocsPerOp: 222, SigVerifiesOp: 0},
+	"BulkVerifyColdReplay1k": {NsPerOp: 92_900_000, BytesPerOp: 17_200_000, AllocsPerOp: 316_000},
+	"CertdirWALReplay10k":    {NsPerOp: 636_700_000, BytesPerOp: 152_700_000, AllocsPerOp: 2_870_000},
+	"CertdirGossipCatchUp1k": {NsPerOp: 62_300_000, BytesPerOp: 22_300_000, AllocsPerOp: 362_000},
+}
+
+// TestEmitBench7JSON measures the tracked benchmarks and writes the
+// report to $BENCH7_OUT. Skipped when the variable is unset.
+func TestEmitBench7JSON(t *testing.T) {
+	out := os.Getenv("BENCH7_OUT")
+	if out == "" {
+		t.Skip("set BENCH7_OUT=<path> to emit BENCH_7.json")
+	}
+	// Fixed order, small benchmarks first: the bulk benchmarks cache
+	// multi-megabyte corpora for the life of the process, and running
+	// them first would tax the wire microbenchmarks with GC pressure
+	// they don't deserve.
+	benchmarks := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"WireParse", BenchmarkWireParse},
+		{"WireEncode", BenchmarkWireEncode},
+		{"WireCertRoundTrip", BenchmarkWireCertRoundTrip},
+		{"VerifyCold", BenchmarkVerifyCold},
+		{"VerifyWarm", BenchmarkVerifyWarm},
+		{"BulkVerifyColdReplay1k", BenchmarkBulkVerifyColdReplay1k},
+		{"CertdirWALReplay10k", BenchmarkCertdirWALReplay10k},
+		{"CertdirGossipCatchUp1k", BenchmarkCertdirGossipCatchUp1k},
+	}
+	report := bench7Report{
+		Schema:     "snowflake-bench/v1",
+		PR:         7,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: make(map[string]bench7Entry, len(benchmarks)),
+	}
+	for _, bm := range benchmarks {
+		name, fn := bm.name, bm.fn
+		// The shared proof cache carries state between benchmarks
+		// (deliberately, inside each: warm replay is a warm-cache
+		// measurement) but must not leak across them.
+		core.SharedProofCache().Reset()
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run", name)
+		}
+		e := bench7Entry{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if sv, ok := r.Extra["sigverifies/op"]; ok {
+			e.SigVerifiesOp = sv
+		}
+		if base, ok := bench7Baselines[name]; ok {
+			b := base
+			e.Baseline = &b
+			if e.NsPerOp > 0 {
+				e.SpeedupVsBaseline = base.NsPerOp / e.NsPerOp
+			}
+		}
+		report.Benchmarks[name] = e
+		t.Logf("%s: %.0f ns/op, %d B/op, %d allocs/op (speedup %.2fx)",
+			name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.SpeedupVsBaseline)
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

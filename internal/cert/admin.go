@@ -95,7 +95,7 @@ func readAdminBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
-func replySexp(w http.ResponseWriter, e *sexp.Sexp) {
+func replySexp(w http.ResponseWriter, e sexp.Sexp) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write(e.Canonical())
 }

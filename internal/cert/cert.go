@@ -42,6 +42,20 @@ type Cert struct {
 	RevalidateAt string
 	// Signature signs the canonical signing body.
 	Signature []byte
+
+	// memo caches the derived forms of a decoded certificate: its
+	// signing bytes, body hash, and canonical wire span. It is set only
+	// by decodeCert — a certificate that came off the wire is immutable
+	// — so the mutable-struct idiom (build a Cert literal, or Sign one,
+	// and adjust fields before use) keeps working for locally built
+	// certificates, which always derive on demand.
+	memo *certMemo
+}
+
+type certMemo struct {
+	signing []byte
+	hash    []byte
+	wire    sexp.Sexp
 }
 
 // Sign issues a certificate for body with the given private key. The
@@ -84,7 +98,10 @@ func issuerRootedAt(iss principal.Principal, pub sfkey.PublicKey) bool {
 // the body statement plus the revalidation demand, so neither can be
 // altered or stripped.
 func (c *Cert) signingBytes() []byte {
-	kids := []*sexp.Sexp{sexp.String("cert-body"), c.Body.Sexp()}
+	if c.memo != nil {
+		return c.memo.signing
+	}
+	kids := []sexp.Sexp{sexp.String("cert-body"), c.Body.Sexp()}
 	if c.RevalidateAt != "" {
 		kids = append(kids, sexp.List(sexp.String("revalidate"), sexp.String(c.RevalidateAt)))
 	}
@@ -94,6 +111,9 @@ func (c *Cert) signingBytes() []byte {
 // Hash identifies the certificate for revocation purposes: the hash
 // of its signed body.
 func (c *Cert) Hash() []byte {
+	if c.memo != nil {
+		return c.memo.hash
+	}
 	return sfkey.HashBytes(c.signingBytes())
 }
 
@@ -114,26 +134,38 @@ func (c *Cert) Children() []core.Proof { return nil }
 // are context-dependent (the revalidator is consulted per verifier)
 // and never enter the shared cache.
 func (c *Cert) Verify(ctx *core.VerifyContext) error {
-	return ctx.VerifyCached(c, func() error {
-		if !issuerRootedAt(c.Body.Issuer, c.Signer) {
-			return fmt.Errorf("cert: issuer %s not rooted at signer %s", c.Body.Issuer, c.Signer.Fingerprint())
-		}
-		if !c.Signer.Verify(c.signingBytes(), c.Signature) {
+	return ctx.VerifyCached(c, func() error { return c.check(ctx, nil) })
+}
+
+// check is the uncached verification body. sigOK, when non-nil,
+// carries the verdict of a batched signature check (VerifyBatch) that
+// already covered this certificate; nil means check the signature
+// here. Everything else — issuer rooting, revocation, revalidation —
+// is evaluated at call time either way, so a batched certificate obeys
+// exactly the revocation state an individually verified one would.
+func (c *Cert) check(ctx *core.VerifyContext, sigOK *bool) error {
+	if !issuerRootedAt(c.Body.Issuer, c.Signer) {
+		return fmt.Errorf("cert: issuer %s not rooted at signer %s", c.Body.Issuer, c.Signer.Fingerprint())
+	}
+	if sigOK != nil {
+		if !*sigOK {
 			return fmt.Errorf("cert: bad signature by %s", c.Signer.Fingerprint())
 		}
-		if ctx.Revoked != nil && ctx.Revoked(c.Hash()) {
-			return fmt.Errorf("cert: certificate revoked")
+	} else if !c.Signer.Verify(c.signingBytes(), c.Signature) {
+		return fmt.Errorf("cert: bad signature by %s", c.Signer.Fingerprint())
+	}
+	if ctx.Revoked != nil && ctx.Revoked(c.Hash()) {
+		return fmt.Errorf("cert: certificate revoked")
+	}
+	if c.RevalidateAt != "" {
+		if ctx.Revalidate == nil {
+			return fmt.Errorf("cert: certificate demands revalidation at %q but verifier has no revalidator", c.RevalidateAt)
 		}
-		if c.RevalidateAt != "" {
-			if ctx.Revalidate == nil {
-				return fmt.Errorf("cert: certificate demands revalidation at %q but verifier has no revalidator", c.RevalidateAt)
-			}
-			if err := ctx.Revalidate(c.Hash(), c.RevalidateAt); err != nil {
-				return fmt.Errorf("cert: revalidation failed: %w", err)
-			}
+		if err := ctx.Revalidate(c.Hash(), c.RevalidateAt); err != nil {
+			return fmt.Errorf("cert: revalidation failed: %w", err)
 		}
-		return nil
-	})
+	}
+	return nil
 }
 
 // ContextDependent reports whether this certificate's verdict depends
@@ -142,9 +174,14 @@ func (c *Cert) Verify(ctx *core.VerifyContext) error {
 // caches. Plain revoked-or-not state is epoch-tracked and shareable.
 func (c *Cert) ContextDependent() bool { return c.RevalidateAt != "" }
 
-// Sexp implements core.Proof.
-func (c *Cert) Sexp() *sexp.Sexp {
-	kids := []*sexp.Sexp{
+// Sexp implements core.Proof. For a decoded certificate it returns
+// the memoized canonical wire span (re-encoding is a copy, not a tree
+// walk).
+func (c *Cert) Sexp() sexp.Sexp {
+	if c.memo != nil {
+		return c.memo.wire
+	}
+	kids := []sexp.Sexp{
 		sexp.String("proof"),
 		sexp.String(RuleSignedCert),
 		c.Body.Sexp(),
@@ -157,7 +194,7 @@ func (c *Cert) Sexp() *sexp.Sexp {
 	return sexp.List(kids...)
 }
 
-func decodeCert(e *sexp.Sexp) (core.Proof, error) {
+func decodeCert(e sexp.Sexp) (core.Proof, error) {
 	if e.Len() < 5 {
 		return nil, fmt.Errorf("cert: malformed signed-certificate proof")
 	}
@@ -177,13 +214,26 @@ func decodeCert(e *sexp.Sexp) (core.Proof, error) {
 	c := &Cert{
 		Body:      body,
 		Signer:    pub,
-		Signature: append([]byte(nil), sigE.Nth(1).Octets...),
+		Signature: append([]byte(nil), sigE.Nth(1).Bytes()...),
 	}
 	if rv := e.Child("revalidate"); rv != nil {
 		if rv.Len() != 2 || !rv.Nth(1).IsAtom() {
 			return nil, fmt.Errorf("cert: malformed revalidate clause")
 		}
 		c.RevalidateAt = rv.Nth(1).Text()
+	}
+	// The signing bytes are derived from the received spans rather than
+	// by rebuilding the body tree: the signature then covers exactly
+	// what was sent, and the memo costs a few span copies.
+	kids := []sexp.Sexp{sexp.String("cert-body"), sexp.Raw(e.Nth(2).Canonical())}
+	if c.RevalidateAt != "" {
+		kids = append(kids, sexp.Raw(e.Child("revalidate").Canonical()))
+	}
+	signing := sexp.List(kids...).Canonical()
+	c.memo = &certMemo{
+		signing: signing,
+		hash:    sfkey.HashBytes(signing),
+		wire:    sexp.Raw(e.Canonical()),
 	}
 	return c, nil
 }

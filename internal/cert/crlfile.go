@@ -43,23 +43,24 @@ func LoadCRLFile(path string) ([]*RevocationList, error) {
 }
 
 // LoadFile reads the CRL file (LoadCRLFile) and installs every list
-// through AddNew, returning the lists that were newly installed and
-// how many the file held in total. Because AddNew deduplicates,
-// calling LoadFile again on the same (possibly extended) file is the
-// hot reload path: only genuinely new CRLs bump the proof-cache
-// epoch, so a no-op reload costs no cache flush — and the returned
-// slice is exactly what a directory should gossip onward to peers.
+// through AddNewBatch, returning the lists that were newly installed
+// and how many the file held in total. Because installation
+// deduplicates, calling LoadFile again on the same (possibly
+// extended) file is the hot reload path: only genuinely new CRLs bump
+// the proof-cache epoch — once for the whole file, not once per list
+// — so a no-op reload costs no cache flush, and the returned slice is
+// exactly what a directory should gossip onward to peers.
 func (s *RevocationStore) LoadFile(path string) (added []*RevocationList, total int, err error) {
 	lists, err := LoadCRLFile(path)
 	if err != nil {
 		return nil, 0, err
 	}
+	ok, errs := s.AddNewBatch(lists)
 	for i, rl := range lists {
-		ok, err := s.AddNew(rl)
-		if err != nil {
-			return added, len(lists), fmt.Errorf("cert: %s: crl %d: %w", path, i+1, err)
+		if errs[i] != nil {
+			return added, len(lists), fmt.Errorf("cert: %s: crl %d: %w", path, i+1, errs[i])
 		}
-		if ok {
+		if ok[i] {
 			added = append(added, rl)
 		}
 	}

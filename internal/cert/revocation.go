@@ -41,7 +41,7 @@ func NewRevocationList(priv *sfkey.PrivateKey, v core.Validity, hashes ...[]byte
 }
 
 func (rl *RevocationList) signingBytes() []byte {
-	kids := []*sexp.Sexp{sexp.String("crl-body")}
+	kids := []sexp.Sexp{sexp.String("crl-body")}
 	if v := rl.Validity.Sexp(); v != nil {
 		kids = append(kids, v)
 	}
@@ -60,8 +60,8 @@ func (rl *RevocationList) Verify() error {
 }
 
 // Sexp encodes the CRL for transfer.
-func (rl *RevocationList) Sexp() *sexp.Sexp {
-	kids := []*sexp.Sexp{
+func (rl *RevocationList) Sexp() sexp.Sexp {
+	kids := []sexp.Sexp{
 		sexp.String("crl"),
 		sexp.List(sexp.String("signer"), rl.Signer.Sexp()),
 		sexp.List(sexp.String("signature"), sexp.Atom(rl.Signature)),
@@ -88,7 +88,7 @@ func (rl *RevocationList) Hash() [32]byte {
 }
 
 // RevocationListFromSexp decodes a CRL.
-func RevocationListFromSexp(e *sexp.Sexp) (*RevocationList, error) {
+func RevocationListFromSexp(e sexp.Sexp) (*RevocationList, error) {
 	if e == nil || e.Tag() != "crl" {
 		return nil, fmt.Errorf("cert: not a crl expression")
 	}
@@ -108,12 +108,12 @@ func RevocationListFromSexp(e *sexp.Sexp) (*RevocationList, error) {
 	rl := &RevocationList{
 		Signer:    pub,
 		Validity:  v,
-		Signature: append([]byte(nil), sigE.Nth(1).Octets...),
+		Signature: append([]byte(nil), sigE.Nth(1).Bytes()...),
 	}
 	for i := 1; i < e.Len(); i++ {
 		c := e.Nth(i)
 		if c.Tag() == "revoked" && c.Len() == 2 && c.Nth(1).IsAtom() {
-			rl.Hashes = append(rl.Hashes, append([]byte(nil), c.Nth(1).Octets...))
+			rl.Hashes = append(rl.Hashes, append([]byte(nil), c.Nth(1).Bytes()...))
 		}
 	}
 	rl.hash, rl.hashSet = rl.Sexp().Hash(), true
@@ -202,37 +202,87 @@ func (s *RevocationStore) Add(rl *RevocationList) error {
 // the proof cache. Hot reload and CRL gossip both install through
 // AddNew.
 func (s *RevocationStore) AddNew(rl *RevocationList) (added bool, err error) {
-	if err := rl.Verify(); err != nil {
-		return false, err
+	a, errs := s.AddNewBatch([]*RevocationList{rl})
+	return a[0], errs[0]
+}
+
+// AddNewBatch installs many CRLs at once, with the two costs that
+// scale badly per-list amortized across the batch: the signature
+// checks run through one sfkey.BatchVerifier (aggregate pass, with
+// bisection pinpointing any bad list instead of condemning the
+// batch), and however many lists are newly installed, attached proof
+// caches are flushed by ONE epoch bump — k CRLs arriving in a gossip
+// round no longer cost k full cache flushes. Outcomes are reported
+// per list, aligned with rls: added[i] true for newly installed
+// lists, errs[i] non-nil for rejected ones (bad signature), both
+// false/nil for deduplicated re-installs.
+func (s *RevocationStore) AddNewBatch(rls []*RevocationList) (added []bool, errs []error) {
+	added = make([]bool, len(rls))
+	errs = make([]error, len(rls))
+	var bv sfkey.BatchVerifier
+	pos := make([]int, 0, len(rls)) // batch index -> rls index
+	for i, rl := range rls {
+		if rl == nil {
+			errs[i] = fmt.Errorf("cert: nil CRL")
+			continue
+		}
+		bv.Add(rl.Signer, rl.signingBytes(), rl.Signature)
+		pos = append(pos, i)
 	}
-	h := rl.Hash()
+	for _, bi := range bv.Verify() {
+		errs[pos[bi]] = fmt.Errorf("cert: bad CRL signature")
+	}
+	var installed []*RevocationList
 	s.mu.Lock()
 	if s.seen == nil {
 		s.seen = make(map[[32]byte]bool)
 	}
-	if s.seen[h] {
-		s.mu.Unlock()
-		return false, nil
+	for i, rl := range rls {
+		if rl == nil || errs[i] != nil {
+			continue
+		}
+		h := rl.Hash()
+		if s.seen[h] {
+			continue
+		}
+		s.seen[h] = true
+		s.lists = append(s.lists, rl)
+		s.indexLocked(rl)
+		added[i] = true
+		installed = append(installed, rl)
 	}
-	s.seen[h] = true
 	caches := append([]*core.ProofCache(nil), s.caches...)
-	s.lists = append(s.lists, rl)
-	s.indexLocked(rl)
 	s.mu.Unlock()
+	if len(installed) == 0 {
+		return added, errs
+	}
 	for _, c := range caches {
 		c.BumpEpoch()
 	}
-	if nb := rl.Validity.NotBefore; !nb.IsZero() && nb.After(time.Now()) {
-		time.AfterFunc(time.Until(nb)+10*time.Millisecond, func() {
-			s.mu.RLock()
-			caches := append([]*core.ProofCache(nil), s.caches...)
-			s.mu.RUnlock()
-			for _, c := range caches {
-				c.BumpEpoch()
-			}
-		})
+	for _, rl := range installed {
+		s.scheduleActivationBump(rl)
 	}
-	return true, nil
+	return added, errs
+}
+
+// scheduleActivationBump arranges the second cache flush for a CRL
+// installed before its NotBefore: verdicts cached in the not-yet-fresh
+// window must not outlive the list's activation. The schedule runs on
+// the wall clock; harnesses verifying under a simulated clock call
+// BumpEpoch themselves when their clock crosses a CRL's NotBefore.
+func (s *RevocationStore) scheduleActivationBump(rl *RevocationList) {
+	nb := rl.Validity.NotBefore
+	if nb.IsZero() || !nb.After(time.Now()) {
+		return
+	}
+	time.AfterFunc(time.Until(nb)+10*time.Millisecond, func() {
+		s.mu.RLock()
+		caches := append([]*core.ProofCache(nil), s.caches...)
+		s.mu.RUnlock()
+		for _, c := range caches {
+			c.BumpEpoch()
+		}
+	})
 }
 
 // Lists returns a snapshot of the installed CRLs; the certificate

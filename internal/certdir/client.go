@@ -53,13 +53,13 @@ func (c *Client) httpClient() *http.Client {
 // aggregates many certificates, so it is far larger than any single
 // request); beyond that the reply is refused rather than silently
 // truncated.
-func (c *Client) roundTrip(path string, req *sexp.Sexp) (*sexp.Sexp, error) {
+func (c *Client) roundTrip(path string, req sexp.Sexp) (sexp.Sexp, error) {
 	return c.roundTripCtx(context.Background(), c.httpClient(), path, req)
 }
 
 // roundTripWith is roundTrip on an explicit HTTP client; the events
 // long poll uses it to stretch the timeout past the requested wait.
-func (c *Client) roundTripWith(hc *http.Client, path string, req *sexp.Sexp) (*sexp.Sexp, error) {
+func (c *Client) roundTripWith(hc *http.Client, path string, req sexp.Sexp) (sexp.Sexp, error) {
 	return c.roundTripCtx(context.Background(), hc, path, req)
 }
 
@@ -67,7 +67,7 @@ func (c *Client) roundTripWith(hc *http.Client, path string, req *sexp.Sexp) (*s
 // cancellation and, when ctx carries an active obs span, forwards the
 // trace as the Sf-Trace header so the directory's span joins the
 // caller's trace.
-func (c *Client) roundTripCtx(ctx context.Context, hc *http.Client, path string, req *sexp.Sexp) (*sexp.Sexp, error) {
+func (c *Client) roundTripCtx(ctx context.Context, hc *http.Client, path string, req sexp.Sexp) (sexp.Sexp, error) {
 	body := req.Canonical()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
@@ -126,7 +126,7 @@ func (c *Client) query(by string, p principal.Principal, f QueryFilter) ([]*cert
 }
 
 func (c *Client) queryCtx(ctx context.Context, by string, p principal.Principal, f QueryFilter) ([]*cert.Cert, error) {
-	req := []*sexp.Sexp{sexp.String("query"), sexp.String(by), p.Sexp()}
+	req := []sexp.Sexp{sexp.String("query"), sexp.String(by), p.Sexp()}
 	if f.Limit > 0 {
 		req = append(req, sexp.List(sexp.String("limit"), sexp.String(strconv.Itoa(f.Limit))))
 	}
@@ -141,7 +141,7 @@ func (c *Client) queryCtx(ctx context.Context, by string, p principal.Principal,
 }
 
 // parseCerts decodes a (certs <proof>...) reply.
-func parseCerts(resp *sexp.Sexp) ([]*cert.Cert, error) {
+func parseCerts(resp sexp.Sexp) ([]*cert.Cert, error) {
 	if resp.Tag() != "certs" {
 		return nil, fmt.Errorf("certdir: unexpected query reply %s", resp)
 	}
@@ -212,7 +212,7 @@ func (c *Client) PushCRL(rl *cert.RevocationList) error {
 // content hashes are in have. The caller verifies every returned list
 // before applying it (Replicator.pullCRLs does).
 func (c *Client) CRLs(have [][]byte) ([]*cert.RevocationList, error) {
-	kids := make([]*sexp.Sexp, 0, len(have)+1)
+	kids := make([]sexp.Sexp, 0, len(have)+1)
 	kids = append(kids, sexp.String("crls"))
 	for _, h := range have {
 		kids = append(kids, sexp.Atom(h))
@@ -262,7 +262,7 @@ func (c *Client) ReloadCRLs() (added int, err error) {
 // client satisfies it structurally without the prover importing
 // certdir.
 func (c *Client) Events(after uint64, wait time.Duration) (hashes [][]byte, next uint64, reset bool, err error) {
-	req := []*sexp.Sexp{sexp.String("events"), sexp.String(strconv.FormatUint(after, 10))}
+	req := []sexp.Sexp{sexp.String("events"), sexp.String(strconv.FormatUint(after, 10))}
 	if wait > 0 {
 		req = append(req, sexp.List(sexp.String("wait"),
 			sexp.String(strconv.FormatInt(wait.Milliseconds(), 10))))
@@ -298,7 +298,7 @@ func (c *Client) Events(after uint64, wait time.Duration) (hashes [][]byte, next
 			if row.Len() != 3 || !row.Nth(2).IsAtom() {
 				return nil, 0, false, fmt.Errorf("certdir: bad event row %s", row)
 			}
-			hashes = append(hashes, append([]byte(nil), row.Nth(2).Octets...))
+			hashes = append(hashes, append([]byte(nil), row.Nth(2).Bytes()...))
 		}
 	}
 	return hashes, next, reset, nil
@@ -322,11 +322,11 @@ func (c *Client) Digests() ([]PartitionDigest, error) {
 		}
 		p, err1 := strconv.Atoi(row.Nth(1).Text())
 		n, err2 := strconv.Atoi(row.Nth(2).Text())
-		if err1 != nil || err2 != nil || p < 0 || p >= GossipPartitions || len(row.Nth(3).Octets) != 32 {
+		if err1 != nil || err2 != nil || p < 0 || p >= GossipPartitions || len(row.Nth(3).Bytes()) != 32 {
 			return nil, fmt.Errorf("certdir: bad digest row %s", row)
 		}
 		d := PartitionDigest{Partition: p, Count: n}
-		copy(d.XOR[:], row.Nth(3).Octets)
+		copy(d.XOR[:], row.Nth(3).Bytes())
 		out = append(out, d)
 	}
 	return out, nil
@@ -349,7 +349,7 @@ func (c *Client) HashesIn(p int) ([][]byte, error) {
 		if !h.IsAtom() {
 			return nil, fmt.Errorf("certdir: hash %d is not an atom", i)
 		}
-		out = append(out, append([]byte(nil), h.Octets...))
+		out = append(out, append([]byte(nil), h.Bytes()...))
 	}
 	return out, nil
 }
@@ -358,7 +358,7 @@ func (c *Client) HashesIn(p int) ([][]byte, error) {
 // or expired ones are omitted from the answer. The caller re-verifies
 // everything before trusting it (Store.Publish does when pulling).
 func (c *Client) Fetch(hashes [][]byte) ([]*cert.Cert, error) {
-	kids := make([]*sexp.Sexp, 0, len(hashes)+1)
+	kids := make([]sexp.Sexp, 0, len(hashes)+1)
 	kids = append(kids, sexp.String("fetch"))
 	for _, h := range hashes {
 		kids = append(kids, sexp.Atom(h))

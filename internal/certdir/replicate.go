@@ -335,14 +335,26 @@ func (r *Replicator) pullCRLs(peer *Client) error {
 	if err != nil {
 		return err
 	}
-	for _, rl := range lists {
-		added, _, err := installCRL(r.store, r.Revocations, r, rl, r.now())
+	if len(lists) == 0 {
+		return nil
+	}
+	// Batch install: one signature batch and one proof-cache flush for
+	// the whole pull, then a single eviction scan over the store — not
+	// one full scan per CRL — before the accepted lists rumor onward.
+	added, errs := r.Revocations.AddNewBatch(lists)
+	anyAdded := false
+	for i, rl := range lists {
 		switch {
-		case err != nil:
+		case errs[i] != nil:
 			r.crlsRejected.Add(1)
-		case added:
+		case added[i]:
 			r.crlsPulled.Add(1)
+			anyAdded = true
+			r.EnqueueCRL(rl)
 		}
+	}
+	if anyAdded {
+		r.store.EvictRevokedByIssuer(r.Revocations.RevokedByIssuerAt(r.now()))
 	}
 	return nil
 }
@@ -397,6 +409,11 @@ func (r *Replicator) pullFrom(peer *Client) (pulled int, err error) {
 				return pulled, err
 			}
 			now := r.now()
+			// Verify the fetched batch as one unit before indexing: the
+			// signature checks run batched (seeding the shared proof
+			// cache), so each PublishPulled's verify-before-index is a
+			// cache lookup.
+			cert.VerifyBatch(publishCtx(now), certs)
 			for _, c := range certs {
 				// PublishPulled, not Publish: a removal that raced this
 				// pull leaves a tombstone the pull must yield to, never

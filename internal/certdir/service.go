@@ -199,7 +199,7 @@ func spanName(path string) string {
 // mutating paths are authorized first — against the raw body bytes,
 // which the request principal covers, so a proof cannot be replayed
 // onto a different mutation.
-func (s *Service) post(w http.ResponseWriter, r *http.Request, h func(*sexp.Sexp) (*sexp.Sexp, error)) {
+func (s *Service) post(w http.ResponseWriter, r *http.Request, h func(sexp.Sexp) (sexp.Sexp, error)) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "certdir: POST required", http.StatusMethodNotAllowed)
 		return
@@ -230,12 +230,12 @@ func (s *Service) post(w http.ResponseWriter, r *http.Request, h func(*sexp.Sexp
 	s.reply(w, resp)
 }
 
-func (s *Service) reply(w http.ResponseWriter, e *sexp.Sexp) {
+func (s *Service) reply(w http.ResponseWriter, e sexp.Sexp) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write(e.Canonical())
 }
 
-func (s *Service) handlePublish(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handlePublish(e sexp.Sexp) (sexp.Sexp, error) {
 	start := time.Now()
 	resp, err := s.doPublish(e)
 	if err == nil {
@@ -244,7 +244,7 @@ func (s *Service) handlePublish(e *sexp.Sexp) (*sexp.Sexp, error) {
 	return resp, err
 }
 
-func (s *Service) doPublish(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) doPublish(e sexp.Sexp) (sexp.Sexp, error) {
 	p, err := core.ProofFromSexp(e)
 	if err != nil {
 		return nil, fmt.Errorf("certdir: publish wants a certificate proof: %w", err)
@@ -263,7 +263,7 @@ func (s *Service) doPublish(e *sexp.Sexp) (*sexp.Sexp, error) {
 	return sexp.List(sexp.String("published")), nil
 }
 
-func (s *Service) handleQuery(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleQuery(e sexp.Sexp) (sexp.Sexp, error) {
 	if e.Tag() != "query" || e.Len() < 3 || !e.Nth(1).IsAtom() {
 		return nil, fmt.Errorf("certdir: query wants (query issuer|subject <principal> [(limit n)] [(tag t)])")
 	}
@@ -289,7 +289,7 @@ func (s *Service) handleQuery(e *sexp.Sexp) (*sexp.Sexp, error) {
 
 // queryFilter decodes the optional (limit n) and (tag t) clauses after
 // the principal; an absent clause leaves the zero (unbounded) filter.
-func queryFilter(e *sexp.Sexp) (QueryFilter, error) {
+func queryFilter(e sexp.Sexp) (QueryFilter, error) {
 	var f QueryFilter
 	for i := 3; i < e.Len(); i++ {
 		c := e.Nth(i)
@@ -316,8 +316,8 @@ func queryFilter(e *sexp.Sexp) (QueryFilter, error) {
 	return f, nil
 }
 
-func certsSexp(certs []*cert.Cert) *sexp.Sexp {
-	kids := make([]*sexp.Sexp, 0, len(certs)+1)
+func certsSexp(certs []*cert.Cert) sexp.Sexp {
+	kids := make([]sexp.Sexp, 0, len(certs)+1)
 	kids = append(kids, sexp.String("certs"))
 	for _, c := range certs {
 		kids = append(kids, c.Sexp())
@@ -325,11 +325,11 @@ func certsSexp(certs []*cert.Cert) *sexp.Sexp {
 	return sexp.List(kids...)
 }
 
-func (s *Service) handleRemove(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleRemove(e sexp.Sexp) (sexp.Sexp, error) {
 	if e.Tag() != "remove" || e.Len() != 2 || !e.Nth(1).IsAtom() {
 		return nil, fmt.Errorf("certdir: remove wants (remove <hash>)")
 	}
-	if s.Store.Remove(e.Nth(1).Octets) {
+	if s.Store.Remove(e.Nth(1).Bytes()) {
 		return sexp.List(sexp.String("removed")), nil
 	}
 	return sexp.List(sexp.String("absent")), nil
@@ -338,11 +338,11 @@ func (s *Service) handleRemove(e *sexp.Sexp) (*sexp.Sexp, error) {
 // handleDigests answers (digests) with the per-partition summaries of
 // the stored set; the requesting peer pulls hash lists only for
 // partitions whose digests disagree with its own.
-func (s *Service) handleDigests(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleDigests(e sexp.Sexp) (sexp.Sexp, error) {
 	if e.Tag() != "digests" || e.Len() != 1 {
 		return nil, fmt.Errorf("certdir: digests wants (digests)")
 	}
-	kids := []*sexp.Sexp{sexp.String("digests")}
+	kids := []sexp.Sexp{sexp.String("digests")}
 	for _, d := range s.Store.Digests() {
 		kids = append(kids, sexp.List(
 			sexp.String("part"),
@@ -356,7 +356,7 @@ func (s *Service) handleDigests(e *sexp.Sexp) (*sexp.Sexp, error) {
 
 // handleHashes answers (hashes <partition>) with the content hashes
 // stored in that gossip partition.
-func (s *Service) handleHashes(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleHashes(e sexp.Sexp) (sexp.Sexp, error) {
 	if e.Tag() != "hashes" || e.Len() != 2 || !e.Nth(1).IsAtom() {
 		return nil, fmt.Errorf("certdir: hashes wants (hashes <partition>)")
 	}
@@ -364,7 +364,7 @@ func (s *Service) handleHashes(e *sexp.Sexp) (*sexp.Sexp, error) {
 	if err != nil || p < 0 || p >= GossipPartitions {
 		return nil, fmt.Errorf("certdir: bad partition %q", e.Nth(1).Text())
 	}
-	kids := []*sexp.Sexp{sexp.String("hashes")}
+	kids := []sexp.Sexp{sexp.String("hashes")}
 	for _, h := range s.Store.HashesIn(p) {
 		kids = append(kids, sexp.Atom(h))
 	}
@@ -373,7 +373,7 @@ func (s *Service) handleHashes(e *sexp.Sexp) (*sexp.Sexp, error) {
 
 // handleFetch answers (fetch <hash>...) with the live certificates
 // matching the hashes; absent or expired ones are silently omitted.
-func (s *Service) handleFetch(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleFetch(e sexp.Sexp) (sexp.Sexp, error) {
 	if e.Tag() != "fetch" || e.Len() < 2 {
 		return nil, fmt.Errorf("certdir: fetch wants (fetch <hash>...)")
 	}
@@ -383,7 +383,7 @@ func (s *Service) handleFetch(e *sexp.Sexp) (*sexp.Sexp, error) {
 		if !h.IsAtom() {
 			return nil, fmt.Errorf("certdir: fetch hash %d is not an atom", i)
 		}
-		hashes = append(hashes, h.Octets)
+		hashes = append(hashes, h.Bytes())
 	}
 	return certsSexp(s.Store.ByHashes(hashes, s.now())), nil
 }
@@ -392,7 +392,7 @@ func (s *Service) handleFetch(e *sexp.Sexp) (*sexp.Sexp, error) {
 // [(wait <ms>)]) answers with every retained event after the cursor,
 // long-polling up to the requested wait when the cursor is current.
 // See events.go for cursor and reset semantics.
-func (s *Service) handleEvents(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleEvents(e sexp.Sexp) (sexp.Sexp, error) {
 	if e.Tag() != "events" || e.Len() < 2 || !e.Nth(1).IsAtom() {
 		return nil, fmt.Errorf("certdir: events wants (events <after> [(wait <ms>)])")
 	}
@@ -416,7 +416,7 @@ func (s *Service) handleEvents(e *sexp.Sexp) (*sexp.Sexp, error) {
 		wait = maxEventWait
 	}
 	evs, next, reset := s.Store.Events().Wait(after, wait)
-	kids := []*sexp.Sexp{
+	kids := []sexp.Sexp{
 		sexp.String("events"),
 		sexp.List(sexp.String("next"), sexp.String(strconv.FormatUint(next, 10))),
 	}
@@ -432,7 +432,7 @@ func (s *Service) handleEvents(e *sexp.Sexp) (*sexp.Sexp, error) {
 // handleAdminCRL installs one CRL without a restart: verify, dedup,
 // evict what its signer issued, fan out to peers. Duplicates are
 // acknowledged idempotently so gossip floods terminate.
-func (s *Service) handleAdminCRL(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleAdminCRL(e sexp.Sexp) (sexp.Sexp, error) {
 	if s.Revocations == nil {
 		return nil, fmt.Errorf("certdir: revocation endpoints not enabled")
 	}
@@ -461,13 +461,14 @@ func (s *Service) installCRL(rl *cert.RevocationList) (added bool, evicted int, 
 	return installCRL(s.Store, s.Revocations, s.Replicator, rl, s.now())
 }
 
-// installCRL is the one path every network-arriving CRL takes — the
-// admin endpoint and the gossip pull both funnel here: verify-before-
-// apply into the revocation store (which bumps the proof-cache
-// epoch), immediate issuer-matched eviction (which tombstones and
-// emits revoke events), then rumor-mongering fan-out to peers (nil
-// rep for an unreplicated directory). Dedup in AddNew terminates the
-// flood.
+// installCRL handles one network-arriving CRL (the admin endpoint):
+// verify-before-apply into the revocation store (which bumps the
+// proof-cache epoch), immediate issuer-matched eviction (which
+// tombstones and emits revoke events), then rumor-mongering fan-out
+// to peers (nil rep for an unreplicated directory). Dedup in AddNew
+// terminates the flood. The gossip pull applies the same discipline
+// batched (Replicator.pullCRLs): one signature batch, one cache
+// flush, and one eviction scan per round.
 func installCRL(st *Store, revs *cert.RevocationStore, rep *Replicator, rl *cert.RevocationList, now time.Time) (added bool, evicted int, err error) {
 	added, err = revs.AddNew(rl)
 	if err != nil || !added {
@@ -482,7 +483,7 @@ func installCRL(st *Store, revs *cert.RevocationStore, rep *Replicator, rl *cert
 
 // handleReload re-reads the daemon's CRL file via the wired callback;
 // (reload-crl) with no callback is a clean error, not a 500.
-func (s *Service) handleReload(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleReload(e sexp.Sexp) (sexp.Sexp, error) {
 	if e.Tag() != "reload-crl" || e.Len() != 1 {
 		return nil, fmt.Errorf("certdir: reload wants (reload-crl)")
 	}
@@ -493,7 +494,7 @@ func (s *Service) handleReload(e *sexp.Sexp) (*sexp.Sexp, error) {
 	if err != nil {
 		return nil, fmt.Errorf("certdir: reload: %w", err)
 	}
-	row := func(name string, v int) *sexp.Sexp {
+	row := func(name string, v int) sexp.Sexp {
 		return sexp.List(sexp.String(name), sexp.String(strconv.Itoa(v)))
 	}
 	return sexp.List(sexp.String("reloaded"),
@@ -504,7 +505,7 @@ func (s *Service) handleReload(e *sexp.Sexp) (*sexp.Sexp, error) {
 // already holds: (crls <have-hash>...). CRLs are public, signed
 // statements; serving them reveals nothing the signer did not already
 // publish.
-func (s *Service) handleCRLs(e *sexp.Sexp) (*sexp.Sexp, error) {
+func (s *Service) handleCRLs(e sexp.Sexp) (sexp.Sexp, error) {
 	if e.Tag() != "crls" {
 		return nil, fmt.Errorf("certdir: crls wants (crls <have-hash>...)")
 	}
@@ -516,14 +517,14 @@ func (s *Service) handleCRLs(e *sexp.Sexp) (*sexp.Sexp, error) {
 	have := make(map[[32]byte]bool, e.Len()-1)
 	for i := 1; i < e.Len(); i++ {
 		h := e.Nth(i)
-		if !h.IsAtom() || len(h.Octets) != 32 {
+		if !h.IsAtom() || len(h.Bytes()) != 32 {
 			return nil, fmt.Errorf("certdir: crls hash %d is not a 32-byte atom", i)
 		}
 		var k [32]byte
-		copy(k[:], h.Octets)
+		copy(k[:], h.Bytes())
 		have[k] = true
 	}
-	kids := []*sexp.Sexp{sexp.String("crls")}
+	kids := []sexp.Sexp{sexp.String("crls")}
 	for _, rl := range s.Revocations.Lists() {
 		if !have[rl.Hash()] {
 			kids = append(kids, rl.Sexp())
@@ -532,12 +533,12 @@ func (s *Service) handleCRLs(e *sexp.Sexp) (*sexp.Sexp, error) {
 	return sexp.List(kids...), nil
 }
 
-func (s *Service) statsSexp() *sexp.Sexp {
+func (s *Service) statsSexp() sexp.Sexp {
 	st := s.Store.Stats()
-	row := func(name string, v int64) *sexp.Sexp {
+	row := func(name string, v int64) sexp.Sexp {
 		return sexp.List(sexp.String(name), sexp.String(strconv.FormatInt(v, 10)))
 	}
-	kids := []*sexp.Sexp{
+	kids := []sexp.Sexp{
 		sexp.String("stats"),
 		row("stored", int64(s.Store.Len())),
 		row("published", st.Published),

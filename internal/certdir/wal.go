@@ -174,7 +174,7 @@ func syncDir(dir string) error {
 // appendRecord frames and writes one record under the chosen sync
 // policy. An error means the record may not be durable and the caller
 // must not apply (or acknowledge) the mutation it describes.
-func (w *WAL) appendRecord(e *sexp.Sexp) error {
+func (w *WAL) appendRecord(e sexp.Sexp) error {
 	buf := sexp.AppendFrame(nil, e)
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -206,7 +206,7 @@ func (w *WAL) AppendRemove(hash []byte, expiry time.Time) error {
 	return w.appendRecord(removeRecord(hash, expiry))
 }
 
-func removeRecord(hash []byte, expiry time.Time) *sexp.Sexp {
+func removeRecord(hash []byte, expiry time.Time) sexp.Sexp {
 	exp := "0"
 	if !expiry.IsZero() {
 		exp = strconv.FormatInt(expiry.Unix(), 10)
@@ -260,7 +260,7 @@ func (w *WAL) Compact(certs []*cert.Cert, tombstones map[string]time.Time) error
 	}
 	bw := bufio.NewWriter(tmp)
 	var size int64
-	write := func(e *sexp.Sexp) error {
+	write := func(e sexp.Sexp) error {
 		buf := sexp.AppendFrame(nil, e)
 		size += int64(len(buf))
 		_, err := bw.Write(buf)
@@ -380,10 +380,24 @@ func OpenDurable(dir string, n int, policy SyncPolicy, now time.Time) (*Store, R
 	return st, rec, nil
 }
 
+// replayBatch is how many consecutive publish records replay gathers
+// before verifying them as one batch (cert.VerifyBatch) and indexing.
+// Big enough to amortize the batch machinery, small enough that the
+// decoded certificates pending a flush stay a bounded memory cost.
+const replayBatch = 256
+
 // replayInto streams the log into the store, returning the byte offset
 // of the last good frame and whether a torn tail was found. The store
 // must not have a WAL attached yet: replay re-applies history, it does
 // not write it.
+//
+// Records stream through one sexp.FrameReader (a reusable payload
+// buffer and parse arena instead of per-record allocations; the typed
+// decoders copy what they keep, so recycling the arena is safe), and
+// consecutive publishes are signature-checked in batches: VerifyBatch
+// seeds the shared proof cache, so Publish's own verify-before-index
+// is a cache lookup. A removal flushes the pending batch first — log
+// order is publish order.
 func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good int64, torn bool, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -394,15 +408,39 @@ func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
+	var fr sexp.FrameReader
+	vctx := publishCtx(now)
+	var batch []*cert.Cert
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		// Publish re-verifies, so a log tampered with at rest cannot
+		// plant authority; the batch pass here only prepays the
+		// signature checks. Expired-in-the-meantime certificates and
+		// bad signatures are dropped by Publish and compacted away.
+		cert.VerifyBatch(vctx, batch)
+		for _, c := range batch {
+			if added, err := st.Publish(c, now); err != nil || !added {
+				rec.Dropped++
+				continue
+			}
+			rec.Replayed++
+		}
+		batch = batch[:0]
+	}
 	for {
-		e, n, err := sexp.ReadFrame(r)
+		e, n, err := fr.Next(r)
 		if err == io.EOF {
+			flush()
 			return good, false, nil
 		}
 		if errors.Is(err, sexp.ErrFrameCorrupt) {
+			flush()
 			return good, true, nil
 		}
 		if err != nil {
+			flush()
 			return good, false, fmt.Errorf("certdir: wal replay: %w", err)
 		}
 		good += int64(n)
@@ -422,15 +460,12 @@ func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good
 				rec.Dropped++
 				continue
 			}
-			// Publish re-verifies, so a log tampered with at rest
-			// cannot plant authority; expired-in-the-meantime
-			// certificates are dropped here and compacted away.
-			if added, err := st.Publish(c, now); err != nil || !added {
-				rec.Dropped++
-				continue
+			batch = append(batch, c)
+			if len(batch) >= replayBatch {
+				flush()
 			}
-			rec.Replayed++
 		case walTagRemove:
+			flush() // removals apply after the publishes logged before them
 			if e.Len() != 3 || !e.Nth(1).IsAtom() {
 				rec.Dropped++
 				continue
@@ -439,7 +474,7 @@ func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good
 			if sec, err := strconv.ParseInt(e.Nth(2).Text(), 10, 64); err == nil && sec != 0 {
 				expiry = time.Unix(sec, 0)
 			}
-			st.replayRemove(e.Nth(1).Octets, expiry, now)
+			st.replayRemove(e.Nth(1).Bytes(), expiry, now)
 			rec.Replayed++
 		default:
 			rec.Dropped++

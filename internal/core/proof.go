@@ -25,7 +25,7 @@ type Proof interface {
 	// Children returns immediate subproofs (lemma extraction).
 	Children() []Proof
 	// Sexp returns the wire form.
-	Sexp() *sexp.Sexp
+	Sexp() sexp.Sexp
 }
 
 // VerifyContext carries the verifier's environment: the clock, the
@@ -157,6 +157,32 @@ func (ctx *VerifyContext) VerifyCached(p Proof, f func() error) error {
 	return ctx.verifyMemo(p, f)
 }
 
+// PeekVerified reports whether p already holds a positive verdict in
+// this context's memo or the shared cache, without verifying anything
+// and without disturbing the cache's hit/miss counters. Batch
+// verifiers (cert.VerifyBatch) consult it to decide which signatures
+// still need checking; a false answer is always safe — the proof is
+// simply verified normally.
+func (ctx *VerifyContext) PeekVerified(p Proof) bool {
+	h := p.Sexp().Hash()
+	if err, ok := ctx.cache[h]; ok {
+		return err == nil
+	}
+	enforcing := ctx.Revoked != nil
+	shared := ctx.Cache
+	if enforcing && ctx.RevocationView == 0 {
+		shared = nil
+	}
+	if shared == nil {
+		return false
+	}
+	view := ctx.RevocationView
+	if !enforcing {
+		view = ViewAny
+	}
+	return shared.peek(h, ctx.At(), view)
+}
+
 // CacheSize returns the number of memoized subproofs; exposed for the
 // ablation benchmarks.
 func (ctx *VerifyContext) CacheSize() int { return len(ctx.cache) }
@@ -166,29 +192,61 @@ func (ctx *VerifyContext) CacheSize() int { return len(ctx.cache) }
 // leafDecoder decodes externally defined proof leaves (signed
 // certificates live in package cert, which registers itself here to
 // keep the dependency arrow pointing at core).
-type leafDecoder func(e *sexp.Sexp) (Proof, error)
+type leafDecoder func(e sexp.Sexp) (Proof, error)
 
 var leafDecoders = map[string]leafDecoder{}
 
 // RegisterLeafDecoder installs a decoder for (proof <kind> ...) forms
 // defined outside core. Call from an init function.
-func RegisterLeafDecoder(kind string, fn func(e *sexp.Sexp) (Proof, error)) {
+func RegisterLeafDecoder(kind string, fn func(e sexp.Sexp) (Proof, error)) {
 	leafDecoders[kind] = fn
 }
 
+// WireMemo caches the canonical wire span of a decoded proof node.
+// Rule types embed it; ProofFromSexp seeds it after a successful
+// decode, so re-encoding (and the per-node hashing verifyMemo does) is
+// a span copy instead of a tree rebuild. Decoded proofs are immutable;
+// locally built ones leave the memo empty and derive on demand.
+type WireMemo struct {
+	wire sexp.Sexp
+}
+
+// SetWire installs the memoized wire form.
+func (w *WireMemo) SetWire(e sexp.Sexp) { w.wire = e }
+
+// wireOr returns the memoized wire form, or builds one.
+func (w *WireMemo) wireOr(build func() sexp.Sexp) sexp.Sexp {
+	if w.wire != nil {
+		return w.wire
+	}
+	return build()
+}
+
+// wireSetter is what ProofFromSexp feeds; *Cert manages its own memo
+// (it also caches signing bytes and the body hash) and does not
+// implement it.
+type wireSetter interface{ SetWire(sexp.Sexp) }
+
 // ProofFromSexp decodes any proof tree from its wire form.
-func ProofFromSexp(e *sexp.Sexp) (Proof, error) {
+func ProofFromSexp(e sexp.Sexp) (Proof, error) {
 	if e == nil || e.Tag() != "proof" || e.Len() < 2 {
 		return nil, fmt.Errorf("core: not a proof expression")
 	}
 	kind := e.Nth(1).Text()
-	if dec, ok := leafDecoders[kind]; ok {
-		return dec(e)
+	dec, ok := leafDecoders[kind]
+	if !ok {
+		if dec, ok = ruleDecoders[kind]; !ok {
+			return nil, fmt.Errorf("core: unknown proof rule %q", kind)
+		}
 	}
-	if dec, ok := ruleDecoders[kind]; ok {
-		return dec(e)
+	p, err := dec(e)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("core: unknown proof rule %q", kind)
+	if ws, ok := p.(wireSetter); ok {
+		ws.SetWire(sexp.Raw(e.Canonical()))
+	}
+	return p, nil
 }
 
 // ParseProof decodes a proof from text (canonical, advanced, or
@@ -208,14 +266,14 @@ func registerRule(kind string, fn leafDecoder) {
 }
 
 // proofHeader builds (proof <kind> kids...).
-func proofHeader(kind string, kids ...*sexp.Sexp) *sexp.Sexp {
-	all := append([]*sexp.Sexp{sexp.String("proof"), sexp.String(kind)}, kids...)
+func proofHeader(kind string, kids ...sexp.Sexp) sexp.Sexp {
+	all := append([]sexp.Sexp{sexp.String("proof"), sexp.String(kind)}, kids...)
 	return sexp.List(all...)
 }
 
 // childProofs decodes the trailing children of a rule node starting
 // at index start.
-func childProofs(e *sexp.Sexp, start int) ([]Proof, error) {
+func childProofs(e sexp.Sexp, start int) ([]Proof, error) {
 	var out []Proof
 	for i := start; i < e.Len(); i++ {
 		p, err := ProofFromSexp(e.Nth(i))

@@ -52,10 +52,14 @@ type proofCacheEntry struct {
 const ViewAny = ^uint64(0)
 
 // DefaultProofCacheSize bounds the process-wide shared cache. A cache
-// entry is a 32-byte key plus a few words, so the default costs well
-// under a megabyte while covering far more distinct proofs than any
-// hot set observed in the benchmarks.
-const DefaultProofCacheSize = 8192
+// entry is a 32-byte key plus a few words (~100 bytes with map
+// overhead), so the default costs a few megabytes. It is sized for the
+// bulk paths, not just request traffic: a WAL replay or gossip
+// catch-up re-verifies an entire directory's working set, and a cache
+// smaller than that set thrashes — the 10k-certificate replay
+// benchmark went signature-bound (every lookup a miss) under the old
+// 8192-entry bound.
+const DefaultProofCacheSize = 32768
 
 // NewProofCache returns an empty cache holding at most max entries
 // (DefaultProofCacheSize when max <= 0).
@@ -120,6 +124,17 @@ func (c *ProofCache) Lookup(h [32]byte, now time.Time, view uint64) bool {
 	}
 	c.misses.Add(1)
 	return false
+}
+
+// peek is Lookup without side effects: no hit/miss counting, no lazy
+// eviction. VerifyContext.PeekVerified uses it so batch planning does
+// not distort the cache statistics the benchmarks read.
+func (c *ProofCache) peek(h [32]byte, now time.Time, view uint64) bool {
+	c.mu.RLock()
+	e, ok := c.entries[h]
+	c.mu.RUnlock()
+	return ok && e.epoch == c.epoch.Load() && e.validity.Contains(now) &&
+		(view == ViewAny || e.view == view)
 }
 
 // Store records a positive verdict for the proof hash, valid within v

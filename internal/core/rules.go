@@ -45,6 +45,7 @@ func init() {
 // registered the same statement, so they cannot be replayed to a
 // third party.
 type Assumption struct {
+	WireMemo
 	S SpeaksFor
 }
 
@@ -67,11 +68,11 @@ func (a *Assumption) Verify(ctx *VerifyContext) error {
 // verdict must never enter a shared proof cache.
 func (a *Assumption) ContextDependent() bool { return true }
 
-func (a *Assumption) Sexp() *sexp.Sexp {
-	return proofHeader(RuleAssume, a.S.Sexp())
+func (a *Assumption) Sexp() sexp.Sexp {
+	return a.wireOr(func() sexp.Sexp { return proofHeader(RuleAssume, a.S.Sexp()) })
 }
 
-func decodeAssumption(e *sexp.Sexp) (Proof, error) {
+func decodeAssumption(e sexp.Sexp) (Proof, error) {
 	if e.Len() != 3 {
 		return nil, fmt.Errorf("core: malformed assume proof")
 	}
@@ -87,6 +88,7 @@ func decodeAssumption(e *sexp.Sexp) (Proof, error) {
 // Transitivity composes A =T1=> B and B =T2=> C into
 // A =T1∩T2=> C over the intersected validity window.
 type Transitivity struct {
+	WireMemo
 	Left, Right Proof // Left: A=>B, Right: B=>C
 	concl       SpeaksFor
 }
@@ -122,11 +124,13 @@ func (t *Transitivity) Verify(ctx *VerifyContext) error {
 		return t.Right.Verify(ctx)
 	})
 }
-func (t *Transitivity) Sexp() *sexp.Sexp {
-	return proofHeader(RuleTransitivity, t.Left.Sexp(), t.Right.Sexp())
+func (t *Transitivity) Sexp() sexp.Sexp {
+	return t.wireOr(func() sexp.Sexp {
+		return proofHeader(RuleTransitivity, t.Left.Sexp(), t.Right.Sexp())
+	})
 }
 
-func decodeTransitivity(e *sexp.Sexp) (Proof, error) {
+func decodeTransitivity(e sexp.Sexp) (Proof, error) {
 	kids, err := childProofs(e, 2)
 	if err != nil {
 		return nil, err
@@ -142,6 +146,7 @@ func decodeTransitivity(e *sexp.Sexp) (Proof, error) {
 // Restrict weakens a conclusion to a narrower tag and/or validity
 // window; sound because the original covers the weaker statement.
 type Restrict struct {
+	WireMemo
 	Child Proof
 	concl SpeaksFor
 }
@@ -169,16 +174,18 @@ func (r *Restrict) Children() []Proof     { return []Proof{r.Child} }
 func (r *Restrict) Verify(ctx *VerifyContext) error {
 	return ctx.verifyMemo(r, func() error { return r.Child.Verify(ctx) })
 }
-func (r *Restrict) Sexp() *sexp.Sexp {
-	kids := []*sexp.Sexp{r.concl.Tag.Sexp()}
-	if v := r.concl.Validity.Sexp(); v != nil {
-		kids = append(kids, v)
-	}
-	kids = append(kids, r.Child.Sexp())
-	return proofHeader(RuleRestrict, kids...)
+func (r *Restrict) Sexp() sexp.Sexp {
+	return r.wireOr(func() sexp.Sexp {
+		kids := []sexp.Sexp{r.concl.Tag.Sexp()}
+		if v := r.concl.Validity.Sexp(); v != nil {
+			kids = append(kids, v)
+		}
+		kids = append(kids, r.Child.Sexp())
+		return proofHeader(RuleRestrict, kids...)
+	})
 }
 
-func decodeRestrict(e *sexp.Sexp) (Proof, error) {
+func decodeRestrict(e sexp.Sexp) (Proof, error) {
 	if e.Len() < 4 {
 		return nil, fmt.Errorf("core: malformed restrict proof")
 	}
@@ -210,6 +217,7 @@ func decodeRestrict(e *sexp.Sexp) (Proof, error) {
 // A's binding for a name speaks for B's binding for the same name
 // (Figure 1's "name-monotonicity" step, HKC·N => KC·N).
 type NameMono struct {
+	WireMemo
 	Child Proof
 	Path  []string
 	concl SpeaksFor
@@ -246,15 +254,17 @@ func (n *NameMono) Children() []Proof     { return []Proof{n.Child} }
 func (n *NameMono) Verify(ctx *VerifyContext) error {
 	return ctx.verifyMemo(n, func() error { return n.Child.Verify(ctx) })
 }
-func (n *NameMono) Sexp() *sexp.Sexp {
-	kids := []*sexp.Sexp{sexp.String("path")}
-	for _, p := range n.Path {
-		kids = append(kids, sexp.String(p))
-	}
-	return proofHeader(RuleNameMono, sexp.List(kids...), n.Child.Sexp())
+func (n *NameMono) Sexp() sexp.Sexp {
+	return n.wireOr(func() sexp.Sexp {
+		kids := []sexp.Sexp{sexp.String("path")}
+		for _, p := range n.Path {
+			kids = append(kids, sexp.String(p))
+		}
+		return proofHeader(RuleNameMono, sexp.List(kids...), n.Child.Sexp())
+	})
 }
 
-func decodeNameMono(e *sexp.Sexp) (Proof, error) {
+func decodeNameMono(e sexp.Sexp) (Proof, error) {
 	if e.Len() != 4 || e.Nth(2).Tag() != "path" {
 		return nil, fmt.Errorf("core: malformed name-monotonicity proof")
 	}
@@ -279,6 +289,7 @@ func decodeNameMono(e *sexp.Sexp) (Proof, error) {
 // names speak for each other. Verification recomputes the hash from
 // the embedded key, so the leaf is self-certifying.
 type HashIdent struct {
+	WireMemo
 	Pub     sfkey.PublicKey
 	Reverse bool // false: H(K) => K; true: K => H(K)
 }
@@ -304,15 +315,17 @@ func (h *HashIdent) Verify(ctx *VerifyContext) error {
 	// Correct by construction: both ends derive from the same key.
 	return nil
 }
-func (h *HashIdent) Sexp() *sexp.Sexp {
-	dir := "forward"
-	if h.Reverse {
-		dir = "reverse"
-	}
-	return proofHeader(RuleHashIdent, sexp.String(dir), h.Pub.Sexp())
+func (h *HashIdent) Sexp() sexp.Sexp {
+	return h.wireOr(func() sexp.Sexp {
+		dir := "forward"
+		if h.Reverse {
+			dir = "reverse"
+		}
+		return proofHeader(RuleHashIdent, sexp.String(dir), h.Pub.Sexp())
+	})
 }
 
-func decodeHashIdent(e *sexp.Sexp) (Proof, error) {
+func decodeHashIdent(e sexp.Sexp) (Proof, error) {
 	if e.Len() != 4 || !e.Nth(2).IsAtom() {
 		return nil, fmt.Errorf("core: malformed hash-identity proof")
 	}
@@ -337,6 +350,7 @@ func decodeHashIdent(e *sexp.Sexp) (Proof, error) {
 // quoter form to turn "channel speaks for gateway key" into "channel
 // quoting client speaks for gateway-key quoting client".
 type QuoteMono struct {
+	WireMemo
 	Child  Proof
 	Fixed  principal.Principal
 	Quotee bool
@@ -376,16 +390,18 @@ func (q *QuoteMono) Children() []Proof     { return []Proof{q.Child} }
 func (q *QuoteMono) Verify(ctx *VerifyContext) error {
 	return ctx.verifyMemo(q, func() error { return q.Child.Verify(ctx) })
 }
-func (q *QuoteMono) Sexp() *sexp.Sexp {
-	kind := RuleQuoteQuoter
-	if q.Quotee {
-		kind = RuleQuoteQuotee
-	}
-	return proofHeader(kind, q.Fixed.Sexp(), q.Child.Sexp())
+func (q *QuoteMono) Sexp() sexp.Sexp {
+	return q.wireOr(func() sexp.Sexp {
+		kind := RuleQuoteQuoter
+		if q.Quotee {
+			kind = RuleQuoteQuotee
+		}
+		return proofHeader(kind, q.Fixed.Sexp(), q.Child.Sexp())
+	})
 }
 
 func decodeQuote(quotee bool) leafDecoder {
-	return func(e *sexp.Sexp) (Proof, error) {
+	return func(e sexp.Sexp) (Proof, error) {
 		if e.Len() != 4 {
 			return nil, fmt.Errorf("core: malformed quoting proof")
 		}
@@ -410,6 +426,7 @@ func decodeQuote(quotee bool) leafDecoder {
 // least k distinct parts. With k = n this is the conjunction used by
 // the disk-block example of section 2.3.
 type ConjIntro struct {
+	WireMemo
 	Target principal.Conj
 	Parts  []Proof
 	concl  SpeaksFor
@@ -471,15 +488,17 @@ func (c *ConjIntro) Verify(ctx *VerifyContext) error {
 		return nil
 	})
 }
-func (c *ConjIntro) Sexp() *sexp.Sexp {
-	kids := []*sexp.Sexp{c.Target.Sexp()}
-	for _, p := range c.Parts {
-		kids = append(kids, p.Sexp())
-	}
-	return proofHeader(RuleConjIntro, kids...)
+func (c *ConjIntro) Sexp() sexp.Sexp {
+	return c.wireOr(func() sexp.Sexp {
+		kids := []sexp.Sexp{c.Target.Sexp()}
+		for _, p := range c.Parts {
+			kids = append(kids, p.Sexp())
+		}
+		return proofHeader(RuleConjIntro, kids...)
+	})
 }
 
-func decodeConjIntro(e *sexp.Sexp) (Proof, error) {
+func decodeConjIntro(e sexp.Sexp) (Proof, error) {
 	if e.Len() < 4 {
 		return nil, fmt.Errorf("core: malformed conjunction-intro proof")
 	}
@@ -501,6 +520,7 @@ func decodeConjIntro(e *sexp.Sexp) (Proof, error) {
 // ConjProj is the projection axiom A∧B => A, sound only for full
 // conjunctions (everything all parts say, each part says).
 type ConjProj struct {
+	WireMemo
 	C     principal.Conj
 	Index int
 }
@@ -521,11 +541,13 @@ func (c *ConjProj) Conclusion() SpeaksFor {
 }
 func (c *ConjProj) Children() []Proof               { return nil }
 func (c *ConjProj) Verify(ctx *VerifyContext) error { return nil }
-func (c *ConjProj) Sexp() *sexp.Sexp {
-	return proofHeader(RuleConjProj, c.C.Sexp(), sexp.String(strconv.Itoa(c.Index)))
+func (c *ConjProj) Sexp() sexp.Sexp {
+	return c.wireOr(func() sexp.Sexp {
+		return proofHeader(RuleConjProj, c.C.Sexp(), sexp.String(strconv.Itoa(c.Index)))
+	})
 }
 
-func decodeConjProj(e *sexp.Sexp) (Proof, error) {
+func decodeConjProj(e sexp.Sexp) (Proof, error) {
 	if e.Len() != 4 || !e.Nth(3).IsAtom() {
 		return nil, fmt.Errorf("core: malformed conjunction-projection proof")
 	}
@@ -548,6 +570,7 @@ func decodeConjProj(e *sexp.Sexp) (Proof, error) {
 
 // Reflex is the axiom A => A.
 type Reflex struct {
+	WireMemo
 	P principal.Principal
 }
 
@@ -559,11 +582,11 @@ func (r *Reflex) Conclusion() SpeaksFor {
 }
 func (r *Reflex) Children() []Proof               { return nil }
 func (r *Reflex) Verify(ctx *VerifyContext) error { return nil }
-func (r *Reflex) Sexp() *sexp.Sexp {
-	return proofHeader(RuleReflex, r.P.Sexp())
+func (r *Reflex) Sexp() sexp.Sexp {
+	return r.wireOr(func() sexp.Sexp { return proofHeader(RuleReflex, r.P.Sexp()) })
 }
 
-func decodeReflex(e *sexp.Sexp) (Proof, error) {
+func decodeReflex(e sexp.Sexp) (Proof, error) {
 	if e.Len() != 3 {
 		return nil, fmt.Errorf("core: malformed reflexivity proof")
 	}

@@ -98,11 +98,11 @@ func (v Validity) IsUnbounded() bool {
 }
 
 // Sexp encodes the window; nil for the unbounded window.
-func (v Validity) Sexp() *sexp.Sexp {
+func (v Validity) Sexp() sexp.Sexp {
 	if v.IsUnbounded() {
 		return nil
 	}
-	kids := []*sexp.Sexp{sexp.String("valid")}
+	kids := []sexp.Sexp{sexp.String("valid")}
 	if !v.NotBefore.IsZero() {
 		kids = append(kids, sexp.List(sexp.String("not-before"),
 			sexp.String(v.NotBefore.UTC().Format(time.RFC3339Nano))))
@@ -116,7 +116,7 @@ func (v Validity) Sexp() *sexp.Sexp {
 
 // ValidityFromSexp decodes a (valid ...) form; nil decodes to the
 // unbounded window.
-func ValidityFromSexp(e *sexp.Sexp) (Validity, error) {
+func ValidityFromSexp(e sexp.Sexp) (Validity, error) {
 	var v Validity
 	if e == nil {
 		return v, nil
@@ -171,8 +171,8 @@ type SpeaksFor struct {
 }
 
 // Sexp encodes the statement.
-func (s SpeaksFor) Sexp() *sexp.Sexp {
-	kids := []*sexp.Sexp{
+func (s SpeaksFor) Sexp() sexp.Sexp {
+	kids := []sexp.Sexp{
 		sexp.String("speaks-for"),
 		sexp.List(sexp.String("subject"), s.Subject.Sexp()),
 		sexp.List(sexp.String("issuer"), s.Issuer.Sexp()),
@@ -185,7 +185,7 @@ func (s SpeaksFor) Sexp() *sexp.Sexp {
 }
 
 // SpeaksForFromSexp decodes a (speaks-for ...) form.
-func SpeaksForFromSexp(e *sexp.Sexp) (SpeaksFor, error) {
+func SpeaksForFromSexp(e sexp.Sexp) (SpeaksFor, error) {
 	var s SpeaksFor
 	if e == nil || e.Tag() != "speaks-for" {
 		return s, fmt.Errorf("core: not a speaks-for statement")

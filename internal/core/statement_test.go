@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/principal"
+	"repro/internal/sexp"
 	"repro/internal/sfkey"
 	"repro/internal/tag"
 )
@@ -123,8 +124,7 @@ func TestSpeaksForFromSexpRejectsMalformed(t *testing.T) {
 	s := SpeaksFor{Subject: key("s"), Issuer: key("i"), Tag: tag.All()}
 	good := s.Sexp()
 	// Drop the tag.
-	bad := good.Copy()
-	bad.List = bad.List[:3]
+	bad := sexp.List(good.Nth(0).Copy(), good.Nth(1).Copy(), good.Nth(2).Copy())
 	if _, err := SpeaksForFromSexp(bad); err == nil {
 		t.Error("accepted statement without tag")
 	}

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/emaildb"
 	"repro/internal/httpauth"
@@ -336,7 +337,7 @@ func (g *Gateway) admit(auth string, reqPrin principal.Hash) (client principal.P
 		if err != nil {
 			return nil, nil, false, fmt.Errorf("gateway: bad delegation proof: %w", err)
 		}
-		if err := p.Verify(ctx); err != nil {
+		if err := cert.VerifyChain(ctx, p); err != nil {
 			return nil, nil, false, fmt.Errorf("gateway: delegation proof: %w", err)
 		}
 		g.Prover.AddProof(p)

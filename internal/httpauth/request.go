@@ -52,7 +52,7 @@ const (
 // principal: method, canonical URL, host, and body — everything
 // except the Authorization header ("the subject of the proof is a
 // hash of the request, less the Authorization header").
-func canonicalRequest(method, host, uri string, body []byte) *sexp.Sexp {
+func canonicalRequest(method, host, uri string, body []byte) sexp.Sexp {
 	return sexp.List(
 		sexp.String("http-request"),
 		sexp.List(sexp.String("method"), sexp.String(strings.ToUpper(method))),

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/principal"
@@ -239,6 +240,11 @@ func (p *Protected) authorizeProof(r *http.Request, params map[string]string, re
 	defer p.mu.Unlock()
 	ctx := p.lockedCtx()
 	p.stats.ProofVerifies++
+	// Batch the chain's certificate signature checks up front; the
+	// verdicts land in ctx's memo, so the verification walk inside
+	// Authorize finds them instead of checking signatures one by one.
+	// Authorize still owns the verdict (subject match, tag coverage).
+	_ = cert.VerifyChain(ctx, proof)
 	if err := core.Authorize(ctx, proof, reqPrin, issuer, reqTag); err != nil {
 		return nil, err
 	}
@@ -275,7 +281,7 @@ func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqP
 	if raw := r.Header.Get(HdrProof); raw != "" {
 		if proof, err := core.ParseProof([]byte(raw)); err == nil {
 			p.stats.ProofVerifies++
-			if err := proof.Verify(ctx); err == nil {
+			if err := cert.VerifyChain(ctx, proof); err == nil {
 				k := proof.Conclusion().Subject.Key()
 				p.proofs[k] = append(p.proofs[k], proof)
 			}

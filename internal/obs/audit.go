@@ -50,6 +50,9 @@ type AuditLog struct {
 	full       bool
 	sink       io.Writer
 	closeSink  func() error
+	sinkPath   string
+	sinkMax    int64
+	sinkSize   int64
 	admitted   uint64
 	denied     uint64
 	challenged uint64
@@ -78,25 +81,82 @@ func (l *AuditLog) SetSink(w io.Writer) {
 	l.mu.Lock()
 	l.sink = w
 	l.closeSink = nil
+	l.sinkPath = ""
+	l.sinkMax = 0
 	l.mu.Unlock()
 }
 
 // OpenSink appends decisions to a JSONL file at path; CloseSink (or a
-// later OpenSink) closes it.
+// later OpenSink) closes it. Reopen reopens the same path, so an
+// external rotator (logrotate + SIGHUP) works without size limits.
 func (l *AuditLog) OpenSink(path string) error {
+	return l.OpenSinkRotating(path, 0)
+}
+
+// OpenSinkRotating is OpenSink with size-based rotation: once the
+// file reaches maxBytes the log renames it to path+".1" (replacing
+// any previous generation) and starts a fresh file, so a chatty
+// enforcement point is bounded at ~2*maxBytes of disk. maxBytes <= 0
+// disables rotation. Rotation keeps whole JSON lines — the size check
+// runs between decisions, never mid-write.
+func (l *AuditLog) OpenSinkRotating(path string, maxBytes int64) error {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
+	}
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
 	}
 	l.mu.Lock()
 	old := l.closeSink
 	l.sink = f
 	l.closeSink = f.Close
+	l.sinkPath = path
+	l.sinkMax = maxBytes
+	l.sinkSize = size
 	l.mu.Unlock()
 	if old != nil {
 		old()
 	}
 	return nil
+}
+
+// Reopen closes and reopens the current file sink by path — the
+// SIGHUP hook for operators who rotate the audit log externally. A
+// no-op when the sink is not a file.
+func (l *AuditLog) Reopen() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	path, max := l.sinkPath, l.sinkMax
+	l.mu.Unlock()
+	if path == "" {
+		return nil
+	}
+	return l.OpenSinkRotating(path, max)
+}
+
+// rotateLocked renames the live file to path+".1" and reopens a fresh
+// one. Called with l.mu held once sinkSize crosses sinkMax.
+func (l *AuditLog) rotateLocked() {
+	if l.closeSink != nil {
+		l.closeSink()
+	}
+	if err := os.Rename(l.sinkPath, l.sinkPath+".1"); err != nil {
+		l.sinkErrs++
+	}
+	f, err := os.OpenFile(l.sinkPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.sink = nil
+		l.closeSink = nil
+		l.sinkErrs++
+		return
+	}
+	l.sink = f
+	l.closeSink = f.Close
+	l.sinkSize = 0
 }
 
 // CloseSink detaches and closes a file sink opened with OpenSink.
@@ -150,6 +210,11 @@ func (l *AuditLog) Append(d Decision) {
 		}
 		if err != nil {
 			l.sinkErrs++
+		} else {
+			l.sinkSize += int64(len(line))
+			if l.sinkMax > 0 && l.sinkPath != "" && l.sinkSize >= l.sinkMax {
+				l.rotateLocked()
+			}
 		}
 	}
 	l.mu.Unlock()

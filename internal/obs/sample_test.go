@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSampleRateRecordsOneInN(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetSampleRate(3)
+	for i := 0; i < 9; i++ {
+		_, s := r.Start(context.Background(), "fresh")
+		s.End()
+	}
+	if got := len(r.Spans()); got != 3 {
+		t.Fatalf("rate 3 over 9 fresh traces recorded %d spans, want 3", got)
+	}
+}
+
+func TestSampleRateOneRecordsAll(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetSampleRate(1)
+	for i := 0; i < 5; i++ {
+		_, s := r.Start(context.Background(), "fresh")
+		s.End()
+	}
+	if got := len(r.Spans()); got != 5 {
+		t.Fatalf("rate 1 recorded %d of 5, want all", got)
+	}
+	if r.SampleRate() != 1 {
+		t.Fatalf("SampleRate = %d", r.SampleRate())
+	}
+}
+
+// TestSampleRateHonorsIncomingHeader: the sampling knob governs only
+// traces born here. A request arriving with a valid Sf-Trace header
+// was sampled at its origin edge and must always be recorded, at any
+// local rate.
+func TestSampleRateHonorsIncomingHeader(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetSampleRate(1_000_000)
+	for i := 0; i < 4; i++ {
+		_, s := r.StartFromHeader(context.Background(), "deadbeefdeadbeef-cafecafecafecafe", "edge")
+		s.End()
+	}
+	if got := len(r.Spans()); got != 4 {
+		t.Fatalf("incoming traces recorded %d of 4 at rate 1e6, want all", got)
+	}
+}
+
+// TestUnsampledTraceDoesNotPropagate: an unsampled trace must not
+// emit an Sf-Trace header, or the downstream edge would honor it and
+// record a torn half-trace. Children inherit the unsampled bit.
+func TestUnsampledTraceDoesNotPropagate(t *testing.T) {
+	r := NewRecorder(0)
+	r.SetSampleRate(1_000_000)
+	// sampleSeq starts at 0; the 1-in-N slot is seq%N==1, so the very
+	// first fresh trace IS sampled. Burn it, then test an unsampled one.
+	_, first := r.Start(context.Background(), "sampled")
+	first.End()
+	ctx, s := r.Start(context.Background(), "unsampled")
+	if h := s.Header(); h != "" {
+		t.Fatalf("unsampled span emitted header %q", h)
+	}
+	_, child := r.Start(ctx, "child")
+	if h := child.Header(); h != "" {
+		t.Fatalf("child of unsampled span emitted header %q", h)
+	}
+	child.End()
+	s.End()
+	if got := len(r.Spans()); got != 1 {
+		t.Fatalf("recorded %d spans, want only the first sampled one", got)
+	}
+	// The sampled trace still propagates.
+	if first.Header() == "" {
+		t.Fatal("sampled span lost its header")
+	}
+}
+
+func TestAuditSinkRotatesBySize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	l := NewAuditLog(0)
+	// Each decision line is well over 60 bytes; a 400-byte cap forces
+	// rotation within a handful of appends.
+	if err := l.OpenSinkRotating(path, 400); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		l.Append(Decision{Layer: "test", Op: "op", Verdict: VerdictAdmit, Time: time.Unix(1, 0)})
+	}
+	if err := l.CloseSink(); err != nil {
+		t.Fatal(err)
+	}
+	live, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("live file missing after rotation: %v", err)
+	}
+	rotated, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("rotated generation missing: %v", err)
+	}
+	if len(live) >= 400+200 {
+		t.Fatalf("live file grew to %d bytes despite 400-byte cap", len(live))
+	}
+	// No line may be torn in half by rotation: every chunk both files
+	// hold is complete JSON lines.
+	for _, chunk := range []string{string(live), string(rotated)} {
+		if chunk == "" {
+			continue
+		}
+		if !strings.HasSuffix(chunk, "\n") {
+			t.Fatalf("torn trailing line: %q", chunk[len(chunk)-40:])
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(chunk, "\n"), "\n") {
+			if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+				t.Fatalf("torn JSON line %q", line)
+			}
+		}
+	}
+	// All 40 decisions survive across the two generations... minus the
+	// generations dropped when .1 was overwritten. At minimum the live
+	// file plus newest rotation hold the most recent writes.
+	total := strings.Count(string(live), "\n") + strings.Count(string(rotated), "\n")
+	if total == 0 {
+		t.Fatal("no decisions on disk")
+	}
+}
+
+// TestAuditSinkReopen simulates external rotation: move the live file
+// aside, call Reopen (the SIGHUP hook), and decisions must land in a
+// fresh file at the original path.
+func TestAuditSinkReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	l := NewAuditLog(0)
+	if err := l.OpenSink(path); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Decision{Layer: "test", Verdict: VerdictDeny})
+	moved := filepath.Join(dir, "audit.jsonl.old")
+	if err := os.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Decision{Layer: "test", Verdict: VerdictAdmit})
+	if err := l.CloseSink(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no fresh file after Reopen: %v", err)
+	}
+	if !strings.Contains(string(fresh), `"admit"`) {
+		t.Fatalf("post-reopen decision missing from fresh file: %q", fresh)
+	}
+	old, err := os.ReadFile(moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(old), `"deny"`) {
+		t.Fatalf("pre-reopen decision missing from moved file: %q", old)
+	}
+	// Reopen with no file sink is a no-op, not an error.
+	plain := NewAuditLog(0)
+	if err := plain.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -51,6 +52,14 @@ type Recorder struct {
 	next    int
 	full    bool
 	dropped uint64
+
+	// sampleEvery is the head-sampling rate: a fresh trace (one not
+	// continuing an incoming Sf-Trace header) is recorded when the
+	// fresh-trace counter hits a 1-in-sampleEvery slot. 0 or 1 means
+	// record everything. Incoming traces are always honored — the
+	// upstream edge already made the sampling decision.
+	sampleEvery atomic.Uint64
+	sampleSeq   atomic.Uint64
 }
 
 // DefaultRingSize bounds a Recorder built with NewRecorder(0).
@@ -104,6 +113,39 @@ func (r *Recorder) TraceSpans(trace string) []Span {
 	return out
 }
 
+// SetSampleRate sets head sampling to record 1 in n fresh traces
+// (n <= 1 records every trace). Spans joining an incoming Sf-Trace
+// header are always recorded regardless of the rate: the edge that
+// minted the trace made the decision, and dropping mid-trace spans
+// would leave torn trees. Safe to change at runtime.
+func (r *Recorder) SetSampleRate(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.sampleEvery.Store(uint64(n))
+}
+
+// SampleRate reports the current 1-in-N fresh-trace sampling rate.
+func (r *Recorder) SampleRate() int {
+	n := r.sampleEvery.Load()
+	if n < 1 {
+		return 1
+	}
+	return int(n)
+}
+
+// sampleFresh decides whether the next fresh trace is recorded:
+// deterministically one in every sampleEvery, so a rate of N keeps
+// exactly 1/N of a steady request stream rather than a random coin's
+// long droughts.
+func (r *Recorder) sampleFresh() bool {
+	n := r.sampleEvery.Load()
+	if n <= 1 {
+		return true
+	}
+	return r.sampleSeq.Add(1)%n == 1
+}
+
 // Dropped reports how many spans the ring has evicted.
 func (r *Recorder) Dropped() uint64 {
 	r.mu.Lock()
@@ -130,6 +172,11 @@ type ActiveSpan struct {
 	mu    sync.Mutex
 	span  Span
 	ended bool
+	// unsampled marks a span whose trace lost the head-sampling draw:
+	// it times and attributes normally but End discards it, children
+	// inherit the bit, and Header returns "" so the decision
+	// propagates (downstream edges see no header and sample afresh).
+	unsampled bool
 }
 
 // Start opens a span in this recorder. If ctx already carries an
@@ -141,8 +188,10 @@ func (r *Recorder) Start(ctx context.Context, name string) (context.Context, *Ac
 	if parent := FromContext(ctx); parent != nil && parent.span.Trace != "" {
 		s.span.Trace = parent.span.Trace
 		s.span.Parent = parent.span.ID
+		s.unsampled = parent.unsampled
 	} else {
 		s.span.Trace = NewTraceID()
+		s.unsampled = !r.sampleFresh()
 	}
 	return ContextWith(ctx, s), s
 }
@@ -157,6 +206,7 @@ func (r *Recorder) StartFromHeader(ctx context.Context, header, name string) (co
 		s.span.Parent = parent
 	} else {
 		s.span.Trace = NewTraceID()
+		s.unsampled = !r.sampleFresh()
 	}
 	return ContextWith(ctx, s), s
 }
@@ -210,8 +260,9 @@ func (s *ActiveSpan) End() {
 	s.span.Duration = time.Since(s.span.Start)
 	sp := s.span
 	rec := s.rec
+	unsampled := s.unsampled
 	s.mu.Unlock()
-	if rec != nil {
+	if rec != nil && !unsampled {
 		rec.record(sp)
 	}
 }
@@ -240,9 +291,11 @@ func FromContext(ctx context.Context) *ActiveSpan {
 	return s
 }
 
-// Header renders the span as an Sf-Trace header value ("" on nil).
+// Header renders the span as an Sf-Trace header value ("" on nil and
+// on unsampled spans — an unrecorded trace must not be propagated, or
+// downstream edges would honor it and record torn half-traces).
 func (s *ActiveSpan) Header() string {
-	if s == nil {
+	if s == nil || s.unsampled {
 		return ""
 	}
 	return s.span.Trace + "-" + s.span.ID

@@ -25,7 +25,7 @@ import (
 // are equal.
 type Principal interface {
 	// Sexp returns the canonical S-expression form.
-	Sexp() *sexp.Sexp
+	Sexp() sexp.Sexp
 	// Key returns the canonical encoding as a string.
 	Key() string
 	// String returns a compact human-readable rendering.
@@ -36,6 +36,18 @@ type Principal interface {
 func Equal(a, b Principal) bool {
 	if a == nil || b == nil {
 		return a == nil && b == nil
+	}
+	// Direct comparisons for the two principal kinds that dominate
+	// proof chains, avoiding the wire-form rebuild Key() implies.
+	switch pa := a.(type) {
+	case Key:
+		if pb, ok := b.(Key); ok {
+			return pa.Pub.Equal(pb.Pub)
+		}
+	case Hash:
+		if pb, ok := b.(Hash); ok {
+			return pa.Alg == pb.Alg && bytes.Equal(pa.Digest, pb.Digest)
+		}
 	}
 	return a.Key() == b.Key()
 }
@@ -50,7 +62,7 @@ type Key struct {
 // KeyOf wraps a public key as a principal.
 func KeyOf(pub sfkey.PublicKey) Key { return Key{Pub: pub} }
 
-func (k Key) Sexp() *sexp.Sexp { return k.Pub.Sexp() }
+func (k Key) Sexp() sexp.Sexp { return k.Pub.Sexp() }
 func (k Key) Key() string      { return k.Sexp().Key() }
 func (k Key) String() string   { return "K(" + k.Pub.Fingerprint() + ")" }
 
@@ -77,11 +89,11 @@ func HashOfBytes(b []byte) Hash {
 
 // HashOfSexp returns the hash principal of an S-expression's
 // canonical form.
-func HashOfSexp(e *sexp.Sexp) Hash {
+func HashOfSexp(e sexp.Sexp) Hash {
 	return Hash{Alg: sfkey.HashAlg, Digest: sfkey.HashBytes(e.Canonical())}
 }
 
-func (h Hash) Sexp() *sexp.Sexp {
+func (h Hash) Sexp() sexp.Sexp {
 	return sexp.List(sexp.String("hash"), sexp.String(h.Alg), sexp.Atom(h.Digest))
 }
 func (h Hash) Key() string { return h.Sexp().Key() }
@@ -107,8 +119,8 @@ func NameOf(base Principal, path ...string) Name {
 	return Name{Base: base, Path: path}
 }
 
-func (n Name) Sexp() *sexp.Sexp {
-	kids := []*sexp.Sexp{sexp.String("name"), n.Base.Sexp()}
+func (n Name) Sexp() sexp.Sexp {
+	kids := []sexp.Sexp{sexp.String("name"), n.Base.Sexp()}
 	for _, p := range n.Path {
 		kids = append(kids, sexp.String(p))
 	}
@@ -144,12 +156,12 @@ func ThresholdOf(k int, parts ...Principal) Conj {
 	return Conj{K: k, Parts: ps}
 }
 
-func (c Conj) Sexp() *sexp.Sexp {
+func (c Conj) Sexp() sexp.Sexp {
 	k := c.K
 	if k == 0 {
 		k = len(c.Parts)
 	}
-	kids := []*sexp.Sexp{
+	kids := []sexp.Sexp{
 		sexp.String("k-of-n"),
 		sexp.String(strconv.Itoa(k)),
 		sexp.String(strconv.Itoa(len(c.Parts))),
@@ -195,7 +207,7 @@ func QuoteOf(quoter, quotee Principal) Quote {
 	return Quote{Quoter: quoter, Quotee: quotee}
 }
 
-func (q Quote) Sexp() *sexp.Sexp {
+func (q Quote) Sexp() sexp.Sexp {
 	return sexp.List(sexp.String("quoting"), q.Quoter.Sexp(), q.Quotee.Sexp())
 }
 func (q Quote) Key() string    { return q.Sexp().Key() }
@@ -223,7 +235,7 @@ func ChannelOf(kind string, binding []byte) Channel {
 	return Channel{Kind: kind, Binding: append([]byte(nil), binding...)}
 }
 
-func (c Channel) Sexp() *sexp.Sexp {
+func (c Channel) Sexp() sexp.Sexp {
 	return sexp.List(sexp.String("channel"), sexp.String(c.Kind), sexp.Atom(c.Binding))
 }
 func (c Channel) Key() string { return c.Sexp().Key() }
@@ -250,7 +262,7 @@ func MACOf(secret []byte) MAC {
 	return MAC{KeyHash: sfkey.HashBytes(secret)}
 }
 
-func (m MAC) Sexp() *sexp.Sexp {
+func (m MAC) Sexp() sexp.Sexp {
 	return sexp.List(sexp.String("mac"), sexp.String(sfkey.HashAlg), sexp.Atom(m.KeyHash))
 }
 func (m MAC) Key() string { return m.Sexp().Key() }
@@ -270,7 +282,7 @@ func (m MAC) String() string {
 // round trip to discover the client's identity.
 type Pseudo struct{}
 
-func (Pseudo) Sexp() *sexp.Sexp { return sexp.List(sexp.String("pseudo")) }
+func (Pseudo) Sexp() sexp.Sexp { return sexp.List(sexp.String("pseudo")) }
 func (p Pseudo) Key() string    { return p.Sexp().Key() }
 func (Pseudo) String() string   { return "?" }
 
@@ -301,8 +313,8 @@ func SubstitutePseudo(p, actual Principal) Principal {
 // --- parsing ------------------------------------------------------------
 
 // FromSexp decodes any principal form.
-func FromSexp(e *sexp.Sexp) (Principal, error) {
-	if e == nil || !e.IsList {
+func FromSexp(e sexp.Sexp) (Principal, error) {
+	if e == nil || !e.IsList() {
 		return nil, fmt.Errorf("principal: not a principal expression")
 	}
 	switch e.Tag() {
@@ -316,7 +328,7 @@ func FromSexp(e *sexp.Sexp) (Principal, error) {
 		if e.Len() != 3 || !e.Nth(1).IsAtom() || !e.Nth(2).IsAtom() {
 			return nil, fmt.Errorf("principal: malformed hash")
 		}
-		return Hash{Alg: e.Nth(1).Text(), Digest: append([]byte(nil), e.Nth(2).Octets...)}, nil
+		return Hash{Alg: e.Nth(1).Text(), Digest: append([]byte(nil), e.Nth(2).Bytes()...)}, nil
 	case "name":
 		if e.Len() < 3 {
 			return nil, fmt.Errorf("principal: malformed name")
@@ -374,12 +386,12 @@ func FromSexp(e *sexp.Sexp) (Principal, error) {
 		if e.Len() != 3 || !e.Nth(1).IsAtom() || !e.Nth(2).IsAtom() {
 			return nil, fmt.Errorf("principal: malformed channel")
 		}
-		return Channel{Kind: e.Nth(1).Text(), Binding: append([]byte(nil), e.Nth(2).Octets...)}, nil
+		return Channel{Kind: e.Nth(1).Text(), Binding: append([]byte(nil), e.Nth(2).Bytes()...)}, nil
 	case "mac":
 		if e.Len() != 3 || !e.Nth(1).IsAtom() || !e.Nth(2).IsAtom() {
 			return nil, fmt.Errorf("principal: malformed mac")
 		}
-		return MAC{KeyHash: append([]byte(nil), e.Nth(2).Octets...)}, nil
+		return MAC{KeyHash: append([]byte(nil), e.Nth(2).Bytes()...)}, nil
 	case "pseudo":
 		return Pseudo{}, nil
 	default:

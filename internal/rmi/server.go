@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cert"
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -483,7 +484,9 @@ func (s *Server) AcceptProof(raw []byte) error {
 	s.stats.ProofSubmits++
 	ctx := s.verifyContextLocked()
 	s.stats.ProofVerifies++
-	if err := p.Verify(ctx); err != nil {
+	// Chain verify with the certificate leaves batched: one aggregate
+	// signature pass instead of one check per delegation in the chain.
+	if err := cert.VerifyChain(ctx, p); err != nil {
 		return fmt.Errorf("rmi: proof does not verify: %w", err)
 	}
 	subj := p.Conclusion().Subject.Key()

@@ -30,6 +30,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"flag"
 	"log"
 	"log/slog"
 	"net"
@@ -231,6 +232,50 @@ func (rt *Runtime) Audit() *obs.AuditLog {
 		m.Register(AuditCollector(rt.audit))
 	}
 	return rt.audit
+}
+
+// ObsFlags bundles the observability knobs every daemon exposes the
+// same way: the audit JSONL sink, its size-rotation bound, and the
+// trace head-sampling rate. RegisterObsFlags declares them before
+// flag.Parse; Wire applies them to the runtime after.
+type ObsFlags struct {
+	AuditLog    *string
+	AuditLogMax *int64
+	TraceSample *int
+}
+
+// RegisterObsFlags declares the shared observability flags on the
+// default flag set.
+func RegisterObsFlags() *ObsFlags {
+	return &ObsFlags{
+		AuditLog:    flag.String("audit-log", "", "append authorization decisions as JSONL to this file (empty = ring only)"),
+		AuditLogMax: flag.Int64("audit-log-max", 0, "rotate -audit-log to <path>.1 once it reaches this many bytes (0 = never)"),
+		TraceSample: flag.Int("trace-sample", 1, "record 1 in N freshly started traces; incoming Sf-Trace headers are always honored (1 = record all)"),
+	}
+}
+
+// Wire applies the parsed flags: sets the tracer's sampling rate and,
+// when -audit-log is set, opens the (possibly rotating) sink, hooks
+// SIGHUP to reopen it (so external logrotate works), and closes it on
+// shutdown.
+func (f *ObsFlags) Wire(rt *Runtime) error {
+	rt.Tracer().SetSampleRate(*f.TraceSample)
+	if *f.AuditLog == "" {
+		return nil
+	}
+	path := *f.AuditLog
+	if err := rt.Audit().OpenSinkRotating(path, *f.AuditLogMax); err != nil {
+		return err
+	}
+	rt.OnSIGHUP(func() {
+		if err := rt.Audit().Reopen(); err != nil {
+			rt.logf("SIGHUP audit reopen: %v", err)
+			return
+		}
+		rt.logf("SIGHUP reopened audit log %s", path)
+	})
+	rt.OnShutdown(func() { rt.Audit().CloseSink() })
+	return nil
 }
 
 // Latencies is the standard set of mesh latency histograms every

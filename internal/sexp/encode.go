@@ -1,117 +1,96 @@
 package sexp
 
 import (
-	"bytes"
 	"encoding/base64"
 	"fmt"
-	"strconv"
+	"sync"
 )
 
-// Canonical returns the canonical encoding of s: atoms as
-// "[hint]<len>:<octets>" verbatim strings, lists parenthesized. The
-// canonical form is the input to hashing and signing.
-func (s *Sexp) Canonical() []byte {
-	var buf bytes.Buffer
-	s.canonicalTo(&buf)
-	return buf.Bytes()
-}
+// Encoding is append-based: every node knows how to append its
+// canonical and advanced forms onto a caller's buffer, Canonical()
+// allocates exactly once at the size FormatLen precomputes, and hot
+// paths (framing, hashing, signing) borrow pooled buffers so a warm
+// encode allocates nothing.
 
-func (s *Sexp) canonicalTo(buf *bytes.Buffer) {
+// AppendCanonical appends the canonical encoding of s to dst and
+// returns the extended slice; useful for building signing buffers and
+// frames without intermediate allocation.
+func AppendCanonical(dst []byte, s Sexp) []byte {
 	if s == nil {
-		return
+		return dst
 	}
-	if !s.IsList {
-		if s.Hint != "" {
-			buf.WriteByte('[')
-			writeVerbatim(buf, []byte(s.Hint))
-			buf.WriteByte(']')
-		}
-		writeVerbatim(buf, s.Octets)
-		return
-	}
-	buf.WriteByte('(')
-	for _, c := range s.List {
-		c.canonicalTo(buf)
-	}
-	buf.WriteByte(')')
+	return s.appendCanonical(dst)
 }
 
-func writeVerbatim(buf *bytes.Buffer, b []byte) {
-	buf.WriteString(strconv.Itoa(len(b)))
-	buf.WriteByte(':')
-	buf.Write(b)
+// bufPool recycles encode scratch. Buffers are stored via pointer so
+// Put does not allocate a slice header box.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+func getBuf() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
 }
 
-// Transport returns the transport encoding: the canonical form,
+func putBuf(b []byte) {
+	if cap(b) > MaxTotal {
+		return // don't park pathological buffers in the pool
+	}
+	bufPool.Put(&b)
+}
+
+// GetBuf borrows a pooled byte buffer (length 0) for append-based
+// encoding; pair with PutBuf on the final slice once its contents
+// have been consumed.
+func GetBuf() []byte { return getBuf() }
+
+// PutBuf returns an encode buffer (or any append-grown descendant of
+// one) to the pool.
+func PutBuf(b []byte) { putBuf(b) }
+
+// transportOf builds the transport encoding: the canonical form,
 // base64-encoded and wrapped in braces. Transport form survives
 // transfer through protocols that mangle binary data (HTTP headers,
 // mail, cut-and-paste), per section 2.4 of the paper.
-func (s *Sexp) Transport() []byte {
-	can := s.Canonical()
+func transportOf(s Sexp) []byte {
+	can := getBuf()
+	can = s.appendCanonical(can)
 	out := make([]byte, base64.StdEncoding.EncodedLen(len(can))+2)
 	out[0] = '{'
 	base64.StdEncoding.Encode(out[1:], can)
 	out[len(out)-1] = '}'
+	putBuf(can)
 	return out
 }
 
-// Advanced returns the human-readable advanced encoding: token atoms
-// bare, printable atoms quoted, binary atoms |base64|.
-func (s *Sexp) Advanced() []byte {
-	var buf bytes.Buffer
-	s.advancedTo(&buf)
-	return buf.Bytes()
-}
-
-func (s *Sexp) advancedTo(buf *bytes.Buffer) {
-	if s == nil {
-		return
-	}
-	if !s.IsList {
-		if s.Hint != "" {
-			buf.WriteByte('[')
-			writeAdvancedAtom(buf, []byte(s.Hint))
-			buf.WriteByte(']')
-		}
-		writeAdvancedAtom(buf, s.Octets)
-		return
-	}
-	buf.WriteByte('(')
-	for i, c := range s.List {
-		if i > 0 {
-			buf.WriteByte(' ')
-		}
-		c.advancedTo(buf)
-	}
-	buf.WriteByte(')')
-}
-
-func writeAdvancedAtom(buf *bytes.Buffer, b []byte) {
+// appendAdvancedAtom appends one atom body in advanced form: token
+// atoms bare, printable atoms quoted, binary atoms |base64|.
+func appendAdvancedAtom(dst, b []byte) []byte {
 	switch {
 	case isToken(b):
-		buf.Write(b)
+		return append(dst, b...)
 	case isQuotable(b):
-		buf.WriteByte('"')
+		dst = append(dst, '"')
 		for _, c := range b {
 			switch c {
 			case '"', '\\':
-				buf.WriteByte('\\')
-				buf.WriteByte(c)
+				dst = append(dst, '\\', c)
 			case '\n':
-				buf.WriteString(`\n`)
+				dst = append(dst, '\\', 'n')
 			case '\r':
-				buf.WriteString(`\r`)
+				dst = append(dst, '\\', 'r')
 			case '\t':
-				buf.WriteString(`\t`)
+				dst = append(dst, '\\', 't')
 			default:
-				buf.WriteByte(c)
+				dst = append(dst, c)
 			}
 		}
-		buf.WriteByte('"')
+		return append(dst, '"')
 	default:
-		buf.WriteByte('|')
-		buf.WriteString(base64.StdEncoding.EncodeToString(b))
-		buf.WriteByte('|')
+		dst = append(dst, '|')
+		dst = base64.StdEncoding.AppendEncode(dst, b)
+		return append(dst, '|')
 	}
 }
 
@@ -156,43 +135,9 @@ func isQuotable(b []byte) bool {
 	return true
 }
 
-// AppendCanonical appends the canonical encoding of s to dst and
-// returns the extended slice; useful for building signing buffers
-// without intermediate allocation.
-func AppendCanonical(dst []byte, s *Sexp) []byte {
-	var buf bytes.Buffer
-	buf.Write(dst)
-	s.canonicalTo(&buf)
-	return buf.Bytes()
-}
-
-// FormatLen returns the canonical encoding length without materializing
-// the encoding.
-func (s *Sexp) FormatLen() int {
-	if s == nil {
-		return 0
-	}
-	if !s.IsList {
-		n := verbatimLen(len(s.Octets))
-		if s.Hint != "" {
-			n += 2 + verbatimLen(len(s.Hint))
-		}
-		return n
-	}
-	n := 2
-	for _, c := range s.List {
-		n += c.FormatLen()
-	}
-	return n
-}
-
-func verbatimLen(n int) int {
-	return len(strconv.Itoa(n)) + 1 + n
-}
-
-// mustFit panics when FormatLen disagrees with the materialized
-// canonical length; used only under testing builds via ValidateLen.
-func (s *Sexp) validateLen() error {
+// validateLen reports when FormatLen disagrees with the materialized
+// canonical length; the tests run every shape through it.
+func validateLen(s Sexp) error {
 	if got, want := len(s.Canonical()), s.FormatLen(); got != want {
 		return fmt.Errorf("sexp: FormatLen mismatch got %d want %d", want, got)
 	}

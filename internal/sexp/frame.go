@@ -32,14 +32,18 @@ const FrameHeaderLen = 8
 var ErrFrameCorrupt = errors.New("sexp: corrupt frame")
 
 // AppendFrame appends the framed canonical encoding of e to dst and
-// returns the extended slice.
-func AppendFrame(dst []byte, e *Sexp) []byte {
-	payload := e.Canonical()
+// returns the extended slice. The payload is encoded in place after a
+// reserved header, so a warm append with spare capacity allocates
+// nothing.
+func AppendFrame(dst []byte, e Sexp) []byte {
+	start := len(dst)
 	var hdr [FrameHeaderLen]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
 	dst = append(dst, hdr[:]...)
-	return append(dst, payload...)
+	dst = e.appendCanonical(dst)
+	payload := dst[start+FrameHeaderLen:]
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return dst
 }
 
 // ReadFrame reads one framed expression from r, returning it with the
@@ -47,7 +51,36 @@ func AppendFrame(dst []byte, e *Sexp) []byte {
 // io.EOF with n == 0; a frame that starts but cannot be completed and
 // validated returns an error wrapping ErrFrameCorrupt, and the reader
 // must discard everything from the frame's first byte on.
-func ReadFrame(r io.Reader) (e *Sexp, n int, err error) {
+//
+// The returned expression owns its memory. Bulk readers that only need
+// each record transiently should prefer FrameReader, which recycles
+// the payload buffer and parse arena between records.
+func ReadFrame(r io.Reader) (e Sexp, n int, err error) {
+	var fr FrameReader
+	return fr.read(r, false)
+}
+
+// FrameReader streams frames with a reusable payload buffer and parse
+// arena: a replay loop reading millions of records does a handful of
+// allocations total instead of a handful per record.
+//
+// The expression returned by Next borrows both the reader's payload
+// buffer and its arena, so it is valid only until the next call to
+// Next; callers that retain a record past that point must Copy() it
+// (the typed decoders in cert/core already copy everything they keep).
+type FrameReader struct {
+	payload []byte
+	arena   Arena
+}
+
+// Next reads one frame from r with the same contract as ReadFrame,
+// except that the returned expression is only valid until the
+// following call to Next.
+func (fr *FrameReader) Next(r io.Reader) (e Sexp, n int, err error) {
+	return fr.read(r, true)
+}
+
+func (fr *FrameReader) read(r io.Reader, reuse bool) (e Sexp, n int, err error) {
 	var hdr [FrameHeaderLen]byte
 	hn, err := io.ReadFull(r, hdr[:])
 	if err == io.EOF {
@@ -60,7 +93,15 @@ func ReadFrame(r io.Reader) (e *Sexp, n int, err error) {
 	if size > MaxTotal {
 		return nil, hn, fmt.Errorf("%w: payload length %d exceeds %d", ErrFrameCorrupt, size, MaxTotal)
 	}
-	payload := make([]byte, size)
+	var payload []byte
+	if reuse {
+		if cap(fr.payload) < int(size) {
+			fr.payload = make([]byte, size)
+		}
+		payload = fr.payload[:size]
+	} else {
+		payload = make([]byte, size)
+	}
 	pn, err := io.ReadFull(r, payload)
 	if err != nil {
 		return nil, hn + pn, fmt.Errorf("%w: torn payload (%d of %d bytes)", ErrFrameCorrupt, pn, size)
@@ -68,7 +109,12 @@ func ReadFrame(r io.Reader) (e *Sexp, n int, err error) {
 	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(hdr[4:8]); got != want {
 		return nil, hn + pn, fmt.Errorf("%w: CRC mismatch (%08x != %08x)", ErrFrameCorrupt, got, want)
 	}
-	e, err = ParseOne(payload)
+	if reuse {
+		fr.arena.Reset()
+		e, err = fr.arena.ParseOne(payload)
+	} else {
+		e, err = ParseOne(payload)
+	}
 	if err != nil {
 		return nil, hn + pn, fmt.Errorf("%w: %v", ErrFrameCorrupt, err)
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 func TestFrameRoundTrip(t *testing.T) {
-	exprs := []*Sexp{
+	exprs := []Sexp{
 		String("hello"),
 		List(String("cert"), Atom([]byte{0, 1, 2, 0xff})),
 		List(String("nested"), List(String("a"), String("b")), HintedAtom("text/plain", []byte("x"))),
@@ -51,6 +51,33 @@ func TestFrameTornTail(t *testing.T) {
 		if !errors.Is(err, ErrFrameCorrupt) {
 			t.Fatalf("cut %d: second frame err = %v, want ErrFrameCorrupt", cut, err)
 		}
+	}
+}
+
+func TestFrameReaderStreams(t *testing.T) {
+	// FrameReader must agree with ReadFrame while recycling its buffers,
+	// and each returned expression is only valid until the next call —
+	// so consume (Copy) before advancing.
+	var buf []byte
+	var want []Sexp
+	for i := 0; i < 50; i++ {
+		e := List(String("rec"), Atom(bytes.Repeat([]byte{byte(i)}, i)))
+		want = append(want, e)
+		buf = AppendFrame(buf, e)
+	}
+	r := bytes.NewReader(buf)
+	var fr FrameReader
+	for i, w := range want {
+		got, _, err := fr.Next(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !Equal(got, w) {
+			t.Fatalf("record %d: got %s want %s", i, got, w)
+		}
+	}
+	if _, n, err := fr.Next(r); err != io.EOF || n != 0 {
+		t.Fatalf("at end: n=%d err=%v, want clean EOF", n, err)
 	}
 }
 

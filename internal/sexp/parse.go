@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Limits protecting the parser against hostile input. Proof objects
@@ -13,7 +14,10 @@ import (
 const (
 	// MaxAtomLen bounds a single atom.
 	MaxAtomLen = 1 << 20
-	// MaxDepth bounds list nesting.
+	// MaxDepth bounds list nesting. The parser is iterative (an
+	// explicit mark stack, not recursion), so a deeply nested hostile
+	// payload is rejected by this limit rather than by stack
+	// exhaustion of the daemon that parses it.
 	MaxDepth = 128
 	// MaxTotal bounds the total encoded input accepted.
 	MaxTotal = 8 << 20
@@ -22,34 +26,84 @@ const (
 // ErrTruncated is returned when input ends mid-expression.
 var ErrTruncated = errors.New("sexp: truncated input")
 
-type parser struct {
-	in  []byte
-	pos int
+// Arena is reusable parser scratch: node slabs the parsed tree lives
+// in and a byte slab that decoded atoms (quoted escapes, |base64|,
+// #hex#, transport payloads) borrow from. Parsing through a warm
+// Arena allocates nothing on the happy path.
+//
+// Everything an Arena's Parse returns — nodes and atom octets alike —
+// is valid only until the next Reset (or the Put that implies it).
+// Callers that retain any part of a parse must Copy it first; the
+// typed decoders (cert, principal, tag, ...) already copy what they
+// keep. An Arena is not safe for concurrent use.
+type Arena struct {
+	atoms []AtomVal
+	lists []ListVal
+	elems []Sexp
+	stack []Sexp
+	marks []int
+	buf   []byte
+}
+
+// Reset invalidates every expression the Arena has returned and
+// reclaims its scratch for the next parse.
+func (a *Arena) Reset() {
+	a.atoms = a.atoms[:0]
+	a.lists = a.lists[:0]
+	a.elems = a.elems[:0]
+	a.stack = a.stack[:0]
+	a.marks = a.marks[:0]
+	a.buf = a.buf[:0]
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// GetArena borrows a pooled Arena. Pair with PutArena once nothing
+// from its parses is referenced anymore.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// PutArena resets a and returns it to the pool. Expressions parsed
+// through a are invalid afterwards.
+func PutArena(a *Arena) {
+	a.Reset()
+	arenaPool.Put(a)
 }
 
 // Parse decodes one S-expression in canonical, transport, or advanced
 // form (auto-detected) and returns it along with the number of input
-// bytes consumed.
-func Parse(in []byte) (*Sexp, int, error) {
-	if len(in) > MaxTotal {
-		return nil, 0, fmt.Errorf("sexp: input exceeds %d bytes", MaxTotal)
-	}
-	p := &parser{in: in}
-	p.skipSpace()
-	if p.pos < len(p.in) && p.in[p.pos] == '{' {
-		return p.parseTransport()
-	}
-	s, err := p.parse(0)
-	if err != nil {
-		return nil, p.pos, err
-	}
-	return s, p.pos, nil
+// bytes consumed. The result borrows from in (see the package
+// comment on buffer ownership).
+func Parse(in []byte) (Sexp, int, error) {
+	return new(Arena).Parse(in)
 }
 
 // ParseOne is Parse but requires the input to contain exactly one
 // expression with nothing but whitespace after it.
-func ParseOne(in []byte) (*Sexp, error) {
-	s, n, err := Parse(in)
+func ParseOne(in []byte) (Sexp, error) {
+	return new(Arena).ParseOne(in)
+}
+
+// Parse decodes one expression from in, borrowing octets from in and
+// node storage from the arena. Valid until the arena's next Reset.
+func (a *Arena) Parse(in []byte) (Sexp, int, error) {
+	if len(in) > MaxTotal {
+		return nil, 0, fmt.Errorf("sexp: input exceeds %d bytes", MaxTotal)
+	}
+	pos := skipSpace(in, 0)
+	if pos < len(in) && in[pos] == '{' {
+		return a.parseTransport(in, pos)
+	}
+	s, n, err := a.run(in, pos)
+	if err != nil {
+		return nil, n, err
+	}
+	return s, n, nil
+}
+
+// ParseOne is Parse but requires exactly one expression with nothing
+// but whitespace after it.
+func (a *Arena) ParseOne(in []byte) (Sexp, error) {
+	s, n, err := a.Parse(in)
 	if err != nil {
 		return nil, err
 	}
@@ -61,239 +115,300 @@ func ParseOne(in []byte) (*Sexp, error) {
 	return s, nil
 }
 
-func (p *parser) parseTransport() (*Sexp, int, error) {
-	start := p.pos
-	p.pos++ // '{'
-	end := p.pos
-	for end < len(p.in) && p.in[end] != '}' {
+// parseTransport decodes a {base64} wrapper into the arena's byte
+// slab and parses the canonical payload inside it.
+func (a *Arena) parseTransport(in []byte, pos int) (Sexp, int, error) {
+	start := pos
+	pos++ // '{'
+	end := pos
+	for end < len(in) && in[end] != '}' {
 		end++
 	}
-	if end >= len(p.in) {
+	if end >= len(in) {
 		return nil, start, ErrTruncated
 	}
-	raw := make([]byte, 0, len(p.in[p.pos:end]))
-	for _, c := range p.in[p.pos:end] {
+	rawStart := len(a.buf)
+	for _, c := range in[pos:end] {
 		if !isSpace(c) {
-			raw = append(raw, c)
+			a.buf = append(a.buf, c)
 		}
 	}
-	dec := make([]byte, base64.StdEncoding.DecodedLen(len(raw)))
-	n, err := base64.StdEncoding.Decode(dec, raw)
+	raw := a.buf[rawStart:]
+	decStart := len(a.buf)
+	a.buf = grow(a.buf, base64.StdEncoding.DecodedLen(len(raw)))
+	// grow may relocate the slab; re-slice raw against the new backing.
+	raw = a.buf[rawStart:decStart]
+	dst := a.buf[decStart : decStart+base64.StdEncoding.DecodedLen(len(raw))]
+	n, err := base64.StdEncoding.Decode(dst, raw)
 	if err != nil {
 		return nil, start, fmt.Errorf("sexp: bad transport base64: %v", err)
 	}
-	inner := &parser{in: dec[:n]}
-	s, err := inner.parse(0)
+	a.buf = a.buf[:decStart+n]
+	s, _, err := a.run(a.buf[decStart:decStart+n], 0)
 	if err != nil {
 		return nil, start, err
 	}
-	p.pos = end + 1
-	return s, p.pos, nil
+	return s, end + 1, nil
 }
 
-func (p *parser) parse(depth int) (*Sexp, error) {
-	if depth > MaxDepth {
-		return nil, fmt.Errorf("sexp: nesting exceeds %d", MaxDepth)
+// run is the iterative parse loop: '(' pushes a mark, ')' pops one
+// and moves the children collected since into an elems window, atoms
+// land on the stack. Depth is the mark count, bounded by MaxDepth.
+func (a *Arena) run(in []byte, pos int) (Sexp, int, error) {
+	baseMark := len(a.marks)
+	baseStack := len(a.stack)
+	fail := func(err error) (Sexp, int, error) {
+		a.marks = a.marks[:baseMark]
+		a.stack = a.stack[:baseStack]
+		return nil, pos, err
 	}
-	p.skipSpace()
-	if p.pos >= len(p.in) {
-		return nil, ErrTruncated
-	}
-	switch c := p.in[p.pos]; {
-	case c == '(':
-		p.pos++
-		list := []*Sexp{}
-		for {
-			p.skipSpace()
-			if p.pos >= len(p.in) {
-				return nil, ErrTruncated
+	for {
+		pos = skipSpace(in, pos)
+		if pos >= len(in) {
+			return fail(ErrTruncated)
+		}
+		var node Sexp
+		switch c := in[pos]; {
+		case c == '(':
+			if len(a.marks)-baseMark >= MaxDepth {
+				return fail(fmt.Errorf("sexp: nesting exceeds %d", MaxDepth))
 			}
-			if p.in[p.pos] == ')' {
-				p.pos++
-				return &Sexp{IsList: true, List: list}, nil
+			a.marks = append(a.marks, len(a.stack))
+			pos++
+			continue
+		case c == ')':
+			if len(a.marks) == baseMark {
+				return fail(fmt.Errorf("sexp: unexpected ) at byte %d", pos))
 			}
-			child, err := p.parse(depth + 1)
+			mark := a.marks[len(a.marks)-1]
+			a.marks = a.marks[:len(a.marks)-1]
+			start := len(a.elems)
+			a.elems = append(a.elems, a.stack[mark:]...)
+			a.stack = a.stack[:mark]
+			a.lists = append(a.lists, ListVal{elems: a.elems[start:len(a.elems):len(a.elems)]})
+			node = &a.lists[len(a.lists)-1]
+			pos++
+		case c == '[':
+			pos++
+			hint, np, err := a.atomBody(in, pos)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			list = append(list, child)
+			pos = skipSpace(in, np)
+			if pos >= len(in) || in[pos] != ']' {
+				return fail(fmt.Errorf("sexp: unterminated display hint at byte %d", pos))
+			}
+			pos = skipSpace(in, pos+1)
+			body, np2, err := a.atomBody(in, pos)
+			if err != nil {
+				return fail(err)
+			}
+			pos = np2
+			a.atoms = append(a.atoms, AtomVal{octets: body, hint: string(hint)})
+			node = &a.atoms[len(a.atoms)-1]
+		default:
+			body, np, err := a.atomBody(in, pos)
+			if err != nil {
+				return fail(err)
+			}
+			pos = np
+			a.atoms = append(a.atoms, AtomVal{octets: body})
+			node = &a.atoms[len(a.atoms)-1]
 		}
-	case c == '[':
-		p.pos++
-		hint, err := p.parseAtomBody()
-		if err != nil {
-			return nil, err
+		if len(a.marks) == baseMark {
+			return node, pos, nil
 		}
-		p.skipSpace()
-		if p.pos >= len(p.in) || p.in[p.pos] != ']' {
-			return nil, fmt.Errorf("sexp: unterminated display hint at byte %d", p.pos)
-		}
-		p.pos++
-		p.skipSpace()
-		body, err := p.parseAtomBody()
-		if err != nil {
-			return nil, err
-		}
-		return &Sexp{Octets: body, Hint: string(hint)}, nil
-	default:
-		body, err := p.parseAtomBody()
-		if err != nil {
-			return nil, err
-		}
-		return &Sexp{Octets: body}, nil
+		a.stack = append(a.stack, node)
 	}
 }
 
-// parseAtomBody handles verbatim (canonical), token, quoted-string,
-// |base64| and #hex# atoms.
-func (p *parser) parseAtomBody() ([]byte, error) {
-	if p.pos >= len(p.in) {
-		return nil, ErrTruncated
+// atomBody parses one atom at pos, handling verbatim (canonical),
+// token, quoted-string, |base64| and #hex# forms. Verbatim octets and
+// escape-free tokens/strings borrow from in; decoded forms borrow
+// from the arena's byte slab.
+func (a *Arena) atomBody(in []byte, pos int) ([]byte, int, error) {
+	if pos >= len(in) {
+		return nil, pos, ErrTruncated
 	}
-	c := p.in[p.pos]
+	c := in[pos]
 	switch {
 	case c >= '0' && c <= '9':
-		return p.parseVerbatim()
+		return a.parseVerbatim(in, pos)
 	case c == '"':
-		return p.parseQuoted()
+		return a.parseQuoted(in, pos)
 	case c == '|':
-		return p.parseBase64()
+		return a.parseBase64(in, pos)
 	case c == '#':
-		return p.parseHex()
+		return a.parseHex(in, pos)
 	case isTokenChar(c):
-		start := p.pos
-		for p.pos < len(p.in) && isTokenChar(p.in[p.pos]) {
-			p.pos++
+		start := pos
+		for pos < len(in) && isTokenChar(in[pos]) {
+			pos++
 		}
-		return append([]byte(nil), p.in[start:p.pos]...), nil
+		return in[start:pos], pos, nil
 	default:
-		return nil, fmt.Errorf("sexp: unexpected byte %q at %d", c, p.pos)
+		return nil, pos, fmt.Errorf("sexp: unexpected byte %q at %d", c, pos)
 	}
 }
 
 // parseVerbatim parses "<len>:<octets>". When the digits are not
 // followed by ':', they begin a bare token instead (numbers such as
-// "10" inside range tags); canonical encodings always carry the colon,
-// so the forms stay unambiguous.
-func (p *parser) parseVerbatim() ([]byte, error) {
-	start := p.pos
+// "10" inside range tags); canonical encodings always carry the
+// colon, so the forms stay unambiguous.
+func (a *Arena) parseVerbatim(in []byte, pos int) ([]byte, int, error) {
+	start := pos
 	n := 0
 	tooBig := false
-	for p.pos < len(p.in) && p.in[p.pos] >= '0' && p.in[p.pos] <= '9' {
-		n = n*10 + int(p.in[p.pos]-'0')
+	for pos < len(in) && in[pos] >= '0' && in[pos] <= '9' {
+		n = n*10 + int(in[pos]-'0')
 		if n > MaxAtomLen {
 			tooBig = true
 			n = MaxAtomLen + 1
 		}
-		p.pos++
+		pos++
 	}
-	if p.pos >= len(p.in) || p.in[p.pos] != ':' {
-		for p.pos < len(p.in) && isTokenChar(p.in[p.pos]) && p.in[p.pos] != ':' {
-			p.pos++
+	if pos >= len(in) || in[pos] != ':' {
+		for pos < len(in) && isTokenChar(in[pos]) && in[pos] != ':' {
+			pos++
 		}
-		return append([]byte(nil), p.in[start:p.pos]...), nil
+		return in[start:pos], pos, nil
 	}
 	if tooBig {
-		return nil, fmt.Errorf("sexp: atom exceeds %d bytes", MaxAtomLen)
+		return nil, pos, fmt.Errorf("sexp: atom exceeds %d bytes", MaxAtomLen)
 	}
-	p.pos++
-	if p.pos+n > len(p.in) {
-		return nil, ErrTruncated
+	pos++
+	if pos+n > len(in) {
+		return nil, pos, ErrTruncated
 	}
-	out := append([]byte(nil), p.in[p.pos:p.pos+n]...)
-	p.pos += n
-	return out, nil
+	return in[pos : pos+n], pos + n, nil
 }
 
-func (p *parser) parseQuoted() ([]byte, error) {
-	p.pos++ // opening quote
-	var out []byte
-	for p.pos < len(p.in) {
-		c := p.in[p.pos]
+func (a *Arena) parseQuoted(in []byte, pos int) ([]byte, int, error) {
+	pos++ // opening quote
+	// Fast path: no escapes before the closing quote borrows from in.
+	scan := pos
+	for scan < len(in) && in[scan] != '"' && in[scan] != '\\' {
+		scan++
+	}
+	if scan >= len(in) {
+		return nil, scan, ErrTruncated
+	}
+	if in[scan] == '"' {
+		if scan-pos > MaxAtomLen {
+			return nil, scan, fmt.Errorf("sexp: atom exceeds %d bytes", MaxAtomLen)
+		}
+		return in[pos:scan], scan + 1, nil
+	}
+	// Escapes present: decode into the arena slab.
+	start := len(a.buf)
+	for pos < len(in) {
+		c := in[pos]
 		switch c {
 		case '"':
-			p.pos++
-			return out, nil
+			pos++
+			return a.buf[start:len(a.buf):len(a.buf)], pos, nil
 		case '\\':
-			p.pos++
-			if p.pos >= len(p.in) {
-				return nil, ErrTruncated
+			pos++
+			if pos >= len(in) {
+				return nil, pos, ErrTruncated
 			}
-			switch e := p.in[p.pos]; e {
+			switch e := in[pos]; e {
 			case 'n':
-				out = append(out, '\n')
+				a.buf = append(a.buf, '\n')
 			case 'r':
-				out = append(out, '\r')
+				a.buf = append(a.buf, '\r')
 			case 't':
-				out = append(out, '\t')
+				a.buf = append(a.buf, '\t')
 			case '"', '\\':
-				out = append(out, e)
+				a.buf = append(a.buf, e)
 			default:
-				return nil, fmt.Errorf("sexp: bad escape \\%c at byte %d", e, p.pos)
+				return nil, pos, fmt.Errorf("sexp: bad escape \\%c at byte %d", e, pos)
 			}
-			p.pos++
+			pos++
 		default:
-			out = append(out, c)
-			p.pos++
+			a.buf = append(a.buf, c)
+			pos++
 		}
-		if len(out) > MaxAtomLen {
-			return nil, fmt.Errorf("sexp: atom exceeds %d bytes", MaxAtomLen)
+		if len(a.buf)-start > MaxAtomLen {
+			return nil, pos, fmt.Errorf("sexp: atom exceeds %d bytes", MaxAtomLen)
 		}
 	}
-	return nil, ErrTruncated
+	return nil, pos, ErrTruncated
 }
 
-func (p *parser) parseBase64() ([]byte, error) {
-	p.pos++ // opening |
-	start := p.pos
-	for p.pos < len(p.in) && p.in[p.pos] != '|' {
-		p.pos++
+func (a *Arena) parseBase64(in []byte, pos int) ([]byte, int, error) {
+	pos++ // opening |
+	start := pos
+	for pos < len(in) && in[pos] != '|' {
+		pos++
 	}
-	if p.pos >= len(p.in) {
-		return nil, ErrTruncated
+	if pos >= len(in) {
+		return nil, pos, ErrTruncated
 	}
-	raw := make([]byte, 0, p.pos-start)
-	for _, c := range p.in[start:p.pos] {
+	rawStart := len(a.buf)
+	for _, c := range in[start:pos] {
 		if !isSpace(c) {
-			raw = append(raw, c)
+			a.buf = append(a.buf, c)
 		}
 	}
-	p.pos++ // closing |
-	dec := make([]byte, base64.StdEncoding.DecodedLen(len(raw)))
-	n, err := base64.StdEncoding.Decode(dec, raw)
+	pos++ // closing |
+	rawLen := len(a.buf) - rawStart
+	decStart := len(a.buf)
+	a.buf = grow(a.buf, base64.StdEncoding.DecodedLen(rawLen))
+	raw := a.buf[rawStart:decStart]
+	dst := a.buf[decStart : decStart+base64.StdEncoding.DecodedLen(rawLen)]
+	n, err := base64.StdEncoding.Decode(dst, raw)
 	if err != nil {
-		return nil, fmt.Errorf("sexp: bad base64 atom: %v", err)
+		return nil, pos, fmt.Errorf("sexp: bad base64 atom: %v", err)
 	}
-	return dec[:n], nil
+	a.buf = a.buf[:decStart+n]
+	return a.buf[decStart : decStart+n : decStart+n], pos, nil
 }
 
-func (p *parser) parseHex() ([]byte, error) {
-	p.pos++ // opening #
-	start := p.pos
-	for p.pos < len(p.in) && p.in[p.pos] != '#' {
-		p.pos++
+func (a *Arena) parseHex(in []byte, pos int) ([]byte, int, error) {
+	pos++ // opening #
+	start := pos
+	for pos < len(in) && in[pos] != '#' {
+		pos++
 	}
-	if p.pos >= len(p.in) {
-		return nil, ErrTruncated
+	if pos >= len(in) {
+		return nil, pos, ErrTruncated
 	}
-	raw := make([]byte, 0, p.pos-start)
-	for _, c := range p.in[start:p.pos] {
+	rawStart := len(a.buf)
+	for _, c := range in[start:pos] {
 		if !isSpace(c) {
-			raw = append(raw, c)
+			a.buf = append(a.buf, c)
 		}
 	}
-	p.pos++ // closing #
-	out := make([]byte, hex.DecodedLen(len(raw)))
-	if _, err := hex.Decode(out, raw); err != nil {
-		return nil, fmt.Errorf("sexp: bad hex atom: %v", err)
+	pos++ // closing #
+	rawLen := len(a.buf) - rawStart
+	decStart := len(a.buf)
+	a.buf = grow(a.buf, hex.DecodedLen(rawLen))
+	raw := a.buf[rawStart:decStart]
+	dst := a.buf[decStart : decStart+hex.DecodedLen(rawLen)]
+	if _, err := hex.Decode(dst, raw); err != nil {
+		return nil, pos, fmt.Errorf("sexp: bad hex atom: %v", err)
 	}
-	return out, nil
+	a.buf = a.buf[:decStart+hex.DecodedLen(rawLen)]
+	return dst[:len(dst):len(dst)], pos, nil
 }
 
-func (p *parser) skipSpace() {
-	for p.pos < len(p.in) && isSpace(p.in[p.pos]) {
-		p.pos++
+// grow extends b's capacity by at least n without changing its
+// length, relocating at most once.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) < n {
+		nb := make([]byte, len(b), 2*cap(b)+n)
+		copy(nb, b)
+		return nb
 	}
+	return b
+}
+
+func skipSpace(in []byte, pos int) int {
+	for pos < len(in) && isSpace(in[pos]) {
+		pos++
+	}
+	return pos
 }
 
 func isSpace(c byte) bool {

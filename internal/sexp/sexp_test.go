@@ -11,7 +11,7 @@ import (
 
 func TestAtomBasics(t *testing.T) {
 	a := Atom([]byte("hello"))
-	if a.IsList {
+	if a.IsList() {
 		t.Fatal("atom reported as list")
 	}
 	if a.Text() != "hello" {
@@ -27,7 +27,7 @@ func TestAtomBasics(t *testing.T) {
 
 func TestListBasics(t *testing.T) {
 	l := List(String("cert"), String("x"), List(String("inner")))
-	if !l.IsList {
+	if !l.IsList() {
 		t.Fatal("list reported as atom")
 	}
 	if l.Len() != 3 {
@@ -58,7 +58,7 @@ func TestTagOfAtomAndEmpty(t *testing.T) {
 
 func TestCanonicalEncoding(t *testing.T) {
 	cases := []struct {
-		in   *Sexp
+		in   Sexp
 		want string
 	}{
 		{Atom(nil), "0:"},
@@ -77,7 +77,7 @@ func TestCanonicalEncoding(t *testing.T) {
 }
 
 func TestParseCanonicalRoundTrip(t *testing.T) {
-	exprs := []*Sexp{
+	exprs := []Sexp{
 		Atom(nil),
 		String("token"),
 		Atom([]byte{0, 1, 2, 255}),
@@ -101,7 +101,7 @@ func TestParseCanonicalRoundTrip(t *testing.T) {
 func TestParseAdvancedForms(t *testing.T) {
 	cases := []struct {
 		in   string
-		want *Sexp
+		want Sexp
 	}{
 		{`abc`, String("abc")},
 		{`(a b c)`, List(String("a"), String("b"), String("c"))},
@@ -124,7 +124,7 @@ func TestParseAdvancedForms(t *testing.T) {
 }
 
 func TestAdvancedRoundTrip(t *testing.T) {
-	exprs := []*Sexp{
+	exprs := []Sexp{
 		String("token"),
 		String("with space"),
 		Atom([]byte{0x00, 0xff}),
@@ -190,6 +190,24 @@ func TestParseDepthLimit(t *testing.T) {
 	}
 }
 
+func TestParseHostileDeepNesting(t *testing.T) {
+	// A megabyte of open parens must produce a depth error, not grow
+	// the goroutine stack: the parser is iterative, so the only cost is
+	// scanning for the limit.
+	hostile := bytes.Repeat([]byte{'('}, 1<<20)
+	if _, _, err := Parse(hostile); err == nil {
+		t.Fatal("hostile deep nesting accepted")
+	}
+	// Same through the transport decoder.
+	inner := append(bytes.Repeat([]byte{'('}, MaxDepth+10), bytes.Repeat([]byte{')'}, MaxDepth+10)...)
+	if _, err := ParseOne(List(String("x")).Transport()); err != nil {
+		t.Fatalf("transport sanity: %v", err)
+	}
+	if _, _, err := Parse(transportOf(Raw(inner))); err == nil {
+		t.Fatal("hostile nesting inside transport wrapper accepted")
+	}
+}
+
 func TestEqualAndHash(t *testing.T) {
 	a := List(String("x"), Atom([]byte{1}))
 	b := List(String("x"), Atom([]byte{1}))
@@ -215,13 +233,64 @@ func TestEqualAndHash(t *testing.T) {
 	}
 }
 
+func TestRawBehavesLikeParsed(t *testing.T) {
+	e := List(String("cert"), List(String("issuer"), String("ki")), Atom([]byte{1, 2}))
+	r := Raw(e.Canonical())
+	if !Equal(e, r) || !Equal(r, e) {
+		t.Fatal("Raw not Equal to its source")
+	}
+	if r.Hash() != e.Hash() {
+		t.Fatal("Raw hashes differently")
+	}
+	if !bytes.Equal(r.Canonical(), e.Canonical()) {
+		t.Fatal("Raw canonical differs")
+	}
+	if r.Tag() != "cert" || r.Len() != 3 || r.Path("issuer") == nil {
+		t.Fatal("Raw structural accessors broken")
+	}
+	if !Equal(r, r.Copy()) {
+		t.Fatal("Raw Copy not Equal")
+	}
+	got, err := ParseOne(r.Transport())
+	if err != nil || !Equal(e, got) {
+		t.Fatalf("Raw transport round trip: %v", err)
+	}
+	if r.FormatLen() != len(e.Canonical()) {
+		t.Fatal("Raw FormatLen wrong")
+	}
+	// Atom-shaped raw span.
+	ra := Raw(String("tok").Canonical())
+	if !ra.IsAtom() || ra.Text() != "tok" {
+		t.Fatal("atom Raw broken")
+	}
+}
+
 func TestCopyIsDeep(t *testing.T) {
 	orig := List(String("a"), List(String("b")))
 	cp := orig.Copy()
-	cp.List[0].Octets[0] = 'z'
-	cp.List[1].List[0].Octets[0] = 'z'
-	if orig.List[0].Text() != "a" || orig.List[1].List[0].Text() != "b" {
+	cp.Nth(0).Bytes()[0] = 'z'
+	cp.Nth(1).Nth(0).Bytes()[0] = 'z'
+	if orig.Nth(0).Text() != "a" || orig.Nth(1).Nth(0).Text() != "b" {
 		t.Fatal("Copy shares storage with original")
+	}
+}
+
+func TestCopyOutlivesArena(t *testing.T) {
+	a := GetArena()
+	in := []byte("(4:cert(6:issuer2:ki)[4:mime]3:xyz)")
+	s, err := a.ParseOne(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := s.Copy()
+	want := s.Canonical()
+	PutArena(a)
+	// Scribble over the input buffer the parse borrowed from.
+	for i := range in {
+		in[i] = 0
+	}
+	if !bytes.Equal(cp.Canonical(), want) {
+		t.Fatal("Copy still referenced the arena or input buffer")
 	}
 }
 
@@ -257,32 +326,31 @@ func TestSortChildren(t *testing.T) {
 }
 
 func TestFormatLenMatchesCanonical(t *testing.T) {
-	exprs := []*Sexp{
+	exprs := []Sexp{
 		Atom(nil), String("abcdef"),
 		HintedAtom("hint", []byte("body")),
 		List(String("a"), List(String("b"), Atom(bytes.Repeat([]byte{7}, 300)))),
 	}
 	for _, e := range exprs {
-		if err := e.validateLen(); err != nil {
+		if err := validateLen(e); err != nil {
 			t.Error(err)
 		}
 	}
 }
 
 // randomSexp builds a random expression for property tests.
-func randomSexp(r *rand.Rand, depth int) *Sexp {
+func randomSexp(r *rand.Rand, depth int) Sexp {
 	if depth <= 0 || r.Intn(3) == 0 {
 		n := r.Intn(12)
 		b := make([]byte, n)
 		r.Read(b)
-		s := Atom(b)
 		if r.Intn(4) == 0 {
-			s.Hint = "h"
+			return HintedAtom("h", b)
 		}
-		return s
+		return Atom(b)
 	}
 	n := r.Intn(4)
-	kids := make([]*Sexp, n)
+	kids := make([]Sexp, n)
 	for i := range kids {
 		kids[i] = randomSexp(r, depth-1)
 	}
@@ -341,6 +409,37 @@ func TestQuickCopyEqual(t *testing.T) {
 		return Equal(e, e.Copy())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickArenaAgreesWithFresh(t *testing.T) {
+	// One warm arena parsing many expressions must give the same trees
+	// as a fresh parse each time.
+	a := GetArena()
+	defer PutArena(a)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomSexp(r, 4)
+		enc := e.Canonical()
+		a.Reset()
+		got, err := a.ParseOne(enc)
+		if err != nil {
+			return false
+		}
+		return Equal(e, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFormatLen(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		return validateLen(randomSexp(r, 4)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }

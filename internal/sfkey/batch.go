@@ -1,0 +1,146 @@
+package sfkey
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchVerifier checks many Ed25519 signatures as one unit: the bulk
+// ingestion paths (WAL replay, gossip verify-before-index, CRL
+// install, proof-chain verification) collect their signature checks
+// here instead of verifying one by one. The all-valid case — the
+// overwhelmingly common one for a log this process wrote or a peer in
+// good standing — costs one aggregate pass; a failed aggregate falls
+// back to bisection, so the bad signatures are pinpointed individually
+// while the good majority is never blamed for them.
+//
+// The aggregate pass is split across a bounded worker pool (Workers;
+// GOMAXPROCS by default, inline on a single-CPU host), which is where
+// multi-core hosts get their bulk-verification speedup. Every
+// underlying signature check goes through PublicKey.Verify, so the
+// process-wide sig-verify counter stays honest: batched verifications
+// are counted exactly like individual ones.
+//
+// The zero value is ready to use; it is not safe for concurrent use.
+type BatchVerifier struct {
+	// Workers bounds the aggregate pass's parallelism. 0 means
+	// GOMAXPROCS; 1 forces the inline serial path.
+	Workers int
+
+	items []batchItem
+}
+
+type batchItem struct {
+	pub PublicKey
+	msg []byte
+	sig []byte
+}
+
+// batchParallelMin is the smallest batch worth fanning out: below it,
+// goroutine handoff costs more than the signatures.
+const batchParallelMin = 8
+
+// Add queues one (key, message, signature) triple. The slices are
+// borrowed until Verify returns, not copied.
+func (b *BatchVerifier) Add(pub PublicKey, msg, sig []byte) {
+	b.items = append(b.items, batchItem{pub: pub, msg: msg, sig: sig})
+}
+
+// Len returns the number of queued items.
+func (b *BatchVerifier) Len() int { return len(b.items) }
+
+// Reset empties the verifier for reuse, keeping its backing storage.
+func (b *BatchVerifier) Reset() { b.items = b.items[:0] }
+
+// Verify checks every queued item and returns the indices (in Add
+// order, ascending) of the invalid ones; nil means the whole batch is
+// valid. The batch is checked in aggregate first; only a failing
+// aggregate pays the bisection that pinpoints its bad items.
+func (b *BatchVerifier) Verify() (bad []int) {
+	n := len(b.items)
+	if n == 0 {
+		return nil
+	}
+	w := b.workers(n)
+	if w <= 1 || n < batchParallelMin {
+		if !b.aggregate(0, n) {
+			b.bisect(0, n, &bad)
+		}
+		return bad
+	}
+	// Parallel aggregate: each worker checks one contiguous chunk; the
+	// failed chunks (rare) are bisected serially afterwards.
+	chunk := (n + w - 1) / w
+	failed := make([]bool, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo := k * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			failed[k] = !b.aggregate(lo, hi)
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	for k := 0; k < w; k++ {
+		if !failed[k] {
+			continue
+		}
+		lo := k * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		b.bisect(lo, hi, &bad)
+	}
+	return bad
+}
+
+func (b *BatchVerifier) workers(n int) int {
+	w := b.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// aggregate checks items[lo:hi] as a unit: valid means every signature
+// verified, invalid says only that at least one did not.
+func (b *BatchVerifier) aggregate(lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		it := &b.items[i]
+		if !it.pub.Verify(it.msg, it.sig) {
+			return false
+		}
+	}
+	return true
+}
+
+// bisect pinpoints every invalid item in items[lo:hi], a range whose
+// aggregate check has already failed: split, re-aggregate each half,
+// and recurse into the halves that fail. A single bad signature in a
+// batch of n costs O(log n) extra aggregate passes, not a per-item
+// rescan of the whole batch.
+func (b *BatchVerifier) bisect(lo, hi int, bad *[]int) {
+	if hi-lo == 1 {
+		*bad = append(*bad, lo)
+		return
+	}
+	mid := lo + (hi-lo)/2
+	if !b.aggregate(lo, mid) {
+		b.bisect(lo, mid, bad)
+	}
+	if !b.aggregate(mid, hi) {
+		b.bisect(mid, hi, bad)
+	}
+}

@@ -101,7 +101,7 @@ func (k PublicKey) Verify(msg, sig []byte) bool {
 }
 
 // Sexp encodes the key as (public-key (ed25519 |octets|)).
-func (k PublicKey) Sexp() *sexp.Sexp {
+func (k PublicKey) Sexp() sexp.Sexp {
 	return sexp.List(
 		sexp.String("public-key"),
 		sexp.List(sexp.String("ed25519"), sexp.Atom(k.Raw)),
@@ -109,7 +109,7 @@ func (k PublicKey) Sexp() *sexp.Sexp {
 }
 
 // PublicFromSexp decodes a (public-key (ed25519 |octets|)) form.
-func PublicFromSexp(e *sexp.Sexp) (PublicKey, error) {
+func PublicFromSexp(e sexp.Sexp) (PublicKey, error) {
 	if e == nil || e.Tag() != "public-key" || e.Len() != 2 {
 		return PublicKey{}, fmt.Errorf("sfkey: not a public-key expression")
 	}
@@ -117,7 +117,7 @@ func PublicFromSexp(e *sexp.Sexp) (PublicKey, error) {
 	if alg.Tag() != "ed25519" || alg.Len() != 2 || !alg.Nth(1).IsAtom() {
 		return PublicKey{}, fmt.Errorf("sfkey: unsupported key algorithm %q", alg.Tag())
 	}
-	raw := alg.Nth(1).Octets
+	raw := alg.Nth(1).Bytes()
 	if len(raw) != ed25519.PublicKeySize {
 		return PublicKey{}, fmt.Errorf("sfkey: bad ed25519 key length %d", len(raw))
 	}

@@ -1,6 +1,8 @@
 package sfkey
 
 import (
+	"repro/internal/sexp"
+
 	"bytes"
 	"testing"
 	"testing/quick"
@@ -52,21 +54,19 @@ func TestSexpRoundTrip(t *testing.T) {
 func TestPublicFromSexpRejectsMalformed(t *testing.T) {
 	k := FromSeed([]byte("x")).Public()
 	good := k.Sexp()
+	raw := good.Nth(1).Nth(1).Bytes()
 	// Wrong tag.
-	bad := good.Copy()
-	bad.List[0].Octets = []byte("private-key")
+	bad := sexp.List(sexp.String("private-key"), good.Nth(1).Copy())
 	if _, err := PublicFromSexp(bad); err == nil {
 		t.Error("accepted wrong tag")
 	}
 	// Wrong algorithm.
-	bad = good.Copy()
-	bad.List[1].List[0].Octets = []byte("rsa")
+	bad = sexp.List(sexp.String("public-key"), sexp.List(sexp.String("rsa"), sexp.Atom(raw)))
 	if _, err := PublicFromSexp(bad); err == nil {
 		t.Error("accepted wrong algorithm")
 	}
 	// Truncated key.
-	bad = good.Copy()
-	bad.List[1].List[1].Octets = bad.List[1].List[1].Octets[:16]
+	bad = sexp.List(sexp.String("public-key"), sexp.List(sexp.String("ed25519"), sexp.Atom(raw[:16])))
 	if _, err := PublicFromSexp(bad); err == nil {
 		t.Error("accepted truncated key")
 	}

@@ -20,16 +20,22 @@ func Intersect(t, u Tag) (Tag, bool) {
 }
 
 // intersect returns nil for the empty set.
-func intersect(a, b *sexp.Sexp) *sexp.Sexp {
+func intersect(a, b sexp.Sexp) sexp.Sexp {
 	if a == nil || b == nil {
 		return nil
 	}
-	// (*) is the identity.
+	// Identical tags — the common case in uniform delegation chains —
+	// intersect to themselves without copying.
+	if sexp.Equal(a, b) {
+		return a
+	}
+	// (*) is the identity. Tag expressions are immutable once built, so
+	// the survivor is shared rather than copied.
 	if isStarForm(a) && starKind(a) == "all" {
-		return b.Copy()
+		return b
 	}
 	if isStarForm(b) && starKind(b) == "all" {
-		return a.Copy()
+		return a
 	}
 	// Sets distribute over everything.
 	if isStarForm(a) && starKind(a) == "set" {
@@ -40,8 +46,8 @@ func intersect(a, b *sexp.Sexp) *sexp.Sexp {
 	}
 	switch {
 	case a.IsAtom() && b.IsAtom():
-		if string(a.Octets) == string(b.Octets) {
-			return a.Copy()
+		if string(a.Bytes()) == string(b.Bytes()) {
+			return a
 		}
 		return nil
 	case a.IsAtom():
@@ -64,8 +70,8 @@ func intersect(a, b *sexp.Sexp) *sexp.Sexp {
 
 // intersectSet intersects each member of set s with x and unions the
 // survivors.
-func intersectSet(s, x *sexp.Sexp) *sexp.Sexp {
-	var members []*sexp.Sexp
+func intersectSet(s, x sexp.Sexp) sexp.Sexp {
+	var members []sexp.Sexp
 	for i := 2; i < s.Len(); i++ {
 		if m := intersect(s.Nth(i), x); m != nil {
 			members = append(members, m)
@@ -77,21 +83,21 @@ func intersectSet(s, x *sexp.Sexp) *sexp.Sexp {
 	case 1:
 		return members[0]
 	}
-	kids := append([]*sexp.Sexp{sexp.String("*"), sexp.String("set")}, members...)
+	kids := append([]sexp.Sexp{sexp.String("*"), sexp.String("set")}, members...)
 	out := sexp.List(kids...)
 	return out
 }
 
 // intersectAtomStar intersects an atom with a prefix or range form.
-func intersectAtomStar(atom, star *sexp.Sexp) *sexp.Sexp {
+func intersectAtomStar(atom, star sexp.Sexp) sexp.Sexp {
 	switch starKind(star) {
 	case "prefix":
-		if strings.HasPrefix(string(atom.Octets), star.Nth(2).Text()) {
+		if strings.HasPrefix(string(atom.Bytes()), star.Nth(2).Text()) {
 			return atom.Copy()
 		}
 	case "range":
 		r, err := parseRange(star)
-		if err == nil && r.contains(string(atom.Octets)) {
+		if err == nil && r.contains(string(atom.Bytes())) {
 			return atom.Copy()
 		}
 	}
@@ -99,7 +105,7 @@ func intersectAtomStar(atom, star *sexp.Sexp) *sexp.Sexp {
 }
 
 // intersectStarStar intersects two special forms (prefix/range).
-func intersectStarStar(a, b *sexp.Sexp) *sexp.Sexp {
+func intersectStarStar(a, b sexp.Sexp) sexp.Sexp {
 	ka, kb := starKind(a), starKind(b)
 	if ka == "prefix" && kb == "prefix" {
 		pa, pb := a.Nth(2).Text(), b.Nth(2).Text()
@@ -169,12 +175,12 @@ func intersectStarStar(a, b *sexp.Sexp) *sexp.Sexp {
 // intersectLists intersects element-wise; a shorter list's missing
 // trailing elements read as (*) (shorter lists are more permissive,
 // RFC 2693 section 6.3.3).
-func intersectLists(a, b *sexp.Sexp) *sexp.Sexp {
+func intersectLists(a, b sexp.Sexp) sexp.Sexp {
 	n := a.Len()
 	if b.Len() > n {
 		n = b.Len()
 	}
-	kids := make([]*sexp.Sexp, n)
+	kids := make([]sexp.Sexp, n)
 	for i := 0; i < n; i++ {
 		ea, eb := a.Nth(i), b.Nth(i)
 		switch {
@@ -204,7 +210,7 @@ func Covers(t, u Tag) bool {
 // request tag r; identical to Covers but named for call-site clarity.
 func CoversRequest(t, r Tag) bool { return Covers(t, r) }
 
-func covers(a, b *sexp.Sexp) bool {
+func covers(a, b sexp.Sexp) bool {
 	if a == nil || b == nil {
 		return false
 	}
@@ -231,17 +237,17 @@ func covers(a, b *sexp.Sexp) bool {
 	}
 	if b.IsAtom() {
 		if a.IsAtom() {
-			return string(a.Octets) == string(b.Octets)
+			return string(a.Bytes()) == string(b.Bytes())
 		}
 		if !isStarForm(a) {
 			return false
 		}
 		switch starKind(a) {
 		case "prefix":
-			return strings.HasPrefix(string(b.Octets), a.Nth(2).Text())
+			return strings.HasPrefix(string(b.Bytes()), a.Nth(2).Text())
 		case "range":
 			r, err := parseRange(a)
-			return err == nil && r.contains(string(b.Octets))
+			return err == nil && r.contains(string(b.Bytes()))
 		}
 		return false
 	}
@@ -282,7 +288,7 @@ func covers(a, b *sexp.Sexp) bool {
 	}
 }
 
-func coversStarStar(a, b *sexp.Sexp) bool {
+func coversStarStar(a, b sexp.Sexp) bool {
 	ka, kb := starKind(a), starKind(b)
 	switch {
 	case ka == "prefix" && kb == "prefix":

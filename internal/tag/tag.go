@@ -29,7 +29,7 @@ import (
 // Tag is an immutable authorization tag. The zero value is invalid;
 // use All, FromSexp, Parse, or the constructors.
 type Tag struct {
-	expr *sexp.Sexp // the texpr, without the (tag ...) wrapper
+	expr sexp.Sexp // the texpr, without the (tag ...) wrapper
 }
 
 // All returns the tag (*) that permits every request.
@@ -37,7 +37,7 @@ func All() Tag {
 	return Tag{expr: starExpr()}
 }
 
-func starExpr() *sexp.Sexp {
+func starExpr() sexp.Sexp {
 	return sexp.List(sexp.String("*"))
 }
 
@@ -48,7 +48,7 @@ func Literal(s string) Tag {
 
 // ListOf returns a list tag with the given element tags.
 func ListOf(elems ...Tag) Tag {
-	kids := make([]*sexp.Sexp, len(elems))
+	kids := make([]sexp.Sexp, len(elems))
 	for i, e := range elems {
 		kids[i] = e.expr
 	}
@@ -57,7 +57,7 @@ func ListOf(elems ...Tag) Tag {
 
 // SetOf returns the union of the given tags.
 func SetOf(elems ...Tag) Tag {
-	kids := make([]*sexp.Sexp, 0, len(elems)+2)
+	kids := make([]sexp.Sexp, 0, len(elems)+2)
 	kids = append(kids, sexp.String("*"), sexp.String("set"))
 	for _, e := range elems {
 		kids = append(kids, e.expr)
@@ -88,7 +88,7 @@ const (
 // Range returns a range tag over the given ordering. Either bound may
 // be omitted by passing an empty op.
 func Range(ordering, lowOp, low, highOp, high string) Tag {
-	kids := []*sexp.Sexp{sexp.String("*"), sexp.String("range"), sexp.String(ordering)}
+	kids := []sexp.Sexp{sexp.String("*"), sexp.String("range"), sexp.String(ordering)}
 	if lowOp != "" {
 		kids = append(kids, sexp.String(lowOp), sexp.String(low))
 	}
@@ -101,11 +101,11 @@ func Range(ordering, lowOp, low, highOp, high string) Tag {
 // FromSexp interprets e as a tag expression. If e is a "(tag ...)"
 // wrapper, the inner expression is used. The expression is validated
 // structurally.
-func FromSexp(e *sexp.Sexp) (Tag, error) {
+func FromSexp(e sexp.Sexp) (Tag, error) {
 	if e == nil {
 		return Tag{}, fmt.Errorf("tag: nil expression")
 	}
-	if e.IsList && e.Tag() == "tag" {
+	if e.IsList() && e.Tag() == "tag" {
 		if e.Len() != 2 {
 			return Tag{}, fmt.Errorf("tag: (tag ...) wrapper must have one body, has %d", e.Len()-1)
 		}
@@ -137,7 +137,7 @@ func MustParse(s string) Tag {
 }
 
 // validate checks the structural well-formedness of a tag expression.
-func validate(e *sexp.Sexp) error {
+func validate(e sexp.Sexp) error {
 	if e == nil {
 		return fmt.Errorf("tag: nil subexpression")
 	}
@@ -176,25 +176,40 @@ func validate(e *sexp.Sexp) error {
 }
 
 // isStarForm reports whether e is a (* ...) special form.
-func isStarForm(e *sexp.Sexp) bool {
-	return e.IsList && e.Len() >= 1 && e.Nth(0).IsAtom() && e.Nth(0).Text() == "*"
+func isStarForm(e sexp.Sexp) bool {
+	if !e.IsList() || e.Len() < 1 {
+		return false
+	}
+	n := e.Nth(0)
+	// string(Bytes()) in a comparison compiles without allocating.
+	return n.IsAtom() && string(n.Bytes()) == "*"
 }
 
 // starKind returns "all", "set", "prefix", or "range".
-func starKind(e *sexp.Sexp) string {
+func starKind(e sexp.Sexp) string {
 	if e.Len() == 1 {
 		return "all"
+	}
+	switch n := e.Nth(1); {
+	case string(n.Bytes()) == "set":
+		return "set"
+	case string(n.Bytes()) == "prefix":
+		return "prefix"
+	case string(n.Bytes()) == "range":
+		return "range"
 	}
 	return e.Nth(1).Text()
 }
 
-// Sexp returns the tag body wrapped as "(tag <texpr>)".
-func (t Tag) Sexp() *sexp.Sexp {
-	return sexp.List(sexp.String("tag"), t.expr.Copy())
+// Sexp returns the tag body wrapped as "(tag <texpr>)". The body is
+// shared, not copied: tag expressions are immutable once built, and
+// nothing in the system mutates expressions it receives.
+func (t Tag) Sexp() sexp.Sexp {
+	return sexp.List(sexp.String("tag"), t.expr)
 }
 
 // Body returns a copy of the bare tag expression.
-func (t Tag) Body() *sexp.Sexp { return t.expr.Copy() }
+func (t Tag) Body() sexp.Sexp { return t.expr.Copy() }
 
 // Valid reports whether t was properly constructed.
 func (t Tag) Valid() bool { return t.expr != nil }
@@ -226,7 +241,7 @@ type rangeSpec struct {
 	low, high       string
 }
 
-func parseRange(e *sexp.Sexp) (rangeSpec, error) {
+func parseRange(e sexp.Sexp) (rangeSpec, error) {
 	var r rangeSpec
 	if e.Len() < 3 {
 		return r, fmt.Errorf("tag: malformed (* range ...)")
@@ -277,8 +292,8 @@ func parseRange(e *sexp.Sexp) (rangeSpec, error) {
 	return r, nil
 }
 
-func (r rangeSpec) sexp() *sexp.Sexp {
-	kids := []*sexp.Sexp{sexp.String("*"), sexp.String("range"), sexp.String(r.ordering)}
+func (r rangeSpec) sexp() sexp.Sexp {
+	kids := []sexp.Sexp{sexp.String("*"), sexp.String("range"), sexp.String(r.ordering)}
 	if r.hasLow {
 		op := BoundGT
 		if r.lowInc {
