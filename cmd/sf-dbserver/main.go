@@ -24,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/cert"
+	"repro/internal/certdir"
 	"repro/internal/channel/secure"
 	"repro/internal/core"
 	"repro/internal/emaildb"
@@ -45,6 +47,8 @@ func main() {
 	grantTTL := flag.Duration("grant-ttl", 0, "delegation lifetime (0 = unbounded)")
 	seedDemo := flag.Bool("seed-demo", false, "insert demonstration messages")
 	crlFile := flag.String("crl", "", "file of CRL S-expressions (one per line or concatenated)")
+	crlFollow := flag.String("crl-follow", "", "comma-separated certdir base URLs to pull CRLs from")
+	crlFollowEvery := flag.Duration("crl-follow-every", certdir.DefaultGossipInterval, "CRL pull interval for -crl-follow")
 	adminAddr := flag.String("admin-addr", "", "revocation admin + metrics HTTP listen address (empty = disabled)")
 	adminAuth := flag.Bool("admin-auth", false, "require speaks-for proofs on the admin endpoints")
 	operatorFile := flag.String("operator", "", "file holding the operator principal S-expression (required with -admin-auth)")
@@ -134,9 +138,43 @@ func main() {
 		}
 	}
 
+	// -crl-follow closes the operator-in-the-loop gap: instead of (or
+	// in addition to) CRLs arriving by file and admin endpoint, the
+	// database pulls them from the certificate directories on the
+	// runtime ticker, so a revocation published anywhere in the mesh
+	// bites here within one gossip round plus one pull interval.
+	var followers []*certdir.CRLFollower
+	if *crlFollow != "" {
+		for _, u := range strings.Split(*crlFollow, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			f := certdir.NewCRLFollower(certdir.NewClient(u), rs)
+			f.OnError = func(err error) { rt.Printf("crl-follow: %v", err) }
+			followers = append(followers, f)
+			rt.Every(*crlFollowEvery, func() {
+				if n, err := f.Pull(); err == nil && n > 0 {
+					rt.Printf("crl-follow: installed %d CRLs from %s", n, u)
+				}
+			})
+		}
+		rt.Printf("following CRLs from %d directories every %s", len(followers), *crlFollowEvery)
+	}
+
 	rt.Metrics().Register(server.ProofCacheCollector(core.SharedProofCache()))
 	rt.Metrics().Register(func(emit func(server.Metric)) {
 		emit(server.Gauge("sf_crls", "Revocation lists installed.", float64(len(rs.Lists()))))
+		if len(followers) > 0 {
+			var pulled, rejected float64
+			for _, f := range followers {
+				fs := f.Stats()
+				pulled += float64(fs.Pulled)
+				rejected += float64(fs.Rejected)
+			}
+			emit(server.Counter("sf_crl_follow_pulled_total", "CRLs installed via -crl-follow.", pulled))
+			emit(server.Counter("sf_crl_follow_rejected_total", "CRLs refused via -crl-follow (bad signature).", rejected))
+		}
 		st := srv.Stats()
 		emit(server.Counter("sf_rmi_calls_total", "RMI calls dispatched.", float64(st.Calls)))
 		emit(server.Counter("sf_rmi_auth_checks_total", "RMI authorization checks.", float64(st.AuthChecks)))

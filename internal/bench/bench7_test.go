@@ -1,9 +1,7 @@
 package bench
 
 import (
-	"encoding/json"
 	"os"
-	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -23,40 +21,10 @@ import (
 // BatchVerifier landed) so the delta is visible without digging
 // through git history.
 
-// bench7Baseline is the pre-PR measurement a metric is compared to.
-type bench7Baseline struct {
-	NsPerOp       float64 `json:"ns_per_op"`
-	BytesPerOp    int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp   int64   `json:"allocs_per_op,omitempty"`
-	SigVerifiesOp float64 `json:"sigverifies_per_op,omitempty"`
-}
-
-// bench7Entry is one benchmark's measurement plus its baseline.
-type bench7Entry struct {
-	NsPerOp       float64         `json:"ns_per_op"`
-	BytesPerOp    int64           `json:"bytes_per_op"`
-	AllocsPerOp   int64           `json:"allocs_per_op"`
-	SigVerifiesOp float64         `json:"sigverifies_per_op,omitempty"`
-	Baseline      *bench7Baseline `json:"baseline,omitempty"`
-	// SpeedupVsBaseline is baseline ns/op divided by measured ns/op
-	// (>1 means faster than the pre-PR code).
-	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
-}
-
-type bench7Report struct {
-	Schema     string                 `json:"schema"`
-	PR         int                    `json:"pr"`
-	GoVersion  string                 `json:"go_version"`
-	GOOS       string                 `json:"goos"`
-	GOARCH     string                 `json:"goarch"`
-	NumCPU     int                    `json:"num_cpu"`
-	Benchmarks map[string]bench7Entry `json:"benchmarks"`
-}
-
 // bench7Baselines are the pre-PR numbers (recursive parser, byte-tree
 // sexp model, one ed25519.Verify per certificate, 8192-entry proof
 // cache) on the CI-class single-core runner.
-var bench7Baselines = map[string]bench7Baseline{
+var bench7Baselines = map[string]Baseline{
 	"WireParse":              {NsPerOp: 12195, BytesPerOp: 10376, AllocsPerOp: 253},
 	"WireEncode":             {NsPerOp: 1904, BytesPerOp: 1984, AllocsPerOp: 5},
 	"WireCertRoundTrip":      {NsPerOp: 32017, BytesPerOp: 26328, AllocsPerOp: 552},
@@ -91,15 +59,7 @@ func TestEmitBench7JSON(t *testing.T) {
 		{"CertdirWALReplay10k", BenchmarkCertdirWALReplay10k},
 		{"CertdirGossipCatchUp1k", BenchmarkCertdirGossipCatchUp1k},
 	}
-	report := bench7Report{
-		Schema:     "snowflake-bench/v1",
-		PR:         7,
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		Benchmarks: make(map[string]bench7Entry, len(benchmarks)),
-	}
+	report := NewReport(7)
 	for _, bm := range benchmarks {
 		name, fn := bm.name, bm.fn
 		// The shared proof cache carries state between benchmarks
@@ -110,7 +70,7 @@ func TestEmitBench7JSON(t *testing.T) {
 		if r.N == 0 {
 			t.Fatalf("%s: benchmark did not run", name)
 		}
-		e := bench7Entry{
+		e := Entry{
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -119,21 +79,13 @@ func TestEmitBench7JSON(t *testing.T) {
 			e.SigVerifiesOp = sv
 		}
 		if base, ok := bench7Baselines[name]; ok {
-			b := base
-			e.Baseline = &b
-			if e.NsPerOp > 0 {
-				e.SpeedupVsBaseline = base.NsPerOp / e.NsPerOp
-			}
+			e.SetBaseline(base)
 		}
 		report.Benchmarks[name] = e
 		t.Logf("%s: %.0f ns/op, %d B/op, %d allocs/op (speedup %.2fx)",
 			name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.SpeedupVsBaseline)
 	}
-	buf, err := json.MarshalIndent(&report, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+	if err := report.WriteFile(out); err != nil {
 		t.Fatal(err)
 	}
 }

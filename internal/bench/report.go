@@ -1,0 +1,105 @@
+package bench
+
+// The per-PR JSON trajectory schema ("snowflake-bench/v1").
+// BENCH_7.json (micro/bulk benchmarks, emitted by TestEmitBench7JSON)
+// and BENCH_8.json (mesh-scale flow numbers, emitted by cmd/sf-loadgen
+// via internal/loadgen) are both instances of Report, so the perf
+// trajectory stays diffable across PRs with one set of tools.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// Schema identifies the trajectory format; it has not changed since
+// BENCH_7.json introduced it (new optional fields are additive).
+const Schema = "snowflake-bench/v1"
+
+// Baseline is the pre-PR measurement an entry is compared to.
+// Micro-benchmark baselines fill the ns/bytes/allocs fields; flow
+// baselines from the load harness fill req/sec and the latency
+// percentiles instead. Zero fields are omitted from the JSON.
+type Baseline struct {
+	NsPerOp       float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp    int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   int64   `json:"allocs_per_op,omitempty"`
+	SigVerifiesOp float64 `json:"sigverifies_per_op,omitempty"`
+	ReqPerSec     float64 `json:"req_per_sec,omitempty"`
+	P50Ns         float64 `json:"p50_ns,omitempty"`
+	P95Ns         float64 `json:"p95_ns,omitempty"`
+	P99Ns         float64 `json:"p99_ns,omitempty"`
+}
+
+// Entry is one tracked measurement plus its baseline.
+type Entry struct {
+	NsPerOp       float64   `json:"ns_per_op"`
+	BytesPerOp    int64     `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   int64     `json:"allocs_per_op,omitempty"`
+	SigVerifiesOp float64   `json:"sigverifies_per_op,omitempty"`
+	ReqPerSec     float64   `json:"req_per_sec,omitempty"`
+	P50Ns         float64   `json:"p50_ns,omitempty"`
+	P95Ns         float64   `json:"p95_ns,omitempty"`
+	P99Ns         float64   `json:"p99_ns,omitempty"`
+	Count         int64     `json:"count,omitempty"`
+	Baseline      *Baseline `json:"baseline,omitempty"`
+	// SpeedupVsBaseline is >1 when this PR is faster than the
+	// baseline: measured throughput over baseline throughput when both
+	// record req/sec, else baseline ns/op over measured ns/op.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// SetBaseline attaches b and computes the speedup ratio.
+func (e *Entry) SetBaseline(b Baseline) {
+	c := b
+	e.Baseline = &c
+	switch {
+	case b.ReqPerSec > 0 && e.ReqPerSec > 0:
+		e.SpeedupVsBaseline = e.ReqPerSec / b.ReqPerSec
+	case b.NsPerOp > 0 && e.NsPerOp > 0:
+		e.SpeedupVsBaseline = b.NsPerOp / e.NsPerOp
+	}
+}
+
+// Report is one PR's trajectory file.
+type Report struct {
+	Schema    string `json:"schema"`
+	PR        int    `json:"pr"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU records the runner's parallelism: single-core CI cannot
+	// show BatchVerifier's worker-pool speedup, so trajectory diffs
+	// must compare like against like.
+	NumCPU     int              `json:"num_cpu"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+	// Counters carries non-latency context for the run — discovery
+	// attribution (remote queries, negative-cache traffic), proof
+	// cache hits, correctness violations — so a cold-flow regression
+	// is attributable to discovery vs verification from the JSON
+	// alone. Only the load harness fills it.
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// NewReport stamps a report with this process's runtime identity.
+func NewReport(pr int) *Report {
+	return &Report{
+		Schema:     Schema,
+		PR:         pr,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: make(map[string]Entry),
+	}
+}
+
+// WriteFile writes the report as indented JSON with a trailing
+// newline, the exact framing the checked-in trajectory files use.
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,143 @@
+package certdir
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+)
+
+// CRLFollower keeps an end verifier's RevocationStore current by
+// periodically pulling revocation lists from a certificate directory
+// — the verifier-side leg of CRL gossip. Directories already spread
+// CRLs among themselves (Replicator) and provers already drop
+// invalidated chains (Subscribe), but an enforcing server such as
+// sf-dbserver learns CRLs only from its operator (-crl file, admin
+// endpoint). A follower closes that last gap: revoke at any
+// directory and, within one gossip round plus one follow interval,
+// every following verifier's next authorization check re-verifies
+// against the revocation (the install bumps the shared proof-cache
+// epoch, so no cached verdict survives it).
+//
+// Pulls are incremental (the peer is told which CRL hashes the store
+// already holds) and verify-before-apply: AddNewBatch checks every
+// signature, so a hostile or corrupted directory cannot plant a CRL
+// its signer never issued.
+type CRLFollower struct {
+	Client *Client
+	Store  *cert.RevocationStore
+	// Interval between pulls; DefaultGossipInterval when zero.
+	// Set before Start.
+	Interval time.Duration
+	// OnError, when set, observes pull failures (the follower itself
+	// retries forever; a directory briefly down just delays the next
+	// pull).
+	OnError func(error)
+
+	pulled   atomic.Int64 // CRLs newly installed
+	rejected atomic.Int64 // CRLs refused (bad signature)
+	rounds   atomic.Int64 // completed pull rounds
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCRLFollower follows c's CRLs into st.
+func NewCRLFollower(c *Client, st *cert.RevocationStore) *CRLFollower {
+	return &CRLFollower{Client: c, Store: st}
+}
+
+// Pull performs one incremental round: fetch the CRLs the store does
+// not hold, verify, install. Returns how many lists were newly
+// installed. Safe to call directly (sf-dbserver drives it from the
+// runtime ticker); Start wraps it in a loop for harnesses without a
+// runtime.
+func (f *CRLFollower) Pull() (added int, err error) {
+	lists := f.Store.Lists()
+	have := make([][]byte, 0, len(lists))
+	for _, rl := range lists {
+		h := rl.Hash()
+		have = append(have, append([]byte(nil), h[:]...))
+	}
+	fresh, err := f.Client.CRLs(have)
+	if err != nil {
+		return 0, err
+	}
+	if len(fresh) == 0 {
+		f.rounds.Add(1)
+		return 0, nil
+	}
+	addedOK, errs := f.Store.AddNewBatch(fresh)
+	for i := range fresh {
+		switch {
+		case errs[i] != nil:
+			f.rejected.Add(1)
+		case addedOK[i]:
+			added++
+		}
+	}
+	f.pulled.Add(int64(added))
+	f.rounds.Add(1)
+	return added, nil
+}
+
+// Start launches the pull loop. Stop halts it.
+func (f *CRLFollower) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stop != nil {
+		return
+	}
+	iv := f.Interval
+	if iv <= 0 {
+		iv = DefaultGossipInterval
+	}
+	f.stop = make(chan struct{})
+	f.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(iv)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if _, err := f.Pull(); err != nil && f.OnError != nil {
+					f.OnError(err)
+				}
+			}
+		}
+	}(f.stop, f.done)
+}
+
+// Stop halts the loop started by Start and waits for it to exit.
+func (f *CRLFollower) Stop() {
+	f.mu.Lock()
+	stop, done := f.stop, f.done
+	f.stop, f.done = nil, nil
+	f.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// FollowerStats is a point-in-time counter snapshot.
+type FollowerStats struct {
+	Pulled   int64 // CRLs newly installed
+	Rejected int64 // CRLs refused (bad signature)
+	Rounds   int64 // completed pull rounds
+}
+
+// Stats snapshots the follower's counters.
+func (f *CRLFollower) Stats() FollowerStats {
+	return FollowerStats{
+		Pulled:   f.pulled.Load(),
+		Rejected: f.rejected.Load(),
+		Rounds:   f.rounds.Load(),
+	}
+}

@@ -213,6 +213,14 @@ func OwnerTag(owner string) tag.Tag {
 	)
 }
 
+// AllTag covers every operation on every mailbox — the root
+// delegation a database owner hands an organization-level issuer,
+// which then narrows per member with OwnerTag (list tags compose by
+// intersection: ("db") ∩ ("db" (owner "u")) = the member's tag).
+func AllTag() tag.Tag {
+	return tag.ListOf(tag.Literal("db"))
+}
+
 // ReadOnlyTag covers select on one mailbox.
 func ReadOnlyTag(owner string) tag.Tag {
 	return tag.ListOf(

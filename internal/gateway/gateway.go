@@ -153,6 +153,12 @@ func parseOp(r *http.Request) (dbOp, error) {
 // ServeHTTP implements the gateway protocol of section 6.3.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	// The revocation epoch this request is decided under is the one in
+	// force when the pipeline STARTS: a CRL landing mid-request must
+	// not retroactively claim the verdict was computed under it (the
+	// churn soak test leans on this attribution to tell an in-flight
+	// race from a genuinely stale admit).
+	epoch := g.proofCache().Epoch()
 	ctx := r.Context()
 	var span *obs.ActiveSpan
 	if g.Obs != nil {
@@ -189,7 +195,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	auth := r.Header.Get("Authorization")
 	if auth == "" {
-		g.audit(obs.Decision{
+		g.audit(epoch, obs.Decision{
 			Op: opName, Principal: reqPrin.String(), Tag: minTag.String(),
 			Verdict: obs.VerdictChallenge, Reason: "no authorization header",
 			Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
@@ -204,7 +210,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		g.stats.Denied++
 		g.mu.Unlock()
 		span.Fail(err)
-		g.audit(obs.Decision{
+		g.audit(epoch, obs.Decision{
 			Op: opName, Principal: reqPrin.String(), Tag: minTag.String(),
 			Verdict: obs.VerdictDeny, Reason: err.Error(),
 			Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
@@ -226,7 +232,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		g.stats.Denied++
 		g.mu.Unlock()
 		span.Fail(err)
-		g.audit(obs.Decision{
+		g.audit(epoch, obs.Decision{
 			Op: opName, Principal: client.String(), Tag: minTag.String(),
 			Verdict: obs.VerdictDeny, Reason: err.Error(), CertHashes: hashes,
 			Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
@@ -263,7 +269,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	} else {
 		g.WarmAdmit.Since(start)
 	}
-	g.audit(obs.Decision{
+	g.audit(epoch, obs.Decision{
 		Op: opName, Principal: client.String(), Tag: minTag.String(),
 		Verdict: obs.VerdictAdmit, CertHashes: hashes, CacheHit: !cold,
 		Duration: time.Since(start).Microseconds(), Trace: span.TraceID(),
@@ -271,13 +277,15 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // audit appends one decision record, stamping the layer and the
-// revocation epoch the verdict was computed under. Nil Audit drops it.
-func (g *Gateway) audit(d obs.Decision) {
+// revocation epoch the verdict was computed under (captured at the
+// start of the request, before any verification ran). Nil Audit
+// drops it.
+func (g *Gateway) audit(epoch uint64, d obs.Decision) {
 	if g.Audit == nil {
 		return
 	}
 	d.Layer = "gateway"
-	d.Epoch = g.proofCache().Epoch()
+	d.Epoch = epoch
 	g.Audit.Append(d)
 }
 

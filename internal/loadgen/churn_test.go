@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestChurnSoakNoStaleAdmits runs admits concurrently with live
+// publish/revoke churn on a 2-directory mesh and pins the two safety
+// properties the harness asserts under load (run it with -race; CI
+// does):
+//
+//  1. Once a principal's rejection has been observed, no gateway ever
+//     admits it again — re-proving is impossible (the grant is
+//     evicted mesh-wide) and no cached verdict may resurrect it.
+//  2. No admit verdict crosses a revocation epoch: every admit
+//     citing a since-revoked grant must have STARTED under an epoch
+//     predating the post-revocation world. An admit recorded at a
+//     later epoch citing the revoked certificate would mean a proof
+//     cache served a verdict across the epoch bump.
+//
+// In-flight races are expressly tolerated: an admit that began before
+// the CRL landed may legitimately complete after it. The audit
+// trail's start-epoch field is what distinguishes that benign
+// interleaving from a stale cache.
+func TestChurnSoakNoStaleAdmits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test boots a full mesh")
+	}
+	cfg := Smoke()
+	cfg.Principals = 12
+	cfg.Orgs = 2
+	cfg.Concurrency = 4
+	cfg.GossipInterval = 100 * time.Millisecond
+
+	g, err := BuildGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := StartMesh(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	core.SharedProofCache().Reset()
+	rs := &runState{cfg: cfg, g: g, m: m}
+	if err := rs.publishGraph(); err != nil {
+		t.Fatal(err)
+	}
+
+	hist := obs.NewHistogram("churn_soak", "")
+	m.SetAdmitHists(hist, hist)
+
+	// Background hammer: every worker admits the full principal range
+	// round-robin, survivors and victims alike, while churn publishes
+	// and revokes throwaway certificates (each CRL bumps the shared
+	// epoch). No status assertions here — victims legitimately flip to
+	// 403 mid-run; the audit sweep below is the oracle.
+	const victims = 3
+	stop := make(chan struct{})
+	var admits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := g.Principals[i%len(g.Principals)]
+				if _, err := rs.admit(p); err != nil {
+					t.Errorf("admit %s: %v", p.Owner, err)
+					return
+				}
+				admits.Add(1)
+			}
+		}(w)
+	}
+	stopChurn := rs.startChurn()
+
+	// Revoke victims one at a time while the hammer runs, recording
+	// when each rejection was first observed and the shared epoch at
+	// that moment.
+	type revoked struct {
+		p         *Synthetic
+		denyTime  time.Time
+		denyEpoch uint64
+	}
+	deadline := time.Duration(cfg.RevokeRounds) * cfg.GossipInterval
+	var dead []revoked
+	for i := 0; i < victims; i++ {
+		p := g.Principals[len(g.Principals)-1-i]
+		org := g.OrgKeys[p.Org]
+		rl := cert.NewRevocationList(org, g.Validity, p.Grant.Hash())
+		// Install away from the victim's home so gossip is on the path.
+		if err := m.Dirs[(p.HomeDir+1)%len(m.Dirs)].Client.PushCRL(rl); err != nil {
+			t.Fatalf("push CRL for %s: %v", p.Owner, err)
+		}
+		t0 := time.Now()
+		denied := false
+		for time.Since(t0) < deadline {
+			status, err := rs.admit(p)
+			if err != nil {
+				t.Fatalf("admit %s: %v", p.Owner, err)
+			}
+			if status != http.StatusOK {
+				denied = true
+				break
+			}
+			time.Sleep(cfg.GossipInterval / 20)
+		}
+		if !denied {
+			t.Fatalf("%s still admitted %s after revocation", p.Owner, time.Since(t0))
+		}
+		dead = append(dead, revoked{p: p, denyTime: time.Now(), denyEpoch: core.SharedProofCache().Epoch()})
+	}
+
+	// Let one more gossip round spread the last CRL everywhere, then
+	// stop the load.
+	time.Sleep(2 * cfg.GossipInterval)
+	close(stop)
+	wg.Wait()
+	stopChurn()
+
+	// Post-churn probes: every victim stays denied at its gateway,
+	// every survivor still gets in (revocation must not fail open OR
+	// take down innocent principals).
+	for _, d := range dead {
+		if status, err := rs.admit(d.p); err != nil || status == http.StatusOK {
+			t.Errorf("victim %s re-admitted after quiesce (status %d, err %v)", d.p.Owner, status, err)
+		}
+	}
+	for i := 0; i < len(g.Principals)-victims; i++ {
+		p := g.Principals[i]
+		if status, err := rs.admit(p); err != nil || status != http.StatusOK {
+			t.Errorf("survivor %s denied after churn (status %d, err %v)", p.Owner, status, err)
+		}
+	}
+
+	// Audit sweep across every gateway: (1) no admit citing a revoked
+	// grant after its observed rejection; (2) no admit citing a
+	// revoked grant that STARTED at an epoch past the one in force
+	// when the rejection was observed.
+	for _, d := range dead {
+		h := d.p.Grant.Sexp().Hash()
+		want := hex.EncodeToString(h[:])
+		for _, mg := range m.Gateways {
+			for _, dec := range mg.Audit.Recent(0) {
+				if dec.Verdict != obs.VerdictAdmit {
+					continue
+				}
+				cites := false
+				for _, ch := range dec.CertHashes {
+					if ch == want {
+						cites = true
+						break
+					}
+				}
+				if !cites {
+					continue
+				}
+				if dec.Time.After(d.denyTime) {
+					t.Errorf("gateway %d admitted %s at %s, after rejection was observed at %s",
+						mg.Index, d.p.Owner, dec.Time.Format(time.RFC3339Nano), d.denyTime.Format(time.RFC3339Nano))
+				}
+				if dec.Epoch > d.denyEpoch {
+					t.Errorf("gateway %d verdict for %s crossed revocation epoch: started at epoch %d > deny epoch %d",
+						mg.Index, d.p.Owner, dec.Epoch, d.denyEpoch)
+				}
+			}
+		}
+	}
+
+	if n := admits.Load(); n < int64(len(g.Principals)) {
+		t.Fatalf("hammer only completed %d admits; churn starved the load", n)
+	}
+	snap := hist.Snap()
+	t.Logf("soak: %d hammer admits, p50=%s p99=%s, epoch=%d, %d violations recorded by harness",
+		admits.Load(), fmt.Sprintf("%.1fms", snap.Quantile(0.5)*1e3),
+		fmt.Sprintf("%.1fms", snap.Quantile(0.99)*1e3), core.SharedProofCache().Epoch(), len(rs.viol))
+}

@@ -1,0 +1,283 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/certdir"
+	"repro/internal/channel/secure"
+	"repro/internal/core"
+	"repro/internal/emaildb"
+	"repro/internal/gateway"
+	"repro/internal/obs"
+	"repro/internal/prover"
+	"repro/internal/rmi"
+	"repro/internal/sfkey"
+)
+
+// Mesh is the running system under test: M WAL-backed directories in
+// full-mesh gossip, one email-database domain over the secure channel
+// (learning CRLs through a CRLFollower, like sf-dbserver
+// -crl-follow), and N gateways, each with its own prover subscribed
+// to its home directory's invalidation stream. Every hop is a real
+// listener on loopback; nothing is short-circuited in-process.
+type Mesh struct {
+	cfg   Config
+	Graph *Graph
+
+	Dirs     []*MeshDir
+	Gateways []*MeshGateway
+	DB       *MeshDB
+
+	walRoot string
+}
+
+// MeshDir is one directory daemon's worth of state.
+type MeshDir struct {
+	Store       *certdir.Store
+	Service     *certdir.Service
+	Revocations *cert.RevocationStore
+	Replicator  *certdir.Replicator
+	Client      *certdir.Client
+	URL         string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// MeshGateway is one admission gateway and the client plumbing the
+// load workers drive it through.
+type MeshGateway struct {
+	Index  int
+	Key    *sfkey.PrivateKey
+	GW     *gateway.Gateway
+	Prover *prover.Prover
+	Audit  *obs.AuditLog
+	URL    string
+	// HTTP is the keep-alive client the workers use against this
+	// gateway (one per gateway so connection reuse mirrors a fronting
+	// load balancer, not a new TCP dial per admit).
+	HTTP *http.Client
+
+	ln       net.Listener
+	srv      *http.Server
+	dbClient *rmi.Client
+	sub      *prover.Subscription
+}
+
+// MeshDB is the protected email-database domain.
+type MeshDB struct {
+	Revocations *cert.RevocationStore
+	Follower    *certdir.CRLFollower
+
+	srv *rmi.Server
+	ln  *secure.Listener
+}
+
+// StartMesh boots the world for g. Callers must Close it.
+func StartMesh(cfg Config, g *Graph) (*Mesh, error) {
+	m := &Mesh{cfg: cfg, Graph: g}
+	ok := false
+	defer func() {
+		if !ok {
+			m.Close()
+		}
+	}()
+
+	walRoot, err := os.MkdirTemp("", "sf-loadgen-wal-")
+	if err != nil {
+		return nil, err
+	}
+	m.walRoot = walRoot
+
+	// Directories first: WAL-backed stores, revocation endpoints,
+	// full-mesh replication.
+	for i := 0; i < cfg.Directories; i++ {
+		dataDir, err := os.MkdirTemp(walRoot, fmt.Sprintf("dir%d-", i))
+		if err != nil {
+			return nil, err
+		}
+		st, _, err := certdir.OpenDurable(dataDir, 0, cfg.Fsync, time.Now())
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: directory %d: %w", i, err)
+		}
+		svc := certdir.NewService(st)
+		svc.Revocations = cert.NewRevocationStore()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		d := &MeshDir{
+			Store:       st,
+			Service:     svc,
+			Revocations: svc.Revocations,
+			URL:         "http://" + ln.Addr().String(),
+			ln:          ln,
+			srv:         &http.Server{Handler: svc},
+		}
+		d.Client = certdir.NewClient(d.URL)
+		go d.srv.Serve(ln)
+		m.Dirs = append(m.Dirs, d)
+	}
+	for i, d := range m.Dirs {
+		var peers []*certdir.Client
+		for j, p := range m.Dirs {
+			if j != i {
+				peers = append(peers, certdir.NewClient(p.URL))
+			}
+		}
+		if len(peers) > 0 {
+			rep := certdir.NewReplicator(d.Store, peers)
+			rep.Revocations = d.Revocations
+			rep.Interval = cfg.GossipInterval
+			rep.Start()
+			d.Replicator = rep
+			d.Service.Replicator = rep
+		}
+	}
+
+	// Database domain: RMI email service with revocation enforced,
+	// pulling CRLs from directory 0 (any directory works — CRL gossip
+	// spreads every list to every directory within a round).
+	svc, err := emaildb.NewService()
+	if err != nil {
+		return nil, err
+	}
+	dbSrv := rmi.NewServer()
+	dbRevs := cert.NewRevocationStore()
+	if err := emaildb.RegisterWithRevocation(dbSrv, svc, g.DBIssuer, dbRevs); err != nil {
+		return nil, err
+	}
+	dbLn, err := secure.Listen("127.0.0.1:0", &secure.Identity{Priv: g.DBKey})
+	if err != nil {
+		return nil, err
+	}
+	go dbSrv.Serve(dbLn)
+	follower := certdir.NewCRLFollower(m.Dirs[0].Client, dbRevs)
+	follower.Interval = cfg.GossipInterval
+	follower.Start()
+	m.DB = &MeshDB{Revocations: dbRevs, Follower: follower, srv: dbSrv, ln: dbLn}
+
+	// Gateways: each with its own prover (gateway closure + secure
+	// channel identity), its home directory as remote source and
+	// invalidation stream, and its own RMI connection to the database.
+	for i := 0; i < cfg.Gateways; i++ {
+		key := g.GatewayKeys[i]
+		home := m.Dirs[i%cfg.Directories]
+		pv := gateway.NewProver(key)
+		id, err := secure.NewIdentity()
+		if err != nil {
+			return nil, err
+		}
+		pv.AddClosure(prover.NewKeyClosure(id.Priv))
+		pv.AddRemote(home.Client)
+		// Keep negative answers short-lived relative to gossip: a
+		// principal published moments ago must become provable within
+		// a round, not a 30s default TTL later.
+		pv.NegativeTTL = cfg.GossipInterval / 2
+		sub := pv.SubscribeWait(home.Client, core.SharedProofCache(), 2*time.Second)
+		dbClient, err := rmi.Dial(secure.Dialer{ID: id}, dbLn.Addr().String(), pv)
+		if err != nil {
+			return nil, err
+		}
+		gw := gateway.New(key, dbClient, g.DBIssuer, pv)
+		gw.Audit = obs.NewAuditLog(cfg.WarmOps + 4*cfg.Principals + 1024)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			dbClient.Close()
+			return nil, err
+		}
+		mg := &MeshGateway{
+			Index:  i,
+			Key:    key,
+			GW:     gw,
+			Prover: pv,
+			Audit:  gw.Audit,
+			URL:    "http://" + ln.Addr().String(),
+			HTTP: &http.Client{Transport: &http.Transport{
+				MaxIdleConnsPerHost: cfg.Concurrency + 2,
+			}},
+			ln:       ln,
+			srv:      &http.Server{Handler: gw},
+			dbClient: dbClient,
+			sub:      sub,
+		}
+		go mg.srv.Serve(ln)
+		m.Gateways = append(m.Gateways, mg)
+	}
+	ok = true
+	return m, nil
+}
+
+// SetAdmitHists points every gateway's cold/warm histograms at the
+// given pair. Call only between phases, with no requests in flight:
+// the fields are read by request handlers without locks.
+func (m *Mesh) SetAdmitHists(cold, warm *obs.Histogram) {
+	for _, mg := range m.Gateways {
+		mg.GW.ColdAdmit = cold
+		mg.GW.WarmAdmit = warm
+	}
+}
+
+// ProverStats sums discovery counters across all gateway provers.
+func (m *Mesh) ProverStats() prover.Stats {
+	var out prover.Stats
+	for _, mg := range m.Gateways {
+		st := mg.Prover.Stats()
+		out.Traversals += st.Traversals
+		out.Minted += st.Minted
+		out.Swept += st.Swept
+		out.SweptVerdicts += st.SweptVerdicts
+		out.ShortcutHits += st.ShortcutHits
+		out.RemoteQueries += st.RemoteQueries
+		out.RemoteCerts += st.RemoteCerts
+		out.RemoteRejected += st.RemoteRejected
+		out.NegCacheHits += st.NegCacheHits
+		out.NegCacheEvicted += st.NegCacheEvicted
+		out.Invalidated += st.Invalidated
+	}
+	return out
+}
+
+// Close tears the world down in reverse dependency order and removes
+// the WAL scratch space.
+func (m *Mesh) Close() {
+	for _, mg := range m.Gateways {
+		if mg.sub != nil {
+			mg.sub.Stop()
+		}
+		if mg.srv != nil {
+			mg.srv.Close()
+		}
+		if mg.dbClient != nil {
+			mg.dbClient.Close()
+		}
+		if mg.HTTP != nil {
+			mg.HTTP.CloseIdleConnections()
+		}
+	}
+	if m.DB != nil {
+		if m.DB.Follower != nil {
+			m.DB.Follower.Stop()
+		}
+		if m.DB.ln != nil {
+			m.DB.ln.Close()
+		}
+	}
+	for _, d := range m.Dirs {
+		if d.Replicator != nil {
+			d.Replicator.Stop()
+		}
+		if d.srv != nil {
+			d.srv.Close()
+		}
+		d.Store.CloseWAL()
+	}
+	if m.walRoot != "" {
+		os.RemoveAll(m.walRoot)
+	}
+}

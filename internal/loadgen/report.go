@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// smokeBaselines are the PR 8 first-measurement numbers for the smoke
+// profile (2 gateways, 2 directories, 24 principals, single loopback
+// host — the CI shape), the median of repeated runs on an 8-core
+// linux/amd64 box. They exist so every later PR's BENCH_8-style
+// emission carries a speedup ratio against this PR, the same contract
+// BENCH_7.json established for the micro-benchmarks. Only smoke runs
+// are compared: other profiles measure other shapes. The revoke flow's
+// latency is dominated by the 150ms gossip interval, not compute — its
+// baseline guards the pipeline (CRL gossip, eviction, invalidation,
+// follower pull), not a code path's speed.
+//
+// Latency baselines are in nanoseconds (the JSON unit); the histogram
+// works in seconds and ToBench converts.
+var smokeBaselines = map[string]bench.Baseline{
+	FlowCold:    {ReqPerSec: 229, P50Ns: 31_200_000, P95Ns: 48_100_000, P99Ns: 49_600_000},
+	FlowWarm:    {ReqPerSec: 1020, P50Ns: 4_200_000, P95Ns: 25_000_000, P99Ns: 47_000_000},
+	FlowPublish: {ReqPerSec: 846, P50Ns: 450_000, P95Ns: 1_900_000, P99Ns: 2_400_000},
+	FlowRevoke:  {ReqPerSec: 6.8, P50Ns: 175_000_000, P95Ns: 242_500_000, P99Ns: 248_500_000},
+}
+
+// ToBench converts a run into the shared per-PR trajectory schema.
+// Baselines attach only for the smoke profile (the recorded shape).
+func (r *Result) ToBench(pr int) *bench.Report {
+	rep := bench.NewReport(pr)
+	for name, f := range r.Flows {
+		e := bench.Entry{
+			ReqPerSec: f.ReqPerSec,
+			Count:     int64(f.Count),
+			P50Ns:     f.P50 * 1e9,
+			P95Ns:     f.P95 * 1e9,
+			P99Ns:     f.P99 * 1e9,
+		}
+		if f.Count > 0 {
+			e.NsPerOp = f.Mean * 1e9
+		}
+		if r.Config.Profile == "smoke" {
+			if b, ok := smokeBaselines[name]; ok {
+				e.SetBaseline(b)
+			}
+		}
+		rep.Benchmarks[name] = e
+	}
+	rep.Counters = map[string]float64{
+		"violations":        float64(len(r.Violations)),
+		"warm_requeried":    float64(r.Requeried),
+		"proofcache_hits":   float64(r.CacheHits),
+		"proofcache_misses": float64(r.CacheMisses),
+		"proofcache_epoch":  float64(r.Epoch),
+		"crl_follow_pulled": float64(r.FollowerStats["pulled"]),
+	}
+	for k, v := range r.ProverStats {
+		rep.Counters["prover_"+k] = float64(v)
+	}
+	return rep
+}
+
+// Summary renders the run for a terminal: one line per flow, then
+// the attribution counters, then any violations.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile=%s gateways=%d directories=%d principals=%d orgs=%d seed=%d wall=%s\n",
+		r.Config.Profile, r.Config.Gateways, r.Config.Directories,
+		r.Config.Principals, r.Config.Orgs, r.Config.Seed, r.Wall.Round(1e6))
+	fmt.Fprintf(&b, "graph fingerprint %s\n\n", r.Fingerprint[:16])
+	order := []string{FlowCold, FlowWarm, FlowPublish, FlowRevoke}
+	fmt.Fprintf(&b, "%-24s %8s %10s %10s %10s %10s\n", "flow", "count", "req/sec", "p50", "p95", "p99")
+	for _, name := range order {
+		f := r.Flows[name]
+		fmt.Fprintf(&b, "%-24s %8d %10.1f %10s %10s %10s\n",
+			f.Name, f.Count, f.ReqPerSec, fmtSec(f.P50), fmtSec(f.P95), fmtSec(f.P99))
+	}
+	fmt.Fprintf(&b, "\ndiscovery: remote_queries=%d remote_certs=%d remote_rejected=%d negcache_hits=%d negcache_evicted=%d invalidated=%d\n",
+		r.ProverStats["remote_queries"], r.ProverStats["remote_certs"],
+		r.ProverStats["remote_rejected"], r.ProverStats["negcache_hits"],
+		r.ProverStats["negcache_evicted"], r.ProverStats["invalidated"])
+	fmt.Fprintf(&b, "proof cache: hits=%d misses=%d epoch=%d; warm requeried=%d; crls pulled by db=%d\n",
+		r.CacheHits, r.CacheMisses, r.Epoch, r.Requeried, r.FollowerStats["pulled"])
+	if len(r.Violations) == 0 {
+		b.WriteString("correctness: OK (0 violations)\n")
+	} else {
+		fmt.Fprintf(&b, "correctness: %d VIOLATIONS\n", len(r.Violations))
+		v := append([]string(nil), r.Violations...)
+		sort.Strings(v)
+		for _, s := range v {
+			fmt.Fprintf(&b, "  - %s\n", s)
+		}
+	}
+	return b.String()
+}
+
+func fmtSec(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

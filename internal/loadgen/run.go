@@ -1,0 +1,488 @@
+package loadgen
+
+import (
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/emaildb"
+	"repro/internal/httpauth"
+	"repro/internal/obs"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+)
+
+// Flow names, also the benchmark keys in BENCH_8.json.
+const (
+	FlowCold    = "LoadgenColdAdmit"
+	FlowWarm    = "LoadgenWarmAdmit"
+	FlowPublish = "LoadgenPublishVisible"
+	FlowRevoke  = "LoadgenRevokeRejected"
+)
+
+// Flow is one canonical flow's measurement.
+type Flow struct {
+	Name                string
+	Count               uint64
+	Errors              int
+	Seconds             float64 // phase wall-clock
+	ReqPerSec           float64
+	P50, P95, P99, Mean float64 // seconds
+}
+
+// Result is everything one run produced: per-flow numbers, the
+// discovery/cache counters that attribute them, and the correctness
+// violations (empty on a healthy mesh — any entry fails CI).
+type Result struct {
+	Config      Config
+	Fingerprint string
+	Wall        time.Duration
+
+	Flows map[string]Flow
+
+	// Violations are end-to-end correctness failures observed while
+	// the load ran: a cold or warm admit that failed, a publish that
+	// never became visible at the peer, a revoked principal still
+	// admitted past the deadline, or a post-revocation admit citing
+	// the revoked certificate.
+	Violations []string
+
+	// Requeried counts warm-phase admits that went back to a
+	// directory (classified cold by the gateway) — under churn the
+	// expected cost of invalidation, and the number that attributes a
+	// warm-p99 regression to discovery rather than verification.
+	Requeried uint64
+
+	ProverStats   map[string]int64
+	CacheHits     int64
+	CacheMisses   int64
+	Epoch         uint64
+	FollowerStats map[string]int64
+}
+
+type runState struct {
+	cfg  Config
+	g    *Graph
+	m    *Mesh
+	mu   sync.Mutex
+	viol []string
+}
+
+func (r *runState) violate(format string, args ...any) {
+	r.mu.Lock()
+	r.viol = append(r.viol, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+// Run builds the graph, boots the mesh, and drives the four flows.
+// It is the whole harness: cmd/sf-loadgen adds only flag parsing and
+// JSON emission.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := BuildGraph(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := StartMesh(cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	// Runs must be comparable: start from a cold shared proof cache
+	// regardless of what the embedding process did before.
+	core.SharedProofCache().Reset()
+
+	rs := &runState{cfg: cfg, g: g, m: m}
+	start := time.Now()
+
+	if err := rs.publishGraph(); err != nil {
+		return nil, err
+	}
+
+	coldHist := obs.NewHistogram("loadgen_cold", "")
+	warmHist := obs.NewHistogram("loadgen_warm", "")
+	requeried := obs.NewHistogram("loadgen_warm_requeried", "")
+	scratch := obs.NewHistogram("loadgen_scratch", "")
+	pubHist := obs.NewHistogram("loadgen_publish", "")
+	revHist := obs.NewHistogram("loadgen_revoke", "")
+
+	m.SetAdmitHists(coldHist, scratch)
+	coldWall := rs.coldFlow()
+
+	m.SetAdmitHists(requeried, warmHist)
+	warmWall := rs.warmFlow()
+
+	m.SetAdmitHists(scratch, scratch)
+	pubWall := rs.publishFlow(pubHist)
+	revWall := rs.revokeFlow(revHist)
+
+	res := &Result{
+		Config:      cfg,
+		Fingerprint: g.Fingerprint(),
+		Wall:        time.Since(start),
+		Flows:       map[string]Flow{},
+		Violations:  rs.viol,
+		Requeried:   requeried.Snap().Count,
+	}
+	res.Flows[FlowCold] = flowOf(FlowCold, coldHist.Snap(), coldWall)
+	res.Flows[FlowWarm] = flowOf(FlowWarm, warmHist.Snap(), warmWall)
+	res.Flows[FlowPublish] = flowOf(FlowPublish, pubHist.Snap(), pubWall)
+	res.Flows[FlowRevoke] = flowOf(FlowRevoke, revHist.Snap(), revWall)
+
+	st := m.ProverStats()
+	res.ProverStats = map[string]int64{
+		"traversals":       int64(st.Traversals),
+		"minted":           int64(st.Minted),
+		"shortcut_hits":    int64(st.ShortcutHits),
+		"remote_queries":   int64(st.RemoteQueries),
+		"remote_certs":     int64(st.RemoteCerts),
+		"remote_rejected":  int64(st.RemoteRejected),
+		"negcache_hits":    int64(st.NegCacheHits),
+		"negcache_evicted": int64(st.NegCacheEvicted),
+		"invalidated":      int64(st.Invalidated),
+	}
+	cache := core.SharedProofCache()
+	res.CacheHits, res.CacheMisses, res.Epoch = cache.Hits(), cache.Misses(), cache.Epoch()
+	fs := m.DB.Follower.Stats()
+	res.FollowerStats = map[string]int64{
+		"pulled": fs.Pulled, "rejected": fs.Rejected, "rounds": fs.Rounds,
+	}
+	return res, nil
+}
+
+func flowOf(name string, s obs.Snap, wall time.Duration) Flow {
+	f := Flow{
+		Name:    name,
+		Count:   s.Count,
+		Seconds: wall.Seconds(),
+		P50:     s.Quantile(0.50),
+		P95:     s.Quantile(0.95),
+		P99:     s.Quantile(0.99),
+		Mean:    s.Mean(),
+	}
+	if wall > 0 {
+		f.ReqPerSec = float64(s.Count) / wall.Seconds()
+	}
+	return f
+}
+
+// publishGraph pushes every generated certificate through the wire
+// publish path at each principal's home directory, then waits for
+// push replication to converge the full set everywhere.
+func (rs *runState) publishGraph() error {
+	var wg sync.WaitGroup
+	jobs := make(chan *cert.Cert)
+	var failed atomic.Int64
+	for w := 0; w < rs.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				if err := rs.m.Dirs[rs.homeOf(c)].Client.Publish(c); err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	for _, c := range rs.g.Certs {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	if n := failed.Load(); n > 0 {
+		return fmt.Errorf("loadgen: %d of %d publishes failed", n, len(rs.g.Certs))
+	}
+	want := len(rs.g.Certs)
+	deadline := time.Now().Add(time.Duration(rs.cfg.RevokeRounds) * rs.cfg.GossipInterval * 4)
+	for {
+		converged := true
+		for _, d := range rs.m.Dirs {
+			if d.Store.Len() < want {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: directories did not converge to %d certs", want)
+		}
+		time.Sleep(rs.cfg.GossipInterval / 10)
+	}
+}
+
+// homeOf maps a graph certificate to its publish directory.
+func (rs *runState) homeOf(c *cert.Cert) int {
+	// Deterministic spread without a lookup table: first byte of the
+	// body hash. The exact placement is irrelevant to the flows (the
+	// mesh replicates); it just must be stable and spread.
+	return int(c.Hash()[0]) % len(rs.m.Dirs)
+}
+
+// admit drives one signed request for p through its assigned gateway
+// and returns the HTTP status. The request carries only the signed
+// request artifact (R ⇒ P); the delegation chain must already be —
+// or become — known to the gateway's prover.
+func (rs *runState) admit(p *Synthetic) (int, error) {
+	gw := rs.m.Gateways[p.Gateway]
+	req, err := http.NewRequest(http.MethodGet, gw.URL+"/mail?owner="+p.Owner+"&folder=inbox", nil)
+	if err != nil {
+		return 0, err
+	}
+	reqPrin, _, err := httpauth.RequestPrincipal(req)
+	if err != nil {
+		return 0, err
+	}
+	now := time.Now()
+	rp, err := cert.Delegate(p.Key, reqPrin, p.Prin, emaildb.OwnerTag(p.Owner),
+		core.Between(now.Add(-time.Minute), now.Add(rs.cfg.MintTTL)))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Authorization", httpauth.SchemeProof+` request-proof=`+string(rp.Sexp().Transport()))
+	resp, err := gw.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// coldFlow admits every principal exactly once: each admission forces
+// remote chain discovery at the gateway's prover (the grant and
+// handoff are only in the directories). Shuffled so concurrent
+// workers spread across gateways.
+func (rs *runState) coldFlow() time.Duration {
+	order := make([]int, len(rs.g.Principals))
+	for i := range order {
+		order[i] = i
+	}
+	rand.New(rand.NewSource(rs.cfg.Seed+1)).Shuffle(len(order), func(i, j int) {
+		order[i], order[j] = order[j], order[i]
+	})
+	start := time.Now()
+	rs.forEachWorker(len(order), func(i int) {
+		p := rs.g.Principals[order[i]]
+		status, err := rs.admit(p)
+		if err != nil {
+			rs.violate("cold admit %s: %v", p.Owner, err)
+		} else if status != http.StatusOK {
+			rs.violate("cold admit %s: status %d", p.Owner, status)
+		}
+	})
+	return time.Since(start)
+}
+
+// warmFlow drives the zipf schedule against warmed gateways, with
+// churn workers publishing and revoking throwaway certificates in
+// the background (each revocation bumps the shared proof-cache
+// epoch mid-load).
+func (rs *runState) warmFlow() time.Duration {
+	stopChurn := rs.startChurn()
+	start := time.Now()
+	rs.forEachWorker(len(rs.g.Schedule), func(i int) {
+		p := rs.g.Principals[rs.g.Schedule[i]]
+		status, err := rs.admit(p)
+		if err != nil {
+			rs.violate("warm admit %s: %v", p.Owner, err)
+		} else if status != http.StatusOK {
+			rs.violate("warm admit %s: status %d", p.Owner, status)
+		}
+	})
+	wall := time.Since(start)
+	stopChurn()
+	return wall
+}
+
+// startChurn launches the background publish/revoke workers and
+// returns a join function.
+func (rs *runState) startChurn() func() {
+	var wg sync.WaitGroup
+	churnPrin := principal.KeyOf(rs.g.ChurnKey.Public())
+	for w := 0; w < rs.cfg.ChurnWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rs.cfg.ChurnOps; i++ {
+				subj := principal.KeyOf(sfkey.FromSeed([]byte(fmt.Sprintf("loadgen-%d-churn-w%d-c%d", rs.cfg.Seed, w, i))).Public())
+				c, err := cert.Delegate(rs.g.ChurnKey, subj, churnPrin, emaildb.OwnerTag("churn"), rs.g.Validity)
+				if err != nil {
+					rs.violate("churn mint: %v", err)
+					return
+				}
+				d := rs.m.Dirs[(w+i)%len(rs.m.Dirs)]
+				if err := d.Client.Publish(c); err != nil {
+					rs.violate("churn publish: %v", err)
+					return
+				}
+				rl := cert.NewRevocationList(rs.g.ChurnKey, rs.g.Validity, c.Hash())
+				peer := rs.m.Dirs[(w+i+1)%len(rs.m.Dirs)]
+				if err := peer.Client.PushCRL(rl); err != nil {
+					rs.violate("churn revoke: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	return wg.Wait
+}
+
+// publishFlow measures publish→visible-at-peer: a fresh certificate
+// is published at one directory through the wire path, then polled
+// for at a DIFFERENT directory until push replication lands it.
+func (rs *runState) publishFlow(hist *obs.Histogram) time.Duration {
+	deadline := time.Duration(rs.cfg.RevokeRounds) * rs.cfg.GossipInterval
+	churnPrin := principal.KeyOf(rs.g.ChurnKey.Public())
+	start := time.Now()
+	for i := 0; i < rs.cfg.PublishOps; i++ {
+		subj := principal.KeyOf(sfkey.FromSeed([]byte(fmt.Sprintf("loadgen-%d-pub%d", rs.cfg.Seed, i))).Public())
+		c, err := cert.Delegate(rs.g.ChurnKey, subj, churnPrin, emaildb.OwnerTag("pub"), rs.g.Validity)
+		if err != nil {
+			rs.violate("publish mint: %v", err)
+			continue
+		}
+		src := rs.m.Dirs[i%len(rs.m.Dirs)]
+		peer := rs.m.Dirs[(i+1)%len(rs.m.Dirs)]
+		t0 := time.Now()
+		if err := src.Client.Publish(c); err != nil {
+			rs.violate("publish %d: %v", i, err)
+			continue
+		}
+		visible := false
+		for time.Since(t0) < deadline {
+			got, err := peer.Client.Fetch([][]byte{c.Hash()})
+			if err == nil && len(got) == 1 {
+				visible = true
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if !visible {
+			rs.violate("publish %d: not visible at peer within %s", i, deadline)
+			continue
+		}
+		hist.Since(t0)
+	}
+	return time.Since(start)
+}
+
+// revokeFlow revokes the mailbox grant of principals that are still
+// warm at their gateways and measures revocation-to-rejection. The
+// CRL is installed at a directory that is NOT the victim's home, so
+// the measured path is the full pipeline: CRL gossip between
+// directories, issuer-matched eviction, invalidation events to the
+// subscribed provers, and the database domain's CRL pull. A victim
+// still admitted past the deadline is a correctness violation, as is
+// any later admit citing the revoked certificate (checked against
+// the audit trail, which records justifying cert hashes and the
+// epoch each verdict started under).
+func (rs *runState) revokeFlow(hist *obs.Histogram) time.Duration {
+	deadline := time.Duration(rs.cfg.RevokeRounds) * rs.cfg.GossipInterval
+	start := time.Now()
+	type victim struct {
+		p        *Synthetic
+		denyTime time.Time
+	}
+	var victims []victim
+	for i := 0; i < rs.cfg.Revocations; i++ {
+		// Victims come from the tail of the principal range: the zipf
+		// schedule rarely targets them, so revoking them does not
+		// perturb the warm flow of a subsequent comparison run.
+		p := rs.g.Principals[len(rs.g.Principals)-1-i]
+		if status, err := rs.admit(p); err != nil || status != http.StatusOK {
+			rs.violate("revoke %s: pre-admit failed (status %d, err %v)", p.Owner, status, err)
+			continue
+		}
+		org := rs.g.OrgKeys[p.Org]
+		rl := cert.NewRevocationList(org, rs.g.Validity, p.Grant.Hash())
+		installAt := rs.m.Dirs[(p.HomeDir+1)%len(rs.m.Dirs)]
+		t0 := time.Now()
+		if err := installAt.Client.PushCRL(rl); err != nil {
+			rs.violate("revoke %s: CRL install: %v", p.Owner, err)
+			continue
+		}
+		denied := false
+		for time.Since(t0) < deadline {
+			status, err := rs.admit(p)
+			if err != nil {
+				rs.violate("revoke %s: admit error %v", p.Owner, err)
+				break
+			}
+			if status != http.StatusOK {
+				denied = true
+				break
+			}
+			time.Sleep(rs.cfg.GossipInterval / 20)
+		}
+		if !denied {
+			rs.violate("revoke %s: still admitted %s after revocation (deadline %s)",
+				p.Owner, time.Since(t0), deadline)
+			continue
+		}
+		hist.Since(t0)
+		denyTime := time.Now()
+		// Once denied, the rejection must hold: re-proving is
+		// impossible (the grant is evicted mesh-wide) and no cached
+		// verdict may resurrect it.
+		for j := 0; j < 3; j++ {
+			if status, _ := rs.admit(p); status == http.StatusOK {
+				rs.violate("revoke %s: re-admitted after first rejection", p.Owner)
+				break
+			}
+		}
+		victims = append(victims, victim{p: p, denyTime: denyTime})
+	}
+
+	// Audit sweep: no admit decision anywhere in the mesh may cite a
+	// revoked grant after that grant's rejection was observed.
+	for _, v := range victims {
+		h := v.p.Grant.Sexp().Hash()
+		want := hex.EncodeToString(h[:])
+		for _, mg := range rs.m.Gateways {
+			for _, d := range mg.Audit.Recent(0) {
+				if d.Verdict != obs.VerdictAdmit || !d.Time.After(v.denyTime) {
+					continue
+				}
+				for _, ch := range d.CertHashes {
+					if ch == want {
+						rs.violate("audit: gateway %d admitted %s citing revoked cert after rejection (epoch %d)",
+							mg.Index, v.p.Owner, d.Epoch)
+					}
+				}
+			}
+		}
+	}
+	return time.Since(start)
+}
+
+// forEachWorker runs fn(i) for i in [0,n) across the configured
+// worker count.
+func (rs *runState) forEachWorker(n int, fn func(int)) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < rs.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// A histogram filled with a known uniform spread should report
+// quantiles inside the right buckets, with linear interpolation
+// placing them proportionally.
+func TestSnapQuantile(t *testing.T) {
+	h := NewHistogram("t", "", 1, 2, 4, 8)
+	// 100 observations uniform over (0, 1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	s := h.Snap()
+	if got := s.Quantile(0.5); got != 0.5 {
+		t.Fatalf("p50 of uniform(0,1] = %v, want 0.5", got)
+	}
+	if got := s.Quantile(1); got != 1.0 {
+		t.Fatalf("p100 = %v, want 1.0", got)
+	}
+
+	// Add 100 observations in (1, 2]: p50 now sits exactly at the
+	// first bucket boundary, p75 in the middle of the second bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(1 + float64(i)/100)
+	}
+	s = h.Snap()
+	if got := s.Quantile(0.5); got != 1.0 {
+		t.Fatalf("p50 = %v, want 1.0", got)
+	}
+	if got := s.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("p75 = %v, want 1.5", got)
+	}
+	if got, want := s.Mean(), s.Sum/200; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestSnapQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram("t", "", 1, 2)
+	h.Observe(100) // lands in +Inf
+	h.Observe(200)
+	s := h.Snap()
+	if got := s.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want clamped to largest bound 2", got)
+	}
+}
+
+func TestSnapEmptyAndNil(t *testing.T) {
+	var h *Histogram
+	s := h.Snap()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Count != 0 {
+		t.Fatalf("nil histogram snap not zero: %+v", s)
+	}
+	s = NewHistogram("t", "", 1).Snap()
+	if s.Quantile(0.99) != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", s.Quantile(0.99))
+	}
+}
+
+func TestSnapSub(t *testing.T) {
+	h := NewHistogram("t", "", 1, 2)
+	h.Observe(0.5)
+	base := h.Snap()
+	h.Observe(1.5)
+	h.Observe(1.6)
+	d := h.Snap().Sub(base)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	if got := d.Quantile(0.5); got <= 1 || got > 2 {
+		t.Fatalf("delta p50 = %v, want within (1,2]", got)
+	}
+	if math.Abs(d.Sum-3.1) > 1e-9 {
+		t.Fatalf("delta sum = %v, want 3.1", d.Sum)
+	}
+}

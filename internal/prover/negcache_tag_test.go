@@ -1,0 +1,105 @@
+package prover
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// filteredFake wraps fakeSource with server-side tag filtering, the
+// way a real directory answers FilteredSource queries: only
+// delegations whose tag covers the search tag come back.
+type filteredFake struct {
+	*fakeSource
+}
+
+func (f *filteredFake) filter(ps []core.Proof, err error, want tag.Tag, limit int) ([]core.Proof, error) {
+	var out []core.Proof
+	for _, p := range ps {
+		if !tag.Covers(p.Conclusion().Tag, want) {
+			continue
+		}
+		out = append(out, p)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, err
+}
+
+func (f *filteredFake) ByIssuerFor(p principal.Principal, want tag.Tag, limit int) ([]core.Proof, error) {
+	ps, err := f.ByIssuer(p)
+	return f.filter(ps, err, want, limit)
+}
+
+func (f *filteredFake) BySubjectFor(p principal.Principal, want tag.Tag, limit int) ([]core.Proof, error) {
+	ps, err := f.BySubject(p)
+	return f.filter(ps, err, want, limit)
+}
+
+// TestNegativeCacheIsTagScoped pins the negative cache's key to the
+// (query, tag) pair. With a filtered source, "issuer X has nothing"
+// is only true FOR THE TAG ASKED; a tag-blind cache would let a
+// search for tag A poison a later search for tag B through the same
+// issuer, failing proofs whose certificates sit in the directory the
+// whole time. The shape below is the minimal reproduction: two
+// branches under one root, each serving a different tag, probed one
+// after the other within the negative TTL.
+func TestNegativeCacheIsTagScoped(t *testing.T) {
+	now := time.Now()
+	v := core.Until(now.Add(time.Hour))
+	tagA := tag.Prefix("doc")
+	tagB := tag.Prefix("img")
+
+	key := func(seed string) *sfkey.PrivateKey { return sfkey.FromSeed([]byte("negtag-" + seed)) }
+	prin := func(k *sfkey.PrivateKey) principal.Principal { return principal.KeyOf(k.Public()) }
+	root, org1, org2 := key("root"), key("org1"), key("org2")
+	ka, ka2, kb, kb2 := key("a"), key("a2"), key("b"), key("b2")
+
+	mustCert := func(signer *sfkey.PrivateKey, subj principal.Principal, iss principal.Principal, tg tag.Tag) *cert.Cert {
+		c, err := cert.Delegate(signer, subj, iss, tg, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	src := &filteredFake{fakeSource: newFakeSource()}
+	// Two org branches under the root. org1 serves only tag A members,
+	// org2 only tag B; both member chains are two hops so discovery
+	// must walk the issuer frontier (the subject-side query alone
+	// cannot complete them).
+	src.add(mustCert(root, prin(org1), prin(root), tag.All()))
+	src.add(mustCert(root, prin(org2), prin(root), tag.All()))
+	src.add(mustCert(org1, prin(ka), prin(org1), tagA))
+	src.add(mustCert(ka, prin(ka2), prin(ka), tagA))
+	src.add(mustCert(org2, prin(kb), prin(org2), tagB))
+	src.add(mustCert(kb, prin(kb2), prin(kb), tagB))
+
+	p := New()
+	p.AddRemote(src)
+
+	// Search 1 (tag A) walks the frontier through both orgs; the
+	// filtered query "issued by org2, covering A" legitimately returns
+	// nothing and is negative-cached.
+	if _, err := p.FindProof(prin(ka2), prin(root), tagA, now); err != nil {
+		t.Fatalf("tag A proof: %v", err)
+	}
+	// Search 2 (tag B) needs that same org2 issuer query — under tag
+	// B, where the grant exists. A tag-blind cache suppresses it and
+	// this proof fails despite every certificate being available.
+	proof, err := p.FindProof(prin(kb2), prin(root), tagB, now)
+	if err != nil {
+		t.Fatalf("tag B proof poisoned by tag A negative cache: %v", err)
+	}
+	ctx := core.NewVerifyContext()
+	ctx.Now = now
+	if err := core.Authorize(ctx, proof, prin(kb2), prin(root), tagB); err != nil {
+		t.Fatal(err)
+	}
+}

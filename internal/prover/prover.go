@@ -117,7 +117,7 @@ type Prover struct {
 
 	rmu      sync.Mutex
 	remotes  []RemoteSource
-	negCache map[string]time.Time // query key -> time it came back empty
+	negCache map[string]time.Time // tag-qualified query key -> time it came back empty
 
 	// DisableShortcuts turns off the proof cache (ablation).
 	DisableShortcuts bool

@@ -96,6 +96,15 @@ type remoteQuery struct {
 
 func (q remoteQuery) key() string { return q.axis + "|" + q.prin.Key() }
 
+// negKey is the negative-cache key for q under a search tag. The tag
+// must qualify the key: filtered sources answer "nothing for THIS
+// tag", so an empty reply to (issuer, tag A) says nothing about
+// (issuer, tag B) — caching it tag-blind would suppress the B query
+// and fail proofs whose certificates are sitting in the directory.
+func (q remoteQuery) negKey(want tag.Tag) string {
+	return q.key() + "|" + string(want.Sexp().Canonical())
+}
+
 // remoteAnswer collects the merged replies to one query. answered is
 // false when every source errored, so an unreachable directory is
 // never mistaken for a genuinely empty answer.
@@ -124,7 +133,7 @@ func (p *Prover) findRemote(ctx context.Context, subject, issuer principal.Princ
 	err := localErr
 	for round := 0; round < rounds && budget > 0; round++ {
 		frontier := p.reachable(issuer, want, now)
-		queries := p.planQueries(frontier, subject, now, asked, &budget)
+		queries := p.planQueries(frontier, subject, want, now, asked, &budget)
 		if len(queries) == 0 {
 			break
 		}
@@ -138,7 +147,7 @@ func (p *Prover) findRemote(ctx context.Context, subject, issuer principal.Princ
 		for i, q := range queries {
 			if len(answers[i].proofs) == 0 {
 				if answers[i].answered {
-					p.cacheNegative(q.key(), now)
+					p.cacheNegative(q.negKey(want), now)
 				}
 				continue
 			}
@@ -159,7 +168,7 @@ func (p *Prover) findRemote(ctx context.Context, subject, issuer principal.Princ
 // planQueries chooses this round's directory questions: the
 // issuer-side frontier in BFS order, then the subject itself, skipping
 // questions already asked this call or freshly answered empty.
-func (p *Prover) planQueries(frontier []principal.Principal, subject principal.Principal, now time.Time, asked map[string]bool, budget *int) []remoteQuery {
+func (p *Prover) planQueries(frontier []principal.Principal, subject principal.Principal, want tag.Tag, now time.Time, asked map[string]bool, budget *int) []remoteQuery {
 	p.rmu.Lock()
 	defer p.rmu.Unlock()
 	var out []remoteQuery
@@ -167,12 +176,12 @@ func (p *Prover) planQueries(frontier []principal.Principal, subject principal.P
 		if *budget <= 0 || asked[q.key()] {
 			return
 		}
-		if t, ok := p.negCache[q.key()]; ok {
+		if t, ok := p.negCache[q.negKey(want)]; ok {
 			if now.Sub(t) < p.negTTL() {
 				p.stats.negCacheHits.Add(1)
 				return
 			}
-			delete(p.negCache, q.key())
+			delete(p.negCache, q.negKey(want))
 		}
 		asked[q.key()] = true
 		*budget--
