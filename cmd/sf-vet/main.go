@@ -1,0 +1,82 @@
+// Command sf-vet runs the repo's invariant analyzers (internal/lint)
+// over the named packages and reports violations in the familiar
+// file:line:col format. It is the blocking static-analysis step in
+// CI:
+//
+//	go run ./cmd/sf-vet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load/internal failure.
+// Intentional exceptions are written as
+//
+//	//sfvet:ignore <analyzer> <reason>
+//
+// on (or directly above) the flagged line; bare ignores without a
+// reason are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "run a single analyzer by name")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sf-vet [-list] [-only analyzer] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the repo's invariant analyzers; defaults to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		var picked []*lint.Analyzer
+		for _, a := range analyzers {
+			if a.Name == *only {
+				picked = append(picked, a)
+			}
+		}
+		if len(picked) == 0 {
+			fmt.Fprintf(os.Stderr, "sf-vet: unknown analyzer %q (try -list)\n", *only)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sf-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sf-vet:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sf-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sf-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -171,6 +171,7 @@ func (l *EventLog) EventsSince(after uint64) (evs []Event, next uint64, reset bo
 // current it blocks until an event is appended or the timeout lapses,
 // whichever comes first. A zero timeout never blocks.
 func (l *EventLog) Wait(after uint64, timeout time.Duration) (evs []Event, next uint64, reset bool) {
+	//sfvet:ignore clockcheck the long-poll deadline is a real-time I/O timeout, not certificate-validity time
 	deadline := time.Now().Add(timeout)
 	for {
 		l.mu.Lock()

@@ -149,6 +149,7 @@ func (r *Replicator) now() time.Time {
 	if r.Clock != nil {
 		return r.Clock()
 	}
+	//sfvet:ignore clockcheck this nil-clock fallback is the Replicator.Clock injection seam itself
 	return time.Now()
 }
 

@@ -137,6 +137,7 @@ func (s *Service) now() time.Time {
 	if s.Clock != nil {
 		return s.Clock()
 	}
+	//sfvet:ignore clockcheck this nil-clock fallback is the Service.Clock injection seam itself
 	return time.Now()
 }
 
@@ -296,6 +297,15 @@ func (s *Service) doPublish(e sexp.Sexp) (sexp.Sexp, error) {
 	c, ok := p.(*cert.Cert)
 	if !ok {
 		return nil, fmt.Errorf("certdir: only signed certificates are publishable, not %T", p)
+	}
+	// Screen the wire-decoded certificate here, at the trust boundary,
+	// before it reaches the store (verify-before-index). Store.publish
+	// re-checks as defense in depth, but the verdict is memoized in
+	// the shared proof cache so that check is a lookup, and the
+	// rejected counter advances exactly once per refusal either way.
+	if err := c.Verify(publishCtx(s.now())); err != nil {
+		s.Store.rejected.Add(1)
+		return nil, fmt.Errorf("certdir: refusing certificate: %w", err)
 	}
 	added, err := s.Store.Publish(c, s.now())
 	if err != nil {

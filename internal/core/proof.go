@@ -80,6 +80,7 @@ func NewVerifyContext() *VerifyContext {
 // At returns the verification time.
 func (ctx *VerifyContext) At() time.Time {
 	if ctx.Now.IsZero() {
+		//sfvet:ignore clockcheck this zero-value fallback is the VerifyContext.Now injection seam itself
 		return time.Now()
 	}
 	return ctx.Now

@@ -86,6 +86,7 @@ func (c *ProofCache) now() time.Time {
 	if c.clock != nil {
 		return c.clock()
 	}
+	//sfvet:ignore clockcheck this nil-clock fallback is the SetClock injection seam itself
 	return time.Now()
 }
 

@@ -236,15 +236,16 @@ func (p *Protected) authorizeProof(r *http.Request, params map[string]string, re
 	if err != nil {
 		return nil, fmt.Errorf("httpauth: bad proof: %w", err)
 	}
+	// Batch the chain's certificate signature checks before taking
+	// p.mu (lockscope): portable verdicts land in the shared proof
+	// cache, so the verification walk inside Authorize finds them
+	// instead of checking signatures one by one under the lock.
+	// Authorize still owns the verdict (subject match, tag coverage).
+	_ = cert.VerifyChain(p.scratchCtx(), proof)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	ctx := p.lockedCtx()
 	p.stats.ProofVerifies++
-	// Batch the chain's certificate signature checks up front; the
-	// verdicts land in ctx's memo, so the verification walk inside
-	// Authorize finds them instead of checking signatures one by one.
-	// Authorize still owns the verdict (subject match, tag coverage).
-	_ = cert.VerifyChain(ctx, proof)
 	if err := core.Authorize(ctx, proof, reqPrin, issuer, reqTag); err != nil {
 		return nil, err
 	}
@@ -260,6 +261,21 @@ func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqP
 	keyID, mac := params["keyid"], params["mac"]
 	if keyID == "" || mac == "" {
 		return nil, fmt.Errorf("httpauth: missing keyid or mac")
+	}
+	// A proof for the MAC principal may ride along on this request.
+	// Parse and chain-verify it before taking p.mu (lockscope): the
+	// signature work needs nothing from the MAC table, and verifying
+	// with a scratch context (no request-local assumptions) means only
+	// proofs that stand on their own are filed for reuse.
+	var rideAlong core.Proof
+	rideAlongTried := false
+	if raw := r.Header.Get(HdrProof); raw != "" {
+		if proof, err := core.ParseProof([]byte(raw)); err == nil {
+			rideAlongTried = true
+			if err := cert.VerifyChain(p.scratchCtx(), proof); err == nil {
+				rideAlong = proof
+			}
+		}
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -277,15 +293,12 @@ func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqP
 	link := core.SpeaksFor{Subject: reqPrin, Issuer: ms.prin, Tag: tag.All()}
 	ctx.Assume(link)
 
-	// A proof for the MAC principal may ride along on this request.
-	if raw := r.Header.Get(HdrProof); raw != "" {
-		if proof, err := core.ParseProof([]byte(raw)); err == nil {
-			p.stats.ProofVerifies++
-			if err := cert.VerifyChain(ctx, proof); err == nil {
-				k := proof.Conclusion().Subject.Key()
-				p.proofs[k] = append(p.proofs[k], proof)
-			}
-		}
+	if rideAlongTried {
+		p.stats.ProofVerifies++
+	}
+	if rideAlong != nil {
+		k := rideAlong.Conclusion().Subject.Key()
+		p.proofs[k] = append(p.proofs[k], rideAlong)
 	}
 
 	for _, stored := range p.proofs[ms.prin.Key()] {
@@ -320,6 +333,25 @@ func (p *Protected) audit(d obs.Decision) {
 // lockedCtx refreshes the persistent verification context. Its local
 // memo is the warm path across requests; a proof-cache epoch bump
 // (CRL installed) discards it so no stale verdict survives.
+// scratchCtx builds a throwaway verification context sharing the
+// resource's clock, revocation hooks, and proof cache. It needs no
+// lock — those fields are set before serving — so signature batching
+// can run outside p.mu; portable verdicts still land in the shared
+// ProofCache where the locked authorization walk finds them.
+func (p *Protected) scratchCtx() *core.VerifyContext {
+	cache := p.Cache
+	if cache == nil {
+		cache = core.SharedProofCache()
+	}
+	ctx := core.NewVerifyContext()
+	ctx.Cache = cache
+	ctx.Now = p.now()
+	ctx.Revoked = p.Revoked
+	ctx.Revalidate = p.Revalidate
+	ctx.RevocationView = p.RevocationView
+	return ctx
+}
+
 func (p *Protected) lockedCtx() *core.VerifyContext {
 	cache := p.Cache
 	if cache == nil {

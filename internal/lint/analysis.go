@@ -1,0 +1,160 @@
+// Package lint is the sf-vet analysis suite: a small, stdlib-only
+// reimplementation of the golang.org/x/tools/go/analysis shape (that
+// module is not vendored here) plus the analyzers that mechanically
+// enforce this repository's soundness and ownership invariants —
+// rules that previously lived only as prose in docs/ARCHITECTURE.md
+// and reviewers' heads.
+//
+// Each analyzer is intraprocedural and conservative: it reports only
+// shapes it can see inside one function, so a clean run is not a
+// soundness proof, but every report is cheap to act on and every
+// suppression (//sfvet:ignore) is greppable. The suite runs blocking
+// in CI via cmd/sf-vet.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a type-checked package
+// through the Pass and reports findings; it returns an error only for
+// internal failures (a report is not an error).
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //sfvet:ignore
+	Doc  string // one-paragraph description of the enforced invariant
+	Run  func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// --- shared type-aware helpers ---
+
+// calleeFunc resolves the static callee of a call: a package-level
+// function, a method (through a selector), or nil for calls through
+// function values, built-ins, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.Fn.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isFunc reports whether fn is the named function or method of the
+// package whose import path ends in pkgSuffix. Matching by suffix
+// keeps analyzers working both on this module ("repro/internal/sexp")
+// and on analyzer testdata that re-imports the same packages.
+func isFunc(fn *types.Func, pkgSuffix, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(fn.Pkg().Path(), pkgSuffix)
+}
+
+// pathHasSuffix reports whether path equals suffix or ends in
+// "/"+suffix (a whole-segment suffix match).
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// recvNamed returns the name of fn's receiver type (sans pointer), or
+// "" for non-methods.
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isMethod reports whether fn is the named method on the named type
+// of the package whose path ends in pkgSuffix.
+func isMethod(fn *types.Func, pkgSuffix, typeName, name string) bool {
+	return isFunc(fn, pkgSuffix, name) && recvNamed(fn) == typeName
+}
+
+// mentionsAny reports whether expr references any object in objs.
+func mentionsAny(info *types.Info, expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// funcScopes returns every function body in the file paired with a
+// printable name: declared functions and methods plus function
+// literals (named after their enclosing declaration).
+type funcScope struct {
+	name string
+	body *ast.BlockStmt
+}
+
+func funcScopes(f *ast.File) []funcScope {
+	var out []funcScope
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, funcScope{name: fd.Name.Name, body: fd.Body})
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// clockSeams lists the packages that inject their clocks and, for
+// each, the seam a fix should thread instead of reading the wall
+// clock. PRs 2 and 4 made revocation windows and cache eviction
+// testable by injecting clocks; a stray time.Now() reintroduces
+// wall-clock coupling that only shows up as flaky sleeps in tests.
+var clockSeams = map[string]string{
+	"internal/core":    "VerifyContext.Now / ProofCache.SetClock",
+	"internal/prover":  "the now parameter threaded through FindProof/Sweep",
+	"internal/certdir": "Service.Clock / Replicator.Clock / Store's now parameters",
+	"internal/loadgen": "Config.Now (the seeded world's clock)",
+}
+
+// ClockCheck forbids direct time.Now() in clock-injected packages.
+//
+// One shape is exempt: a time.Now() captured into a variable that the
+// function later feeds to a Since or Sub call is duration
+// measurement — latency histograms must read the monotonic wall
+// clock, and injected logical clocks deliberately do not tick.
+var ClockCheck = &Analyzer{
+	Name: "clockcheck",
+	Doc: "forbid direct time.Now() in packages with injected clocks " +
+		"(core, prover, certdir, loadgen); point at the injection seam",
+	Run: runClockCheck,
+}
+
+func runClockCheck(pass *Pass) error {
+	seam := ""
+	enforced := false
+	for suffix, s := range clockSeams {
+		if pathHasSuffix(pass.Pkg.Path(), suffix) {
+			seam, enforced = s, true
+			break
+		}
+	}
+	if !enforced {
+		return nil
+	}
+	for _, f := range pass.Files {
+		exempt := make(map[token.Pos]bool)
+		for _, fs := range funcScopes(f) {
+			markDurationExemptions(pass.Info, fs.body, exempt)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Now" {
+				return true
+			}
+			if exempt[call.Pos()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct time.Now() in clock-injected package %s; thread the injected clock (%s), "+
+					"or capture a start solely for Since/Sub duration measurement",
+				pass.Pkg.Path(), seam)
+			return true
+		})
+	}
+	return nil
+}
+
+// markDurationExemptions finds `v := time.Now()` assignments whose v
+// is later consumed by a Since or Sub call within the same function
+// and records those time.Now() call positions as exempt.
+func markDurationExemptions(info *types.Info, body *ast.BlockStmt, exempt map[token.Pos]bool) {
+	// Variables assigned directly from time.Now().
+	captured := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Now" {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				captured[obj] = call.Pos()
+			} else if obj := info.Uses[id]; obj != nil {
+				captured[obj] = call.Pos()
+			}
+		}
+		return true
+	})
+	if len(captured) == 0 {
+		return
+	}
+	// Uses of those variables in Since(v) / x.Sub(v) / v.Sub(x).
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if name != "Since" && name != "Sub" {
+			return true
+		}
+		mark := func(e ast.Expr) {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if pos, ok := captured[obj]; ok {
+						exempt[pos] = true
+					}
+				}
+			}
+		}
+		for _, a := range call.Args {
+			mark(a)
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			mark(sel.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EpochCheck guards the proof cache's central soundness invariant
+// (PR 2, restated in core's package doc): the revocation epoch stored
+// with a verdict must be read BEFORE verification begins. A CRL that
+// lands mid-verification bumps the live epoch, so Store — comparing
+// the captured epoch against the current one — discards the verdict
+// instead of caching it against a revocation state it never saw.
+// Reading the epoch at Store time (after verification) silently
+// closes that window the wrong way: the stale verdict is cached as if
+// it post-dated the CRL.
+//
+// Mechanically, for every call to (*core.ProofCache).Store:
+//
+//   - the epoch argument must not itself be (or contain) an .Epoch()
+//     call — that reads the epoch after verification finished;
+//   - if the epoch argument is a variable assigned from .Epoch()
+//     in the same function, that assignment must precede the first
+//     verification call (a Verify*-named call, or an invocation of a
+//     function-typed value like verifyMemo's f()).
+var EpochCheck = &Analyzer{
+	Name: "epochcheck",
+	Doc:  "proof-cache writes capture the revocation epoch before verification begins",
+	Run:  runEpochCheck,
+}
+
+func runEpochCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fs := range funcScopes(f) {
+			checkEpochScope(pass, fs.body)
+		}
+	}
+	return nil
+}
+
+func checkEpochScope(pass *Pass, body *ast.BlockStmt) {
+	// Gather, in one sweep: ProofCache.Store calls, assignments whose
+	// RHS reads .Epoch(), and the first verification call.
+	type storeCall struct{ call *ast.CallExpr }
+	var stores []storeCall
+	epochAssign := make(map[types.Object]token.Pos)
+	firstVerify := token.NoPos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if !containsEpochRead(pass.Info, rhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok {
+					if obj := identObj(pass.Info, id); obj != nil {
+						if _, seen := epochAssign[obj]; !seen {
+							epochAssign[obj] = n.Pos()
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if isMethod(fn, "internal/core", "ProofCache", "Store") && len(n.Args) >= 4 {
+				stores = append(stores, storeCall{call: n})
+				return true
+			}
+			if isVerificationCall(pass.Info, n, fn) {
+				if firstVerify == token.NoPos || n.Pos() < firstVerify {
+					firstVerify = n.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	for _, sc := range stores {
+		epochArg := sc.call.Args[2]
+		if containsEpochRead(pass.Info, epochArg) {
+			pass.Reportf(epochArg.Pos(),
+				"revocation epoch read at ProofCache.Store time; capture it into a variable before verification begins, "+
+					"or a CRL landing mid-verification is cached over")
+			continue
+		}
+		id, ok := ast.Unparen(epochArg).(*ast.Ident)
+		if !ok {
+			continue // literal or parameter: the capture is the caller's.
+		}
+		obj := identObj(pass.Info, id)
+		if obj == nil {
+			continue
+		}
+		assignPos, ok := epochAssign[obj]
+		if !ok {
+			continue // epoch came from elsewhere (parameter, field).
+		}
+		if firstVerify != token.NoPos && firstVerify < assignPos {
+			pass.Reportf(assignPos,
+				"revocation epoch captured after verification began (verify call at %s); "+
+					"hoist the .Epoch() read above it",
+				pass.Fset.Position(firstVerify))
+		}
+	}
+}
+
+// containsEpochRead reports whether expr contains a call to a method
+// named Epoch (the ProofCache/RevocationStore epoch readers).
+func containsEpochRead(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, call); fn != nil && fn.Name() == "Epoch" {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isVerificationCall reports whether the call begins verification: a
+// callee whose name starts with Verify/verify, or an invocation of a
+// function-typed variable (the f() shape in verifyMemo).
+func isVerificationCall(info *types.Info, call *ast.CallExpr, fn *types.Func) bool {
+	if fn != nil {
+		name := fn.Name()
+		return len(name) >= 6 && (name[:6] == "Verify" || name[:6] == "verify")
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, ok := info.Uses[id].(*types.Var); ok {
+			if _, isSig := obj.Type().Underlying().(*types.Signature); isSig {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// identObj resolves an identifier to its object, whether this
+// occurrence defines it (:=) or uses it (=).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}

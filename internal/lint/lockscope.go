@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockScope enforces the snapshot-then-release discipline PR 2 built
+// the sharded prover and directory around: shard mutexes bound tiny
+// index regions, and everything expensive or blocking happens outside
+// them. While any sync.Mutex/RWMutex is held, the analyzer forbids
+//
+//   - signature verification (Verify*-named calls): one Ed25519 check
+//     is ~50µs — serializing it under a shard lock collapses the
+//     concurrent prover back to the global-mutex design;
+//   - minting (Sign/SignWithRevalidation/Mint*): same cost, plus
+//     minting can re-enter prover paths;
+//   - network I/O (net, net/http, certdir.Client calls): unbounded
+//     latency under a lock is a mesh-wide stall, and gossip re-entry
+//     can deadlock;
+//   - channel sends (including select send cases): the receiver may
+//     need the very lock held here.
+//
+// The walk is branch-aware and conservative: an early-exit branch
+// that unlocks and returns does not clear the lock for the fallthrough
+// path, and a deferred Unlock holds until function end.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no verification, minting, network I/O, or channel send while holding a shard lock",
+	Run:  runLockScope,
+}
+
+func runLockScope(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fs := range funcScopes(f) {
+			w := &lockWalker{pass: pass}
+			w.block(fs.body.List, map[string]token.Pos{})
+		}
+	}
+	return nil
+}
+
+// lockWalker carries the per-function analysis. Held-lock sets map a
+// lock expression's printed form ("sh.mu") to the Lock call position.
+type lockWalker struct {
+	pass *Pass
+}
+
+// mutexMethod classifies a call as a lock operation on a
+// sync.Mutex/RWMutex-typed receiver, returning the lock key and the
+// method name.
+func (w *lockWalker) mutexMethod(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okT := w.pass.Info.Types[sel.X]
+	if !okT {
+		return "", "", false
+	}
+	t := tv.Type
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return types.ExprString(sel.X), method, true
+	}
+	return "", "", false
+}
+
+// forbidden classifies a call that must not run under a lock,
+// returning a short description or "".
+func (w *lockWalker) forbidden(call *ast.CallExpr) string {
+	fn := calleeFunc(w.pass.Info, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch {
+	case strings.HasPrefix(name, "Verify"):
+		return "signature verification (" + name + ")"
+	case name == "Sign" || name == "SignWithRevalidation" || strings.HasPrefix(name, "Mint"):
+		return "minting (" + name + ")"
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		recv := recvNamed(fn)
+		switch {
+		case pkg.Path() == "net/http" && recv == "" &&
+			(name == "Get" || name == "Post" || name == "PostForm" || name == "Head"):
+			return "network I/O (http." + name + ")"
+		case pkg.Path() == "net/http" && recv == "Client":
+			return "network I/O (http.Client." + name + ")"
+		case pkg.Path() == "net" &&
+			(strings.HasPrefix(name, "Dial") || strings.HasPrefix(name, "Listen")):
+			return "network I/O (net." + name + ")"
+		case pathHasSuffix(pkg.Path(), "internal/certdir") && recv == "Client":
+			return "network I/O (certdir.Client." + name + ")"
+		}
+	}
+	return ""
+}
+
+// block walks one statement list with the given entry lock set and
+// returns the lock set at its end.
+func (w *lockWalker) block(stmts []ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	for _, s := range stmts {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func unionHeld(a, b map[string]token.Pos) map[string]token.Pos {
+	out := cloneHeld(a)
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// terminates reports whether a statement list certainly leaves the
+// enclosing block (return, branch, panic).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	switch s := s.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		return w.block(s.List, held)
+	case *ast.IfStmt:
+		held = w.stmt(s.Init, held)
+		held = w.scan(s.Cond, held)
+		thenOut := w.block(s.Body.List, cloneHeld(held))
+		elseOut := held
+		if s.Else != nil {
+			elseOut = w.stmt(s.Else, cloneHeld(held))
+		}
+		switch {
+		case terminates(s.Body.List) && s.Else != nil:
+			return elseOut
+		case terminates(s.Body.List):
+			return held
+		default:
+			return unionHeld(thenOut, elseOut)
+		}
+	case *ast.ForStmt:
+		held = w.stmt(s.Init, held)
+		held = w.scan(s.Cond, held)
+		bodyOut := w.block(s.Body.List, cloneHeld(held))
+		bodyOut = w.stmt(s.Post, bodyOut)
+		return unionHeld(held, bodyOut)
+	case *ast.RangeStmt:
+		held = w.scan(s.X, held)
+		bodyOut := w.block(s.Body.List, cloneHeld(held))
+		return unionHeld(held, bodyOut)
+	case *ast.SwitchStmt:
+		held = w.stmt(s.Init, held)
+		held = w.scan(s.Tag, held)
+		return w.clauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(s.Init, held)
+		held = w.stmt(s.Assign, held)
+		return w.clauses(s.Body, held)
+	case *ast.SelectStmt:
+		return w.clauses(s.Body, held)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			held = w.scan(e, held)
+		}
+		return w.block(s.Body, held)
+	case *ast.CommClause:
+		held = w.stmt(s.Comm, held)
+		return w.block(s.Body, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held through function end;
+		// a deferred Lock (pathological) is ignored. Other deferred
+		// calls run at return, outside this linear region — skip them,
+		// but still classify a deferred forbidden call if a lock is
+		// certainly held to the end (deferred Unlock present means the
+		// deferred forbidden call may run before it — order unknowable
+		// here, so stay quiet).
+		if _, method, ok := w.mutexMethod(s.Call); ok && (method == "Lock" || method == "RLock") {
+			key, _, _ := w.mutexMethod(s.Call)
+			held[key] = s.Call.Pos()
+		}
+		return held
+	case *ast.SendStmt:
+		w.reportHeld(s.Arrow, "channel send", held)
+		held = w.scan(s.Chan, held)
+		return w.scan(s.Value, held)
+	case *ast.ExprStmt:
+		return w.scan(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.scan(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.scan(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.scan(e, held)
+		}
+		return held
+	case *ast.GoStmt:
+		// The spawned goroutine runs outside this lock region; its
+		// body is a separate scope. Do not scan inside.
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.scan(v, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.IncDecStmt:
+		return w.scan(s.X, held)
+	default:
+		return held
+	}
+}
+
+func (w *lockWalker) clauses(body *ast.BlockStmt, held map[string]token.Pos) map[string]token.Pos {
+	out := held
+	any := false
+	for _, c := range body.List {
+		cOut := w.stmt(c, cloneHeld(held))
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			list = cc.Body
+		}
+		if terminates(list) {
+			continue
+		}
+		if !any {
+			out, any = cOut, true
+		} else {
+			out = unionHeld(out, cOut)
+		}
+	}
+	return out
+}
+
+// scan applies lock/unlock effects and forbidden-call checks for
+// every call inside one expression, in source order.
+func (w *lockWalker) scan(e ast.Expr, held map[string]token.Pos) map[string]token.Pos {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures execute elsewhere (or are at least a distinct
+			// scope); analyze with an empty lock set.
+			w.block(n.Body.List, map[string]token.Pos{})
+			return false
+		case *ast.SendStmt:
+			w.reportHeld(n.Arrow, "channel send", held)
+		case *ast.CallExpr:
+			if key, method, ok := w.mutexMethod(n); ok {
+				switch method {
+				case "Lock", "RLock":
+					held[key] = n.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return true
+			}
+			if desc := w.forbidden(n); desc != "" {
+				w.reportHeld(n.Pos(), desc, held)
+			}
+		}
+		return true
+	})
+	return held
+}
+
+func (w *lockWalker) reportHeld(pos token.Pos, what string, held map[string]token.Pos) {
+	for key, lockPos := range held {
+		w.pass.Reportf(pos,
+			"%s while holding %s (locked at %s); snapshot under the lock, release, then do the work",
+			what, key, w.pass.Fset.Position(lockPos))
+		return // one report per site is enough
+	}
+}

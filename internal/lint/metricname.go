@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+)
+
+// MetricName checks every metric name at its construction site —
+// server.Counter, server.Gauge, obs.NewHistogram — against the
+// conventions TestMetricsExpositionLint enforces at runtime, so a
+// malformed name fails vet instead of the first live scrape:
+//
+//   - names are ^sf_[a-z0-9_]+$ (the repo's namespace, Prometheus
+//     name syntax);
+//   - counters end in _total;
+//   - gauges do not end in _total (that suffix promises a counter);
+//   - histograms end in a base unit: _seconds or _bytes;
+//   - names are compile-time constants (a dynamic name cannot be
+//     linted or grepped, and dashboards key on literal names).
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric names follow Prometheus conventions (sf_ namespace, _total counters, _seconds histograms)",
+	Run:  runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^sf_[a-z0-9_]+$`)
+
+func runMetricName(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || len(call.Args) == 0 {
+				return true
+			}
+			var kind string
+			switch {
+			case isFunc(fn, "internal/server", "Counter"):
+				kind = "counter"
+			case isFunc(fn, "internal/server", "Gauge"):
+				kind = "gauge"
+			case isFunc(fn, "internal/obs", "NewHistogram"):
+				kind = "histogram"
+			default:
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(call.Args[0].Pos(),
+					"%s name must be a compile-time constant string so it can be linted and grepped", kind)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"%s name %q must match %s (sf_ namespace, lower-case, Prometheus name syntax)",
+					kind, name, metricNameRE)
+				return true
+			}
+			switch kind {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					pass.Reportf(call.Args[0].Pos(),
+						"counter name %q must end in _total (Prometheus counter convention); "+
+							"a monotone level (like an epoch) is a gauge", name)
+				}
+			case "gauge":
+				if strings.HasSuffix(name, "_total") {
+					pass.Reportf(call.Args[0].Pos(),
+						"gauge name %q must not end in _total (that suffix promises a counter)", name)
+				}
+			case "histogram":
+				if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+					pass.Reportf(call.Args[0].Pos(),
+						"histogram name %q must end in a base unit (_seconds or _bytes)", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

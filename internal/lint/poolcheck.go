@@ -1,0 +1,568 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck enforces the pooled-buffer and arena ownership rules the
+// PR 7 wire layer documents in docs/ARCHITECTURE.md and, until now,
+// enforced only by review:
+//
+//   - every sexp.GetBuf/GetArena must be paired with PutBuf/PutArena
+//     on every path out of the function — a defer, a dominating call,
+//     or a return that hands the value (and the obligation) to the
+//     caller;
+//   - a pooled value must not be used after its Put: the pool will
+//     hand the same backing memory to a concurrent caller, and the
+//     "use" becomes cross-request data corruption (the aliasing class
+//     TestConcurrentCallsNoPooledBufferAliasing hunts at runtime);
+//   - a value parsed out of an arena must not escape by return when
+//     the arena's PutArena is deferred in the same function — the
+//     expression dies when the arena is recycled.
+//
+// The walk is branch-aware: an error path that Puts and returns is
+// clean, and the fallthrough keeps its obligation. Aliases made by
+// plain assignment or reslicing share the obligation (PutBuf accepts
+// any append-grown descendant).
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "sexp.GetBuf/GetArena paired with Put on all paths; no use after Put; no arena value escaping its arena",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fs := range funcScopes(f) {
+			w := &poolWalker{pass: pass}
+			st := newPoolState()
+			st = w.block(fs.body.List, st)
+			if !terminates(fs.body.List) {
+				w.checkExit(fs.body.End(), st, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// oblig is one live Get obligation.
+type oblig struct {
+	kind string // "pooled buffer" or "arena"
+	pos  token.Pos
+	put  string // "PutBuf" / "PutArena"
+}
+
+// poolState is the per-path abstract state.
+type poolState struct {
+	// live maps each variable currently carrying an obligation to it;
+	// aliases share the *oblig.
+	live map[types.Object]*oblig
+	// deferred obligations are discharged at function exit.
+	deferred map[*oblig]bool
+	// dead maps variables whose obligation was explicitly Put to the
+	// Put position: later uses are reports.
+	dead map[types.Object]token.Pos
+	// arena maps arena-parsed values to the deferred-put arena they
+	// borrow from.
+	arena map[types.Object]*oblig
+}
+
+func newPoolState() poolState {
+	return poolState{
+		live:     make(map[types.Object]*oblig),
+		deferred: make(map[*oblig]bool),
+		dead:     make(map[types.Object]token.Pos),
+		arena:    make(map[types.Object]*oblig),
+	}
+}
+
+func (st poolState) clone() poolState {
+	out := newPoolState()
+	for k, v := range st.live {
+		out.live[k] = v
+	}
+	for k, v := range st.deferred {
+		out.deferred[k] = v
+	}
+	for k, v := range st.dead {
+		out.dead[k] = v
+	}
+	for k, v := range st.arena {
+		out.arena[k] = v
+	}
+	return out
+}
+
+// merge combines two non-terminated branch exits conservatively: an
+// obligation stays live unless discharged in both.
+func (st poolState) merge(other poolState) poolState {
+	out := st.clone()
+	for k, v := range other.live {
+		if _, ok := out.live[k]; !ok {
+			out.live[k] = v
+		}
+	}
+	for k, v := range other.deferred {
+		out.deferred[k] = v
+	}
+	for k, v := range other.dead {
+		if _, ok := out.dead[k]; !ok {
+			out.dead[k] = v
+		}
+	}
+	for k, v := range other.arena {
+		if _, ok := out.arena[k]; !ok {
+			out.arena[k] = v
+		}
+	}
+	return out
+}
+
+type poolWalker struct {
+	pass *Pass
+}
+
+// poolCall classifies a call as one of the four pool functions.
+func (w *poolWalker) poolCall(call *ast.CallExpr) string {
+	fn := calleeFunc(w.pass.Info, call)
+	for _, name := range []string{"GetBuf", "GetArena", "PutBuf", "PutArena"} {
+		if isFunc(fn, "internal/sexp", name) {
+			return name
+		}
+	}
+	return ""
+}
+
+func (w *poolWalker) block(stmts []ast.Stmt, st poolState) poolState {
+	for _, s := range stmts {
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *poolWalker) stmt(s ast.Stmt, st poolState) poolState {
+	switch s := s.(type) {
+	case nil:
+		return st
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+	case *ast.AssignStmt:
+		return w.assign(s, st)
+	case *ast.DeferStmt:
+		if name := w.poolCall(s.Call); name == "PutBuf" || name == "PutArena" {
+			if ob := w.obligOf(s.Call.Args, st); ob != nil {
+				st.deferred[ob] = true
+			}
+			return st
+		}
+		return w.scanUses(s.Call, st)
+	case *ast.ExprStmt:
+		return w.exprEffects(s.X, st)
+	case *ast.ReturnStmt:
+		st = w.returnStmt(s, st)
+		return st
+	case *ast.IfStmt:
+		st = w.stmt(s.Init, st)
+		st = w.scanUses(s.Cond, st)
+		thenOut := w.block(s.Body.List, st.clone())
+		var elseOut poolState
+		hasElse := s.Else != nil
+		if hasElse {
+			elseOut = w.stmt(s.Else, st.clone())
+		}
+		thenEnds := terminates(s.Body.List)
+		elseEnds := hasElse && w.elseTerminates(s.Else)
+		switch {
+		case thenEnds && !hasElse:
+			return st
+		case thenEnds && elseEnds:
+			return st // both left; fallthrough unreachable, keep entry
+		case thenEnds:
+			return elseOut
+		case elseEnds || !hasElse:
+			return thenOut.merge(st)
+		default:
+			return thenOut.merge(elseOut)
+		}
+	case *ast.ForStmt:
+		st = w.stmt(s.Init, st)
+		st = w.scanUses(s.Cond, st)
+		bodyOut := w.block(s.Body.List, st.clone())
+		bodyOut = w.stmt(s.Post, bodyOut)
+		merged := st.merge(bodyOut)
+		if s.Cond == nil && !hasBreak(s.Body) {
+			// for{} without break never falls through; obligations are
+			// judged at the returns inside.
+			merged.live = make(map[types.Object]*oblig)
+		}
+		return merged
+	case *ast.RangeStmt:
+		st = w.scanUses(s.X, st)
+		bodyOut := w.block(s.Body.List, st.clone())
+		return st.merge(bodyOut)
+	case *ast.SwitchStmt:
+		st = w.stmt(s.Init, st)
+		st = w.scanUses(s.Tag, st)
+		return w.mergeClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		st = w.stmt(s.Init, st)
+		st = w.stmt(s.Assign, st)
+		return w.mergeClauses(s.Body, st)
+	case *ast.SelectStmt:
+		return w.mergeClauses(s.Body, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.SendStmt:
+		st = w.scanUses(s.Chan, st)
+		return w.scanUses(s.Value, st)
+	case *ast.GoStmt:
+		return w.scanUses(s.Call, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st = w.exprEffects(v, st)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.IncDecStmt:
+		return w.scanUses(s.X, st)
+	default:
+		return st
+	}
+}
+
+func (w *poolWalker) elseTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		return false
+	}
+	return false
+}
+
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false // break in there targets that statement
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *poolWalker) mergeClauses(body *ast.BlockStmt, st poolState) poolState {
+	out := st
+	first := true
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			list = cc.Body
+		}
+		cOut := w.block(list, st.clone())
+		if terminates(list) {
+			continue
+		}
+		if first {
+			out, first = cOut, false
+		} else {
+			out = out.merge(cOut)
+		}
+	}
+	return out
+}
+
+// assign introduces obligations (Get), aliases, arena derivations,
+// and use-after-put checks.
+func (w *poolWalker) assign(s *ast.AssignStmt, st poolState) poolState {
+	for _, rhs := range s.Rhs {
+		// Direct Get calls are handled below as obligation
+		// introductions, not as discarded results.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if name := w.poolCall(call); name == "GetBuf" || name == "GetArena" {
+				continue
+			}
+		}
+		st = w.exprEffects(rhs, st)
+	}
+	if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+		// Multi-value shape (v, err := ...): the obligation or arena
+		// derivation lands on the first variable by convention.
+		if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := identObj(w.pass.Info, id); obj != nil {
+				if ar := w.arenaSourceOf(s.Rhs[0], st); ar != nil {
+					st.arena[obj] = ar
+				} else if src := w.obligAliasOf(s.Rhs[0], st); src != nil {
+					st.live[obj] = src
+					delete(st.dead, obj)
+				} else {
+					delete(st.live, obj)
+					delete(st.arena, obj)
+					delete(st.dead, obj)
+				}
+			}
+		}
+		return st
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return st
+	}
+	for i, rhs := range s.Rhs {
+		id, isIdent := s.Lhs[i].(*ast.Ident)
+		call, isCall := ast.Unparen(rhs).(*ast.CallExpr)
+		if isCall {
+			switch w.poolCall(call) {
+			case "GetBuf", "GetArena":
+				kind, put := "pooled buffer", "PutBuf"
+				if w.poolCall(call) == "GetArena" {
+					kind, put = "arena", "PutArena"
+				}
+				if !isIdent || id.Name == "_" {
+					w.pass.Reportf(call.Pos(), "result of sexp.%s is discarded and can never be released", w.poolCall(call))
+					continue
+				}
+				obj := identObj(w.pass.Info, id)
+				if obj == nil {
+					continue
+				}
+				st.live[obj] = &oblig{kind: kind, pos: call.Pos(), put: put}
+				delete(st.dead, obj)
+				continue
+			}
+		}
+		if !isIdent {
+			continue
+		}
+		obj := identObj(w.pass.Info, id)
+		if obj == nil {
+			continue
+		}
+		// Arena derivation: a structural view of, or a parse from, an
+		// arena-obligated or arena-derived value.
+		if ar := w.arenaSourceOf(rhs, st); ar != nil {
+			st.arena[obj] = ar
+			continue
+		}
+		// Alias: rhs is a structural view (reslice, append descendant)
+		// of a variable carrying an obligation.
+		if src := w.obligAliasOf(rhs, st); src != nil {
+			st.live[obj] = src
+			delete(st.dead, obj)
+			continue
+		}
+		// Plain reassignment breaks any previous association.
+		if st.live[obj] != nil {
+			delete(st.live, obj)
+		}
+		delete(st.arena, obj)
+		delete(st.dead, obj)
+	}
+	return st
+}
+
+// exprEffects processes Put calls and use-after-put checks inside an
+// expression.
+func (w *poolWalker) exprEffects(e ast.Expr, st poolState) poolState {
+	if e == nil {
+		return st
+	}
+	// Handle a direct Put call at the top level of the expression.
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if name := w.poolCall(call); name == "PutBuf" || name == "PutArena" {
+			if ob := w.obligOf(call.Args, st); ob != nil {
+				// Discharge: drop every alias of this obligation, mark
+				// them dead at this position.
+				for obj, o := range st.live {
+					if o == ob {
+						delete(st.live, obj)
+						st.dead[obj] = call.Pos()
+					}
+				}
+				delete(st.deferred, ob)
+			}
+			return st
+		}
+		// A Get whose result is not assigned leaks immediately.
+		if name := w.poolCall(call); name == "GetBuf" || name == "GetArena" {
+			w.pass.Reportf(call.Pos(), "result of sexp.%s is discarded and can never be released", name)
+			return st
+		}
+	}
+	return w.scanUses(e, st)
+}
+
+// scanUses reports uses of dead (already-Put) variables within e.
+func (w *poolWalker) scanUses(e ast.Expr, st poolState) poolState {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope
+		case *ast.Ident:
+			if obj := w.pass.Info.Uses[n]; obj != nil {
+				if putPos, ok := st.dead[obj]; ok {
+					w.pass.Reportf(n.Pos(),
+						"use of %s after its release at %s: the pool may already have handed this memory to a concurrent caller",
+						n.Name, w.pass.Fset.Position(putPos))
+					delete(st.dead, obj) // one report per Put is enough
+				}
+			}
+		}
+		return true
+	})
+	return st
+}
+
+// obligOf resolves a Put call's argument to the obligation it
+// discharges, following aliases.
+func (w *poolWalker) obligOf(args []ast.Expr, st poolState) *oblig {
+	if len(args) == 0 {
+		return nil
+	}
+	return w.obligAliasOf(args[0], st)
+}
+
+// obligAliasOf resolves an expression that IS (a structural view of)
+// an obligated variable: the variable itself, a reslice or index of
+// it, or an append descendant. Arbitrary calls break the alias — the
+// result is a fresh value.
+func (w *poolWalker) obligAliasOf(e ast.Expr, st poolState) *oblig {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := w.pass.Info.Uses[e]; obj != nil {
+			return st.live[obj]
+		}
+	case *ast.SliceExpr:
+		return w.obligAliasOf(e.X, st)
+	case *ast.IndexExpr:
+		return w.obligAliasOf(e.X, st)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			return w.obligAliasOf(e.Args[0], st)
+		}
+	}
+	return nil
+}
+
+// mentionedOblig returns the obligation of the first obligated
+// variable mentioned in e, if any.
+func (w *poolWalker) mentionedOblig(e ast.Expr, st poolState) *oblig {
+	var found *oblig
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			_ = fl
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.pass.Info.Uses[id]; obj != nil {
+				if ob, ok := st.live[obj]; ok {
+					found = ob
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// arenaSourceOf returns the deferred arena obligation e borrows from:
+// a method call on an arena-obligated variable (a.ParseOne(...)), or
+// a structural view (selector/index/slice/assert) of an
+// arena-derived variable. Results of other calls are considered
+// fresh.
+func (w *poolWalker) arenaSourceOf(e ast.Expr, st poolState) *oblig {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := w.pass.Info.Uses[id]; obj != nil {
+					if ob, ok := st.live[obj]; ok && ob.kind == "arena" {
+						return ob
+					}
+				}
+			}
+		}
+		return nil
+	case *ast.Ident:
+		if obj := w.pass.Info.Uses[e]; obj != nil {
+			return st.arena[obj]
+		}
+	case *ast.SelectorExpr:
+		return w.arenaSourceOf(e.X, st)
+	case *ast.IndexExpr:
+		return w.arenaSourceOf(e.X, st)
+	case *ast.SliceExpr:
+		return w.arenaSourceOf(e.X, st)
+	case *ast.TypeAssertExpr:
+		return w.arenaSourceOf(e.X, st)
+	}
+	return nil
+}
+
+// returnStmt checks a path exit: obligations must be deferred,
+// discharged, or transferred out through the returned values; dead
+// and arena-derived values must not flow out.
+func (w *poolWalker) returnStmt(s *ast.ReturnStmt, st poolState) poolState {
+	transferred := make(map[*oblig]bool)
+	for _, res := range s.Results {
+		// Returning a Get directly transfers the fresh obligation.
+		if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+			if name := w.poolCall(call); name == "GetBuf" || name == "GetArena" {
+				continue
+			}
+		}
+		if ob := w.mentionedOblig(res, st); ob != nil {
+			transferred[ob] = true
+		}
+		if ar := w.arenaSourceOf(res, st); ar != nil && st.deferred[ar] {
+			w.pass.Reportf(res.Pos(),
+				"arena-backed value escapes by return while PutArena for the arena acquired at %s is deferred; "+
+					"it dies when the arena is recycled — copy it (or return before the defer)",
+				w.pass.Fset.Position(ar.pos))
+		}
+		st = w.scanUses(res, st) // use-after-put through a return
+	}
+	w.checkExit(s.Pos(), st, transferred)
+	return st
+}
+
+// checkExit reports obligations still live at a path exit.
+func (w *poolWalker) checkExit(pos token.Pos, st poolState, transferred map[*oblig]bool) {
+	seen := make(map[*oblig]bool)
+	for _, ob := range st.live {
+		if seen[ob] || st.deferred[ob] || transferred[ob] {
+			continue
+		}
+		seen[ob] = true
+		w.pass.Reportf(pos,
+			"this path leaks the %s acquired by sexp.%s at %s: call sexp.%s (or defer it) before leaving, "+
+				"or return the value to transfer ownership",
+			ob.kind, getName(ob), w.pass.Fset.Position(ob.pos), ob.put)
+	}
+}
+
+func getName(ob *oblig) string {
+	if ob.kind == "arena" {
+		return "GetArena"
+	}
+	return "GetBuf"
+}

@@ -1,0 +1,15 @@
+package lint
+
+// All returns the sf-vet analyzer suite, each entry mapping to one of
+// the repo's hand-written invariants (see docs/ARCHITECTURE.md,
+// "Enforced invariants").
+func All() []*Analyzer {
+	return []*Analyzer{
+		PoolCheck,
+		LockScope,
+		TrustFlow,
+		ClockCheck,
+		EpochCheck,
+		MetricName,
+	}
+}

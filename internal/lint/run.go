@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies
+// //sfvet:ignore suppressions, and returns the surviving diagnostics
+// sorted by position. Malformed ignore directives are themselves
+// diagnostics (analyzer "sfvet") and cannot be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg.Fset, pkg.Files)
+		out = append(out, sup.malformed...)
+		for _, a := range analyzers {
+			var found []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { found = append(found, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, d := range found {
+				if !sup.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive. An intentional exception to an analyzer
+// is written as
+//
+//	//sfvet:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on the flagged line or on the line immediately above it. The reason
+// is mandatory: a bare ignore is itself reported (and cannot be
+// suppressed), so every exception in the tree carries its
+// justification and `grep -rn sfvet:ignore` reads as an exception
+// audit.
+const ignorePrefix = "//sfvet:ignore"
+
+// ignoreDirective is one parsed //sfvet:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string // empty iff malformed
+	reason    string
+	malformed string // non-empty: why the directive is rejected
+}
+
+// parseIgnores extracts every sfvet:ignore directive from a file.
+func parseIgnores(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, ignorePrefix)
+			d := ignoreDirective{pos: fset.Position(c.Pos())}
+			if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+				// e.g. //sfvet:ignoreXYZ — not ours.
+				continue
+			}
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				d.malformed = "missing analyzer name and reason"
+			case len(fields) == 1:
+				d.malformed = "missing reason (write //sfvet:ignore " + fields[0] + " <why this exception is sound>)"
+			default:
+				d.analyzers = strings.Split(fields[0], ",")
+				d.reason = strings.Join(fields[1:], " ")
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressor answers "is this diagnostic ignored?" for one package
+// and accumulates malformed-directive findings.
+type suppressor struct {
+	// byLine maps file:line to the analyzers ignored there.
+	byLine    map[string]map[string]bool
+	malformed []Diagnostic
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	s := &suppressor{byLine: make(map[string]map[string]bool)}
+	for _, f := range files {
+		for _, d := range parseIgnores(fset, f) {
+			if d.malformed != "" {
+				s.malformed = append(s.malformed, Diagnostic{
+					Analyzer: "sfvet",
+					Pos:      d.pos,
+					Message:  "malformed //sfvet:ignore: " + d.malformed,
+				})
+				continue
+			}
+			key := lineKey(d.pos.Filename, d.pos.Line)
+			m := s.byLine[key]
+			if m == nil {
+				m = make(map[string]bool)
+				s.byLine[key] = m
+			}
+			for _, a := range d.analyzers {
+				m[a] = true
+			}
+		}
+	}
+	return s
+}
+
+func lineKey(file string, line int) string {
+	// Positions within one package always use consistent filenames, so
+	// plain concatenation is a stable key.
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// suppressed reports whether d is covered by an ignore directive on
+// its own line or the line above.
+func (s *suppressor) suppressed(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if m := s.byLine[lineKey(d.Pos.Filename, line)]; m != nil && m[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,32 @@
+// Package core stands in for repro/internal/core: the test loads it
+// under an import path ending in internal/core, which puts it inside
+// clockcheck's jurisdiction.
+package core
+
+import "time"
+
+// wallClockRead reintroduces wall-clock coupling.
+func wallClockRead() time.Time {
+	return time.Now() // want "direct time.Now"
+}
+
+// durationMeasurement is exempt: the capture only feeds Since.
+func durationMeasurement() float64 {
+	start := time.Now()
+	work()
+	return time.Since(start).Seconds()
+}
+
+// durationSub is the other exempt shape: the capture feeds Sub.
+func durationSub(deadline time.Time) time.Duration {
+	start := time.Now()
+	work()
+	return deadline.Sub(start)
+}
+
+// injectedClock threads a clock and never reads the wall.
+func injectedClock(clock func() time.Time) time.Time {
+	return clock()
+}
+
+func work() {}

@@ -1,0 +1,54 @@
+// Package epochcheck exercises the capture-epoch-before-verify
+// analyzer guarding the proof cache's soundness invariant.
+package epochcheck
+
+import "repro/internal/core"
+
+// storeEpochAtWriteTime reads the epoch after verification finished:
+// a CRL landing mid-verification is cached over.
+func storeEpochAtWriteTime(pc *core.ProofCache, h [32]byte, v core.Validity) {
+	if err := verifyProof(); err != nil {
+		return
+	}
+	pc.Store(h, v, pc.Epoch(), core.ViewAny) // want "revocation epoch read at ProofCache.Store time"
+}
+
+// captureAfterVerify hoists the read into a variable, but still after
+// verification began.
+func captureAfterVerify(pc *core.ProofCache, h [32]byte, v core.Validity) {
+	if err := verifyProof(); err != nil {
+		return
+	}
+	epoch := pc.Epoch() // want "revocation epoch captured after verification began"
+	pc.Store(h, v, epoch, core.ViewAny)
+}
+
+// captureBeforeVerify is the sound order (core.verifyMemo's shape).
+func captureBeforeVerify(pc *core.ProofCache, h [32]byte, v core.Validity) {
+	epoch := pc.Epoch()
+	if err := verifyProof(); err != nil {
+		return
+	}
+	pc.Store(h, v, epoch, core.ViewAny)
+}
+
+// memoized pins the f() shape: invoking a function-typed value counts
+// as the start of verification.
+func memoized(pc *core.ProofCache, h [32]byte, v core.Validity, f func() error) {
+	epoch := pc.Epoch()
+	if err := f(); err != nil {
+		return
+	}
+	pc.Store(h, v, epoch, core.ViewAny)
+}
+
+// memoizedLate is the same shape with the capture after f().
+func memoizedLate(pc *core.ProofCache, h [32]byte, v core.Validity, f func() error) {
+	if err := f(); err != nil {
+		return
+	}
+	epoch := pc.Epoch() // want "revocation epoch captured after verification began"
+	pc.Store(h, v, epoch, core.ViewAny)
+}
+
+func verifyProof() error { return nil }

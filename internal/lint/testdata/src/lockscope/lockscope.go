@@ -1,0 +1,86 @@
+// Package lockscope exercises the snapshot-then-release analyzer: no
+// signature verification, minting, network I/O, or channel send while
+// a sync.Mutex/RWMutex is held.
+package lockscope
+
+import (
+	"net/http"
+	"sync"
+)
+
+type table struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+type rwTable struct {
+	mu   sync.RWMutex
+	vals map[string]int
+}
+
+// VerifySig stands in for an Ed25519 chain check (~50µs each).
+func VerifySig(data []byte) error { return nil }
+
+// MintToken stands in for certificate minting.
+func MintToken() string { return "mint" }
+
+func verifyUnderLock(t *table, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return VerifySig(data) // want "signature verification"
+}
+
+func mintUnderRLock(t *rwTable) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return MintToken() // want "minting"
+}
+
+func sendUnderLock(t *table, ch chan int) {
+	t.mu.Lock()
+	ch <- 1 // want "channel send"
+	t.mu.Unlock()
+}
+
+func fetchUnderLock(t *table, c *http.Client, url string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := c.Get(url) // want "network I/O"
+	return err
+}
+
+// snapshotThenRelease is the sanctioned shape: copy under the lock,
+// release, then do the expensive work.
+func snapshotThenRelease(t *table, data []byte) error {
+	t.mu.Lock()
+	n := t.vals["k"]
+	t.mu.Unlock()
+	_ = n
+	return VerifySig(data)
+}
+
+// earlyUnlockBranch releases on the early return and again on the
+// fallthrough; the verify after the final unlock is clean.
+func earlyUnlockBranch(t *table, data []byte) error {
+	t.mu.Lock()
+	if len(t.vals) == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	return VerifySig(data)
+}
+
+// headerOps under a lock are map reads, not network I/O.
+func headerOps(t *table, h http.Header) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return h.Get("X-Key")
+}
+
+// spawned goroutines run outside this lock region.
+func spawnUnderLock(t *table, data []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() { _ = VerifySig(data) }()
+}

@@ -1,0 +1,102 @@
+// Package poolcheck exercises the pooled-buffer/arena ownership
+// analyzer: every sexp.GetBuf/GetArena paired with a Put on all paths,
+// no use after Put, no arena-backed value escaping its arena.
+package poolcheck
+
+import (
+	"errors"
+
+	"repro/internal/sexp"
+)
+
+var errFail = errors.New("fail")
+
+// leakOnErrorPath forgets the buffer on the early return.
+func leakOnErrorPath(fail bool) error {
+	buf := sexp.GetBuf()
+	if fail {
+		return errFail // want "leaks the pooled buffer"
+	}
+	sexp.PutBuf(buf)
+	return nil
+}
+
+// deferredPutIsClean releases on every path through the defer.
+func deferredPutIsClean(fail bool) error {
+	buf := sexp.GetBuf()
+	defer sexp.PutBuf(buf)
+	if fail {
+		return errFail
+	}
+	buf = append(buf, 'x')
+	_ = buf
+	return nil
+}
+
+// putOnEachPath releases explicitly on both paths.
+func putOnEachPath(fail bool) error {
+	buf := sexp.GetBuf()
+	if fail {
+		sexp.PutBuf(buf)
+		return errFail
+	}
+	sexp.PutBuf(buf)
+	return nil
+}
+
+// useAfterPut touches the buffer after the pool may have handed its
+// memory to a concurrent caller.
+func useAfterPut() byte {
+	buf := sexp.GetBuf()
+	buf = append(buf, 'x')
+	sexp.PutBuf(buf)
+	return buf[0] // want "use of buf after its release"
+}
+
+// discardGet can never release what it acquired.
+func discardGet() {
+	sexp.GetBuf() // want "result of sexp.GetBuf is discarded"
+}
+
+// transferByReturn hands the buffer and the PutBuf obligation to the
+// caller (the certdir readBody shape).
+func transferByReturn() ([]byte, error) {
+	buf := sexp.GetBuf()
+	buf = append(buf, 'f')
+	return buf, nil
+}
+
+// arenaEscape returns an expression that dies when the deferred
+// PutArena recycles its backing arena.
+func arenaEscape(in []byte) (sexp.Sexp, error) {
+	a := sexp.GetArena()
+	defer sexp.PutArena(a)
+	e, err := a.ParseOne(in)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil // want "arena-backed value escapes by return"
+}
+
+// arenaCopyOut is the sanctioned shape: copy what outlives the arena.
+func arenaCopyOut(in []byte) ([]byte, error) {
+	a := sexp.GetArena()
+	defer sexp.PutArena(a)
+	e, err := a.ParseOne(in)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), e.Transport()...)
+	return out, nil
+}
+
+// arenaLeak acquires an arena and loses it on one path.
+func arenaLeak(in []byte, fail bool) error {
+	a := sexp.GetArena()
+	if fail {
+		return errFail // want "leaks the arena"
+	}
+	_, err := a.ParseOne(in)
+	sexp.PutArena(a)
+	return err
+}

@@ -1,0 +1,11 @@
+// Package suppressbare holds a bare (reason-less) ignore: the
+// directive itself must be reported, and it must suppress nothing.
+// Checked programmatically in TestSuppressionBare — the malformed
+// finding lands on the directive's own line, where a // want
+// annotation cannot sit.
+package suppressbare
+
+import "repro/internal/server"
+
+//sfvet:ignore metricname
+var _ = server.Counter("sf_bare_requests", "", 1)

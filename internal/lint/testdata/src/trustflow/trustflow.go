@@ -1,0 +1,97 @@
+// Package trustflow exercises the verify-before-index analyzer: a
+// wire-decoded value must pass a Verify* call before it reaches a
+// Publish/index/digest sink.
+package trustflow
+
+import (
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/certdir"
+	"repro/internal/core"
+	"repro/internal/prover"
+	"repro/internal/sexp"
+)
+
+// publishUnverified plants whatever authority the network chose.
+func publishUnverified(st *certdir.Store, raw []byte) error {
+	e, err := sexp.ParseOne(raw)
+	if err != nil {
+		return err
+	}
+	p, err := core.ProofFromSexp(e)
+	if err != nil {
+		return err
+	}
+	c, ok := p.(*cert.Cert)
+	if !ok {
+		return nil
+	}
+	_, err = st.Publish(c, time.Now()) // want "wire-decoded value reaches certdir.Store.Publish"
+	return err
+}
+
+// publishVerified screens the certificate first: clean.
+func publishVerified(st *certdir.Store, ctx *core.VerifyContext, raw []byte) error {
+	e, err := sexp.ParseOne(raw)
+	if err != nil {
+		return err
+	}
+	p, err := core.ProofFromSexp(e)
+	if err != nil {
+		return err
+	}
+	c, ok := p.(*cert.Cert)
+	if !ok {
+		return nil
+	}
+	if err := c.Verify(ctx); err != nil {
+		return err
+	}
+	_, err = st.Publish(c, time.Now())
+	return err
+}
+
+// digestUnverified feeds the prover's delegation graph from raw bytes.
+func digestUnverified(pv *prover.Prover, raw []byte) error {
+	e, err := sexp.ParseOne(raw)
+	if err != nil {
+		return err
+	}
+	p, err := core.ProofFromSexp(e)
+	if err != nil {
+		return err
+	}
+	pv.AddProof(p) // want "wire-decoded value reaches prover.Prover.AddProof"
+	return nil
+}
+
+// publishBatch is the anti-entropy shape: VerifyBatch cleanses the
+// slice, and with it the elements later ranged out of it.
+func publishBatch(st *certdir.Store, ctx *core.VerifyContext, raws [][]byte) error {
+	var certs []*cert.Cert
+	for _, raw := range raws {
+		e, err := sexp.ParseOne(raw)
+		if err != nil {
+			return err
+		}
+		p, err := core.ProofFromSexp(e)
+		if err != nil {
+			return err
+		}
+		if c, ok := p.(*cert.Cert); ok {
+			certs = append(certs, c)
+		}
+	}
+	for _, err := range cert.VerifyBatch(ctx, certs) {
+		if err != nil {
+			return err
+		}
+	}
+	for _, c := range certs {
+		if _, err := st.PublishPulled(c, time.Now()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file is the suite's analysistest equivalent: testdata packages
+// under testdata/src/<analyzer>/ annotate the lines an analyzer must
+// flag with
+//
+//	code() // want "regexp"
+//
+// (several quoted regexps allowed per line; each must match a
+// distinct diagnostic message). Lines without a want annotation must
+// stay clean. Suppression directives are live during the check, so
+// testdata can also pin //sfvet:ignore behavior.
+
+var (
+	testIndexOnce sync.Once
+	testIndex     *exportIndex
+	testIndexErr  error
+	testFset      = token.NewFileSet()
+)
+
+// testExportIndex builds (once per test process) the export index for
+// the whole module plus the standard library, so testdata packages
+// can import any repro/internal package.
+func testExportIndex() (*exportIndex, error) {
+	testIndexOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			testIndexErr = err
+			return
+		}
+		listed, err := goList(root, []string{"./...", "std"})
+		if err != nil {
+			testIndexErr = err
+			return
+		}
+		testIndex = &exportIndex{exports: make(map[string]string)}
+		for _, p := range listed {
+			if p.Export != "" {
+				testIndex.exports[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return testIndex, testIndexErr
+}
+
+func moduleRoot() (string, error) {
+	out, err := runGo("env", "GOMOD")
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(out)
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lint: not in a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+func runGo(args ...string) (string, error) {
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go %s: %v", strings.Join(args, " "), err)
+	}
+	return string(out), nil
+}
+
+// CheckDir type-checks the single package rooted at dir under the
+// given import path and asserts that the analyzers' diagnostics match
+// the package's // want annotations exactly.
+func CheckDir(t *testing.T, dir, pkgPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkg := loadTestPackage(t, dir, pkgPath)
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+	matchWants(t, wants, diags)
+}
+
+// loadTestPackage parses and type-checks one testdata package under
+// the given import path, with the whole module and stdlib importable.
+func loadTestPackage(t *testing.T, dir, pkgPath string) *Package {
+	t.Helper()
+	idx, err := testExportIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+	imp := importer.ForCompiler(testFset, "gc", idx.lookup)
+	pkg, err := checkPackage(testFset, imp, pkgPath, dir, goFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// want is one expected-diagnostic annotation.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func collectWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllString(m[1], -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s: // want with no quoted pattern", pos)
+					continue
+				}
+				for _, q := range quoted {
+					text, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, text, err)
+						continue
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func matchWants(t *testing.T, wants []*want, diags []Diagnostic) {
+	t.Helper()
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.pattern)
+		}
+	}
+}

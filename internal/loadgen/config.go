@@ -183,3 +183,14 @@ func (c *Config) Validate() error {
 	}
 	return nil
 }
+
+// now resolves the world clock: Config.Now when seeded, else the wall
+// clock. This is the package's single sanctioned fallback — every
+// other site threads the resolved value.
+func (c *Config) now() time.Time {
+	if !c.Now.IsZero() {
+		return c.Now
+	}
+	//sfvet:ignore clockcheck this zero-value fallback is the Config.Now injection seam itself
+	return time.Now()
+}

@@ -79,10 +79,7 @@ func BuildGraph(cfg Config) (*Graph, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	now := cfg.Now
-	if now.IsZero() {
-		now = time.Now()
-	}
+	now := cfg.now()
 	// One generous window for the whole run: load measurement should
 	// never race certificate expiry.
 	v := core.Between(now.Add(-time.Minute), now.Add(12*time.Hour))

@@ -101,7 +101,7 @@ func StartMesh(cfg Config, g *Graph) (*Mesh, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, _, err := certdir.OpenDurable(dataDir, 0, cfg.Fsync, time.Now())
+		st, _, err := certdir.OpenDurable(dataDir, 0, cfg.Fsync, cfg.now())
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: directory %d: %w", i, err)
 		}

@@ -450,6 +450,29 @@ func (s *Server) verifyContextLocked() *core.VerifyContext {
 	return ctx
 }
 
+// verifyContext builds a throwaway verification context from the
+// server's configured clock, revocation hooks, and proof cache. It
+// needs no lock — those fields are set before serving — so signature
+// work can run outside s.mu; portable verdicts still land in the
+// shared ProofCache where the locked dispatch path finds them.
+func (s *Server) verifyContext() *core.VerifyContext {
+	now := time.Now()
+	if s.Clock != nil {
+		now = s.Clock()
+	}
+	cache := s.Cache
+	if cache == nil {
+		cache = core.SharedProofCache()
+	}
+	ctx := core.NewVerifyContext()
+	ctx.Cache = cache
+	ctx.Now = now
+	ctx.Revoked = s.Revoked
+	ctx.Revalidate = s.Revalidate
+	ctx.RevocationView = s.RevocationView
+	return ctx
+}
+
 // handleProofSubmit is the proofRecipient (Figure 4, step n): parse,
 // verify once, and file the proof under its subject.
 func (s *Server) handleProofSubmit(req *callRequest, resp *callResponse) *callResponse {
@@ -480,16 +503,20 @@ func (s *Server) AcceptProof(raw []byte) error {
 		return fmt.Errorf("rmi: parse proof: %w", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.ProofSubmits++
-	ctx := s.verifyContextLocked()
 	s.stats.ProofVerifies++
-	// Chain verify with the certificate leaves batched: one aggregate
-	// signature pass instead of one check per delegation in the chain.
-	if err := cert.VerifyChain(ctx, p); err != nil {
+	s.mu.Unlock()
+	// Chain verify outside s.mu, with the certificate leaves batched:
+	// one aggregate signature pass instead of one check per delegation
+	// in the chain. Portable verdicts land in the shared proof cache,
+	// so later authorization walks over the filed proof are cache
+	// hits; the lock below guards only the map append.
+	if err := cert.VerifyChain(s.verifyContext(), p); err != nil {
 		return fmt.Errorf("rmi: proof does not verify: %w", err)
 	}
 	subj := p.Conclusion().Subject.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.proofs[subj] = append(s.proofs[subj], p)
 	return nil
 }

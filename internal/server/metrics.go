@@ -153,7 +153,9 @@ func ProofCacheCollector(pc *core.ProofCache) Collector {
 	return func(emit func(Metric)) {
 		emit(Counter("sf_proofcache_hits_total", "Verified-proof cache hits.", float64(pc.Hits())))
 		emit(Counter("sf_proofcache_misses_total", "Verified-proof cache misses.", float64(pc.Misses())))
-		emit(Counter("sf_proofcache_epoch", "Revocation epoch (bumps on every CRL install).", float64(pc.Epoch())))
+		// The epoch is a level, not an event count (and it could in
+		// principle be reset with the process): a gauge, per convention.
+		emit(Gauge("sf_proofcache_epoch", "Revocation epoch (bumps on every CRL install).", float64(pc.Epoch())))
 		emit(Gauge("sf_proofcache_entries", "Cached verdicts currently held.", float64(pc.Len())))
 	}
 }

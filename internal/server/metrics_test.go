@@ -75,6 +75,7 @@ func TestProofCacheCollector(t *testing.T) {
 		"sf_proofcache_epoch 1",
 		"sf_proofcache_entries 0",
 		"# TYPE sf_proofcache_hits_total counter",
+		"# TYPE sf_proofcache_epoch gauge",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
