@@ -36,9 +36,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cert"
@@ -69,6 +71,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the write-ahead log (empty = memory-only)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval, or never")
 	fsyncEvery := flag.Duration("fsync-every", time.Second, "sync period under -fsync interval")
+	walSegBytes := flag.Int64("wal-segment-bytes", certdir.DefaultSegmentBytes, "size at which the active WAL segment is sealed and a new one started")
+	compactThreshold := flag.Float64("compact-threshold", certdir.DefaultCompactThreshold, "live-record ratio below which a sealed WAL segment is rewritten")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "bootstrap snapshot write interval (0 disables; requires -data-dir)")
 	var peers peerList
 	flag.Var(&peers, "peer", "peer directory base URL (repeatable) to replicate with")
 	gossip := flag.Duration("gossip", certdir.DefaultGossipInterval, "anti-entropy round interval (0 disables pulls; pushes still run)")
@@ -97,13 +102,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("sf-certd: %v", err)
 		}
-		st, rec, err := certdir.OpenDurable(*dataDir, *shards, policy, time.Now())
+		st, rec, err := certdir.OpenDurableOpts(*dataDir, *shards, policy, time.Now(), certdir.WALOptions{
+			SegmentBytes:     *walSegBytes,
+			CompactThreshold: *compactThreshold,
+		})
 		if err != nil {
 			log.Fatalf("sf-certd: %v", err)
 		}
 		store = st
-		rt.Printf("replayed %d WAL records from %s (%d dropped, torn=%v, compacted=%v, %d certs live)",
-			rec.Replayed, *dataDir, rec.Dropped, rec.Torn, rec.Compacted, store.Len())
+		rt.Printf("replayed %d WAL records from %s (%d dropped, %d events, torn=%v, compacted=%v, %d certs live)",
+			rec.Replayed, *dataDir, rec.Dropped, rec.Events, rec.Torn, rec.Compacted, store.Len())
 		if policy == certdir.SyncInterval {
 			rt.Every(*fsyncEvery, func() {
 				if err := store.SyncWAL(); err != nil {
@@ -139,6 +147,24 @@ func main() {
 	svc.Obs = rt.Tracer()
 	svc.PublishHist = rt.Latencies().PublishAck
 	svc.CRLHist = rt.Latencies().CRLInstall
+
+	// Bootstrap snapshots: periodically freeze the live directory into
+	// one fsynced, atomically renamed artifact that the snapshot
+	// endpoint serves, so a cold peer joins with one bulk transfer
+	// instead of gossiping its way up from empty. Until the first write
+	// (or without the flag) the endpoint streams live from the store.
+	if *snapshotEvery > 0 {
+		if *dataDir == "" {
+			log.Fatal("sf-certd: -snapshot-every requires -data-dir")
+		}
+		snapPath := filepath.Join(*dataDir, certdir.SnapshotFileName)
+		svc.SnapshotPath = snapPath
+		rt.Every(*snapshotEvery, func() {
+			if err := certdir.WriteSnapshotFile(snapPath, store, revocations, time.Now()); err != nil {
+				rt.Printf("snapshot: %v", err)
+			}
+		})
+	}
 
 	// Control-plane wiring. The signer (outbound: authenticates this
 	// daemon's pushes to its peers) and the guard (inbound: closes this
@@ -207,8 +233,20 @@ func main() {
 		rt.OnShutdown(rep.Stop)
 		svc.Replicator = rep
 		// One eager round so a restarted or freshly added node catches
-		// up before its first ticker tick.
+		// up before its first ticker tick. A completely empty store —
+		// a node joining an established mesh for the first time — tries
+		// snapshot bootstrap first: one bulk transfer instead of pulling
+		// the whole directory through gossip fetches. Failure just means
+		// gossip does the whole job, as before snapshots existed.
+		empty := store.Len() == 0
 		go func() {
+			if empty {
+				if n, err := rep.BootstrapFromPeer(context.Background()); err != nil {
+					rt.Printf("snapshot bootstrap: %v (falling back to gossip)", err)
+				} else {
+					rt.Printf("snapshot bootstrap adopted %d certs", n)
+				}
+			}
 			if n, err := rep.Converge(); err != nil {
 				rt.Printf("initial anti-entropy: %v", err)
 			} else if n > 0 {
@@ -258,6 +296,15 @@ func main() {
 			emit(server.Counter("sf_certdir_gossip_pulled_total", "Certificates pulled by anti-entropy.", float64(rs.Pulled)))
 			emit(server.Counter("sf_certdir_gossip_rounds_total", "Anti-entropy rounds completed.", float64(rs.Rounds)))
 			emit(server.Counter("sf_certdir_gossip_crls_pulled_total", "CRLs pulled by anti-entropy.", float64(rs.CRLsPulled)))
+			emit(server.Counter("sf_gossip_digest_bytes_total", "Anti-entropy summary bytes moved (request + reply).", float64(rs.DigestBytes)))
+			emit(server.Counter("sf_gossip_rounds_total", "Anti-entropy rounds completed.", float64(rs.Rounds)))
+			emit(server.Counter("sf_gossip_descents_total", "Merkle node-summary round trips.", float64(rs.Descents)))
+		}
+		if ws, ok := store.WALStats(); ok {
+			emit(server.Gauge("sf_certdir_wal_segments", "WAL segments on disk.", float64(ws.Segments)))
+			emit(server.Gauge("sf_certdir_wal_size_bytes", "WAL bytes on disk.", float64(ws.SizeBytes)))
+			emit(server.Counter("sf_certdir_wal_compactions_total", "WAL segment rewrites.", float64(ws.Compactions)))
+			emit(server.Counter("sf_certdir_wal_rotations_total", "WAL segment rotations.", float64(ws.Rotations)))
 		}
 		if svc.Guard != nil {
 			gs := svc.Guard.Stats()

@@ -162,3 +162,44 @@ func BenchmarkFindProofParallel(b *testing.B) {
 		})
 	}
 }
+
+// benchHotIssuer builds the adversarial shape for the issuer index: a
+// single root holding fan single-hop grants, each restricted to a
+// distinct literal tag. Before the edge index grew tag buckets, every
+// FindProof against this issuer scanned all fan edges and ran
+// tag.Covers on each; with buckets it scans exactly the one grant
+// that can cover the query (plus an empty catch-all).
+func benchHotIssuer(b *testing.B, fan int) (*prover.Prover, principal.Principal, []principal.Principal, []tag.Tag) {
+	b.Helper()
+	root := sfkey.FromSeed([]byte("hotissuer-root"))
+	rootP := principal.KeyOf(root.Public())
+	p := prover.New()
+	leaves := make([]principal.Principal, fan)
+	tags := make([]tag.Tag, fan)
+	for i := 0; i < fan; i++ {
+		leaf := principal.KeyOf(sfkey.FromSeed([]byte(fmt.Sprintf("hotissuer-leaf-%d", i))).Public())
+		tg := tag.Literal(fmt.Sprintf("topic-%d", i))
+		c, err := cert.Delegate(root, leaf, rootP, tg, core.Forever)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.AddProof(c)
+		leaves[i], tags[i] = leaf, tg
+	}
+	return p, rootP, leaves, tags
+}
+
+func BenchmarkFindProofHotIssuer(b *testing.B) {
+	for _, fan := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("fan=%d", fan), func(b *testing.B) {
+			p, root, leaves, tags := benchHotIssuer(b, fan)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx := i % fan
+				if _, err := p.FindProof(leaves[idx], root, tags[idx], benchNow); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

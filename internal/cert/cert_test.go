@@ -1,11 +1,13 @@
 package cert
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/principal"
+	"repro/internal/sexp"
 	"repro/internal/sfkey"
 	"repro/internal/tag"
 )
@@ -344,5 +346,50 @@ func TestCertInsideLargerProof(t *testing.T) {
 	bad := tag.MustParse(`(tag (web (method GET) "/private"))`)
 	if err := core.Authorize(ctx, chain, ch, kAlice, bad); err == nil {
 		t.Fatal("out-of-scope request authorized")
+	}
+}
+
+// TestParseProofPooledNoEscape: the pooled parser recycles its arena
+// the moment it returns, so nothing in the returned proof may alias
+// arena scratch or the caller's input buffer. Clobber both, churn the
+// pool, and the proof must still verify and re-encode identically.
+func TestParseProofPooledNoEscape(t *testing.T) {
+	alice, kAlice := keys("pp-alice")
+	bob, kBob := keys("pp-bob")
+	_, kCarol := keys("pp-carol")
+	aliceToBob, err := Delegate(alice, kBob, kAlice, tag.MustParse(`(tag (db select))`), core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobToCarol, err := Delegate(bob, kCarol, kBob, tag.MustParse(`(tag (db select))`), core.Forever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := core.NewTransitivity(bobToCarol, aliceToBob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := chain.Sexp().Canonical()
+
+	buf := append([]byte(nil), chain.Sexp().Transport()...)
+	p, err := core.ParseProofPooled(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	for i := 0; i < 64; i++ {
+		a := sexp.GetArena()
+		if _, err := a.ParseOne([]byte(`(churn (deep (nested expressions to overwrite recycled scratch)))`)); err != nil {
+			t.Fatal(err)
+		}
+		sexp.PutArena(a)
+	}
+	if err := p.Verify(core.NewVerifyContext()); err != nil {
+		t.Fatalf("pooled-parsed proof no longer verifies: %v", err)
+	}
+	if !bytes.Equal(p.Sexp().Canonical(), want) {
+		t.Fatal("pooled-parsed proof re-encodes differently")
 	}
 }

@@ -1,6 +1,7 @@
 package certdir
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cert"
@@ -34,6 +36,38 @@ type Client struct {
 	// directory (Service.Guard) demands. Read-only requests are never
 	// signed. Nil talks the open protocol.
 	Ctl *httpauth.CtlSigner
+
+	// gossipBytes, when set (NewReplicator wires it), accumulates the
+	// digest bytes this client moves — request plus reply on the
+	// anti-entropy summary paths, the traffic two already-converged
+	// peers keep exchanging forever. Fetch payloads are excluded: both
+	// the flat and Merkle schemes pay those, and only for actual
+	// differences. BENCH_9 and sf_gossip_digest_bytes_total read it.
+	gossipBytes *atomic.Int64
+}
+
+// StatusError is a non-200 directory reply, surfaced typed so pullers
+// can distinguish "this peer does not serve that endpoint" (404 — an
+// older release inside the Merkle compatibility window) from a real
+// failure that should abort the round.
+type StatusError struct {
+	Code int    // HTTP status code
+	Path string // request path
+	Msg  string // response body, trimmed
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("certdir: %s: status %d: %s", e.Path, e.Code, e.Msg)
+}
+
+// digestPath reports whether a path carries anti-entropy summary
+// traffic, the class gossipBytes meters.
+func digestPath(path string) bool {
+	switch path {
+	case PathDigests, PathHashes, PathGossipRoot, PathGossipNodes, PathGossipLeaves:
+		return true
+	}
+	return false
 }
 
 // NewClient returns a client for the directory at baseURL.
@@ -96,9 +130,12 @@ func (c *Client) roundTripCtx(ctx context.Context, hc *http.Client, path string,
 	if len(reply) > sexp.MaxTotal {
 		return nil, fmt.Errorf("certdir: %s: reply exceeds %d bytes", path, sexp.MaxTotal)
 	}
+	if c.gossipBytes != nil && digestPath(path) {
+		c.gossipBytes.Add(int64(len(body) + len(reply)))
+	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("certdir: %s: %s: %s", path, resp.Status,
-			strings.TrimSpace(string(reply)))
+		return nil, &StatusError{Code: resp.StatusCode, Path: path,
+			Msg: strings.TrimSpace(string(reply))}
 	}
 	e, err := sexp.ParseOne(reply)
 	if err != nil {
@@ -368,6 +405,175 @@ func (c *Client) Fetch(hashes [][]byte) ([]*cert.Cert, error) {
 		return nil, err
 	}
 	return parseCerts(resp)
+}
+
+// MerkleRoot fetches the peer's Merkle root summary and tree shape
+// (leaf count and arity, which the puller checks against its own
+// before descending).
+func (c *Client) MerkleRoot() (root MerkleSummary, leaves, arity int, err error) {
+	resp, err := c.roundTrip(PathGossipRoot, sexp.List(sexp.String("mroot")))
+	if err != nil {
+		return root, 0, 0, err
+	}
+	pr := resp.Child("params")
+	sm := resp.Child("sum")
+	if resp.Tag() != "mroot" || pr == nil || pr.Len() != 3 || sm == nil || sm.Len() != 3 || !sm.Nth(2).IsAtom() {
+		return root, 0, 0, fmt.Errorf("certdir: bad root reply %s", resp)
+	}
+	var e1, e2, e3 error
+	leaves, e1 = strconv.Atoi(pr.Nth(1).Text())
+	arity, e2 = strconv.Atoi(pr.Nth(2).Text())
+	root.Count, e3 = strconv.Atoi(sm.Nth(1).Text())
+	if e1 != nil || e2 != nil || e3 != nil || root.Count < 0 || len(sm.Nth(2).Bytes()) != MerkleSumBytes {
+		return MerkleSummary{}, 0, 0, fmt.Errorf("certdir: bad root reply %s", resp)
+	}
+	copy(root.XOR[:], sm.Nth(2).Bytes())
+	return root, leaves, arity, nil
+}
+
+// MerkleNodes fetches the peer's summaries for the given tree-node
+// indexes (one descent step).
+func (c *Client) MerkleNodes(idxs []int) ([]MerkleSummary, error) {
+	kids := make([]sexp.Sexp, 0, len(idxs)+1)
+	kids = append(kids, sexp.String("mnodes"))
+	for _, n := range idxs {
+		kids = append(kids, sexp.String(strconv.Itoa(n)))
+	}
+	resp, err := c.roundTrip(PathGossipNodes, sexp.List(kids...))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag() != "mnodes" {
+		return nil, fmt.Errorf("certdir: unexpected nodes reply %s", resp)
+	}
+	out := make([]MerkleSummary, 0, resp.Len()-1)
+	for i := 1; i < resp.Len(); i++ {
+		row := resp.Nth(i)
+		if row.Tag() != "sum" || row.Len() != 4 || !row.Nth(3).IsAtom() {
+			return nil, fmt.Errorf("certdir: bad node row %s", row)
+		}
+		idx, err1 := strconv.Atoi(row.Nth(1).Text())
+		n, err2 := strconv.Atoi(row.Nth(2).Text())
+		if err1 != nil || err2 != nil || idx < 0 || idx >= MerkleNodeCount || len(row.Nth(3).Bytes()) != MerkleSumBytes {
+			return nil, fmt.Errorf("certdir: bad node row %s", row)
+		}
+		m := MerkleSummary{Index: idx, Count: n}
+		copy(m.XOR[:], row.Nth(3).Bytes())
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// MerkleLeafHashes fetches the full content-hash lists of the given
+// leaves (leaf-array indexes), the terminal step of a descent.
+func (c *Client) MerkleLeafHashes(leaves []int) (map[int][][]byte, error) {
+	kids := make([]sexp.Sexp, 0, len(leaves)+1)
+	kids = append(kids, sexp.String("mleaves"))
+	for _, lf := range leaves {
+		kids = append(kids, sexp.String(strconv.Itoa(lf)))
+	}
+	resp, err := c.roundTrip(PathGossipLeaves, sexp.List(kids...))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Tag() != "mleaves" {
+		return nil, fmt.Errorf("certdir: unexpected leaves reply %s", resp)
+	}
+	out := make(map[int][][]byte, len(leaves))
+	for i := 1; i < resp.Len(); i++ {
+		row := resp.Nth(i)
+		if row.Tag() != "leaf" || row.Len() < 2 || !row.Nth(1).IsAtom() {
+			return nil, fmt.Errorf("certdir: bad leaf row %s", row)
+		}
+		lf, err := strconv.Atoi(row.Nth(1).Text())
+		if err != nil || lf < 0 || lf >= MerkleLeaves {
+			return nil, fmt.Errorf("certdir: bad leaf index %q", row.Nth(1).Text())
+		}
+		hs := make([][]byte, 0, row.Len()-2)
+		for j := 2; j < row.Len(); j++ {
+			h := row.Nth(j)
+			if !h.IsAtom() {
+				return nil, fmt.Errorf("certdir: leaf %d hash %d is not an atom", lf, j)
+			}
+			hs = append(hs, append([]byte(nil), h.Bytes()...))
+		}
+		out[lf] = hs
+	}
+	return out, nil
+}
+
+// Snapshot streams the peer's bootstrap snapshot, calling visit for
+// each frame in order: the snap-header, the record frames, and the
+// snap-end trailer (snapshot.go documents the format). The frame
+// passed to visit borrows the reader's buffer and is valid only for
+// the duration of the call — typed decoders deep-copy what they keep,
+// the same ownership rule WAL replay relies on. A stream that ends
+// without a trailer, carries data after it, or whose trailer count
+// disagrees with the frames delivered is an error: the caller must
+// treat the bootstrap as partial and fall back to gossip.
+func (c *Client) Snapshot(ctx context.Context, visit func(sexp.Sexp) error) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+PathSnapshot, nil)
+	if err != nil {
+		return fmt.Errorf("certdir: snapshot: %w", err)
+	}
+	// The transfer is bulk — sized by the peer's whole store — so the
+	// default 5 s client timeout would sever it mid-stream; strip the
+	// timeout and rely on ctx for cancellation.
+	hc := c.httpClient()
+	if hc.Timeout > 0 {
+		cp := *hc
+		cp.Timeout = 0
+		hc = &cp
+	}
+	resp, err := hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("certdir: snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return &StatusError{Code: resp.StatusCode, Path: PathSnapshot,
+			Msg: strings.TrimSpace(string(msg))}
+	}
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	var fr sexp.FrameReader
+	sawHeader := false
+	records := 0 // frames between header and trailer
+	for {
+		e, _, err := fr.Next(br)
+		if err == io.EOF {
+			return fmt.Errorf("certdir: snapshot: stream ended without trailer")
+		}
+		if err != nil {
+			return fmt.Errorf("certdir: snapshot: %w", err)
+		}
+		if !sawHeader {
+			if e.Tag() != snapTagHeader {
+				return fmt.Errorf("certdir: snapshot: stream does not start with a header")
+			}
+			sawHeader = true
+			if err := visit(e); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.Tag() == snapTagEnd {
+			if n, ok := snapTrailerCount(e); !ok || n != records {
+				return fmt.Errorf("certdir: snapshot: trailer disagrees with %d delivered records: %s", records, e)
+			}
+			if err := visit(e); err != nil {
+				return err
+			}
+			if _, _, err := fr.Next(br); err != io.EOF {
+				return fmt.Errorf("certdir: snapshot: data after trailer")
+			}
+			return nil
+		}
+		records++
+		if err := visit(e); err != nil {
+			return err
+		}
+	}
 }
 
 // ByIssuer implements prover.RemoteSource.

@@ -26,6 +26,11 @@ type Event struct {
 	Seq  uint64
 	Kind string // "remove" | "revoke"
 	Hash []byte // certificate body hash
+
+	// seg is the WAL segment holding this event's journal record
+	// (0 = not journaled); the segment compactor uses it to keep
+	// retained events durable and reclaim trimmed ones.
+	seg uint64
 }
 
 // Event kinds.
@@ -95,21 +100,85 @@ func (l *EventLog) token(seq uint64) uint64 {
 
 // append records one event and wakes every waiting long-poll.
 func (l *EventLog) append(kind string, hash []byte) {
+	l.appendWith(kind, hash, nil)
+}
+
+// appendWith is append with a journal hook: journal (when non-nil) is
+// called under l.mu with the cursor token the new event will carry and
+// returns the WAL segment its record landed in. Running the hook under
+// the lock means ring order and journal order cannot disagree — the
+// same discipline Store.publish applies under its shard lock; the hook
+// is file I/O only, never network. Events trimmed off the ring are
+// returned so the caller can retire their journal records.
+func (l *EventLog) appendWith(kind string, hash []byte, journal func(token uint64) (seg uint64)) (evicted []Event) {
 	l.mu.Lock()
+	var seg uint64
+	if journal != nil {
+		seg = journal(l.token(l.next))
+	}
 	l.ring = append(l.ring, Event{
 		Seq:  l.next,
 		Kind: kind,
 		Hash: append([]byte(nil), hash...),
+		seg:  seg,
 	})
 	l.next++
-	if len(l.ring) > l.max {
-		// Copy rather than reslice so the trimmed prefix's backing
-		// memory (and the hashes it points at) is actually released.
-		l.ring = append([]Event(nil), l.ring[len(l.ring)-l.max:]...)
-	}
+	evicted = l.trimLocked()
 	close(l.notify)
 	l.notify = make(chan struct{})
 	l.mu.Unlock()
+	return evicted
+}
+
+// restore re-installs one event from its WAL record during replay,
+// adopting the journaled token's boot nonce and sequence so cursors
+// minted before the restart keep working. Once adopted, the boot nonce
+// persists for the rest of the process: events appended after replay
+// continue the journaled incarnation rather than starting a new one.
+func (l *EventLog) restore(token uint64, kind string, hash []byte, seg uint64) (evicted []Event) {
+	boot := token >> cursorSeqBits
+	seq := token & (1<<cursorSeqBits - 1)
+	if boot == 0 || seq == 0 {
+		return nil // corrupt token; drop rather than poison the cursor space
+	}
+	l.mu.Lock()
+	if boot != l.boot {
+		// First restored event (or a log spanning incarnations, which
+		// compaction never produces): adopt the newest incarnation seen.
+		l.boot = boot
+		l.ring = l.ring[:0]
+	}
+	l.ring = append(l.ring, Event{
+		Seq:  seq,
+		Kind: kind,
+		Hash: append([]byte(nil), hash...),
+		seg:  seg,
+	})
+	l.next = seq + 1
+	evicted = l.trimLocked()
+	l.mu.Unlock()
+	return evicted
+}
+
+// trimLocked bounds the ring, returning what fell off. Caller holds l.mu.
+func (l *EventLog) trimLocked() (evicted []Event) {
+	if len(l.ring) <= l.max {
+		return nil
+	}
+	cut := len(l.ring) - l.max
+	evicted = append([]Event(nil), l.ring[:cut]...)
+	// Copy rather than reslice so the trimmed prefix's backing
+	// memory (and the hashes it points at) is actually released.
+	l.ring = append([]Event(nil), l.ring[cut:]...)
+	return evicted
+}
+
+// snapshotTail copies the retained events and the current boot nonce;
+// the segment compactor reconstructs journal records from it.
+func (l *EventLog) snapshotTail() (events []Event, boot uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.ring...), l.boot
 }
 
 // sinceLocked computes the answer for a cursor. Caller holds l.mu.

@@ -1,14 +1,19 @@
 package certdir
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cert"
+	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/sexp"
 )
 
 // Replicator keeps a Store converged with peer directories in other
@@ -80,6 +85,11 @@ type Replicator struct {
 	// RoundHist, when set, observes the wall-clock seconds of each
 	// anti-entropy round (Converge).
 	RoundHist *obs.Histogram
+	// DisableMerkle forces the flat digest protocol even against peers
+	// that serve the Merkle endpoints. An escape hatch for the
+	// compatibility window (and what the byte-budget comparisons in
+	// tests and BENCH_9 measure the flat side with).
+	DisableMerkle bool
 
 	queue chan repJob
 	stop  chan struct{}
@@ -94,6 +104,8 @@ type Replicator struct {
 	roundErrors  atomic.Int64
 	crlsPulled   atomic.Int64
 	crlsRejected atomic.Int64
+	digestBytes  atomic.Int64 // summary bytes moved on digest-class paths (all peers)
+	descents     atomic.Int64 // Merkle node-summary round trips
 }
 
 // Replication defaults.
@@ -113,6 +125,14 @@ const (
 	pushQueueDepth = 1024
 	// fetchBatch bounds hashes per gossip fetch round trip.
 	fetchBatch = 64
+	// nodeBatch bounds tree-node indexes per Merkle descent round trip.
+	nodeBatch = 64
+	// leafBatch bounds leaves per Merkle leaf-hash round trip; a full
+	// leaf of a 100k-cert store is ~25 hashes, so 16 leaves stay well
+	// under the reply bound even for badly skewed stores.
+	leafBatch = 16
+	// bootstrapBatch bounds certificates per snapshot verify+index batch.
+	bootstrapBatch = 256
 )
 
 // repJob is one queued fan-out: a publish (cert != nil), a CRL
@@ -137,12 +157,20 @@ type ReplicatorStats struct {
 	RoundErrors  int64 // per-peer round failures (unreachable peer etc.)
 	CRLsPulled   int64 // CRLs pulled and installed by anti-entropy
 	CRLsRejected int64 // pulled CRLs refused (bad signature)
+	DigestBytes  int64 // anti-entropy summary bytes moved (request + reply)
+	Descents     int64 // Merkle node-summary round trips
 }
 
 // NewReplicator wires a store to its peers. Tune the exported fields,
 // then Start.
 func NewReplicator(st *Store, peers []*Client) *Replicator {
-	return &Replicator{store: st, peers: peers}
+	r := &Replicator{store: st, peers: peers}
+	for _, p := range peers {
+		// Meter every peer's summary traffic into one counter; the
+		// sf_gossip_digest_bytes_total metric and BENCH_9 read it.
+		p.gossipBytes = &r.digestBytes
+	}
+	return r
 }
 
 func (r *Replicator) now() time.Time {
@@ -360,10 +388,116 @@ func (r *Replicator) pullCRLs(peer *Client) error {
 	return nil
 }
 
-// pullFrom compares digests with one peer and pulls whatever this
-// store is missing: digest exchange, hash-list diff for disagreeing
-// partitions, batched fetch, verify-before-index via Publish.
+// pullFrom reconciles this store against one peer. The Merkle descent
+// protocol is preferred — its summary traffic for a converged pair is
+// one root exchange instead of 64 partition digests, and for a single
+// differing certificate O(log n) node summaries instead of a full
+// partition hash list. A peer that does not serve the Merkle
+// endpoints yet (404 inside the compatibility window) or whose tree
+// shape differs gets the flat protocol instead; both end in the same
+// verify-before-index pull.
 func (r *Replicator) pullFrom(peer *Client) (pulled int, err error) {
+	if !r.DisableMerkle {
+		pulled, ok, err := r.pullMerkle(peer)
+		if ok || err != nil {
+			return pulled, err
+		}
+	}
+	return r.pullFlat(peer)
+}
+
+// pullMerkle runs one Merkle anti-entropy exchange: root summaries,
+// then a breadth-first descent fetching child summaries only under
+// disagreeing nodes, then full hash lists only for the leaves that
+// actually differ. ok reports whether the peer spoke the protocol; a
+// 404 (or an incompatible tree shape) returns ok == false with no
+// error so the caller falls back to the flat exchange. Transport and
+// protocol failures are real errors.
+func (r *Replicator) pullMerkle(peer *Client) (pulled int, ok bool, err error) {
+	root, leaves, arity, err := peer.MerkleRoot()
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return 0, false, nil // pre-Merkle peer: use the flat protocol
+		}
+		return 0, false, err
+	}
+	if leaves != MerkleLeaves || arity != MerkleArity {
+		return 0, false, nil // foreign tree shape: flat still interoperates
+	}
+	mine := r.store.MerkleSummaries([]int{0})
+	if len(mine) == 1 && mine[0].Count == root.Count && mine[0].XOR == root.XOR {
+		return 0, true, nil // converged: one round trip, a few dozen bytes
+	}
+	// Descend. The frontier holds inner nodes whose summaries disagree
+	// AND under which the peer holds something (a subtree empty at the
+	// peer has nothing to pull; local-only certificates travel by push
+	// or by the peer's own pull, exactly as in the flat scheme).
+	frontier := []int{0}
+	var diffLeaves []int
+	for len(frontier) > 0 {
+		var children []int
+		for _, idx := range frontier {
+			children = merkleChildren(children, idx)
+		}
+		frontier = frontier[:0]
+		for len(children) > 0 {
+			batch := children
+			if len(batch) > nodeBatch {
+				batch = batch[:nodeBatch]
+			}
+			children = children[len(batch):]
+			theirs, err := peer.MerkleNodes(batch)
+			if err != nil {
+				return pulled, true, err
+			}
+			r.descents.Add(1)
+			ours := r.store.MerkleSummaries(batch)
+			mineAt := make(map[int]MerkleSummary, len(ours))
+			for _, m := range ours {
+				mineAt[m.Index] = m
+			}
+			for _, th := range theirs {
+				m := mineAt[th.Index]
+				if th.Count == 0 || (th.Count == m.Count && th.XOR == m.XOR) {
+					continue
+				}
+				if merkleIsLeaf(th.Index) {
+					diffLeaves = append(diffLeaves, th.Index-merkleFirstLeaf)
+				} else {
+					frontier = append(frontier, th.Index)
+				}
+			}
+		}
+	}
+	for len(diffLeaves) > 0 {
+		batch := diffLeaves
+		if len(batch) > leafBatch {
+			batch = batch[:leafBatch]
+		}
+		diffLeaves = diffLeaves[len(batch):]
+		byLeaf, err := peer.MerkleLeafHashes(batch)
+		if err != nil {
+			return pulled, true, err
+		}
+		var hashes [][]byte
+		for _, hs := range byLeaf {
+			hashes = append(hashes, hs...)
+		}
+		n, err := r.pullHashes(peer, hashes)
+		pulled += n
+		if err != nil {
+			return pulled, true, err
+		}
+	}
+	return pulled, true, nil
+}
+
+// pullFlat is the original digest-exchange protocol: per-partition
+// count+XOR digests, full hash lists for disagreeing partitions. Kept
+// for one release as the compatibility fallback (and as the baseline
+// the Merkle byte-budget comparisons measure against).
+func (r *Replicator) pullFlat(peer *Client) (pulled int, err error) {
 	theirs, err := peer.Digests()
 	if err != nil {
 		return 0, err
@@ -380,54 +514,184 @@ func (r *Replicator) pullFrom(peer *Client) (pulled int, err error) {
 		if err != nil {
 			return pulled, err
 		}
-		var missing [][]byte
-		for _, h := range hashes {
-			if r.store.Tombstoned(h) {
-				// The peer still serves a delegation retracted here:
-				// repair the removal now rather than waiting for a push
-				// that already failed or was shed.
-				if _, err := peer.Remove(h); err != nil {
-					r.pushFailures.Add(1)
-					r.logf("certdir: anti-entropy removal to %s: %v", peer.BaseURL, err)
-				} else {
-					r.pushes.Add(1)
-				}
-				continue
-			}
-			if r.store.HasHash(h) {
-				continue
-			}
-			missing = append(missing, h)
+		n, err := r.pullHashes(peer, hashes)
+		pulled += n
+		if err != nil {
+			return pulled, err
 		}
-		for len(missing) > 0 {
-			batch := missing
-			if len(batch) > fetchBatch {
-				batch = batch[:fetchBatch]
+	}
+	return pulled, nil
+}
+
+// pullHashes is the shared tail of both anti-entropy protocols: given
+// the content hashes a peer serves in some region, repair tombstoned
+// ones (re-push the removal the peer evidently missed), skip what is
+// already indexed, and pull the rest in verified batches.
+func (r *Replicator) pullHashes(peer *Client, hashes [][]byte) (pulled int, err error) {
+	var missing [][]byte
+	for _, h := range hashes {
+		if r.store.Tombstoned(h) {
+			// The peer still serves a delegation retracted here:
+			// repair the removal now rather than waiting for a push
+			// that already failed or was shed.
+			if _, err := peer.Remove(h); err != nil {
+				r.pushFailures.Add(1)
+				r.logf("certdir: anti-entropy removal to %s: %v", peer.BaseURL, err)
+			} else {
+				r.pushes.Add(1)
 			}
-			missing = missing[len(batch):]
-			certs, err := peer.Fetch(batch)
+			continue
+		}
+		if r.store.HasHash(h) {
+			continue
+		}
+		missing = append(missing, h)
+	}
+	for len(missing) > 0 {
+		batch := missing
+		if len(batch) > fetchBatch {
+			batch = batch[:fetchBatch]
+		}
+		missing = missing[len(batch):]
+		certs, err := peer.Fetch(batch)
+		if err != nil {
+			return pulled, err
+		}
+		now := r.now()
+		// Verify the fetched batch as one unit before indexing: the
+		// signature checks run batched (seeding the shared proof
+		// cache), so each PublishPulled's verify-before-index is a
+		// cache lookup.
+		cert.VerifyBatch(publishCtx(now), certs)
+		for _, c := range certs {
+			// PublishPulled, not Publish: a removal that raced this
+			// pull leaves a tombstone the pull must yield to, never
+			// clear.
+			added, err := r.store.PublishPulled(c, now)
+			switch {
+			case err != nil:
+				r.pullRejected.Add(1)
+			case added:
+				r.pulled.Add(1)
+				pulled++
+			}
+		}
+	}
+	return pulled, nil
+}
+
+// BootstrapFromPeer cold-starts this directory from the first peer
+// that serves a complete snapshot: one bulk verify-before-index
+// transfer instead of thousands of gossip round trips. Certificates
+// stream through cert.VerifyBatch and PublishPulled (the snapshot
+// grants no authority), retractions become local tombstones, and CRLs
+// install batched with one eviction scan at the end. Returns how many
+// certificates were adopted; when every peer fails, the joined error
+// is returned and the caller proceeds with plain gossip — bootstrap
+// is an optimization, never a correctness requirement. State adopted
+// from a stream that later turns out truncated is harmless for the
+// same reason: everything was verified, and gossip finishes the job.
+func (r *Replicator) BootstrapFromPeer(ctx context.Context) (pulled int, err error) {
+	var errs []error
+	for _, peer := range r.peers {
+		n, perr := r.bootstrapFrom(ctx, peer)
+		pulled += n
+		if perr == nil {
+			return pulled, nil
+		}
+		r.logf("certdir: bootstrap from %s: %v", peer.BaseURL, perr)
+		errs = append(errs, fmt.Errorf("%s: %w", peer.BaseURL, perr))
+	}
+	return pulled, errors.Join(errs...)
+}
+
+func (r *Replicator) bootstrapFrom(ctx context.Context, peer *Client) (pulled int, err error) {
+	var (
+		batch []*cert.Cert
+		lists []*cert.RevocationList
+	)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		now := r.now()
+		cert.VerifyBatch(publishCtx(now), batch)
+		for _, c := range batch {
+			added, err := r.store.PublishPulled(c, now)
+			switch {
+			case err != nil:
+				r.pullRejected.Add(1)
+			case added:
+				r.pulled.Add(1)
+				pulled++
+			}
+		}
+		batch = batch[:0]
+	}
+	err = peer.Snapshot(ctx, func(e sexp.Sexp) error {
+		switch e.Tag() {
+		case snapTagHeader, snapTagEnd:
+			return nil
+		case walTagPublish:
+			if e.Len() != 2 {
+				return fmt.Errorf("bad publish frame %s", e)
+			}
+			p, err := core.ProofFromSexp(e.Nth(1))
 			if err != nil {
-				return pulled, err
+				return fmt.Errorf("publish frame: %w", err)
 			}
-			now := r.now()
-			// Verify the fetched batch as one unit before indexing: the
-			// signature checks run batched (seeding the shared proof
-			// cache), so each PublishPulled's verify-before-index is a
-			// cache lookup.
-			cert.VerifyBatch(publishCtx(now), certs)
-			for _, c := range certs {
-				// PublishPulled, not Publish: a removal that raced this
-				// pull leaves a tombstone the pull must yield to, never
-				// clear.
-				added, err := r.store.PublishPulled(c, now)
-				switch {
-				case err != nil:
-					r.pullRejected.Add(1)
-				case added:
-					r.pulled.Add(1)
-					pulled++
-				}
+			c, ok := p.(*cert.Cert)
+			if !ok {
+				return fmt.Errorf("publish frame holds %T, not a certificate", p)
 			}
+			batch = append(batch, c)
+			if len(batch) >= bootstrapBatch {
+				flush()
+			}
+			return nil
+		case walTagRemove:
+			if e.Len() != 3 || !e.Nth(1).IsAtom() {
+				return fmt.Errorf("bad remove frame %s", e)
+			}
+			flush() // retractions apply after the publishes streamed before them
+			var expiry time.Time
+			if sec, perr := strconv.ParseInt(e.Nth(2).Text(), 10, 64); perr == nil && sec != 0 {
+				expiry = time.Unix(sec, 0)
+			}
+			hash := append([]byte(nil), e.Nth(1).Bytes()...)
+			r.store.AdoptTombstone(hash, expiry, r.now())
+			return nil
+		case snapTagCRL:
+			if e.Len() != 2 {
+				return fmt.Errorf("bad crl frame %s", e)
+			}
+			rl, err := cert.RevocationListFromSexp(e.Nth(1))
+			if err != nil {
+				return fmt.Errorf("crl frame: %w", err)
+			}
+			lists = append(lists, rl)
+			return nil
+		}
+		return fmt.Errorf("unknown snapshot frame %q", e.Tag())
+	})
+	flush()
+	if err != nil {
+		return pulled, err
+	}
+	if r.Revocations != nil && len(lists) > 0 {
+		added, errs := r.Revocations.AddNewBatch(lists)
+		anyAdded := false
+		for i := range lists {
+			switch {
+			case errs[i] != nil:
+				r.crlsRejected.Add(1)
+			case added[i]:
+				r.crlsPulled.Add(1)
+				anyAdded = true
+			}
+		}
+		if anyAdded {
+			r.store.EvictRevokedByIssuer(r.Revocations.RevokedByIssuerAt(r.now()))
 		}
 	}
 	return pulled, nil
@@ -446,5 +710,7 @@ func (r *Replicator) Stats() ReplicatorStats {
 		RoundErrors:  r.roundErrors.Load(),
 		CRLsPulled:   r.crlsPulled.Load(),
 		CRLsRejected: r.crlsRejected.Load(),
+		DigestBytes:  r.digestBytes.Load(),
+		Descents:     r.descents.Load(),
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package certdir
+
+// raceEnabled scales the big anti-entropy tests down under the race
+// detector; see scale_race_test.go.
+const raceEnabled = false

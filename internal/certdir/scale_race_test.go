@@ -1,0 +1,10 @@
+//go:build race
+
+package certdir
+
+// raceEnabled scales the big anti-entropy tests down under the race
+// detector: the 100k-certificate byte-budget corpus would take minutes
+// with race instrumentation, and the interleaving coverage it buys is
+// identical at small scale. The full-size bound is asserted by the
+// non-race run of the same test.
+const raceEnabled = true

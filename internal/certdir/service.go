@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -65,18 +66,37 @@ import (
 // revocation evicts at every peer directly instead of waiting for
 // per-directory tombstones; pullers verify every CRL before applying
 // it, exactly like certificates.
+// Merkle anti-entropy (see merkle.go) adds three tree-descent
+// endpoints alongside the flat digests/hashes pair, which stays
+// served for one release so mixed-version meshes keep converging
+// (a puller falls back to the flat protocol on 404):
+//
+//	POST /certdir/gossip/root    (mroot)           -> (mroot (params <leaves> <arity>) (sum <count> <xor16>))
+//	POST /certdir/gossip/nodes   (mnodes <idx>...) -> (mnodes (sum <idx> <count> <xor16>)...)
+//	POST /certdir/gossip/leaves  (mleaves <idx>...)-> (mleaves (leaf <idx> <hash>...)...)
+//
+// Snapshot bootstrap adds one bulk endpoint: GET /certdir/snapshot
+// streams the directory's live contents as a framed record sequence
+// (see snapshot.go for the format) so a cold peer loads the whole
+// store in one verify-before-index transfer instead of thousands of
+// gossip fetch rounds. Like every gossip surface it reveals only what
+// query already serves, and the bootstrapper re-verifies everything.
 const (
-	PathPublish  = "/certdir/publish"
-	PathQuery    = "/certdir/query"
-	PathRemove   = "/certdir/remove"
-	PathStats    = "/certdir/stats"
-	PathDigests  = "/certdir/gossip/digests"
-	PathHashes   = "/certdir/gossip/hashes"
-	PathFetch    = "/certdir/gossip/fetch"
-	PathCRLs     = "/certdir/gossip/crls"
-	PathEvents   = "/certdir/events"
-	PathAdminCRL = "/certdir/admin/crl"
-	PathReload   = "/certdir/admin/reload"
+	PathPublish      = "/certdir/publish"
+	PathQuery        = "/certdir/query"
+	PathRemove       = "/certdir/remove"
+	PathStats        = "/certdir/stats"
+	PathDigests      = "/certdir/gossip/digests"
+	PathHashes       = "/certdir/gossip/hashes"
+	PathFetch        = "/certdir/gossip/fetch"
+	PathGossipRoot   = "/certdir/gossip/root"
+	PathGossipNodes  = "/certdir/gossip/nodes"
+	PathGossipLeaves = "/certdir/gossip/leaves"
+	PathSnapshot     = "/certdir/snapshot"
+	PathCRLs         = "/certdir/gossip/crls"
+	PathEvents       = "/certdir/events"
+	PathAdminCRL     = "/certdir/admin/crl"
+	PathReload       = "/certdir/admin/reload"
 )
 
 // maxEventWait caps the long-poll duration a client may request; a
@@ -128,6 +148,12 @@ type Service struct {
 	// CRLHist, when set, observes install-through-eviction seconds for
 	// each CRL newly installed via the admin endpoint.
 	CRLHist *obs.Histogram
+	// SnapshotPath, when set, is the snapshot file the daemon's
+	// snapshot loop maintains (temp+fsync+rename, like the WAL); the
+	// snapshot endpoint serves it as written. Unset — or before the
+	// first snapshot exists — the endpoint streams a live snapshot
+	// straight from the store.
+	SnapshotPath string
 }
 
 // NewService wraps a store.
@@ -174,6 +200,14 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.post(w, r, s.handleHashes)
 	case PathFetch:
 		s.post(w, r, s.handleFetch)
+	case PathGossipRoot:
+		s.post(w, r, s.handleMerkleRoot)
+	case PathGossipNodes:
+		s.post(w, r, s.handleMerkleNodes)
+	case PathGossipLeaves:
+		s.post(w, r, s.handleMerkleLeaves)
+	case PathSnapshot:
+		s.handleSnapshot(w, r)
 	case PathCRLs:
 		s.post(w, r, s.handleCRLs)
 	case PathEvents:
@@ -446,6 +480,106 @@ func (s *Service) handleFetch(e sexp.Sexp) (sexp.Sexp, error) {
 	return certsSexp(s.Store.ByHashes(hashes, s.now())), nil
 }
 
+// handleMerkleRoot answers (mroot) with the tree parameters and the
+// root summary — the single round trip two converged peers exchange
+// per gossip round, a few dozen bytes regardless of store size.
+func (s *Service) handleMerkleRoot(e sexp.Sexp) (sexp.Sexp, error) {
+	if e.Tag() != "mroot" || e.Len() != 1 {
+		return nil, fmt.Errorf("certdir: root wants (mroot)")
+	}
+	root := s.Store.MerkleRoot()
+	return sexp.List(
+		sexp.String("mroot"),
+		sexp.List(sexp.String("params"),
+			sexp.String(strconv.Itoa(MerkleLeaves)),
+			sexp.String(strconv.Itoa(MerkleArity))),
+		sexp.List(sexp.String("sum"),
+			sexp.String(strconv.Itoa(root.Count)),
+			sexp.Atom(root.XOR[:])),
+	), nil
+}
+
+// handleMerkleNodes answers (mnodes <idx>...) with the summaries of
+// the named tree nodes; the puller descends only into subtrees whose
+// summaries disagree with its own.
+func (s *Service) handleMerkleNodes(e sexp.Sexp) (sexp.Sexp, error) {
+	if e.Tag() != "mnodes" || e.Len() < 2 {
+		return nil, fmt.Errorf("certdir: nodes wants (mnodes <idx>...)")
+	}
+	idxs := make([]int, 0, e.Len()-1)
+	for i := 1; i < e.Len(); i++ {
+		n, err := strconv.Atoi(e.Nth(i).Text())
+		if err != nil || n < 0 || n >= MerkleNodeCount {
+			return nil, fmt.Errorf("certdir: bad node index %q", e.Nth(i).Text())
+		}
+		idxs = append(idxs, n)
+	}
+	kids := []sexp.Sexp{sexp.String("mnodes")}
+	for _, m := range s.Store.MerkleSummaries(idxs) {
+		kids = append(kids, sexp.List(sexp.String("sum"),
+			sexp.String(strconv.Itoa(m.Index)),
+			sexp.String(strconv.Itoa(m.Count)),
+			sexp.Atom(m.XOR[:])))
+	}
+	return sexp.List(kids...), nil
+}
+
+// handleMerkleLeaves answers (mleaves <leaf>...) — leaf-array indexes,
+// 0..MerkleLeaves-1 — with the full content-hash list of each named
+// leaf: the terminal step of a descent, fetched only for the leaves
+// that actually disagree.
+func (s *Service) handleMerkleLeaves(e sexp.Sexp) (sexp.Sexp, error) {
+	if e.Tag() != "mleaves" || e.Len() < 2 {
+		return nil, fmt.Errorf("certdir: leaves wants (mleaves <leaf>...)")
+	}
+	leaves := make([]int, 0, e.Len()-1)
+	for i := 1; i < e.Len(); i++ {
+		n, err := strconv.Atoi(e.Nth(i).Text())
+		if err != nil || n < 0 || n >= MerkleLeaves {
+			return nil, fmt.Errorf("certdir: bad leaf index %q", e.Nth(i).Text())
+		}
+		leaves = append(leaves, n)
+	}
+	byLeaf := s.Store.HashesInLeaves(leaves)
+	kids := []sexp.Sexp{sexp.String("mleaves")}
+	for _, lf := range leaves {
+		row := []sexp.Sexp{sexp.String("leaf"), sexp.String(strconv.Itoa(lf))}
+		for _, h := range byLeaf[lf] {
+			row = append(row, sexp.Atom(h))
+		}
+		kids = append(kids, sexp.List(row...))
+	}
+	return sexp.List(kids...), nil
+}
+
+// handleSnapshot streams the bootstrap snapshot. Unlike every other
+// endpoint the reply is a frame sequence, not one S-expression, and
+// is not bounded by sexp.MaxTotal — the cold peer reads it frame by
+// frame (Client.Snapshot). When the daemon maintains a snapshot file
+// (SnapshotPath) it is served as written — one fsynced, atomically
+// renamed artifact — otherwise the store streams a live snapshot.
+// Read-only and unguarded, like the rest of the gossip pull surface:
+// it reveals nothing query does not already serve.
+func (s *Service) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "certdir: GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if s.SnapshotPath != "" {
+		if f, err := os.Open(s.SnapshotPath); err == nil {
+			defer f.Close()
+			io.Copy(w, f)
+			return
+		}
+		// No snapshot written yet: fall through to a live stream.
+	}
+	// A mid-stream failure cannot be reported in a status line at this
+	// point; the truncated stream fails the reader's trailer check,
+	// which is how the bootstrapper detects partial transfers anyway.
+	s.Store.WriteSnapshot(w, s.Revocations, s.now())
+}
+
 // handleEvents serves the invalidation stream: (events <after>
 // [(wait <ms>)]) answers with every retained event after the cursor,
 // long-polling up to the requested wait when the cursor is current.
@@ -640,6 +774,8 @@ func (s *Service) statsSexp() sexp.Sexp {
 			row("gossip-round-errors", rs.RoundErrors),
 			row("gossip-crls-pulled", rs.CRLsPulled),
 			row("gossip-crls-rejected", rs.CRLsRejected),
+			row("gossip-digest-bytes", rs.DigestBytes),
+			row("gossip-descents", rs.Descents),
 		)
 	}
 	return sexp.List(kids...)

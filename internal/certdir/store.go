@@ -54,6 +54,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/principal"
+	"repro/internal/sexp"
 	"repro/internal/shard"
 	"repro/internal/tag"
 )
@@ -77,6 +78,14 @@ type entry struct {
 	issuerK  string
 	subjectK string
 	expiry   time.Time // zero when unbounded
+	seg      uint64    // WAL segment holding the publish record; 0 = not journaled
+}
+
+// tombstone is one live retraction: the expiry bounding its life and
+// the WAL segment holding its remove record (0 when not journaled).
+type tombstone struct {
+	expiry time.Time
+	seg    uint64
 }
 
 // dirShard is an independently locked slice of the directory. A
@@ -123,12 +132,25 @@ type Store struct {
 	// anti-entropy pulls do not resurrect them. Cleared by an explicit
 	// re-publish, expired by Sweep.
 	tmu        sync.Mutex
-	tombstones map[string]time.Time
+	tombstones map[string]tombstone
 
 	// events is the invalidation stream served to subscribed provers:
 	// one event per removal or revocation eviction, so caches beyond
 	// the directory's reach can drop what it can no longer vouch for.
 	events *EventLog
+
+	// merkle is the incrementally maintained leaf-summary array behind
+	// the Merkle anti-entropy endpoints (see merkle.go).
+	merkle merkleState
+
+	// segLive counts live WAL records (indexed entries, live
+	// tombstones, retained events) per segment; the threshold compactor
+	// rewrites segments whose ratio of live to total records drops
+	// below compactThreshold. segMu is a leaf lock: nothing is acquired
+	// while holding it.
+	segMu            sync.Mutex
+	segLive          map[uint64]int64
+	compactThreshold float64
 
 	hooks atomic.Pointer[hookSet]
 
@@ -150,8 +172,9 @@ func NewStore(n int) *Store {
 	}
 	s := &Store{
 		shards:     make([]*dirShard, n),
-		tombstones: make(map[string]time.Time),
+		tombstones: make(map[string]tombstone),
 		events:     newEventLog(0),
+		segLive:    make(map[uint64]int64),
 	}
 	for i := range s.shards {
 		s.shards[i] = &dirShard{
@@ -216,7 +239,7 @@ func publishCtx(now time.Time) *core.VerifyContext {
 // Anti-entropy pulls must use PublishPulled instead, which yields to
 // tombstones rather than clearing them.
 func (s *Store) Publish(c *cert.Cert, now time.Time) (added bool, err error) {
-	return s.publish(c, now, false)
+	return s.publish(c, now, false, 0)
 }
 
 // PublishPulled is Publish for certificates arriving via anti-entropy
@@ -227,10 +250,17 @@ func (s *Store) Publish(c *cert.Cert, now time.Time) (added bool, err error) {
 // under, so a pull racing a removal converges to removed in either
 // interleaving.
 func (s *Store) PublishPulled(c *cert.Cert, now time.Time) (added bool, err error) {
-	return s.publish(c, now, true)
+	return s.publish(c, now, true, 0)
 }
 
-func (s *Store) publish(c *cert.Cert, now time.Time, yieldToTombstone bool) (added bool, err error) {
+// publishReplay is Publish during WAL replay: no journaling (the
+// record already exists, in segment replaySeg), no hooks implied — the
+// hook set is empty before attachWAL anyway.
+func (s *Store) publishReplay(c *cert.Cert, now time.Time, replaySeg uint64) (added bool, err error) {
+	return s.publish(c, now, false, replaySeg)
+}
+
+func (s *Store) publish(c *cert.Cert, now time.Time, yieldToTombstone bool, replaySeg uint64) (added bool, err error) {
 	if c == nil {
 		s.rejected.Add(1)
 		return false, fmt.Errorf("certdir: nil certificate")
@@ -261,15 +291,19 @@ func (s *Store) publish(c *cert.Cert, now time.Time, yieldToTombstone bool) (add
 		sh.mu.Unlock()
 		return false, nil
 	}
-	if s.wal != nil {
+	if replaySeg != 0 {
+		e.seg = replaySeg
+	} else if s.wal != nil {
 		// Journal before indexing: an acknowledged publish must be on
 		// disk. The shard stays locked so the log's record order cannot
 		// contradict the index for this certificate.
-		if err := s.wal.AppendPublish(c); err != nil {
+		seg, err := s.wal.AppendPublish(c)
+		if err != nil {
 			sh.mu.Unlock()
 			s.walErrors.Add(1)
 			return false, err
 		}
+		e.seg = seg
 	}
 	sh.byHash[e.hashKey] = e
 	sh.byIssuer[e.issuerK] = append(sh.byIssuer[e.issuerK], e)
@@ -278,8 +312,13 @@ func (s *Store) publish(c *cert.Cert, now time.Time, yieldToTombstone bool) (add
 	// tombstone add, so index and tombstone state cannot disagree for
 	// a concurrent observer holding the same shard.
 	s.tmu.Lock()
-	delete(s.tombstones, e.hashKey)
+	if t, ok := s.tombstones[e.hashKey]; ok {
+		delete(s.tombstones, e.hashKey)
+		s.segLiveDecr(t.seg)
+	}
 	s.tmu.Unlock()
+	s.segLiveIncr(e.seg)
+	s.merkleAdd(e.hashKey)
 	sh.mu.Unlock()
 	s.published.Add(1)
 	if h := s.hooks.Load(); h != nil && h.onAdd != nil {
@@ -377,22 +416,27 @@ func (s *Store) Remove(hash []byte) bool {
 			sh.mu.Unlock()
 			continue
 		}
+		var seg uint64
 		if s.wal != nil {
-			if err := s.wal.AppendRemove(hash, e.expiry); err != nil {
+			sg, err := s.wal.AppendRemove(hash, e.expiry)
+			if err != nil {
 				sh.mu.Unlock()
 				s.walErrors.Add(1)
 				return false
 			}
+			seg = sg
 		}
 		sh.dropLocked(e)
+		s.segLiveDecr(e.seg)
+		s.merkleDrop(e.hashKey)
 		// Tombstone before releasing the shard lock: a concurrent
 		// anti-entropy pull of this certificate serializes on the same
 		// shard and must find either the entry or the tombstone, never
 		// neither (which would let it resurrect the removal).
-		s.addTombstone(key, e.expiry)
+		s.addTombstone(key, e.expiry, seg)
 		sh.mu.Unlock()
 		s.removed.Add(1)
-		s.events.append(EventRemove, hash)
+		s.emitEvent(EventRemove, hash)
 		if h := s.hooks.Load(); h != nil && h.onRemove != nil {
 			h.onRemove(hash, e.expiry)
 		}
@@ -409,12 +453,14 @@ func (s *Store) Events() *EventLog { return s.events }
 // if a preceding replayed publish indexed it, and restore the
 // tombstone unless the certificate has expired anyway. No journaling,
 // no hooks — replay reconstructs state, it does not create history.
-func (s *Store) replayRemove(hash []byte, expiry, now time.Time) {
+func (s *Store) replayRemove(hash []byte, expiry, now time.Time, seg uint64) {
 	key := string(hash)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		if e, ok := sh.byHash[key]; ok {
 			sh.dropLocked(e)
+			s.segLiveDecr(e.seg)
+			s.merkleDrop(e.hashKey)
 			if expiry.IsZero() {
 				expiry = e.expiry
 			}
@@ -424,16 +470,87 @@ func (s *Store) replayRemove(hash []byte, expiry, now time.Time) {
 		sh.mu.Unlock()
 	}
 	if expiry.IsZero() || now.Before(expiry) {
-		s.addTombstone(key, expiry)
+		s.addTombstone(key, expiry, seg)
+	}
+}
+
+// restoreEvent re-applies a WAL event record during replay: the
+// EventLog adopts the journaled cursor token (boot nonce and sequence)
+// so subscriber cursors minted before the restart stay valid.
+func (s *Store) restoreEvent(token uint64, kind string, hash []byte, seg uint64) {
+	evicted := s.events.restore(token, kind, hash, seg)
+	s.segLiveIncr(seg)
+	for _, e := range evicted {
+		s.segLiveDecr(e.seg)
+	}
+}
+
+// emitEvent appends one invalidation event, journaling it (under the
+// event lock, so ring order and log order agree) when a WAL is
+// attached. A journal failure degrades durability — the event still
+// reaches live subscribers, but a restart resets their cursors — and
+// is counted, not escalated: invalidation delivery must not be held
+// hostage by a full disk.
+func (s *Store) emitEvent(kind string, hash []byte) {
+	evicted := s.events.appendWith(kind, hash, func(token uint64) uint64 {
+		if s.wal == nil {
+			return 0
+		}
+		seg, err := s.wal.AppendEvent(token, kind, hash)
+		if err != nil {
+			s.walErrors.Add(1)
+			return 0
+		}
+		s.segLiveIncr(seg)
+		return seg
+	})
+	for _, e := range evicted {
+		s.segLiveDecr(e.seg)
 	}
 }
 
 // addTombstone records a retraction until the certificate's expiry
-// (forever for unbounded certificates).
-func (s *Store) addTombstone(key string, expiry time.Time) {
+// (forever for unbounded certificates). seg is the WAL segment holding
+// the remove record backing it, 0 when not journaled.
+func (s *Store) addTombstone(key string, expiry time.Time, seg uint64) {
 	s.tmu.Lock()
-	s.tombstones[key] = expiry
+	if old, ok := s.tombstones[key]; ok {
+		s.segLiveDecr(old.seg)
+	}
+	s.tombstones[key] = tombstone{expiry: expiry, seg: seg}
 	s.tmu.Unlock()
+	s.segLiveIncr(seg)
+}
+
+// segLiveIncr counts one live record in seg; 0 (unjournaled) is ignored.
+func (s *Store) segLiveIncr(seg uint64) {
+	if seg == 0 {
+		return
+	}
+	s.segMu.Lock()
+	s.segLive[seg]++
+	s.segMu.Unlock()
+}
+
+// segLiveDecr retires one live record in seg.
+func (s *Store) segLiveDecr(seg uint64) {
+	if seg == 0 {
+		return
+	}
+	s.segMu.Lock()
+	if n := s.segLive[seg] - 1; n > 0 {
+		s.segLive[seg] = n
+	} else {
+		delete(s.segLive, seg)
+	}
+	s.segMu.Unlock()
+}
+
+// segLiveCount reads seg's live-record count.
+func (s *Store) segLiveCount(seg uint64) int64 {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	return s.segLive[seg]
 }
 
 // Tombstoned reports whether the certificate hash was removed here and
@@ -447,13 +564,14 @@ func (s *Store) Tombstoned(hash []byte) bool {
 	return ok
 }
 
-// tombstoneSnapshot copies the live tombstones for WAL compaction.
+// tombstoneSnapshot copies the live tombstones (key -> expiry); the
+// snapshot writer serializes it.
 func (s *Store) tombstoneSnapshot() map[string]time.Time {
 	s.tmu.Lock()
 	defer s.tmu.Unlock()
 	out := make(map[string]time.Time, len(s.tombstones))
 	for k, v := range s.tombstones {
-		out[k] = v
+		out[k] = v.expiry
 	}
 	return out
 }
@@ -498,6 +616,8 @@ func (s *Store) Sweep(now time.Time) int {
 		}
 		for _, e := range dead {
 			sh.dropLocked(e)
+			s.segLiveDecr(e.seg)
+			s.merkleDrop(e.hashKey)
 		}
 		n += len(dead)
 		sh.mu.Unlock()
@@ -505,9 +625,10 @@ func (s *Store) Sweep(now time.Time) int {
 	s.swept.Add(int64(n))
 	tombs := 0
 	s.tmu.Lock()
-	for k, expiry := range s.tombstones {
-		if !expiry.IsZero() && now.After(expiry) {
+	for k, t := range s.tombstones {
+		if !t.expiry.IsZero() && now.After(t.expiry) {
 			delete(s.tombstones, k)
+			s.segLiveDecr(t.seg)
 			tombs++
 		}
 	}
@@ -546,10 +667,16 @@ func (s *Store) EvictRevokedByIssuer(revoked func(certHash []byte, issuerKey str
 	return s.evictWhere(func(e *entry) bool { return revoked([]byte(e.hashKey), e.issuerK) })
 }
 
-// evictWhere drops every entry the predicate condemns, tombstoning
-// each (a peer that has not seen the CRL must not gossip the
-// certificate back in) and emitting one revoke event per drop so
-// subscribed provers shed their copies too.
+// evictWhere drops every entry the predicate condemns, journaling a
+// removal record and tombstoning each (a peer that has not seen the
+// CRL must not gossip the certificate back in) and emitting one revoke
+// event per drop so subscribed provers shed their copies too. The
+// journal record is what keeps the tombstone durable under incremental
+// compaction: unlike the old rewrite-everything compactor, a threshold
+// rewrite only preserves records it knows are live, so an eviction
+// must leave a record like any other retraction. A journal failure
+// does not block the eviction — locally refusing to serve a revoked
+// delegation outranks tombstone durability.
 func (s *Store) evictWhere(dead func(*entry) bool) int {
 	n := 0
 	var dropped []*entry
@@ -562,17 +689,27 @@ func (s *Store) evictWhere(dead func(*entry) bool) int {
 			}
 		}
 		for _, e := range del {
+			var seg uint64
+			if s.wal != nil {
+				if sg, err := s.wal.AppendRemove([]byte(e.hashKey), e.expiry); err != nil {
+					s.walErrors.Add(1)
+				} else {
+					seg = sg
+				}
+			}
 			sh.dropLocked(e)
+			s.segLiveDecr(e.seg)
+			s.merkleDrop(e.hashKey)
 			// Under the shard lock, like Remove: a concurrent pull must
 			// see the entry or its tombstone, never neither.
-			s.addTombstone(e.hashKey, e.expiry)
+			s.addTombstone(e.hashKey, e.expiry, seg)
 		}
 		sh.mu.Unlock()
 		n += len(del)
 		dropped = append(dropped, del...)
 	}
 	for _, e := range dropped {
-		s.events.append(EventRevoke, []byte(e.hashKey))
+		s.emitEvent(EventRevoke, []byte(e.hashKey))
 	}
 	s.evicted.Add(int64(n))
 	if n > 0 {
@@ -581,45 +718,131 @@ func (s *Store) evictWhere(dead func(*entry) bool) int {
 	return n
 }
 
-// compactAfterDrop rewrites the WAL after entries were dropped; errors
-// are tolerated (the log is merely larger than necessary and still
-// replays to the correct state, because replay itself drops expired
-// certificates and Publish dedups).
+// compactAfterDrop compacts the WAL incrementally after entries were
+// dropped; errors are tolerated (the log is merely larger than
+// necessary and still replays to the correct state, because replay
+// itself drops expired certificates and Publish dedups).
 func (s *Store) compactAfterDrop() {
 	if s.wal == nil {
 		return
 	}
-	if err := s.CompactWAL(); err != nil {
+	if err := s.MaybeCompactWAL(); err != nil {
 		s.walErrors.Add(1)
 	}
 }
 
-// CompactWAL rewrites the attached log as exactly the live
-// certificates plus live tombstones. No-op on a memory-only store.
+// liveFrames assembles, per requested segment, the WAL frames of that
+// segment's surviving records: indexed certificates whose publish
+// record lives there, live tombstones whose remove record lives there,
+// and retained events journaled there.
 //
-// Every shard's read lock is held across the whole rewrite — not just
-// the snapshot — because mutations journal under their shard's write
-// lock: were a shard released before the rename, a publish could
-// append to the old log file after the snapshot missed it, and the
-// rename would discard an acknowledged durable record. Queries
-// (read locks) proceed throughout; publishes and removals stall for
-// the rewrite (~100ms per 10k certificates, and compaction only runs
-// when sweeps or evictions dropped something).
+// No lock is held across the whole assembly, and none needs to be: the
+// requested segments are sealed, so a record's liveness can only
+// decrease concurrently — and every death (removal, eviction, ring
+// trim) appends its own record to the ACTIVE segment, which replays
+// after every sealed segment. A racing death at worst leaves its
+// victim in the rewritten segment as a dead record, replayed and then
+// overridden by the death record, exactly as if no rewrite had
+// happened.
+func (s *Store) liveFrames(ids []uint64) map[uint64][]sexp.Sexp {
+	want := make(map[uint64]bool, len(ids))
+	out := make(map[uint64][]sexp.Sexp, len(ids))
+	for _, id := range ids {
+		want[id] = true
+		out[id] = nil
+	}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, e := range sh.byHash {
+			if want[e.seg] {
+				out[e.seg] = append(out[e.seg], sexp.List(sexp.String(walTagPublish), e.cert.Sexp()))
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	s.tmu.Lock()
+	for k, t := range s.tombstones {
+		if want[t.seg] {
+			out[t.seg] = append(out[t.seg], removeRecord([]byte(k), t.expiry))
+		}
+	}
+	s.tmu.Unlock()
+	events, boot := s.events.snapshotTail()
+	for _, ev := range events {
+		if want[ev.seg] {
+			out[ev.seg] = append(out[ev.seg], eventRecord(boot<<cursorSeqBits|ev.Seq, ev.Kind, ev.Hash))
+		}
+	}
+	return out
+}
+
+// CompactWAL forcibly compacts the whole attached log: the active
+// segment is sealed and every sealed segment is rewritten down to its
+// live records (empty ones are removed). No-op on a memory-only store.
+// Sweeps and evictions use the cheaper MaybeCompactWAL; this is the
+// full pass for recovery (dead or torn records must not outlive the
+// boot that detected them) and for explicit operator/test use.
 func (s *Store) CompactWAL() error {
 	if s.wal == nil {
 		return nil
 	}
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		defer sh.mu.RUnlock()
+	if err := s.wal.rotateIfNonEmpty(); err != nil {
+		return err
 	}
-	var certs []*cert.Cert
-	for _, sh := range s.shards {
-		for _, e := range sh.byHash {
-			certs = append(certs, e.cert)
+	sealed := s.wal.sealedSegments()
+	ids := make([]uint64, len(sealed))
+	for i, sg := range sealed {
+		ids[i] = sg.id
+	}
+	frames := s.liveFrames(ids)
+	for _, id := range ids {
+		if err := s.wal.RewriteSegment(id, frames[id]); err != nil {
+			return err
 		}
 	}
-	return s.wal.Compact(certs, s.tombstoneSnapshot())
+	s.wal.noteCompaction()
+	return nil
+}
+
+// MaybeCompactWAL rewrites only the segments whose live-record ratio
+// has fallen below the compaction threshold — the incremental pass
+// that keeps compaction I/O proportional to reclaimable garbage
+// instead of to store size. The active segment is first sealed if it
+// is itself mostly dead, so its garbage becomes reclaimable too.
+func (s *Store) MaybeCompactWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	th := s.compactThreshold
+	if th <= 0 {
+		th = DefaultCompactThreshold
+	}
+	if act, records := s.wal.activeInfo(); records > 0 &&
+		float64(s.segLiveCount(act)) < th*float64(records) {
+		if err := s.wal.rotateIfNonEmpty(); err != nil {
+			return err
+		}
+	}
+	var ids []uint64
+	for _, sg := range s.wal.sealedSegments() {
+		if sg.records < 0 {
+			continue // contents unknown (opened without replay); CompactWAL handles
+		}
+		if sg.records == 0 || float64(s.segLiveCount(sg.id)) < th*float64(sg.records) {
+			ids = append(ids, sg.id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	frames := s.liveFrames(ids)
+	for _, id := range ids {
+		if err := s.wal.RewriteSegment(id, frames[id]); err != nil {
+			return err
+		}
+	}
+	s.wal.noteCompaction()
+	return nil
 }
 
 // CloseWAL syncs and closes the attached log (no-op when memory-only).

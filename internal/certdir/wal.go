@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -21,33 +22,152 @@ import (
 // accepted publish and every removal is appended as one framed
 // S-expression (sexp.AppendFrame: length prefix + CRC32 + canonical
 // payload) before the mutation is acknowledged, and OpenDurable
-// replays the log into a fresh Store on startup. Two record shapes
+// replays the log into a fresh Store on startup. Three record shapes
 // appear on disk:
 //
 //	(wal-publish <signed-certificate proof>)
 //	(wal-remove <cert hash> <expiry unix seconds, "0" if unbounded>)
+//	(wal-event <cursor token> <kind> <cert hash>)
 //
-// A crash can tear at most the final record; replay stops at the
-// first bad frame, truncates it away, and everything acknowledged
-// before the crash is intact. Removal records carry the certificate's
-// expiry so the tombstone that stops gossip from resurrecting a
-// retracted delegation (see Replicator) survives restarts and
-// compactions until the certificate would have expired anyway.
+// A crash can tear at most the final record of a segment; replay
+// truncates a torn tail away, and everything acknowledged before the
+// crash is intact. Removal records carry the certificate's expiry so
+// the tombstone that stops gossip from resurrecting a retracted
+// delegation (see Replicator) survives restarts and compactions until
+// the certificate would have expired anyway. Event records mirror the
+// EventLog tail so subscriber cursors stay valid across a restart.
 //
-// The log is an append-only image of directory history, so Sweep and
-// EvictRevoked rewrite it (WAL.Compact) whenever they drop entries:
-// the compacted log is exactly the live certificates plus the live
-// tombstones, written to a temp file, fsynced, and atomically renamed
-// over the old log.
+// # Segments
+//
+// The log is a sequence of numbered segment files
+// (certdir-00000001.wal, certdir-00000002.wal, ...): appends go to the
+// highest-numbered (active) segment, and when it reaches the
+// configured size the segment is sealed and a new one started. Record
+// order across the log is segment order — a record in segment k
+// happened before every record in segment k+1 — so replay walks the
+// segments in ascending id order.
+//
+// Sealing is what makes compaction incremental: a sealed segment's
+// records can only *die* (a certificate is removed, a tombstone
+// expires, an event falls off the retained ring — each of which
+// appends its own record to the active segment), never gain liveness,
+// so a sealed segment can be rewritten down to just its live records
+// without any coordination with concurrent appends. The Store tracks
+// per-segment live-record counts and rewrites only segments whose live
+// ratio falls below a threshold (MaybeCompactWAL), instead of the
+// whole log. Each rewrite keeps today's crash discipline: temp file,
+// fsync, atomic rename, directory sync.
+//
+// Logs written by earlier releases as a single certdir.wal file are
+// migrated on open: the file is renamed to segment 1. The migration is
+// a single atomic rename, so a crash during it leaves either the old
+// name or the new one, never both and never a partial copy.
 
-// WALName is the log's file name inside a directory's data dir.
+// WALName is the legacy single-file log name. A log found under this
+// name is renamed to the first numbered segment on open.
 const WALName = "certdir.wal"
 
-// Wire tags of the two WAL record shapes.
+// Wire tags of the WAL record shapes.
 const (
 	walTagPublish = "wal-publish"
 	walTagRemove  = "wal-remove"
+	walTagEvent   = "wal-event"
 )
+
+// DefaultSegmentBytes is the rotation threshold when WALOptions does
+// not set one: big enough that a segment amortizes its per-file cost
+// over thousands of records, small enough that one rewrite is a few
+// milliseconds of I/O.
+const DefaultSegmentBytes = 4 << 20
+
+// DefaultCompactThreshold is the live-ratio below which a sealed
+// segment is rewritten by MaybeCompactWAL: at 0.5 a segment is
+// compacted once most of it is dead, so compaction I/O is always
+// reclaiming at least as many bytes as it writes.
+const DefaultCompactThreshold = 0.5
+
+// WALOptions tunes the segmented log; the zero value means defaults.
+type WALOptions struct {
+	// SegmentBytes is the size at which the active segment is sealed
+	// and a new one started (-wal-segment-bytes).
+	SegmentBytes int64
+	// CompactThreshold is the live-record ratio below which a sealed
+	// segment is rewritten (-compact-threshold).
+	CompactThreshold float64
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.CompactThreshold <= 0 {
+		o.CompactThreshold = DefaultCompactThreshold
+	}
+	return o
+}
+
+// walSegmentName is the file name of segment id.
+func walSegmentName(id uint64) string {
+	return fmt.Sprintf("certdir-%08d.wal", id)
+}
+
+// parseSegmentName extracts the id from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	const prefix, suffix = "certdir-", ".wal"
+	if len(name) <= len(prefix)+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// listSegments returns the segment ids present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("certdir: wal dir list: %w", err)
+	}
+	var ids []uint64
+	for _, e := range ents {
+		if id, ok := parseSegmentName(e.Name()); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// migrateLegacyWAL renames a pre-segmentation certdir.wal to segment 1.
+// Finding both a legacy file and segments is refused rather than
+// guessed at: the rename is atomic, so that state never arises from a
+// crash — only from an operator mixing data dirs.
+func migrateLegacyWAL(dir string) error {
+	legacy := filepath.Join(dir, WALName)
+	if _, err := os.Stat(legacy); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("certdir: wal migrate: %w", err)
+	}
+	ids, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	if len(ids) > 0 {
+		return fmt.Errorf("certdir: both legacy %s and segmented wal files present in %s; remove one", WALName, dir)
+	}
+	if err := os.Rename(legacy, filepath.Join(dir, walSegmentName(1))); err != nil {
+		return fmt.Errorf("certdir: wal migrate: %w", err)
+	}
+	return syncDir(dir)
+}
 
 // SyncPolicy selects when the WAL forces appended records to stable
 // storage. The choice trades publish latency against the crash window:
@@ -94,65 +214,128 @@ func (p SyncPolicy) String() string {
 	return fmt.Sprintf("SyncPolicy(%d)", int(p))
 }
 
-// WAL is the append log backing a durable Store. All methods are safe
-// for concurrent use. Construct through OpenDurable (which also
-// replays), or OpenWAL for direct control in tests and tools.
+// segmentMeta is the WAL's bookkeeping for one segment file. records
+// is the total frame count (live or dead) when known, -1 when the
+// segment predates this process and was opened without replay; the
+// live-ratio compactor skips unknowns (a forced CompactWAL still
+// rewrites them).
+type segmentMeta struct {
+	size    int64
+	records int64
+}
+
+// WAL is the segmented append log backing a durable Store. All methods
+// are safe for concurrent use. Construct through OpenDurable (which
+// also replays), or OpenWAL for direct control in tests and tools.
 type WAL struct {
-	mu     sync.Mutex
-	path   string
-	f      *os.File
-	policy SyncPolicy
+	mu           sync.Mutex
+	dir          string
+	policy       SyncPolicy
+	segmentBytes int64
+	active       uint64 // highest segment id; the one taking appends
+	f            *os.File
+	segs         map[uint64]*segmentMeta
 
 	appends     atomic.Int64
 	syncs       atomic.Int64
 	compactions atomic.Int64
-	size        atomic.Int64
+	rotations   atomic.Int64
+	size        atomic.Int64 // total bytes across all segments
 }
 
 // WALStats is a snapshot of the log's counters for the stats endpoint.
 type WALStats struct {
-	Path        string
-	SizeBytes   int64 // current log size
-	Appends     int64 // records appended since open
-	Syncs       int64 // explicit fsyncs issued
-	Compactions int64 // log rewrites
+	Path        string // active segment file
+	SizeBytes   int64  // total log size across segments
+	Segments    int    // segment file count
+	Appends     int64  // records appended since open
+	Syncs       int64  // explicit fsyncs issued
+	Compactions int64  // compaction passes (forced or threshold)
+	Rotations   int64  // active-segment seals
 }
 
-// OpenWAL opens (creating if absent) the log at dir/certdir.wal for
-// appending, without replaying it. truncateAt >= 0 cuts the file to
-// that many bytes first — OpenDurable uses it to drop a torn tail.
+// OpenWAL opens the segmented log in dir for appending, without
+// replaying it, using default segment options. A legacy single-file
+// log is migrated first. truncateAt >= 0 cuts the LAST segment to that
+// many bytes — OpenDurable uses it to drop a torn tail.
 func OpenWAL(dir string, policy SyncPolicy, truncateAt int64) (*WAL, error) {
+	return OpenWALOpts(dir, policy, truncateAt, WALOptions{})
+}
+
+// OpenWALOpts is OpenWAL with explicit segment options.
+func OpenWALOpts(dir string, policy SyncPolicy, truncateAt int64, opts WALOptions) (*WAL, error) {
+	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("certdir: wal dir: %w", err)
 	}
-	path := filepath.Join(dir, WALName)
+	if err := migrateLegacyWAL(dir); err != nil {
+		return nil, err
+	}
+	// A crash during a segment rewrite can leave a temp file behind;
+	// the rename never happened, so the original segment is intact and
+	// the temp is garbage.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*.compact")); err == nil {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+	}
+	ids, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		ids = []uint64{1}
+	}
+	last := ids[len(ids)-1]
 	if truncateAt >= 0 {
-		if err := os.Truncate(path, truncateAt); err != nil && !errors.Is(err, os.ErrNotExist) {
+		if err := os.Truncate(filepath.Join(dir, walSegmentName(last)), truncateAt); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("certdir: wal truncate: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(dir, walSegmentName(last)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("certdir: wal open: %w", err)
 	}
-	// Persist the directory entry of a freshly created log: fsync on
-	// the file alone does not make its name durable.
+	// Persist the directory entry of a freshly created segment: fsync
+	// on the file alone does not make its name durable.
 	if err := syncDir(dir); err != nil {
 		f.Close()
 		return nil, err
 	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("certdir: wal stat: %w", err)
+	w := &WAL{
+		dir:          dir,
+		policy:       policy,
+		segmentBytes: opts.SegmentBytes,
+		active:       last,
+		f:            f,
+		segs:         make(map[uint64]*segmentMeta, len(ids)),
 	}
-	w := &WAL{path: path, f: f, policy: policy}
-	w.size.Store(st.Size())
+	var total int64
+	for _, id := range ids {
+		var size int64
+		if st, err := os.Stat(filepath.Join(dir, walSegmentName(id))); err == nil {
+			size = st.Size()
+		} else if !errors.Is(err, os.ErrNotExist) {
+			f.Close()
+			return nil, fmt.Errorf("certdir: wal stat: %w", err)
+		}
+		m := &segmentMeta{size: size, records: -1}
+		if size == 0 {
+			m.records = 0
+		}
+		w.segs[id] = m
+		total += size
+	}
+	w.size.Store(total)
 	return w, nil
 }
 
-// Path returns the log's file path.
-func (w *WAL) Path() string { return w.path }
+// Path returns the active segment's file path.
+func (w *WAL) Path() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return filepath.Join(w.dir, walSegmentName(w.active))
+}
 
 // syncDir fsyncs a directory so renames and creations inside it are
 // crash-durable, not just the file contents they point at.
@@ -172,38 +355,96 @@ func syncDir(dir string) error {
 }
 
 // appendRecord frames and writes one record under the chosen sync
-// policy. An error means the record may not be durable and the caller
-// must not apply (or acknowledge) the mutation it describes.
-func (w *WAL) appendRecord(e sexp.Sexp) error {
+// policy, sealing the active segment first when it is full, and
+// returns the segment id the record landed in. An error means the
+// record may not be durable and the caller must not apply (or
+// acknowledge) the mutation it describes.
+func (w *WAL) appendRecord(e sexp.Sexp) (uint64, error) {
 	buf := sexp.AppendFrame(nil, e)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
-		return fmt.Errorf("certdir: wal is closed")
+		return 0, fmt.Errorf("certdir: wal is closed")
+	}
+	if w.segs[w.active].size >= w.segmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
 	}
 	if _, err := w.f.Write(buf); err != nil {
-		return fmt.Errorf("certdir: wal append: %w", err)
+		return 0, fmt.Errorf("certdir: wal append: %w", err)
+	}
+	m := w.segs[w.active]
+	m.size += int64(len(buf))
+	if m.records >= 0 {
+		m.records++
 	}
 	w.appends.Add(1)
 	w.size.Add(int64(len(buf)))
 	if w.policy == SyncAlways {
 		w.syncs.Add(1)
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("certdir: wal sync: %w", err)
+			return 0, fmt.Errorf("certdir: wal sync: %w", err)
 		}
 	}
+	return w.active, nil
+}
+
+// rotateLocked seals the active segment and starts the next one.
+// No-op on an empty active segment. Caller holds w.mu.
+func (w *WAL) rotateLocked() error {
+	if w.segs[w.active].size == 0 {
+		return nil
+	}
+	// Flush the sealed segment before moving on: from here it is only
+	// ever rewritten whole, never appended to.
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("certdir: wal rotate sync: %w", err)
+	}
+	next := w.active + 1
+	f, err := os.OpenFile(filepath.Join(w.dir, walSegmentName(next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("certdir: wal rotate: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f.Close()
+	w.f = f
+	w.active = next
+	w.segs[next] = &segmentMeta{records: 0}
+	w.rotations.Add(1)
 	return nil
 }
 
-// AppendPublish logs an accepted publish.
-func (w *WAL) AppendPublish(c *cert.Cert) error {
+// rotateIfNonEmpty seals the active segment if it holds anything;
+// forced compaction uses it so the whole log becomes rewritable.
+func (w *WAL) rotateIfNonEmpty() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("certdir: wal is closed")
+	}
+	return w.rotateLocked()
+}
+
+// AppendPublish logs an accepted publish, returning the segment the
+// record landed in.
+func (w *WAL) AppendPublish(c *cert.Cert) (uint64, error) {
 	return w.appendRecord(sexp.List(sexp.String(walTagPublish), c.Sexp()))
 }
 
 // AppendRemove logs a removal together with the removed certificate's
 // expiry (zero time for unbounded), which bounds the tombstone's life.
-func (w *WAL) AppendRemove(hash []byte, expiry time.Time) error {
+func (w *WAL) AppendRemove(hash []byte, expiry time.Time) (uint64, error) {
 	return w.appendRecord(removeRecord(hash, expiry))
+}
+
+// AppendEvent logs one EventLog entry (cursor token, kind, hash) so
+// subscriber cursors survive a restart.
+func (w *WAL) AppendEvent(token uint64, kind string, hash []byte) (uint64, error) {
+	return w.appendRecord(eventRecord(token, kind, hash))
 }
 
 func removeRecord(hash []byte, expiry time.Time) sexp.Sexp {
@@ -212,6 +453,11 @@ func removeRecord(hash []byte, expiry time.Time) sexp.Sexp {
 		exp = strconv.FormatInt(expiry.Unix(), 10)
 	}
 	return sexp.List(sexp.String(walTagRemove), sexp.Atom(hash), sexp.String(exp))
+}
+
+func eventRecord(token uint64, kind string, hash []byte) sexp.Sexp {
+	return sexp.List(sexp.String(walTagEvent),
+		sexp.String(strconv.FormatUint(token, 10)), sexp.String(kind), sexp.Atom(hash))
 }
 
 // Sync forces buffered records to stable storage. Under SyncInterval
@@ -242,42 +488,98 @@ func (w *WAL) Close() error {
 	return err
 }
 
-// Compact atomically rewrites the log as exactly the given live
-// certificates plus live tombstones, dropping every superseded record
-// (duplicates, removed or swept certificates). The rewrite goes to a
-// temp file first and replaces the log by rename, so a crash during
-// compaction leaves either the old log or the new one, never a mix.
-func (w *WAL) Compact(certs []*cert.Cert, tombstones map[string]time.Time) error {
+// segmentInfo is a point-in-time view of one segment for the Store's
+// compaction planner.
+type segmentInfo struct {
+	id      uint64
+	size    int64
+	records int64 // -1 when unknown
+}
+
+// sealedSegments lists every non-active segment, ascending.
+func (w *WAL) sealedSegments() []segmentInfo {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]segmentInfo, 0, len(w.segs))
+	for id, m := range w.segs {
+		if id != w.active {
+			out = append(out, segmentInfo{id: id, size: m.size, records: m.records})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// activeInfo reports the active segment's id and known record count
+// (-1 when opened without replay).
+func (w *WAL) activeInfo() (id uint64, records int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.active, w.segs[w.active].records
+}
+
+// setReplayRecords installs per-segment total frame counts discovered
+// during replay, making those segments eligible for threshold
+// compaction.
+func (w *WAL) setReplayRecords(counts map[uint64]int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for id, n := range counts {
+		if m, ok := w.segs[id]; ok {
+			m.records = n
+		}
+	}
+}
+
+// noteCompaction counts one compaction pass (however many segments it
+// rewrote).
+func (w *WAL) noteCompaction() { w.compactions.Add(1) }
+
+// RewriteSegment atomically replaces a sealed segment with exactly the
+// given frames (its surviving live records), or removes the file when
+// none survive. The rewrite goes to a temp file first and replaces the
+// segment by rename, so a crash during compaction leaves either the
+// old segment or the new one, never a mix. The active segment cannot
+// be rewritten — seal it first (rotateIfNonEmpty).
+func (w *WAL) RewriteSegment(seg uint64, frames []sexp.Sexp) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return fmt.Errorf("certdir: wal is closed")
 	}
-	tmpPath := w.path + ".compact"
+	if seg == w.active {
+		return fmt.Errorf("certdir: cannot rewrite active segment %d", seg)
+	}
+	m, ok := w.segs[seg]
+	if !ok {
+		return nil // already compacted away
+	}
+	path := filepath.Join(w.dir, walSegmentName(seg))
+	if len(frames) == 0 {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("certdir: wal segment remove: %w", err)
+		}
+		if err := syncDir(w.dir); err != nil {
+			return err
+		}
+		w.size.Add(-m.size)
+		delete(w.segs, seg)
+		return nil
+	}
+	tmpPath := path + ".compact"
 	tmp, err := os.Create(tmpPath)
 	if err != nil {
-		return fmt.Errorf("certdir: wal compact: %w", err)
+		return fmt.Errorf("certdir: wal rewrite: %w", err)
 	}
 	bw := bufio.NewWriter(tmp)
 	var size int64
-	write := func(e sexp.Sexp) error {
+	for _, e := range frames {
 		buf := sexp.AppendFrame(nil, e)
 		size += int64(len(buf))
-		_, err := bw.Write(buf)
-		return err
-	}
-	for _, c := range certs {
-		if err := write(sexp.List(sexp.String(walTagPublish), c.Sexp())); err != nil {
+		if _, err := bw.Write(buf); err != nil {
 			tmp.Close()
 			os.Remove(tmpPath)
-			return fmt.Errorf("certdir: wal compact: %w", err)
-		}
-	}
-	for hash, expiry := range tombstones {
-		if err := write(removeRecord([]byte(hash), expiry)); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return fmt.Errorf("certdir: wal compact: %w", err)
+			return fmt.Errorf("certdir: wal rewrite: %w", err)
 		}
 	}
 	if err := bw.Flush(); err == nil {
@@ -286,47 +588,42 @@ func (w *WAL) Compact(certs []*cert.Cert, tombstones map[string]time.Time) error
 	if err != nil {
 		tmp.Close()
 		os.Remove(tmpPath)
-		return fmt.Errorf("certdir: wal compact: %w", err)
+		return fmt.Errorf("certdir: wal rewrite: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpPath)
-		return fmt.Errorf("certdir: wal compact: %w", err)
+		return fmt.Errorf("certdir: wal rewrite: %w", err)
 	}
-	if err := os.Rename(tmpPath, w.path); err != nil {
+	if err := os.Rename(tmpPath, path); err != nil {
 		os.Remove(tmpPath)
-		return fmt.Errorf("certdir: wal compact: %w", err)
+		return fmt.Errorf("certdir: wal rewrite: %w", err)
 	}
 	// The rename is not durable until the directory is synced: without
-	// this, a power cut could resurrect the pre-compaction log and
-	// with it lose records fsynced to the new file afterwards.
-	if err := syncDir(filepath.Dir(w.path)); err != nil {
+	// this, a power cut could resurrect the pre-compaction segment and
+	// with it records the rewrite deliberately dropped.
+	if err := syncDir(w.dir); err != nil {
 		return err
 	}
-	old := w.f
-	f, err := os.OpenFile(w.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		// The compacted log is on disk but unappendable; keep the old
-		// handle closed state explicit rather than appending to the
-		// renamed-away inode.
-		w.f = nil
-		old.Close()
-		return fmt.Errorf("certdir: wal reopen after compact: %w", err)
-	}
-	old.Close()
-	w.f = f
-	w.size.Store(size)
-	w.compactions.Add(1)
+	w.size.Add(size - m.size)
+	m.size = size
+	m.records = int64(len(frames))
 	return nil
 }
 
 // Stats returns a snapshot of the log counters.
 func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	path := filepath.Join(w.dir, walSegmentName(w.active))
+	segments := len(w.segs)
+	w.mu.Unlock()
 	return WALStats{
-		Path:        w.path,
+		Path:        path,
 		SizeBytes:   w.size.Load(),
+		Segments:    segments,
 		Appends:     w.appends.Load(),
 		Syncs:       w.syncs.Load(),
 		Compactions: w.compactions.Load(),
+		Rotations:   w.rotations.Load(),
 	}
 }
 
@@ -339,39 +636,71 @@ type RecoveryStats struct {
 	// expired since they were logged, duplicates, and records that no
 	// longer verify. Dropping is expected hygiene, not data loss.
 	Dropped int
-	// Torn reports that the log ended mid-record — the signature of a
-	// crash during an append. The torn tail is truncated away.
+	// Events counts EventLog entries restored from event records.
+	Events int
+	// Torn reports that a segment ended mid-record — the signature of
+	// a crash during an append or a rewrite. A torn tail in the last
+	// segment is truncated away; a torn earlier segment is compacted.
 	Torn bool
 	// Compacted reports that the log was rewritten after replay
 	// because it contained torn or dead records.
 	Compacted bool
 }
 
-// OpenDurable opens a WAL-backed directory rooted at dir: it replays
-// dir/certdir.wal (creating it when absent) into a fresh Store with n
-// shards, truncates any torn tail, attaches the log so subsequent
-// publishes and removals are journaled, and compacts the log when the
-// replay found anything dead. Traffic counters are reset after replay
-// so Stats reflects traffic since this open, not since the log began.
+// OpenDurable opens a WAL-backed directory rooted at dir with default
+// segment options: it replays the segments (migrating and creating as
+// needed) into a fresh Store with n shards, truncates any torn tail,
+// attaches the log so subsequent publishes and removals are journaled,
+// and compacts the log when the replay found anything dead. Traffic
+// counters are reset after replay so Stats reflects traffic since this
+// open, not since the log began.
 func OpenDurable(dir string, n int, policy SyncPolicy, now time.Time) (*Store, RecoveryStats, error) {
+	return OpenDurableOpts(dir, n, policy, now, WALOptions{})
+}
+
+// OpenDurableOpts is OpenDurable with explicit segment options.
+func OpenDurableOpts(dir string, n int, policy SyncPolicy, now time.Time, opts WALOptions) (*Store, RecoveryStats, error) {
+	opts = opts.withDefaults()
 	st := NewStore(n)
+	st.compactThreshold = opts.CompactThreshold
 	var rec RecoveryStats
-	good, torn, err := replayInto(st, filepath.Join(dir, WALName), now, &rec)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, fmt.Errorf("certdir: wal dir: %w", err)
+	}
+	if err := migrateLegacyWAL(dir); err != nil {
+		return nil, rec, err
+	}
+	ids, err := listSegments(dir)
 	if err != nil {
 		return nil, rec, err
 	}
-	rec.Torn = torn
 	truncateAt := int64(-1)
-	if torn {
-		truncateAt = good
+	counts := make(map[uint64]int64, len(ids))
+	for i, id := range ids {
+		good, frames, torn, err := replaySegment(st, filepath.Join(dir, walSegmentName(id)), id, now, &rec)
+		if err != nil {
+			return nil, rec, err
+		}
+		counts[id] = frames
+		if torn {
+			rec.Torn = true
+			if i == len(ids)-1 {
+				truncateAt = good
+			}
+			// A tear in an earlier segment cannot be truncated away
+			// (later segments hold acknowledged records); the
+			// post-replay compaction rewrites the damaged segment from
+			// the replayed state instead.
+		}
 	}
-	w, err := OpenWAL(dir, policy, truncateAt)
+	w, err := OpenWALOpts(dir, policy, truncateAt, opts)
 	if err != nil {
 		return nil, rec, err
 	}
+	w.setReplayRecords(counts)
 	st.attachWAL(w)
 	st.resetStats()
-	if torn || rec.Dropped > 0 {
+	if rec.Torn || rec.Dropped > 0 {
 		if err := st.CompactWAL(); err != nil {
 			return nil, rec, err
 		}
@@ -386,25 +715,25 @@ func OpenDurable(dir string, n int, policy SyncPolicy, now time.Time) (*Store, R
 // decoded certificates pending a flush stay a bounded memory cost.
 const replayBatch = 256
 
-// replayInto streams the log into the store, returning the byte offset
-// of the last good frame and whether a torn tail was found. The store
-// must not have a WAL attached yet: replay re-applies history, it does
-// not write it.
+// replaySegment streams one segment into the store, returning the byte
+// offset of the last good frame, the frame count, and whether a torn
+// tail was found. The store must not have a WAL attached yet: replay
+// re-applies history, it does not write it.
 //
 // Records stream through one sexp.FrameReader (a reusable payload
 // buffer and parse arena instead of per-record allocations; the typed
 // decoders copy what they keep, so recycling the arena is safe), and
 // consecutive publishes are signature-checked in batches: VerifyBatch
 // seeds the shared proof cache, so Publish's own verify-before-index
-// is a cache lookup. A removal flushes the pending batch first — log
-// order is publish order.
-func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good int64, torn bool, err error) {
+// is a cache lookup. A removal or event flushes the pending batch
+// first — log order is publish order.
+func replaySegment(st *Store, path string, seg uint64, now time.Time, rec *RecoveryStats) (good, frames int64, torn bool, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, false, nil
+		return 0, 0, false, nil
 	}
 	if err != nil {
-		return 0, false, fmt.Errorf("certdir: wal replay: %w", err)
+		return 0, 0, false, fmt.Errorf("certdir: wal replay: %w", err)
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
@@ -421,7 +750,7 @@ func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good
 		// bad signatures are dropped by Publish and compacted away.
 		cert.VerifyBatch(vctx, batch)
 		for _, c := range batch {
-			if added, err := st.Publish(c, now); err != nil || !added {
+			if added, err := st.publishReplay(c, now, seg); err != nil || !added {
 				rec.Dropped++
 				continue
 			}
@@ -433,17 +762,18 @@ func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good
 		e, n, err := fr.Next(r)
 		if err == io.EOF {
 			flush()
-			return good, false, nil
+			return good, frames, false, nil
 		}
 		if errors.Is(err, sexp.ErrFrameCorrupt) {
 			flush()
-			return good, true, nil
+			return good, frames, true, nil
 		}
 		if err != nil {
 			flush()
-			return good, false, fmt.Errorf("certdir: wal replay: %w", err)
+			return good, frames, false, fmt.Errorf("certdir: wal replay: %w", err)
 		}
 		good += int64(n)
+		frames++
 		switch e.Tag() {
 		case walTagPublish:
 			if e.Len() != 2 {
@@ -474,8 +804,22 @@ func replayInto(st *Store, path string, now time.Time, rec *RecoveryStats) (good
 			if sec, err := strconv.ParseInt(e.Nth(2).Text(), 10, 64); err == nil && sec != 0 {
 				expiry = time.Unix(sec, 0)
 			}
-			st.replayRemove(e.Nth(1).Bytes(), expiry, now)
+			st.replayRemove(e.Nth(1).Bytes(), expiry, now, seg)
 			rec.Replayed++
+		case walTagEvent:
+			flush() // events observe the mutations logged before them
+			if e.Len() != 4 || !e.Nth(3).IsAtom() {
+				rec.Dropped++
+				continue
+			}
+			token, terr := strconv.ParseUint(e.Nth(1).Text(), 10, 64)
+			kind := e.Nth(2).Text()
+			if terr != nil || token == 0 || (kind != EventRemove && kind != EventRevoke) {
+				rec.Dropped++
+				continue
+			}
+			st.restoreEvent(token, kind, e.Nth(3).Bytes(), seg)
+			rec.Events++
 		default:
 			rec.Dropped++
 		}

@@ -155,8 +155,10 @@ func TestDurableCrashMidPublishStream(t *testing.T) {
 		}
 	}
 
-	// "Crash": the final record's tail never hit the disk.
-	walPath := filepath.Join(dir, WALName)
+	// "Crash": the final record's tail never hit the disk. The copy is
+	// written under the legacy single-file name, so this doubles as the
+	// auto-migration test: replay must rename it to segment 1 first.
+	walPath := filepath.Join(dir, walSegmentName(1))
 	raw, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)

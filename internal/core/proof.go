@@ -260,6 +260,24 @@ func ParseProof(b []byte) (Proof, error) {
 	return ProofFromSexp(e)
 }
 
+// ParseProofPooled is ParseProof through a pooled parse arena. The
+// intermediate expression tree is scratch: the typed decoders deep-
+// copy everything they keep and SetWire receives a freshly encoded
+// canonical form, so nothing of the arena (or of b) escapes into the
+// returned proof and the arena goes back to the pool on return.
+// Proof-submission hot paths (the gateway's Authorization header, the
+// RMI accept path) use this to stop paying a full expression tree's
+// allocations per request.
+func ParseProofPooled(b []byte) (Proof, error) {
+	a := sexp.GetArena()
+	defer sexp.PutArena(a)
+	e, err := a.ParseOne(b)
+	if err != nil {
+		return nil, err
+	}
+	return ProofFromSexp(e)
+}
+
 var ruleDecoders = map[string]leafDecoder{}
 
 func registerRule(kind string, fn leafDecoder) {

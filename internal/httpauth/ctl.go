@@ -129,7 +129,7 @@ func (g *CtlGuard) Authorize(r *http.Request, body []byte, ctl tag.Tag) error {
 	if !ok {
 		return fail(fmt.Errorf("httpauth: control-plane authorization missing proof parameter"))
 	}
-	proof, err := core.ParseProof([]byte(raw))
+	proof, err := core.ParseProofPooled([]byte(raw))
 	if err != nil {
 		return fail(fmt.Errorf("httpauth: bad control-plane proof: %w", err))
 	}

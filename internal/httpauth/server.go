@@ -232,7 +232,7 @@ func (p *Protected) authorizeProof(r *http.Request, params map[string]string, re
 	if !ok {
 		return nil, fmt.Errorf("httpauth: missing proof parameter")
 	}
-	proof, err := core.ParseProof([]byte(raw))
+	proof, err := core.ParseProofPooled([]byte(raw))
 	if err != nil {
 		return nil, fmt.Errorf("httpauth: bad proof: %w", err)
 	}
@@ -270,7 +270,7 @@ func (p *Protected) authorizeMAC(r *http.Request, params map[string]string, reqP
 	var rideAlong core.Proof
 	rideAlongTried := false
 	if raw := r.Header.Get(HdrProof); raw != "" {
-		if proof, err := core.ParseProof([]byte(raw)); err == nil {
+		if proof, err := core.ParseProofPooled([]byte(raw)); err == nil {
 			rideAlongTried = true
 			if err := cert.VerifyChain(p.scratchCtx(), proof); err == nil {
 				rideAlong = proof

@@ -1,0 +1,318 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cert"
+	"repro/internal/certdir"
+	"repro/internal/core"
+	"repro/internal/principal"
+	"repro/internal/sfkey"
+	"repro/internal/tag"
+)
+
+// The directory-scale profile measures the planet-scale directory
+// claims directly, without the mesh around them: at each population
+// size it records (a) the digest bytes a single-certificate diff
+// costs under Merkle anti-entropy vs the flat partition scheme, (b)
+// how many gossip rounds a cold peer needs to converge, and (c) the
+// wall-clock ratio between snapshot bootstrap and gossip-only cold
+// sync. The numbers ship as BENCH_9.json, the third trajectory file
+// next to BENCH_7 (micro) and BENCH_8 (mesh flows).
+
+// DirScaleConfig shapes one directory-scale run.
+type DirScaleConfig struct {
+	// Sizes are the directory populations to profile, in order.
+	Sizes []int
+	// Seed drives the synthetic corpus keys.
+	Seed int64
+	// Now anchors certificate validity; required (the CLI passes the
+	// wall clock, tests pass a fixture).
+	Now time.Time
+	// RTT is the simulated one-way network delay added to every
+	// directory request. Cold-sync cost is dominated by serial fetch
+	// round trips, which loopback hides; the profile is about
+	// planet-scale meshes, so the recorded shape injects a WAN-class
+	// delay (and reports it) rather than pretending peers share a
+	// kernel. Zero means raw loopback.
+	RTT time.Duration
+	// PR is stamped into the report.
+	PR int
+}
+
+// DirScaleDefault is the recorded shape: three decades of directory
+// population.
+func DirScaleDefault() DirScaleConfig {
+	return DirScaleConfig{
+		Sizes: []int{1_000, 10_000, 100_000},
+		Seed:  1,
+		RTT:   50 * time.Millisecond,
+		PR:    9,
+	}
+}
+
+// DirSizeResult is the measurement at one population size.
+type DirSizeResult struct {
+	Size             int
+	MerkleDiffBytes  int64         // digest bytes, one-cert diff, Merkle descent
+	FlatDiffBytes    int64         // digest bytes, same diff, flat partitions
+	Descents         int64         // node round trips the descent took
+	GossipSyncRounds int           // Converge calls for a cold peer to match
+	GossipSync       time.Duration // wall clock of gossip-only cold sync
+	Bootstrap        time.Duration // wall clock of snapshot bootstrap
+}
+
+// DirScaleResult is the full run.
+type DirScaleResult struct {
+	Config  DirScaleConfig
+	PerSize []DirSizeResult
+}
+
+// dirScaleCorpus signs n certificates in parallel from a handful of
+// issuers (signing 100k serially would dominate the run).
+func dirScaleCorpus(seed string, n int, now time.Time) ([]*cert.Cert, error) {
+	privs := make([]*sfkey.PrivateKey, 8)
+	for i := range privs {
+		privs[i] = sfkey.FromSeed([]byte(fmt.Sprintf("%s-iss-%d", seed, i)))
+	}
+	subj := principal.KeyOf(sfkey.FromSeed([]byte(seed + "-subj")).Public())
+	v := core.Until(now.Add(24 * time.Hour))
+	out := make([]*cert.Cert, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				priv := privs[i%len(privs)]
+				c, err := cert.Delegate(priv, subj, principal.KeyOf(priv.Public()),
+					tag.Literal(fmt.Sprintf("%s-r%d", seed, i)), v)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = c
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// dirScalePublish indexes the corpus in parallel.
+func dirScalePublish(st *certdir.Store, certs []*cert.Cert, now time.Time) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(certs) + workers - 1) / workers
+	for lo := 0; lo < len(certs); lo += chunk {
+		hi := min(lo+chunk, len(certs))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, c := range certs[lo:hi] {
+				if _, err := st.Publish(c, now); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// DirScale runs the directory-scale profile.
+func DirScale(cfg DirScaleConfig) (*DirScaleResult, error) {
+	if len(cfg.Sizes) == 0 || cfg.Now.IsZero() {
+		return nil, fmt.Errorf("loadgen: dirscale needs sizes and an anchored clock")
+	}
+	res := &DirScaleResult{Config: cfg}
+	for _, n := range cfg.Sizes {
+		sr, err := dirScaleOne(cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: dirscale n=%d: %w", n, err)
+		}
+		res.PerSize = append(res.PerSize, sr)
+	}
+	return res, nil
+}
+
+func dirScaleOne(cfg DirScaleConfig, n int) (DirSizeResult, error) {
+	sr := DirSizeResult{Size: n}
+	now := cfg.Now
+	seed := fmt.Sprintf("dirscale-%d-%d", cfg.Seed, n)
+	corpus, err := dirScaleCorpus(seed, n+2, now)
+	if err != nil {
+		return sr, err
+	}
+	extras, corpus := corpus[n:], corpus[:n]
+
+	// The serving directory, on a real listener: every measurement
+	// below pays genuine HTTP round trips.
+	src := certdir.NewStore(0)
+	if err := dirScalePublish(src, corpus, now); err != nil {
+		return sr, err
+	}
+	// Replication and the service both judge validity by their own
+	// clocks; anchor everything to the run's clock so fixtures work.
+	clock := func() time.Time { return now }
+
+	svc := certdir.NewService(src)
+	svc.Clock = clock
+	// Serve the snapshot as the daemon does: a pre-written artifact
+	// (-snapshot-every), not a per-request live encode.
+	snapPath := filepath.Join(os.TempDir(), fmt.Sprintf("%s.snap", seed))
+	if err := certdir.WriteSnapshotFile(snapPath, src, nil, now); err != nil {
+		return sr, err
+	}
+	defer os.Remove(snapPath)
+	svc.SnapshotPath = snapPath
+	var handler http.Handler = svc
+	if cfg.RTT > 0 {
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(cfg.RTT)
+			svc.ServeHTTP(w, r)
+		})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return sr, err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	defer srv.Close()
+	url := "http://" + ln.Addr().String()
+
+	// (b) Gossip-only cold sync: rounds and wall clock for an empty
+	// peer to converge by anti-entropy alone.
+	gossipStore := certdir.NewStore(0)
+	repG := certdir.NewReplicator(gossipStore, []*certdir.Client{certdir.NewClient(url)})
+	repG.Clock = clock
+	gossipStart := time.Now()
+	for gossipStore.Len() < src.Len() {
+		if sr.GossipSyncRounds >= 64 {
+			return sr, fmt.Errorf("gossip-only sync did not converge in %d rounds", sr.GossipSyncRounds)
+		}
+		if _, err := repG.Converge(); err != nil {
+			return sr, err
+		}
+		sr.GossipSyncRounds++
+	}
+	sr.GossipSync = time.Since(gossipStart)
+
+	// (c) Snapshot bootstrap of another empty peer: one bulk transfer.
+	bootStore := certdir.NewStore(0)
+	repB := certdir.NewReplicator(bootStore, []*certdir.Client{certdir.NewClient(url)})
+	repB.Clock = clock
+	bootStart := time.Now()
+	if _, err := repB.BootstrapFromPeer(context.Background()); err != nil {
+		return sr, err
+	}
+	sr.Bootstrap = time.Since(bootStart)
+	if bootStore.Len() != src.Len() {
+		return sr, fmt.Errorf("bootstrap landed at %d certs, directory holds %d", bootStore.Len(), src.Len())
+	}
+
+	// (a) One-cert diff against the converged gossip peer: Merkle
+	// descent first, then the same diff under the flat scheme. The
+	// replicator's counters are cumulative, so read them before the
+	// diff round to isolate its cost from the cold sync's.
+	preDiff := repG.Stats()
+	if _, err := src.Publish(extras[0], now); err != nil {
+		return sr, err
+	}
+	if pulled, err := repG.Converge(); err != nil || pulled != 1 {
+		return sr, fmt.Errorf("merkle diff round pulled %d (err %v), want 1", pulled, err)
+	}
+	ms := repG.Stats()
+	sr.MerkleDiffBytes = ms.DigestBytes - preDiff.DigestBytes
+	sr.Descents = ms.Descents - preDiff.Descents
+
+	if _, err := src.Publish(extras[1], now); err != nil {
+		return sr, err
+	}
+	repF := certdir.NewReplicator(gossipStore, []*certdir.Client{certdir.NewClient(url)})
+	repF.Clock = clock
+	repF.DisableMerkle = true
+	if pulled, err := repF.Converge(); err != nil || pulled != 1 {
+		return sr, fmt.Errorf("flat diff round pulled %d (err %v), want 1", pulled, err)
+	}
+	sr.FlatDiffBytes = repF.Stats().DigestBytes
+	return sr, nil
+}
+
+// ToBench renders the run as a trajectory report.
+func (r *DirScaleResult) ToBench() *bench.Report {
+	rep := bench.NewReport(r.Config.PR)
+	rep.Counters = map[string]float64{
+		"dirscale_rtt_ms": float64(r.Config.RTT.Milliseconds()),
+	}
+	for _, sr := range r.PerSize {
+		boot := bench.Entry{NsPerOp: float64(sr.Bootstrap.Nanoseconds()), Count: int64(sr.Size)}
+		boot.SetBaseline(bench.Baseline{NsPerOp: float64(sr.GossipSync.Nanoseconds())})
+		rep.Benchmarks[fmt.Sprintf("dir_bootstrap_snapshot_%d", sr.Size)] = boot
+		rep.Benchmarks[fmt.Sprintf("dir_coldsync_gossip_%d", sr.Size)] = bench.Entry{
+			NsPerOp: float64(sr.GossipSync.Nanoseconds()), Count: int64(sr.Size),
+		}
+		p := func(k string, v float64) { rep.Counters[fmt.Sprintf(k, sr.Size)] = v }
+		p("dir_diff_digest_bytes_merkle_%d", float64(sr.MerkleDiffBytes))
+		p("dir_diff_digest_bytes_flat_%d", float64(sr.FlatDiffBytes))
+		if sr.FlatDiffBytes > 0 {
+			p("dir_diff_digest_ratio_%d", float64(sr.MerkleDiffBytes)/float64(sr.FlatDiffBytes))
+		}
+		p("dir_diff_descents_%d", float64(sr.Descents))
+		p("dir_coldsync_rounds_%d", float64(sr.GossipSyncRounds))
+		if sr.Bootstrap > 0 {
+			p("dir_bootstrap_speedup_%d", float64(sr.GossipSync)/float64(sr.Bootstrap))
+		}
+	}
+	return rep
+}
+
+// Summary renders the run for terminals.
+func (r *DirScaleResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "directory-scale profile (seed %d, simulated RTT %s)\n",
+		r.Config.Seed, r.Config.RTT)
+	for _, sr := range r.PerSize {
+		ratio := 0.0
+		if sr.FlatDiffBytes > 0 {
+			ratio = float64(sr.MerkleDiffBytes) / float64(sr.FlatDiffBytes)
+		}
+		speedup := 0.0
+		if sr.Bootstrap > 0 {
+			speedup = float64(sr.GossipSync) / float64(sr.Bootstrap)
+		}
+		fmt.Fprintf(&b, "  n=%-7d one-cert diff: merkle %dB vs flat %dB (%.1f%%, %d descents)\n",
+			sr.Size, sr.MerkleDiffBytes, sr.FlatDiffBytes, 100*ratio, sr.Descents)
+		fmt.Fprintf(&b, "            cold peer: gossip-only %s in %d round(s); snapshot bootstrap %s (%.1fx)\n",
+			sr.GossipSync.Round(time.Millisecond), sr.GossipSyncRounds,
+			sr.Bootstrap.Round(time.Millisecond), speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDirScaleSmoke runs the directory-scale profile at a toy size and
+// checks the shape of the result: the diff measurements are non-empty,
+// Merkle spends fewer digest bytes than flat, both cold peers land on
+// the full directory, and the report carries the expected entries.
+func TestDirScaleSmoke(t *testing.T) {
+	cfg := DirScaleConfig{
+		Sizes: []int{300},
+		Seed:  42,
+		Now:   time.Date(2026, 2, 3, 4, 5, 6, 0, time.UTC),
+		RTT:   time.Millisecond,
+		PR:    9,
+	}
+	res, err := DirScale(cfg)
+	if err != nil {
+		t.Fatalf("DirScale: %v", err)
+	}
+	if len(res.PerSize) != 1 {
+		t.Fatalf("got %d size results, want 1", len(res.PerSize))
+	}
+	sr := res.PerSize[0]
+	if sr.MerkleDiffBytes <= 0 || sr.FlatDiffBytes <= 0 {
+		t.Fatalf("diff byte counters not populated: merkle=%d flat=%d",
+			sr.MerkleDiffBytes, sr.FlatDiffBytes)
+	}
+	if sr.MerkleDiffBytes >= sr.FlatDiffBytes {
+		t.Errorf("merkle one-cert diff (%dB) not cheaper than flat (%dB)",
+			sr.MerkleDiffBytes, sr.FlatDiffBytes)
+	}
+	if sr.Descents < 1 {
+		t.Errorf("descents = %d, want >= 1", sr.Descents)
+	}
+	if sr.GossipSyncRounds < 1 || sr.GossipSync <= 0 || sr.Bootstrap <= 0 {
+		t.Errorf("cold-sync measurements not populated: rounds=%d gossip=%s bootstrap=%s",
+			sr.GossipSyncRounds, sr.GossipSync, sr.Bootstrap)
+	}
+
+	rep := res.ToBench()
+	if rep.PR != 9 {
+		t.Errorf("report PR = %d, want 9", rep.PR)
+	}
+	for _, name := range []string{"dir_bootstrap_snapshot_300", "dir_coldsync_gossip_300"} {
+		if _, ok := rep.Benchmarks[name]; !ok {
+			t.Errorf("report missing benchmark %q", name)
+		}
+	}
+	for _, name := range []string{
+		"dir_diff_digest_bytes_merkle_300",
+		"dir_diff_digest_bytes_flat_300",
+		"dir_diff_digest_ratio_300",
+		"dir_diff_descents_300",
+		"dir_coldsync_rounds_300",
+		"dir_bootstrap_speedup_300",
+	} {
+		if _, ok := rep.Counters[name]; !ok {
+			t.Errorf("report missing counter %q", name)
+		}
+	}
+	if e := rep.Benchmarks["dir_bootstrap_snapshot_300"]; e.Baseline == nil || e.SpeedupVsBaseline == 0 {
+		t.Errorf("bootstrap entry missing gossip baseline/speedup: %+v", e)
+	}
+}

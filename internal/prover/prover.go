@@ -104,8 +104,60 @@ const DefaultEdgeShards = 16
 // its shard, so the hash can only ever appear here).
 type edgeShard struct {
 	mu    sync.RWMutex
-	edges map[string][]*edge // issuer key -> incoming proofs
-	seen  map[[32]byte]bool  // digested proof hashes
+	edges map[string]*edgeSet // issuer key -> incoming proofs
+	seen  map[[32]byte]bool   // digested proof hashes
+}
+
+// edgeSet holds one issuer's incoming edges twice over: the full
+// insertion-order slice, and a tag-bucket index so a search for a
+// specific tag scans only the edges that could cover it (same
+// tag.Bucket key) plus the catch-all tail (star forms and other
+// unbucketable grants). A hot issuer with thousands of disjoint
+// literal grants costs a lookup its own bucket, not the whole fan-in.
+type edgeSet struct {
+	all      []*edge            // every edge, insertion order
+	buckets  map[string][]*edge // tag bucket -> bucketable edges
+	catchAll []*edge            // edges whose tags span buckets
+}
+
+func (es *edgeSet) add(e *edge) {
+	es.all = append(es.all, e)
+	if e.bucketed {
+		if es.buckets == nil {
+			es.buckets = make(map[string][]*edge)
+		}
+		es.buckets[e.bucket] = append(es.buckets[e.bucket], e)
+	} else {
+		es.catchAll = append(es.catchAll, e)
+	}
+}
+
+// filter drops every edge failing keep and rebuilds the bucket index;
+// it reports the dropped edges. Called under the shard's write lock.
+func (es *edgeSet) filter(keep func(*edge) bool) (dropped []*edge) {
+	kept := es.all[:0]
+	for _, e := range es.all {
+		if keep(e) {
+			kept = append(kept, e)
+		} else {
+			dropped = append(dropped, e)
+		}
+	}
+	for i := len(kept); i < len(es.all); i++ {
+		es.all[i] = nil
+	}
+	if len(dropped) == 0 {
+		return nil
+	}
+	es.all = kept
+	es.buckets = nil
+	es.catchAll = nil
+	rest := es.all
+	es.all = es.all[:0]
+	for _, e := range rest {
+		es.add(e)
+	}
+	return dropped
 }
 
 // Prover maintains the delegation graph.
@@ -159,6 +211,8 @@ type edge struct {
 	shortcut bool
 	hash     [32]byte
 	expiry   time.Time // conclusion's NotAfter; zero when unbounded
+	bucket   string    // conclusion tag's bucket key, when bucketed
+	bucketed bool
 }
 
 // New returns an empty Prover.
@@ -172,7 +226,7 @@ func New() *Prover {
 	}
 	for i := range p.shards {
 		p.shards[i] = &edgeShard{
-			edges: make(map[string][]*edge),
+			edges: make(map[string]*edgeSet),
 			seen:  make(map[[32]byte]bool),
 		}
 	}
@@ -219,6 +273,7 @@ func (p *Prover) addEdge(pr core.Proof, shortcut bool) bool {
 		subject: c.Subject, issuer: c.Issuer, proof: pr,
 		shortcut: shortcut, hash: h, expiry: c.Validity.NotAfter,
 	}
+	e.bucket, e.bucketed = c.Tag.Bucket()
 	sh := p.shardFor(ik)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -226,23 +281,44 @@ func (p *Prover) addEdge(pr core.Proof, shortcut bool) bool {
 		return false
 	}
 	sh.seen[h] = true
-	sh.edges[ik] = append(sh.edges[ik], e)
+	es := sh.edges[ik]
+	if es == nil {
+		es = &edgeSet{}
+		sh.edges[ik] = es
+	}
+	es.add(e)
 	return true
 }
 
-// edgesInto returns a snapshot of the edges whose conclusions' issuer
-// is the given principal. The copy is taken under the shard's read
-// lock, so BFS walks a consistent slice while writers append
-// concurrently.
-func (p *Prover) edgesInto(issuerKey string) []*edge {
+// edgesFor returns a snapshot of the edges into the given issuer that
+// could cover want: the bucket matching want's tag plus the catch-all
+// tail, or the full fan-in when want itself is unbucketable. The copy
+// is taken under the shard's read lock, so BFS walks a consistent
+// slice while writers append concurrently. Bucket narrowing is sound,
+// not just fast: tag.Bucket guarantees a covering grant shares the
+// query's bucket or lives in the catch-all.
+func (p *Prover) edgesFor(issuerKey string, want tag.Tag) []*edge {
 	sh := p.shardFor(issuerKey)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	es := sh.edges[issuerKey]
-	if len(es) == 0 {
+	if es == nil {
 		return nil
 	}
-	return append([]*edge(nil), es...)
+	b, ok := want.Bucket()
+	if !ok {
+		if len(es.all) == 0 {
+			return nil
+		}
+		return append([]*edge(nil), es.all...)
+	}
+	bs := es.buckets[b]
+	if len(bs)+len(es.catchAll) == 0 {
+		return nil
+	}
+	out := make([]*edge, 0, len(bs)+len(es.catchAll))
+	out = append(out, bs...)
+	return append(out, es.catchAll...)
 }
 
 // Stats returns a copy of the work counters.
@@ -271,7 +347,7 @@ func (p *Prover) EdgeCount() int {
 	for _, sh := range p.shards {
 		sh.mu.RLock()
 		for _, es := range sh.edges {
-			n += len(es)
+			n += len(es.all)
 		}
 		sh.mu.RUnlock()
 	}
@@ -296,22 +372,18 @@ func (p *Prover) Sweep(now time.Time) int {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		for ik, es := range sh.edges {
-			kept := es[:0]
-			for _, e := range es {
-				if !e.expiry.IsZero() && e.expiry.Before(now) {
-					delete(sh.seen, e.hash)
-					if cache.Evict(e.hash) {
-						verdicts++
-					}
-					evicted++
-					continue
+			dropped := es.filter(func(e *edge) bool {
+				return e.expiry.IsZero() || !e.expiry.Before(now)
+			})
+			for _, e := range dropped {
+				delete(sh.seen, e.hash)
+				if cache.Evict(e.hash) {
+					verdicts++
 				}
-				kept = append(kept, e)
+				evicted++
 			}
-			if len(kept) == 0 {
+			if len(es.all) == 0 {
 				delete(sh.edges, ik)
-			} else {
-				sh.edges[ik] = kept
 			}
 		}
 		sh.mu.Unlock()
@@ -482,7 +554,7 @@ func (p *Prover) find(subject, issuer principal.Principal, want tag.Tag, now tim
 			}
 			return proof, nil
 		}
-		for _, e := range p.edgesInto(cur.node.Key()) {
+		for _, e := range p.edgesFor(cur.node.Key(), want) {
 			if p.DisableShortcuts && e.shortcut {
 				continue
 			}
@@ -554,7 +626,7 @@ func (p *Prover) Principals() []principal.Principal {
 	for _, sh := range p.shards {
 		sh.mu.RLock()
 		for _, es := range sh.edges {
-			for _, e := range es {
+			for _, e := range es.all {
 				seen[e.subject.Key()] = e.subject
 				seen[e.issuer.Key()] = e.issuer
 			}

@@ -202,7 +202,7 @@ func (p *Prover) reachable(issuer principal.Principal, want tag.Tag, now time.Ti
 	visited := map[string]bool{issuer.Key(): true}
 	order := []principal.Principal{issuer}
 	for i := 0; i < len(order); i++ {
-		for _, e := range p.edgesInto(order[i].Key()) {
+		for _, e := range p.edgesFor(order[i].Key(), want) {
 			if p.DisableShortcuts && e.shortcut {
 				continue
 			}

@@ -145,22 +145,18 @@ func (p *Prover) Invalidate(bodyHashes [][]byte, cache *core.ProofCache) int {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		for ik, es := range sh.edges {
-			kept := es[:0]
-			for _, e := range es {
-				if !dependsOn(e.proof, revoked) {
-					kept = append(kept, e)
-					continue
-				}
+			gone := es.filter(func(e *edge) bool {
+				return !dependsOn(e.proof, revoked)
+			})
+			for _, e := range gone {
 				delete(sh.seen, e.hash)
 				if cache != nil {
 					cache.Evict(e.hash)
 				}
 				dropped++
 			}
-			if len(kept) == 0 {
+			if len(es.all) == 0 {
 				delete(sh.edges, ik)
-			} else {
-				sh.edges[ik] = kept
 			}
 		}
 		sh.mu.Unlock()

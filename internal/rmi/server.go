@@ -498,7 +498,7 @@ func (s *Server) handleProofSubmit(req *callRequest, resp *callResponse) *callRe
 // exported so colocated gateways and tests can install proofs
 // directly.
 func (s *Server) AcceptProof(raw []byte) error {
-	p, err := core.ParseProof(raw)
+	p, err := core.ParseProofPooled(raw)
 	if err != nil {
 		return fmt.Errorf("rmi: parse proof: %w", err)
 	}

@@ -1,0 +1,77 @@
+package tag
+
+import "testing"
+
+// TestBucketValues pins the bucketing rules the prover's edge index
+// relies on.
+func TestBucketValues(t *testing.T) {
+	cases := []struct {
+		tg   Tag
+		want string
+		ok   bool
+	}{
+		{Literal("read"), "read", true},
+		{Literal(""), "", true}, // the empty atom is a real bucket
+		{ListOf(Literal("files"), Literal("read")), "files", true},
+		{ListOf(Literal("files")), "files", true},
+		{ListOf(Literal("files"), Prefix("/tmp/")), "files", true},
+		{All(), "", false},
+		{Prefix("re"), "", false},
+		{Range(OrdAlpha, BoundGE, "a", BoundLE, "z"), "", false},
+		{SetOf(Literal("read"), Literal("write")), "", false},
+		{SetOf(), "", false},
+		{ListOf(), "", false},            // () covers every list
+		{ListOf(All()), "", false},       // star head spans buckets
+		{ListOf(Prefix("f")), "", false}, // prefix head spans buckets
+		{ListOf(ListOf()), "", false},    // list head is unbucketable
+		{Tag{}, "", false},               // invalid zero tag
+	}
+	for _, c := range cases {
+		got, ok := c.tg.Bucket()
+		if got != c.want || ok != c.ok {
+			t.Errorf("Bucket(%s) = (%q, %v), want (%q, %v)", c.tg, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestBucketSoundVsCovers exhaustively checks the contract the edge
+// index depends on: whenever Covers(a, b) holds for a bucketable
+// query b, a either shares b's bucket or has none (and so lives in
+// the index's catch-all). Unbucketable queries scan the full fan-in,
+// so they need no guarantee. A violation here means a bucketed
+// lookup could silently miss a covering grant.
+func TestBucketSoundVsCovers(t *testing.T) {
+	tags := []Tag{
+		All(),
+		Literal("read"), Literal("write"), Literal(""),
+		Prefix(""), Prefix("re"), Prefix("read"),
+		Range(OrdAlpha, BoundGE, "a", BoundLE, "z"),
+		Range(OrdNumeric, BoundGE, "1", BoundLE, "100"),
+		SetOf(), SetOf(Literal("read")), SetOf(Literal("read"), Literal("write")),
+		SetOf(Prefix("re"), ListOf(Literal("files"))),
+		ListOf(),
+		ListOf(Literal("files")),
+		ListOf(Literal("files"), Literal("read")),
+		ListOf(Literal("files"), All()),
+		ListOf(Literal("files"), Prefix("/tmp/")),
+		ListOf(Literal("mail"), Literal("read")),
+		ListOf(All(), Literal("read")),
+		ListOf(Prefix("fi"), Literal("read")),
+		ListOf(SetOf(Literal("files"), Literal("mail")), Literal("read")),
+		ListOf(ListOf(Literal("x"))),
+	}
+	for _, a := range tags {
+		for _, b := range tags {
+			if !Covers(a, b) {
+				continue
+			}
+			bb, bok := b.Bucket()
+			if !bok {
+				continue
+			}
+			if ab, aok := a.Bucket(); aok && ab != bb {
+				t.Errorf("Covers(%s, %s) but buckets %q vs %q", a, b, ab, bb)
+			}
+		}
+	}
+}
